@@ -1,0 +1,120 @@
+//! Graphviz DOT export for task graphs and mapped applications.
+
+use std::fmt::Write as _;
+
+use crate::{MappedApplication, TaskGraph};
+
+/// Renders a task graph in Graphviz DOT syntax.
+///
+/// Nodes show name and execution time; edges show the communication id and
+/// volume — matching the annotations of Fig. 5(a).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_app::{dot, workloads};
+///
+/// let text = dot::task_graph_dot(&workloads::paper_task_graph());
+/// assert!(text.starts_with("digraph task_graph"));
+/// assert!(text.contains("c1: 8 kb"));
+/// ```
+#[must_use]
+pub fn task_graph_dot(graph: &TaskGraph) -> String {
+    let mut out = String::from("digraph task_graph {\n  rankdir=TB;\n  node [shape=box];\n");
+    for (id, task) in graph.tasks() {
+        let _ = writeln!(
+            out,
+            "  t{} [label=\"{}\\n{} kcc\"];",
+            id.0,
+            task.name(),
+            task.execution_time().to_kilocycles()
+        );
+    }
+    for (id, comm) in graph.comms() {
+        let _ = writeln!(
+            out,
+            "  t{} -> t{} [label=\"c{}: {} kb\"];",
+            comm.src().0,
+            comm.dst().0,
+            id.0,
+            comm.volume().to_kilobits()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a mapped application: tasks are labelled with their ring node and
+/// edges with their routed path.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_app::{dot, workloads};
+///
+/// let text = dot::mapped_application_dot(&workloads::paper_mapped_application());
+/// assert!(text.contains("@ n3"));
+/// assert!(text.contains("CCW"));
+/// ```
+#[must_use]
+pub fn mapped_application_dot(app: &MappedApplication) -> String {
+    let mut out = String::from("digraph mapped_application {\n  rankdir=TB;\n  node [shape=box];\n");
+    for (id, task) in app.graph().tasks() {
+        let _ = writeln!(
+            out,
+            "  t{} [label=\"{} @ {}\\n{} kcc\"];",
+            id.0,
+            task.name(),
+            app.mapping().node_of(id),
+            task.execution_time().to_kilocycles()
+        );
+    }
+    for (id, comm) in app.graph().comms() {
+        let route = app.route(id);
+        let _ = writeln!(
+            out,
+            "  t{} -> t{} [label=\"c{}: {} kb\\n{} hops {}\"];",
+            comm.src().0,
+            comm.dst().0,
+            id.0,
+            comm.volume().to_kilobits(),
+            route.hops(),
+            route.direction()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn task_graph_dot_lists_every_node_and_edge() {
+        let graph = workloads::paper_task_graph();
+        let text = task_graph_dot(&graph);
+        for i in 0..6 {
+            assert!(text.contains(&format!("t{i} ")), "missing task {i}");
+            assert!(text.contains(&format!("c{i}:")), "missing comm {i}");
+        }
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn mapped_dot_shows_placements_and_directions() {
+        let app = workloads::paper_mapped_application();
+        let text = mapped_application_dot(&app);
+        assert!(text.contains("@ n0") && text.contains("@ n8"));
+        assert!(text.contains("13 hops CCW")); // c2's long way round
+        assert!(text.contains("1 hops CW")); // c5
+    }
+
+    #[test]
+    fn dot_is_syntactically_balanced() {
+        let graph = workloads::fork_join(3, onoc_units::Cycles::new(10.0), onoc_units::Bits::new(100.0));
+        let text = task_graph_dot(&graph);
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

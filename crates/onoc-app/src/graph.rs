@@ -1,0 +1,433 @@
+//! Task graphs (Definition 1 of the paper).
+
+use onoc_units::{Bits, Cycles};
+
+/// Index of a task in a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl core::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Index of a communication (directed edge) in a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommId(pub usize);
+
+impl core::fmt::Display for CommId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One task: a unit of computation bound to a single IP core.
+///
+/// The paper assumes homogeneous cores, so the execution time is a property
+/// of the task alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    name: String,
+    execution_time: Cycles,
+}
+
+impl Task {
+    /// Creates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the execution time is negative or not finite.
+    #[must_use]
+    pub fn new(name: impl Into<String>, execution_time: Cycles) -> Self {
+        assert!(
+            execution_time.is_finite() && execution_time.value() >= 0.0,
+            "task execution time must be finite and non-negative, got {execution_time}"
+        );
+        Self {
+            name: name.into(),
+            execution_time,
+        }
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execution time on one core (`t_p` in the paper).
+    #[must_use]
+    pub fn execution_time(&self) -> Cycles {
+        self.execution_time
+    }
+}
+
+/// One communication: a directed, weighted edge of the task graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Communication {
+    src: TaskId,
+    dst: TaskId,
+    volume: Bits,
+}
+
+impl Communication {
+    /// Producer task.
+    #[must_use]
+    pub fn src(&self) -> TaskId {
+        self.src
+    }
+
+    /// Consumer task.
+    #[must_use]
+    pub fn dst(&self) -> TaskId {
+        self.dst
+    }
+
+    /// Data volume exchanged (`V(d_{i,j})`).
+    #[must_use]
+    pub fn volume(&self) -> Bits {
+        self.volume
+    }
+}
+
+/// Errors raised while building or validating a [`TaskGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskGraphError {
+    /// An endpoint refers to a task that does not exist.
+    UnknownTask(TaskId),
+    /// A task cannot communicate with itself through the NoC.
+    SelfLoop(TaskId),
+    /// The pair of tasks is already connected; the paper's model has at most
+    /// one edge per ordered pair.
+    DuplicateEdge(TaskId, TaskId),
+    /// A communication volume must be strictly positive.
+    NonPositiveVolume(TaskId, TaskId),
+    /// The graph contains a dependency cycle and admits no schedule.
+    Cyclic,
+}
+
+impl core::fmt::Display for TaskGraphError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TaskGraphError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            TaskGraphError::SelfLoop(t) => write!(f, "self-loop on {t}"),
+            TaskGraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a}→{b}"),
+            TaskGraphError::NonPositiveVolume(a, b) => {
+                write!(f, "non-positive communication volume on {a}→{b}")
+            }
+            TaskGraphError::Cyclic => write!(f, "task graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for TaskGraphError {}
+
+/// A directed acyclic task graph `TG = G(T, D)` (Definition 1).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_app::TaskGraph;
+/// use onoc_units::{Bits, Cycles};
+///
+/// let mut tg = TaskGraph::new();
+/// let a = tg.add_task("producer", Cycles::from_kilocycles(5.0));
+/// let b = tg.add_task("consumer", Cycles::from_kilocycles(5.0));
+/// let c = tg.add_comm(a, b, Bits::from_kilobits(6.0))?;
+/// assert_eq!(tg.comm(c).src(), a);
+/// assert_eq!(tg.topological_order()?, vec![a, b]);
+/// # Ok::<(), onoc_app::TaskGraphError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    comms: Vec<Communication>,
+    successors: Vec<Vec<CommId>>,
+    predecessors: Vec<Vec<CommId>>,
+}
+
+impl TaskGraph {
+    /// Creates an empty task graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a task and returns its id.
+    pub fn add_task(&mut self, name: impl Into<String>, execution_time: Cycles) -> TaskId {
+        self.tasks.push(Task::new(name, execution_time));
+        self.successors.push(Vec::new());
+        self.predecessors.push(Vec::new());
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Adds a communication from `src` to `dst` carrying `volume` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskGraphError`] if an endpoint is unknown, `src == dst`,
+    /// the edge already exists, or the volume is not strictly positive.
+    pub fn add_comm(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        volume: Bits,
+    ) -> Result<CommId, TaskGraphError> {
+        for t in [src, dst] {
+            if t.0 >= self.tasks.len() {
+                return Err(TaskGraphError::UnknownTask(t));
+            }
+        }
+        if src == dst {
+            return Err(TaskGraphError::SelfLoop(src));
+        }
+        if self
+            .successors[src.0]
+            .iter()
+            .any(|&c| self.comms[c.0].dst == dst)
+        {
+            return Err(TaskGraphError::DuplicateEdge(src, dst));
+        }
+        if !(volume.value() > 0.0 && volume.is_finite()) {
+            return Err(TaskGraphError::NonPositiveVolume(src, dst));
+        }
+        let id = CommId(self.comms.len());
+        self.comms.push(Communication { src, dst, volume });
+        self.successors[src.0].push(id);
+        self.predecessors[dst.0].push(id);
+        Ok(id)
+    }
+
+    /// Number of tasks (`N_t`).
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of communications (`N_l`).
+    #[must_use]
+    pub fn comm_count(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// Looks up a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Looks up a communication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn comm(&self, id: CommId) -> &Communication {
+        &self.comms[id.0]
+    }
+
+    /// Iterates over all tasks in id order.
+    pub fn tasks(&self) -> impl ExactSizeIterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// Iterates over all communications in id order.
+    pub fn comms(&self) -> impl ExactSizeIterator<Item = (CommId, &Communication)> {
+        self.comms.iter().enumerate().map(|(i, c)| (CommId(i), c))
+    }
+
+    /// Incoming communications of `task` (`pre(T)` in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn incoming(&self, task: TaskId) -> &[CommId] {
+        &self.predecessors[task.0]
+    }
+
+    /// Outgoing communications of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn outgoing(&self, task: TaskId) -> &[CommId] {
+        &self.successors[task.0]
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len())
+            .map(TaskId)
+            .filter(|t| self.predecessors[t.0].is_empty())
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len())
+            .map(TaskId)
+            .filter(|t| self.successors[t.0].is_empty())
+    }
+
+    /// A topological order of the tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskGraphError::Cyclic`] if the graph has a cycle.
+    pub fn topological_order(&self) -> Result<Vec<TaskId>, TaskGraphError> {
+        let n = self.tasks.len();
+        let mut indegree: Vec<usize> = (0..n).map(|t| self.predecessors[t].len()).collect();
+        let mut queue: Vec<TaskId> = self.sources().collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(t) = queue.pop() {
+            order.push(t);
+            for &c in &self.successors[t.0] {
+                let d = self.comms[c.0].dst;
+                indegree[d.0] -= 1;
+                if indegree[d.0] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(TaskGraphError::Cyclic)
+        }
+    }
+
+    /// The zero-communication critical path: the lower bound on the makespan
+    /// reached when transmission times become negligible (the paper's
+    /// "Min exe time" marker at 20 kcc in Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskGraphError::Cyclic`] if the graph has a cycle.
+    pub fn critical_path(&self) -> Result<Cycles, TaskGraphError> {
+        let order = self.topological_order()?;
+        let mut end = vec![Cycles::ZERO; self.tasks.len()];
+        for t in order {
+            let ready = self
+                .predecessors[t.0]
+                .iter()
+                .map(|&c| end[self.comms[c.0].src.0])
+                .fold(Cycles::ZERO, Cycles::max);
+            end[t.0] = ready + self.tasks[t.0].execution_time();
+        }
+        Ok(end.into_iter().fold(Cycles::ZERO, Cycles::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", Cycles::new(10.0));
+        let b = tg.add_task("b", Cycles::new(20.0));
+        let c = tg.add_task("c", Cycles::new(30.0));
+        let d = tg.add_task("d", Cycles::new(10.0));
+        tg.add_comm(a, b, Bits::new(100.0)).unwrap();
+        tg.add_comm(a, c, Bits::new(100.0)).unwrap();
+        tg.add_comm(b, d, Bits::new(100.0)).unwrap();
+        tg.add_comm(c, d, Bits::new(100.0)).unwrap();
+        (tg, [a, b, c, d])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (tg, [a, b, _, d]) = diamond();
+        assert_eq!(tg.task_count(), 4);
+        assert_eq!(tg.comm_count(), 4);
+        assert_eq!(tg.incoming(d).len(), 2);
+        assert_eq!(tg.outgoing(a).len(), 2);
+        assert_eq!(tg.incoming(a).len(), 0);
+        assert_eq!(tg.comm(CommId(0)).src(), a);
+        assert_eq!(tg.comm(CommId(0)).dst(), b);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (tg, [a, _, _, d]) = diamond();
+        assert_eq!(tg.sources().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(tg.sinks().collect::<Vec<_>>(), vec![d]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (tg, _) = diamond();
+        let order = tg.topological_order().unwrap();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for (_, c) in tg.comms() {
+            assert!(pos[&c.src()] < pos[&c.dst()]);
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", Cycles::new(1.0));
+        let b = tg.add_task("b", Cycles::new(1.0));
+        tg.add_comm(a, b, Bits::new(1.0)).unwrap();
+        tg.add_comm(b, a, Bits::new(1.0)).unwrap();
+        assert_eq!(tg.topological_order(), Err(TaskGraphError::Cyclic));
+        assert_eq!(tg.critical_path(), Err(TaskGraphError::Cyclic));
+    }
+
+    #[test]
+    fn critical_path_of_diamond() {
+        // a → c → d is the longest chain: 10 + 30 + 10.
+        let (tg, _) = diamond();
+        assert_eq!(tg.critical_path().unwrap(), Cycles::new(50.0));
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", Cycles::new(1.0));
+        let b = tg.add_task("b", Cycles::new(1.0));
+        assert_eq!(
+            tg.add_comm(a, a, Bits::new(1.0)),
+            Err(TaskGraphError::SelfLoop(a))
+        );
+        assert_eq!(
+            tg.add_comm(a, TaskId(9), Bits::new(1.0)),
+            Err(TaskGraphError::UnknownTask(TaskId(9)))
+        );
+        assert_eq!(
+            tg.add_comm(a, b, Bits::new(0.0)),
+            Err(TaskGraphError::NonPositiveVolume(a, b))
+        );
+        tg.add_comm(a, b, Bits::new(1.0)).unwrap();
+        assert_eq!(
+            tg.add_comm(a, b, Bits::new(2.0)),
+            Err(TaskGraphError::DuplicateEdge(a, b))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_execution_time_panics() {
+        let _ = Task::new("bad", Cycles::new(-1.0));
+    }
+
+    #[test]
+    fn empty_graph_has_zero_critical_path() {
+        let tg = TaskGraph::new();
+        assert_eq!(tg.critical_path().unwrap(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn error_messages_name_the_parties() {
+        let msg = TaskGraphError::DuplicateEdge(TaskId(1), TaskId(2)).to_string();
+        assert!(msg.contains("T1") && msg.contains("T2"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Application layer for optical NoC studies.
+//!
+//! Implements the paper's application model (§III-C):
+//!
+//! * [`TaskGraph`] — Definition 1: a DAG of tasks with communication volumes
+//!   on the edges,
+//! * [`Mapping`] — Definition 3: the injective assignment of tasks to IP
+//!   cores of the architecture characterisation graph,
+//! * [`MappedApplication`] — a task graph bound to ring nodes with a routed
+//!   path per communication,
+//! * [`Schedule`] — the global-execution-time model of Eqs. 10–12,
+//! * [`workloads`] — the paper's 6-task virtual application plus synthetic
+//!   DAG generators for wider experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use onoc_app::{workloads, MappedApplication, Schedule};
+//! use onoc_units::BitsPerCycle;
+//!
+//! let app = workloads::paper_mapped_application();
+//! let schedule = Schedule::new(app.graph(), BitsPerCycle::new(1.0)).unwrap();
+//!
+//! // One wavelength per communication: the paper's most energy-frugal point.
+//! let result = schedule.evaluate(&[1, 1, 1, 1, 1, 1]).unwrap();
+//! assert_eq!(result.makespan.to_kilocycles(), 38.0);
+//!
+//! // With unbounded bandwidth the application needs exactly 20 kcc.
+//! assert_eq!(schedule.min_makespan().to_kilocycles(), 20.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+mod graph;
+mod mapping;
+mod schedule;
+pub mod workloads;
+
+pub use graph::{CommId, Communication, Task, TaskGraph, TaskGraphError, TaskId};
+pub use mapping::{MappedApplication, Mapping, MappingError, RouteStrategy};
+pub use schedule::{Schedule, ScheduleError, ScheduleResult};

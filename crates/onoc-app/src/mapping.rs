@@ -1,0 +1,385 @@
+//! Task-to-core mapping (Definition 3) and routed applications.
+
+use onoc_topology::{Direction, NodeId, RingPath, RingTopology};
+
+use crate::{CommId, TaskGraph, TaskId};
+
+/// Errors raised while binding a task graph to an architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// The mapping vector length differs from the task count.
+    WrongLength {
+        /// Tasks in the graph.
+        tasks: usize,
+        /// Entries in the mapping.
+        entries: usize,
+    },
+    /// Two tasks are mapped to the same core, violating the injectivity
+    /// constraint of Definition 3.
+    DuplicateCore {
+        /// The contested core.
+        node: NodeId,
+        /// First task on it.
+        first: TaskId,
+        /// Second task on it.
+        second: TaskId,
+    },
+    /// A task is mapped outside the ring.
+    NodeOutOfRange {
+        /// The task.
+        task: TaskId,
+        /// The offending node.
+        node: NodeId,
+        /// Ring size.
+        ring_size: usize,
+    },
+    /// An explicit direction list has the wrong length.
+    WrongDirectionCount {
+        /// Communications in the graph.
+        comms: usize,
+        /// Directions supplied.
+        entries: usize,
+    },
+}
+
+impl core::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MappingError::WrongLength { tasks, entries } => {
+                write!(f, "mapping has {entries} entries for {tasks} tasks")
+            }
+            MappingError::DuplicateCore {
+                node,
+                first,
+                second,
+            } => write!(f, "tasks {first} and {second} both mapped to {node}"),
+            MappingError::NodeOutOfRange {
+                task,
+                node,
+                ring_size,
+            } => write!(f, "task {task} mapped to {node} outside the {ring_size}-node ring"),
+            MappingError::WrongDirectionCount { comms, entries } => {
+                write!(f, "{entries} directions supplied for {comms} communications")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// An injective assignment of tasks to ring nodes (`map: T → P`).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_app::{Mapping, TaskGraph};
+/// use onoc_topology::NodeId;
+/// use onoc_units::{Bits, Cycles};
+///
+/// let mut tg = TaskGraph::new();
+/// let a = tg.add_task("a", Cycles::new(5.0));
+/// let b = tg.add_task("b", Cycles::new(5.0));
+/// tg.add_comm(a, b, Bits::new(100.0))?;
+///
+/// let mapping = Mapping::new(&tg, vec![NodeId(0), NodeId(3)]).unwrap();
+/// assert_eq!(mapping.node_of(a), NodeId(0));
+/// # Ok::<(), onoc_app::TaskGraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    assignment: Vec<NodeId>,
+}
+
+impl Mapping {
+    /// Creates a mapping for `graph`, task `i` on `assignment[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError`] if lengths differ or two tasks share a core.
+    /// (Ring-membership of the nodes is checked when the mapping is bound to
+    /// a concrete ring in [`MappedApplication::new`].)
+    pub fn new(graph: &TaskGraph, assignment: Vec<NodeId>) -> Result<Self, MappingError> {
+        if assignment.len() != graph.task_count() {
+            return Err(MappingError::WrongLength {
+                tasks: graph.task_count(),
+                entries: assignment.len(),
+            });
+        }
+        let mut seen: std::collections::HashMap<NodeId, TaskId> = std::collections::HashMap::new();
+        for (i, &node) in assignment.iter().enumerate() {
+            if let Some(&first) = seen.get(&node) {
+                return Err(MappingError::DuplicateCore {
+                    node,
+                    first,
+                    second: TaskId(i),
+                });
+            }
+            seen.insert(node, TaskId(i));
+        }
+        Ok(Self { assignment })
+    }
+
+    /// The core executing `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn node_of(&self, task: TaskId) -> NodeId {
+        self.assignment[task.0]
+    }
+
+    /// The full assignment, task id order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.assignment
+    }
+}
+
+/// How communication paths pick their waveguide direction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum RouteStrategy {
+    /// Each communication takes the direction with the fewest hops
+    /// (clockwise wins ties).
+    #[default]
+    Shortest,
+    /// ORNoC-style design-time assignment: one direction per communication,
+    /// in [`CommId`] order. This is how the paper instance keeps `c2` out of
+    /// the waveguide span shared by `c0`/`c1` (DESIGN.md, S3).
+    Explicit(Vec<Direction>),
+}
+
+/// A task graph bound to ring nodes, with one routed path per communication.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_app::workloads;
+///
+/// let app = workloads::paper_mapped_application();
+/// assert_eq!(app.graph().comm_count(), 6);
+/// // c0 and c1 share waveguide segments; c2 was routed the other way.
+/// let c0 = app.route(onoc_app::CommId(0));
+/// let c1 = app.route(onoc_app::CommId(1));
+/// let c2 = app.route(onoc_app::CommId(2));
+/// assert!(c0.overlaps(c1));
+/// assert!(!c0.overlaps(c2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedApplication {
+    graph: TaskGraph,
+    mapping: Mapping,
+    ring: RingTopology,
+    routes: Vec<RingPath>,
+}
+
+impl MappedApplication {
+    /// Binds `graph` to `ring` through `mapping`, routing every
+    /// communication according to `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError`] if a node lies outside the ring or an
+    /// explicit direction list has the wrong length.
+    pub fn new(
+        graph: TaskGraph,
+        mapping: Mapping,
+        ring: RingTopology,
+        strategy: RouteStrategy,
+    ) -> Result<Self, MappingError> {
+        for (i, &node) in mapping.as_slice().iter().enumerate() {
+            if !ring.contains(node) {
+                return Err(MappingError::NodeOutOfRange {
+                    task: TaskId(i),
+                    node,
+                    ring_size: ring.node_count(),
+                });
+            }
+        }
+        let directions: Vec<Direction> = match &strategy {
+            RouteStrategy::Shortest => graph
+                .comms()
+                .map(|(_, c)| {
+                    ring.shortest_direction(mapping.node_of(c.src()), mapping.node_of(c.dst()))
+                })
+                .collect(),
+            RouteStrategy::Explicit(dirs) => {
+                if dirs.len() != graph.comm_count() {
+                    return Err(MappingError::WrongDirectionCount {
+                        comms: graph.comm_count(),
+                        entries: dirs.len(),
+                    });
+                }
+                dirs.clone()
+            }
+        };
+        let routes = graph
+            .comms()
+            .zip(&directions)
+            .map(|((_, c), &dir)| {
+                RingPath::new(&ring, mapping.node_of(c.src()), mapping.node_of(c.dst()), dir)
+            })
+            .collect();
+        Ok(Self {
+            graph,
+            mapping,
+            ring,
+            routes,
+        })
+    }
+
+    /// The task graph.
+    #[must_use]
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The task-to-core mapping.
+    #[must_use]
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The ring the application runs on.
+    #[must_use]
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// The routed path of a communication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comm` is out of range.
+    #[must_use]
+    pub fn route(&self, comm: CommId) -> &RingPath {
+        &self.routes[comm.0]
+    }
+
+    /// All routed paths, [`CommId`] order.
+    #[must_use]
+    pub fn routes(&self) -> &[RingPath] {
+        &self.routes
+    }
+
+    /// Pairs of communications whose paths share at least one directed
+    /// waveguide segment — the pairs that must use disjoint wavelength sets
+    /// (§III-D validity).
+    #[must_use]
+    pub fn overlapping_pairs(&self) -> Vec<(CommId, CommId)> {
+        let mut pairs = Vec::new();
+        for i in 0..self.routes.len() {
+            for j in (i + 1)..self.routes.len() {
+                if self.routes[i].overlaps(&self.routes[j]) {
+                    pairs.push((CommId(i), CommId(j)));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_units::{Bits, Cycles};
+
+    fn two_task_graph() -> TaskGraph {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", Cycles::new(5.0));
+        let b = tg.add_task("b", Cycles::new(5.0));
+        tg.add_comm(a, b, Bits::new(100.0)).unwrap();
+        tg
+    }
+
+    #[test]
+    fn injectivity_enforced() {
+        let tg = two_task_graph();
+        let err = Mapping::new(&tg, vec![NodeId(3), NodeId(3)]).unwrap_err();
+        assert!(matches!(err, MappingError::DuplicateCore { node: NodeId(3), .. }));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let tg = two_task_graph();
+        let err = Mapping::new(&tg, vec![NodeId(0)]).unwrap_err();
+        assert_eq!(
+            err,
+            MappingError::WrongLength {
+                tasks: 2,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_ring_node_rejected() {
+        let tg = two_task_graph();
+        let mapping = Mapping::new(&tg, vec![NodeId(0), NodeId(99)]).unwrap();
+        let err = MappedApplication::new(
+            tg,
+            mapping,
+            RingTopology::new(16),
+            RouteStrategy::Shortest,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MappingError::NodeOutOfRange { node: NodeId(99), .. }));
+    }
+
+    #[test]
+    fn shortest_strategy_routes_short_way() {
+        let tg = two_task_graph();
+        let mapping = Mapping::new(&tg, vec![NodeId(1), NodeId(15)]).unwrap();
+        let app = MappedApplication::new(
+            tg,
+            mapping,
+            RingTopology::new(16),
+            RouteStrategy::Shortest,
+        )
+        .unwrap();
+        assert_eq!(app.route(CommId(0)).direction(), Direction::CounterClockwise);
+        assert_eq!(app.route(CommId(0)).hops(), 2);
+    }
+
+    #[test]
+    fn explicit_strategy_respects_directions() {
+        let tg = two_task_graph();
+        let mapping = Mapping::new(&tg, vec![NodeId(1), NodeId(15)]).unwrap();
+        let app = MappedApplication::new(
+            tg,
+            mapping,
+            RingTopology::new(16),
+            RouteStrategy::Explicit(vec![Direction::Clockwise]),
+        )
+        .unwrap();
+        assert_eq!(app.route(CommId(0)).direction(), Direction::Clockwise);
+        assert_eq!(app.route(CommId(0)).hops(), 14);
+    }
+
+    #[test]
+    fn explicit_strategy_length_checked() {
+        let tg = two_task_graph();
+        let mapping = Mapping::new(&tg, vec![NodeId(1), NodeId(15)]).unwrap();
+        let err = MappedApplication::new(
+            tg,
+            mapping,
+            RingTopology::new(16),
+            RouteStrategy::Explicit(vec![]),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            MappingError::WrongDirectionCount {
+                comms: 1,
+                entries: 0
+            }
+        );
+    }
+
+    #[test]
+    fn overlapping_pairs_of_paper_app() {
+        let app = crate::workloads::paper_mapped_application();
+        let pairs = app.overlapping_pairs();
+        assert_eq!(pairs, vec![(CommId(0), CommId(1)), (CommId(3), CommId(4))]);
+    }
+}

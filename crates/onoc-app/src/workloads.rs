@@ -1,0 +1,427 @@
+//! Ready-made workloads: the paper's virtual application and synthetic
+//! task-graph generators.
+
+use onoc_topology::{Direction, NodeId, RingTopology};
+use onoc_units::{Bits, Cycles};
+use rand::Rng;
+
+use crate::{MappedApplication, Mapping, RouteStrategy, TaskGraph};
+
+/// The 6-task virtual application of Fig. 5(a), reconstructed per DESIGN.md
+/// substitution S1:
+///
+/// ```text
+/// T0 ──c0 (6 kb)──▶ T2 ──c3 (6 kb)──▶ T4 ──c5 (4 kb)──▶ T5
+/// T1 ──c1 (8 kb)──▶ T2
+/// T1 ──c2 (4 kb)──▶ T3 ──c4 (8 kb)──▶ T4
+/// ```
+///
+/// Every task runs for 5 kcc; the critical path T1→T2→T4→T5 gives the
+/// paper's 20 kcc "Min exe time" asymptote.
+#[must_use]
+pub fn paper_task_graph() -> TaskGraph {
+    let mut tg = TaskGraph::new();
+    let exec = Cycles::from_kilocycles(5.0);
+    let t: Vec<_> = (0..6).map(|i| tg.add_task(format!("T{i}"), exec)).collect();
+    let edges = [
+        (0, 2, 6.0), // c0
+        (1, 2, 8.0), // c1
+        (1, 3, 4.0), // c2
+        (2, 4, 6.0), // c3
+        (3, 4, 8.0), // c4
+        (4, 5, 4.0), // c5
+    ];
+    for (src, dst, kb) in edges {
+        tg.add_comm(t[src], t[dst], Bits::from_kilobits(kb))
+            .expect("paper edges are valid");
+    }
+    tg
+}
+
+/// The design-time placement of the paper tasks on the 16-core ring
+/// (DESIGN.md substitution S3): T0@0, T1@1, T2@3, T3@4, T4@7, T5@8.
+#[must_use]
+pub fn paper_mapping_nodes() -> Vec<NodeId> {
+    [0, 1, 3, 4, 7, 8].into_iter().map(NodeId).collect()
+}
+
+/// The ORNoC-style design-time direction of each communication: everything
+/// clockwise except `c2`, which takes the counter-clockwise waveguide so
+/// that only {c0, c1} and {c3, c4} share waveguide segments — the sharing
+/// structure implied by the paper's Pareto allocations.
+#[must_use]
+pub fn paper_directions() -> Vec<Direction> {
+    vec![
+        Direction::Clockwise,        // c0: 0 → 3
+        Direction::Clockwise,        // c1: 1 → 3
+        Direction::CounterClockwise, // c2: 1 → 4 the long way round
+        Direction::Clockwise,        // c3: 3 → 7
+        Direction::Clockwise,        // c4: 4 → 7
+        Direction::Clockwise,        // c5: 7 → 8
+    ]
+}
+
+/// The fully assembled paper instance: task graph, mapping and routes on a
+/// 16-node ring.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_app::workloads::paper_mapped_application;
+///
+/// let app = paper_mapped_application();
+/// assert_eq!(app.graph().task_count(), 6);
+/// assert_eq!(app.ring().node_count(), 16);
+/// ```
+#[must_use]
+pub fn paper_mapped_application() -> MappedApplication {
+    let graph = paper_task_graph();
+    let mapping = Mapping::new(&graph, paper_mapping_nodes()).expect("paper mapping is injective");
+    MappedApplication::new(
+        graph,
+        mapping,
+        RingTopology::new(16),
+        RouteStrategy::Explicit(paper_directions()),
+    )
+    .expect("paper instance is consistent")
+}
+
+/// A linear pipeline: `stages` tasks in a chain, each running `exec` and
+/// forwarding `volume` bits to its successor.
+///
+/// # Panics
+///
+/// Panics if `stages < 2`.
+#[must_use]
+pub fn pipeline(stages: usize, exec: Cycles, volume: Bits) -> TaskGraph {
+    assert!(stages >= 2, "a pipeline needs at least 2 stages, got {stages}");
+    let mut tg = TaskGraph::new();
+    let tasks: Vec<_> = (0..stages)
+        .map(|i| tg.add_task(format!("stage{i}"), exec))
+        .collect();
+    for w in tasks.windows(2) {
+        tg.add_comm(w[0], w[1], volume).expect("pipeline edges are valid");
+    }
+    tg
+}
+
+/// A fork-join kernel: one source scattering to `width` workers which gather
+/// into one sink.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn fork_join(width: usize, exec: Cycles, volume: Bits) -> TaskGraph {
+    assert!(width > 0, "fork-join needs at least one worker");
+    let mut tg = TaskGraph::new();
+    let src = tg.add_task("scatter", exec);
+    let workers: Vec<_> = (0..width)
+        .map(|i| tg.add_task(format!("worker{i}"), exec))
+        .collect();
+    let sink = tg.add_task("gather", exec);
+    for &w in &workers {
+        tg.add_comm(src, w, volume).expect("fork edges are valid");
+        tg.add_comm(w, sink, volume).expect("join edges are valid");
+    }
+    tg
+}
+
+/// A butterfly (FFT-style) kernel with `2^stages_log2` lanes: every stage
+/// exchanges data between lanes whose indices differ in one bit, the classic
+/// all-to-all-over-log-steps communication pattern.
+///
+/// Produces `lanes × (stages_log2 + 1)` tasks and `2 × lanes × stages_log2`
+/// communications (a straight edge plus a butterfly edge per task per
+/// stage).
+///
+/// # Panics
+///
+/// Panics if `stages_log2` is zero.
+#[must_use]
+pub fn butterfly(stages_log2: usize, exec: Cycles, volume: Bits) -> TaskGraph {
+    assert!(stages_log2 > 0, "butterfly needs at least one stage");
+    let lanes = 1usize << stages_log2;
+    let mut tg = TaskGraph::new();
+    let mut previous: Vec<_> = (0..lanes)
+        .map(|l| tg.add_task(format!("s0l{l}"), exec))
+        .collect();
+    for stage in 1..=stages_log2 {
+        let current: Vec<_> = (0..lanes)
+            .map(|l| tg.add_task(format!("s{stage}l{l}"), exec))
+            .collect();
+        let partner_bit = 1usize << (stage - 1);
+        for l in 0..lanes {
+            tg.add_comm(previous[l], current[l], volume)
+                .expect("straight butterfly edges are unique");
+            tg.add_comm(previous[l], current[l ^ partner_bit], volume)
+                .expect("cross butterfly edges are unique");
+        }
+        previous = current;
+    }
+    tg
+}
+
+/// A binary reduction tree over `leaves` inputs (leaves rounded up to the
+/// next power of two is *not* applied — `leaves` must already be a power of
+/// two).
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two greater than one.
+#[must_use]
+pub fn reduction_tree(leaves: usize, exec: Cycles, volume: Bits) -> TaskGraph {
+    assert!(
+        leaves.is_power_of_two() && leaves >= 2,
+        "reduction tree needs a power-of-two leaf count >= 2, got {leaves}"
+    );
+    let mut tg = TaskGraph::new();
+    let mut level: Vec<_> = (0..leaves)
+        .map(|i| tg.add_task(format!("leaf{i}"), exec))
+        .collect();
+    let mut depth = 0usize;
+    while level.len() > 1 {
+        depth += 1;
+        let next: Vec<_> = (0..level.len() / 2)
+            .map(|i| tg.add_task(format!("d{depth}n{i}"), exec))
+            .collect();
+        for (i, &parent) in next.iter().enumerate() {
+            tg.add_comm(level[2 * i], parent, volume)
+                .expect("left reduction edges are unique");
+            tg.add_comm(level[2 * i + 1], parent, volume)
+                .expect("right reduction edges are unique");
+        }
+        level = next;
+    }
+    tg
+}
+
+/// Configuration for [`random_layered_dag`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredDagConfig {
+    /// Number of layers (≥ 2).
+    pub layers: usize,
+    /// Tasks per layer (≥ 1).
+    pub width: usize,
+    /// Probability of an extra edge between consecutive-layer task pairs
+    /// beyond the connectivity backbone.
+    pub edge_probability: f64,
+    /// Task execution times are drawn uniformly from this range (cycles).
+    pub exec_range: (f64, f64),
+    /// Communication volumes are drawn uniformly from this range (bits).
+    pub volume_range: (f64, f64),
+}
+
+impl Default for LayeredDagConfig {
+    fn default() -> Self {
+        Self {
+            layers: 3,
+            width: 3,
+            edge_probability: 0.3,
+            exec_range: (2_000.0, 8_000.0),
+            volume_range: (1_000.0, 10_000.0),
+        }
+    }
+}
+
+/// Generates a random layered DAG: every task in layer `l+1` receives at
+/// least one input from layer `l` (so the graph is connected end to end) and
+/// additional same-layer-pair edges appear with `edge_probability`.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (fewer than 2 layers, zero
+/// width, empty ranges or a probability outside `[0, 1]`).
+pub fn random_layered_dag<R: Rng + ?Sized>(rng: &mut R, config: &LayeredDagConfig) -> TaskGraph {
+    assert!(config.layers >= 2, "need at least 2 layers");
+    assert!(config.width >= 1, "need at least 1 task per layer");
+    assert!(
+        (0.0..=1.0).contains(&config.edge_probability),
+        "edge probability must be in [0, 1]"
+    );
+    assert!(
+        config.exec_range.0 <= config.exec_range.1 && config.exec_range.0 >= 0.0,
+        "invalid execution-time range"
+    );
+    assert!(
+        config.volume_range.0 <= config.volume_range.1 && config.volume_range.0 > 0.0,
+        "invalid volume range"
+    );
+    let mut tg = TaskGraph::new();
+    let mut layers: Vec<Vec<crate::TaskId>> = Vec::with_capacity(config.layers);
+    for l in 0..config.layers {
+        let layer: Vec<_> = (0..config.width)
+            .map(|i| {
+                let exec = rng.random_range(config.exec_range.0..=config.exec_range.1);
+                tg.add_task(format!("L{l}T{i}"), Cycles::new(exec))
+            })
+            .collect();
+        layers.push(layer);
+    }
+    for l in 0..config.layers - 1 {
+        for (i, &dst) in layers[l + 1].iter().enumerate() {
+            // Backbone edge keeping every task reachable.
+            let backbone = layers[l][i % layers[l].len()];
+            let vol = rng.random_range(config.volume_range.0..=config.volume_range.1);
+            tg.add_comm(backbone, dst, Bits::new(vol))
+                .expect("backbone edges are unique");
+            for &src in &layers[l] {
+                if src != backbone && rng.random_bool(config.edge_probability) {
+                    let vol = rng.random_range(config.volume_range.0..=config.volume_range.1);
+                    tg.add_comm(src, dst, Bits::new(vol))
+                        .expect("extra edges are unique");
+                }
+            }
+        }
+    }
+    tg
+}
+
+/// Draws an injective random mapping of `task_count` tasks onto a
+/// `ring_size`-node ring (a partial Fisher–Yates shuffle).
+///
+/// # Panics
+///
+/// Panics if `task_count > ring_size` — Definition 3 requires one core per
+/// task.
+pub fn random_mapping<R: Rng + ?Sized>(
+    rng: &mut R,
+    task_count: usize,
+    ring_size: usize,
+) -> Vec<NodeId> {
+    assert!(
+        task_count <= ring_size,
+        "cannot map {task_count} tasks injectively onto {ring_size} cores"
+    );
+    let mut pool: Vec<usize> = (0..ring_size).collect();
+    for i in 0..task_count {
+        let j = rng.random_range(i..ring_size);
+        pool.swap(i, j);
+    }
+    pool.truncate(task_count);
+    pool.into_iter().map(NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_graph_shape() {
+        let tg = paper_task_graph();
+        assert_eq!(tg.task_count(), 6);
+        assert_eq!(tg.comm_count(), 6);
+        assert_eq!(tg.critical_path().unwrap().to_kilocycles(), 20.0);
+        // Volumes from the legible parts of Fig. 5: c0=6, c2=4, c4=8, c5=4 kb.
+        assert_eq!(tg.comm(crate::CommId(0)).volume().to_kilobits(), 6.0);
+        assert_eq!(tg.comm(crate::CommId(2)).volume().to_kilobits(), 4.0);
+        assert_eq!(tg.comm(crate::CommId(4)).volume().to_kilobits(), 8.0);
+        assert_eq!(tg.comm(crate::CommId(5)).volume().to_kilobits(), 4.0);
+    }
+
+    #[test]
+    fn paper_app_routes() {
+        let app = paper_mapped_application();
+        // c2 takes the counter-clockwise waveguide.
+        assert_eq!(
+            app.route(crate::CommId(2)).direction(),
+            Direction::CounterClockwise
+        );
+        assert_eq!(app.route(crate::CommId(2)).hops(), 13);
+        // c5 is a single clockwise hop 7 → 8.
+        assert_eq!(app.route(crate::CommId(5)).hops(), 1);
+    }
+
+    #[test]
+    fn pipeline_shape() {
+        let tg = pipeline(5, Cycles::new(10.0), Bits::new(100.0));
+        assert_eq!(tg.task_count(), 5);
+        assert_eq!(tg.comm_count(), 4);
+        assert_eq!(tg.sources().count(), 1);
+        assert_eq!(tg.sinks().count(), 1);
+        assert_eq!(tg.critical_path().unwrap(), Cycles::new(50.0));
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let tg = fork_join(4, Cycles::new(10.0), Bits::new(100.0));
+        assert_eq!(tg.task_count(), 6);
+        assert_eq!(tg.comm_count(), 8);
+        // Three layers of 10 cycles each.
+        assert_eq!(tg.critical_path().unwrap(), Cycles::new(30.0));
+    }
+
+    #[test]
+    fn butterfly_shape() {
+        let tg = butterfly(3, Cycles::new(10.0), Bits::new(100.0));
+        // 8 lanes × 4 stage-rows of tasks; 2 edges per lane per stage.
+        assert_eq!(tg.task_count(), 32);
+        assert_eq!(tg.comm_count(), 48);
+        assert!(tg.topological_order().is_ok());
+        // Depth = stages + 1 rows of 10 cycles.
+        assert_eq!(tg.critical_path().unwrap(), Cycles::new(40.0));
+    }
+
+    #[test]
+    fn butterfly_partners_differ_in_one_bit() {
+        let tg = butterfly(2, Cycles::new(1.0), Bits::new(1.0));
+        // Stage 1 (partner bit 1): lane 0 row 0 feeds lanes 0 and 1 of row 1.
+        let outs: Vec<_> = tg.outgoing(crate::TaskId(0)).iter().map(|&c| tg.comm(c).dst().0).collect();
+        assert_eq!(outs, vec![4, 5]);
+    }
+
+    #[test]
+    fn reduction_tree_shape() {
+        let tg = reduction_tree(8, Cycles::new(10.0), Bits::new(100.0));
+        // 8 + 4 + 2 + 1 tasks; 14 edges.
+        assert_eq!(tg.task_count(), 15);
+        assert_eq!(tg.comm_count(), 14);
+        assert_eq!(tg.sinks().count(), 1);
+        assert_eq!(tg.critical_path().unwrap(), Cycles::new(40.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn lopsided_reduction_rejected() {
+        let _ = reduction_tree(6, Cycles::new(1.0), Bits::new(1.0));
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_and_connected_forward() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let tg = random_layered_dag(&mut rng, &LayeredDagConfig::default());
+            assert!(tg.topological_order().is_ok());
+            // Every non-first-layer task has at least one input.
+            let sources = tg.sources().count();
+            assert!(sources <= LayeredDagConfig::default().width);
+        }
+    }
+
+    #[test]
+    fn random_dag_is_deterministic_under_seed() {
+        let a = random_layered_dag(&mut StdRng::seed_from_u64(3), &LayeredDagConfig::default());
+        let b = random_layered_dag(&mut StdRng::seed_from_u64(3), &LayeredDagConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_mapping_is_injective() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let m = random_mapping(&mut rng, 6, 16);
+            let set: std::collections::HashSet<_> = m.iter().collect();
+            assert_eq!(set.len(), 6);
+            assert!(m.iter().all(|n| n.0 < 16));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injectively")]
+    fn oversubscribed_mapping_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_mapping(&mut rng, 17, 16);
+    }
+}

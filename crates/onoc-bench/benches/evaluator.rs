@@ -1,0 +1,34 @@
+//! Micro-benchmark: full three-objective evaluation throughput.
+//!
+//! The GA performs ~120k of these per run, so this number bounds the cost
+//! of every figure in the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onoc_wa::ProblemInstance;
+use std::hint::black_box;
+
+fn bench_evaluator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate");
+    for nw in [4usize, 8, 12] {
+        let instance = ProblemInstance::paper_with_wavelengths(nw);
+        let evaluator = instance.evaluator();
+        let frugal = instance.allocation_from_counts(&[1; 6]).unwrap();
+        let dense_counts: Vec<usize> =
+            vec![nw / 2, nw - nw / 2, nw, nw / 2, nw - nw / 2, nw];
+        let dense = instance.allocation_from_counts(&dense_counts).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("frugal", nw), &frugal, |b, alloc| {
+            b.iter(|| black_box(evaluator.evaluate(black_box(alloc))));
+        });
+        group.bench_with_input(BenchmarkId::new("dense", nw), &dense, |b, alloc| {
+            b.iter(|| black_box(evaluator.evaluate(black_box(alloc))));
+        });
+        group.bench_with_input(BenchmarkId::new("makespan_only", nw), &dense, |b, alloc| {
+            b.iter(|| black_box(evaluator.makespan(black_box(alloc))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluator);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Micro-benchmark: fast non-dominated sort scaling in population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use onoc_wa::nsga2_sort::fast_nondominated_sort;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_objectives(n: usize, arity: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..arity).map(|_| rng.random_range(0.0..100.0)).collect())
+        .collect()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_nondominated_sort");
+    for n in [100usize, 400, 800, 1600] {
+        for arity in [2usize, 3] {
+            let objs = random_objectives(n, arity, 42);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{arity}obj"), n),
+                &objs,
+                |b, objs| {
+                    b.iter(|| black_box(fast_nondominated_sort(black_box(objs))));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmark: NSGA-II end-to-end cost per comb size.
+//!
+//! Quantifies the O(N_l²·N_W²) complexity claim of §IV: generations and
+//! population are fixed, the comb size sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onoc_wa::{Nsga2, Nsga2Config, ObjectiveSet, ProblemInstance};
+use std::hint::black_box;
+
+fn bench_nsga2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsga2_small_run");
+    group.sample_size(10);
+    for nw in [4usize, 8, 12] {
+        let instance = ProblemInstance::paper_with_wavelengths(nw);
+        let evaluator = instance.evaluator();
+        group.bench_with_input(BenchmarkId::from_parameter(nw), &nw, |b, _| {
+            b.iter(|| {
+                let config = Nsga2Config {
+                    population_size: 40,
+                    generations: 10,
+                    objectives: ObjectiveSet::TimeEnergyBer,
+                    seed: 1,
+                    ..Nsga2Config::default()
+                };
+                black_box(Nsga2::new(&evaluator, config).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nsga2);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Micro-benchmark: analytic schedule evaluation vs task-graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use onoc_app::{workloads, Schedule};
+use onoc_units::BitsPerCycle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_evaluate");
+    for (layers, width) in [(3usize, 3usize), (5, 5), (8, 8), (12, 10)] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let graph = workloads::random_layered_dag(
+            &mut rng,
+            &workloads::LayeredDagConfig {
+                layers,
+                width,
+                edge_probability: 0.3,
+                exec_range: (1_000.0, 5_000.0),
+                volume_range: (500.0, 8_000.0),
+            },
+        );
+        let schedule = Schedule::new(&graph, BitsPerCycle::new(1.0)).unwrap();
+        let counts = vec![2usize; graph.comm_count()];
+        group.throughput(Throughput::Elements(graph.comm_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "{}t_{}c",
+                graph.task_count(),
+                graph.comm_count()
+            )),
+            &counts,
+            |b, counts| {
+                b.iter(|| black_box(schedule.evaluate(black_box(counts)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

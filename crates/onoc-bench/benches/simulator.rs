@@ -1,0 +1,64 @@
+//! Micro-benchmark: discrete-event simulation vs task-graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onoc_app::{workloads, MappedApplication, Mapping, RouteStrategy};
+use onoc_sim::Simulator;
+use onoc_topology::{OnocArchitecture, RingTopology};
+use onoc_units::BitsPerCycle;
+use onoc_wa::{heuristics, EvalOptions, ProblemInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_run");
+
+    // The paper instance.
+    let paper = ProblemInstance::paper_with_wavelengths(8);
+    let alloc = paper.allocation_from_counts(&[3, 4, 8, 5, 3, 8]).unwrap();
+    group.bench_function("paper_app", |b| {
+        let sim = Simulator::new(paper.app(), &alloc, BitsPerCycle::new(1.0)).unwrap();
+        b.iter(|| black_box(sim.run().unwrap()));
+    });
+
+    // Random DAGs of growing size.
+    for (layers, width) in [(3usize, 3usize), (5, 3), (4, 4)] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let graph = workloads::random_layered_dag(
+            &mut rng,
+            &workloads::LayeredDagConfig {
+                layers,
+                width,
+                edge_probability: 0.3,
+                exec_range: (1_000.0, 5_000.0),
+                volume_range: (500.0, 8_000.0),
+            },
+        );
+        let nodes = workloads::random_mapping(&mut rng, graph.task_count(), 16);
+        let mapping = Mapping::new(&graph, nodes).unwrap();
+        let app = MappedApplication::new(
+            graph,
+            mapping,
+            RingTopology::new(16),
+            RouteStrategy::Shortest,
+        )
+        .unwrap();
+        let arch = OnocArchitecture::paper_architecture(16);
+        let inst = ProblemInstance::new(arch, app, EvalOptions::default()).unwrap();
+        let Ok(alloc) = heuristics::first_fit(&inst) else {
+            continue;
+        };
+        group.bench_with_input(
+            BenchmarkId::new("random_dag", format!("{layers}x{width}")),
+            &alloc,
+            |b, alloc| {
+                let sim = Simulator::new(inst.app(), alloc, BitsPerCycle::new(1.0)).unwrap();
+                b.iter(|| black_box(sim.run().unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

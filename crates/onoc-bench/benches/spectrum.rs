@@ -1,0 +1,43 @@
+//! Micro-benchmark: receiver-spectrum engine cost vs comb size and
+//! crosstalk model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onoc_topology::{CrosstalkModel, SpectrumEngine, Transmission};
+use onoc_wa::ProblemInstance;
+use std::hint::black_box;
+
+fn traffic_for(instance: &ProblemInstance) -> Vec<Transmission> {
+    let nw = instance.wavelength_count();
+    let counts: Vec<usize> = vec![nw / 2, nw - nw / 2, nw, nw / 2, nw - nw / 2, nw];
+    let alloc = instance.allocation_from_counts(&counts).unwrap();
+    let app = instance.app();
+    app.graph()
+        .comms()
+        .map(|(id, _)| Transmission::new(id.0, *app.route(id), alloc.channels(id)))
+        .collect()
+}
+
+fn bench_spectrum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectrum_analyze");
+    for nw in [4usize, 8, 12, 16] {
+        let instance = ProblemInstance::paper_with_wavelengths(nw);
+        let traffic = traffic_for(&instance);
+        for model in [CrosstalkModel::PaperFirstOrder, CrosstalkModel::Elementwise] {
+            group.bench_with_input(
+                BenchmarkId::new(model.to_string(), nw),
+                &traffic,
+                |b, traffic| {
+                    b.iter(|| {
+                        let engine =
+                            SpectrumEngine::with_model(instance.arch(), traffic, model).unwrap();
+                        black_box(engine.analyze().unwrap())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectrum);
+criterion_main!(benches);

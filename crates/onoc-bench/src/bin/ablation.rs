@@ -1,0 +1,134 @@
+//! E9 — model ablations.
+//!
+//! Three studies on fixed allocations of the paper instance:
+//!
+//! 1. **SNR convention** (DESIGN.md S5): Eq. 9 fed with the dB value of the
+//!    SNR (paper behaviour) vs the literal linear SNR.
+//! 2. **Crosstalk model**: the paper's first-order accumulation vs the
+//!    element-wise stack walk with `Kp1` residues.
+//! 3. **Channel-spacing sweep** (Chittamuru-style): BER of the frugal and
+//!    of a dense allocation as the comb widens at fixed FSR.
+
+use onoc_bench::print_csv;
+use onoc_photonics::BerConvention;
+use onoc_topology::CrosstalkModel;
+use onoc_wa::{EvalOptions, ProblemInstance};
+
+fn instance_with(nw: usize, conv: BerConvention, model: CrosstalkModel) -> ProblemInstance {
+    let base = ProblemInstance::paper_with_wavelengths(nw);
+    ProblemInstance::new(
+        base.arch().clone(),
+        onoc_app::workloads::paper_mapped_application(),
+        EvalOptions {
+            ber_convention: conv,
+            crosstalk_model: model,
+            ..EvalOptions::default()
+        },
+    )
+    .expect("paper instance variants are consistent")
+}
+
+fn main() {
+    println!("Model ablations on the paper instance\n");
+    let mut csv = Vec::new();
+
+    // --- 1 & 2: convention × crosstalk model grid at 8 λ -----------------
+    let counts = [3usize, 4, 8, 5, 3, 8]; // the 8-λ time optimum
+    println!("Allocation {counts:?} at 8 λ:");
+    println!(
+        "{:<24}{:<22}{:>12}",
+        "SNR convention", "crosstalk model", "log10(BER)"
+    );
+    for conv in [BerConvention::PaperDb, BerConvention::Linear] {
+        for model in [CrosstalkModel::PaperFirstOrder, CrosstalkModel::Elementwise] {
+            let inst = instance_with(8, conv, model);
+            let ev = inst.evaluator();
+            let alloc = inst.allocation_from_counts(&counts).unwrap();
+            let o = ev.evaluate(&alloc).unwrap();
+            println!("{:<24}{:<22}{:>12.3}", conv.to_string(), model.to_string(), o.avg_log_ber);
+            csv.push(format!("grid,{conv},{model},{:.4}", o.avg_log_ber));
+        }
+    }
+    println!(
+        "\nThe paper's reported window (−3.7 … −3.0) is reproduced only by the\n\
+         dB convention; the literal reading of Eq. 9 predicts error-free links.\n"
+    );
+
+    // --- 3: channel-spacing sweep ----------------------------------------
+    println!("Channel-spacing sweep (fixed 12.8 nm FSR):");
+    println!(
+        "{:>4}{:>14}{:>18}{:>18}",
+        "NW", "spacing (nm)", "frugal log10BER", "dense log10BER"
+    );
+    for nw in [4usize, 6, 8, 10, 12, 16] {
+        let inst = instance_with(nw, BerConvention::PaperDb, CrosstalkModel::PaperFirstOrder);
+        let ev = inst.evaluator();
+        let spacing = inst.arch().grid().spacing().value();
+        let frugal = inst.allocation_from_counts(&[1; 6]).unwrap();
+        let frugal_ber = ev.evaluate(&frugal).unwrap().avg_log_ber;
+        // Dense: split each sharing group evenly, give loners half the comb.
+        let half = (nw / 2).max(1);
+        let dense_counts = [half, nw - half, nw, half, nw - half, nw];
+        let dense_ber = inst
+            .allocation_from_counts(&dense_counts)
+            .ok()
+            .and_then(|a| ev.evaluate(&a))
+            .map(|o| o.avg_log_ber);
+        match dense_ber {
+            Some(b) => {
+                println!("{nw:>4}{spacing:>14.3}{frugal_ber:>18.3}{b:>18.3}");
+                csv.push(format!("sweep,{nw},{spacing:.4},{frugal_ber:.4},{b:.4}"));
+            }
+            None => {
+                println!("{nw:>4}{spacing:>14.3}{frugal_ber:>18.3}{:>18}", "n/a");
+                csv.push(format!("sweep,{nw},{spacing:.4},{frugal_ber:.4},"));
+            }
+        }
+    }
+    println!(
+        "\nDenser combs shrink the spacing and pull the dense-allocation BER\n\
+         up; the frugal allocation barely moves (its channels stay far apart\n\
+         after constraint-aware packing).\n"
+    );
+
+    // --- 4: worst-case bounds vs application-aware analysis ---------------
+    // Nikdast-style design-time bounds (every channel active, injected one
+    // hop upstream) against what the paper instance actually experiences.
+    println!("Worst-case crosstalk bound (Nikdast-style) vs application reality:");
+    println!(
+        "{:>4}{:>22}{:>22}",
+        "NW", "worst-case log10BER", "paper-app log10BER"
+    );
+    for nw in [4usize, 8, 12] {
+        let inst = instance_with(nw, BerConvention::PaperDb, CrosstalkModel::PaperFirstOrder);
+        let ev = inst.evaluator();
+        let arch = inst.arch();
+        let p0 = arch.laser().power_off().to_milliwatts();
+        let worst = onoc_topology::worst_case_bounds(
+            arch,
+            onoc_topology::NodeId(3),
+            onoc_topology::Direction::Clockwise,
+        )
+        .iter()
+        .map(|b| b.worst_log_ber(p0, BerConvention::PaperDb))
+        .fold(f64::NEG_INFINITY, f64::max);
+        let dense_counts: Vec<usize> = vec![nw / 2, nw - nw / 2, nw, nw / 2, nw - nw / 2, nw];
+        let app_ber = inst
+            .allocation_from_counts(&dense_counts)
+            .ok()
+            .and_then(|a| ev.evaluate(&a))
+            .map_or(f64::NAN, |o| o.avg_log_ber);
+        println!("{nw:>4}{worst:>22.3}{app_ber:>22.3}");
+        csv.push(format!("worst_case,{nw},{worst:.4},{app_ber:.4}"));
+    }
+    println!(
+        "\nThe bound misjudges the application in both directions: sparse\n\
+         allocations sit far inside it (sizing lasers against the bound\n\
+         wastes their margin), while maximally dense allocations can exceed\n\
+         it — the bound assumes an all-OFF victim path and misses the\n\
+         intra-communication ON-ring losses dense points pay. Either way,\n\
+         only the application-aware analysis prices a concrete design point\n\
+         (the paper's §II argument against worst-case-only design)."
+    );
+    print_csv("ablation", "study,a,b,c,d", &csv);
+}

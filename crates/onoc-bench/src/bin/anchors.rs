@@ -1,0 +1,80 @@
+//! E6 — headline anchors: paper-reported numbers vs the reproduction.
+//!
+//! Uses the exhaustive count oracle (not the GA) so the comparison is
+//! against ground truth of the reconstructed instance.
+
+use onoc_bench::{paper_counts, print_csv};
+use onoc_wa::{exhaustive, ProblemInstance};
+
+fn main() {
+    println!("Headline anchors — paper vs reproduction (exhaustive oracle)\n");
+    let mut csv = Vec::new();
+
+    // Optimised execution times per comb size.
+    let paper_best = [(4usize, 28.3f64), (8, 23.8), (12, 22.96)];
+    println!("{:>4} {:>18} {:>18}   witness counts", "NW", "best exec (paper)", "best exec (ours)");
+    for (nw, paper_kcc) in paper_best {
+        let instance = ProblemInstance::paper_with_wavelengths(nw);
+        let evaluator = instance.evaluator();
+        let (counts, makespan) = exhaustive::time_optimal_counts(&instance, &evaluator);
+        println!(
+            "{:>4} {:>18.2} {:>18.2}   {}",
+            nw,
+            paper_kcc,
+            makespan.to_kilocycles(),
+            paper_counts(&counts)
+        );
+        csv.push(format!(
+            "best_exec_nw{nw},{paper_kcc},{:.4}",
+            makespan.to_kilocycles()
+        ));
+    }
+
+    // The frugal corner and the asymptote. For the BER anchor, place the
+    // six single wavelengths with maximum spectral spread (the canonical
+    // low-index packing puts c0/c1 on adjacent channels, which is a valid
+    // but BER-pessimal representative of the [1,…,1] count vector).
+    let instance = ProblemInstance::paper_with_wavelengths(12);
+    let evaluator = instance.evaluator();
+    let frugal = instance.allocation_from_counts(&[1; 6]).unwrap();
+    let o = evaluator.evaluate(&frugal).unwrap();
+    let mut spread = onoc_wa::Allocation::new(6, 12);
+    for (k, w) in [0usize, 11, 0, 0, 11, 0].into_iter().enumerate() {
+        spread.set(onoc_app::CommId(k), onoc_photonics::WavelengthId(w), true);
+    }
+    let o_spread = evaluator.evaluate(&spread).expect("spread frugal is valid");
+    println!("\n[1,1,1,1,1,1] execution time : {:.1} kcc (paper: ~40 kcc, rightmost Fig. 6 point)", o.exec_time.to_kilocycles());
+    println!("[1,1,1,1,1,1] bit energy     : {:.2} fJ/bit (paper: ~3.5 fJ/bit)", o.bit_energy.value());
+    println!(
+        "[1,1,1,1,1,1] log10(BER)     : {:.2} packed / {:.2} spread (paper: ~-3.7, best Fig. 6(b) BER)",
+        o.avg_log_ber, o_spread.avg_log_ber
+    );
+    csv.push(format!("frugal_exec_kcc,40,{:.4}", o.exec_time.to_kilocycles()));
+    csv.push(format!("frugal_energy_fj,3.5,{:.4}", o.bit_energy.value()));
+    csv.push(format!("frugal_log_ber,-3.7,{:.4}", o_spread.avg_log_ber));
+
+    let schedule =
+        onoc_app::Schedule::new(instance.app().graph(), instance.options().rate).unwrap();
+    println!(
+        "Min exe time asymptote       : {:.1} kcc (paper: 20 kcc)",
+        schedule.min_makespan().to_kilocycles()
+    );
+    csv.push(format!(
+        "min_exec_kcc,20,{:.4}",
+        schedule.min_makespan().to_kilocycles()
+    ));
+
+    // The busiest reported 12-λ point.
+    let rich = instance.allocation_from_counts(&[2, 8, 6, 6, 4, 7]).unwrap();
+    let o = evaluator.evaluate(&rich).unwrap();
+    println!(
+        "[2,8,6,6,4,7] @12λ           : {:.2} kcc, {:.2} fJ/bit, log BER {:.2} (paper: 22.96 kcc, ~7.5-8 fJ/bit)",
+        o.exec_time.to_kilocycles(),
+        o.bit_energy.value(),
+        o.avg_log_ber
+    );
+    csv.push(format!("rich_exec_kcc,22.96,{:.4}", o.exec_time.to_kilocycles()));
+    csv.push(format!("rich_energy_fj,7.8,{:.4}", o.bit_energy.value()));
+
+    print_csv("anchors", "anchor,paper,ours", &csv);
+}

@@ -1,0 +1,99 @@
+//! E8 — classical WA heuristics vs the NSGA-II front (8 λ).
+//!
+//! The single-wavelength heuristics from the related work (Random,
+//! First-Fit, Most-Used, Least-Used) all land on the slow/frugal corner;
+//! the greedy makespan baseline buys speed with energy; only the
+//! multi-objective search exposes the whole trade-off curve.
+
+use onoc_bench::{paper_counts, print_csv, Scale};
+use onoc_wa::{heuristics, Nsga2, ObjectiveSet, ProblemInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!("Baselines vs GA front at 8 λ, scale: {scale}\n");
+
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let evaluator = instance.evaluator();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let named: Vec<(&str, onoc_wa::Allocation)> = vec![
+        ("first-fit", heuristics::first_fit(&instance).unwrap()),
+        ("most-used", heuristics::most_used(&instance).unwrap()),
+        ("least-used", heuristics::least_used(&instance).unwrap()),
+        (
+            "random",
+            heuristics::random_single(&instance, &mut rng, 10_000).unwrap(),
+        ),
+        (
+            "greedy-makespan",
+            heuristics::greedy_makespan(&instance, &evaluator).unwrap(),
+        ),
+    ];
+
+    println!(
+        "{:<18}{:>12}{:>16}{:>12}   counts",
+        "heuristic", "exec (kcc)", "energy (fJ/bit)", "log10(BER)"
+    );
+    let mut csv = Vec::new();
+    for (name, alloc) in &named {
+        let o = evaluator.evaluate(alloc).expect("heuristics produce valid allocations");
+        println!(
+            "{name:<18}{:>12.2}{:>16.2}{:>12.3}   {}",
+            o.exec_time.to_kilocycles(),
+            o.bit_energy.value(),
+            o.avg_log_ber,
+            paper_counts(&alloc.counts())
+        );
+        csv.push(format!(
+            "{name},{:.4},{:.4},{:.4}",
+            o.exec_time.to_kilocycles(),
+            o.bit_energy.value(),
+            o.avg_log_ber
+        ));
+    }
+
+    // The GA front for comparison (time–energy view).
+    let outcome = Nsga2::new(
+        &evaluator,
+        scale.ga_config(ObjectiveSet::TimeEnergy, 2017),
+    )
+    .run();
+    println!("\nGA Pareto front ({} points):", outcome.front.len());
+    for p in outcome.front.points() {
+        println!(
+            "{:<18}{:>12.2}{:>16.2}{:>12.3}   {}",
+            "nsga-ii",
+            p.objectives.exec_time.to_kilocycles(),
+            p.objectives.bit_energy.value(),
+            p.objectives.avg_log_ber,
+            paper_counts(&p.allocation.counts())
+        );
+        csv.push(format!(
+            "nsga-ii,{:.4},{:.4},{:.4}",
+            p.objectives.exec_time.to_kilocycles(),
+            p.objectives.bit_energy.value(),
+            p.objectives.avg_log_ber
+        ));
+    }
+
+    // How many heuristic points are dominated by the front?
+    let dominated = named
+        .iter()
+        .filter(|(_, alloc)| {
+            let o = evaluator.evaluate(alloc).unwrap();
+            let v = o.values(ObjectiveSet::TimeEnergy);
+            outcome
+                .front
+                .points()
+                .iter()
+                .any(|p| onoc_wa::dominates(&p.values, &v))
+        })
+        .count();
+    println!(
+        "\n{dominated}/{} heuristic points are strictly dominated by the GA front.",
+        named.len()
+    );
+    print_csv("baselines", "method,exec_kcc,bit_energy_fj,log10_ber", &csv);
+}

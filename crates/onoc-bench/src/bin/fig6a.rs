@@ -1,0 +1,73 @@
+//! E2 — Fig. 6(a): Pareto fronts, bit energy vs global execution time, for
+//! NW ∈ {4, 8, 12}.
+//!
+//! Expected shape (paper): the minimum-energy solution is `[1,1,1,1,1,1]`
+//! at every comb size; optimised execution times are annotated as 28.3 kcc
+//! (4λ), 23.8 kcc (8λ) and 22.96 kcc (12λ) and approach the 20 kcc minimum;
+//! bit energy grows with the number of reserved wavelengths, spanning
+//! roughly 3.5–8 fJ/bit.
+
+use onoc_bench::{paper_counts, print_csv, Scale};
+use onoc_wa::{explore, ObjectiveSet};
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!("Fig. 6(a) — bit energy vs execution time, scale: {scale}\n");
+
+    let entries = explore::sweep_paper_nw(
+        &[4, 8, 12],
+        scale.ga_config(ObjectiveSet::TimeEnergy, 2017),
+    );
+
+    let mut csv = Vec::new();
+    for entry in &entries {
+        let nw = entry.wavelengths;
+        println!("NW = {nw} λ — {} Pareto points", entry.outcome.front.len());
+        println!(
+            "{:>14}{:>16}   reserved wavelengths",
+            "exec (kcc)", "energy (fJ/bit)"
+        );
+        for p in entry.outcome.front.points() {
+            println!(
+                "{:>14.2}{:>16.2}   {}",
+                p.objectives.exec_time.to_kilocycles(),
+                p.objectives.bit_energy.value(),
+                paper_counts(&p.allocation.counts())
+            );
+            csv.push(format!(
+                "{nw},{:.4},{:.4},{}",
+                p.objectives.exec_time.to_kilocycles(),
+                p.objectives.bit_energy.value(),
+                p.allocation
+                    .counts()
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("|")
+            ));
+        }
+        let best = entry
+            .outcome
+            .front
+            .points()
+            .iter()
+            .map(|p| p.objectives.exec_time.to_kilocycles())
+            .fold(f64::INFINITY, f64::min);
+        let paper_best = match nw {
+            4 => 28.3,
+            8 => 23.8,
+            _ => 22.96,
+        };
+        println!("  optimised exec time: {best:.2} kcc (paper: {paper_best} kcc)\n");
+    }
+
+    let min_time = onoc_wa::ProblemInstance::paper_with_wavelengths(4);
+    let schedule =
+        onoc_app::Schedule::new(min_time.app().graph(), min_time.options().rate).unwrap();
+    println!(
+        "Min exe time asymptote: {} kcc (paper: 20 kcc)",
+        schedule.min_makespan().to_kilocycles()
+    );
+
+    print_csv("fig6a", "nw,exec_kcc,bit_energy_fj,counts", &csv);
+}

@@ -1,0 +1,54 @@
+//! E3 — Fig. 6(b): Pareto fronts, log10(average BER) vs global execution
+//! time, for NW ∈ {4, 8, 12}.
+//!
+//! Expected shape (paper): execution time falls as more wavelengths are
+//! reserved while log10(BER) degrades from about −3.7 towards −3.0; the
+//! comb size itself barely moves the BER (fixed FSR ⇒ the spacing shrinks
+//! but the co-propagation pattern dominates).
+
+use onoc_bench::{paper_counts, print_csv, Scale};
+use onoc_wa::{explore, ObjectiveSet};
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!("Fig. 6(b) — average BER vs execution time, scale: {scale}\n");
+
+    let entries =
+        explore::sweep_paper_nw(&[4, 8, 12], scale.ga_config(ObjectiveSet::TimeBer, 2017));
+
+    let mut csv = Vec::new();
+    for entry in &entries {
+        let nw = entry.wavelengths;
+        println!("NW = {nw} λ — {} Pareto points", entry.outcome.front.len());
+        println!(
+            "{:>14}{:>16}   reserved wavelengths",
+            "exec (kcc)", "log10(BER)"
+        );
+        for p in entry.outcome.front.points() {
+            println!(
+                "{:>14.2}{:>16.3}   {}",
+                p.objectives.exec_time.to_kilocycles(),
+                p.objectives.avg_log_ber,
+                paper_counts(&p.allocation.counts())
+            );
+            csv.push(format!(
+                "{nw},{:.4},{:.4},{}",
+                p.objectives.exec_time.to_kilocycles(),
+                p.objectives.avg_log_ber,
+                p.allocation
+                    .counts()
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("|")
+            ));
+        }
+        let (lo, hi) = entry.outcome.front.points().iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), p| (lo.min(p.objectives.avg_log_ber), hi.max(p.objectives.avg_log_ber)),
+        );
+        println!("  log10(BER) span: {lo:.2} … {hi:.2} (paper window: −3.7 … −3.0)\n");
+    }
+
+    print_csv("fig6b", "nw,exec_kcc,log10_ber,counts", &csv);
+}

@@ -1,0 +1,93 @@
+//! E4 — Fig. 7: every valid allocation the 8-λ GA run generates, scattered
+//! in the (execution time, log BER) plane, with the Pareto front marked.
+//!
+//! Expected shape (paper): a large cloud of valid solutions (86,525 in the
+//! paper's run) far from the front, with only a few dozen points on the
+//! front itself — the figure that motivates doing WA carefully at all.
+
+use onoc_bench::{print_csv, Scale};
+use onoc_wa::{Nsga2, ObjectiveSet, ProblemInstance};
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!("Fig. 7 — valid 8λ allocations in the (time, BER) plane, scale: {scale}\n");
+
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let evaluator = instance.evaluator();
+    let config = scale.ga_config(ObjectiveSet::TimeBer, 2017);
+
+    // Collect every distinct valid evaluation the GA performs.
+    let mut seen = std::collections::HashSet::<Vec<bool>>::new();
+    let mut cloud: Vec<(f64, f64)> = Vec::new();
+    let outcome = Nsga2::new(&evaluator, config).run_with_observers(
+        |_, _| {},
+        |alloc, objectives| {
+            if let Some(o) = objectives {
+                if seen.insert(alloc.genes().to_vec()) {
+                    cloud.push((o.exec_time.to_kilocycles(), o.avg_log_ber));
+                }
+            }
+        },
+    );
+
+    println!("valid solutions generated : {}", outcome.stats.valid_evaluations);
+    println!("distinct valid solutions  : {}", cloud.len());
+    println!("solutions on Pareto front : {}", outcome.front.len());
+    println!("(paper: 86,525 valid, 29 on the front)\n");
+
+    // Print a coarse 2-D histogram so the cloud's shape is visible in text.
+    let (tmin, tmax) = cloud
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(t, _)| {
+            (lo.min(t), hi.max(t))
+        });
+    let (bmin, bmax) = cloud
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, b)| {
+            (lo.min(b), hi.max(b))
+        });
+    const COLS: usize = 60;
+    const ROWS: usize = 18;
+    let mut grid = vec![[0usize; COLS]; ROWS];
+    for &(t, b) in &cloud {
+        let c = (((t - tmin) / (tmax - tmin + 1e-12)) * (COLS as f64 - 1.0)) as usize;
+        let r = (((b - bmin) / (bmax - bmin + 1e-12)) * (ROWS as f64 - 1.0)) as usize;
+        grid[ROWS - 1 - r][c] += 1;
+    }
+    println!("log10(BER) {bmax:.2} (top) … {bmin:.2} (bottom)");
+    for row in &grid {
+        let line: String = row
+            .iter()
+            .map(|&n| match n {
+                0 => ' ',
+                1..=2 => '.',
+                3..=9 => '+',
+                _ => '#',
+            })
+            .collect();
+        println!("|{line}|");
+    }
+    println!(
+        "exec time {tmin:.1} kcc (left) … {tmax:.1} kcc (right); front points marked below"
+    );
+    for p in outcome.front.points() {
+        println!(
+            "  front: {:>7.2} kcc   log10(BER) {:>7.3}",
+            p.objectives.exec_time.to_kilocycles(),
+            p.objectives.avg_log_ber
+        );
+    }
+
+    let rows: Vec<String> = cloud
+        .iter()
+        .map(|&(t, b)| format!("{t:.4},{b:.4},cloud"))
+        .chain(outcome.front.points().iter().map(|p| {
+            format!(
+                "{:.4},{:.4},front",
+                p.objectives.exec_time.to_kilocycles(),
+                p.objectives.avg_log_ber
+            )
+        }))
+        .collect();
+    print_csv("fig7", "exec_kcc,log10_ber,kind", &rows);
+}

@@ -1,0 +1,86 @@
+//! E10 — the paper's future-work extension: joint task-mapping +
+//! wavelength-allocation exploration.
+//!
+//! Compares three placements of the 6-task application on the 16-core ring
+//! at 8 λ: the paper's hand placement, a random placement, and the mapping
+//! found by the hill-climb of `onoc_wa::mapping_search` — each scored by
+//! greedy wavelength allocation.
+
+use onoc_app::{workloads, MappedApplication, Mapping, RouteStrategy};
+use onoc_bench::print_csv;
+use onoc_topology::{OnocArchitecture, RingTopology};
+use onoc_wa::{heuristics, mapping_search, EvalOptions, ProblemInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn score(arch: &OnocArchitecture, nodes: Vec<onoc_topology::NodeId>) -> Option<f64> {
+    let graph = workloads::paper_task_graph();
+    let mapping = Mapping::new(&graph, nodes).ok()?;
+    let app = MappedApplication::new(
+        graph,
+        mapping,
+        RingTopology::new(16),
+        RouteStrategy::Shortest,
+    )
+    .ok()?;
+    let inst = ProblemInstance::new(arch.clone(), app, EvalOptions::default()).ok()?;
+    let ev = inst.evaluator();
+    let alloc = heuristics::greedy_makespan(&inst, &ev).ok()?;
+    Some(ev.evaluate(&alloc)?.exec_time.to_kilocycles())
+}
+
+fn main() {
+    println!("Joint mapping + wavelength allocation (8 λ, greedy WA scorer)\n");
+    let arch = OnocArchitecture::paper_architecture(8);
+    let graph = workloads::paper_task_graph();
+    let mut csv = Vec::new();
+
+    // Paper's hand placement (re-routed shortest-path for comparability).
+    let paper = score(&arch, workloads::paper_mapping_nodes()).expect("paper mapping scores");
+    println!("paper hand placement      : {paper:.2} kcc");
+    csv.push(format!("paper,{paper:.4}"));
+
+    // Random placements.
+    let mut rng = StdRng::seed_from_u64(123);
+    let mut random_scores = Vec::new();
+    for _ in 0..10 {
+        let nodes = workloads::random_mapping(&mut rng, graph.task_count(), 16);
+        if let Some(s) = score(&arch, nodes) {
+            random_scores.push(s);
+        }
+    }
+    let rand_best = random_scores.iter().copied().fold(f64::INFINITY, f64::min);
+    let rand_mean = random_scores.iter().sum::<f64>() / random_scores.len() as f64;
+    println!("random placements (10)    : best {rand_best:.2} kcc, mean {rand_mean:.2} kcc");
+    csv.push(format!("random_best,{rand_best:.4}"));
+    csv.push(format!("random_mean,{rand_mean:.4}"));
+
+    // Hill-climbed mapping.
+    let result = mapping_search::optimize_mapping(
+        &arch,
+        &graph,
+        &mapping_search::MappingSearchConfig {
+            iterations: 300,
+            restarts: 4,
+            seed: 2017,
+            options: EvalOptions::default(),
+        },
+    );
+    println!(
+        "hill-climbed mapping      : {:.2} kcc after {} evaluations",
+        result.makespan.to_kilocycles(),
+        result.evaluated
+    );
+    println!(
+        "  placement: {:?}",
+        result.mapping.iter().map(|n| n.0).collect::<Vec<_>>()
+    );
+    csv.push(format!("search,{:.4}", result.makespan.to_kilocycles()));
+
+    println!(
+        "\nThe search should at least match the paper's hand placement and\n\
+         clearly beat typical random placements — the improvement the paper's\n\
+         conclusion anticipates from mapping-aware optimisation."
+    );
+    print_csv("mapping_explore", "method,exec_kcc", &csv);
+}

@@ -1,0 +1,62 @@
+//! E1 — Table I: power-loss values.
+//!
+//! Prints the element parameters the reproduction uses and the paper's
+//! values side by side (they are identical by construction; the table
+//! documents that the defaults were not silently changed).
+
+use onoc_photonics::{LossParams, Photodetector, Vcsel, WavelengthGrid};
+
+fn main() {
+    let p = LossParams::default();
+    let laser = Vcsel::paper_laser();
+    let detector = Photodetector::default();
+
+    println!("Table I — power loss values (paper vs reproduction defaults)\n");
+    println!("{:<34}{:<8}{:>14}{:>14}", "Parameter", "Symbol", "Paper", "Ours");
+    let rows = [
+        ("Propagation loss", "Lp", "-0.274 dB/cm", format!("{} /cm", p.propagation_per_cm)),
+        ("Bending loss", "Lb", "-0.005 dB/90", format!("{} /90", p.bending_per_90deg)),
+        ("Power loss: OFF-state MR", "Lp0", "-0.005 dB", p.mr_off.to_string()),
+        ("Power loss: ON-state MR", "Lp1", "-0.5 dB", p.mr_on.to_string()),
+        ("Crosstalk loss: OFF-state MR", "Kp0", "-20 dB", p.crosstalk_off.to_string()),
+        ("Crosstalk loss: ON-state MR", "Kp1", "-25 dB", p.crosstalk_on.to_string()),
+    ];
+    for (name, sym, paper, ours) in rows {
+        println!("{name:<34}{sym:<8}{paper:>14}{ours:>14}");
+    }
+
+    println!("\nOther physical constants (§IV):");
+    println!(
+        "  FSR = {}, Q = {}, centre = {}",
+        WavelengthGrid::PAPER_FSR,
+        WavelengthGrid::PAPER_Q,
+        WavelengthGrid::PAPER_CENTER
+    );
+    println!(
+        "  Pv(1) = {}, Pv(0) = {} (extinction {})",
+        laser.power_on(),
+        laser.power_off(),
+        laser.extinction_ratio()
+    );
+    println!(
+        "  Receiver target power (energy calibration, DESIGN.md S6) = {}",
+        detector.target_power()
+    );
+
+    let rows: Vec<String> = [
+        ("Lp_dB_per_cm", p.propagation_per_cm.value()),
+        ("Lb_dB_per_90deg", p.bending_per_90deg.value()),
+        ("Lp0_dB", p.mr_off.value()),
+        ("Lp1_dB", p.mr_on.value()),
+        ("Kp0_dB", p.crosstalk_off.value()),
+        ("Kp1_dB", p.crosstalk_on.value()),
+        ("FSR_nm", WavelengthGrid::PAPER_FSR.value()),
+        ("Q", WavelengthGrid::PAPER_Q),
+        ("Pv1_dBm", laser.power_on().value()),
+        ("Pv0_dBm", laser.power_off().value()),
+    ]
+    .iter()
+    .map(|(k, v)| format!("{k},{v}"))
+    .collect();
+    onoc_bench::print_csv("table1", "parameter,value", &rows);
+}

@@ -1,0 +1,57 @@
+//! E5 — Table II: number of valid solutions generated and number of
+//! solutions on the Pareto front, for NW ∈ {4, 8, 12}.
+//!
+//! Expected shape (paper): both counts grow with the comb size
+//! (4λ: 28,284 valid / 10 front; 8λ: 86,525 / 29; 12λ: 100,578 / 51).
+
+use onoc_bench::{print_csv, Scale};
+use onoc_wa::{explore, ObjectiveSet};
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!("Table II — search statistics per comb size, scale: {scale}\n");
+
+    let entries =
+        explore::sweep_paper_nw(&[4, 8, 12], scale.ga_config(ObjectiveSet::TimeBer, 2017));
+    let rows = explore::summarize(&entries);
+
+    let paper = [(4usize, 28_284usize, 10usize), (8, 86_525, 29), (12, 100_578, 51)];
+    println!(
+        "{:>4} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "NW", "valid (ours)", "valid (paper)", "front (ours)", "front (paper)", "unique valid"
+    );
+    let mut csv = Vec::new();
+    for row in &rows {
+        let (_, paper_valid, paper_front) = paper
+            .iter()
+            .find(|(nw, _, _)| *nw == row.wavelengths)
+            .expect("paper rows cover 4/8/12");
+        println!(
+            "{:>4} {:>14} {:>14} {:>12} {:>12} {:>12}",
+            row.wavelengths,
+            row.valid_evaluations,
+            paper_valid,
+            row.front_size,
+            paper_front,
+            row.unique_valid
+        );
+        csv.push(format!(
+            "{},{},{},{},{},{}",
+            row.wavelengths,
+            row.valid_evaluations,
+            paper_valid,
+            row.front_size,
+            paper_front,
+            row.unique_valid
+        ));
+    }
+    println!(
+        "\nBoth counts should increase with NW; absolute values depend on GA\n\
+         operator details the paper does not specify (see EXPERIMENTS.md)."
+    );
+    print_csv(
+        "table2",
+        "nw,valid_ours,valid_paper,front_ours,front_paper,unique_valid_ours",
+        &csv,
+    );
+}

@@ -1,0 +1,106 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin` regenerates one artefact of the paper
+//! (see DESIGN.md §5 for the experiment index) and prints both a
+//! human-readable table and machine-readable CSV. Full paper-scale GA runs
+//! (population 400 × 300 generations) take a few minutes; set
+//! `ONOC_BENCH_SCALE=quick` (or pass `--quick`) to run a reduced
+//! configuration that preserves the qualitative shape.
+
+use onoc_wa::{Nsga2Config, ObjectiveSet};
+
+/// How large the GA runs should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's configuration: population 400, 300 generations.
+    Paper,
+    /// A reduced configuration for smoke runs: population 120, 60
+    /// generations.
+    Quick,
+}
+
+impl Scale {
+    /// Resolves the scale from the process arguments (`--quick`) and the
+    /// `ONOC_BENCH_SCALE` environment variable (`quick` / `paper`).
+    /// Defaults to [`Scale::Paper`].
+    #[must_use]
+    pub fn from_env_and_args() -> Self {
+        let arg_quick = std::env::args().any(|a| a == "--quick");
+        let env_quick = std::env::var("ONOC_BENCH_SCALE")
+            .map(|v| v.eq_ignore_ascii_case("quick"))
+            .unwrap_or(false);
+        if arg_quick || env_quick {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// The NSGA-II configuration for this scale.
+    #[must_use]
+    pub fn ga_config(self, objectives: ObjectiveSet, seed: u64) -> Nsga2Config {
+        match self {
+            Scale::Paper => Nsga2Config {
+                population_size: 400,
+                generations: 300,
+                objectives,
+                seed,
+                ..Nsga2Config::default()
+            },
+            Scale::Quick => Nsga2Config {
+                population_size: 120,
+                generations: 60,
+                objectives,
+                seed,
+                ..Nsga2Config::default()
+            },
+        }
+    }
+}
+
+impl core::fmt::Display for Scale {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Scale::Paper => write!(f, "paper (pop 400 × 300 gen)"),
+            Scale::Quick => write!(f, "quick (pop 120 × 60 gen)"),
+        }
+    }
+}
+
+/// Prints a CSV block, fenced so it is easy to extract with standard tools.
+pub fn print_csv(name: &str, header: &str, rows: &[String]) {
+    println!("--- begin csv: {name} ---");
+    println!("{header}");
+    for row in rows {
+        println!("{row}");
+    }
+    println!("--- end csv: {name} ---");
+}
+
+/// Formats a count vector the way the paper annotates Fig. 6:
+/// `[ 2. 8. 6. 6. 4. 7.]`.
+#[must_use]
+pub fn paper_counts(counts: &[usize]) -> String {
+    let inner: Vec<String> = counts.iter().map(|c| format!("{c}.")).collect();
+    format!("[ {}]", inner.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_produce_expected_configs() {
+        let paper = Scale::Paper.ga_config(ObjectiveSet::TimeEnergy, 1);
+        assert_eq!(paper.population_size, 400);
+        assert_eq!(paper.generations, 300);
+        let quick = Scale::Quick.ga_config(ObjectiveSet::TimeBer, 2);
+        assert_eq!(quick.population_size, 120);
+        assert_eq!(quick.objectives, ObjectiveSet::TimeBer);
+    }
+
+    #[test]
+    fn count_formatting_matches_paper_style() {
+        assert_eq!(paper_counts(&[2, 8, 6, 6, 4, 7]), "[ 2. 8. 6. 6. 4. 7.]");
+    }
+}

@@ -1,0 +1,153 @@
+//! Bit-error-rate model for OOK direct detection (Eq. 9).
+
+/// Which SNR scale is plugged into the BER formula of Eq. 9.
+///
+/// The paper writes `BER = ½·e^(−SNR/2)·(1 + SNR/4)` without stating the SNR
+/// scale. With the paper's own parameters (−10 dBm laser, −30 dBm zero level,
+/// Q = 9600, FSR = 12.8 nm) a *linear* SNR puts every reported design point
+/// below `log10(BER) = −20`, while the published Figs. 6(b)/7 span
+/// `log10(BER) ∈ [−3.7, −3.0]` — exactly what the formula yields when the
+/// **dB value** of the SNR is substituted. The reproduction therefore
+/// defaults to [`BerConvention::PaperDb`] and keeps [`BerConvention::Linear`]
+/// as an ablation (see DESIGN.md, substitution S5, and the `ablation` bench
+/// binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BerConvention {
+    /// Substitute the SNR expressed in dB into Eq. 9 (matches the paper's
+    /// reported numbers).
+    #[default]
+    PaperDb,
+    /// Substitute the linear SNR into Eq. 9 (the textbook reading).
+    Linear,
+}
+
+impl core::fmt::Display for BerConvention {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BerConvention::PaperDb => write!(f, "paper-dB"),
+            BerConvention::Linear => write!(f, "linear"),
+        }
+    }
+}
+
+/// Bit error rate of OOK direct detection (Eq. 9):
+/// `BER = ½·e^(−x/2)·(1 + x/4)` with `x` selected by `convention`.
+///
+/// The result saturates at `0.5` for non-positive `x`: an OOK receiver
+/// guessing at random is wrong half of the time, and Eq. 9 is only a valid
+/// error model on `x >= 0` where it decreases monotonically from ½ to 0.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::{ber, BerConvention};
+///
+/// // 17 dB SNR → BER ≈ 5.3e-4 under the paper's convention.
+/// let b = ber(10f64.powf(1.7), BerConvention::PaperDb);
+/// assert!(b > 4e-4 && b < 7e-4);
+///
+/// // The same SNR read as linear is essentially error-free.
+/// let linear = ber(10f64.powf(1.7), BerConvention::Linear);
+/// assert!(linear < 1e-10);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `snr_linear` is not strictly positive (an SNR of zero has no dB
+/// representation).
+#[must_use]
+pub fn ber(snr_linear: f64, convention: BerConvention) -> f64 {
+    assert!(
+        snr_linear > 0.0,
+        "SNR must be strictly positive, got {snr_linear}"
+    );
+    let x = match convention {
+        BerConvention::PaperDb => 10.0 * snr_linear.log10(),
+        BerConvention::Linear => snr_linear,
+    };
+    // Eq. 9 is only meaningful for x >= 0 (it is monotone decreasing there,
+    // with value 1/2 at x = 0). Below that the receiver is no better than a
+    // coin flip, so saturate at 1/2.
+    let x = x.max(0.0);
+    0.5 * (-x / 2.0).exp() * (1.0 + x / 4.0)
+}
+
+/// `log10` of [`ber`], the quantity on the y-axis of Figs. 6(b) and 7.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`ber`].
+#[must_use]
+pub fn log10_ber(snr_linear: f64, convention: BerConvention) -> f64 {
+    ber(snr_linear, convention).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Evaluates the raw Eq. 9 with a dB argument for cross-checking.
+    fn eq9(x: f64) -> f64 {
+        0.5 * (-x / 2.0).exp() * (1.0 + x / 4.0)
+    }
+
+    #[test]
+    fn paper_window_endpoints() {
+        // The Fig. 6(b)/7 BER window [−3.7, −3.0] corresponds to SNRs of
+        // roughly 19 dB and 15.5 dB under the paper-dB convention.
+        let best = log10_ber(10f64.powf(1.9), BerConvention::PaperDb);
+        let worst = log10_ber(10f64.powf(1.55), BerConvention::PaperDb);
+        assert!((best - -3.67).abs() < 0.05, "best = {best}");
+        assert!((worst - -2.99).abs() < 0.05, "worst = {worst}");
+    }
+
+    #[test]
+    fn matches_raw_formula_inside_validity_range() {
+        for snr_db in [5.0, 10.0, 16.0, 20.0] {
+            let linear = 10f64.powf(snr_db / 10.0);
+            assert!((ber(linear, BerConvention::PaperDb) - eq9(snr_db)).abs() < 1e-15);
+            assert!((ber(linear, BerConvention::Linear) - eq9(linear)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn saturates_at_one_half() {
+        // Any sub-0 dB SNR is indistinguishable from guessing.
+        assert_eq!(ber(1e-9, BerConvention::PaperDb), 0.5);
+        assert_eq!(ber(0.5, BerConvention::PaperDb), 0.5);
+        assert_eq!(ber(1.0, BerConvention::PaperDb), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_snr_panics() {
+        let _ = ber(0.0, BerConvention::Linear);
+    }
+
+    #[test]
+    fn conventions_differ_materially() {
+        let snr = 10f64.powf(1.6); // 16 dB
+        let paper = ber(snr, BerConvention::PaperDb);
+        let linear = ber(snr, BerConvention::Linear);
+        assert!(paper / linear > 1e3, "paper={paper} linear={linear}");
+    }
+
+    proptest! {
+        #[test]
+        fn ber_is_probability(snr in 1e-6f64..1e6) {
+            for conv in [BerConvention::PaperDb, BerConvention::Linear] {
+                let b = ber(snr, conv);
+                prop_assert!((0.0..=0.5).contains(&b));
+            }
+        }
+
+        #[test]
+        fn ber_monotone_decreasing_in_snr(a in 1.0f64..1e5, b in 1.0f64..1e5) {
+            prop_assume!(a < b);
+            for conv in [BerConvention::PaperDb, BerConvention::Linear] {
+                prop_assert!(ber(b, conv) <= ber(a, conv));
+            }
+        }
+    }
+}

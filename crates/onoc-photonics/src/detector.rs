@@ -1,0 +1,100 @@
+//! Photodetector model.
+
+use onoc_units::{DbMilliwatts, Decibels};
+
+/// A receiver photodetector characterised by the optical power it needs at
+/// its input.
+///
+/// The energy model of the reproduction (DESIGN.md, substitution S6) sizes
+/// each transmit laser so that, after all path losses, the photodetector
+/// still receives `target_power`. The paper motivates this indirectly:
+/// "energy consumption per bit increases with the number of reserved
+/// wavelengths … due to the additional ON-state MRs suffering from more
+/// propagation loss".
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::Photodetector;
+/// use onoc_units::{DbMilliwatts, Decibels};
+///
+/// let pd = Photodetector::default();
+/// // 2 dB of path loss requires a -26 dBm laser to hit a -28 dBm target.
+/// let laser = pd.required_launch_power(Decibels::new(-2.0));
+/// assert_eq!(laser, DbMilliwatts::new(-26.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Photodetector {
+    target_power: DbMilliwatts,
+}
+
+impl Photodetector {
+    /// Receiver target power used by the reproduction's calibration:
+    /// −28 dBm. Germanium photodetectors reach −26…−30 dBm sensitivity at
+    /// the 1 Gb/s per-wavelength rate of the paper instance (DESIGN.md S2);
+    /// this value also places the energy model in the 3.5–8 fJ/bit band of
+    /// Fig. 6(a).
+    pub const DEFAULT_TARGET: DbMilliwatts = DbMilliwatts::new(-28.0);
+
+    /// Creates a photodetector requiring `target_power` at its input.
+    #[must_use]
+    pub fn new(target_power: DbMilliwatts) -> Self {
+        Self { target_power }
+    }
+
+    /// The optical power the detector needs at its input.
+    #[must_use]
+    pub fn target_power(&self) -> DbMilliwatts {
+        self.target_power
+    }
+
+    /// Launch power a transmitter must emit through a path with total gain
+    /// `path_loss` (a negative dB value) so that this detector still receives
+    /// its target power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path_loss` is positive — passive optical paths attenuate.
+    #[must_use]
+    pub fn required_launch_power(&self, path_loss: Decibels) -> DbMilliwatts {
+        assert!(
+            path_loss.value() <= 0.0,
+            "passive path loss must be <= 0 dB, got {path_loss}"
+        );
+        self.target_power - path_loss
+    }
+}
+
+impl Default for Photodetector {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_TARGET)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_path_requires_target_power() {
+        let pd = Photodetector::default();
+        assert_eq!(
+            pd.required_launch_power(Decibels::ZERO),
+            Photodetector::DEFAULT_TARGET
+        );
+    }
+
+    #[test]
+    fn more_loss_requires_more_power() {
+        let pd = Photodetector::default();
+        let a = pd.required_launch_power(Decibels::new(-1.0));
+        let b = pd.required_launch_power(Decibels::new(-3.0));
+        assert!(b > a);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be <= 0 dB")]
+    fn positive_loss_panics() {
+        let _ = Photodetector::default().required_launch_power(Decibels::new(1.0));
+    }
+}

@@ -1,0 +1,256 @@
+//! WDM wavelength grids.
+
+use onoc_units::Nanometers;
+
+use crate::MicroRing;
+
+/// Index of a WDM channel within a [`WavelengthGrid`].
+///
+/// Channel indices order the grid from the shortest to the longest
+/// wavelength. The index also fixes the position of the channel's receiver
+/// micro-ring inside each optical network interface (ONI) stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WavelengthId(pub usize);
+
+impl WavelengthId {
+    /// Returns the raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl core::fmt::Display for WavelengthId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "λ{}", self.0 + 1) // the paper numbers wavelengths from λ1
+    }
+}
+
+/// An equally spaced WDM comb covering one free spectral range.
+///
+/// The paper assumes "equal Channel Spacing (CS) between two consecutive
+/// wavelengths covering a whole Free Spectral Range (FSR)" (§III-B), so for
+/// `count` channels the spacing is `FSR / count` and the comb is centred on
+/// the grid's centre wavelength.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::WavelengthGrid;
+/// use onoc_units::Nanometers;
+///
+/// let grid = WavelengthGrid::paper_grid(8);
+/// assert_eq!(grid.count(), 8);
+/// assert!((grid.spacing().value() - 1.6).abs() < 1e-12);
+///
+/// // Consecutive channels are one spacing apart.
+/// let d = grid
+///     .wavelength(grid.channel(3).unwrap())
+///     .distance(grid.wavelength(grid.channel(4).unwrap()));
+/// assert!((d.value() - 1.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavelengthGrid {
+    center: Nanometers,
+    fsr: Nanometers,
+    quality_factor: f64,
+    count: usize,
+}
+
+impl WavelengthGrid {
+    /// Centre wavelength used throughout the paper's experiments (C band).
+    pub const PAPER_CENTER: Nanometers = Nanometers::new(1550.0);
+    /// Free spectral range used in the paper (§IV): 12.8 nm.
+    pub const PAPER_FSR: Nanometers = Nanometers::new(12.8);
+    /// Micro-ring quality factor used in the paper (§IV): 9600.
+    pub const PAPER_Q: f64 = 9600.0;
+
+    /// Creates a grid of `count` channels spread over `fsr` around `center`,
+    /// with micro-ring resonators of quality factor `quality_factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero, `fsr` or `center` are not strictly
+    /// positive, or `quality_factor` is not strictly positive. These are
+    /// programmer errors: no physical grid exists with such parameters.
+    #[must_use]
+    pub fn new(center: Nanometers, fsr: Nanometers, quality_factor: f64, count: usize) -> Self {
+        assert!(count > 0, "a wavelength grid needs at least one channel");
+        assert!(
+            center.value() > 0.0 && fsr.value() > 0.0,
+            "centre wavelength and FSR must be strictly positive"
+        );
+        assert!(
+            quality_factor > 0.0,
+            "quality factor must be strictly positive"
+        );
+        Self {
+            center,
+            fsr,
+            quality_factor,
+            count,
+        }
+    }
+
+    /// The grid used in the paper's result section: 1550 nm centre,
+    /// 12.8 nm FSR, Q = 9600, `count` channels.
+    #[must_use]
+    pub fn paper_grid(count: usize) -> Self {
+        Self::new(Self::PAPER_CENTER, Self::PAPER_FSR, Self::PAPER_Q, count)
+    }
+
+    /// Number of WDM channels.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Channel spacing `FSR / count`.
+    #[must_use]
+    pub fn spacing(&self) -> Nanometers {
+        self.fsr / self.count as f64
+    }
+
+    /// The grid's centre wavelength.
+    #[must_use]
+    pub fn center(&self) -> Nanometers {
+        self.center
+    }
+
+    /// The free spectral range covered by the comb.
+    #[must_use]
+    pub fn fsr(&self) -> Nanometers {
+        self.fsr
+    }
+
+    /// Micro-ring quality factor of the receivers on this grid.
+    #[must_use]
+    pub fn quality_factor(&self) -> f64 {
+        self.quality_factor
+    }
+
+    /// Returns the channel with index `index`, or `None` if out of range.
+    #[must_use]
+    pub fn channel(&self, index: usize) -> Option<WavelengthId> {
+        (index < self.count).then_some(WavelengthId(index))
+    }
+
+    /// The physical wavelength of a channel.
+    ///
+    /// Channels are placed at the centres of `count` equal slots covering the
+    /// FSR: `λ_i = center − FSR/2 + (i + 1/2)·CS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this grid (index out of range).
+    #[must_use]
+    pub fn wavelength(&self, id: WavelengthId) -> Nanometers {
+        assert!(
+            id.0 < self.count,
+            "channel {id} out of range for a {}-channel grid",
+            self.count
+        );
+        let cs = self.spacing();
+        self.center - self.fsr * 0.5 + cs * (id.0 as f64 + 0.5)
+    }
+
+    /// Spectral distance between two channels.
+    #[must_use]
+    pub fn channel_distance(&self, a: WavelengthId, b: WavelengthId) -> Nanometers {
+        self.wavelength(a).distance(self.wavelength(b))
+    }
+
+    /// The receiver micro-ring resonant on channel `id`.
+    #[must_use]
+    pub fn micro_ring(&self, id: WavelengthId) -> MicroRing {
+        MicroRing::new(self.wavelength(id), self.quality_factor)
+    }
+
+    /// Iterates over all channels, shortest wavelength first.
+    pub fn channels(&self) -> impl ExactSizeIterator<Item = WavelengthId> + use<> {
+        (0..self.count).map(WavelengthId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_grid_spacing() {
+        assert!((WavelengthGrid::paper_grid(4).spacing().value() - 3.2).abs() < 1e-12);
+        assert!((WavelengthGrid::paper_grid(8).spacing().value() - 1.6).abs() < 1e-12);
+        assert!(
+            (WavelengthGrid::paper_grid(12).spacing().value() - 12.8 / 12.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn comb_is_centred() {
+        let grid = WavelengthGrid::paper_grid(8);
+        let first = grid.wavelength(WavelengthId(0));
+        let last = grid.wavelength(WavelengthId(7));
+        let mid = (first + last) * 0.5;
+        assert!((mid.value() - 1550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comb_fits_within_fsr() {
+        for n in [1, 2, 4, 8, 12, 64] {
+            let grid = WavelengthGrid::paper_grid(n);
+            let lo = grid.wavelength(WavelengthId(0));
+            let hi = grid.wavelength(WavelengthId(n - 1));
+            assert!(lo.value() >= 1550.0 - 6.4);
+            assert!(hi.value() <= 1550.0 + 6.4);
+        }
+    }
+
+    #[test]
+    fn channel_lookup_bounds() {
+        let grid = WavelengthGrid::paper_grid(4);
+        assert_eq!(grid.channel(3), Some(WavelengthId(3)));
+        assert_eq!(grid.channel(4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_channel_panics() {
+        let grid = WavelengthGrid::paper_grid(4);
+        let _ = grid.wavelength(WavelengthId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_grid_panics() {
+        let _ = WavelengthGrid::paper_grid(0);
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(WavelengthId(0).to_string(), "λ1");
+    }
+
+    proptest! {
+        #[test]
+        fn consecutive_channels_are_one_spacing_apart(n in 2usize..64, i in 0usize..62) {
+            prop_assume!(i + 1 < n);
+            let grid = WavelengthGrid::paper_grid(n);
+            let d = grid.channel_distance(WavelengthId(i), WavelengthId(i + 1));
+            prop_assert!((d.value() - grid.spacing().value()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn channel_distance_proportional_to_index_gap(
+            n in 2usize..64,
+            i in 0usize..63,
+            j in 0usize..63,
+        ) {
+            prop_assume!(i < n && j < n);
+            let grid = WavelengthGrid::paper_grid(n);
+            let d = grid.channel_distance(WavelengthId(i), WavelengthId(j));
+            let expected = grid.spacing().value() * (i as f64 - j as f64).abs();
+            prop_assert!((d.value() - expected).abs() < 1e-9);
+        }
+    }
+}

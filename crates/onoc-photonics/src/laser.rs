@@ -1,0 +1,142 @@
+//! On-chip VCSEL laser source model.
+
+use onoc_units::{DbMilliwatts, Milliwatts};
+
+/// An on-chip Vertical-Cavity Surface-Emitting Laser with OOK modulation.
+///
+/// Data are transmitted by current modulation: the laser emits `power_on`
+/// for a logical 1 and `power_off` for a logical 0. Ideally no light is
+/// emitted for a 0, but practical modulators leak, so the paper treats the
+/// non-zero `P0` as part of the receiver noise (Eq. 8).
+///
+/// The `wall_plug_efficiency` converts emitted optical power into consumed
+/// electrical power for the energy model (DESIGN.md, substitution S6).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::Vcsel;
+/// use onoc_units::DbMilliwatts;
+///
+/// let laser = Vcsel::paper_laser();
+/// assert_eq!(laser.power_on(), DbMilliwatts::new(-10.0));
+/// assert_eq!(laser.power_off(), DbMilliwatts::new(-30.0));
+/// // Extinction ratio is 20 dB.
+/// assert_eq!((laser.power_on() - laser.power_off()).value(), 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vcsel {
+    power_on: DbMilliwatts,
+    power_off: DbMilliwatts,
+    wall_plug_efficiency: f64,
+}
+
+impl Vcsel {
+    /// Wall-plug efficiency assumed by the reproduction when converting
+    /// optical power into electrical energy per bit.
+    pub const DEFAULT_EFFICIENCY: f64 = 0.3;
+
+    /// Creates a laser emitting `power_on` dBm for ones and `power_off` dBm
+    /// for zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_off >= power_on` (the extinction ratio must be
+    /// positive) or if `wall_plug_efficiency` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(power_on: DbMilliwatts, power_off: DbMilliwatts, wall_plug_efficiency: f64) -> Self {
+        assert!(
+            power_off < power_on,
+            "OOK laser requires power_off < power_on (got {power_off} >= {power_on})"
+        );
+        assert!(
+            wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0,
+            "wall-plug efficiency must be in (0, 1], got {wall_plug_efficiency}"
+        );
+        Self {
+            power_on,
+            power_off,
+            wall_plug_efficiency,
+        }
+    }
+
+    /// The laser used in the paper's results: `Pv(1) = −10 dBm`,
+    /// `Pv(0) = −30 dBm`.
+    #[must_use]
+    pub fn paper_laser() -> Self {
+        Self::new(
+            DbMilliwatts::new(-10.0),
+            DbMilliwatts::new(-30.0),
+            Self::DEFAULT_EFFICIENCY,
+        )
+    }
+
+    /// Optical power emitted for a logical 1 (`Pv`).
+    #[must_use]
+    pub fn power_on(&self) -> DbMilliwatts {
+        self.power_on
+    }
+
+    /// Optical power emitted for a logical 0 (`P0`).
+    #[must_use]
+    pub fn power_off(&self) -> DbMilliwatts {
+        self.power_off
+    }
+
+    /// Extinction ratio `power_on / power_off` in dB.
+    #[must_use]
+    pub fn extinction_ratio(&self) -> onoc_units::Decibels {
+        self.power_on - self.power_off
+    }
+
+    /// Wall-plug efficiency (emitted optical power / consumed electrical
+    /// power).
+    #[must_use]
+    pub fn wall_plug_efficiency(&self) -> f64 {
+        self.wall_plug_efficiency
+    }
+
+    /// Electrical power drawn while emitting `optical` output.
+    #[must_use]
+    pub fn electrical_power(&self, optical: Milliwatts) -> Milliwatts {
+        optical / self.wall_plug_efficiency
+    }
+}
+
+impl Default for Vcsel {
+    fn default() -> Self {
+        Self::paper_laser()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_laser_values() {
+        let l = Vcsel::paper_laser();
+        assert!((l.power_on().to_milliwatts().value() - 0.1).abs() < 1e-12);
+        assert!((l.power_off().to_milliwatts().value() - 0.001).abs() < 1e-12);
+        assert_eq!(l.extinction_ratio().value(), 20.0);
+    }
+
+    #[test]
+    fn electrical_power_scales_by_efficiency() {
+        let l = Vcsel::paper_laser();
+        let e = l.electrical_power(Milliwatts::new(0.3));
+        assert!((e.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power_off < power_on")]
+    fn inverted_levels_panic() {
+        let _ = Vcsel::new(DbMilliwatts::new(-30.0), DbMilliwatts::new(-10.0), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn zero_efficiency_panics() {
+        let _ = Vcsel::new(DbMilliwatts::new(-10.0), DbMilliwatts::new(-30.0), 0.0);
+    }
+}

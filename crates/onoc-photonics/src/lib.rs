@@ -1,0 +1,48 @@
+//! Photonic device models for WDM optical networks-on-chip.
+//!
+//! This crate implements the device-level physics used by the wavelength
+//! allocation study of Luo et al. (DATE 2017):
+//!
+//! * [`WavelengthGrid`] — an equally spaced WDM comb covering one free
+//!   spectral range (FSR),
+//! * [`MicroRing`] — the Lorentzian micro-ring resonator (MR) filter response
+//!   (Eq. 1 of the paper) and the OFF/ON-state through/drop port transfer
+//!   functions (Eqs. 2–5),
+//! * [`LossParams`] — the loss/crosstalk coefficients of Table I,
+//! * [`Vcsel`] / [`Photodetector`] — the OOK laser source and the receiver,
+//! * [`SignalNoise`] / [`ber()`] — the SNR (Eq. 8) and BER (Eq. 9) models.
+//!
+//! Everything here is *device level*: path-level accumulation over a concrete
+//! ring topology lives in `onoc-topology`.
+//!
+//! # Example: inter-channel crosstalk of one MR
+//!
+//! ```
+//! use onoc_photonics::{MicroRing, WavelengthGrid};
+//! use onoc_units::Nanometers;
+//!
+//! let grid = WavelengthGrid::paper_grid(8); // FSR 12.8 nm, Q 9600, 8 channels
+//! let mr = grid.micro_ring(grid.channel(0).unwrap());
+//! // An adjacent channel (1.6 nm away) leaks ~ -26 dB into the drop port.
+//! let leak = mr.transmission_db(grid.wavelength(grid.channel(1).unwrap()));
+//! assert!(leak.value() < -25.0 && leak.value() > -27.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ber;
+mod detector;
+mod grid;
+mod laser;
+mod mr;
+mod params;
+mod snr;
+
+pub use ber::{ber, log10_ber, BerConvention};
+pub use detector::Photodetector;
+pub use grid::{WavelengthGrid, WavelengthId};
+pub use laser::Vcsel;
+pub use mr::{MicroRing, MrElement, MrState};
+pub use params::LossParams;
+pub use snr::SignalNoise;

@@ -1,0 +1,320 @@
+//! Micro-ring resonator (MR) filter model.
+
+use onoc_units::{Decibels, Nanometers};
+
+use crate::{LossParams, WavelengthGrid, WavelengthId};
+
+/// Switching state of a micro-ring resonator.
+///
+/// An ON-state MR drops its resonant wavelength towards the photodetector;
+/// an OFF-state MR lets every wavelength continue on the waveguide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MrState {
+    /// The MR is configured to drop (receive) its resonant wavelength.
+    On,
+    /// The MR is transparent; signals pass towards the through port.
+    Off,
+}
+
+impl core::fmt::Display for MrState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MrState::On => write!(f, "ON"),
+            MrState::Off => write!(f, "OFF"),
+        }
+    }
+}
+
+/// A micro-ring resonator with a Lorentzian drop-port response (Eq. 1).
+///
+/// The −3 dB bandwidth of the filter is `2δ = λ_m / Q`; the fraction of power
+/// at wavelength `λ_i` that couples into the drop port is
+///
+/// ```text
+/// Φ(λ_i, λ_m) = δ² / ((λ_i − λ_m)² + δ²)
+/// ```
+///
+/// which is 1 (0 dB) on resonance and rolls off with the square of the
+/// spectral distance — the physical origin of inter-channel crosstalk.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::MicroRing;
+/// use onoc_units::Nanometers;
+///
+/// let mr = MicroRing::new(Nanometers::new(1550.0), 9600.0);
+/// // On resonance the filter is transparent to the drop port.
+/// assert!((mr.transmission(Nanometers::new(1550.0)) - 1.0).abs() < 1e-12);
+/// // 1.6 nm away (one channel spacing at 8 channels) it attenuates ~26 dB.
+/// let phi = mr.transmission_db(Nanometers::new(1551.6));
+/// assert!(phi.value() < -25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroRing {
+    resonance: Nanometers,
+    quality_factor: f64,
+}
+
+impl MicroRing {
+    /// Creates an MR resonant at `resonance` with quality factor `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resonance` or `q` are not strictly positive.
+    #[must_use]
+    pub fn new(resonance: Nanometers, q: f64) -> Self {
+        assert!(
+            resonance.value() > 0.0,
+            "resonance wavelength must be strictly positive"
+        );
+        assert!(q > 0.0, "quality factor must be strictly positive");
+        Self {
+            resonance,
+            quality_factor: q,
+        }
+    }
+
+    /// The resonance wavelength `λ_m`.
+    #[must_use]
+    pub fn resonance(&self) -> Nanometers {
+        self.resonance
+    }
+
+    /// The quality factor `Q = λ_m / 2δ`.
+    #[must_use]
+    pub fn quality_factor(&self) -> f64 {
+        self.quality_factor
+    }
+
+    /// The Lorentzian half-width `δ = λ_m / (2Q)`.
+    ///
+    /// The paper defines `2δ` as the −3 dB bandwidth of the filter.
+    #[must_use]
+    pub fn delta(&self) -> Nanometers {
+        self.resonance / (2.0 * self.quality_factor)
+    }
+
+    /// Drop-port power transmission `Φ(λ_i, λ_m)` (Eq. 1), linear scale.
+    #[must_use]
+    pub fn transmission(&self, at: Nanometers) -> f64 {
+        let d2 = self.delta().squared();
+        d2 / (at.distance(self.resonance).squared() + d2)
+    }
+
+    /// Drop-port power transmission `Φ` in dB.
+    #[must_use]
+    pub fn transmission_db(&self, at: Nanometers) -> Decibels {
+        Decibels::from_linear(self.transmission(at))
+    }
+}
+
+/// A micro-ring placed on a waveguide, bound to a WDM channel and a state.
+///
+/// `MrElement` evaluates the port-transfer equations of the paper
+/// (Eqs. 2–5): what a signal at channel `i` loses when it crosses this MR
+/// (resonant on channel `m`) towards the through port or the drop port.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::{LossParams, MrElement, MrState, WavelengthGrid};
+///
+/// let grid = WavelengthGrid::paper_grid(8);
+/// let params = LossParams::default();
+/// let mr = MrElement::new(grid.channel(2).unwrap(), MrState::On);
+///
+/// // The resonant signal is dropped with the ON-state insertion loss.
+/// let drop = mr.drop_loss(grid.channel(2).unwrap(), &grid, &params);
+/// assert_eq!(drop, params.mr_on);
+///
+/// // A neighbouring channel leaks into the drop port via the Lorentzian.
+/// let leak = mr.drop_loss(grid.channel(3).unwrap(), &grid, &params);
+/// assert!(leak.value() < -20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MrElement {
+    channel: WavelengthId,
+    state: MrState,
+}
+
+impl MrElement {
+    /// Creates an element resonant on `channel` in the given `state`.
+    #[must_use]
+    pub fn new(channel: WavelengthId, state: MrState) -> Self {
+        Self { channel, state }
+    }
+
+    /// The WDM channel this MR is resonant on (`λ_m`).
+    #[must_use]
+    pub fn channel(&self) -> WavelengthId {
+        self.channel
+    }
+
+    /// The switching state.
+    #[must_use]
+    pub fn state(&self) -> MrState {
+        self.state
+    }
+
+    /// Loss suffered by a signal on `signal` continuing to the through port
+    /// (Eqs. 2 and 4).
+    ///
+    /// * OFF-state: every wavelength loses `Lp0`.
+    /// * ON-state, non-resonant signal: loses `Lp1`.
+    /// * ON-state, resonant signal: only the `Kp1` residue survives — the
+    ///   signal was dropped here. Callers that route a live signal through an
+    ///   ON-state MR at its own wavelength almost certainly violate the
+    ///   wavelength-disjointness constraint upstream.
+    #[must_use]
+    pub fn through_loss(
+        &self,
+        signal: WavelengthId,
+        _grid: &WavelengthGrid,
+        params: &LossParams,
+    ) -> Decibels {
+        match (self.state, signal == self.channel) {
+            (MrState::Off, _) => params.mr_off,
+            (MrState::On, false) => params.mr_on,
+            (MrState::On, true) => params.crosstalk_on,
+        }
+    }
+
+    /// Loss suffered by a signal on `signal` emerging at the drop port
+    /// (Eqs. 3 and 5).
+    ///
+    /// * Resonant + ON: the intended drop, insertion loss `Lp1`.
+    /// * Resonant + OFF: only the `Kp0` residue leaks to the drop port.
+    /// * Non-resonant (either state): the Lorentzian leakage
+    ///   `Φ(λ_m, λ_signal)` — the inter-channel crosstalk term of Eq. 7.
+    #[must_use]
+    pub fn drop_loss(
+        &self,
+        signal: WavelengthId,
+        grid: &WavelengthGrid,
+        params: &LossParams,
+    ) -> Decibels {
+        match (self.state, signal == self.channel) {
+            (MrState::On, true) => params.mr_on,
+            (MrState::Off, true) => params.crosstalk_off,
+            (_, false) => grid
+                .micro_ring(self.channel)
+                .transmission_db(grid.wavelength(signal)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn paper_mr() -> MicroRing {
+        MicroRing::new(Nanometers::new(1550.0), 9600.0)
+    }
+
+    #[test]
+    fn delta_matches_q_definition() {
+        // 2δ = λ/Q = 1550/9600 nm.
+        let mr = paper_mr();
+        assert!((2.0 * mr.delta().value() - 1550.0 / 9600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resonant_transmission_is_unity() {
+        let mr = paper_mr();
+        assert!((mr.transmission(Nanometers::new(1550.0)) - 1.0).abs() < 1e-15);
+        assert!(mr.transmission_db(Nanometers::new(1550.0)).value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_power_at_delta() {
+        // At |λi − λm| = δ the Lorentzian is exactly 1/2 (−3 dB point).
+        let mr = paper_mr();
+        let at = mr.resonance() + mr.delta();
+        assert!((mr.transmission(at) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacent_channel_leakage_magnitude() {
+        // δ ≈ 0.0807 nm; one 1.6 nm spacing away: Φ = δ²/(CS²+δ²) ≈ 2.54e-3.
+        let mr = paper_mr();
+        let phi = mr.transmission(Nanometers::new(1551.6));
+        assert!((phi - 2.54e-3).abs() < 5e-5, "phi = {phi}");
+    }
+
+    #[test]
+    fn through_port_rules() {
+        let grid = WavelengthGrid::paper_grid(8);
+        let params = LossParams::default();
+        let m = grid.channel(4).unwrap();
+        let other = grid.channel(5).unwrap();
+
+        let off = MrElement::new(m, MrState::Off);
+        assert_eq!(off.through_loss(m, &grid, &params), params.mr_off);
+        assert_eq!(off.through_loss(other, &grid, &params), params.mr_off);
+
+        let on = MrElement::new(m, MrState::On);
+        assert_eq!(on.through_loss(other, &grid, &params), params.mr_on);
+        assert_eq!(on.through_loss(m, &grid, &params), params.crosstalk_on);
+    }
+
+    #[test]
+    fn drop_port_rules() {
+        let grid = WavelengthGrid::paper_grid(8);
+        let params = LossParams::default();
+        let m = grid.channel(1).unwrap();
+        let far = grid.channel(7).unwrap();
+
+        let on = MrElement::new(m, MrState::On);
+        assert_eq!(on.drop_loss(m, &grid, &params), params.mr_on);
+
+        let off = MrElement::new(m, MrState::Off);
+        assert_eq!(off.drop_loss(m, &grid, &params), params.crosstalk_off);
+
+        // Non-resonant leakage falls off with spectral distance.
+        let near_leak = on.drop_loss(grid.channel(2).unwrap(), &grid, &params);
+        let far_leak = on.drop_loss(far, &grid, &params);
+        assert!(far_leak.value() < near_leak.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_q_panics() {
+        let _ = MicroRing::new(Nanometers::new(1550.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn transmission_is_bounded(offset in -50.0f64..50.0) {
+            let mr = paper_mr();
+            let t = mr.transmission(Nanometers::new(1550.0 + offset));
+            prop_assert!((0.0..=1.0).contains(&t));
+        }
+
+        #[test]
+        fn transmission_is_symmetric(offset in 0.0f64..50.0) {
+            let mr = paper_mr();
+            let hi = mr.transmission(Nanometers::new(1550.0 + offset));
+            let lo = mr.transmission(Nanometers::new(1550.0 - offset));
+            prop_assert!((hi - lo).abs() < 1e-12);
+        }
+
+        #[test]
+        fn transmission_decreases_with_distance(a in 0.0f64..25.0, b in 0.0f64..25.0) {
+            prop_assume!(a < b);
+            let mr = paper_mr();
+            let near = mr.transmission(Nanometers::new(1550.0 + a));
+            let far = mr.transmission(Nanometers::new(1550.0 + b));
+            prop_assert!(far <= near);
+        }
+
+        #[test]
+        fn higher_q_filters_more_sharply(q1 in 100.0f64..5_000.0, q2 in 5_000.0f64..50_000.0) {
+            let wide = MicroRing::new(Nanometers::new(1550.0), q1);
+            let sharp = MicroRing::new(Nanometers::new(1550.0), q2);
+            let at = Nanometers::new(1551.6);
+            prop_assert!(sharp.transmission(at) < wide.transmission(at));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Loss and crosstalk coefficients (Table I of the paper).
+
+use onoc_units::Decibels;
+
+/// Power-loss and crosstalk coefficients of the optical elements.
+///
+/// Defaults reproduce Table I of Luo et al. (DATE 2017):
+///
+/// | Parameter | Symbol | Value |
+/// |-----------|--------|-------|
+/// | Propagation loss | `Lp` | −0.274 dB/cm |
+/// | Bending loss | `Lb` | −0.005 dB/90° |
+/// | Power loss: OFF-state MR | `Lp0` | −0.005 dB |
+/// | Power loss: ON-state MR | `Lp1` | −0.5 dB |
+/// | Crosstalk loss: OFF-state MR | `Kp0` | −20 dB |
+/// | Crosstalk loss: ON-state MR | `Kp1` | −25 dB |
+///
+/// All values are expressed as (negative) gains in dB so they can be added
+/// straight into a dBm power budget.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::LossParams;
+/// use onoc_units::Decibels;
+///
+/// let table_i = LossParams::default();
+/// assert_eq!(table_i.mr_on, Decibels::new(-0.5));
+///
+/// let low_loss = LossParams {
+///     mr_on: Decibels::new(-0.2),
+///     ..LossParams::default()
+/// };
+/// assert_eq!(low_loss.mr_off, table_i.mr_off);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossParams {
+    /// Waveguide propagation loss per centimetre (`Lp`).
+    pub propagation_per_cm: Decibels,
+    /// Loss per 90° waveguide bend (`Lb`).
+    pub bending_per_90deg: Decibels,
+    /// Through-port loss of an OFF-state MR (`Lp0`, Eq. 2).
+    pub mr_off: Decibels,
+    /// ON-state MR loss (`Lp1`): applies to the dropped resonant signal
+    /// (Eq. 5, i = m) and to non-resonant signals passing the through port
+    /// (Eq. 4, i ≠ m).
+    pub mr_on: Decibels,
+    /// Crosstalk coefficient of an OFF-state MR (`Kp0`, Eq. 3): residual of
+    /// the resonant wavelength that leaks into the drop port even when the
+    /// MR is off.
+    pub crosstalk_off: Decibels,
+    /// Crosstalk coefficient of an ON-state MR (`Kp1`, Eq. 4): residual of
+    /// the resonant wavelength that survives at the through port after the
+    /// MR dropped it.
+    pub crosstalk_on: Decibels,
+}
+
+impl Default for LossParams {
+    /// Table I of the paper.
+    fn default() -> Self {
+        Self {
+            propagation_per_cm: Decibels::new(-0.274),
+            bending_per_90deg: Decibels::new(-0.005),
+            mr_off: Decibels::new(-0.005),
+            mr_on: Decibels::new(-0.5),
+            crosstalk_off: Decibels::new(-20.0),
+            crosstalk_on: Decibels::new(-25.0),
+        }
+    }
+}
+
+impl LossParams {
+    /// Validates that every coefficient is a finite, non-positive gain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending coefficient. Optical
+    /// passives cannot amplify, so positive values are almost certainly a
+    /// sign-convention mistake by the caller.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("propagation_per_cm", self.propagation_per_cm),
+            ("bending_per_90deg", self.bending_per_90deg),
+            ("mr_off", self.mr_off),
+            ("mr_on", self.mr_on),
+            ("crosstalk_off", self.crosstalk_off),
+            ("crosstalk_on", self.crosstalk_on),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() {
+                return Err(format!("loss parameter `{name}` is not finite"));
+            }
+            if v.value() > 0.0 {
+                return Err(format!(
+                    "loss parameter `{name}` is a gain ({v}); losses must be <= 0 dB"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_i() {
+        let p = LossParams::default();
+        assert_eq!(p.propagation_per_cm, Decibels::new(-0.274));
+        assert_eq!(p.bending_per_90deg, Decibels::new(-0.005));
+        assert_eq!(p.mr_off, Decibels::new(-0.005));
+        assert_eq!(p.mr_on, Decibels::new(-0.5));
+        assert_eq!(p.crosstalk_off, Decibels::new(-20.0));
+        assert_eq!(p.crosstalk_on, Decibels::new(-25.0));
+    }
+
+    #[test]
+    fn default_validates() {
+        assert!(LossParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn positive_loss_rejected() {
+        let bad = LossParams {
+            mr_on: Decibels::new(0.5),
+            ..LossParams::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("mr_on"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let bad = LossParams {
+            crosstalk_off: Decibels::new(f64::NAN),
+            ..LossParams::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

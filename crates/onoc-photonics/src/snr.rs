@@ -1,0 +1,137 @@
+//! Signal-to-noise ratio at a photodetector input (Eq. 8).
+
+use onoc_units::{Decibels, Milliwatts};
+
+use crate::{ber, log10_ber, BerConvention};
+
+/// The optical signal and accumulated noise at one photodetector input.
+///
+/// The noise term bundles the inter-channel crosstalk contributions (Eq. 7)
+/// together with the residual `P0` power the OOK laser emits for zeros, as in
+/// the paper's simplified SNR model (Eq. 8):
+///
+/// ```text
+/// SNR_λm = P_signal / (P_noise + P0)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::{BerConvention, SignalNoise};
+/// use onoc_units::Milliwatts;
+///
+/// let sn = SignalNoise::new(Milliwatts::new(0.08), Milliwatts::new(0.0016));
+/// assert!((sn.snr_linear() - 50.0).abs() < 1e-9);
+/// assert!((sn.snr_db().value() - 16.99).abs() < 0.01);
+/// let ber = sn.ber(BerConvention::PaperDb);
+/// assert!(ber > 1e-4 && ber < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalNoise {
+    signal: Milliwatts,
+    noise: Milliwatts,
+}
+
+impl SignalNoise {
+    /// Bundles a received signal power with the total noise power at the
+    /// same photodetector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is not strictly positive or the noise is
+    /// negative. A zero noise floor is rejected too: the paper's model always
+    /// includes the non-zero `P0` term.
+    #[must_use]
+    pub fn new(signal: Milliwatts, noise: Milliwatts) -> Self {
+        assert!(
+            signal.value() > 0.0,
+            "signal power must be strictly positive, got {signal}"
+        );
+        assert!(
+            noise.value() > 0.0,
+            "noise power must be strictly positive (P0 never vanishes), got {noise}"
+        );
+        Self { signal, noise }
+    }
+
+    /// The received signal power.
+    #[must_use]
+    pub fn signal(&self) -> Milliwatts {
+        self.signal
+    }
+
+    /// The total noise power (crosstalk + `P0`).
+    #[must_use]
+    pub fn noise(&self) -> Milliwatts {
+        self.noise
+    }
+
+    /// SNR on the linear scale.
+    #[must_use]
+    pub fn snr_linear(&self) -> f64 {
+        self.signal / self.noise
+    }
+
+    /// SNR in dB.
+    #[must_use]
+    pub fn snr_db(&self) -> Decibels {
+        Decibels::from_linear(self.snr_linear())
+    }
+
+    /// Bit error rate under the paper's OOK direct-detection model (Eq. 9).
+    #[must_use]
+    pub fn ber(&self, convention: BerConvention) -> f64 {
+        ber(self.snr_linear(), convention)
+    }
+
+    /// `log10` of the bit error rate, the quantity plotted in Figs. 6(b)/7.
+    #[must_use]
+    pub fn log10_ber(&self, convention: BerConvention) -> f64 {
+        log10_ber(self.snr_linear(), convention)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn snr_of_equal_powers_is_zero_db() {
+        let sn = SignalNoise::new(Milliwatts::new(0.5), Milliwatts::new(0.5));
+        assert!(sn.snr_db().value().abs() < 1e-12);
+        assert!((sn.snr_linear() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "signal power")]
+    fn zero_signal_panics() {
+        let _ = SignalNoise::new(Milliwatts::new(0.0), Milliwatts::new(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "noise power")]
+    fn zero_noise_panics() {
+        let _ = SignalNoise::new(Milliwatts::new(0.1), Milliwatts::new(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn more_noise_means_worse_ber(
+            sig in 0.01f64..1.0,
+            n1 in 1e-6f64..1e-2,
+            n2 in 1e-2f64..1.0,
+        ) {
+            let quiet = SignalNoise::new(Milliwatts::new(sig), Milliwatts::new(n1));
+            let loud = SignalNoise::new(Milliwatts::new(sig), Milliwatts::new(n2));
+            prop_assert!(quiet.ber(BerConvention::PaperDb) <= loud.ber(BerConvention::PaperDb));
+            prop_assert!(quiet.ber(BerConvention::Linear) <= loud.ber(BerConvention::Linear));
+        }
+
+        #[test]
+        fn snr_db_matches_linear(sig in 1e-6f64..1.0, noise in 1e-6f64..1.0) {
+            let sn = SignalNoise::new(Milliwatts::new(sig), Milliwatts::new(noise));
+            prop_assert!((sn.snr_db().to_linear() - sn.snr_linear()).abs() <= 1e-9 * sn.snr_linear());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation outputs.
+
+use onoc_app::CommId;
+use onoc_photonics::WavelengthId;
+use onoc_topology::DirectedSegment;
+
+/// Two communications holding the same wavelength on the same directed
+/// waveguide segment during overlapping cycle intervals.
+///
+/// For §III-D-valid allocations this never happens; for invalid ones the
+/// list shows which static violations actually materialise at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelConflict {
+    /// Where the collision happens.
+    pub segment: DirectedSegment,
+    /// The contested wavelength.
+    pub channel: WavelengthId,
+    /// The first (earlier-starting) communication.
+    pub first: CommId,
+    /// The second communication.
+    pub second: CommId,
+    /// The overlapping cycle interval `[start, end)`.
+    pub overlap: (u64, u64),
+}
+
+impl core::fmt::Display for ChannelConflict {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} and {} both drive {} on {} during cycles {}..{}",
+            self.first, self.second, self.channel, self.segment, self.overlap.0, self.overlap.1
+        )
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Cycle at which the last task completed (the measured makespan).
+    pub makespan: u64,
+    /// Per task: `[start, end)` of its execution, task id order.
+    pub task_spans: Vec<(u64, u64)>,
+    /// Per communication: `[start, end)` of its transmission, comm id order.
+    pub comm_spans: Vec<(u64, u64)>,
+    /// Runtime wavelength collisions (empty for §III-D-valid allocations).
+    pub conflicts: Vec<ChannelConflict>,
+    /// Busy cycles accumulated per directed segment (summed over
+    /// wavelengths), for utilisation studies.
+    pub segment_busy: Vec<(DirectedSegment, u64)>,
+}
+
+impl SimReport {
+    /// Fraction of `[0, makespan)` during which `segment` carried at least
+    /// one busy wavelength-cycle, normalised per wavelength.
+    ///
+    /// Returns 0 for segments that never carried traffic.
+    #[must_use]
+    pub fn segment_utilization(&self, segment: DirectedSegment, wavelengths: usize) -> f64 {
+        if self.makespan == 0 || wavelengths == 0 {
+            return 0.0;
+        }
+        let busy = self
+            .segment_busy
+            .iter()
+            .find(|(s, _)| *s == segment)
+            .map_or(0, |&(_, b)| b);
+        busy as f64 / (self.makespan as f64 * wavelengths as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_topology::Direction;
+
+    fn seg(i: usize) -> DirectedSegment {
+        DirectedSegment {
+            index: i,
+            direction: Direction::Clockwise,
+        }
+    }
+
+    #[test]
+    fn conflict_display_names_everything() {
+        let c = ChannelConflict {
+            segment: seg(3),
+            channel: WavelengthId(1),
+            first: CommId(0),
+            second: CommId(4),
+            overlap: (10, 20),
+        };
+        let msg = c.to_string();
+        assert!(msg.contains("c0") && msg.contains("c4") && msg.contains("λ2"));
+        assert!(msg.contains("10..20"));
+    }
+
+    #[test]
+    fn utilization_arithmetic() {
+        let report = SimReport {
+            makespan: 100,
+            task_spans: vec![],
+            comm_spans: vec![],
+            conflicts: vec![],
+            segment_busy: vec![(seg(0), 50), (seg(1), 200)],
+        };
+        assert!((report.segment_utilization(seg(0), 1) - 0.5).abs() < 1e-12);
+        assert!((report.segment_utilization(seg(1), 4) - 0.5).abs() < 1e-12);
+        assert_eq!(report.segment_utilization(seg(2), 4), 0.0);
+    }
+
+    #[test]
+    fn utilization_degenerate_cases() {
+        let report = SimReport {
+            makespan: 0,
+            task_spans: vec![],
+            comm_spans: vec![],
+            conflicts: vec![],
+            segment_busy: vec![],
+        };
+        assert_eq!(report.segment_utilization(seg(0), 4), 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The assembled ONoC architecture.
+
+use onoc_photonics::{LossParams, Photodetector, Vcsel, WavelengthGrid};
+use onoc_units::Millimeters;
+
+use crate::{Direction, NodeId, RingGeometry, RingPath, RingTopology};
+
+/// Errors raised while assembling an [`OnocArchitecture`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// The tile grid is too small to form a ring.
+    GridTooSmall {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+    },
+    /// A loss parameter failed validation.
+    InvalidLossParams(String),
+    /// The WDM grid has no channels.
+    EmptyWavelengthGrid,
+}
+
+impl core::fmt::Display for ArchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ArchError::GridTooSmall { rows, cols } => {
+                write!(f, "grid {rows}x{cols} cannot form a ring (needs >= 2 tiles)")
+            }
+            ArchError::InvalidLossParams(msg) => write!(f, "invalid loss parameters: {msg}"),
+            ArchError::EmptyWavelengthGrid => write!(f, "wavelength grid has no channels"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// A complete ring-based WDM ONoC: topology, physical layout, WDM comb,
+/// element losses and transceiver characteristics (Fig. 1 of the paper).
+///
+/// Use [`OnocArchitecture::builder`] for custom configurations or
+/// [`OnocArchitecture::paper_architecture`] for the 16-core setup evaluated
+/// in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_topology::OnocArchitecture;
+/// use onoc_units::Millimeters;
+///
+/// let arch = OnocArchitecture::builder()
+///     .grid_dimensions(4, 4)
+///     .tile_pitch(Millimeters::new(1.5))
+///     .wavelengths(8)
+///     .build()?;
+/// assert_eq!(arch.ring().node_count(), 16);
+/// assert_eq!(arch.grid().count(), 8);
+/// # Ok::<(), onoc_topology::ArchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnocArchitecture {
+    ring: RingTopology,
+    geometry: RingGeometry,
+    grid: WavelengthGrid,
+    losses: LossParams,
+    laser: Vcsel,
+    detector: Photodetector,
+}
+
+impl OnocArchitecture {
+    /// Starts building an architecture; defaults reproduce the paper's
+    /// 16-core, Table-I configuration.
+    #[must_use]
+    pub fn builder() -> ArchBuilder {
+        ArchBuilder::default()
+    }
+
+    /// The 4×4-core ring of the paper's result section with `wavelengths`
+    /// WDM channels and all Table-I parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelengths` is zero.
+    #[must_use]
+    pub fn paper_architecture(wavelengths: usize) -> Self {
+        Self::builder()
+            .wavelengths(wavelengths)
+            .build()
+            .expect("paper defaults are valid")
+    }
+
+    /// The logical ring of ONIs.
+    #[must_use]
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// The physical serpentine layout.
+    #[must_use]
+    pub fn geometry(&self) -> &RingGeometry {
+        &self.geometry
+    }
+
+    /// The WDM wavelength comb.
+    #[must_use]
+    pub fn grid(&self) -> &WavelengthGrid {
+        &self.grid
+    }
+
+    /// Element loss parameters (Table I).
+    #[must_use]
+    pub fn losses(&self) -> &LossParams {
+        &self.losses
+    }
+
+    /// The per-wavelength OOK laser of each transmitter.
+    #[must_use]
+    pub fn laser(&self) -> &Vcsel {
+        &self.laser
+    }
+
+    /// The receiver photodetector.
+    #[must_use]
+    pub fn detector(&self) -> &Photodetector {
+        &self.detector
+    }
+
+    /// Builds the path `src → dst` along `direction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints coincide or lie outside the ring.
+    #[must_use]
+    pub fn route(&self, src: NodeId, dst: NodeId, direction: Direction) -> RingPath {
+        RingPath::new(&self.ring, src, dst, direction)
+    }
+
+    /// Builds the path `src → dst` along the shortest direction
+    /// (clockwise wins ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints coincide or lie outside the ring.
+    #[must_use]
+    pub fn route_shortest(&self, src: NodeId, dst: NodeId) -> RingPath {
+        self.route(src, dst, self.ring.shortest_direction(src, dst))
+    }
+}
+
+/// Builder for [`OnocArchitecture`]; see [`OnocArchitecture::builder`].
+#[derive(Debug, Clone)]
+pub struct ArchBuilder {
+    rows: usize,
+    cols: usize,
+    tile_pitch: Millimeters,
+    wavelengths: usize,
+    grid: Option<WavelengthGrid>,
+    losses: LossParams,
+    laser: Vcsel,
+    detector: Photodetector,
+}
+
+impl Default for ArchBuilder {
+    fn default() -> Self {
+        Self {
+            rows: 4,
+            cols: 4,
+            tile_pitch: RingGeometry::DEFAULT_PITCH,
+            wavelengths: 8,
+            grid: None,
+            losses: LossParams::default(),
+            laser: Vcsel::paper_laser(),
+            detector: Photodetector::default(),
+        }
+    }
+}
+
+impl ArchBuilder {
+    /// Sets the electrical-layer tile grid (`rows × cols` IP cores).
+    pub fn grid_dimensions(&mut self, rows: usize, cols: usize) -> &mut Self {
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Sets the distance between neighbouring tile centres.
+    pub fn tile_pitch(&mut self, pitch: Millimeters) -> &mut Self {
+        self.tile_pitch = pitch;
+        self
+    }
+
+    /// Uses the paper's WDM comb (1550 nm, 12.8 nm FSR, Q = 9600) with
+    /// `count` channels.
+    pub fn wavelengths(&mut self, count: usize) -> &mut Self {
+        self.wavelengths = count;
+        self.grid = None;
+        self
+    }
+
+    /// Uses a fully custom WDM comb instead of the paper's.
+    pub fn wavelength_grid(&mut self, grid: WavelengthGrid) -> &mut Self {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Overrides the element loss parameters (defaults to Table I).
+    pub fn loss_params(&mut self, losses: LossParams) -> &mut Self {
+        self.losses = losses;
+        self
+    }
+
+    /// Overrides the transmitter laser (defaults to the paper's VCSEL).
+    pub fn laser(&mut self, laser: Vcsel) -> &mut Self {
+        self.laser = laser;
+        self
+    }
+
+    /// Overrides the receiver photodetector.
+    pub fn detector(&mut self, detector: Photodetector) -> &mut Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Assembles the architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the grid cannot form a ring, the loss
+    /// parameters are unphysical, or the WDM comb is empty.
+    pub fn build(&self) -> Result<OnocArchitecture, ArchError> {
+        if self.rows * self.cols < 2 {
+            return Err(ArchError::GridTooSmall {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if self.grid.is_none() && self.wavelengths == 0 {
+            return Err(ArchError::EmptyWavelengthGrid);
+        }
+        self.losses
+            .validate()
+            .map_err(ArchError::InvalidLossParams)?;
+        let grid = self
+            .grid
+            .clone()
+            .unwrap_or_else(|| WavelengthGrid::paper_grid(self.wavelengths));
+        Ok(OnocArchitecture {
+            ring: RingTopology::new(self.rows * self.cols),
+            geometry: RingGeometry::new(self.rows, self.cols, self.tile_pitch),
+            grid,
+            losses: self.losses,
+            laser: self.laser,
+            detector: self.detector,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_units::Decibels;
+
+    #[test]
+    fn paper_architecture_defaults() {
+        let arch = OnocArchitecture::paper_architecture(12);
+        assert_eq!(arch.ring().node_count(), 16);
+        assert_eq!(arch.grid().count(), 12);
+        assert_eq!(arch.losses().mr_on, Decibels::new(-0.5));
+        assert_eq!(arch.geometry().tile_pitch(), Millimeters::new(1.5));
+    }
+
+    #[test]
+    fn builder_rejects_tiny_grid() {
+        let err = OnocArchitecture::builder()
+            .grid_dimensions(1, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArchError::GridTooSmall { rows: 1, cols: 1 }));
+    }
+
+    #[test]
+    fn builder_rejects_empty_comb() {
+        let err = OnocArchitecture::builder()
+            .wavelengths(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArchError::EmptyWavelengthGrid);
+    }
+
+    #[test]
+    fn builder_rejects_gainy_losses() {
+        let err = OnocArchitecture::builder()
+            .loss_params(LossParams {
+                mr_off: Decibels::new(0.1),
+                ..LossParams::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArchError::InvalidLossParams(_)));
+    }
+
+    #[test]
+    fn shortest_route_picks_short_side() {
+        let arch = OnocArchitecture::paper_architecture(4);
+        let p = arch.route_shortest(NodeId(1), NodeId(14));
+        assert_eq!(p.direction(), Direction::CounterClockwise);
+        assert_eq!(p.hops(), 3);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ArchError::GridTooSmall { rows: 1, cols: 1 };
+        assert!(e.to_string().contains("1x1"));
+    }
+}

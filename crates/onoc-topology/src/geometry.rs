@@ -1,0 +1,292 @@
+//! Physical serpentine layout of the ring waveguide over the tile grid.
+
+use onoc_units::Millimeters;
+
+use crate::{Direction, NodeId};
+
+/// The physical embedding of the ring waveguide into a `rows × cols` tile
+/// grid, following the serpentine traversal of Fig. 5(b):
+///
+/// ```text
+///  0  1  2  3        ring position  = figure label
+///  7  6  5  4        row 1 runs right-to-left
+///  8  9 10 11
+/// 15 14 13 12
+/// ```
+///
+/// Segment `k` is the physical waveguide between ring positions `k` and
+/// `k+1 (mod N)`. Straight intra-row segments are one tile pitch long with no
+/// bends; row turns and the closing segment run over the tile fabric with two
+/// 90° bends each.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_topology::RingGeometry;
+/// use onoc_units::Millimeters;
+///
+/// let geo = RingGeometry::new(4, 4, Millimeters::new(1.5));
+/// assert_eq!(geo.grid_coordinates(onoc_topology::NodeId(5)), (1, 2));
+/// assert_eq!(geo.segment_bends(2), 0);  // 2 → 3: straight
+/// assert_eq!(geo.segment_bends(3), 2);  // 3 → 4: row turn
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingGeometry {
+    rows: usize,
+    cols: usize,
+    tile_pitch: Millimeters,
+}
+
+impl RingGeometry {
+    /// Tile pitch used by the reproduction's calibration (DESIGN.md, S7).
+    pub const DEFAULT_PITCH: Millimeters = Millimeters::new(1.5);
+
+    /// Creates the serpentine layout of a `rows × cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has fewer than two tiles or a non-positive pitch.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, tile_pitch: Millimeters) -> Self {
+        assert!(
+            rows * cols >= 2,
+            "the grid needs at least 2 tiles, got {rows}x{cols}"
+        );
+        assert!(
+            tile_pitch.value() > 0.0,
+            "tile pitch must be strictly positive, got {tile_pitch}"
+        );
+        Self {
+            rows,
+            cols,
+            tile_pitch,
+        }
+    }
+
+    /// The 4×4 grid at the default pitch used throughout the paper
+    /// reproduction.
+    #[must_use]
+    pub fn paper_geometry() -> Self {
+        Self::new(4, 4, Self::DEFAULT_PITCH)
+    }
+
+    /// Grid rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of ring nodes (= tiles).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Distance between neighbouring tile centres.
+    #[must_use]
+    pub fn tile_pitch(&self) -> Millimeters {
+        self.tile_pitch
+    }
+
+    /// Maps a ring position to its `(row, col)` grid coordinate under the
+    /// serpentine traversal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the grid.
+    #[must_use]
+    pub fn grid_coordinates(&self, node: NodeId) -> (usize, usize) {
+        assert!(
+            node.0 < self.node_count(),
+            "{node} outside a {}x{} grid",
+            self.rows,
+            self.cols
+        );
+        let row = node.0 / self.cols;
+        let offset = node.0 % self.cols;
+        let col = if row.is_multiple_of(2) {
+            offset
+        } else {
+            self.cols - 1 - offset
+        };
+        (row, col)
+    }
+
+    /// Length of physical segment `k` (between ring positions `k` and
+    /// `k+1 mod N`): the Manhattan distance between the two tile centres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment >= node_count()`.
+    #[must_use]
+    pub fn segment_length(&self, segment: usize) -> Millimeters {
+        let (a, b) = self.segment_endpoints(segment);
+        let (ra, ca) = self.grid_coordinates(a);
+        let (rb, cb) = self.grid_coordinates(b);
+        let manhattan = ra.abs_diff(rb) + ca.abs_diff(cb);
+        self.tile_pitch * manhattan as f64
+    }
+
+    /// Number of 90° bends on physical segment `k`: zero for straight
+    /// intra-row hops, two for row turns and for the closing segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment >= node_count()`.
+    #[must_use]
+    pub fn segment_bends(&self, segment: usize) -> usize {
+        let (a, b) = self.segment_endpoints(segment);
+        let (ra, ca) = self.grid_coordinates(a);
+        let (rb, cb) = self.grid_coordinates(b);
+        if ra == rb && ca.abs_diff(cb) == 1 {
+            0
+        } else {
+            2
+        }
+    }
+
+    /// Total ring length (sum of all segment lengths).
+    #[must_use]
+    pub fn ring_length(&self) -> Millimeters {
+        (0..self.node_count())
+            .map(|s| self.segment_length(s))
+            .sum()
+    }
+
+    /// The pair of ring positions joined by physical segment `k`, ordered in
+    /// clockwise traversal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment >= node_count()`.
+    #[must_use]
+    pub fn segment_endpoints(&self, segment: usize) -> (NodeId, NodeId) {
+        let n = self.node_count();
+        assert!(segment < n, "segment {segment} outside a {n}-segment ring");
+        (NodeId(segment), NodeId((segment + 1) % n))
+    }
+
+    /// The physical segment crossed when leaving `node` in `direction`.
+    #[must_use]
+    pub fn departing_segment(&self, node: NodeId, direction: Direction) -> usize {
+        let n = self.node_count();
+        assert!(node.0 < n, "{node} outside a {n}-node ring");
+        match direction {
+            Direction::Clockwise => node.0,
+            Direction::CounterClockwise => (node.0 + n - 1) % n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn paper() -> RingGeometry {
+        RingGeometry::paper_geometry()
+    }
+
+    #[test]
+    fn serpentine_matches_figure_5b() {
+        // Fig. 5(b): positions 0..3 on row 0 (L→R), 4..7 on row 1 (R→L), …
+        let geo = paper();
+        assert_eq!(geo.grid_coordinates(NodeId(0)), (0, 0));
+        assert_eq!(geo.grid_coordinates(NodeId(3)), (0, 3));
+        assert_eq!(geo.grid_coordinates(NodeId(4)), (1, 3));
+        assert_eq!(geo.grid_coordinates(NodeId(7)), (1, 0));
+        assert_eq!(geo.grid_coordinates(NodeId(8)), (2, 0));
+        assert_eq!(geo.grid_coordinates(NodeId(12)), (3, 3));
+        assert_eq!(geo.grid_coordinates(NodeId(15)), (3, 0));
+    }
+
+    #[test]
+    fn straight_segments_have_pitch_length_and_no_bends() {
+        let geo = paper();
+        for s in [0, 1, 2, 4, 5, 6, 8, 9, 10, 12, 13, 14] {
+            assert_eq!(geo.segment_length(s), Millimeters::new(1.5), "segment {s}");
+            assert_eq!(geo.segment_bends(s), 0, "segment {s}");
+        }
+    }
+
+    #[test]
+    fn row_turns_have_two_bends() {
+        let geo = paper();
+        for s in [3, 7, 11] {
+            assert_eq!(geo.segment_length(s), Millimeters::new(1.5), "segment {s}");
+            assert_eq!(geo.segment_bends(s), 2, "segment {s}");
+        }
+    }
+
+    #[test]
+    fn closing_segment_runs_up_the_left_edge() {
+        let geo = paper();
+        // Position 15 = (3,0) back to position 0 = (0,0): 3 tiles up.
+        assert_eq!(geo.segment_length(15), Millimeters::new(4.5));
+        assert_eq!(geo.segment_bends(15), 2);
+    }
+
+    #[test]
+    fn ring_length_totals() {
+        // 15 unit segments + one 3-pitch closing run = 18 pitches = 27 mm.
+        assert_eq!(paper().ring_length(), Millimeters::new(27.0));
+    }
+
+    #[test]
+    fn departing_segments() {
+        let geo = paper();
+        assert_eq!(geo.departing_segment(NodeId(5), Direction::Clockwise), 5);
+        assert_eq!(
+            geo.departing_segment(NodeId(5), Direction::CounterClockwise),
+            4
+        );
+        assert_eq!(
+            geo.departing_segment(NodeId(0), Direction::CounterClockwise),
+            15
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_segment_panics() {
+        let _ = paper().segment_length(16);
+    }
+
+    proptest! {
+        #[test]
+        fn serpentine_is_a_bijection(rows in 1usize..8, cols in 1usize..8) {
+            prop_assume!(rows * cols >= 2);
+            let geo = RingGeometry::new(rows, cols, Millimeters::new(1.0));
+            let mut seen = std::collections::HashSet::new();
+            for p in 0..geo.node_count() {
+                let rc = geo.grid_coordinates(NodeId(p));
+                prop_assert!(rc.0 < rows && rc.1 < cols);
+                prop_assert!(seen.insert(rc), "duplicate coordinate {rc:?}");
+            }
+        }
+
+        #[test]
+        fn consecutive_positions_are_grid_neighbours_except_closing(
+            rows in 1usize..8, cols in 1usize..8, p in 0usize..62,
+        ) {
+            prop_assume!(rows * cols >= 2 && p + 1 < rows * cols);
+            let geo = RingGeometry::new(rows, cols, Millimeters::new(1.0));
+            let (ra, ca) = geo.grid_coordinates(NodeId(p));
+            let (rb, cb) = geo.grid_coordinates(NodeId(p + 1));
+            prop_assert_eq!(ra.abs_diff(rb) + ca.abs_diff(cb), 1);
+        }
+
+        #[test]
+        fn segment_lengths_are_positive(rows in 1usize..8, cols in 1usize..8, s in 0usize..63) {
+            prop_assume!(rows * cols >= 2 && s < rows * cols);
+            let geo = RingGeometry::new(rows, cols, Millimeters::new(2.0));
+            prop_assert!(geo.segment_length(s).value() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Source→destination paths along the ring.
+
+use crate::{Direction, NodeId, RingTopology};
+
+/// A physical waveguide segment together with the traversal direction.
+///
+/// The architecture has one waveguide per direction, so two transmissions
+/// interact only if they share a `DirectedSegment` — same physical span *and*
+/// same waveguide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectedSegment {
+    /// Physical segment index (between ring positions `index` and `index+1`).
+    pub index: usize,
+    /// Which of the two waveguides carries the signal.
+    pub direction: Direction,
+}
+
+impl core::fmt::Display for DirectedSegment {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "s{}/{}", self.index, self.direction)
+    }
+}
+
+/// A simple path from a source ONI to a destination ONI along one waveguide.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_topology::{Direction, NodeId, RingPath, RingTopology};
+///
+/// let ring = RingTopology::new(16);
+/// let path = RingPath::new(&ring, NodeId(1), NodeId(4), Direction::Clockwise);
+/// assert_eq!(path.hops(), 3);
+/// assert_eq!(path.nodes().collect::<Vec<_>>(), vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+/// assert!(path.passes_through(NodeId(2)));
+/// assert!(!path.passes_through(NodeId(4))); // destination is not "passed through"
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RingPath {
+    src: NodeId,
+    dst: NodeId,
+    direction: Direction,
+    ring_size: usize,
+}
+
+impl RingPath {
+    /// Creates the path `src → dst` travelling in `direction` on `ring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the ring or if `src == dst`
+    /// (an ONI does not use the optical layer to talk to itself).
+    #[must_use]
+    pub fn new(ring: &RingTopology, src: NodeId, dst: NodeId, direction: Direction) -> Self {
+        assert!(ring.contains(src), "{src} outside the ring");
+        assert!(ring.contains(dst), "{dst} outside the ring");
+        assert_ne!(src, dst, "a path needs distinct endpoints, got {src} twice");
+        Self {
+            src,
+            dst,
+            direction,
+            ring_size: ring.node_count(),
+        }
+    }
+
+    /// Source ONI.
+    #[must_use]
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Destination ONI.
+    #[must_use]
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Traversal direction.
+    #[must_use]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Size of the ring this path lives on.
+    #[must_use]
+    pub fn ring_size(&self) -> usize {
+        self.ring_size
+    }
+
+    /// Number of waveguide segments crossed.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        RingTopology::new(self.ring_size).hops(self.src, self.dst, self.direction)
+    }
+
+    /// All visited nodes in traversal order, source first, destination last.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + use<> {
+        let ring = RingTopology::new(self.ring_size);
+        let direction = self.direction;
+        let mut at = self.src;
+        (0..=self.hops()).map(move |_| {
+            let current = at;
+            at = ring.successor(at, direction);
+            current
+        })
+    }
+
+    /// The nodes strictly between source and destination, in traversal order.
+    pub fn intermediate_nodes(&self) -> impl Iterator<Item = NodeId> + use<> {
+        let hops = self.hops();
+        self.nodes()
+            .enumerate()
+            .filter(move |&(i, _)| i > 0 && i < hops)
+            .map(|(_, n)| n)
+    }
+
+    /// The directed segments crossed, in traversal order.
+    pub fn segments(&self) -> impl Iterator<Item = DirectedSegment> + use<> {
+        let ring = RingTopology::new(self.ring_size);
+        let direction = self.direction;
+        let n = self.ring_size;
+        let mut at = self.src;
+        (0..self.hops()).map(move |_| {
+            let index = match direction {
+                Direction::Clockwise => at.0,
+                Direction::CounterClockwise => (at.0 + n - 1) % n,
+            };
+            at = ring.successor(at, direction);
+            DirectedSegment { index, direction }
+        })
+    }
+
+    /// Returns `true` if the path crosses the given directed segment.
+    #[must_use]
+    pub fn contains_segment(&self, segment: DirectedSegment) -> bool {
+        segment.direction == self.direction && self.segments().any(|s| s == segment)
+    }
+
+    /// Returns `true` if the two paths share at least one directed segment —
+    /// i.e. their signals co-propagate somewhere and must use disjoint
+    /// wavelengths (the paper's validity constraint, §III-D).
+    #[must_use]
+    pub fn overlaps(&self, other: &RingPath) -> bool {
+        if self.direction != other.direction {
+            return false;
+        }
+        other.segments().any(|s| self.contains_segment(s))
+    }
+
+    /// Returns `true` if `node` lies strictly inside the path (crossed but
+    /// neither source nor destination).
+    #[must_use]
+    pub fn passes_through(&self, node: NodeId) -> bool {
+        self.intermediate_nodes().any(|n| n == node)
+    }
+
+    /// Returns `true` if the signal reaches the receiver stack of `node`:
+    /// either it passes through the node or terminates there.
+    #[must_use]
+    pub fn reaches_receiver(&self, node: NodeId) -> bool {
+        node == self.dst || self.passes_through(node)
+    }
+}
+
+impl core::fmt::Display for RingPath {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}→{} ({})", self.src, self.dst, self.direction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ring16() -> RingTopology {
+        RingTopology::new(16)
+    }
+
+    #[test]
+    fn clockwise_segments_are_consecutive() {
+        let p = RingPath::new(&ring16(), NodeId(1), NodeId(4), Direction::Clockwise);
+        let segs: Vec<_> = p.segments().map(|s| s.index).collect();
+        assert_eq!(segs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn counterclockwise_segments() {
+        let p = RingPath::new(&ring16(), NodeId(1), NodeId(14), Direction::CounterClockwise);
+        let segs: Vec<_> = p.segments().map(|s| s.index).collect();
+        assert_eq!(segs, vec![0, 15, 14]);
+        assert_eq!(
+            p.nodes().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(0), NodeId(15), NodeId(14)]
+        );
+    }
+
+    #[test]
+    fn wrapping_clockwise_path() {
+        let p = RingPath::new(&ring16(), NodeId(14), NodeId(1), Direction::Clockwise);
+        let segs: Vec<_> = p.segments().map(|s| s.index).collect();
+        assert_eq!(segs, vec![14, 15, 0]);
+    }
+
+    #[test]
+    fn overlap_requires_same_direction() {
+        let ring = ring16();
+        let cw = RingPath::new(&ring, NodeId(0), NodeId(3), Direction::Clockwise);
+        let ccw = RingPath::new(&ring, NodeId(3), NodeId(0), Direction::CounterClockwise);
+        // Same physical span, opposite waveguides: no interaction.
+        assert!(!cw.overlaps(&ccw));
+    }
+
+    #[test]
+    fn overlap_detects_shared_span() {
+        let ring = ring16();
+        let a = RingPath::new(&ring, NodeId(0), NodeId(3), Direction::Clockwise);
+        let b = RingPath::new(&ring, NodeId(1), NodeId(3), Direction::Clockwise);
+        let c = RingPath::new(&ring, NodeId(3), NodeId(7), Direction::Clockwise);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c)); // meets only at node 3, no shared segment
+    }
+
+    #[test]
+    fn intermediate_nodes_exclude_endpoints() {
+        let p = RingPath::new(&ring16(), NodeId(1), NodeId(4), Direction::Clockwise);
+        assert_eq!(
+            p.intermediate_nodes().collect::<Vec<_>>(),
+            vec![NodeId(2), NodeId(3)]
+        );
+        assert!(p.reaches_receiver(NodeId(4)));
+        assert!(p.reaches_receiver(NodeId(2)));
+        assert!(!p.reaches_receiver(NodeId(1)));
+    }
+
+    #[test]
+    fn single_hop_has_no_intermediates() {
+        let p = RingPath::new(&ring16(), NodeId(7), NodeId(8), Direction::Clockwise);
+        assert_eq!(p.intermediate_nodes().count(), 0);
+        assert_eq!(p.hops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn self_path_panics() {
+        let _ = RingPath::new(&ring16(), NodeId(3), NodeId(3), Direction::Clockwise);
+    }
+
+    proptest! {
+        #[test]
+        fn node_and_segment_counts_agree(
+            n in 2usize..32, a in 0usize..32, b in 0usize..32,
+        ) {
+            prop_assume!(a < n && b < n && a != b);
+            let ring = RingTopology::new(n);
+            for d in Direction::BOTH {
+                let p = RingPath::new(&ring, NodeId(a), NodeId(b), d);
+                prop_assert_eq!(p.nodes().count(), p.hops() + 1);
+                prop_assert_eq!(p.segments().count(), p.hops());
+                prop_assert_eq!(p.intermediate_nodes().count(), p.hops() - 1);
+            }
+        }
+
+        #[test]
+        fn segments_are_distinct(n in 2usize..32, a in 0usize..32, b in 0usize..32) {
+            prop_assume!(a < n && b < n && a != b);
+            let ring = RingTopology::new(n);
+            for d in Direction::BOTH {
+                let p = RingPath::new(&ring, NodeId(a), NodeId(b), d);
+                let set: std::collections::HashSet<_> = p.segments().collect();
+                prop_assert_eq!(set.len(), p.hops());
+            }
+        }
+
+        #[test]
+        fn overlap_is_symmetric(
+            a in 0usize..16, b in 0usize..16, c in 0usize..16, d in 0usize..16,
+        ) {
+            prop_assume!(a != b && c != d);
+            let ring = RingTopology::new(16);
+            let p = RingPath::new(&ring, NodeId(a), NodeId(b), Direction::Clockwise);
+            let q = RingPath::new(&ring, NodeId(c), NodeId(d), Direction::Clockwise);
+            prop_assert_eq!(p.overlaps(&q), q.overlaps(&p));
+        }
+
+        #[test]
+        fn opposite_full_paths_never_overlap(
+            a in 0usize..16, b in 0usize..16,
+        ) {
+            prop_assume!(a != b);
+            let ring = RingTopology::new(16);
+            let p = RingPath::new(&ring, NodeId(a), NodeId(b), Direction::Clockwise);
+            let q = RingPath::new(&ring, NodeId(a), NodeId(b), Direction::CounterClockwise);
+            prop_assert!(!p.overlaps(&q));
+        }
+    }
+}

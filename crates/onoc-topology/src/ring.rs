@@ -1,0 +1,242 @@
+//! Ring topology: nodes, directions and hop distances.
+
+/// Index of an optical network interface (ONI) along the ring.
+///
+/// Node indices follow the *ring order* — the serpentine traversal of the
+/// tile grid shown in Fig. 5(b) of the paper — not the row-major grid order.
+/// [`RingGeometry`](crate::RingGeometry) maps ring positions back to grid
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the raw ring position.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Propagation direction along the ring.
+///
+/// The architecture provisions one waveguide per direction (ORNoC-style);
+/// signals on different directions never share optical elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Traverses nodes in increasing ring order (`0 → 1 → 2 → …`).
+    Clockwise,
+    /// Traverses nodes in decreasing ring order (`0 → N−1 → N−2 → …`).
+    CounterClockwise,
+}
+
+impl Direction {
+    /// Both directions, clockwise first.
+    pub const BOTH: [Direction; 2] = [Direction::Clockwise, Direction::CounterClockwise];
+
+    /// The opposite direction.
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        match self {
+            Direction::Clockwise => Direction::CounterClockwise,
+            Direction::CounterClockwise => Direction::Clockwise,
+        }
+    }
+}
+
+impl core::fmt::Display for Direction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Direction::Clockwise => write!(f, "CW"),
+            Direction::CounterClockwise => write!(f, "CCW"),
+        }
+    }
+}
+
+/// A unidirectional ring of `n` ONIs (n ≥ 2).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_topology::{Direction, NodeId, RingTopology};
+///
+/// let ring = RingTopology::new(16);
+/// assert_eq!(ring.hops(NodeId(1), NodeId(4), Direction::Clockwise), 3);
+/// assert_eq!(ring.hops(NodeId(1), NodeId(4), Direction::CounterClockwise), 13);
+/// assert_eq!(ring.shortest_direction(NodeId(1), NodeId(15)), Direction::CounterClockwise);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingTopology {
+    nodes: usize,
+}
+
+impl RingTopology {
+    /// Creates a ring of `nodes` ONIs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`; a ring needs at least a sender and a receiver.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes >= 2, "a ring needs at least 2 nodes, got {nodes}");
+        Self { nodes }
+    }
+
+    /// Number of ONIs on the ring.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Iterates over all nodes in ring order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + use<> {
+        (0..self.nodes).map(NodeId)
+    }
+
+    /// Returns `true` if `node` belongs to this ring.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.0 < self.nodes
+    }
+
+    /// The next node from `node` travelling in `direction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not on the ring.
+    #[must_use]
+    pub fn successor(&self, node: NodeId, direction: Direction) -> NodeId {
+        self.assert_member(node);
+        match direction {
+            Direction::Clockwise => NodeId((node.0 + 1) % self.nodes),
+            Direction::CounterClockwise => NodeId((node.0 + self.nodes - 1) % self.nodes),
+        }
+    }
+
+    /// Number of waveguide segments crossed travelling `src → dst` in
+    /// `direction`.
+    ///
+    /// Travelling from a node to itself takes zero hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not on the ring.
+    #[must_use]
+    pub fn hops(&self, src: NodeId, dst: NodeId, direction: Direction) -> usize {
+        self.assert_member(src);
+        self.assert_member(dst);
+        match direction {
+            Direction::Clockwise => (dst.0 + self.nodes - src.0) % self.nodes,
+            Direction::CounterClockwise => (src.0 + self.nodes - dst.0) % self.nodes,
+        }
+    }
+
+    /// The direction with the fewest hops from `src` to `dst`
+    /// (clockwise wins ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not on the ring.
+    #[must_use]
+    pub fn shortest_direction(&self, src: NodeId, dst: NodeId) -> Direction {
+        let cw = self.hops(src, dst, Direction::Clockwise);
+        let ccw = self.hops(src, dst, Direction::CounterClockwise);
+        if cw <= ccw {
+            Direction::Clockwise
+        } else {
+            Direction::CounterClockwise
+        }
+    }
+
+    fn assert_member(&self, node: NodeId) {
+        assert!(
+            self.contains(node),
+            "{node} is not on a {}-node ring",
+            self.nodes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn successor_wraps() {
+        let ring = RingTopology::new(4);
+        assert_eq!(ring.successor(NodeId(3), Direction::Clockwise), NodeId(0));
+        assert_eq!(
+            ring.successor(NodeId(0), Direction::CounterClockwise),
+            NodeId(3)
+        );
+    }
+
+    #[test]
+    fn hops_zero_to_self() {
+        let ring = RingTopology::new(16);
+        for d in Direction::BOTH {
+            assert_eq!(ring.hops(NodeId(5), NodeId(5), d), 0);
+        }
+    }
+
+    #[test]
+    fn shortest_direction_prefers_clockwise_on_tie() {
+        let ring = RingTopology::new(8);
+        // 4 hops either way.
+        assert_eq!(
+            ring.shortest_direction(NodeId(0), NodeId(4)),
+            Direction::Clockwise
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not on a")]
+    fn foreign_node_panics() {
+        let ring = RingTopology::new(4);
+        let _ = ring.hops(NodeId(0), NodeId(4), Direction::Clockwise);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn degenerate_ring_panics() {
+        let _ = RingTopology::new(1);
+    }
+
+    proptest! {
+        #[test]
+        fn hops_complementary(n in 2usize..64, a in 0usize..64, b in 0usize..64) {
+            prop_assume!(a < n && b < n && a != b);
+            let ring = RingTopology::new(n);
+            let cw = ring.hops(NodeId(a), NodeId(b), Direction::Clockwise);
+            let ccw = ring.hops(NodeId(a), NodeId(b), Direction::CounterClockwise);
+            prop_assert_eq!(cw + ccw, n);
+        }
+
+        #[test]
+        fn walking_hops_successors_arrives(n in 2usize..32, a in 0usize..32, b in 0usize..32) {
+            prop_assume!(a < n && b < n);
+            let ring = RingTopology::new(n);
+            for d in Direction::BOTH {
+                let mut at = NodeId(a);
+                for _ in 0..ring.hops(NodeId(a), NodeId(b), d) {
+                    at = ring.successor(at, d);
+                }
+                prop_assert_eq!(at, NodeId(b));
+            }
+        }
+
+        #[test]
+        fn shortest_never_exceeds_half(n in 2usize..64, a in 0usize..64, b in 0usize..64) {
+            prop_assume!(a < n && b < n);
+            let ring = RingTopology::new(n);
+            let d = ring.shortest_direction(NodeId(a), NodeId(b));
+            prop_assert!(ring.hops(NodeId(a), NodeId(b), d) <= n / 2);
+        }
+    }
+}

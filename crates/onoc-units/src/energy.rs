@@ -1,0 +1,102 @@
+//! Energy quantities.
+
+use crate::{Milliwatts, Seconds};
+
+/// An energy in femtojoules, the natural scale for per-bit link energy.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_units::{Femtojoules, Milliwatts, Seconds};
+///
+/// // 0.1 mW for 100 ps = 10 fJ.
+/// let e = Femtojoules::from_power(Milliwatts::new(0.1), Seconds::new(100e-12));
+/// assert!((e.value() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Femtojoules(f64);
+
+impl_unit_newtype!(Femtojoules, "fJ");
+impl_unit_add_sub!(Femtojoules);
+impl_unit_scale!(Femtojoules);
+
+impl Femtojoules {
+    /// Energy dissipated by `power` over `duration`.
+    #[must_use]
+    pub fn from_power(power: Milliwatts, duration: Seconds) -> Self {
+        // mW * s = mJ = 1e12 fJ
+        Self(power.value() * duration.value() * 1e12)
+    }
+
+    /// Converts to joules.
+    #[must_use]
+    pub fn to_joules(self) -> Joules {
+        Joules(self.0 * 1e-15)
+    }
+}
+
+/// An energy in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(f64);
+
+impl_unit_newtype!(Joules, "J");
+impl_unit_add_sub!(Joules);
+impl_unit_scale!(Joules);
+
+impl Joules {
+    /// Converts to femtojoules.
+    #[must_use]
+    pub fn to_femtojoules(self) -> Femtojoules {
+        Femtojoules(self.0 * 1e15)
+    }
+}
+
+impl From<Joules> for Femtojoules {
+    fn from(j: Joules) -> Self {
+        j.to_femtojoules()
+    }
+}
+
+impl From<Femtojoules> for Joules {
+    fn from(fj: Femtojoules) -> Self {
+        fj.to_joules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn power_times_time() {
+        // 1 mW over 1 ns = 1 pJ = 1000 fJ.
+        let e = Femtojoules::from_power(Milliwatts::new(1.0), Seconds::new(1e-9));
+        assert!((e.value() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joule_roundtrip_known() {
+        assert!((Femtojoules::new(5.0).to_joules().value() - 5e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn display_has_units() {
+        assert_eq!(Femtojoules::new(3.5).to_string(), "3.5 fJ");
+    }
+
+    proptest! {
+        #[test]
+        fn fj_joule_roundtrip(fj in 0.0f64..1e9) {
+            let back = Femtojoules::new(fj).to_joules().to_femtojoules();
+            prop_assert!((back.value() - fj).abs() <= 1e-9 * fj.max(1.0));
+        }
+
+        #[test]
+        fn energy_scales_linearly_with_time(p in 0.001f64..10.0, t in 1e-12f64..1e-3) {
+            let one = Femtojoules::from_power(Milliwatts::new(p), Seconds::new(t));
+            let two = Femtojoules::from_power(Milliwatts::new(p), Seconds::new(2.0 * t));
+            prop_assert!((two.value() - 2.0 * one.value()).abs() <= 1e-9 * two.value().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! On-chip geometric quantities.
+
+/// A physical length in millimetres (tile pitch, waveguide segment length).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_units::Millimeters;
+///
+/// let pitch = Millimeters::new(1.5);
+/// let three_hops = pitch * 3.0;
+/// assert_eq!(three_hops, Millimeters::new(4.5));
+/// assert!((three_hops.to_centimeters().value() - 0.45).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Millimeters(f64);
+
+impl_unit_newtype!(Millimeters, "mm");
+impl_unit_add_sub!(Millimeters);
+impl_unit_scale!(Millimeters);
+
+impl Millimeters {
+    /// Converts to centimetres (the paper quotes propagation loss per cm).
+    #[must_use]
+    pub fn to_centimeters(self) -> Centimeters {
+        Centimeters(self.0 / 10.0)
+    }
+}
+
+/// A physical length in centimetres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Centimeters(f64);
+
+impl_unit_newtype!(Centimeters, "cm");
+impl_unit_add_sub!(Centimeters);
+impl_unit_scale!(Centimeters);
+
+impl Centimeters {
+    /// Converts to millimetres.
+    #[must_use]
+    pub fn to_millimeters(self) -> Millimeters {
+        Millimeters(self.0 * 10.0)
+    }
+}
+
+impl From<Millimeters> for Centimeters {
+    fn from(mm: Millimeters) -> Self {
+        mm.to_centimeters()
+    }
+}
+
+impl From<Centimeters> for Millimeters {
+    fn from(cm: Centimeters) -> Self {
+        cm.to_millimeters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conversion_known_value() {
+        assert_eq!(Millimeters::new(25.0).to_centimeters(), Centimeters::new(2.5));
+        assert_eq!(Centimeters::new(0.3).to_millimeters(), Millimeters::new(3.0));
+    }
+
+    #[test]
+    fn display_has_units() {
+        assert_eq!(Millimeters::new(1.5).to_string(), "1.5 mm");
+        assert_eq!(Centimeters::new(0.15).to_string(), "0.15 cm");
+    }
+
+    proptest! {
+        #[test]
+        fn mm_cm_roundtrip(mm in 0.0f64..1e6) {
+            let back = Millimeters::new(mm).to_centimeters().to_millimeters();
+            prop_assert!((back.value() - mm).abs() <= 1e-9 * mm.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Zero-cost physical-unit newtypes for the `ring-wdm-onoc` workspace.
+//!
+//! Optical power-budget arithmetic constantly mixes *relative* quantities
+//! (losses in dB), *absolute logarithmic* quantities (powers in dBm) and
+//! *linear* quantities (powers in mW). Mixing them up silently is the classic
+//! source of wrong link budgets, so this crate gives each physical dimension
+//! its own newtype and only implements the operations that are physically
+//! meaningful:
+//!
+//! * [`Decibels`] + [`Decibels`] → [`Decibels`] (losses accumulate),
+//! * [`DbMilliwatts`] + [`Decibels`] → [`DbMilliwatts`] (a power is attenuated),
+//! * [`DbMilliwatts`] − [`DbMilliwatts`] → [`Decibels`] (power ratio),
+//! * [`Milliwatts`] + [`Milliwatts`] → [`Milliwatts`] (incoherent powers add
+//!   linearly — e.g. crosstalk contributions at a photodetector),
+//!
+//! while `DbMilliwatts + DbMilliwatts` simply does not compile.
+//!
+//! # Examples
+//!
+//! ```
+//! use onoc_units::{DbMilliwatts, Decibels, Milliwatts};
+//!
+//! let laser = DbMilliwatts::new(-10.0);          // -10 dBm = 0.1 mW
+//! let loss = Decibels::new(-3.0);                // a 3 dB loss
+//! let received = laser + loss;                    // -13 dBm
+//! assert!((received.to_milliwatts().value() - 0.0501).abs() < 1e-3);
+//!
+//! let a = Milliwatts::new(0.2);
+//! let b = Milliwatts::new(0.3);
+//! assert_eq!((a + b).value(), 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod energy;
+mod geometry;
+mod power;
+mod spectral;
+mod temporal;
+
+pub use energy::{Femtojoules, Joules};
+pub use geometry::{Centimeters, Millimeters};
+pub use power::{DbMilliwatts, Decibels, Milliwatts};
+pub use spectral::Nanometers;
+pub use temporal::{BitsPerCycle, Cycles, GigabitsPerSecond, Gigahertz, Seconds};
+
+/// A dimensionless count of bits, kept as `f64` so that it can be divided by
+/// a fractional aggregate bandwidth without explicit casts.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_units::{Bits, BitsPerCycle, Cycles};
+///
+/// let volume = Bits::new(8_000.0);
+/// let rate = BitsPerCycle::new(4.0); // 4 wavelengths at 1 bit/cycle
+/// assert_eq!(volume / rate, Cycles::new(2_000.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Bits(f64);
+
+impl_unit_newtype!(Bits, "bit");
+impl_unit_add_sub!(Bits);
+impl_unit_scale!(Bits);
+
+impl Bits {
+    /// Creates a bit count from a volume expressed in kilobits (1 kb = 1000 bits).
+    ///
+    /// The paper's task-graph edge weights are given in kb.
+    #[must_use]
+    pub fn from_kilobits(kb: f64) -> Self {
+        Self(kb * 1_000.0)
+    }
+
+    /// Returns the volume in kilobits.
+    #[must_use]
+    pub fn to_kilobits(self) -> f64 {
+        self.0 / 1_000.0
+    }
+}
+
+impl core::ops::Div<BitsPerCycle> for Bits {
+    type Output = Cycles;
+
+    fn div(self, rate: BitsPerCycle) -> Cycles {
+        Cycles::new(self.0 / rate.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kilobit_roundtrip() {
+        let b = Bits::from_kilobits(6.0);
+        assert_eq!(b.value(), 6_000.0);
+        assert_eq!(b.to_kilobits(), 6.0);
+    }
+
+    #[test]
+    fn bits_over_rate_is_cycles() {
+        let t = Bits::new(1_000.0) / BitsPerCycle::new(2.0);
+        assert_eq!(t, Cycles::new(500.0));
+    }
+
+    #[test]
+    fn bits_display() {
+        assert_eq!(Bits::new(12.0).to_string(), "12 bit");
+    }
+}

@@ -1,0 +1,133 @@
+//! Internal helper macros for unit newtypes. Not exported.
+
+/// Implements the shared constructor/accessor/`Display` surface of a unit
+/// newtype wrapping an `f64`.
+macro_rules! impl_unit_newtype {
+    ($ty:ident, $suffix:expr) => {
+        impl $ty {
+            /// Creates the quantity from its raw `f64` magnitude.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw `f64` magnitude.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns `true` if the magnitude is finite (not NaN/±inf).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the smaller of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+        }
+
+        impl core::fmt::Display for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+/// Implements `Add`/`Sub`/`Neg` between two values of the same unit.
+macro_rules! impl_unit_add_sub {
+    ($ty:ident) => {
+        impl core::ops::Add for $ty {
+            type Output = Self;
+
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $ty {
+            type Output = Self;
+
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $ty {
+            type Output = Self;
+
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $ty {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self(0.0), |acc, x| Self(acc.0 + x.0))
+            }
+        }
+    };
+}
+
+/// Implements scaling by a dimensionless `f64` factor.
+macro_rules! impl_unit_scale {
+    ($ty:ident) => {
+        impl core::ops::Mul<f64> for $ty {
+            type Output = Self;
+
+            fn mul(self, k: f64) -> Self {
+                Self(self.0 * k)
+            }
+        }
+
+        impl core::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+
+            fn mul(self, v: $ty) -> $ty {
+                $ty(v.0 * self)
+            }
+        }
+
+        impl core::ops::Div<f64> for $ty {
+            type Output = Self;
+
+            fn div(self, k: f64) -> Self {
+                Self(self.0 / k)
+            }
+        }
+
+        impl core::ops::Div<$ty> for $ty {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}

@@ -1,0 +1,235 @@
+//! Optical power quantities: relative dB, absolute dBm and linear mW.
+
+/// A relative power ratio in decibels.
+///
+/// Losses are negative (`-0.5 dB`), gains positive. Decibels accumulate along
+/// an optical path by addition.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_units::Decibels;
+///
+/// let per_element = Decibels::new(-0.005);
+/// let total: Decibels = std::iter::repeat(per_element).take(10).sum();
+/// assert!((total.value() + 0.05).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Decibels(f64);
+
+impl_unit_newtype!(Decibels, "dB");
+impl_unit_add_sub!(Decibels);
+impl_unit_scale!(Decibels);
+
+impl Decibels {
+    /// Converts the ratio to its linear scale factor `10^(dB/10)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use onoc_units::Decibels;
+    ///
+    /// assert!((Decibels::new(-3.0103).to_linear() - 0.5).abs() < 1e-4);
+    /// ```
+    #[must_use]
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Builds a ratio from a linear scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear` is not strictly positive (a power ratio of zero or
+    /// less has no dB representation).
+    #[must_use]
+    pub fn from_linear(linear: f64) -> Self {
+        assert!(
+            linear > 0.0,
+            "dB ratio requires a strictly positive linear factor, got {linear}"
+        );
+        Self(10.0 * linear.log10())
+    }
+}
+
+/// An absolute optical power on the logarithmic dBm scale (0 dBm = 1 mW).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_units::{DbMilliwatts, Decibels};
+///
+/// let laser = DbMilliwatts::new(-10.0);
+/// let after_loss = laser + Decibels::new(-0.5);
+/// assert_eq!(after_loss, DbMilliwatts::new(-10.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct DbMilliwatts(f64);
+
+impl_unit_newtype!(DbMilliwatts, "dBm");
+
+impl DbMilliwatts {
+    /// Converts to linear milliwatts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use onoc_units::DbMilliwatts;
+    ///
+    /// assert!((DbMilliwatts::new(-10.0).to_milliwatts().value() - 0.1).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn to_milliwatts(self) -> Milliwatts {
+        Milliwatts(10f64.powf(self.0 / 10.0))
+    }
+}
+
+impl core::ops::Add<Decibels> for DbMilliwatts {
+    type Output = DbMilliwatts;
+
+    fn add(self, gain: Decibels) -> DbMilliwatts {
+        DbMilliwatts(self.0 + gain.value())
+    }
+}
+
+impl core::ops::Sub<Decibels> for DbMilliwatts {
+    type Output = DbMilliwatts;
+
+    fn sub(self, loss: Decibels) -> DbMilliwatts {
+        DbMilliwatts(self.0 - loss.value())
+    }
+}
+
+impl core::ops::Sub for DbMilliwatts {
+    /// The ratio between two absolute powers is a relative quantity.
+    type Output = Decibels;
+
+    fn sub(self, rhs: DbMilliwatts) -> Decibels {
+        Decibels::new(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::AddAssign<Decibels> for DbMilliwatts {
+    fn add_assign(&mut self, gain: Decibels) {
+        self.0 += gain.value();
+    }
+}
+
+/// An absolute optical power on the linear milliwatt scale.
+///
+/// Incoherent optical powers (signal plus independent crosstalk terms) add on
+/// this scale, which is why the receiver-side noise accumulation in the
+/// workspace is done in `Milliwatts` rather than dBm.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Milliwatts(f64);
+
+impl_unit_newtype!(Milliwatts, "mW");
+impl_unit_add_sub!(Milliwatts);
+impl_unit_scale!(Milliwatts);
+
+impl Milliwatts {
+    /// Converts to the logarithmic dBm scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power is not strictly positive.
+    #[must_use]
+    pub fn to_dbm(self) -> DbMilliwatts {
+        assert!(
+            self.0 > 0.0,
+            "dBm requires a strictly positive power, got {} mW",
+            self.0
+        );
+        DbMilliwatts(10.0 * self.0.log10())
+    }
+}
+
+impl From<DbMilliwatts> for Milliwatts {
+    fn from(p: DbMilliwatts) -> Self {
+        p.to_milliwatts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn db_linear_known_values() {
+        assert!((Decibels::new(0.0).to_linear() - 1.0).abs() < 1e-12);
+        assert!((Decibels::new(-10.0).to_linear() - 0.1).abs() < 1e-12);
+        assert!((Decibels::new(-20.0).to_linear() - 0.01).abs() < 1e-12);
+        assert!((Decibels::new(3.0).to_linear() - 1.9953).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dbm_to_mw_known_values() {
+        assert!((DbMilliwatts::new(0.0).to_milliwatts().value() - 1.0).abs() < 1e-12);
+        assert!((DbMilliwatts::new(-30.0).to_milliwatts().value() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attenuation_chain() {
+        let p = DbMilliwatts::new(-10.0) + Decibels::new(-0.5) + Decibels::new(-0.274);
+        assert!((p.value() + 10.774).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_ratio_is_decibels() {
+        let d = DbMilliwatts::new(-10.0) - DbMilliwatts::new(-13.0);
+        assert_eq!(d, Decibels::new(3.0));
+    }
+
+    #[test]
+    fn milliwatt_sum_is_linear() {
+        let total: Milliwatts = [0.1, 0.2, 0.3].into_iter().map(Milliwatts::new).sum();
+        assert!((total.value() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_power_has_no_dbm() {
+        let _ = Milliwatts::new(0.0).to_dbm();
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn negative_ratio_has_no_db() {
+        let _ = Decibels::from_linear(-1.0);
+    }
+
+    #[test]
+    fn display_has_units() {
+        assert_eq!(Decibels::new(-0.5).to_string(), "-0.5 dB");
+        assert_eq!(DbMilliwatts::new(-10.0).to_string(), "-10 dBm");
+        assert_eq!(Milliwatts::new(0.1).to_string(), "0.1 mW");
+    }
+
+    proptest! {
+        #[test]
+        fn db_linear_roundtrip(db in -80.0f64..20.0) {
+            let back = Decibels::from_linear(Decibels::new(db).to_linear());
+            prop_assert!((back.value() - db).abs() < 1e-9);
+        }
+
+        #[test]
+        fn dbm_mw_roundtrip(dbm in -80.0f64..20.0) {
+            let back = DbMilliwatts::new(dbm).to_milliwatts().to_dbm();
+            prop_assert!((back.value() - dbm).abs() < 1e-9);
+        }
+
+        #[test]
+        fn db_addition_is_linear_multiplication(a in -40.0f64..10.0, b in -40.0f64..10.0) {
+            let sum = Decibels::new(a) + Decibels::new(b);
+            let product = Decibels::new(a).to_linear() * Decibels::new(b).to_linear();
+            prop_assert!((sum.to_linear() - product).abs() / product < 1e-9);
+        }
+
+        #[test]
+        fn attenuated_power_never_gains(p in -40.0f64..10.0, loss in -40.0f64..0.0) {
+            let out = DbMilliwatts::new(p) + Decibels::new(loss);
+            prop_assert!(out.value() <= p);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Spectral quantities: wavelengths and wavelength offsets.
+
+/// A wavelength (or wavelength offset) in nanometres.
+///
+/// Both absolute wavelengths (`1550 nm`) and spectral distances
+/// (`channel spacing = 1.6 nm`) are represented by this type; the micro-ring
+/// filter model only ever consumes *differences* of wavelengths, for which a
+/// single type is unambiguous.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_units::Nanometers;
+///
+/// let a = Nanometers::new(1550.0);
+/// let b = Nanometers::new(1551.6);
+/// assert!(((b - a).value() - 1.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Nanometers(f64);
+
+impl_unit_newtype!(Nanometers, "nm");
+impl_unit_add_sub!(Nanometers);
+impl_unit_scale!(Nanometers);
+
+impl Nanometers {
+    /// Absolute spectral distance `|self - other|`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use onoc_units::Nanometers;
+    ///
+    /// let d = Nanometers::new(1549.2).distance(Nanometers::new(1550.8));
+    /// assert!((d.value() - 1.6).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn distance(self, other: Self) -> Self {
+        Self((self.0 - other.0).abs())
+    }
+
+    /// Squared magnitude, used by the Lorentzian filter response.
+    #[must_use]
+    pub fn squared(self) -> f64 {
+        self.0 * self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_symmetric_and_nonnegative() {
+        let a = Nanometers::new(1548.0);
+        let b = Nanometers::new(1552.5);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert!(a.distance(b).value() >= 0.0);
+    }
+
+    #[test]
+    fn display_has_units() {
+        assert_eq!(Nanometers::new(12.8).to_string(), "12.8 nm");
+    }
+
+    proptest! {
+        #[test]
+        fn distance_triangle_inequality(a in 1000.0f64..2000.0, b in 1000.0f64..2000.0, c in 1000.0f64..2000.0) {
+            let (a, b, c) = (Nanometers::new(a), Nanometers::new(b), Nanometers::new(c));
+            prop_assert!(a.distance(c).value() <= a.distance(b).value() + b.distance(c).value() + 1e-9);
+        }
+    }
+}

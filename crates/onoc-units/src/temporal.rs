@@ -1,0 +1,176 @@
+//! Time, clock and data-rate quantities.
+
+use crate::Bits;
+
+/// A duration measured in core clock cycles.
+///
+/// The paper expresses task execution times and the application makespan in
+/// kilo-clock-cycles (kcc); this type keeps plain cycles and offers kcc
+/// convenience conversions. Cycles are `f64` because the analytic time model
+/// (Eq. 10 of the paper) divides volumes by aggregate bandwidth without
+/// rounding.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_units::Cycles;
+///
+/// let t = Cycles::from_kilocycles(28.3);
+/// assert_eq!(t.value(), 28_300.0);
+/// assert!((t.to_kilocycles() - 28.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Cycles(f64);
+
+impl_unit_newtype!(Cycles, "cc");
+impl_unit_add_sub!(Cycles);
+impl_unit_scale!(Cycles);
+
+impl Cycles {
+    /// Creates a duration from kilo-clock-cycles.
+    #[must_use]
+    pub fn from_kilocycles(kcc: f64) -> Self {
+        Self(kcc * 1_000.0)
+    }
+
+    /// Returns the duration in kilo-clock-cycles.
+    #[must_use]
+    pub fn to_kilocycles(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Converts to wall-clock seconds under the given core clock.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use onoc_units::{Cycles, Gigahertz};
+    ///
+    /// let t = Cycles::new(1_000.0).to_seconds(Gigahertz::new(1.0));
+    /// assert!((t.value() - 1e-6).abs() < 1e-18);
+    /// ```
+    #[must_use]
+    pub fn to_seconds(self, clock: Gigahertz) -> Seconds {
+        Seconds::new(self.0 / (clock.value() * 1e9))
+    }
+}
+
+/// A wall-clock duration in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(f64);
+
+impl_unit_newtype!(Seconds, "s");
+impl_unit_add_sub!(Seconds);
+impl_unit_scale!(Seconds);
+
+/// A clock frequency in gigahertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Gigahertz(f64);
+
+impl_unit_newtype!(Gigahertz, "GHz");
+impl_unit_add_sub!(Gigahertz);
+impl_unit_scale!(Gigahertz);
+
+/// A per-wavelength data rate in bits per core clock cycle.
+///
+/// The paper's `B` in Eq. 10. The reconstruction of the paper instance uses
+/// `B = 1 bit/cycle` (see DESIGN.md, substitution S2).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct BitsPerCycle(f64);
+
+impl_unit_newtype!(BitsPerCycle, "bit/cc");
+impl_unit_add_sub!(BitsPerCycle);
+impl_unit_scale!(BitsPerCycle);
+
+impl BitsPerCycle {
+    /// Converts to an absolute data rate under the given core clock.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use onoc_units::{BitsPerCycle, Gigahertz};
+    ///
+    /// let b = BitsPerCycle::new(1.0).to_gigabits_per_second(Gigahertz::new(1.0));
+    /// assert_eq!(b.value(), 1.0);
+    /// ```
+    #[must_use]
+    pub fn to_gigabits_per_second(self, clock: Gigahertz) -> GigabitsPerSecond {
+        GigabitsPerSecond::new(self.0 * clock.value())
+    }
+
+    /// Number of bits transferred in `cycles`.
+    #[must_use]
+    pub fn bits_in(self, cycles: Cycles) -> Bits {
+        Bits::new(self.0 * cycles.value())
+    }
+}
+
+/// An absolute data rate in gigabits per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct GigabitsPerSecond(f64);
+
+impl_unit_newtype!(GigabitsPerSecond, "Gb/s");
+impl_unit_add_sub!(GigabitsPerSecond);
+impl_unit_scale!(GigabitsPerSecond);
+
+impl GigabitsPerSecond {
+    /// Time to transfer one bit at this rate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use onoc_units::GigabitsPerSecond;
+    ///
+    /// let t = GigabitsPerSecond::new(10.0).bit_time();
+    /// assert!((t.value() - 1e-10).abs() < 1e-22);
+    /// ```
+    #[must_use]
+    pub fn bit_time(self) -> Seconds {
+        assert!(self.0 > 0.0, "bit time requires a positive data rate");
+        Seconds::new(1.0 / (self.0 * 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn kilocycle_roundtrip() {
+        let t = Cycles::from_kilocycles(22.96);
+        assert!((t.to_kilocycles() - 22.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_1ghz() {
+        let t = Cycles::from_kilocycles(20.0).to_seconds(Gigahertz::new(1.0));
+        assert!((t.value() - 20e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rate_conversion() {
+        let r = BitsPerCycle::new(2.0).to_gigabits_per_second(Gigahertz::new(1.5));
+        assert_eq!(r, GigabitsPerSecond::new(3.0));
+    }
+
+    #[test]
+    fn bits_in_window() {
+        let b = BitsPerCycle::new(4.0).bits_in(Cycles::new(250.0));
+        assert_eq!(b, Bits::new(1_000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data rate")]
+    fn zero_rate_bit_time_panics() {
+        let _ = GigabitsPerSecond::new(0.0).bit_time();
+    }
+
+    proptest! {
+        #[test]
+        fn bit_time_inverse(rate in 0.1f64..1000.0) {
+            let t = GigabitsPerSecond::new(rate).bit_time();
+            prop_assert!((t.value() * rate * 1e9 - 1.0).abs() < 1e-9);
+        }
+    }
+}

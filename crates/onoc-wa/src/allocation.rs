@@ -1,0 +1,359 @@
+//! The wavelength-allocation chromosome (Fig. 4 of the paper).
+
+use onoc_app::CommId;
+use onoc_photonics::WavelengthId;
+
+/// Errors raised while constructing an [`Allocation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocationError {
+    /// The gene vector length is not a multiple of the wavelength count.
+    MisalignedGenes {
+        /// Genes supplied.
+        genes: usize,
+        /// Wavelengths per communication.
+        wavelengths: usize,
+    },
+    /// A requested wavelength count exceeds the comb size.
+    CountTooLarge {
+        /// The communication.
+        comm: CommId,
+        /// Requested count.
+        requested: usize,
+        /// Comb size.
+        wavelengths: usize,
+    },
+}
+
+impl core::fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocationError::MisalignedGenes { genes, wavelengths } => write!(
+                f,
+                "{genes} genes cannot encode whole communications of {wavelengths} wavelengths"
+            ),
+            AllocationError::CountTooLarge {
+                comm,
+                requested,
+                wavelengths,
+            } => write!(
+                f,
+                "{comm} requests {requested} wavelengths from a {wavelengths}-channel comb"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// A wavelength allocation: one bit per (communication, wavelength) pair.
+///
+/// This is exactly the binary chromosome of Fig. 4: `N_l × N_W` genes where
+/// gene `k·N_W + w` says whether communication `c_k` reserves wavelength
+/// `λ_{w+1}`. The `Display` implementation prints the paper's notation:
+///
+/// ```
+/// use onoc_wa::Allocation;
+///
+/// let mut a = Allocation::new(2, 4);
+/// a.set(onoc_app::CommId(0), onoc_photonics::WavelengthId(0), true);
+/// a.set(onoc_app::CommId(1), onoc_photonics::WavelengthId(3), true);
+/// assert_eq!(a.to_string(), "[1000/0001]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Allocation {
+    wavelengths: usize,
+    genes: Vec<bool>,
+}
+
+impl Allocation {
+    /// Creates an empty allocation (no wavelength reserved) for
+    /// `comms` communications over a `wavelengths`-channel comb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelengths` is zero.
+    #[must_use]
+    pub fn new(comms: usize, wavelengths: usize) -> Self {
+        assert!(wavelengths > 0, "an allocation needs at least one channel");
+        Self {
+            wavelengths,
+            genes: vec![false; comms * wavelengths],
+        }
+    }
+
+    /// Builds an allocation from a raw gene vector (communication-major
+    /// order, as in Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocationError::MisalignedGenes`] if `genes.len()` is not a
+    /// multiple of `wavelengths`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelengths` is zero.
+    pub fn from_genes(genes: Vec<bool>, wavelengths: usize) -> Result<Self, AllocationError> {
+        assert!(wavelengths > 0, "an allocation needs at least one channel");
+        if !genes.len().is_multiple_of(wavelengths) {
+            return Err(AllocationError::MisalignedGenes {
+                genes: genes.len(),
+                wavelengths,
+            });
+        }
+        Ok(Self { wavelengths, genes })
+    }
+
+    /// Builds an allocation giving each communication the `counts[k]`
+    /// lowest-indexed wavelengths.
+    ///
+    /// This dense packing ignores waveguide-sharing constraints; use
+    /// [`ProblemInstance::allocation_from_counts`](crate::ProblemInstance::allocation_from_counts)
+    /// for a constraint-aware packing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocationError::CountTooLarge`] if any count exceeds the
+    /// comb size.
+    pub fn from_counts_dense(counts: &[usize], wavelengths: usize) -> Result<Self, AllocationError> {
+        let mut alloc = Self::new(counts.len(), wavelengths);
+        for (k, &count) in counts.iter().enumerate() {
+            if count > wavelengths {
+                return Err(AllocationError::CountTooLarge {
+                    comm: CommId(k),
+                    requested: count,
+                    wavelengths,
+                });
+            }
+            for w in 0..count {
+                alloc.set(CommId(k), WavelengthId(w), true);
+            }
+        }
+        Ok(alloc)
+    }
+
+    /// Number of communications encoded.
+    #[must_use]
+    pub fn comm_count(&self) -> usize {
+        self.genes.len() / self.wavelengths
+    }
+
+    /// Comb size (`N_W`).
+    #[must_use]
+    pub fn wavelength_count(&self) -> usize {
+        self.wavelengths
+    }
+
+    /// Total number of genes (`N_l × N_W`).
+    #[must_use]
+    pub fn gene_count(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Raw gene view.
+    #[must_use]
+    pub fn genes(&self) -> &[bool] {
+        &self.genes
+    }
+
+    /// Is wavelength `w` reserved for communication `comm`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn is_reserved(&self, comm: CommId, w: WavelengthId) -> bool {
+        self.genes[self.gene_index(comm, w)]
+    }
+
+    /// Reserves (or releases) wavelength `w` for communication `comm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, comm: CommId, w: WavelengthId, reserved: bool) {
+        let idx = self.gene_index(comm, w);
+        self.genes[idx] = reserved;
+    }
+
+    /// Flips one gene (the paper's mutation operator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gene` is out of range.
+    pub fn flip(&mut self, gene: usize) {
+        self.genes[gene] = !self.genes[gene];
+    }
+
+    /// The wavelengths reserved for `comm`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comm` is out of range.
+    #[must_use]
+    pub fn channels(&self, comm: CommId) -> Vec<WavelengthId> {
+        let base = comm.0 * self.wavelengths;
+        assert!(base < self.genes.len(), "{comm} out of range");
+        (0..self.wavelengths)
+            .filter(|&w| self.genes[base + w])
+            .map(WavelengthId)
+            .collect()
+    }
+
+    /// The reserved wavelengths of `comm` as a bit mask (bit `w` =
+    /// wavelength `w`). Used for fast disjointness checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comm` is out of range or the comb exceeds 128 channels.
+    #[must_use]
+    pub fn channel_mask(&self, comm: CommId) -> u128 {
+        assert!(
+            self.wavelengths <= 128,
+            "channel masks support up to 128 wavelengths"
+        );
+        let base = comm.0 * self.wavelengths;
+        assert!(base < self.genes.len(), "{comm} out of range");
+        (0..self.wavelengths)
+            .filter(|&w| self.genes[base + w])
+            .fold(0u128, |m, w| m | (1 << w))
+    }
+
+    /// Number of wavelengths reserved per communication (`NW_{j,k}` of
+    /// Eq. 10), communication order — the notation the paper prints as
+    /// `[2, 8, 6, 6, 4, 7]`.
+    #[must_use]
+    pub fn counts(&self) -> Vec<usize> {
+        (0..self.comm_count())
+            .map(|k| {
+                self.genes[k * self.wavelengths..(k + 1) * self.wavelengths]
+                    .iter()
+                    .filter(|&&g| g)
+                    .count()
+            })
+            .collect()
+    }
+
+    fn gene_index(&self, comm: CommId, w: WavelengthId) -> usize {
+        assert!(w.index() < self.wavelengths, "{w} out of range");
+        let idx = comm.0 * self.wavelengths + w.index();
+        assert!(idx < self.genes.len(), "{comm} out of range");
+        idx
+    }
+}
+
+impl core::fmt::Display for Allocation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[")?;
+        for k in 0..self.comm_count() {
+            if k > 0 {
+                write!(f, "/")?;
+            }
+            for w in 0..self.wavelengths {
+                let bit = self.genes[k * self.wavelengths + w];
+                write!(f, "{}", if bit { '1' } else { '0' })?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_chromosome_example() {
+        // §III-D: [1000/0001/0001/0001/1000/1000] for 6 comms × 4 λ.
+        let genes = "100000010001000110001000"
+            .chars()
+            .map(|c| c == '1')
+            .collect::<Vec<_>>();
+        let a = Allocation::from_genes(genes, 4).unwrap();
+        assert_eq!(a.to_string(), "[1000/0001/0001/0001/1000/1000]");
+        assert_eq!(a.counts(), vec![1; 6]);
+        assert_eq!(a.channels(CommId(0)), vec![WavelengthId(0)]);
+        assert_eq!(a.channels(CommId(1)), vec![WavelengthId(3)]);
+    }
+
+    #[test]
+    fn misaligned_genes_rejected() {
+        let err = Allocation::from_genes(vec![true; 7], 4).unwrap_err();
+        assert_eq!(
+            err,
+            AllocationError::MisalignedGenes {
+                genes: 7,
+                wavelengths: 4
+            }
+        );
+    }
+
+    #[test]
+    fn dense_counts_pack_from_zero() {
+        let a = Allocation::from_counts_dense(&[2, 1], 4).unwrap();
+        assert_eq!(a.to_string(), "[1100/1000]");
+        assert_eq!(a.counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn oversized_count_rejected() {
+        let err = Allocation::from_counts_dense(&[5], 4).unwrap_err();
+        assert!(matches!(err, AllocationError::CountTooLarge { requested: 5, .. }));
+    }
+
+    #[test]
+    fn set_and_flip() {
+        let mut a = Allocation::new(1, 4);
+        a.set(CommId(0), WavelengthId(2), true);
+        assert!(a.is_reserved(CommId(0), WavelengthId(2)));
+        a.flip(2);
+        assert!(!a.is_reserved(CommId(0), WavelengthId(2)));
+    }
+
+    #[test]
+    fn channel_mask_matches_channels() {
+        let a = Allocation::from_counts_dense(&[3], 8).unwrap();
+        assert_eq!(a.channel_mask(CommId(0)), 0b111);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_wavelength_panics() {
+        let a = Allocation::new(1, 4);
+        let _ = a.is_reserved(CommId(0), WavelengthId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channel_comb_panics() {
+        let _ = Allocation::new(1, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn counts_equal_channel_lengths(
+            genes in proptest::collection::vec(any::<bool>(), 24),
+        ) {
+            let a = Allocation::from_genes(genes, 4).unwrap();
+            for k in 0..a.comm_count() {
+                prop_assert_eq!(a.counts()[k], a.channels(CommId(k)).len());
+                prop_assert_eq!(
+                    a.channel_mask(CommId(k)).count_ones() as usize,
+                    a.counts()[k]
+                );
+            }
+        }
+
+        #[test]
+        fn display_roundtrips_genes(genes in proptest::collection::vec(any::<bool>(), 12)) {
+            let a = Allocation::from_genes(genes.clone(), 4).unwrap();
+            let rendered = a.to_string();
+            let parsed: Vec<bool> = rendered
+                .chars()
+                .filter(|&c| c == '0' || c == '1')
+                .map(|c| c == '1')
+                .collect();
+            prop_assert_eq!(parsed, genes);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Comb-size sweeps: the driver behind Figs. 6–7 and Table II.
+
+use crate::{Nsga2, Nsga2Config, Nsga2Outcome, ProblemInstance};
+#[cfg(test)]
+use crate::ObjectiveSet;
+
+/// The outcome of one comb size in a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// Number of WDM channels (`N_W`).
+    pub wavelengths: usize,
+    /// The NSGA-II outcome (front + statistics).
+    pub outcome: Nsga2Outcome,
+}
+
+/// Runs NSGA-II on the paper instance for each comb size in `wavelengths`,
+/// as the paper does for `N_W ∈ {4, 8, 12}`.
+///
+/// Each comb size receives its own [`ProblemInstance`]; `config.objectives`
+/// selects the front (Fig. 6a uses [`crate::ObjectiveSet::TimeEnergy`],
+/// Fig. 6b [`crate::ObjectiveSet::TimeBer`]). The same seed is reused for
+/// every comb size
+/// so runs stay individually reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_wa::explore::sweep_paper_nw;
+/// use onoc_wa::{Nsga2Config, ObjectiveSet};
+///
+/// let entries = sweep_paper_nw(&[4, 8], Nsga2Config {
+///     population_size: 30,
+///     generations: 10,
+///     objectives: ObjectiveSet::TimeEnergy,
+///     ..Nsga2Config::default()
+/// });
+/// assert_eq!(entries.len(), 2);
+/// assert!(entries.iter().all(|e| !e.outcome.front.is_empty()));
+/// ```
+#[must_use]
+pub fn sweep_paper_nw(wavelengths: &[usize], config: Nsga2Config) -> Vec<SweepEntry> {
+    sweep_instances(
+        wavelengths
+            .iter()
+            .map(|&nw| ProblemInstance::paper_with_wavelengths(nw)),
+        config,
+    )
+}
+
+/// Runs NSGA-II over an arbitrary sequence of instances with a shared
+/// configuration.
+#[must_use]
+pub fn sweep_instances(
+    instances: impl IntoIterator<Item = ProblemInstance>,
+    config: Nsga2Config,
+) -> Vec<SweepEntry> {
+    instances
+        .into_iter()
+        .map(|instance| {
+            let evaluator = instance.evaluator();
+            let outcome = Nsga2::new(&evaluator, config.clone()).run();
+            SweepEntry {
+                wavelengths: instance.wavelength_count(),
+                outcome,
+            }
+        })
+        .collect()
+}
+
+/// Summary row of one sweep entry: the shape of Table II plus the best
+/// makespan (the annotation of Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRow {
+    /// Comb size.
+    pub wavelengths: usize,
+    /// Solutions on the Pareto front.
+    pub front_size: usize,
+    /// Valid evaluations during the whole run (Table II "valid solutions").
+    pub valid_evaluations: usize,
+    /// Distinct valid chromosomes seen.
+    pub unique_valid: usize,
+    /// Best (smallest) execution time on the front, in kcc.
+    pub best_exec_kcc: f64,
+}
+
+/// Condenses a sweep into Table-II-style rows.
+#[must_use]
+pub fn summarize(entries: &[SweepEntry]) -> Vec<SweepRow> {
+    entries
+        .iter()
+        .map(|e| SweepRow {
+            wavelengths: e.wavelengths,
+            front_size: e.outcome.front.len(),
+            valid_evaluations: e.outcome.stats.valid_evaluations,
+            unique_valid: e.outcome.stats.unique_valid,
+            best_exec_kcc: e
+                .outcome
+                .front
+                .points()
+                .iter()
+                .map(|p| p.objectives.exec_time.to_kilocycles())
+                .fold(f64::INFINITY, f64::min),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(set: ObjectiveSet) -> Nsga2Config {
+        Nsga2Config {
+            population_size: 40,
+            generations: 30,
+            objectives: set,
+            seed: 17,
+            ..Nsga2Config::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_entry_per_nw() {
+        let entries = sweep_paper_nw(&[4, 8], quick_config(ObjectiveSet::TimeEnergy));
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].wavelengths, 4);
+        assert_eq!(entries[1].wavelengths, 8);
+    }
+
+    #[test]
+    fn more_wavelengths_never_hurt_the_best_time() {
+        // Fig. 6 trend: the optimised execution time improves (or holds)
+        // as the comb grows.
+        let rows = summarize(&sweep_paper_nw(
+            &[4, 8],
+            quick_config(ObjectiveSet::TimeEnergy),
+        ));
+        assert!(
+            rows[1].best_exec_kcc <= rows[0].best_exec_kcc + 1e-9,
+            "8λ best {} should not exceed 4λ best {}",
+            rows[1].best_exec_kcc,
+            rows[0].best_exec_kcc
+        );
+    }
+
+    #[test]
+    fn summary_rows_are_consistent() {
+        let entries = sweep_paper_nw(&[4], quick_config(ObjectiveSet::TimeBer));
+        let rows = summarize(&entries);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].front_size, entries[0].outcome.front.len());
+        assert!(rows[0].best_exec_kcc.is_finite());
+        assert!(rows[0].unique_valid <= rows[0].valid_evaluations);
+    }
+}

@@ -1,0 +1,324 @@
+//! Classical wavelength-assignment baselines.
+//!
+//! The related-work section of the paper (§II, citing Zang et al.) names the
+//! standard heuristics used for WDM networks: Random, First-Fit, Most-Used
+//! and Least-Used assignment. These assign *one* wavelength per connection —
+//! they have no notion of the paper's bandwidth/crosstalk trade-off — so
+//! they serve as baselines showing what the multi-objective search adds.
+//! [`greedy_makespan`] is a stronger time-oriented baseline that spends the
+//! comb greedily on the schedule's critical path.
+
+use onoc_app::CommId;
+use onoc_photonics::WavelengthId;
+use rand::Rng;
+
+use crate::{Allocation, Evaluator, ProblemInstance};
+
+/// Why a heuristic could not produce an allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeuristicError {
+    /// No wavelength remained for a communication given the §III-D
+    /// disjointness constraints.
+    OutOfWavelengths(CommId),
+    /// Rejection sampling failed to find a valid allocation within the
+    /// allowed number of attempts.
+    ExhaustedAttempts {
+        /// Attempts made.
+        attempts: usize,
+    },
+}
+
+impl core::fmt::Display for HeuristicError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HeuristicError::OutOfWavelengths(c) => {
+                write!(f, "no wavelength left for {c} under disjointness constraints")
+            }
+            HeuristicError::ExhaustedAttempts { attempts } => {
+                write!(f, "no valid allocation found in {attempts} random attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeuristicError {}
+
+/// Order in which single-wavelength heuristics pick channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PickPolicy {
+    /// Lowest-indexed feasible wavelength (First-Fit).
+    FirstFit,
+    /// Feasible wavelength already reserved by the most communications
+    /// (Most-Used), ties to the lowest index.
+    MostUsed,
+    /// Feasible wavelength reserved by the fewest communications
+    /// (Least-Used), ties to the lowest index.
+    LeastUsed,
+}
+
+fn assign_single(
+    instance: &ProblemInstance,
+    policy: PickPolicy,
+) -> Result<Allocation, HeuristicError> {
+    let nl = instance.comm_count();
+    let nw = instance.wavelength_count();
+    let pairs = instance.app().overlapping_pairs();
+    let mut alloc = Allocation::new(nl, nw);
+    let mut masks = vec![0u128; nl];
+    let mut usage = vec![0usize; nw];
+    for k in 0..nl {
+        let mut blocked = 0u128;
+        for &(a, b) in &pairs {
+            if a.0 == k {
+                blocked |= masks[b.0];
+            } else if b.0 == k {
+                blocked |= masks[a.0];
+            }
+        }
+        let feasible = (0..nw).filter(|&w| blocked & (1 << w) == 0);
+        let choice = match policy {
+            PickPolicy::FirstFit => feasible.min(),
+            PickPolicy::MostUsed => feasible.max_by_key(|&w| (usage[w], nw - w)),
+            PickPolicy::LeastUsed => feasible.min_by_key(|&w| (usage[w], w)),
+        };
+        let w = choice.ok_or(HeuristicError::OutOfWavelengths(CommId(k)))?;
+        alloc.set(CommId(k), WavelengthId(w), true);
+        masks[k] |= 1 << w;
+        usage[w] += 1;
+    }
+    Ok(alloc)
+}
+
+/// First-Fit: each communication takes the lowest-indexed wavelength that
+/// stays disjoint from its waveguide neighbours.
+///
+/// # Errors
+///
+/// Returns [`HeuristicError::OutOfWavelengths`] if the comb is too small.
+pub fn first_fit(instance: &ProblemInstance) -> Result<Allocation, HeuristicError> {
+    assign_single(instance, PickPolicy::FirstFit)
+}
+
+/// Most-Used: prefer the wavelength already reserved by the most
+/// communications (packs traffic onto few wavelengths).
+///
+/// # Errors
+///
+/// Returns [`HeuristicError::OutOfWavelengths`] if the comb is too small.
+pub fn most_used(instance: &ProblemInstance) -> Result<Allocation, HeuristicError> {
+    assign_single(instance, PickPolicy::MostUsed)
+}
+
+/// Least-Used: prefer the wavelength reserved by the fewest communications
+/// (spreads traffic across the comb).
+///
+/// # Errors
+///
+/// Returns [`HeuristicError::OutOfWavelengths`] if the comb is too small.
+pub fn least_used(instance: &ProblemInstance) -> Result<Allocation, HeuristicError> {
+    assign_single(instance, PickPolicy::LeastUsed)
+}
+
+/// Random assignment: uniformly random single wavelength per communication,
+/// re-drawn until the allocation is valid.
+///
+/// # Errors
+///
+/// Returns [`HeuristicError::ExhaustedAttempts`] after `max_attempts`
+/// rejections.
+pub fn random_single<R: Rng + ?Sized>(
+    instance: &ProblemInstance,
+    rng: &mut R,
+    max_attempts: usize,
+) -> Result<Allocation, HeuristicError> {
+    let nl = instance.comm_count();
+    let nw = instance.wavelength_count();
+    let checker = instance.checker();
+    for _ in 0..max_attempts {
+        let mut alloc = Allocation::new(nl, nw);
+        for k in 0..nl {
+            alloc.set(CommId(k), WavelengthId(rng.random_range(0..nw)), true);
+        }
+        if checker.is_valid(&alloc) {
+            return Ok(alloc);
+        }
+    }
+    Err(HeuristicError::ExhaustedAttempts {
+        attempts: max_attempts,
+    })
+}
+
+/// Greedy makespan baseline: start from First-Fit (one wavelength each) and
+/// repeatedly reserve the extra gene — or, when no single gene helps, the
+/// pair of genes — that reduces the global execution time the most.
+///
+/// The pair lookahead matters because Eq. 12 takes a `max` over incoming
+/// communications: when two branches are tied, no single extra wavelength
+/// improves the makespan, but widening both branches does.
+///
+/// Improvement checks use [`Evaluator::makespan`] (no optical model), so the
+/// search is cheap even inside the mapping-exploration loop.
+///
+/// # Errors
+///
+/// Returns [`HeuristicError::OutOfWavelengths`] if even the initial
+/// single-wavelength assignment does not fit.
+pub fn greedy_makespan(
+    instance: &ProblemInstance,
+    evaluator: &Evaluator<'_>,
+) -> Result<Allocation, HeuristicError> {
+    let mut alloc = first_fit(instance)?;
+    let mut best = evaluator
+        .makespan(&alloc)
+        .expect("first-fit allocations are valid");
+    let free_genes = |alloc: &Allocation| -> Vec<(CommId, WavelengthId)> {
+        (0..instance.comm_count())
+            .flat_map(|k| (0..instance.wavelength_count()).map(move |w| (CommId(k), WavelengthId(w))))
+            .filter(|&(c, w)| !alloc.is_reserved(c, w))
+            .collect()
+    };
+    loop {
+        // Single-gene step.
+        let mut improvement: Option<(Vec<(CommId, WavelengthId)>, _)> = None;
+        for (comm, wave) in free_genes(&alloc) {
+            alloc.set(comm, wave, true);
+            if let Some(t) = evaluator.makespan(&alloc) {
+                if t < best && improvement.as_ref().is_none_or(|&(_, b)| t < b) {
+                    improvement = Some((vec![(comm, wave)], t));
+                }
+            }
+            alloc.set(comm, wave, false);
+        }
+        // Pair lookahead when singles stall.
+        if improvement.is_none() {
+            let genes = free_genes(&alloc);
+            for (i, &(c1, w1)) in genes.iter().enumerate() {
+                for &(c2, w2) in &genes[i + 1..] {
+                    alloc.set(c1, w1, true);
+                    alloc.set(c2, w2, true);
+                    if let Some(t) = evaluator.makespan(&alloc) {
+                        if t < best && improvement.as_ref().is_none_or(|&(_, b)| t < b) {
+                            improvement = Some((vec![(c1, w1), (c2, w2)], t));
+                        }
+                    }
+                    alloc.set(c1, w1, false);
+                    alloc.set(c2, w2, false);
+                }
+            }
+        }
+        match improvement {
+            Some((genes, t)) => {
+                for (comm, wave) in genes {
+                    alloc.set(comm, wave, true);
+                }
+                best = t;
+            }
+            None => return Ok(alloc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(nw: usize) -> ProblemInstance {
+        ProblemInstance::paper_with_wavelengths(nw)
+    }
+
+    #[test]
+    fn first_fit_is_valid_and_minimal() {
+        let inst = instance(4);
+        let alloc = first_fit(&inst).unwrap();
+        assert!(inst.checker().is_valid(&alloc));
+        assert_eq!(alloc.counts(), vec![1; 6]);
+        // c0 gets λ1; c1 overlaps c0 so it gets λ2; c2 is free again.
+        assert_eq!(alloc.channels(CommId(0)), vec![WavelengthId(0)]);
+        assert_eq!(alloc.channels(CommId(1)), vec![WavelengthId(1)]);
+        assert_eq!(alloc.channels(CommId(2)), vec![WavelengthId(0)]);
+    }
+
+    #[test]
+    fn most_used_packs_least_used_spreads() {
+        let inst = instance(8);
+        let packed = most_used(&inst).unwrap();
+        let spread = least_used(&inst).unwrap();
+        assert!(inst.checker().is_valid(&packed));
+        assert!(inst.checker().is_valid(&spread));
+        let distinct = |a: &Allocation| {
+            let mut set = std::collections::HashSet::new();
+            for k in 0..6 {
+                set.extend(a.channels(CommId(k)));
+            }
+            set.len()
+        };
+        assert!(distinct(&packed) <= distinct(&spread));
+    }
+
+    #[test]
+    fn random_single_is_valid_and_deterministic_per_seed() {
+        let inst = instance(8);
+        let a = random_single(&inst, &mut StdRng::seed_from_u64(4), 1000).unwrap();
+        let b = random_single(&inst, &mut StdRng::seed_from_u64(4), 1000).unwrap();
+        assert_eq!(a, b);
+        assert!(inst.checker().is_valid(&a));
+    }
+
+    #[test]
+    fn random_single_reports_exhaustion() {
+        let inst = instance(4);
+        // Zero attempts can never succeed.
+        assert_eq!(
+            random_single(&inst, &mut StdRng::seed_from_u64(0), 0).unwrap_err(),
+            HeuristicError::ExhaustedAttempts { attempts: 0 }
+        );
+    }
+
+    #[test]
+    fn single_wavelength_heuristics_run_in_38kcc() {
+        // All one-λ-per-comm baselines are schedule-equivalent: 38 kcc.
+        let inst = instance(8);
+        let ev = inst.evaluator();
+        for alloc in [
+            first_fit(&inst).unwrap(),
+            most_used(&inst).unwrap(),
+            least_used(&inst).unwrap(),
+        ] {
+            let o = ev.evaluate(&alloc).unwrap();
+            assert_eq!(o.exec_time.to_kilocycles(), 38.0);
+        }
+    }
+
+    #[test]
+    fn greedy_makespan_reaches_the_4λ_optimum() {
+        // The exhaustive oracle puts the 4-λ time optimum at 28 kcc
+        // (paper: 28.3); greedy with pair lookahead reaches it.
+        let inst4 = instance(4);
+        let ev4 = inst4.evaluator();
+        let a4 = greedy_makespan(&inst4, &ev4).unwrap();
+        assert_eq!(ev4.evaluate(&a4).unwrap().exec_time.to_kilocycles(), 28.0);
+    }
+
+    #[test]
+    fn greedy_makespan_close_to_8λ_optimum() {
+        // True 8-λ optimum is 23.7 kcc (counts [3,4,8,5,3,8]); greedy is a
+        // baseline and may stop slightly above it, but must beat 25 kcc.
+        let inst8 = instance(8);
+        let ev8 = inst8.evaluator();
+        let a8 = greedy_makespan(&inst8, &ev8).unwrap();
+        let t = ev8.evaluate(&a8).unwrap().exec_time.to_kilocycles();
+        assert!((23.7..=25.0).contains(&t), "greedy reached {t} kcc");
+    }
+
+    #[test]
+    fn comb_too_small_is_reported() {
+        // One wavelength cannot serve the overlapping pair {c0, c1}.
+        let inst = instance(1);
+        assert_eq!(
+            first_fit(&inst).unwrap_err(),
+            HeuristicError::OutOfWavelengths(CommId(1))
+        );
+    }
+}

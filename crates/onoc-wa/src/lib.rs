@@ -1,0 +1,79 @@
+//! Multi-objective wavelength allocation for ring-based WDM optical NoCs.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Luo et al., DATE 2017): given an application mapped onto a ring ONoC,
+//! decide **which WDM wavelengths each communication reserves** so that
+//!
+//! * the global execution time (Eqs. 10–12),
+//! * the energy per transmitted bit, and
+//! * the average bit error rate caused by inter-channel crosstalk
+//!   (Eqs. 6–9)
+//!
+//! are jointly optimised. More wavelengths per communication shorten
+//! transmission but add crosstalk and loss — the objectives conflict, so the
+//! solver returns a Pareto front rather than a single answer.
+//!
+//! The main types are:
+//!
+//! * [`Allocation`] — the binary chromosome of Fig. 4 (`N_l × N_W` genes),
+//! * [`ProblemInstance`] — architecture + mapped application + evaluation
+//!   options, with [`ProblemInstance::paper_with_wavelengths`] reproducing
+//!   the paper's 16-core instance,
+//! * [`ValidityChecker`] — the §III-D constraints (≥ 1 wavelength per
+//!   communication, disjoint wavelengths on shared waveguide segments),
+//! * [`Evaluator`] — maps an allocation to [`Objectives`],
+//! * [`Nsga2`] — the NSGA-II optimiser of Deb et al. used by the paper,
+//! * [`heuristics`] — classical single-wavelength baselines (First-Fit,
+//!   Random, Most-Used, Least-Used) and a greedy makespan baseline,
+//! * [`exhaustive`] — small-instance oracles used to check GA optimality,
+//! * [`explore`] — the NW-sweep driver behind Figs. 6–7 and Table II,
+//! * [`mapping_search`] — the paper's future-work extension: joint
+//!   task-mapping + wavelength-allocation search.
+//!
+//! # Example: reproduce one paper data point
+//!
+//! ```
+//! use onoc_wa::{Nsga2, Nsga2Config, ObjectiveSet, ProblemInstance};
+//!
+//! let instance = ProblemInstance::paper_with_wavelengths(4);
+//! let evaluator = instance.evaluator();
+//! let config = Nsga2Config {
+//!     population_size: 60,
+//!     generations: 40,
+//!     objectives: ObjectiveSet::TimeEnergy,
+//!     seed: 7,
+//!     ..Nsga2Config::default()
+//! };
+//! let outcome = Nsga2::new(&evaluator, config).run();
+//! assert!(!outcome.front.is_empty());
+//! // The front's best execution time approaches the 28 kcc anchor of Fig. 6.
+//! let best = outcome.front.points().iter()
+//!     .map(|p| p.objectives.exec_time.to_kilocycles())
+//!     .fold(f64::INFINITY, f64::min);
+//! assert!(best <= 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocation;
+mod constraints;
+mod evaluator;
+pub mod exhaustive;
+pub mod explore;
+pub mod heuristics;
+mod instance;
+pub mod local_search;
+pub mod mapping_search;
+mod nsga2;
+mod pareto;
+
+pub use allocation::{Allocation, AllocationError};
+pub use constraints::{ValidityChecker, Violation};
+pub use evaluator::{EvalError, Evaluator, ObjectiveSet, Objectives};
+pub use instance::{EvalOptions, InstanceError, ProblemInstance};
+pub use nsga2::crowding as nsga2_crowding;
+pub use nsga2::operators as nsga2_operators;
+pub use nsga2::sort as nsga2_sort;
+pub use nsga2::{Individual, Nsga2, Nsga2Config, Nsga2Outcome, Nsga2Stats};
+pub use pareto::{dominates, FrontPoint, ParetoFront};

@@ -1,0 +1,344 @@
+//! Scalarised local search: the classical alternative to NSGA-II.
+//!
+//! Before multi-objective evolutionary algorithms, design-space exploration
+//! typically collapsed the objectives into one weighted sum and ran a
+//! single-objective metaheuristic per weight vector. This module implements
+//! that baseline — simulated annealing over the chromosome of Fig. 4 — so
+//! the repository can quantify what NSGA-II buys: one GA run yields a whole
+//! front, while the weighted-sum approach needs one annealing run per
+//! trade-off point and can only reach the convex hull of the front.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::pareto::{FrontPoint, ParetoFront};
+use crate::{heuristics, Allocation, Evaluator, Objectives, ObjectiveSet};
+
+/// Non-negative weights of the scalarisation (they need not sum to one).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    /// Weight of the execution time.
+    pub time: f64,
+    /// Weight of the energy per bit.
+    pub energy: f64,
+    /// Weight of the average `log10(BER)`.
+    pub ber: f64,
+}
+
+impl Weights {
+    /// Pure-speed scalarisation.
+    pub const TIME_ONLY: Weights = Weights {
+        time: 1.0,
+        energy: 0.0,
+        ber: 0.0,
+    };
+
+    /// Equal blend of all three objectives.
+    pub const BALANCED: Weights = Weights {
+        time: 1.0,
+        energy: 1.0,
+        ber: 1.0,
+    };
+
+    fn validate(&self) {
+        assert!(
+            self.time >= 0.0 && self.energy >= 0.0 && self.ber >= 0.0,
+            "weights must be non-negative: {self:?}"
+        );
+        assert!(
+            self.time + self.energy + self.ber > 0.0,
+            "at least one weight must be positive"
+        );
+    }
+}
+
+/// Scalarises objectives against a reference point (smaller is better).
+///
+/// Each objective is normalised by the reference value so weights are
+/// scale-free; `log10(BER)` is shifted by +6 to make it a positive
+/// smaller-is-better quantity over the physically relevant range.
+fn scalarize(objectives: &Objectives, reference: &Objectives, weights: Weights) -> f64 {
+    let t = objectives.exec_time.value() / reference.exec_time.value();
+    let e = objectives.bit_energy.value() / reference.bit_energy.value();
+    let b = (objectives.avg_log_ber + 6.0) / (reference.avg_log_ber + 6.0);
+    weights.time * t + weights.energy * e + weights.ber * b
+}
+
+/// Configuration of one annealing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Neighbour evaluations.
+    pub iterations: usize,
+    /// Initial temperature (in scalarised-score units).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per iteration (0 < cooling < 1).
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 20_000,
+            initial_temperature: 0.05,
+            cooling: 0.9995,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of one annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// The best allocation found.
+    pub allocation: Allocation,
+    /// Its objectives.
+    pub objectives: Objectives,
+    /// Its scalarised score (lower is better).
+    pub score: f64,
+    /// Accepted moves (diagnostic).
+    pub accepted: usize,
+}
+
+/// Simulated annealing over the binary chromosome with a weighted-sum
+/// objective.
+///
+/// Starts from the First-Fit allocation, flips one random gene per step,
+/// rejects §III-D-invalid neighbours outright and accepts worsening moves
+/// with the Metropolis probability.
+///
+/// # Errors
+///
+/// Returns [`heuristics::HeuristicError`] when not even the initial
+/// single-wavelength allocation fits the comb.
+///
+/// # Panics
+///
+/// Panics if the weights or the configuration are degenerate.
+pub fn simulated_annealing(
+    evaluator: &Evaluator<'_>,
+    weights: Weights,
+    config: &AnnealConfig,
+) -> Result<AnnealResult, heuristics::HeuristicError> {
+    weights.validate();
+    assert!(config.iterations > 0, "need at least one iteration");
+    assert!(
+        config.cooling > 0.0 && config.cooling < 1.0,
+        "cooling factor must be in (0, 1), got {}",
+        config.cooling
+    );
+    assert!(
+        config.initial_temperature > 0.0,
+        "initial temperature must be positive"
+    );
+
+    let instance = evaluator.instance();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut current = heuristics::first_fit(instance)?;
+    let mut current_obj = evaluator
+        .evaluate(&current)
+        .expect("first-fit allocations are valid");
+    let reference = current_obj;
+    let mut current_score = scalarize(&current_obj, &reference, weights);
+    let mut best = (current.clone(), current_obj, current_score);
+    let mut temperature = config.initial_temperature;
+    let mut accepted = 0usize;
+    let genes = current.gene_count();
+
+    for _ in 0..config.iterations {
+        let flip = rng.random_range(0..genes);
+        current.flip(flip);
+        match evaluator.evaluate(&current) {
+            Some(objectives) => {
+                let score = scalarize(&objectives, &reference, weights);
+                let delta = score - current_score;
+                if delta <= 0.0 || rng.random_bool((-delta / temperature).exp().min(1.0)) {
+                    accepted += 1;
+                    current_obj = objectives;
+                    current_score = score;
+                    if score < best.2 {
+                        best = (current.clone(), current_obj, score);
+                    }
+                } else {
+                    current.flip(flip); // revert
+                }
+            }
+            None => current.flip(flip), // invalid neighbour: revert
+        }
+        temperature *= config.cooling;
+    }
+
+    Ok(AnnealResult {
+        allocation: best.0,
+        objectives: best.1,
+        score: best.2,
+        accepted,
+    })
+}
+
+/// Runs one annealing per weight vector and assembles the non-dominated set
+/// of the results — the weighted-sum approximation of the Pareto front.
+///
+/// # Errors
+///
+/// Propagates the first [`heuristics::HeuristicError`].
+pub fn weighted_sum_front(
+    evaluator: &Evaluator<'_>,
+    weight_vectors: &[Weights],
+    set: ObjectiveSet,
+    config: &AnnealConfig,
+) -> Result<ParetoFront, heuristics::HeuristicError> {
+    let mut points = Vec::with_capacity(weight_vectors.len());
+    for (i, &weights) in weight_vectors.iter().enumerate() {
+        let run = simulated_annealing(
+            evaluator,
+            weights,
+            &AnnealConfig {
+                seed: config.seed.wrapping_add(i as u64),
+                ..*config
+            },
+        )?;
+        points.push(FrontPoint {
+            values: run.objectives.values(set),
+            objectives: run.objectives,
+            allocation: run.allocation,
+        });
+    }
+    Ok(ParetoFront::from_points(points))
+}
+
+/// Evenly blended weight vectors sweeping time-vs-energy trade-offs.
+#[must_use]
+pub fn time_energy_weight_sweep(steps: usize) -> Vec<Weights> {
+    assert!(steps >= 2, "a sweep needs at least the two extremes");
+    (0..steps)
+        .map(|i| {
+            let alpha = i as f64 / (steps - 1) as f64;
+            Weights {
+                time: 1.0 - alpha,
+                energy: alpha,
+                ber: 0.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProblemInstance;
+
+    fn quick() -> AnnealConfig {
+        AnnealConfig {
+            iterations: 4_000,
+            ..AnnealConfig::default()
+        }
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let inst = ProblemInstance::paper_with_wavelengths(4);
+        let ev = inst.evaluator();
+        let a = simulated_annealing(&ev, Weights::TIME_ONLY, &quick()).unwrap();
+        let b = simulated_annealing(&ev, Weights::TIME_ONLY, &quick()).unwrap();
+        assert_eq!(a.allocation, b.allocation);
+        assert_eq!(a.score, b.score);
+    }
+
+    #[test]
+    fn time_only_weights_approach_the_optimum() {
+        let inst = ProblemInstance::paper_with_wavelengths(4);
+        let ev = inst.evaluator();
+        let run = simulated_annealing(&ev, Weights::TIME_ONLY, &quick()).unwrap();
+        // Exhaustive optimum is 28 kcc; SA should get within one comm step.
+        assert!(
+            run.objectives.exec_time.to_kilocycles() <= 29.5,
+            "SA stalled at {}",
+            run.objectives.exec_time
+        );
+    }
+
+    #[test]
+    fn energy_heavy_weights_stay_frugal() {
+        let inst = ProblemInstance::paper_with_wavelengths(8);
+        let ev = inst.evaluator();
+        let run = simulated_annealing(
+            &ev,
+            Weights {
+                time: 0.05,
+                energy: 1.0,
+                ber: 0.0,
+            },
+            &quick(),
+        )
+        .unwrap();
+        let total: usize = run.allocation.counts().iter().sum();
+        assert!(total <= 10, "energy-weighted SA reserved {total} wavelengths");
+    }
+
+    #[test]
+    fn results_are_always_valid() {
+        let inst = ProblemInstance::paper_with_wavelengths(8);
+        let ev = inst.evaluator();
+        for weights in [Weights::TIME_ONLY, Weights::BALANCED] {
+            let run = simulated_annealing(&ev, weights, &quick()).unwrap();
+            assert!(ev.checker().is_valid(&run.allocation));
+        }
+    }
+
+    #[test]
+    fn weighted_sweep_produces_a_front() {
+        let inst = ProblemInstance::paper_with_wavelengths(4);
+        let ev = inst.evaluator();
+        let front = weighted_sum_front(
+            &ev,
+            &time_energy_weight_sweep(5),
+            ObjectiveSet::TimeEnergy,
+            &quick(),
+        )
+        .unwrap();
+        assert!(!front.is_empty() && front.len() <= 5);
+    }
+
+    #[test]
+    fn sweep_extremes_are_ordered() {
+        let sweep = time_energy_weight_sweep(3);
+        assert_eq!(sweep[0].time, 1.0);
+        assert_eq!(sweep[0].energy, 0.0);
+        assert_eq!(sweep[2].time, 0.0);
+        assert_eq!(sweep[2].energy, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let inst = ProblemInstance::paper_with_wavelengths(4);
+        let ev = inst.evaluator();
+        let _ = simulated_annealing(
+            &ev,
+            Weights {
+                time: -1.0,
+                energy: 1.0,
+                ber: 0.0,
+            },
+            &quick(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn zero_weights_rejected() {
+        let inst = ProblemInstance::paper_with_wavelengths(4);
+        let ev = inst.evaluator();
+        let _ = simulated_annealing(
+            &ev,
+            Weights {
+                time: 0.0,
+                energy: 0.0,
+                ber: 0.0,
+            },
+            &quick(),
+        );
+    }
+}

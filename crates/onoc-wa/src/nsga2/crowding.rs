@@ -1,0 +1,141 @@
+//! Crowding-distance assignment (diversity preservation).
+
+/// Computes the crowding distance of each member of one front.
+///
+/// `front` holds indices into `objectives`; the result is aligned with
+/// `front`. Boundary points (extreme in any objective) get `f64::INFINITY`;
+/// interior points accumulate the normalised side lengths of the cuboid
+/// spanned by their neighbours.
+///
+/// # Panics
+///
+/// Panics if `front` is empty or an index is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_wa::nsga2_crowding::crowding_distances;
+///
+/// let objs = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+/// let d = crowding_distances(&[0, 1, 2], &objs);
+/// assert!(d[0].is_infinite() && d[2].is_infinite());
+/// assert!((d[1] - 2.0).abs() < 1e-12); // 0.5 + 0.5 per objective… times 2 objectives
+/// ```
+#[must_use]
+pub fn crowding_distances(front: &[usize], objectives: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!front.is_empty(), "crowding distance of an empty front");
+    let arity = objectives[front[0]].len();
+    let mut distance = vec![0.0f64; front.len()];
+    if front.len() <= 2 {
+        return vec![f64::INFINITY; front.len()];
+    }
+    // Position of each front slot when sorted by one objective.
+    let mut order: Vec<usize> = (0..front.len()).collect();
+    // `m` indexes a column across `objectives`; an iterator would obscure
+    // the parallel sort/update on `order` and `distance`.
+    #[allow(clippy::needless_range_loop)]
+    for m in 0..arity {
+        order.sort_by(|&a, &b| {
+            objectives[front[a]][m]
+                .partial_cmp(&objectives[front[b]][m])
+                .expect("objective values are finite")
+        });
+        let min = objectives[front[order[0]]][m];
+        let max = objectives[front[*order.last().expect("front is non-empty")]][m];
+        distance[order[0]] = f64::INFINITY;
+        distance[*order.last().expect("front is non-empty")] = f64::INFINITY;
+        let span = max - min;
+        if span <= 0.0 {
+            continue; // all equal in this objective: no discrimination
+        }
+        for w in 1..front.len() - 1 {
+            let prev = objectives[front[order[w - 1]]][m];
+            let next = objectives[front[order[w + 1]]][m];
+            distance[order[w]] += (next - prev) / span;
+        }
+    }
+    distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pairs_are_always_boundary() {
+        let objs = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let d = crowding_distances(&[0, 1], &objs);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn evenly_spaced_interior_points_tie() {
+        let objs = vec![
+            vec![0.0, 4.0],
+            vec![1.0, 3.0],
+            vec![2.0, 2.0],
+            vec![3.0, 1.0],
+            vec![4.0, 0.0],
+        ];
+        let d = crowding_distances(&[0, 1, 2, 3, 4], &objs);
+        assert!(d[0].is_infinite() && d[4].is_infinite());
+        assert!((d[1] - d[2]).abs() < 1e-12 && (d[2] - d[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_point_beats_crowded_point() {
+        // Points at x = 0, 1, 2, 9, 10 on a line (second objective mirrors).
+        let objs: Vec<Vec<f64>> = [0.0, 1.0, 2.0, 9.0, 10.0]
+            .iter()
+            .map(|&x| vec![x, 10.0 - x])
+            .collect();
+        let d = crowding_distances(&[0, 1, 2, 3, 4], &objs);
+        // Index 3 (x=9) has a huge empty neighbourhood; index 1 (x=1) is packed.
+        assert!(d[3] > d[1]);
+    }
+
+    #[test]
+    fn degenerate_objective_is_skipped() {
+        // Second objective constant: only the first discriminates.
+        let objs = vec![vec![0.0, 5.0], vec![1.0, 5.0], vec![4.0, 5.0]];
+        let d = crowding_distances(&[0, 1, 2], &objs);
+        assert!(d[0].is_infinite() && d[2].is_infinite());
+        assert!((d[1] - 1.0).abs() < 1e-12); // (4-0)/4
+    }
+
+    #[test]
+    #[should_panic(expected = "empty front")]
+    fn empty_front_panics() {
+        let _ = crowding_distances(&[], &[]);
+    }
+
+    proptest! {
+        /// Distances are non-negative and boundary points are infinite.
+        #[test]
+        fn distances_nonnegative_with_infinite_boundaries(
+            raw in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2), 3..30),
+        ) {
+            let front: Vec<usize> = (0..raw.len()).collect();
+            let d = crowding_distances(&front, &raw);
+            prop_assert!(d.iter().all(|&x| x >= 0.0));
+            prop_assert!(d.iter().filter(|x| x.is_infinite()).count() >= 2);
+        }
+
+        /// Permuting the front order permutes distances identically.
+        #[test]
+        fn permutation_invariant(
+            raw in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2), 3..15),
+        ) {
+            let front: Vec<usize> = (0..raw.len()).collect();
+            let reversed: Vec<usize> = front.iter().rev().copied().collect();
+            let d1 = crowding_distances(&front, &raw);
+            let d2 = crowding_distances(&reversed, &raw);
+            for (i, &slot) in front.iter().enumerate() {
+                let j = reversed.iter().position(|&s| s == slot).unwrap();
+                let (a, b) = (d1[i], d2[j]);
+                prop_assert!((a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

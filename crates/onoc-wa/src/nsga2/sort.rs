@@ -1,0 +1,175 @@
+//! Fast non-dominated sorting (Deb et al., 2000).
+
+use crate::pareto::dominates;
+
+/// Partitions `objectives` (minimisation vectors of equal arity) into
+/// Pareto fronts: `front[0]` is the non-dominated set, `front[1]` becomes
+/// non-dominated once `front[0]` is removed, and so on.
+///
+/// Runs in `O(M·N²)` like the original algorithm.
+///
+/// # Panics
+///
+/// Panics if the vectors do not all share one arity.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_wa::nsga2_sort::fast_nondominated_sort;
+///
+/// let objs = vec![
+///     vec![1.0, 4.0], // front 0
+///     vec![4.0, 1.0], // front 0
+///     vec![2.0, 5.0], // dominated by the first: front 1
+/// ];
+/// let fronts = fast_nondominated_sort(&objs);
+/// assert_eq!(fronts, vec![vec![0, 1], vec![2]]);
+/// ```
+#[must_use]
+pub fn fast_nondominated_sort(objectives: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = objectives.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // S_p
+    let mut domination_count = vec![0usize; n]; // n_p
+    for p in 0..n {
+        for q in (p + 1)..n {
+            if dominates(&objectives[p], &objectives[q]) {
+                dominated_by[p].push(q);
+                domination_count[q] += 1;
+            } else if dominates(&objectives[q], &objectives[p]) {
+                dominated_by[q].push(p);
+                domination_count[p] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&p| domination_count[p] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &p in &current {
+            for &q in &dominated_by[p] {
+                domination_count[q] -= 1;
+                if domination_count[q] == 0 {
+                    next.push(q);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Maps each index to its front rank (0 = best).
+#[must_use]
+pub fn ranks_from_fronts(fronts: &[Vec<usize>], n: usize) -> Vec<usize> {
+    let mut ranks = vec![usize::MAX; n];
+    for (r, front) in fronts.iter().enumerate() {
+        for &i in front {
+            ranks[i] = r;
+        }
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::dominates;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_point_is_front_zero() {
+        assert_eq!(fast_nondominated_sort(&[vec![1.0, 1.0]]), vec![vec![0]]);
+    }
+
+    #[test]
+    fn empty_input_gives_no_fronts() {
+        assert!(fast_nondominated_sort(&[]).is_empty());
+    }
+
+    #[test]
+    fn chain_of_dominated_points() {
+        let objs = vec![vec![3.0, 3.0], vec![2.0, 2.0], vec![1.0, 1.0]];
+        let fronts = fast_nondominated_sort(&objs);
+        assert_eq!(fronts, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn equal_points_share_a_front() {
+        let objs = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(fast_nondominated_sort(&objs), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn ranks_are_consistent() {
+        let objs = vec![vec![1.0, 4.0], vec![4.0, 1.0], vec![2.0, 5.0]];
+        let fronts = fast_nondominated_sort(&objs);
+        let ranks = ranks_from_fronts(&fronts, objs.len());
+        assert_eq!(ranks, vec![0, 0, 1]);
+    }
+
+    fn objective_vectors() -> impl Strategy<Value = Vec<Vec<f64>>> {
+        proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 3), 1..40)
+    }
+
+    proptest! {
+        /// The fronts partition the population.
+        #[test]
+        fn fronts_partition(objs in objective_vectors()) {
+            let fronts = fast_nondominated_sort(&objs);
+            let mut seen = vec![false; objs.len()];
+            for front in &fronts {
+                for &i in front {
+                    prop_assert!(!seen[i], "index {i} appears twice");
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        /// Front 0 is mutually non-dominating.
+        #[test]
+        fn front_zero_nondominated(objs in objective_vectors()) {
+            let fronts = fast_nondominated_sort(&objs);
+            let f0 = &fronts[0];
+            for &a in f0 {
+                for &b in f0 {
+                    if a != b {
+                        prop_assert!(!dominates(&objs[a], &objs[b]));
+                    }
+                }
+            }
+        }
+
+        /// No point dominates any point in an earlier (better) front.
+        #[test]
+        fn no_cross_front_violations(objs in objective_vectors()) {
+            let fronts = fast_nondominated_sort(&objs);
+            let ranks = ranks_from_fronts(&fronts, objs.len());
+            for a in 0..objs.len() {
+                for b in 0..objs.len() {
+                    if dominates(&objs[a], &objs[b]) {
+                        prop_assert!(ranks[a] < ranks[b],
+                            "dominating point must rank strictly better");
+                    }
+                }
+            }
+        }
+
+        /// Every member of front k+1 is dominated by someone in front k.
+        #[test]
+        fn successive_fronts_are_justified(objs in objective_vectors()) {
+            let fronts = fast_nondominated_sort(&objs);
+            for w in fronts.windows(2) {
+                for &q in &w[1] {
+                    prop_assert!(
+                        w[0].iter().any(|&p| dominates(&objs[p], &objs[q])),
+                        "front member {q} has no dominator in the previous front"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Pareto dominance, fronts and quality indicators.
+
+use crate::{Allocation, Objectives, ObjectiveSet};
+
+/// Returns `true` if objective vector `a` Pareto-dominates `b`
+/// (minimisation): `a` is no worse everywhere and strictly better somewhere.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_wa::dominates;
+///
+/// assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // trade-off: incomparable
+/// assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal: no strict gain
+/// ```
+#[must_use]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal arity");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// One solution on a Pareto front: the allocation, its full objective record
+/// and its projection onto the optimised objective set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontPoint {
+    /// The wavelength allocation.
+    pub allocation: Allocation,
+    /// Its full three-objective record.
+    pub objectives: Objectives,
+    /// The minimisation vector actually used for dominance.
+    pub values: Vec<f64>,
+}
+
+/// A set of mutually non-dominated solutions, sorted by the first objective.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_wa::{ParetoFront, ProblemInstance, ObjectiveSet};
+///
+/// let instance = ProblemInstance::paper_with_wavelengths(4);
+/// let ev = instance.evaluator();
+/// let candidates = [[1, 1, 1, 1, 1, 1], [2, 2, 4, 2, 2, 4], [1, 2, 1, 2, 1, 1]]
+///     .iter()
+///     .map(|c| instance.allocation_from_counts(c).unwrap());
+/// let front = ParetoFront::from_allocations(&ev, ObjectiveSet::TimeEnergy, candidates);
+/// assert!(front.len() >= 2); // the extremes survive
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParetoFront {
+    points: Vec<FrontPoint>,
+}
+
+impl ParetoFront {
+    /// Builds the front of an explicit set of scored points.
+    #[must_use]
+    pub fn from_points(candidates: Vec<FrontPoint>) -> Self {
+        let mut points: Vec<FrontPoint> = Vec::new();
+        for cand in candidates {
+            if points.iter().any(|p| dominates(&p.values, &cand.values)) {
+                continue;
+            }
+            points.retain(|p| !dominates(&cand.values, &p.values));
+            // Skip exact duplicates in objective space.
+            if points.iter().any(|p| p.values == cand.values) {
+                continue;
+            }
+            points.push(cand);
+        }
+        points.sort_by(|a, b| {
+            a.values
+                .partial_cmp(&b.values)
+                .expect("objective values are finite")
+        });
+        Self { points }
+    }
+
+    /// Evaluates `allocations` and keeps the non-dominated ones (invalid
+    /// allocations are dropped).
+    #[must_use]
+    pub fn from_allocations(
+        evaluator: &crate::Evaluator<'_>,
+        set: ObjectiveSet,
+        allocations: impl IntoIterator<Item = Allocation>,
+    ) -> Self {
+        let scored = allocations
+            .into_iter()
+            .filter_map(|allocation| {
+                evaluator.evaluate(&allocation).map(|objectives| FrontPoint {
+                    values: objectives.values(set),
+                    objectives,
+                    allocation,
+                })
+            })
+            .collect();
+        Self::from_points(scored)
+    }
+
+    /// The points, sorted by the first objective.
+    #[must_use]
+    pub fn points(&self) -> &[FrontPoint] {
+        &self.points
+    }
+
+    /// Number of points on the front.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Is the front empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Inserts one point in place, keeping the front non-dominated and
+    /// sorted. Returns `false` if the point was dominated by (or equal in
+    /// objective space to) an existing point.
+    pub fn insert(&mut self, point: FrontPoint) -> bool {
+        if self
+            .points
+            .iter()
+            .any(|p| p.values == point.values || dominates(&p.values, &point.values))
+        {
+            return false;
+        }
+        self.points.retain(|p| !dominates(&point.values, &p.values));
+        let pos = self.points.partition_point(|p| p.values < point.values);
+        self.points.insert(pos, point);
+        true
+    }
+
+    /// Merges two fronts into a new non-dominated set.
+    #[must_use]
+    pub fn merge(&self, other: &ParetoFront) -> ParetoFront {
+        let mut all = self.points.clone();
+        all.extend(other.points.iter().cloned());
+        Self::from_points(all)
+    }
+
+    /// 2-D hypervolume indicator with respect to `reference` (a point worse
+    /// than every front point in both objectives). Larger is better.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front is not two-dimensional or the reference does not
+    /// dominate-from-below every point.
+    #[must_use]
+    pub fn hypervolume_2d(&self, reference: [f64; 2]) -> f64 {
+        let mut volume = 0.0;
+        let mut prev_y = reference[1];
+        // Points are sorted ascending in x; sweep accumulating rectangles.
+        for p in &self.points {
+            assert_eq!(p.values.len(), 2, "hypervolume_2d needs 2-objective fronts");
+            assert!(
+                p.values[0] <= reference[0] && p.values[1] <= reference[1],
+                "reference {reference:?} must be weakly worse than every point, found {:?}",
+                p.values
+            );
+            let width = reference[0] - p.values[0];
+            let height = prev_y - p.values[1];
+            if height > 0.0 {
+                volume += width * height;
+                prev_y = p.values[1];
+            }
+        }
+        volume
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_units::{Cycles, Femtojoules};
+    use proptest::prelude::*;
+
+    fn point(values: Vec<f64>) -> FrontPoint {
+        FrontPoint {
+            allocation: Allocation::new(1, 4),
+            objectives: Objectives {
+                exec_time: Cycles::new(values[0]),
+                bit_energy: Femtojoules::new(*values.get(1).unwrap_or(&0.0)),
+                avg_log_ber: -3.0,
+            },
+            values,
+        }
+    }
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0], &[1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal arity")]
+    fn dominance_arity_checked() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn front_filters_dominated() {
+        let front = ParetoFront::from_points(vec![
+            point(vec![1.0, 5.0]),
+            point(vec![2.0, 4.0]),
+            point(vec![3.0, 6.0]), // dominated by (2,4)
+            point(vec![4.0, 1.0]),
+        ]);
+        let xs: Vec<f64> = front.points().iter().map(|p| p.values[0]).collect();
+        assert_eq!(xs, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn front_deduplicates_objective_space() {
+        let front =
+            ParetoFront::from_points(vec![point(vec![1.0, 5.0]), point(vec![1.0, 5.0])]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn insert_matches_from_points() {
+        let raw = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+            vec![4.0, 1.0],
+            vec![2.0, 4.0],
+        ];
+        let batch = ParetoFront::from_points(raw.iter().cloned().map(point).collect());
+        let mut incremental = ParetoFront::default();
+        for v in raw {
+            let _ = incremental.insert(point(v));
+        }
+        let a: Vec<_> = batch.points().iter().map(|p| p.values.clone()).collect();
+        let b: Vec<_> = incremental.points().iter().map(|p| p.values.clone()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn insert_reports_rejections() {
+        let mut front = ParetoFront::default();
+        assert!(front.insert(point(vec![1.0, 1.0])));
+        assert!(!front.insert(point(vec![2.0, 2.0]))); // dominated
+        assert!(!front.insert(point(vec![1.0, 1.0]))); // duplicate
+        assert!(front.insert(point(vec![0.5, 2.0]))); // trade-off
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn merge_keeps_best_of_both() {
+        let a = ParetoFront::from_points(vec![point(vec![1.0, 5.0])]);
+        let b = ParetoFront::from_points(vec![point(vec![0.5, 6.0]), point(vec![2.0, 1.0])]);
+        let merged = a.merge(&b);
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn hypervolume_rectangle() {
+        let front = ParetoFront::from_points(vec![point(vec![1.0, 1.0])]);
+        // Rectangle (1,1)..(3,3): area 4.
+        assert!((front.hypervolume_2d([3.0, 3.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_staircase() {
+        let front =
+            ParetoFront::from_points(vec![point(vec![1.0, 2.0]), point(vec![2.0, 1.0])]);
+        // (1,2): (3-1)*(3-2)=2 ; (2,1): (3-2)*(2-1)=1 → 3.
+        assert!((front.hypervolume_2d([3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// The front never contains a pair where one dominates the other.
+        #[test]
+        fn front_is_mutually_nondominated(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..10.0, 2), 1..40,
+            ),
+        ) {
+            let front = ParetoFront::from_points(raw.into_iter().map(point).collect());
+            for (i, a) in front.points().iter().enumerate() {
+                for (j, b) in front.points().iter().enumerate() {
+                    if i != j {
+                        prop_assert!(!dominates(&a.values, &b.values));
+                    }
+                }
+            }
+        }
+
+        /// Every input point is either on the front or dominated by (or
+        /// equal to) a front point.
+        #[test]
+        fn front_covers_input(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..10.0, 2), 1..40,
+            ),
+        ) {
+            let points: Vec<FrontPoint> = raw.into_iter().map(point).collect();
+            let front = ParetoFront::from_points(points.clone());
+            for p in &points {
+                let covered = front.points().iter().any(|q| {
+                    q.values == p.values || dominates(&q.values, &p.values)
+                });
+                prop_assert!(covered);
+            }
+        }
+
+        /// Merging is commutative in objective space.
+        #[test]
+        fn merge_commutes(
+            xs in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2), 0..15),
+            ys in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2), 0..15),
+        ) {
+            let a = ParetoFront::from_points(xs.into_iter().map(point).collect());
+            let b = ParetoFront::from_points(ys.into_iter().map(point).collect());
+            let ab: Vec<_> = a.merge(&b).points().iter().map(|p| p.values.clone()).collect();
+            let ba: Vec<_> = b.merge(&a).points().iter().map(|p| p.values.clone()).collect();
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

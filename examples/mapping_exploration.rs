@@ -1,0 +1,43 @@
+//! The paper's future-work extension: search over task mappings, scoring
+//! each placement by its greedily allocated wavelength schedule.
+//!
+//! ```sh
+//! cargo run --release --example mapping_exploration
+//! ```
+
+use ring_wdm_onoc::prelude::*;
+use ring_wdm_onoc::wa::mapping_search::{optimize_mapping, MappingSearchConfig};
+
+fn main() {
+    let arch = OnocArchitecture::paper_architecture(8);
+    let graph = ring_wdm_onoc::app::workloads::paper_task_graph();
+
+    println!("Searching mappings of the paper's 6 tasks on the 16-core ring…");
+    let result = optimize_mapping(
+        &arch,
+        &graph,
+        &MappingSearchConfig {
+            iterations: 150,
+            restarts: 3,
+            seed: 11,
+            options: EvalOptions::default(),
+        },
+    );
+
+    println!(
+        "\nBest mapping found ({} candidate evaluations):",
+        result.evaluated
+    );
+    for (task, node) in result.mapping.iter().enumerate() {
+        let (row, col) = arch.geometry().grid_coordinates(*node);
+        println!("  T{task} → ring position {node} (tile row {row}, col {col})");
+    }
+    println!(
+        "\nMakespan under greedy wavelength allocation: {:.2} kcc",
+        result.makespan.to_kilocycles()
+    );
+    println!(
+        "Paper's hand placement scores 24.0 kcc under the same scorer;\n\
+         the zero-communication bound is 20.0 kcc."
+    );
+}

@@ -1,0 +1,77 @@
+//! Decompose the optical power budget of every receiver in an allocation —
+//! the view an architect uses to see where the dB (and therefore the laser
+//! energy) actually go.
+//!
+//! ```sh
+//! cargo run --example power_budget
+//! ```
+
+use ring_wdm_onoc::prelude::*;
+use ring_wdm_onoc::topology::power_budgets;
+
+fn main() {
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let allocation = instance
+        .allocation_from_counts(&[3, 4, 8, 5, 3, 8])
+        .unwrap();
+
+    // Re-express the allocation as physical transmissions.
+    let app = instance.app();
+    let traffic: Vec<Transmission> = app
+        .graph()
+        .comms()
+        .map(|(id, _)| Transmission::new(id.0, *app.route(id), allocation.channels(id)))
+        .collect();
+
+    let budgets = power_budgets(instance.arch(), &traffic).unwrap();
+    println!(
+        "{:<6}{:<5}{:>10}{:>8}{:>8}{:>10}{:>10}{:>8}{:>10}",
+        "comm", "λ", "total", "prop", "bend", "offMR", "onMR", "drop", "launch"
+    );
+    let detector = instance.arch().detector();
+    for b in &budgets {
+        let launch = detector.required_launch_power(b.total());
+        println!(
+            "c{:<5}{:<5}{:>9.3}{:>8.3}{:>8.3}{:>8.3}dB×{:<2}{:>6.2}dB×{:<2}{:>6.2}{:>10.2}",
+            b.transmission,
+            b.channel.to_string(),
+            b.total().value(),
+            b.propagation.value(),
+            b.bending.value(),
+            b.off_mr_through.value(),
+            b.off_mr_count,
+            b.on_mr_through.value(),
+            b.on_mr_count,
+            b.drop.value(),
+            launch.value(),
+        );
+    }
+
+    // Which communication pays the most?
+    let worst = budgets
+        .iter()
+        .min_by(|a, b| a.total().value().partial_cmp(&b.total().value()).unwrap())
+        .unwrap();
+    println!(
+        "\nLossiest receiver: {worst}\n\
+         (the drop ring and the ON-state rings crossed at the shared\n\
+         destination dominate — exactly the effect that makes dense\n\
+         allocations expensive in Fig. 6(a))"
+    );
+
+    // Compare with the worst-case design bound at the same node.
+    let bounds = ring_wdm_onoc::topology::worst_case_bounds(
+        instance.arch(),
+        NodeId(3),
+        Direction::Clockwise,
+    );
+    let p0 = instance.arch().laser().power_off().to_milliwatts();
+    let worst_bound = bounds
+        .iter()
+        .map(|b| b.worst_log_ber(p0, BerConvention::PaperDb))
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nWorst-case design bound at node 3: log10(BER) = {worst_bound:.2} —\n\
+         application-aware allocation beats it comfortably."
+    );
+}

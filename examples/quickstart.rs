@@ -1,0 +1,55 @@
+//! Quickstart: evaluate wavelength allocations on the paper's instance.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ring_wdm_onoc::prelude::*;
+
+fn main() {
+    // The paper's 16-core ring ONoC with an 8-channel WDM comb, running the
+    // 6-task virtual application of Fig. 5.
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let evaluator = instance.evaluator();
+
+    println!(
+        "Instance: {} communications, {} wavelengths, {} cores\n",
+        instance.comm_count(),
+        instance.wavelength_count(),
+        instance.arch().ring().node_count()
+    );
+
+    // Three allocations along the paper's trade-off curve, expressed as
+    // wavelength counts per communication (the notation of Fig. 6).
+    let candidates: [(&str, [usize; 6]); 3] = [
+        ("frugal  [1,1,1,1,1,1]", [1, 1, 1, 1, 1, 1]),
+        ("middle  [2,3,4,3,2,4]", [2, 3, 4, 3, 2, 4]),
+        ("fastest [3,4,8,5,3,8]", [3, 4, 8, 5, 3, 8]),
+    ];
+
+    println!(
+        "{:<24}{:>12}{:>16}{:>12}",
+        "allocation", "exec (kcc)", "energy (fJ/bit)", "log10(BER)"
+    );
+    for (name, counts) in candidates {
+        let allocation = instance
+            .allocation_from_counts(&counts)
+            .expect("counts fit the 8-channel comb");
+        let objectives = evaluator
+            .evaluate(&allocation)
+            .expect("packed allocations satisfy the paper's constraints");
+        println!(
+            "{:<24}{:>12.2}{:>16.2}{:>12.3}",
+            name,
+            objectives.exec_time.to_kilocycles(),
+            objectives.bit_energy.value(),
+            objectives.avg_log_ber
+        );
+    }
+
+    println!(
+        "\nMore wavelengths run faster but pay in energy per bit and BER —\n\
+         the trade-off the paper explores with NSGA-II (see the\n\
+         paper_pareto example)."
+    );
+}

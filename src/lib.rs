@@ -1,0 +1,61 @@
+//! # ring-wdm-onoc
+//!
+//! A full reproduction of *"Performance and Energy Aware Wavelength
+//! Allocation on Ring-Based WDM 3D Optical NoC"* (Luo et al., DATE 2017) as
+//! a production-quality Rust workspace.
+//!
+//! This facade crate re-exports the public API of every workspace member so
+//! downstream users can depend on a single crate:
+//!
+//! * [`units`] — physical-unit newtypes (dB, dBm, mW, nm, cycles, fJ),
+//! * [`photonics`] — micro-ring resonators, WDM grids, lasers,
+//!   photodetectors, SNR and BER models,
+//! * [`topology`] — the ring-based ONoC architecture, routing and the
+//!   per-wavelength receiver-spectrum engine,
+//! * [`app`] — task graphs, mappings and the communication-aware schedule,
+//! * [`sim`] — a cycle-level discrete-event simulator of the ring,
+//! * [`wa`] — the paper's contribution: multi-objective wavelength
+//!   allocation (NSGA-II), validity constraints, objectives, heuristic
+//!   baselines, exhaustive oracles and the mapping-search extension.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ring_wdm_onoc::prelude::*;
+//!
+//! // The paper's 16-core ring and 6-task application, with 8 wavelengths.
+//! let instance = ProblemInstance::paper_with_wavelengths(8);
+//! let evaluator = instance.evaluator();
+//!
+//! // Evaluate the most energy-frugal allocation: one wavelength each.
+//! let alloc = instance.allocation_from_counts(&[1, 1, 1, 1, 1, 1]).unwrap();
+//! let objectives = evaluator.evaluate(&alloc).expect("allocation is valid");
+//! assert_eq!(objectives.exec_time.to_kilocycles(), 38.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use onoc_app as app;
+pub use onoc_photonics as photonics;
+pub use onoc_sim as sim;
+pub use onoc_topology as topology;
+pub use onoc_units as units;
+pub use onoc_wa as wa;
+
+/// Convenience re-exports covering the most common entry points.
+pub mod prelude {
+    pub use onoc_app::{MappedApplication, Mapping, RouteStrategy, Schedule, TaskGraph};
+    pub use onoc_photonics::{BerConvention, LossParams, MicroRing, Vcsel, WavelengthGrid};
+    pub use onoc_sim::{SimReport, Simulator};
+    pub use onoc_topology::{
+        CrosstalkModel, Direction, NodeId, OnocArchitecture, RingPath, SpectrumEngine,
+        Transmission,
+    };
+    pub use onoc_units::{
+        Bits, BitsPerCycle, Cycles, DbMilliwatts, Decibels, Femtojoules, Milliwatts, Nanometers,
+    };
+    pub use onoc_wa::{
+        Allocation, EvalOptions, Evaluator, Nsga2, Nsga2Config, ObjectiveSet, Objectives,
+        ParetoFront, ProblemInstance, ValidityChecker,
+    };
+}

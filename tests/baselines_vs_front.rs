@@ -1,0 +1,133 @@
+//! The classical heuristics are sanity baselines: valid, reproducible and
+//! never better than the exhaustive Pareto front.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ring_wdm_onoc::prelude::*;
+use ring_wdm_onoc::wa::{dominates, exhaustive, heuristics};
+
+#[test]
+fn heuristics_never_beat_the_exhaustive_time_optimum() {
+    // Execution time depends only on the wavelength *counts*, so the
+    // count-level oracle is exact for it. (BER and energy also depend on
+    // the wavelength *positions*, where a heuristic can legitimately beat
+    // the oracle's canonical packing — see
+    // `heuristics_never_dominate_the_gene_level_front` below.)
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let evaluator = instance.evaluator();
+    let (_, best_time) = exhaustive::time_optimal_counts(&instance, &evaluator);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let baselines = vec![
+        heuristics::first_fit(&instance).unwrap(),
+        heuristics::most_used(&instance).unwrap(),
+        heuristics::least_used(&instance).unwrap(),
+        heuristics::random_single(&instance, &mut rng, 10_000).unwrap(),
+        heuristics::greedy_makespan(&instance, &evaluator).unwrap(),
+    ];
+    for alloc in baselines {
+        let o = evaluator.evaluate(&alloc).expect("baselines are valid");
+        assert!(
+            o.exec_time >= best_time,
+            "heuristic {alloc} beats the exhaustive optimum {best_time}"
+        );
+    }
+}
+
+#[test]
+fn heuristics_never_dominate_the_gene_level_front() {
+    // On an instance small enough for full gene-space enumeration the
+    // oracle front is exact in all objectives.
+    use ring_wdm_onoc::app::{workloads, MappedApplication, Mapping, RouteStrategy};
+    use ring_wdm_onoc::topology::RingTopology;
+    use ring_wdm_onoc::units::{Bits, Cycles};
+
+    let graph = workloads::pipeline(3, Cycles::new(200.0), Bits::new(600.0));
+    let mapping = Mapping::new(&graph, vec![NodeId(0), NodeId(1), NodeId(3)]).unwrap();
+    let app =
+        MappedApplication::new(graph, mapping, RingTopology::new(4), RouteStrategy::Shortest)
+            .unwrap();
+    let arch = OnocArchitecture::builder()
+        .grid_dimensions(2, 2)
+        .wavelengths(4)
+        .build()
+        .unwrap();
+    let instance =
+        ring_wdm_onoc::wa::ProblemInstance::new(arch, app, EvalOptions::default()).unwrap();
+    let evaluator = instance.evaluator();
+    let oracle =
+        exhaustive::enumerate_gene_space(&instance, &evaluator, ObjectiveSet::TimeEnergyBer);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let baselines = vec![
+        heuristics::first_fit(&instance).unwrap(),
+        heuristics::most_used(&instance).unwrap(),
+        heuristics::least_used(&instance).unwrap(),
+        heuristics::random_single(&instance, &mut rng, 10_000).unwrap(),
+        heuristics::greedy_makespan(&instance, &evaluator).unwrap(),
+    ];
+    for alloc in baselines {
+        let o = evaluator.evaluate(&alloc).expect("baselines are valid");
+        let v = o.values(ObjectiveSet::TimeEnergyBer);
+        for p in oracle.front.points() {
+            assert!(
+                !dominates(&v, &p.values),
+                "heuristic {alloc} dominates gene-level oracle point {:?}",
+                p.values
+            );
+        }
+    }
+}
+
+#[test]
+fn single_wavelength_heuristics_sit_on_the_frugal_corner() {
+    for nw in [4usize, 8, 12] {
+        let instance = ProblemInstance::paper_with_wavelengths(nw);
+        let evaluator = instance.evaluator();
+        for alloc in [
+            heuristics::first_fit(&instance).unwrap(),
+            heuristics::most_used(&instance).unwrap(),
+            heuristics::least_used(&instance).unwrap(),
+        ] {
+            let o = evaluator.evaluate(&alloc).unwrap();
+            assert_eq!(
+                o.exec_time.to_kilocycles(),
+                38.0,
+                "NW = {nw}: single-λ baselines always run in 38 kcc"
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_beats_every_single_wavelength_heuristic_on_time() {
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let evaluator = instance.evaluator();
+    let greedy = heuristics::greedy_makespan(&instance, &evaluator).unwrap();
+    let greedy_time = evaluator.evaluate(&greedy).unwrap().exec_time;
+    let ff = heuristics::first_fit(&instance).unwrap();
+    let ff_time = evaluator.evaluate(&ff).unwrap().exec_time;
+    assert!(greedy_time < ff_time);
+    // …but pays for it in energy (the central trade-off).
+    let greedy_energy = evaluator.evaluate(&greedy).unwrap().bit_energy;
+    let ff_energy = evaluator.evaluate(&ff).unwrap().bit_energy;
+    assert!(greedy_energy > ff_energy);
+}
+
+#[test]
+fn most_used_reuses_wavelengths_across_disjoint_paths() {
+    // On the paper instance c2 and c5 are unconstrained; Most-Used should
+    // put them on an already-popular wavelength instead of a fresh one.
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let alloc = heuristics::most_used(&instance).unwrap();
+    let mut usage = std::collections::HashMap::<_, usize>::new();
+    for k in 0..6 {
+        for ch in alloc.channels(ring_wdm_onoc::app::CommId(k)) {
+            *usage.entry(ch).or_default() += 1;
+        }
+    }
+    assert!(
+        usage.values().any(|&n| n >= 3),
+        "most-used should concentrate: {usage:?}"
+    );
+}

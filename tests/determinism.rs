@@ -1,0 +1,99 @@
+//! Reproducibility: every stochastic component is exactly deterministic
+//! under a fixed seed, and deterministic components are pure.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ring_wdm_onoc::prelude::*;
+use ring_wdm_onoc::wa::{heuristics, mapping_search};
+
+#[test]
+fn ga_runs_are_bit_identical_per_seed() {
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let evaluator = instance.evaluator();
+    let run = |seed: u64| {
+        let outcome = Nsga2::new(
+            &evaluator,
+            Nsga2Config {
+                population_size: 50,
+                generations: 20,
+                objectives: ObjectiveSet::TimeEnergyBer,
+                seed,
+                ..Nsga2Config::default()
+            },
+        )
+        .run();
+        (
+            outcome
+                .front
+                .points()
+                .iter()
+                .map(|p| (p.allocation.genes().to_vec(), p.values.clone()))
+                .collect::<Vec<_>>(),
+            outcome.stats,
+        )
+    };
+    assert_eq!(run(123), run(123));
+    let (front_a, _) = run(123);
+    let (front_b, _) = run(124);
+    assert_ne!(front_a, front_b, "different seeds should explore differently");
+}
+
+#[test]
+fn evaluation_is_pure() {
+    let instance = ProblemInstance::paper_with_wavelengths(12);
+    let evaluator = instance.evaluator();
+    let alloc = instance.allocation_from_counts(&[2, 8, 6, 6, 4, 7]).unwrap();
+    let a = evaluator.evaluate(&alloc).unwrap();
+    let b = evaluator.evaluate(&alloc).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn random_heuristic_is_seed_deterministic() {
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let a = heuristics::random_single(&instance, &mut StdRng::seed_from_u64(9), 1000).unwrap();
+    let b = heuristics::random_single(&instance, &mut StdRng::seed_from_u64(9), 1000).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn mapping_search_is_seed_deterministic() {
+    let arch = OnocArchitecture::paper_architecture(4);
+    let graph = ring_wdm_onoc::app::workloads::paper_task_graph();
+    let config = mapping_search::MappingSearchConfig {
+        iterations: 20,
+        restarts: 2,
+        seed: 77,
+        options: EvalOptions::default(),
+    };
+    let a = mapping_search::optimize_mapping(&arch, &graph, &config);
+    let b = mapping_search::optimize_mapping(&arch, &graph, &config);
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.evaluated, b.evaluated);
+}
+
+#[test]
+fn simulator_is_pure() {
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let alloc = instance.allocation_from_counts(&[3, 4, 8, 5, 3, 8]).unwrap();
+    let run = || {
+        Simulator::new(instance.app(), &alloc, instance.options().rate)
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn workload_generators_are_seed_deterministic() {
+    use ring_wdm_onoc::app::workloads;
+    let config = workloads::LayeredDagConfig::default();
+    let a = workloads::random_layered_dag(&mut StdRng::seed_from_u64(5), &config);
+    let b = workloads::random_layered_dag(&mut StdRng::seed_from_u64(5), &config);
+    assert_eq!(a, b);
+    let ma = workloads::random_mapping(&mut StdRng::seed_from_u64(5), 6, 16);
+    let mb = workloads::random_mapping(&mut StdRng::seed_from_u64(5), 6, 16);
+    assert_eq!(ma, mb);
+}

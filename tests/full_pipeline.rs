@@ -1,0 +1,150 @@
+//! Full-pipeline integration: GA search → front validation → discrete-event
+//! replay, spanning every crate in the workspace.
+
+use ring_wdm_onoc::prelude::*;
+
+fn quick_ga(instance: &ProblemInstance, set: ObjectiveSet, seed: u64) -> ring_wdm_onoc::wa::Nsga2Outcome {
+    let evaluator = instance.evaluator();
+    Nsga2::new(
+        &evaluator,
+        Nsga2Config {
+            population_size: 80,
+            generations: 40,
+            objectives: set,
+            seed,
+            ..Nsga2Config::default()
+        },
+    )
+    .run()
+}
+
+#[test]
+fn ga_front_points_replay_cleanly_in_the_simulator() {
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let outcome = quick_ga(&instance, ObjectiveSet::TimeEnergy, 3);
+    assert!(!outcome.front.is_empty());
+    for point in outcome.front.points() {
+        let sim = Simulator::new(instance.app(), &point.allocation, instance.options().rate)
+            .expect("front allocations bind to the application");
+        let report = sim.run().expect("front allocations simulate");
+        // Statically valid ⇒ dynamically conflict-free.
+        assert!(report.conflicts.is_empty(), "{}", point.allocation);
+        // DES makespan agrees with the objective up to integer rounding.
+        let analytic = point.objectives.exec_time.value();
+        assert!(
+            (report.makespan as f64 - analytic).abs() <= 6.0,
+            "DES {} vs analytic {analytic}",
+            report.makespan
+        );
+    }
+}
+
+#[test]
+fn front_improves_with_more_wavelengths() {
+    // Fig. 6 trend across comb sizes: best execution time decreases
+    // (4 λ → 8 λ strictly, 8 λ → 12 λ weakly).
+    let best = |nw: usize| {
+        let instance = ProblemInstance::paper_with_wavelengths(nw);
+        quick_ga(&instance, ObjectiveSet::TimeEnergy, 17)
+            .front
+            .points()
+            .iter()
+            .map(|p| p.objectives.exec_time.to_kilocycles())
+            .fold(f64::INFINITY, f64::min)
+    };
+    let (b4, b8, b12) = (best(4), best(8), best(12));
+    assert!(b8 < b4, "8λ ({b8}) should beat 4λ ({b4})");
+    assert!(b12 <= b8 + 0.5, "12λ ({b12}) should not regress vs 8λ ({b8})");
+    // And everything is bounded below by the 20 kcc asymptote.
+    assert!(b12 >= 20.0);
+}
+
+#[test]
+fn three_objective_front_covers_two_objective_fronts() {
+    // Every point on a 2-objective front must be weakly covered by the
+    // 3-objective front (same seed ⇒ same explored space is not guaranteed,
+    // so check against exhaustive count-space fronts instead).
+    use ring_wdm_onoc::wa::exhaustive;
+    let instance = ProblemInstance::paper_with_wavelengths(4);
+    let evaluator = instance.evaluator();
+    let te = exhaustive::enumerate_count_vectors(&instance, &evaluator, ObjectiveSet::TimeEnergy);
+    let teb =
+        exhaustive::enumerate_count_vectors(&instance, &evaluator, ObjectiveSet::TimeEnergyBer);
+    for p in te.front.points() {
+        let v3 = p.objectives.values(ObjectiveSet::TimeEnergyBer);
+        let covered = teb.front.points().iter().any(|q| {
+            q.values == v3 || !ring_wdm_onoc::wa::dominates(&v3, &q.values)
+        });
+        assert!(covered);
+        // Stronger: no 3-objective front point strictly dominates a
+        // 2-objective-front point in the 3-objective space.
+        assert!(
+            !teb.front
+                .points()
+                .iter()
+                .any(|q| ring_wdm_onoc::wa::dominates(&q.values, &v3)
+                    && q.values[0] != v3[0]),
+        );
+    }
+}
+
+#[test]
+fn archive_front_dominates_final_population_front() {
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let evaluator = instance.evaluator();
+    let run = |track: bool| {
+        Nsga2::new(
+            &evaluator,
+            Nsga2Config {
+                population_size: 60,
+                generations: 30,
+                objectives: ObjectiveSet::TimeEnergy,
+                seed: 5,
+                track_archive: track,
+                ..Nsga2Config::default()
+            },
+        )
+        .run()
+    };
+    let with_archive = run(true);
+    let without = run(false);
+    // The archive saw everything the final population saw (same seed ⇒
+    // identical evolution), so its front must weakly cover the other.
+    for p in without.front.points() {
+        let covered = with_archive.front.points().iter().any(|q| {
+            q.values == p.values || ring_wdm_onoc::wa::dominates(&q.values, &p.values)
+        });
+        assert!(covered, "population point {:?} not covered", p.values);
+    }
+}
+
+#[test]
+fn evaluator_and_manual_composition_agree() {
+    // The Evaluator pipeline must equal hand-wiring schedule + spectrum.
+    use ring_wdm_onoc::topology::{SpectrumEngine, Transmission};
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let evaluator = instance.evaluator();
+    let alloc = instance.allocation_from_counts(&[2, 3, 4, 3, 2, 4]).unwrap();
+    let objectives = evaluator.evaluate(&alloc).unwrap();
+
+    // Manual schedule.
+    let schedule = Schedule::new(instance.app().graph(), instance.options().rate).unwrap();
+    let manual_time = schedule.evaluate(&alloc.counts()).unwrap().makespan;
+    assert_eq!(objectives.exec_time, manual_time);
+
+    // Manual spectrum → BER.
+    let app = instance.app();
+    let traffic: Vec<Transmission> = app
+        .graph()
+        .comms()
+        .map(|(id, _)| Transmission::new(id.0, *app.route(id), alloc.channels(id)))
+        .collect();
+    let engine = SpectrumEngine::new(instance.arch(), &traffic).unwrap();
+    let reports = engine.analyze().unwrap();
+    let mean_ber = reports
+        .iter()
+        .map(|r| r.signal_noise().ber(BerConvention::PaperDb))
+        .sum::<f64>()
+        / reports.len() as f64;
+    assert!((objectives.avg_log_ber - mean_ber.log10()).abs() < 1e-12);
+}

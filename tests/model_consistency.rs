@@ -1,0 +1,178 @@
+//! Cross-crate physical-model consistency checks.
+
+use ring_wdm_onoc::prelude::*;
+use ring_wdm_onoc::topology::{SpectrumEngine, Transmission};
+
+fn instance_with(nw: usize, options: EvalOptions) -> ProblemInstance {
+    ProblemInstance::new(
+        OnocArchitecture::paper_architecture(nw),
+        ring_wdm_onoc::app::workloads::paper_mapped_application(),
+        options,
+    )
+    .unwrap()
+}
+
+#[test]
+fn ber_is_insensitive_to_comb_size_for_frugal_allocations() {
+    // Fig. 6(b) observation: "as NW increases, the BER is nearly unchanged"
+    // — with constraint-aware packing the frugal allocation keeps its
+    // channels spread, so BER moves very little across comb sizes.
+    let mut bers = Vec::new();
+    for nw in [4usize, 8, 12] {
+        let instance = ProblemInstance::paper_with_wavelengths(nw);
+        let evaluator = instance.evaluator();
+        let alloc = instance.allocation_from_counts(&[1; 6]).unwrap();
+        bers.push(evaluator.evaluate(&alloc).unwrap().avg_log_ber);
+    }
+    let spread = bers
+        .iter()
+        .fold(f64::NEG_INFINITY, |m, &b| m.max(b))
+        - bers.iter().fold(f64::INFINITY, |m, &b| m.min(b));
+    assert!(spread < 0.4, "frugal BER varies too much across NW: {bers:?}");
+}
+
+#[test]
+fn dense_crosstalk_is_a_material_fraction_of_the_noise() {
+    // With Table-I parameters the unattenuated P0 floor (−30 dBm) always
+    // dominates the noise, but for dense allocations the crosstalk sum must
+    // still be a material fraction of it — that modulation is exactly what
+    // separates the BER endpoints of Fig. 6(b).
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let alloc = instance.allocation_from_counts(&[4, 4, 8, 4, 4, 8]).unwrap();
+    let app = instance.app();
+    let traffic: Vec<Transmission> = app
+        .graph()
+        .comms()
+        .map(|(id, _)| Transmission::new(id.0, *app.route(id), alloc.channels(id)))
+        .collect();
+    let engine = SpectrumEngine::new(instance.arch(), &traffic).unwrap();
+    let reports = engine.analyze().unwrap();
+    let p0 = instance.arch().laser().power_off().to_milliwatts();
+    let material = reports
+        .iter()
+        .filter(|r| r.crosstalk.value() > 0.15 * p0.value())
+        .count();
+    assert!(
+        material * 2 > reports.len(),
+        "crosstalk should be material on most dense receivers ({material}/{})",
+        reports.len()
+    );
+}
+
+#[test]
+fn p0_floor_dominates_for_the_frugal_allocation() {
+    // Conversely, with one well-separated wavelength per communication the
+    // Lorentzian leakage is tiny and the noise is essentially P0.
+    let instance = ProblemInstance::paper_with_wavelengths(12);
+    let alloc = instance.allocation_from_counts(&[1; 6]).unwrap();
+    let app = instance.app();
+    let traffic: Vec<Transmission> = app
+        .graph()
+        .comms()
+        .map(|(id, _)| Transmission::new(id.0, *app.route(id), alloc.channels(id)))
+        .collect();
+    let engine = SpectrumEngine::new(instance.arch(), &traffic).unwrap();
+    for r in engine.analyze().unwrap() {
+        assert!(
+            r.crosstalk < r.noise * 0.6,
+            "crosstalk {} should stay below the P0 floor share of {}",
+            r.crosstalk,
+            r.noise
+        );
+    }
+}
+
+#[test]
+fn elementwise_model_improves_or_preserves_every_receiver() {
+    let paper = instance_with(8, EvalOptions::default());
+    let element = instance_with(
+        8,
+        EvalOptions {
+            crosstalk_model: CrosstalkModel::Elementwise,
+            ..EvalOptions::default()
+        },
+    );
+    for counts in [[2usize, 3, 4, 3, 2, 4], [4, 4, 8, 4, 4, 8]] {
+        let a = paper
+            .evaluator()
+            .evaluate(&paper.allocation_from_counts(&counts).unwrap())
+            .unwrap();
+        let b = element
+            .evaluator()
+            .evaluate(&element.allocation_from_counts(&counts).unwrap())
+            .unwrap();
+        assert!(b.avg_log_ber <= a.avg_log_ber + 1e-12);
+        // Time and energy are unaffected by the crosstalk model.
+        assert_eq!(a.exec_time, b.exec_time);
+        assert!((a.bit_energy.value() - b.bit_energy.value()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn linear_convention_is_orders_of_magnitude_more_optimistic() {
+    let paper = instance_with(8, EvalOptions::default());
+    let linear = instance_with(
+        8,
+        EvalOptions {
+            ber_convention: BerConvention::Linear,
+            ..EvalOptions::default()
+        },
+    );
+    let counts = [3usize, 4, 8, 5, 3, 8];
+    let a = paper
+        .evaluator()
+        .evaluate(&paper.allocation_from_counts(&counts).unwrap())
+        .unwrap();
+    let b = linear
+        .evaluator()
+        .evaluate(&linear.allocation_from_counts(&counts).unwrap())
+        .unwrap();
+    assert!(
+        a.avg_log_ber - b.avg_log_ber > 2.0,
+        "dB {} vs linear {}",
+        a.avg_log_ber,
+        b.avg_log_ber
+    );
+}
+
+#[test]
+fn wider_channel_spacing_improves_dense_ber() {
+    // Chittamuru-style: same count vector, fewer channels in the same FSR
+    // ⇒ wider spacing ⇒ better BER.
+    let dense = |nw: usize| {
+        let instance = ProblemInstance::paper_with_wavelengths(nw);
+        let evaluator = instance.evaluator();
+        let counts = [2usize, 2, 4, 2, 2, 4];
+        evaluator
+            .evaluate(&instance.allocation_from_counts(&counts).unwrap())
+            .unwrap()
+            .avg_log_ber
+    };
+    let wide = dense(4); // 3.2 nm spacing
+    let narrow = dense(16); // 0.8 nm spacing
+    assert!(
+        wide < narrow,
+        "wide spacing ({wide}) should beat narrow spacing ({narrow})"
+    );
+}
+
+#[test]
+fn path_loss_grows_with_distance_and_stack_depth() {
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let arch = instance.arch();
+    let grid = arch.grid();
+    let short = vec![Transmission::new(
+        0,
+        arch.route(NodeId(0), NodeId(1), Direction::Clockwise),
+        vec![grid.channel(0).unwrap()],
+    )];
+    let long = vec![Transmission::new(
+        0,
+        arch.route(NodeId(0), NodeId(9), Direction::Clockwise),
+        vec![grid.channel(0).unwrap()],
+    )];
+    let loss = |traffic: &Vec<Transmission>| {
+        SpectrumEngine::new(arch, traffic).unwrap().analyze().unwrap()[0].path_loss
+    };
+    assert!(loss(&long).value() < loss(&short).value());
+}

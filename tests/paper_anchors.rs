@@ -1,0 +1,153 @@
+//! End-to-end regression of the paper's headline numbers
+//! (EXPERIMENTS.md, experiment E6) through the facade crate.
+
+use ring_wdm_onoc::prelude::*;
+use ring_wdm_onoc::wa::exhaustive;
+
+#[test]
+fn minimum_execution_time_is_20kcc() {
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let schedule = Schedule::new(instance.app().graph(), instance.options().rate).unwrap();
+    assert_eq!(schedule.min_makespan().to_kilocycles(), 20.0);
+}
+
+#[test]
+fn frugal_allocation_anchor() {
+    // The paper's minimum-energy point: one wavelength per communication.
+    let instance = ProblemInstance::paper_with_wavelengths(12);
+    let evaluator = instance.evaluator();
+    let alloc = instance.allocation_from_counts(&[1; 6]).unwrap();
+    let o = evaluator.evaluate(&alloc).unwrap();
+    // Paper Fig. 6: rightmost point at ≈40 kcc; the reconstruction gives 38.
+    assert_eq!(o.exec_time.to_kilocycles(), 38.0);
+    // Energy calibration: ≈3.5 fJ/bit.
+    assert!((2.5..=5.0).contains(&o.bit_energy.value()), "{}", o.bit_energy);
+    // Canonical packing puts c0/c1 on adjacent channels: decent BER.
+    assert!((-3.85..=-3.2).contains(&o.avg_log_ber), "{}", o.avg_log_ber);
+
+    // With maximum spectral spread the same count vector reaches the
+    // paper's best BER (≈ −3.7).
+    let mut spread = Allocation::new(6, 12);
+    for (k, w) in [0usize, 11, 0, 0, 11, 0].into_iter().enumerate() {
+        spread.set(
+            ring_wdm_onoc::app::CommId(k),
+            ring_wdm_onoc::photonics::WavelengthId(w),
+            true,
+        );
+    }
+    let o_spread = evaluator.evaluate(&spread).unwrap();
+    assert!(
+        (-3.85..=-3.5).contains(&o_spread.avg_log_ber),
+        "spread frugal BER {}",
+        o_spread.avg_log_ber
+    );
+}
+
+#[test]
+fn exhaustive_optima_match_paper_annotations() {
+    // Paper GA-found bests: 28.3 / 23.8 / 22.96 kcc for 4 / 8 / 12 λ.
+    // The reconstructed instance's true optima (exhaustive oracle) are
+    // 28.0 / 23.7 / 22.39 — the paper's own GA stopped slightly above the
+    // 12-λ optimum, so ours may be lower but never higher.
+    let expected = [(4usize, 28.0f64), (8, 23.7), (12, 22.3905)];
+    for (nw, kcc) in expected {
+        let instance = ProblemInstance::paper_with_wavelengths(nw);
+        let evaluator = instance.evaluator();
+        let (_, makespan) = exhaustive::time_optimal_counts(&instance, &evaluator);
+        assert!(
+            (makespan.to_kilocycles() - kcc).abs() < 1e-3,
+            "NW = {nw}: expected {kcc} kcc, got {makespan}"
+        );
+        // Within 3% of (and not above) the paper's annotation.
+        let paper = match nw {
+            4 => 28.3,
+            8 => 23.8,
+            _ => 22.96,
+        };
+        let ours = makespan.to_kilocycles();
+        assert!(
+            ours <= paper + 1e-9 && (paper - ours) / paper < 0.03,
+            "NW = {nw}: {makespan} too far from the paper's {paper} kcc"
+        );
+    }
+}
+
+#[test]
+fn ber_window_matches_figure_6b() {
+    // Every valid allocation of the 8-λ instance must land in (or near)
+    // the paper's reported log10(BER) window.
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let evaluator = instance.evaluator();
+    for counts in [
+        [1usize, 1, 1, 1, 1, 1],
+        [1, 4, 2, 1, 2, 2],
+        [2, 4, 3, 3, 2, 3],
+        [3, 4, 8, 5, 3, 8],
+        [1, 7, 4, 4, 3, 5],
+    ] {
+        let alloc = instance.allocation_from_counts(&counts).unwrap();
+        let o = evaluator.evaluate(&alloc).unwrap();
+        assert!(
+            (-3.9..=-2.8).contains(&o.avg_log_ber),
+            "counts {counts:?}: log BER {} outside window",
+            o.avg_log_ber
+        );
+    }
+}
+
+#[test]
+fn energy_spans_the_figure_6a_band() {
+    // Fig. 6(a): ~3.5 fJ/bit (frugal) up to ~8 fJ/bit (dense 12-λ points).
+    let instance = ProblemInstance::paper_with_wavelengths(12);
+    let evaluator = instance.evaluator();
+    let frugal = evaluator
+        .evaluate(&instance.allocation_from_counts(&[1; 6]).unwrap())
+        .unwrap()
+        .bit_energy;
+    let rich = evaluator
+        .evaluate(&instance.allocation_from_counts(&[2, 8, 6, 6, 4, 7]).unwrap())
+        .unwrap()
+        .bit_energy;
+    assert!(rich.value() / frugal.value() > 1.4, "span {frugal} … {rich} too flat");
+    assert!(rich.value() < 20.0, "dense point {rich} unreasonably high");
+}
+
+#[test]
+fn energy_ordering_follows_total_wavelength_count() {
+    // The paper: "energy consumption per bit increases with the number of
+    // reserved wavelengths". Verify monotonicity along a chain of nested
+    // allocations (each adds wavelengths to the previous one).
+    let instance = ProblemInstance::paper_with_wavelengths(12);
+    let evaluator = instance.evaluator();
+    let chain = [
+        [1usize, 1, 1, 1, 1, 1],
+        [1, 4, 2, 3, 2, 3],
+        [1, 5, 4, 2, 4, 4],
+        [2, 8, 6, 6, 4, 7],
+    ];
+    let mut last = 0.0f64;
+    for counts in chain {
+        let o = evaluator
+            .evaluate(&instance.allocation_from_counts(&counts).unwrap())
+            .unwrap();
+        assert!(
+            o.bit_energy.value() > last,
+            "energy did not grow at {counts:?}: {} after {last}",
+            o.bit_energy
+        );
+        last = o.bit_energy.value();
+    }
+}
+
+#[test]
+fn paper_chromosome_notation_roundtrip() {
+    // §III-D's worked example: [1000/0001/0001/0001/1000/1000] on 4 λ is a
+    // valid allocation of one wavelength per communication.
+    let instance = ProblemInstance::paper_with_wavelengths(4);
+    let genes: Vec<bool> = "100000010001000110001000".chars().map(|c| c == '1').collect();
+    let alloc = Allocation::from_genes(genes, 4).unwrap();
+    assert_eq!(alloc.to_string(), "[1000/0001/0001/0001/1000/1000]");
+    assert!(instance.checker().is_valid(&alloc));
+    let o = instance.evaluator().evaluate(&alloc).unwrap();
+    assert_eq!(o.exec_time.to_kilocycles(), 38.0);
+}

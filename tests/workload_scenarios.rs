@@ -1,0 +1,140 @@
+//! Integration: the full pipeline on workloads beyond the paper's virtual
+//! application — the generators must compose with mapping, allocation,
+//! optimisation and simulation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ring_wdm_onoc::app::{workloads, MappedApplication, Mapping, RouteStrategy};
+use ring_wdm_onoc::prelude::*;
+use ring_wdm_onoc::topology::RingTopology;
+use ring_wdm_onoc::wa::heuristics;
+
+fn instance_for(
+    graph: ring_wdm_onoc::app::TaskGraph,
+    nodes: Vec<NodeId>,
+    nw: usize,
+) -> ProblemInstance {
+    let mapping = Mapping::new(&graph, nodes).unwrap();
+    let app = MappedApplication::new(
+        graph,
+        mapping,
+        RingTopology::new(16),
+        RouteStrategy::Shortest,
+    )
+    .unwrap();
+    let arch = OnocArchitecture::paper_architecture(nw);
+    ProblemInstance::new(arch, app, EvalOptions::default()).unwrap()
+}
+
+#[test]
+fn pipeline_workload_end_to_end() {
+    let graph = workloads::pipeline(6, Cycles::from_kilocycles(2.0), Bits::from_kilobits(4.0));
+    let nodes: Vec<NodeId> = (0..6).map(|i| NodeId(2 * i)).collect();
+    let instance = instance_for(graph, nodes, 8);
+    let evaluator = instance.evaluator();
+
+    // A pipeline's stages never share waveguide segments under this spaced
+    // placement, so first-fit puts everything on λ1.
+    let ff = heuristics::first_fit(&instance).unwrap();
+    let o = evaluator.evaluate(&ff).unwrap();
+    // 6 stages × 2 kcc + 5 hops × 4 kcc serial transmission.
+    assert_eq!(o.exec_time.to_kilocycles(), 32.0);
+
+    // Greedy spends the comb to collapse the communication time.
+    let greedy = heuristics::greedy_makespan(&instance, &evaluator).unwrap();
+    let og = evaluator.evaluate(&greedy).unwrap();
+    assert!(og.exec_time < o.exec_time);
+
+    // The DES agrees.
+    let report = Simulator::new(instance.app(), &greedy, instance.options().rate)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!((report.makespan as f64 - og.exec_time.value()).abs() <= 6.0);
+    assert!(report.conflicts.is_empty());
+}
+
+#[test]
+fn fork_join_workload_end_to_end() {
+    let graph = workloads::fork_join(4, Cycles::from_kilocycles(3.0), Bits::from_kilobits(6.0));
+    let nodes: Vec<NodeId> = vec![
+        NodeId(0),
+        NodeId(2),
+        NodeId(5),
+        NodeId(9),
+        NodeId(12),
+        NodeId(15),
+    ];
+    let instance = instance_for(graph, nodes, 12);
+    let evaluator = instance.evaluator();
+    let ga = Nsga2::new(
+        &evaluator,
+        Nsga2Config {
+            population_size: 60,
+            generations: 30,
+            objectives: ObjectiveSet::TimeEnergy,
+            seed: 4,
+            ..Nsga2Config::default()
+        },
+    )
+    .run();
+    assert!(!ga.front.is_empty());
+    // The scatter/gather edges all funnel through the source and sink ONIs,
+    // so the fastest point still pays serialisation there.
+    let schedule = Schedule::new(instance.app().graph(), instance.options().rate).unwrap();
+    let best = ga
+        .front
+        .points()
+        .iter()
+        .map(|p| p.objectives.exec_time.value())
+        .fold(f64::INFINITY, f64::min);
+    assert!(best >= schedule.min_makespan().value());
+}
+
+#[test]
+fn butterfly_workload_maps_and_simulates() {
+    // 4-lane butterfly: 12 tasks, 16 comms — a dense communication pattern.
+    let graph = workloads::butterfly(2, Cycles::from_kilocycles(1.0), Bits::from_kilobits(2.0));
+    let mut rng = StdRng::seed_from_u64(31);
+    let nodes = workloads::random_mapping(&mut rng, graph.task_count(), 16);
+    let instance = instance_for(graph, nodes, 16);
+    let evaluator = instance.evaluator();
+
+    if let Ok(alloc) = heuristics::first_fit(&instance) {
+        let o = evaluator.evaluate(&alloc).unwrap();
+        assert!(o.exec_time.is_finite());
+        let report = Simulator::new(instance.app(), &alloc, instance.options().rate)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.conflicts.is_empty());
+    } else {
+        panic!("16-λ comb should fit a 4-lane butterfly under any mapping");
+    }
+}
+
+#[test]
+fn reduction_tree_respects_critical_path() {
+    let graph =
+        workloads::reduction_tree(8, Cycles::from_kilocycles(2.0), Bits::from_kilobits(3.0));
+    assert_eq!(graph.critical_path().unwrap().to_kilocycles(), 8.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let nodes = workloads::random_mapping(&mut rng, graph.task_count(), 16);
+    let instance = instance_for(graph, nodes, 16);
+    let evaluator = instance.evaluator();
+    let greedy = heuristics::greedy_makespan(&instance, &evaluator);
+    if let Ok(alloc) = greedy {
+        let o = evaluator.evaluate(&alloc).unwrap();
+        assert!(o.exec_time.to_kilocycles() >= 8.0);
+    }
+}
+
+#[test]
+fn dot_export_is_consistent_with_the_instance() {
+    let app = workloads::paper_mapped_application();
+    let dot = ring_wdm_onoc::app::dot::mapped_application_dot(&app);
+    // Every mapped node appears in the rendering.
+    for node in app.mapping().as_slice() {
+        assert!(dot.contains(&format!("@ {node}")), "missing {node}");
+    }
+}
