@@ -58,7 +58,8 @@ pub fn task_graph_dot(graph: &TaskGraph) -> String {
 /// ```
 #[must_use]
 pub fn mapped_application_dot(app: &MappedApplication) -> String {
-    let mut out = String::from("digraph mapped_application {\n  rankdir=TB;\n  node [shape=box];\n");
+    let mut out =
+        String::from("digraph mapped_application {\n  rankdir=TB;\n  node [shape=box];\n");
     for (id, task) in app.graph().tasks() {
         let _ = writeln!(
             out,
@@ -113,7 +114,11 @@ mod tests {
 
     #[test]
     fn dot_is_syntactically_balanced() {
-        let graph = workloads::fork_join(3, onoc_units::Cycles::new(10.0), onoc_units::Bits::new(100.0));
+        let graph = workloads::fork_join(
+            3,
+            onoc_units::Cycles::new(10.0),
+            onoc_units::Bits::new(100.0),
+        );
         let text = task_graph_dot(&graph);
         assert_eq!(text.matches('{').count(), text.matches('}').count());
     }

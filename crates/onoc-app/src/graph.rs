@@ -182,8 +182,7 @@ impl TaskGraph {
         if src == dst {
             return Err(TaskGraphError::SelfLoop(src));
         }
-        if self
-            .successors[src.0]
+        if self.successors[src.0]
             .iter()
             .any(|&c| self.comms[c.0].dst == dst)
         {
@@ -313,8 +312,7 @@ impl TaskGraph {
         let order = self.topological_order()?;
         let mut end = vec![Cycles::ZERO; self.tasks.len()];
         for t in order {
-            let ready = self
-                .predecessors[t.0]
+            let ready = self.predecessors[t.0]
                 .iter()
                 .map(|&c| end[self.comms[c.0].src.0])
                 .fold(Cycles::ZERO, Cycles::max);

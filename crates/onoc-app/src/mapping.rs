@@ -57,9 +57,15 @@ impl core::fmt::Display for MappingError {
                 task,
                 node,
                 ring_size,
-            } => write!(f, "task {task} mapped to {node} outside the {ring_size}-node ring"),
+            } => write!(
+                f,
+                "task {task} mapped to {node} outside the {ring_size}-node ring"
+            ),
             MappingError::WrongDirectionCount { comms, entries } => {
-                write!(f, "{entries} directions supplied for {comms} communications")
+                write!(
+                    f,
+                    "{entries} directions supplied for {comms} communications"
+                )
             }
         }
     }
@@ -217,7 +223,12 @@ impl MappedApplication {
             .comms()
             .zip(&directions)
             .map(|((_, c), &dir)| {
-                RingPath::new(&ring, mapping.node_of(c.src()), mapping.node_of(c.dst()), dir)
+                RingPath::new(
+                    &ring,
+                    mapping.node_of(c.src()),
+                    mapping.node_of(c.dst()),
+                    dir,
+                )
             })
             .collect();
         Ok(Self {
@@ -296,7 +307,13 @@ mod tests {
     fn injectivity_enforced() {
         let tg = two_task_graph();
         let err = Mapping::new(&tg, vec![NodeId(3), NodeId(3)]).unwrap_err();
-        assert!(matches!(err, MappingError::DuplicateCore { node: NodeId(3), .. }));
+        assert!(matches!(
+            err,
+            MappingError::DuplicateCore {
+                node: NodeId(3),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -316,28 +333,29 @@ mod tests {
     fn out_of_ring_node_rejected() {
         let tg = two_task_graph();
         let mapping = Mapping::new(&tg, vec![NodeId(0), NodeId(99)]).unwrap();
-        let err = MappedApplication::new(
-            tg,
-            mapping,
-            RingTopology::new(16),
-            RouteStrategy::Shortest,
-        )
-        .unwrap_err();
-        assert!(matches!(err, MappingError::NodeOutOfRange { node: NodeId(99), .. }));
+        let err =
+            MappedApplication::new(tg, mapping, RingTopology::new(16), RouteStrategy::Shortest)
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            MappingError::NodeOutOfRange {
+                node: NodeId(99),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn shortest_strategy_routes_short_way() {
         let tg = two_task_graph();
         let mapping = Mapping::new(&tg, vec![NodeId(1), NodeId(15)]).unwrap();
-        let app = MappedApplication::new(
-            tg,
-            mapping,
-            RingTopology::new(16),
-            RouteStrategy::Shortest,
-        )
-        .unwrap();
-        assert_eq!(app.route(CommId(0)).direction(), Direction::CounterClockwise);
+        let app =
+            MappedApplication::new(tg, mapping, RingTopology::new(16), RouteStrategy::Shortest)
+                .unwrap();
+        assert_eq!(
+            app.route(CommId(0)).direction(),
+            Direction::CounterClockwise
+        );
         assert_eq!(app.route(CommId(0)).hops(), 2);
     }
 

@@ -26,7 +26,10 @@ impl core::fmt::Display for ScheduleError {
         match self {
             ScheduleError::Cyclic => write!(f, "task graph contains a cycle"),
             ScheduleError::WrongCountLength { comms, entries } => {
-                write!(f, "{entries} wavelength counts supplied for {comms} communications")
+                write!(
+                    f,
+                    "{entries} wavelength counts supplied for {comms} communications"
+                )
             }
             ScheduleError::NoBandwidth(c) => {
                 write!(f, "communication {c} has data but no wavelengths")
@@ -125,7 +128,10 @@ impl<'a> Schedule<'a> {
     ///
     /// Returns [`ScheduleError`] if the count vector has the wrong length or
     /// any communication has zero wavelengths.
-    pub fn evaluate(&self, wavelengths_per_comm: &[usize]) -> Result<ScheduleResult, ScheduleError> {
+    pub fn evaluate(
+        &self,
+        wavelengths_per_comm: &[usize],
+    ) -> Result<ScheduleResult, ScheduleError> {
         if wavelengths_per_comm.len() != self.graph.comm_count() {
             return Err(ScheduleError::WrongCountLength {
                 comms: self.graph.comm_count(),
@@ -201,7 +207,10 @@ mod tests {
         let r = s.evaluate(&[2, 4]).unwrap();
         assert_eq!(r.makespan, Cycles::new(700.0));
         assert_eq!(r.comm_time, vec![Cycles::new(200.0), Cycles::new(200.0)]);
-        assert_eq!(r.task_end, vec![Cycles::new(100.0), Cycles::new(400.0), Cycles::new(700.0)]);
+        assert_eq!(
+            r.task_end,
+            vec![Cycles::new(100.0), Cycles::new(400.0), Cycles::new(700.0)]
+        );
     }
 
     #[test]
@@ -245,7 +254,10 @@ mod tests {
     fn zero_wavelengths_rejected() {
         let tg = chain();
         let s = Schedule::new(&tg, BitsPerCycle::new(1.0)).unwrap();
-        assert_eq!(s.evaluate(&[1, 0]), Err(ScheduleError::NoBandwidth(CommId(1))));
+        assert_eq!(
+            s.evaluate(&[1, 0]),
+            Err(ScheduleError::NoBandwidth(CommId(1)))
+        );
     }
 
     #[test]

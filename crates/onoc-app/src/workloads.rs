@@ -94,13 +94,17 @@ pub fn paper_mapped_application() -> MappedApplication {
 /// Panics if `stages < 2`.
 #[must_use]
 pub fn pipeline(stages: usize, exec: Cycles, volume: Bits) -> TaskGraph {
-    assert!(stages >= 2, "a pipeline needs at least 2 stages, got {stages}");
+    assert!(
+        stages >= 2,
+        "a pipeline needs at least 2 stages, got {stages}"
+    );
     let mut tg = TaskGraph::new();
     let tasks: Vec<_> = (0..stages)
         .map(|i| tg.add_task(format!("stage{i}"), exec))
         .collect();
     for w in tasks.windows(2) {
-        tg.add_comm(w[0], w[1], volume).expect("pipeline edges are valid");
+        tg.add_comm(w[0], w[1], volume)
+            .expect("pipeline edges are valid");
     }
     tg
 }
@@ -305,8 +309,8 @@ pub fn random_mapping<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rand::rngs::StdRng;
 
     #[test]
     fn paper_graph_shape() {
@@ -368,7 +372,11 @@ mod tests {
     fn butterfly_partners_differ_in_one_bit() {
         let tg = butterfly(2, Cycles::new(1.0), Bits::new(1.0));
         // Stage 1 (partner bit 1): lane 0 row 0 feeds lanes 0 and 1 of row 1.
-        let outs: Vec<_> = tg.outgoing(crate::TaskId(0)).iter().map(|&c| tg.comm(c).dst().0).collect();
+        let outs: Vec<_> = tg
+            .outgoing(crate::TaskId(0))
+            .iter()
+            .map(|&c| tg.comm(c).dst().0)
+            .collect();
         assert_eq!(outs, vec![4, 5]);
     }
 

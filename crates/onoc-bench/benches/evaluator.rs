@@ -3,7 +3,7 @@
 //! The GA performs ~120k of these per run, so this number bounds the cost
 //! of every figure in the paper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
 use onoc_wa::ProblemInstance;
 use std::hint::black_box;
 
@@ -13,8 +13,7 @@ fn bench_evaluator(c: &mut Criterion) {
         let instance = ProblemInstance::paper_with_wavelengths(nw);
         let evaluator = instance.evaluator();
         let frugal = instance.allocation_from_counts(&[1; 6]).unwrap();
-        let dense_counts: Vec<usize> =
-            vec![nw / 2, nw - nw / 2, nw, nw / 2, nw - nw / 2, nw];
+        let dense_counts: Vec<usize> = vec![nw / 2, nw - nw / 2, nw, nw / 2, nw - nw / 2, nw];
         let dense = instance.allocation_from_counts(&dense_counts).unwrap();
 
         group.bench_with_input(BenchmarkId::new("frugal", nw), &frugal, |b, alloc| {

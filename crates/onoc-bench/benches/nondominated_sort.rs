@@ -1,6 +1,6 @@
 //! Micro-benchmark: fast non-dominated sort scaling in population size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{BenchmarkId, Criterion, Throughput, criterion_group, criterion_main};
 use onoc_wa::nsga2_sort::fast_nondominated_sort;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -3,7 +3,7 @@
 //! Quantifies the O(N_l²·N_W²) complexity claim of §IV: generations and
 //! population are fixed, the comb size sweeps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
 use onoc_wa::{Nsga2, Nsga2Config, ObjectiveSet, ProblemInstance};
 use std::hint::black_box;
 

@@ -1,10 +1,10 @@
 //! Micro-benchmark: analytic schedule evaluation vs task-graph size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use onoc_app::{workloads, Schedule};
+use criterion::{BenchmarkId, Criterion, Throughput, criterion_group, criterion_main};
+use onoc_app::{Schedule, workloads};
 use onoc_units::BitsPerCycle;
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 use std::hint::black_box;
 
 fn bench_schedule(c: &mut Criterion) {
@@ -25,11 +25,7 @@ fn bench_schedule(c: &mut Criterion) {
         let counts = vec![2usize; graph.comm_count()];
         group.throughput(Throughput::Elements(graph.comm_count() as u64));
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!(
-                "{}t_{}c",
-                graph.task_count(),
-                graph.comm_count()
-            )),
+            BenchmarkId::from_parameter(format!("{}t_{}c", graph.task_count(), graph.comm_count())),
             &counts,
             |b, counts| {
                 b.iter(|| black_box(schedule.evaluate(black_box(counts)).unwrap()));

@@ -1,13 +1,13 @@
 //! Micro-benchmark: discrete-event simulation vs task-graph size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use onoc_app::{workloads, MappedApplication, Mapping, RouteStrategy};
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use onoc_app::{MappedApplication, Mapping, RouteStrategy, workloads};
 use onoc_sim::Simulator;
 use onoc_topology::{OnocArchitecture, RingTopology};
 use onoc_units::BitsPerCycle;
-use onoc_wa::{heuristics, EvalOptions, ProblemInstance};
-use rand::rngs::StdRng;
+use onoc_wa::{EvalOptions, ProblemInstance, heuristics};
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 use std::hint::black_box;
 
 fn bench_simulator(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! Micro-benchmark: receiver-spectrum engine cost vs comb size and
 //! crosstalk model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
 use onoc_topology::{CrosstalkModel, SpectrumEngine, Transmission};
 use onoc_wa::ProblemInstance;
 use std::hint::black_box;

@@ -1,0 +1,48 @@
+//! Micro-benchmark: synthetic traffic generation and open-loop
+//! simulation throughput (events per second) at three injection rates.
+
+use criterion::{BenchmarkId, Criterion, Throughput, criterion_group, criterion_main};
+use onoc_sim::{DynamicPolicy, OpenLoopSimulator, WavelengthMode};
+use onoc_topology::RingTopology;
+use onoc_traffic::{TrafficConfig, TrafficPattern, generate};
+use onoc_units::BitsPerCycle;
+use std::hint::black_box;
+
+/// Unloaded, at the knee, and past saturation.
+const RATES: [f64; 3] = [0.005, 0.02, 0.08];
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic_generate");
+    for rate in RATES {
+        let config = TrafficConfig::paper_ring(TrafficPattern::UniformRandom, rate, 7);
+        let events = generate(&config).len() as u64;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &config, |b, config| {
+            b.iter(|| black_box(generate(config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_open_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("open_loop_sim");
+    group.sample_size(10);
+    for rate in RATES {
+        let config = TrafficConfig::paper_ring(TrafficPattern::UniformRandom, rate, 7);
+        let trace = generate(&config);
+        let sim = OpenLoopSimulator::new(
+            RingTopology::new(16),
+            8,
+            BitsPerCycle::new(1.0),
+            WavelengthMode::Dynamic(DynamicPolicy::Single),
+        );
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &trace, |b, trace| {
+            b.iter(|| black_box(sim.run(trace.source()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_open_loop);
+criterion_main!(benches);

@@ -45,7 +45,12 @@ fn main() {
             let ev = inst.evaluator();
             let alloc = inst.allocation_from_counts(&counts).unwrap();
             let o = ev.evaluate(&alloc).unwrap();
-            println!("{:<24}{:<22}{:>12.3}", conv.to_string(), model.to_string(), o.avg_log_ber);
+            println!(
+                "{:<24}{:<22}{:>12.3}",
+                conv.to_string(),
+                model.to_string(),
+                o.avg_log_ber
+            );
             csv.push(format!("grid,{conv},{model},{:.4}", o.avg_log_ber));
         }
     }

@@ -4,7 +4,7 @@
 //! against ground truth of the reconstructed instance.
 
 use onoc_bench::{paper_counts, print_csv};
-use onoc_wa::{exhaustive, ProblemInstance};
+use onoc_wa::{ProblemInstance, exhaustive};
 
 fn main() {
     println!("Headline anchors — paper vs reproduction (exhaustive oracle)\n");
@@ -12,7 +12,10 @@ fn main() {
 
     // Optimised execution times per comb size.
     let paper_best = [(4usize, 28.3f64), (8, 23.8), (12, 22.96)];
-    println!("{:>4} {:>18} {:>18}   witness counts", "NW", "best exec (paper)", "best exec (ours)");
+    println!(
+        "{:>4} {:>18} {:>18}   witness counts",
+        "NW", "best exec (paper)", "best exec (ours)"
+    );
     for (nw, paper_kcc) in paper_best {
         let instance = ProblemInstance::paper_with_wavelengths(nw);
         let evaluator = instance.evaluator();
@@ -43,13 +46,22 @@ fn main() {
         spread.set(onoc_app::CommId(k), onoc_photonics::WavelengthId(w), true);
     }
     let o_spread = evaluator.evaluate(&spread).expect("spread frugal is valid");
-    println!("\n[1,1,1,1,1,1] execution time : {:.1} kcc (paper: ~40 kcc, rightmost Fig. 6 point)", o.exec_time.to_kilocycles());
-    println!("[1,1,1,1,1,1] bit energy     : {:.2} fJ/bit (paper: ~3.5 fJ/bit)", o.bit_energy.value());
+    println!(
+        "\n[1,1,1,1,1,1] execution time : {:.1} kcc (paper: ~40 kcc, rightmost Fig. 6 point)",
+        o.exec_time.to_kilocycles()
+    );
+    println!(
+        "[1,1,1,1,1,1] bit energy     : {:.2} fJ/bit (paper: ~3.5 fJ/bit)",
+        o.bit_energy.value()
+    );
     println!(
         "[1,1,1,1,1,1] log10(BER)     : {:.2} packed / {:.2} spread (paper: ~-3.7, best Fig. 6(b) BER)",
         o.avg_log_ber, o_spread.avg_log_ber
     );
-    csv.push(format!("frugal_exec_kcc,40,{:.4}", o.exec_time.to_kilocycles()));
+    csv.push(format!(
+        "frugal_exec_kcc,40,{:.4}",
+        o.exec_time.to_kilocycles()
+    ));
     csv.push(format!("frugal_energy_fj,3.5,{:.4}", o.bit_energy.value()));
     csv.push(format!("frugal_log_ber,-3.7,{:.4}", o_spread.avg_log_ber));
 
@@ -65,7 +77,9 @@ fn main() {
     ));
 
     // The busiest reported 12-λ point.
-    let rich = instance.allocation_from_counts(&[2, 8, 6, 6, 4, 7]).unwrap();
+    let rich = instance
+        .allocation_from_counts(&[2, 8, 6, 6, 4, 7])
+        .unwrap();
     let o = evaluator.evaluate(&rich).unwrap();
     println!(
         "[2,8,6,6,4,7] @12λ           : {:.2} kcc, {:.2} fJ/bit, log BER {:.2} (paper: 22.96 kcc, ~7.5-8 fJ/bit)",
@@ -73,7 +87,10 @@ fn main() {
         o.bit_energy.value(),
         o.avg_log_ber
     );
-    csv.push(format!("rich_exec_kcc,22.96,{:.4}", o.exec_time.to_kilocycles()));
+    csv.push(format!(
+        "rich_exec_kcc,22.96,{:.4}",
+        o.exec_time.to_kilocycles()
+    ));
     csv.push(format!("rich_energy_fj,7.8,{:.4}", o.bit_energy.value()));
 
     print_csv("anchors", "anchor,paper,ours", &csv);

@@ -5,10 +5,10 @@
 //! the greedy makespan baseline buys speed with energy; only the
 //! multi-objective search exposes the whole trade-off curve.
 
-use onoc_bench::{paper_counts, print_csv, Scale};
-use onoc_wa::{heuristics, Nsga2, ObjectiveSet, ProblemInstance};
-use rand::rngs::StdRng;
+use onoc_bench::{Scale, paper_counts, print_csv};
+use onoc_wa::{Nsga2, ObjectiveSet, ProblemInstance, heuristics};
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 
 fn main() {
     let scale = Scale::from_env_and_args();
@@ -38,7 +38,9 @@ fn main() {
     );
     let mut csv = Vec::new();
     for (name, alloc) in &named {
-        let o = evaluator.evaluate(alloc).expect("heuristics produce valid allocations");
+        let o = evaluator
+            .evaluate(alloc)
+            .expect("heuristics produce valid allocations");
         println!(
             "{name:<18}{:>12.2}{:>16.2}{:>12.3}   {}",
             o.exec_time.to_kilocycles(),
@@ -55,11 +57,7 @@ fn main() {
     }
 
     // The GA front for comparison (time–energy view).
-    let outcome = Nsga2::new(
-        &evaluator,
-        scale.ga_config(ObjectiveSet::TimeEnergy, 2017),
-    )
-    .run();
+    let outcome = Nsga2::new(&evaluator, scale.ga_config(ObjectiveSet::TimeEnergy, 2017)).run();
     println!("\nGA Pareto front ({} points):", outcome.front.len());
     for p in outcome.front.points() {
         println!(

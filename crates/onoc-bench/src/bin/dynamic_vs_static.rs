@@ -8,7 +8,7 @@
 use onoc_bench::print_csv;
 use onoc_sim::{DynamicPolicy, DynamicSimulator};
 use onoc_units::BitsPerCycle;
-use onoc_wa::{exhaustive, ProblemInstance};
+use onoc_wa::{ProblemInstance, exhaustive};
 
 fn main() {
     println!("Static (design-time) vs dynamic (runtime) wavelength allocation\n");
@@ -33,13 +33,9 @@ fn main() {
             .run()
             .makespan as f64
             / 1000.0;
-        let full = DynamicSimulator::new(
-            instance.app(),
-            nw,
-            rate,
-            DynamicPolicy::Greedy { cap: nw },
-        )
-        .run();
+        let full =
+            DynamicSimulator::new(instance.app(), nw, rate, DynamicPolicy::Greedy { cap: nw })
+                .run();
         println!(
             "{:>4} {:>18.2} {:>16.2} {:>18.2} {:>10}",
             nw,

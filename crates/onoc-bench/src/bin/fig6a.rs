@@ -7,17 +7,15 @@
 //! bit energy grows with the number of reserved wavelengths, spanning
 //! roughly 3.5–8 fJ/bit.
 
-use onoc_bench::{paper_counts, print_csv, Scale};
-use onoc_wa::{explore, ObjectiveSet};
+use onoc_bench::{Scale, paper_counts, print_csv};
+use onoc_wa::{ObjectiveSet, explore};
 
 fn main() {
     let scale = Scale::from_env_and_args();
     println!("Fig. 6(a) — bit energy vs execution time, scale: {scale}\n");
 
-    let entries = explore::sweep_paper_nw(
-        &[4, 8, 12],
-        scale.ga_config(ObjectiveSet::TimeEnergy, 2017),
-    );
+    let entries =
+        explore::sweep_paper_nw(&[4, 8, 12], scale.ga_config(ObjectiveSet::TimeEnergy, 2017));
 
     let mut csv = Vec::new();
     for entry in &entries {

@@ -6,8 +6,8 @@
 //! comb size itself barely moves the BER (fixed FSR ⇒ the spacing shrinks
 //! but the co-propagation pattern dominates).
 
-use onoc_bench::{paper_counts, print_csv, Scale};
-use onoc_wa::{explore, ObjectiveSet};
+use onoc_bench::{Scale, paper_counts, print_csv};
+use onoc_wa::{ObjectiveSet, explore};
 
 fn main() {
     let scale = Scale::from_env_and_args();
@@ -45,7 +45,12 @@ fn main() {
         }
         let (lo, hi) = entry.outcome.front.points().iter().fold(
             (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), p| (lo.min(p.objectives.avg_log_ber), hi.max(p.objectives.avg_log_ber)),
+            |(lo, hi), p| {
+                (
+                    lo.min(p.objectives.avg_log_ber),
+                    hi.max(p.objectives.avg_log_ber),
+                )
+            },
         );
         println!("  log10(BER) span: {lo:.2} … {hi:.2} (paper window: −3.7 … −3.0)\n");
     }

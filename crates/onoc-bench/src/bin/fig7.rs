@@ -5,7 +5,7 @@
 //! paper's run) far from the front, with only a few dozen points on the
 //! front itself — the figure that motivates doing WA carefully at all.
 
-use onoc_bench::{print_csv, Scale};
+use onoc_bench::{Scale, print_csv};
 use onoc_wa::{Nsga2, ObjectiveSet, ProblemInstance};
 
 fn main() {
@@ -30,7 +30,10 @@ fn main() {
         },
     );
 
-    println!("valid solutions generated : {}", outcome.stats.valid_evaluations);
+    println!(
+        "valid solutions generated : {}",
+        outcome.stats.valid_evaluations
+    );
     println!("distinct valid solutions  : {}", cloud.len());
     println!("solutions on Pareto front : {}", outcome.front.len());
     println!("(paper: 86,525 valid, 29 on the front)\n");
@@ -67,9 +70,7 @@ fn main() {
             .collect();
         println!("|{line}|");
     }
-    println!(
-        "exec time {tmin:.1} kcc (left) … {tmax:.1} kcc (right); front points marked below"
-    );
+    println!("exec time {tmin:.1} kcc (left) … {tmax:.1} kcc (right); front points marked below");
     for p in outcome.front.points() {
         println!(
             "  front: {:>7.2} kcc   log10(BER) {:>7.3}",

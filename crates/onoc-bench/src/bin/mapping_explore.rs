@@ -6,12 +6,12 @@
 //! found by the hill-climb of `onoc_wa::mapping_search` — each scored by
 //! greedy wavelength allocation.
 
-use onoc_app::{workloads, MappedApplication, Mapping, RouteStrategy};
+use onoc_app::{MappedApplication, Mapping, RouteStrategy, workloads};
 use onoc_bench::print_csv;
 use onoc_topology::{OnocArchitecture, RingTopology};
-use onoc_wa::{heuristics, mapping_search, EvalOptions, ProblemInstance};
-use rand::rngs::StdRng;
+use onoc_wa::{EvalOptions, ProblemInstance, heuristics, mapping_search};
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 
 fn score(arch: &OnocArchitecture, nodes: Vec<onoc_topology::NodeId>) -> Option<f64> {
     let graph = workloads::paper_task_graph();

@@ -4,8 +4,8 @@
 //! weight vector) with a comparable evaluation budget, then compares the
 //! resulting time-energy fronts by hypervolume.
 
-use onoc_bench::{print_csv, Scale};
-use onoc_wa::local_search::{time_energy_weight_sweep, weighted_sum_front, AnnealConfig};
+use onoc_bench::{Scale, print_csv};
+use onoc_wa::local_search::{AnnealConfig, time_energy_weight_sweep, weighted_sum_front};
 use onoc_wa::{Nsga2, ObjectiveSet, ProblemInstance};
 
 fn main() {
@@ -36,10 +36,16 @@ fn main() {
     let hv_ga = ga.front.hypervolume_2d(reference);
     let hv_ws = ws.hypervolume_2d(reference);
 
-    println!("{:<22}{:>14}{:>14}{:>16}", "method", "evaluations", "front size", "hypervolume");
+    println!(
+        "{:<22}{:>14}{:>14}{:>16}",
+        "method", "evaluations", "front size", "hypervolume"
+    );
     println!(
         "{:<22}{:>14}{:>14}{:>16.2}",
-        "nsga-ii", ga.stats.evaluations, ga.front.len(), hv_ga
+        "nsga-ii",
+        ga.stats.evaluations,
+        ga.front.len(),
+        hv_ga
     );
     println!(
         "{:<22}{:>14}{:>14}{:>16.2}",
@@ -74,8 +80,16 @@ fn main() {
         "moea_comparison",
         "method,evaluations,front_size,hypervolume",
         &[
-            format!("nsga-ii,{},{},{hv_ga:.3}", ga.stats.evaluations, ga.front.len()),
-            format!("weighted-sum,{},{},{hv_ws:.3}", per_run * weights.len(), ws.len()),
+            format!(
+                "nsga-ii,{},{},{hv_ga:.3}",
+                ga.stats.evaluations,
+                ga.front.len()
+            ),
+            format!(
+                "weighted-sum,{},{},{hv_ws:.3}",
+                per_run * weights.len(),
+                ws.len()
+            ),
         ],
     );
 }

@@ -1,0 +1,108 @@
+//! E13 (extension) — saturation throughput vs comb size: how many
+//! wavelengths does the ring need before synthetic workloads stop
+//! queueing?
+//!
+//! Sweeps uniform-random and bursty uniform traffic at a fixed injection
+//! rate across comb sizes, plus a hotspot scenario that no comb can save
+//! (the bottleneck is the victim node's ingress segments, not the
+//! spectrum). Complements `traffic_sweep`, which fixes the comb and
+//! sweeps the rate.
+//!
+//! Usage: `saturation [--quick] [--seed N] [--threads N]`
+
+use onoc_bench::{print_csv, seed_arg, threads_arg};
+use onoc_sim::DynamicPolicy;
+use onoc_topology::NodeId;
+use onoc_traffic::{OnOffConfig, SweepGrid, TrafficPattern, run_sweep};
+
+fn main() {
+    let seed = seed_arg();
+    let threads = threads_arg();
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    let horizon = if quick { 5_000 } else { 20_000 };
+    let wavelengths = if quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let rate = 0.04; // past the 1-λ knee, below the 16-λ one
+
+    let base = SweepGrid {
+        patterns: vec![TrafficPattern::UniformRandom],
+        injection_rates: vec![rate],
+        wavelengths: wavelengths.clone(),
+        ring_sizes: vec![16],
+        horizon,
+        policy: DynamicPolicy::Single,
+        ..SweepGrid::saturation_default(seed)
+    };
+    let bursty = SweepGrid {
+        burstiness: Some(OnOffConfig::default_bursty()),
+        ..base.clone()
+    };
+    let hotspot = SweepGrid {
+        patterns: vec![TrafficPattern::Hotspot {
+            hotspots: vec![NodeId(0)],
+            fraction: 0.5,
+        }],
+        ..base.clone()
+    };
+
+    println!(
+        "Saturation vs comb size: 16-node ring, uniform rate {rate} msg/node/cycle, seed {seed}\n"
+    );
+    println!(
+        "{:>10} {:>14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "λ", "workload", "offered", "accepted", "mean lat", "p99 lat", "occupancy"
+    );
+
+    let mut csv = Vec::new();
+    let mut workers_seen = 0usize;
+    for (label, grid) in [
+        ("uniform", &base),
+        ("bursty", &bursty),
+        ("hotspot", &hotspot),
+    ] {
+        let outcome = run_sweep(grid, threads);
+        workers_seen = workers_seen.max(outcome.workers_used);
+        for r in &outcome.results {
+            println!(
+                "{:>10} {:>14} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.4}",
+                r.scenario.wavelengths,
+                label,
+                r.offered_load,
+                r.accepted_throughput,
+                r.latency.mean,
+                r.latency.p99,
+                r.occupancy,
+            );
+            csv.push(format!(
+                "{},{},{:.3},{:.3},{:.2},{:.2},{:.5}",
+                r.scenario.wavelengths,
+                label,
+                r.offered_load,
+                r.accepted_throughput,
+                r.latency.mean,
+                r.latency.p99,
+                r.occupancy,
+            ));
+        }
+        println!();
+    }
+
+    println!(
+        "Reading: uniform traffic saturates the 1-λ comb (latency explodes,\n\
+         accepted < offered) and smooths out by 8–16 λ; bursty arrivals keep\n\
+         a long p99 tail even with spectrum to spare; the hotspot workload\n\
+         stays congested at every comb size because the victim's two ingress\n\
+         waveguides — not wavelengths — are the bottleneck. Workers used: \
+         {workers_seen} of {threads}."
+    );
+    print_csv(
+        "saturation",
+        "wavelengths,workload,offered_bits_per_cycle,accepted_bits_per_cycle,\
+         latency_mean,latency_p99,occupancy",
+        &csv,
+    );
+}

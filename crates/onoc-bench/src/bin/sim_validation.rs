@@ -6,13 +6,13 @@
 //! the deviation (bounded by integer-cycle rounding) and the runtime
 //! conflict check.
 
-use onoc_app::{workloads, Schedule};
+use onoc_app::{Schedule, workloads};
 use onoc_bench::print_csv;
 use onoc_sim::Simulator;
 use onoc_units::BitsPerCycle;
-use onoc_wa::{heuristics, ProblemInstance};
-use rand::rngs::StdRng;
+use onoc_wa::{ProblemInstance, heuristics};
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 
 fn main() {
     println!("Analytic schedule vs discrete-event simulation\n");
@@ -42,7 +42,10 @@ fn main() {
             .unwrap()
             .makespan
             .value();
-        let report = Simulator::new(inst.app(), &alloc, rate).unwrap().run().unwrap();
+        let report = Simulator::new(inst.app(), &alloc, rate)
+            .unwrap()
+            .run()
+            .unwrap();
         let delta = report.makespan as f64 - analytic;
         println!(
             "{:>4}  {:<22}{:>16.1}{:>14}{:>10.1}{:>12}",
@@ -58,7 +61,10 @@ fn main() {
             report.makespan,
             report.conflicts.len()
         ));
-        assert!(report.conflicts.is_empty(), "valid allocation must be conflict-free");
+        assert!(
+            report.conflicts.is_empty(),
+            "valid allocation must be conflict-free"
+        );
     }
 
     // --- Random DAG sweep --------------------------------------------------
@@ -97,14 +103,23 @@ fn main() {
             .unwrap()
             .makespan
             .value();
-        let report = Simulator::new(inst.app(), &alloc, rate).unwrap().run().unwrap();
-        assert!(report.conflicts.is_empty(), "DAG {i}: conflict on valid allocation");
+        let report = Simulator::new(inst.app(), &alloc, rate)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            report.conflicts.is_empty(),
+            "DAG {i}: conflict on valid allocation"
+        );
         let rel = (report.makespan as f64 - analytic) / analytic;
         max_rel_dev = max_rel_dev.max(rel);
         simulated += 1;
     }
     println!("  {simulated}/200 DAGs simulated, all conflict-free");
-    println!("  max relative DES-vs-analytic deviation: {:.3e} (rounding only)", max_rel_dev);
+    println!(
+        "  max relative DES-vs-analytic deviation: {:.3e} (rounding only)",
+        max_rel_dev
+    );
     csv.push(format!("random,{simulated},{max_rel_dev:.6}"));
     print_csv("sim_validation", "study,a,b,c,d,e", &csv);
 }

@@ -12,14 +12,47 @@ fn main() {
     let detector = Photodetector::default();
 
     println!("Table I — power loss values (paper vs reproduction defaults)\n");
-    println!("{:<34}{:<8}{:>14}{:>14}", "Parameter", "Symbol", "Paper", "Ours");
+    println!(
+        "{:<34}{:<8}{:>14}{:>14}",
+        "Parameter", "Symbol", "Paper", "Ours"
+    );
     let rows = [
-        ("Propagation loss", "Lp", "-0.274 dB/cm", format!("{} /cm", p.propagation_per_cm)),
-        ("Bending loss", "Lb", "-0.005 dB/90", format!("{} /90", p.bending_per_90deg)),
-        ("Power loss: OFF-state MR", "Lp0", "-0.005 dB", p.mr_off.to_string()),
-        ("Power loss: ON-state MR", "Lp1", "-0.5 dB", p.mr_on.to_string()),
-        ("Crosstalk loss: OFF-state MR", "Kp0", "-20 dB", p.crosstalk_off.to_string()),
-        ("Crosstalk loss: ON-state MR", "Kp1", "-25 dB", p.crosstalk_on.to_string()),
+        (
+            "Propagation loss",
+            "Lp",
+            "-0.274 dB/cm",
+            format!("{} /cm", p.propagation_per_cm),
+        ),
+        (
+            "Bending loss",
+            "Lb",
+            "-0.005 dB/90",
+            format!("{} /90", p.bending_per_90deg),
+        ),
+        (
+            "Power loss: OFF-state MR",
+            "Lp0",
+            "-0.005 dB",
+            p.mr_off.to_string(),
+        ),
+        (
+            "Power loss: ON-state MR",
+            "Lp1",
+            "-0.5 dB",
+            p.mr_on.to_string(),
+        ),
+        (
+            "Crosstalk loss: OFF-state MR",
+            "Kp0",
+            "-20 dB",
+            p.crosstalk_off.to_string(),
+        ),
+        (
+            "Crosstalk loss: ON-state MR",
+            "Kp1",
+            "-25 dB",
+            p.crosstalk_on.to_string(),
+        ),
     ];
     for (name, sym, paper, ours) in rows {
         println!("{name:<34}{sym:<8}{paper:>14}{ours:>14}");

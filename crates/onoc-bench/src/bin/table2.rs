@@ -4,8 +4,8 @@
 //! Expected shape (paper): both counts grow with the comb size
 //! (4λ: 28,284 valid / 10 front; 8λ: 86,525 / 29; 12λ: 100,578 / 51).
 
-use onoc_bench::{print_csv, Scale};
-use onoc_wa::{explore, ObjectiveSet};
+use onoc_bench::{Scale, print_csv};
+use onoc_wa::{ObjectiveSet, explore};
 
 fn main() {
     let scale = Scale::from_env_and_args();
@@ -15,7 +15,11 @@ fn main() {
         explore::sweep_paper_nw(&[4, 8, 12], scale.ga_config(ObjectiveSet::TimeBer, 2017));
     let rows = explore::summarize(&entries);
 
-    let paper = [(4usize, 28_284usize, 10usize), (8, 86_525, 29), (12, 100_578, 51)];
+    let paper = [
+        (4usize, 28_284usize, 10usize),
+        (8, 86_525, 29),
+        (12, 100_578, 51),
+    ];
     println!(
         "{:>4} {:>14} {:>14} {:>12} {:>12} {:>12}",
         "NW", "valid (ours)", "valid (paper)", "front (ours)", "front (paper)", "unique valid"

@@ -5,13 +5,13 @@
 //! synthetic kernels (pipeline, fork-join, butterfly) at 8 λ and reports the
 //! trade-off ranges each workload exposes.
 
-use onoc_app::{workloads, MappedApplication, Mapping, RouteStrategy, TaskGraph};
-use onoc_bench::{print_csv, Scale};
+use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
+use onoc_bench::{Scale, print_csv};
 use onoc_topology::{NodeId, OnocArchitecture, RingTopology};
 use onoc_units::{Bits, Cycles};
 use onoc_wa::{EvalOptions, Nsga2, ObjectiveSet, ProblemInstance};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 
 fn build_instance(graph: TaskGraph, seed: u64) -> ProblemInstance {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -33,10 +33,7 @@ fn main() {
     println!("Workload sweep at 8 λ (random seeded mappings), scale: {scale}\n");
 
     let kernels: Vec<(&str, TaskGraph)> = vec![
-        (
-            "paper-app",
-            workloads::paper_task_graph(),
-        ),
+        ("paper-app", workloads::paper_task_graph()),
         (
             "pipeline-6",
             workloads::pipeline(6, Cycles::from_kilocycles(3.0), Bits::from_kilobits(6.0)),
@@ -53,7 +50,14 @@ fn main() {
 
     println!(
         "{:<14}{:>7}{:>7}{:>9}{:>12}{:>14}{:>16}{:>14}",
-        "workload", "tasks", "comms", "pairs", "front size", "exec span", "energy span", "logBER span"
+        "workload",
+        "tasks",
+        "comms",
+        "pairs",
+        "front size",
+        "exec span",
+        "energy span",
+        "logBER span"
     );
     let mut csv = Vec::new();
     for (i, (name, graph)) in kernels.into_iter().enumerate() {
@@ -72,10 +76,13 @@ fn main() {
         }
         let outcome = Nsga2::new(&evaluator, config).run();
         let span = |f: &dyn Fn(&onoc_wa::FrontPoint) -> f64| {
-            let (lo, hi) = outcome.front.points().iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), p| (lo.min(f(p)), hi.max(f(p))),
-            );
+            let (lo, hi) = outcome
+                .front
+                .points()
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+                    (lo.min(f(p)), hi.max(f(p)))
+                });
             (lo, hi)
         };
         let (t_lo, t_hi) = span(&|p| p.objectives.exec_time.to_kilocycles());

@@ -67,6 +67,50 @@ impl core::fmt::Display for Scale {
     }
 }
 
+/// Returns the value following a `--flag value` pair in the process
+/// arguments, or `None` if the flag is absent or dangling.
+#[must_use]
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Parses `--seed N` from the process arguments, defaulting to the
+/// paper's year.
+///
+/// # Panics
+///
+/// Panics if the value is not a `u64`.
+#[must_use]
+pub fn seed_arg() -> u64 {
+    arg_value("--seed").map_or(2017, |v| v.parse().expect("--seed takes a u64"))
+}
+
+/// Parses `--threads N` from the process arguments. The default uses the
+/// available parallelism clamped to `[2, 8]` — at least two workers even
+/// on single-CPU boxes, so parallel sweeps stay demonstrably parallel.
+///
+/// # Panics
+///
+/// Panics if the value is not a positive integer.
+#[must_use]
+pub fn threads_arg() -> usize {
+    arg_value("--threads").map_or_else(
+        || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZero::get)
+                .unwrap_or(4)
+                .clamp(2, 8)
+        },
+        |v| v.parse().expect("--threads takes a positive integer"),
+    )
+}
+
 /// Prints a CSV block, fenced so it is easy to extract with standard tools.
 pub fn print_csv(name: &str, header: &str, rows: &[String]) {
     println!("--- begin csv: {name} ---");

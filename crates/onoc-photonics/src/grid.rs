@@ -181,9 +181,7 @@ mod tests {
     fn paper_grid_spacing() {
         assert!((WavelengthGrid::paper_grid(4).spacing().value() - 3.2).abs() < 1e-12);
         assert!((WavelengthGrid::paper_grid(8).spacing().value() - 1.6).abs() < 1e-12);
-        assert!(
-            (WavelengthGrid::paper_grid(12).spacing().value() - 12.8 / 12.0).abs() < 1e-12
-        );
+        assert!((WavelengthGrid::paper_grid(12).spacing().value() - 12.8 / 12.0).abs() < 1e-12);
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod mr;
 mod params;
 mod snr;
 
-pub use ber::{ber, log10_ber, BerConvention};
+pub use ber::{BerConvention, ber, log10_ber};
 pub use detector::Photodetector;
 pub use grid::{WavelengthGrid, WavelengthId};
 pub use laser::Vcsel;

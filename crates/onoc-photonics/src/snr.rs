@@ -2,7 +2,7 @@
 
 use onoc_units::{Decibels, Milliwatts};
 
-use crate::{ber, log10_ber, BerConvention};
+use crate::{BerConvention, ber, log10_ber};
 
 /// The optical signal and accumulated noise at one photodetector input.
 ///

@@ -43,8 +43,8 @@ use onoc_app::{CommId, MappedApplication, TaskId};
 use onoc_photonics::WavelengthId;
 use onoc_units::BitsPerCycle;
 
-use crate::engine::detect_conflicts_with;
 use crate::ChannelConflict;
+use crate::engine::detect_conflicts_with;
 
 /// How many wavelengths a ready communication claims.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,9 +213,7 @@ impl<'a> DynamicSimulator<'a> {
                 }
                 Event::CommCompleted(c) => {
                     // Release the burst.
-                    let mask = granted[c]
-                        .iter()
-                        .fold(0u128, |m, ch| m | (1 << ch.index()));
+                    let mask = granted[c].iter().fold(0u128, |m, ch| m | (1 << ch.index()));
                     for seg in self.app.route(CommId(c)).segments() {
                         busy[self.segment_slot(seg)] &= !mask;
                     }
@@ -223,8 +221,7 @@ impl<'a> DynamicSimulator<'a> {
                     let dst = graph.comm(CommId(c)).dst();
                     pending_inputs[dst.0] -= 1;
                     if pending_inputs[dst.0] == 0 {
-                        let end =
-                            now + graph.task(dst).execution_time().value().ceil() as u64;
+                        let end = now + graph.task(dst).execution_time().value().ceil() as u64;
                         task_spans[dst.0] = (now, end);
                         queue.push(Reverse((end, Event::TaskCompleted(dst.0))));
                     }
@@ -297,8 +294,7 @@ impl<'a> DynamicSimulator<'a> {
             busy[self.segment_slot(seg)] |= mask;
         }
         let volume = self.app.graph().comm(comm).volume();
-        let duration =
-            (volume.value() / (lanes.len() as f64 * self.rate.value())).ceil() as u64;
+        let duration = (volume.value() / (lanes.len() as f64 * self.rate.value())).ceil() as u64;
         comm_spans[comm.0] = (now, now + duration);
         granted[comm.0] = lanes;
         queue.push(Reverse((now + duration, Event::CommCompleted(comm.0))));
@@ -366,8 +362,7 @@ mod tests {
         let inst = ProblemInstance::paper_with_wavelengths(8);
         let mut last = u64::MAX;
         for cap in [1usize, 2, 4, 8] {
-            let sim =
-                DynamicSimulator::new(inst.app(), 8, rate(), DynamicPolicy::Greedy { cap });
+            let sim = DynamicSimulator::new(inst.app(), 8, rate(), DynamicPolicy::Greedy { cap });
             let makespan = sim.run().makespan;
             assert!(
                 makespan <= last,
@@ -381,12 +376,7 @@ mod tests {
     #[should_panic(expected = "burst cap")]
     fn zero_cap_rejected() {
         let inst = ProblemInstance::paper_with_wavelengths(8);
-        let _ = DynamicSimulator::new(
-            inst.app(),
-            8,
-            rate(),
-            DynamicPolicy::Greedy { cap: 0 },
-        );
+        let _ = DynamicSimulator::new(inst.app(), 8, rate(), DynamicPolicy::Greedy { cap: 0 });
     }
 
     proptest! {

@@ -33,7 +33,10 @@ impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             SimError::ShapeMismatch { comms, encoded } => {
-                write!(f, "allocation encodes {encoded} communications, application has {comms}")
+                write!(
+                    f,
+                    "allocation encodes {encoded} communications, application has {comms}"
+                )
             }
             SimError::Deadlock { comm } => {
                 write!(f, "{comm} has no wavelengths; its consumer never starts")
@@ -134,9 +137,8 @@ impl<'a> Simulator<'a> {
         let nt = graph.task_count();
         let nl = graph.comm_count();
 
-        let mut pending_inputs: Vec<usize> = (0..nt)
-            .map(|t| graph.incoming(TaskId(t)).len())
-            .collect();
+        let mut pending_inputs: Vec<usize> =
+            (0..nt).map(|t| graph.incoming(TaskId(t)).len()).collect();
         let mut task_spans = vec![(0u64, 0u64); nt];
         let mut comm_spans = vec![(0u64, 0u64); nl];
         let mut queue: BinaryHeap<Reverse<(u64, Event)>> = BinaryHeap::new();
@@ -277,7 +279,11 @@ mod tests {
             let report = sim.run().unwrap();
             let schedule = Schedule::new(inst4.app().graph(), rate()).unwrap();
             let analytic = schedule.evaluate(&counts).unwrap().makespan;
-            assert_eq!(report.makespan as f64, analytic.value(), "counts {counts:?}");
+            assert_eq!(
+                report.makespan as f64,
+                analytic.value(),
+                "counts {counts:?}"
+            );
             assert!(report.conflicts.is_empty());
         }
     }
@@ -290,7 +296,10 @@ mod tests {
         let inst = ProblemInstance::paper_with_wavelengths(8);
         let counts = [1usize, 7, 1, 1, 1, 1];
         let alloc = inst.allocation_from_counts(&counts).unwrap();
-        let report = Simulator::new(inst.app(), &alloc, rate()).unwrap().run().unwrap();
+        let report = Simulator::new(inst.app(), &alloc, rate())
+            .unwrap()
+            .run()
+            .unwrap();
         let analytic = Schedule::new(inst.app().graph(), rate())
             .unwrap()
             .evaluate(&counts)
@@ -304,7 +313,10 @@ mod tests {
     fn task_and_comm_spans_are_causal() {
         let inst = ProblemInstance::paper_with_wavelengths(8);
         let alloc = inst.allocation_from_counts(&[2, 3, 2, 2, 2, 2]).unwrap();
-        let report = Simulator::new(inst.app(), &alloc, rate()).unwrap().run().unwrap();
+        let report = Simulator::new(inst.app(), &alloc, rate())
+            .unwrap()
+            .run()
+            .unwrap();
         let graph = inst.app().graph();
         for (id, c) in graph.comms() {
             let (cs, ce) = report.comm_spans[id.0];
@@ -322,7 +334,10 @@ mod tests {
         let inst = ProblemInstance::paper_with_wavelengths(4);
         let alloc = onoc_wa::Allocation::from_counts_dense(&[1, 1, 1, 1, 1, 1], 4).unwrap();
         assert!(!inst.checker().is_valid(&alloc));
-        let report = Simulator::new(inst.app(), &alloc, rate()).unwrap().run().unwrap();
+        let report = Simulator::new(inst.app(), &alloc, rate())
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(
             report
                 .conflicts
@@ -389,7 +404,10 @@ mod tests {
         let alloc = onoc_wa::Allocation::from_counts_dense(&[1, 1], 4).unwrap();
         assert!(matches!(
             Simulator::new(inst.app(), &alloc, rate()).unwrap_err(),
-            SimError::ShapeMismatch { comms: 6, encoded: 2 }
+            SimError::ShapeMismatch {
+                comms: 6,
+                encoded: 2
+            }
         ));
     }
 
@@ -397,7 +415,10 @@ mod tests {
     fn utilization_is_positive_on_used_segments() {
         let inst = ProblemInstance::paper_with_wavelengths(4);
         let alloc = inst.allocation_from_counts(&[1; 6]).unwrap();
-        let report = Simulator::new(inst.app(), &alloc, rate()).unwrap().run().unwrap();
+        let report = Simulator::new(inst.app(), &alloc, rate())
+            .unwrap()
+            .run()
+            .unwrap();
         // c5 rides segment 7 clockwise (nodes 7 → 8).
         let seg = onoc_topology::DirectedSegment {
             index: 7,
@@ -471,7 +492,10 @@ mod tests {
         for nw in [4usize, 8, 12] {
             let inst = ProblemInstance::paper_with_wavelengths(nw);
             let alloc = onoc_wa::heuristics::first_fit(&inst).unwrap();
-            let report = Simulator::new(inst.app(), &alloc, rate()).unwrap().run().unwrap();
+            let report = Simulator::new(inst.app(), &alloc, rate())
+                .unwrap()
+                .run()
+                .unwrap();
             assert!(report.conflicts.is_empty(), "NW = {nw}");
         }
     }
@@ -480,8 +504,14 @@ mod tests {
     fn paper_app_sim_is_deterministic() {
         let inst = ProblemInstance::paper_with_wavelengths(8);
         let alloc = inst.allocation_from_counts(&[3, 4, 8, 5, 3, 8]).unwrap();
-        let a = Simulator::new(inst.app(), &alloc, rate()).unwrap().run().unwrap();
-        let b = Simulator::new(inst.app(), &alloc, rate()).unwrap().run().unwrap();
+        let a = Simulator::new(inst.app(), &alloc, rate())
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = Simulator::new(inst.app(), &alloc, rate())
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(a.makespan, 23_700);
     }

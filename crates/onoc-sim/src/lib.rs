@@ -41,8 +41,13 @@
 
 mod dynamic;
 mod engine;
+mod openloop;
 mod report;
 
 pub use dynamic::{DynamicPolicy, DynamicReport, DynamicSimulator};
 pub use engine::{SimError, Simulator};
+pub use openloop::{
+    LatencyStats, MsgId, MsgRecord, OpenLoopConflict, OpenLoopError, OpenLoopReport,
+    OpenLoopSimulator, StaticFlowMap, TrafficEvent, TrafficSource, WavelengthMode,
+};
 pub use report::{ChannelConflict, SimReport};

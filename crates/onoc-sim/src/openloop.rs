@@ -1,0 +1,1048 @@
+//! Open-loop injection: simulate *streams of timed messages* instead of a
+//! closed task graph.
+//!
+//! The closed-loop simulators ([`Simulator`](crate::Simulator),
+//! [`DynamicSimulator`](crate::DynamicSimulator)) replay one application
+//! whose communications are gated by task dependencies. Saturation studies
+//! (Dally & Towles ch. 23; Das et al., arXiv:1608.06972) instead drive the
+//! network *open loop*: messages arrive on a schedule that does not react
+//! to network backpressure, and the figure of merit is the latency
+//! distribution as offered load approaches capacity.
+//!
+//! [`OpenLoopSimulator`] polls a [`TrafficSource`] for timed
+//! [`TrafficEvent`]s and services them on the ring WDM fabric under one of
+//! two wavelength disciplines ([`WavelengthMode`]):
+//!
+//! * **Dynamic** — runtime arbitration like
+//!   [`DynamicSimulator`](crate::DynamicSimulator): a message claims free
+//!   wavelengths along its whole path or waits. Every ONI keeps a FIFO
+//!   injection queue — a node's messages transmit in order (head-of-line
+//!   at the network interface), different nodes arbitrate independently.
+//!   Per-source queues keep retry work O(nodes) per release, so saturated
+//!   sweeps stay fast. Latency includes the queueing delay, so the
+//!   latency-vs-load curve shows the classic saturation knee.
+//! * **Static** — every ordered `(src, dst)` flow owns a fixed wavelength
+//!   set ([`StaticFlowMap`]); messages of one flow serialise on their own
+//!   lanes, and the simulator *checks* rather than arbitrates: any two
+//!   flows that ever drive a common wavelength on a common directed
+//!   segment at the same time are recorded as [`OpenLoopConflict`]s. This
+//!   is the open-loop analogue of the §III-D static-validity checker.
+//!
+//! Synthetic traffic patterns that feed this interface live in the
+//! `onoc-traffic` crate; the trait is defined here so the engine has no
+//! dependency on how events are produced.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use onoc_photonics::WavelengthId;
+use onoc_topology::{DirectedSegment, NodeId, RingPath, RingTopology};
+use onoc_units::{Bits, BitsPerCycle};
+
+use crate::DynamicPolicy;
+
+/// One injected message: `volume` bits from `src` to `dst`, entering the
+/// network interface at cycle `time`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficEvent {
+    /// Injection cycle.
+    pub time: u64,
+    /// Producing ONI.
+    pub src: NodeId,
+    /// Consuming ONI.
+    pub dst: NodeId,
+    /// Message size.
+    pub volume: Bits,
+}
+
+/// A pull-based producer of timed messages.
+///
+/// The engine polls `next_event` and requires the stream to be ordered by
+/// nondecreasing `time` (violations are rejected at run time). Sources are
+/// finite; an open-ended source is expressed by generating up to a horizon.
+pub trait TrafficSource {
+    /// Returns the next message, or `None` when the stream is exhausted.
+    fn next_event(&mut self) -> Option<TrafficEvent>;
+}
+
+/// Blanket adapter: any iterator of events is a source.
+impl<I: Iterator<Item = TrafficEvent>> TrafficSource for I {
+    fn next_event(&mut self) -> Option<TrafficEvent> {
+        self.next()
+    }
+}
+
+/// Message index within one open-loop run (injection order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub usize);
+
+impl core::fmt::Display for MsgId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A fixed design-time wavelength set per ordered `(src, dst)` flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticFlowMap {
+    nodes: usize,
+    wavelengths: usize,
+    /// Indexed by `src * nodes + dst`; empty for the diagonal.
+    lanes: Vec<Vec<WavelengthId>>,
+}
+
+impl StaticFlowMap {
+    /// Stripes `lanes_per_flow` consecutive wavelengths over the flows in
+    /// flow-id order (`src * nodes + dst`), wrapping around the comb.
+    ///
+    /// With enough wavelengths per concurrently-active segment the stripe
+    /// is conflict-free; undersized combs intentionally collide so the
+    /// checker has something to report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`, `wavelengths == 0`, `lanes_per_flow == 0` or
+    /// `lanes_per_flow > wavelengths`.
+    #[must_use]
+    pub fn striped(nodes: usize, wavelengths: usize, lanes_per_flow: usize) -> Self {
+        assert!(nodes >= 2, "a ring needs at least 2 nodes, got {nodes}");
+        assert!(wavelengths > 0, "the comb needs at least one wavelength");
+        assert!(
+            lanes_per_flow >= 1 && lanes_per_flow <= wavelengths,
+            "lanes per flow must be in 1..={wavelengths}, got {lanes_per_flow}"
+        );
+        let mut lanes = vec![Vec::new(); nodes * nodes];
+        let mut next = 0usize;
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if src == dst {
+                    continue;
+                }
+                let set = (0..lanes_per_flow)
+                    .map(|k| WavelengthId((next + k) % wavelengths))
+                    .collect();
+                lanes[src * nodes + dst] = set;
+                next = (next + lanes_per_flow) % wavelengths;
+            }
+        }
+        Self {
+            nodes,
+            wavelengths,
+            lanes,
+        }
+    }
+
+    /// Builds a map from an explicit per-flow table (indexed
+    /// `src * nodes + dst`; diagonal entries must be empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, an empty off-diagonal entry, or a lane
+    /// outside the comb.
+    #[must_use]
+    pub fn from_table(nodes: usize, wavelengths: usize, lanes: Vec<Vec<WavelengthId>>) -> Self {
+        assert_eq!(lanes.len(), nodes * nodes, "need one entry per (src, dst)");
+        for (i, set) in lanes.iter().enumerate() {
+            let (src, dst) = (i / nodes, i % nodes);
+            if src == dst {
+                assert!(set.is_empty(), "diagonal flow n{src}→n{dst} must be empty");
+            } else {
+                assert!(!set.is_empty(), "flow n{src}→n{dst} has no wavelengths");
+                for lane in set {
+                    assert!(
+                        lane.index() < wavelengths,
+                        "flow n{src}→n{dst} uses {lane} outside a {wavelengths}-λ comb"
+                    );
+                }
+            }
+        }
+        Self {
+            nodes,
+            wavelengths,
+            lanes,
+        }
+    }
+
+    /// The wavelengths owned by the `src → dst` flow.
+    #[must_use]
+    pub fn lanes(&self, src: NodeId, dst: NodeId) -> &[WavelengthId] {
+        &self.lanes[src.0 * self.nodes + dst.0]
+    }
+
+    /// Comb size this map was built for.
+    #[must_use]
+    pub fn wavelengths(&self) -> usize {
+        self.wavelengths
+    }
+}
+
+/// How the open-loop engine assigns wavelengths to messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WavelengthMode {
+    /// Runtime arbitration with FIFO queueing (see crate docs).
+    Dynamic(DynamicPolicy),
+    /// Fixed per-flow lanes with conflict *checking* (see crate docs).
+    Static(StaticFlowMap),
+}
+
+/// Two messages driving the same wavelength on the same directed segment
+/// during overlapping cycles (static mode only; dynamic runs are
+/// conflict-free by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopConflict {
+    /// Where the collision happens.
+    pub segment: DirectedSegment,
+    /// The contested wavelength.
+    pub channel: WavelengthId,
+    /// The earlier-starting message.
+    pub first: MsgId,
+    /// The later-starting message.
+    pub second: MsgId,
+    /// The overlapping cycle interval `[start, end)`.
+    pub overlap: (u64, u64),
+}
+
+/// Summary statistics over a latency (or any nonnegative) sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (linear interpolation between ranks).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Computes the statistics, consuming and sorting the samples.
+    /// Returns an all-zero record for an empty set.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0,
+            };
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / count as f64;
+        let pct = |q: f64| -> f64 {
+            let rank = q * (count - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            samples[lo] as f64 * (1.0 - frac) + samples[hi] as f64 * frac
+        };
+        Self {
+            count,
+            mean,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Everything recorded about one delivered message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgRecord {
+    /// Producing ONI.
+    pub src: NodeId,
+    /// Consuming ONI.
+    pub dst: NodeId,
+    /// Injection cycle.
+    pub injected: u64,
+    /// Cycle the transmission actually started (after any queueing).
+    pub started: u64,
+    /// Cycle the last bit arrived.
+    pub completed: u64,
+    /// Wavelength count the message transmitted on.
+    pub lanes: usize,
+}
+
+impl MsgRecord {
+    /// End-to-end latency: injection to last-bit arrival.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.completed - self.injected
+    }
+
+    /// Cycles spent waiting for wavelengths before transmission.
+    #[must_use]
+    pub fn queueing(&self) -> u64 {
+        self.started - self.injected
+    }
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopReport {
+    /// Ring size the run used.
+    pub nodes: usize,
+    /// Comb size the run used.
+    pub wavelengths: usize,
+    /// Cycle of the last message completion (0 for an empty source).
+    pub horizon: u64,
+    /// Last injection cycle seen from the source.
+    pub last_injection: u64,
+    /// Per message, injection order.
+    pub records: Vec<MsgRecord>,
+    /// Total bits offered by the source.
+    pub offered_bits: f64,
+    /// Total bits delivered (open loop delivers everything eventually;
+    /// kept separate so truncated variants stay honest).
+    pub delivered_bits: f64,
+    /// Messages that could not start transmitting at their injection
+    /// cycle: no free wavelength on the path, or an earlier message from
+    /// the same ONI still queued (dynamic mode); flow lanes busy
+    /// (static mode).
+    pub blocked_attempts: usize,
+    /// Total wavelength collisions (static mode; 0 in dynamic mode).
+    pub conflict_count: usize,
+    /// The first few collisions, for diagnostics.
+    pub conflict_examples: Vec<OpenLoopConflict>,
+    /// Busy wavelength-cycles per directed segment.
+    pub segment_busy: Vec<(DirectedSegment, u64)>,
+    /// Busy wavelength-cycles per wavelength, summed over segments.
+    pub lane_busy: Vec<u64>,
+}
+
+impl OpenLoopReport {
+    /// Latency statistics over every delivered message.
+    #[must_use]
+    pub fn latency(&self) -> LatencyStats {
+        LatencyStats::from_samples(self.records.iter().map(MsgRecord::latency).collect())
+    }
+
+    /// Latency statistics per ordered `(src, dst)` flow, sorted by flow.
+    #[must_use]
+    pub fn latency_by_flow(&self) -> Vec<((NodeId, NodeId), LatencyStats)> {
+        let mut per_flow: HashMap<(NodeId, NodeId), Vec<u64>> = HashMap::new();
+        for r in &self.records {
+            per_flow
+                .entry((r.src, r.dst))
+                .or_default()
+                .push(r.latency());
+        }
+        let mut out: Vec<_> = per_flow
+            .into_iter()
+            .map(|(flow, samples)| (flow, LatencyStats::from_samples(samples)))
+            .collect();
+        out.sort_by_key(|&((s, d), _)| (s, d));
+        out
+    }
+
+    /// Offered load in bits per cycle over the injection window
+    /// `[0, last_injection]` (a burst entirely at cycle 0 is a 1-cycle
+    /// window, not a division by zero).
+    #[must_use]
+    pub fn offered_load(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.offered_bits / (self.last_injection + 1) as f64
+    }
+
+    /// Accepted throughput in bits per cycle over the whole run (the
+    /// saturation-curve y-axis companion).
+    #[must_use]
+    pub fn accepted_throughput(&self) -> f64 {
+        if self.horizon == 0 {
+            return 0.0;
+        }
+        self.delivered_bits / self.horizon as f64
+    }
+
+    /// Mean occupancy of the comb: busy wavelength-cycles over
+    /// `horizon × 2·nodes segments × wavelengths` capacity.
+    #[must_use]
+    pub fn mean_wavelength_occupancy(&self) -> f64 {
+        if self.horizon == 0 || self.wavelengths == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.segment_busy.iter().map(|&(_, b)| b).sum();
+        let capacity = self.horizon as f64 * (2 * self.nodes) as f64 * self.wavelengths as f64;
+        busy as f64 / capacity
+    }
+
+    /// Occupancy of one wavelength across the whole ring.
+    #[must_use]
+    pub fn lane_occupancy(&self, lane: WavelengthId) -> f64 {
+        if self.horizon == 0 {
+            return 0.0;
+        }
+        let busy = self.lane_busy.get(lane.index()).copied().unwrap_or(0);
+        busy as f64 / (self.horizon as f64 * (2 * self.nodes) as f64)
+    }
+}
+
+/// Errors raised by the open-loop engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpenLoopError {
+    /// The source produced events with decreasing timestamps.
+    UnorderedSource {
+        /// Timestamp that went backwards.
+        time: u64,
+        /// The previously seen timestamp.
+        previous: u64,
+    },
+    /// An event references a node outside the ring.
+    ForeignNode {
+        /// The offending node.
+        node: NodeId,
+        /// Ring size.
+        nodes: usize,
+    },
+    /// An event has `src == dst` (the optical layer is not used) or a
+    /// nonpositive volume.
+    DegenerateEvent {
+        /// Index of the offending event in the stream.
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for OpenLoopError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OpenLoopError::UnorderedSource { time, previous } => {
+                write!(f, "source time went backwards: {time} after {previous}")
+            }
+            OpenLoopError::ForeignNode { node, nodes } => {
+                write!(f, "{node} is not on a {nodes}-node ring")
+            }
+            OpenLoopError::DegenerateEvent { index } => {
+                write!(f, "event {index} is degenerate (self-loop or empty volume)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpenLoopError {}
+
+/// How many conflict examples an [`OpenLoopReport`] retains.
+const CONFLICT_EXAMPLE_CAP: usize = 16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// Completions sort before injections at one timestamp so released
+    /// wavelengths are reusable in the same cycle.
+    Completed(usize),
+    Injected(usize),
+}
+
+/// The open-loop engine. See the module docs for semantics.
+#[derive(Debug)]
+pub struct OpenLoopSimulator {
+    ring: RingTopology,
+    wavelengths: usize,
+    rate: BitsPerCycle,
+    mode: WavelengthMode,
+}
+
+impl OpenLoopSimulator {
+    /// Creates an engine over a `wavelengths`-channel comb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelengths` is outside `1..=128`, `rate` is not
+    /// strictly positive, a greedy policy has `cap == 0`, or a static map
+    /// disagrees with `wavelengths`.
+    #[must_use]
+    pub fn new(
+        ring: RingTopology,
+        wavelengths: usize,
+        rate: BitsPerCycle,
+        mode: WavelengthMode,
+    ) -> Self {
+        assert!(
+            wavelengths > 0 && wavelengths <= 128,
+            "open-loop simulator supports 1..=128 wavelengths, got {wavelengths}"
+        );
+        assert!(
+            rate.value() > 0.0,
+            "per-wavelength data rate must be strictly positive, got {rate}"
+        );
+        match &mode {
+            WavelengthMode::Dynamic(DynamicPolicy::Greedy { cap }) => {
+                assert!(*cap > 0, "greedy burst cap must be at least 1");
+            }
+            WavelengthMode::Dynamic(DynamicPolicy::Single) => {}
+            WavelengthMode::Static(map) => {
+                assert_eq!(
+                    map.wavelengths(),
+                    wavelengths,
+                    "static flow map was built for a different comb"
+                );
+                assert_eq!(
+                    map.nodes,
+                    ring.node_count(),
+                    "static flow map was built for a different ring"
+                );
+            }
+        }
+        Self {
+            ring,
+            wavelengths,
+            rate,
+            mode,
+        }
+    }
+
+    /// Routes a message along the shortest ring direction
+    /// (clockwise on ties), matching `RouteStrategy::Shortest`.
+    fn route(&self, src: NodeId, dst: NodeId) -> RingPath {
+        let direction = self.ring.shortest_direction(src, dst);
+        RingPath::new(&self.ring, src, dst, direction)
+    }
+
+    fn segment_slot(&self, seg: DirectedSegment) -> usize {
+        let n = self.ring.node_count();
+        match seg.direction {
+            onoc_topology::Direction::Clockwise => seg.index,
+            onoc_topology::Direction::CounterClockwise => n + seg.index,
+        }
+    }
+
+    /// Drains `source` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpenLoopError`] on unordered, foreign-node or degenerate
+    /// events. The stream is validated as it is consumed.
+    pub fn run<S: TrafficSource>(&self, mut source: S) -> Result<OpenLoopReport, OpenLoopError> {
+        let n = self.ring.node_count();
+        let mut pending: Vec<TrafficEvent> = Vec::new();
+        let mut routes: Vec<RingPath> = Vec::new();
+        let mut records: Vec<MsgRecord> = Vec::new();
+        let mut granted: Vec<Vec<WavelengthId>> = Vec::new();
+        let mut offered_bits = 0.0f64;
+        let mut last_injection = 0u64;
+        let mut last_time = 0u64;
+        let mut blocked_attempts = 0usize;
+
+        // Dynamic-mode state: busy masks plus one FIFO per source ONI.
+        let mut busy = vec![0u128; 2 * n];
+        let mut source_queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); n];
+        // Static-mode state: next free cycle per flow.
+        let mut flow_free_at: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+
+        let mut queue: BinaryHeap<Reverse<(u64, Event)>> = BinaryHeap::new();
+        let mut next_from_source = source.next_event();
+        let mut horizon = 0u64;
+        let mut segment_busy: HashMap<DirectedSegment, u64> = HashMap::new();
+        let mut lane_busy = vec![0u64; self.wavelengths];
+
+        loop {
+            // Pull every source event that is due before the next
+            // scheduled completion (or all of them if none is scheduled).
+            while let Some(event) = next_from_source {
+                let due_now = match queue.peek() {
+                    Some(&Reverse((t, _))) => event.time <= t,
+                    None => true,
+                };
+                if !due_now {
+                    break;
+                }
+                if event.time < last_time {
+                    return Err(OpenLoopError::UnorderedSource {
+                        time: event.time,
+                        previous: last_time,
+                    });
+                }
+                last_time = event.time;
+                for node in [event.src, event.dst] {
+                    if !self.ring.contains(node) {
+                        return Err(OpenLoopError::ForeignNode { node, nodes: n });
+                    }
+                }
+                if event.src == event.dst || event.volume.value() <= 0.0 {
+                    return Err(OpenLoopError::DegenerateEvent {
+                        index: pending.len(),
+                    });
+                }
+                let id = pending.len();
+                pending.push(event);
+                routes.push(self.route(event.src, event.dst));
+                records.push(MsgRecord {
+                    src: event.src,
+                    dst: event.dst,
+                    injected: event.time,
+                    started: 0,
+                    completed: 0,
+                    lanes: 0,
+                });
+                granted.push(Vec::new());
+                offered_bits += event.volume.value();
+                last_injection = last_injection.max(event.time);
+                queue.push(Reverse((event.time, Event::Injected(id))));
+                next_from_source = source.next_event();
+            }
+
+            let Some(Reverse((now, event))) = queue.pop() else {
+                break;
+            };
+            horizon = horizon.max(now);
+
+            match event {
+                Event::Injected(id) => match &self.mode {
+                    WavelengthMode::Dynamic(policy) => {
+                        let src = pending[id].src.0;
+                        // The NI transmits in order: an earlier queued
+                        // message blocks this one even if its own path is
+                        // free.
+                        if !source_queues[src].is_empty()
+                            || !self.try_start_dynamic(
+                                id,
+                                now,
+                                *policy,
+                                &pending,
+                                &routes,
+                                &mut busy,
+                                &mut records,
+                                &mut granted,
+                                &mut queue,
+                            )
+                        {
+                            blocked_attempts += 1;
+                            source_queues[src].push_back(id);
+                        }
+                    }
+                    WavelengthMode::Static(map) => {
+                        let (src, dst) = (pending[id].src, pending[id].dst);
+                        let lanes = map.lanes(src, dst);
+                        let free_at = flow_free_at.get(&(src, dst)).copied().unwrap_or(0);
+                        let start = now.max(free_at);
+                        if start > now {
+                            blocked_attempts += 1;
+                        }
+                        let duration = self.duration(pending[id].volume, lanes.len());
+                        let end = start + duration;
+                        flow_free_at.insert((src, dst), end);
+                        records[id].started = start;
+                        records[id].completed = end;
+                        records[id].lanes = lanes.len();
+                        granted[id] = lanes.to_vec();
+                        queue.push(Reverse((end, Event::Completed(id))));
+                    }
+                },
+                Event::Completed(id) => {
+                    // Accumulate occupancy on the way out.
+                    let span = records[id].completed - records[id].started;
+                    let lanes = granted[id].len() as u64;
+                    for seg in routes[id].segments() {
+                        *segment_busy.entry(seg).or_insert(0) += span * lanes;
+                    }
+                    for lane in &granted[id] {
+                        lane_busy[lane.index()] += span * routes[id].hops() as u64;
+                    }
+                    if let WavelengthMode::Dynamic(policy) = &self.mode {
+                        let mask = granted[id]
+                            .iter()
+                            .fold(0u128, |m, ch| m | (1 << ch.index()));
+                        for seg in routes[id].segments() {
+                            busy[self.segment_slot(seg)] &= !mask;
+                        }
+                        // Retry each source's head; a started head unblocks
+                        // the next message behind it.
+                        for source_queue in &mut source_queues {
+                            while let Some(&head) = source_queue.front() {
+                                if self.try_start_dynamic(
+                                    head,
+                                    now,
+                                    *policy,
+                                    &pending,
+                                    &routes,
+                                    &mut busy,
+                                    &mut records,
+                                    &mut granted,
+                                    &mut queue,
+                                ) {
+                                    source_queue.pop_front();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        debug_assert!(
+            source_queues.iter().all(VecDeque::is_empty),
+            "completions always drain the source queues"
+        );
+        let delivered_bits = pending.iter().map(|e| e.volume.value()).sum();
+        let (conflict_count, conflict_examples) = match &self.mode {
+            WavelengthMode::Dynamic(_) => (0, Vec::new()),
+            WavelengthMode::Static(_) => sweep_conflicts(&records, &routes, &granted),
+        };
+        let mut segment_busy: Vec<_> = segment_busy.into_iter().collect();
+        segment_busy
+            .sort_by_key(|&(s, _)| (s.index, s.direction != onoc_topology::Direction::Clockwise));
+        Ok(OpenLoopReport {
+            nodes: n,
+            wavelengths: self.wavelengths,
+            horizon,
+            last_injection,
+            records,
+            offered_bits,
+            delivered_bits,
+            blocked_attempts,
+            conflict_count,
+            conflict_examples,
+            segment_busy,
+            lane_busy,
+        })
+    }
+
+    /// Whole-cycle transmission duration over `lanes` wavelengths.
+    fn duration(&self, volume: Bits, lanes: usize) -> u64 {
+        ((volume.value() / (lanes as f64 * self.rate.value())).ceil() as u64).max(1)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_start_dynamic(
+        &self,
+        id: usize,
+        now: u64,
+        policy: DynamicPolicy,
+        pending: &[TrafficEvent],
+        routes: &[RingPath],
+        busy: &mut [u128],
+        records: &mut [MsgRecord],
+        granted: &mut [Vec<WavelengthId>],
+        queue: &mut BinaryHeap<Reverse<(u64, Event)>>,
+    ) -> bool {
+        let all = if self.wavelengths == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.wavelengths) - 1
+        };
+        let free = routes[id]
+            .segments()
+            .fold(all, |mask, seg| mask & !busy[self.segment_slot(seg)]);
+        if free == 0 {
+            return false;
+        }
+        let want = match policy {
+            DynamicPolicy::Single => 1,
+            DynamicPolicy::Greedy { cap } => cap,
+        };
+        let mut lanes = Vec::with_capacity(want);
+        let mut mask = 0u128;
+        for w in 0..self.wavelengths {
+            if lanes.len() == want {
+                break;
+            }
+            if free & (1 << w) != 0 {
+                lanes.push(WavelengthId(w));
+                mask |= 1 << w;
+            }
+        }
+        for seg in routes[id].segments() {
+            busy[self.segment_slot(seg)] |= mask;
+        }
+        let duration = self.duration(pending[id].volume, lanes.len());
+        records[id].started = now;
+        records[id].completed = now + duration;
+        records[id].lanes = lanes.len();
+        granted[id] = lanes;
+        queue.push(Reverse((now + duration, Event::Completed(id))));
+        true
+    }
+}
+
+/// Counts wavelength collisions with a sweep over per-`(segment, lane)`
+/// interval lists — O(k log k) per list instead of all-pairs over every
+/// message.
+fn sweep_conflicts(
+    records: &[MsgRecord],
+    routes: &[RingPath],
+    granted: &[Vec<WavelengthId>],
+) -> (usize, Vec<OpenLoopConflict>) {
+    /// The `[(start, end, msg)]` spans driving one (segment, lane) pair.
+    type SpanList = Vec<(u64, u64, usize)>;
+    let mut intervals: HashMap<(DirectedSegment, WavelengthId), SpanList> = HashMap::new();
+    for (id, record) in records.iter().enumerate() {
+        for seg in routes[id].segments() {
+            for &lane in &granted[id] {
+                intervals.entry((seg, lane)).or_default().push((
+                    record.started,
+                    record.completed,
+                    id,
+                ));
+            }
+        }
+    }
+    let mut keys: Vec<_> = intervals.keys().copied().collect();
+    keys.sort_by_key(|&(s, l)| {
+        (
+            s.index,
+            s.direction != onoc_topology::Direction::Clockwise,
+            l.index(),
+        )
+    });
+    let mut count = 0usize;
+    let mut examples = Vec::new();
+    for key in keys {
+        let spans = intervals.get_mut(&key).expect("key came from the map");
+        spans.sort_unstable();
+        // Active set of (end, msg) spans; each overlapping pair counts once.
+        let mut active: Vec<(u64, usize)> = Vec::new();
+        for &(start, end, id) in spans.iter() {
+            active.retain(|&(e, _)| e > start);
+            for &(active_end, other) in &active {
+                count += 1;
+                if examples.len() < CONFLICT_EXAMPLE_CAP {
+                    examples.push(OpenLoopConflict {
+                        segment: key.0,
+                        channel: key.1,
+                        first: MsgId(other.min(id)),
+                        second: MsgId(other.max(id)),
+                        overlap: (start, end.min(active_end)),
+                    });
+                }
+            }
+            active.push((end, id));
+        }
+    }
+    (count, examples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_topology::Direction;
+
+    fn rate() -> BitsPerCycle {
+        BitsPerCycle::new(1.0)
+    }
+
+    fn ring16() -> RingTopology {
+        RingTopology::new(16)
+    }
+
+    fn event(time: u64, src: usize, dst: usize, bits: f64) -> TrafficEvent {
+        TrafficEvent {
+            time,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            volume: Bits::new(bits),
+        }
+    }
+
+    fn dynamic_single() -> WavelengthMode {
+        WavelengthMode::Dynamic(DynamicPolicy::Single)
+    }
+
+    #[test]
+    fn empty_source_is_a_clean_zero_report() {
+        let sim = OpenLoopSimulator::new(ring16(), 4, rate(), dynamic_single());
+        let report = sim.run(std::iter::empty()).unwrap();
+        assert_eq!(report.records.len(), 0);
+        assert_eq!(report.horizon, 0);
+        assert_eq!(report.accepted_throughput(), 0.0);
+        assert_eq!(report.latency().count, 0);
+    }
+
+    #[test]
+    fn single_message_latency_is_transmission_time() {
+        let sim = OpenLoopSimulator::new(ring16(), 4, rate(), dynamic_single());
+        let report = sim.run(vec![event(10, 0, 3, 500.0)].into_iter()).unwrap();
+        assert_eq!(report.records.len(), 1);
+        // 500 bits over 1 λ at 1 bit/cycle.
+        assert_eq!(report.records[0].latency(), 500);
+        assert_eq!(report.records[0].queueing(), 0);
+        assert_eq!(report.horizon, 510);
+    }
+
+    #[test]
+    fn contention_queues_fifo_and_counts_blocking() {
+        // Two messages on the same 1-λ path at the same instant: the
+        // second waits for the first.
+        let sim = OpenLoopSimulator::new(ring16(), 1, rate(), dynamic_single());
+        let src = vec![event(0, 0, 3, 100.0), event(0, 0, 3, 100.0)];
+        let report = sim.run(src.into_iter()).unwrap();
+        assert_eq!(report.blocked_attempts, 1);
+        assert_eq!(report.records[0].latency(), 100);
+        assert_eq!(report.records[1].queueing(), 100);
+        assert_eq!(report.records[1].latency(), 200);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interact() {
+        let sim = OpenLoopSimulator::new(ring16(), 1, rate(), dynamic_single());
+        // 0→2 rides segments 0,1 clockwise; 8→10 rides 8,9: no overlap.
+        let src = vec![event(0, 0, 2, 100.0), event(0, 8, 10, 100.0)];
+        let report = sim.run(src.into_iter()).unwrap();
+        assert_eq!(report.blocked_attempts, 0);
+        assert!(report.records.iter().all(|r| r.latency() == 100));
+    }
+
+    #[test]
+    fn opposite_waveguides_are_independent() {
+        // 0→1 (CW, segment 0) and 1→0 (CCW, segment 0) share the physical
+        // span but not the waveguide.
+        let sim = OpenLoopSimulator::new(ring16(), 1, rate(), dynamic_single());
+        let src = vec![event(0, 0, 1, 100.0), event(0, 1, 0, 100.0)];
+        let report = sim.run(src.into_iter()).unwrap();
+        assert_eq!(report.blocked_attempts, 0);
+    }
+
+    #[test]
+    fn greedy_mode_uses_the_free_comb() {
+        let sim = OpenLoopSimulator::new(
+            ring16(),
+            8,
+            rate(),
+            WavelengthMode::Dynamic(DynamicPolicy::Greedy { cap: 8 }),
+        );
+        let report = sim.run(vec![event(0, 0, 3, 800.0)].into_iter()).unwrap();
+        assert_eq!(report.records[0].lanes, 8);
+        assert_eq!(report.records[0].latency(), 100);
+    }
+
+    #[test]
+    fn unordered_source_is_rejected() {
+        let sim = OpenLoopSimulator::new(ring16(), 4, rate(), dynamic_single());
+        let src = vec![event(10, 0, 3, 100.0), event(5, 0, 3, 100.0)];
+        assert_eq!(
+            sim.run(src.into_iter()).unwrap_err(),
+            OpenLoopError::UnorderedSource {
+                time: 5,
+                previous: 10
+            }
+        );
+    }
+
+    #[test]
+    fn degenerate_and_foreign_events_are_rejected() {
+        let sim = OpenLoopSimulator::new(ring16(), 4, rate(), dynamic_single());
+        assert!(matches!(
+            sim.run(vec![event(0, 3, 3, 100.0)].into_iter()),
+            Err(OpenLoopError::DegenerateEvent { index: 0 })
+        ));
+        assert!(matches!(
+            sim.run(vec![event(0, 0, 16, 100.0)].into_iter()),
+            Err(OpenLoopError::ForeignNode { .. })
+        ));
+    }
+
+    #[test]
+    fn static_mode_serialises_per_flow() {
+        let map = StaticFlowMap::striped(16, 8, 1);
+        let sim = OpenLoopSimulator::new(ring16(), 8, rate(), WavelengthMode::Static(map));
+        let src = vec![event(0, 0, 3, 100.0), event(10, 0, 3, 100.0)];
+        let report = sim.run(src.into_iter()).unwrap();
+        // Second message waits for the flow's lane: starts at 100, not 10.
+        assert_eq!(report.records[1].started, 100);
+        assert_eq!(report.blocked_attempts, 1);
+        // Same flow reusing its own lane sequentially never conflicts.
+        assert_eq!(report.conflict_count, 0);
+    }
+
+    #[test]
+    fn static_mode_detects_cross_flow_collisions() {
+        // Flows 0→2 (CW segments 0,1) and 1→2 (CW segment 1) share
+        // segment 1; force both onto λ1 so they collide there.
+        let nodes = 4;
+        let mut table = vec![Vec::new(); nodes * nodes];
+        table[2] = vec![WavelengthId(0)]; // flow 0→2
+        table[nodes + 2] = vec![WavelengthId(0)]; // flow 1→2
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if src != dst && table[src * nodes + dst].is_empty() {
+                    table[src * nodes + dst] = vec![WavelengthId(1)];
+                }
+            }
+        }
+        let map = StaticFlowMap::from_table(nodes, 2, table);
+        let sim = OpenLoopSimulator::new(
+            RingTopology::new(nodes),
+            2,
+            rate(),
+            WavelengthMode::Static(map),
+        );
+        let src = vec![event(0, 0, 2, 100.0), event(0, 1, 2, 100.0)];
+        let report = sim.run(src.into_iter()).unwrap();
+        assert_eq!(report.conflict_count, 1);
+        let c = report.conflict_examples[0];
+        assert_eq!(c.channel, WavelengthId(0));
+        assert_eq!(
+            c.segment,
+            DirectedSegment {
+                index: 1,
+                direction: Direction::Clockwise
+            }
+        );
+        assert_eq!((c.first, c.second), (MsgId(0), MsgId(1)));
+    }
+
+    #[test]
+    fn occupancy_accounting_adds_up() {
+        let sim = OpenLoopSimulator::new(ring16(), 4, rate(), dynamic_single());
+        // One message, 2 hops, 100 cycles on one lane.
+        let report = sim.run(vec![event(0, 0, 2, 100.0)].into_iter()).unwrap();
+        let busy: u64 = report.segment_busy.iter().map(|&(_, b)| b).sum();
+        assert_eq!(busy, 200);
+        assert_eq!(report.lane_busy.iter().sum::<u64>(), 200);
+        assert!(report.mean_wavelength_occupancy() > 0.0);
+        assert!((report.lane_occupancy(WavelengthId(0)) - 200.0 / (100.0 * 32.0)).abs() < 1e-12);
+        assert_eq!(report.lane_occupancy(WavelengthId(3)), 0.0);
+    }
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let stats = LatencyStats::from_samples((1..=100).collect());
+        assert_eq!(stats.count, 100);
+        assert!((stats.mean - 50.5).abs() < 1e-12);
+        assert!((stats.p50 - 50.5).abs() < 1e-9);
+        assert!((stats.p99 - 99.01).abs() < 1e-9);
+        assert_eq!(stats.max, 100);
+        let empty = LatencyStats::from_samples(Vec::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0);
+    }
+
+    #[test]
+    fn throughput_matches_offered_when_unsaturated() {
+        let sim = OpenLoopSimulator::new(ring16(), 8, rate(), dynamic_single());
+        let src: Vec<_> = (0..10)
+            .map(|k| event(k * 200, (k % 15) as usize, ((k % 15) + 1) as usize, 100.0))
+            .collect();
+        let report = sim.run(src.into_iter()).unwrap();
+        assert_eq!(report.blocked_attempts, 0);
+        assert_eq!(report.offered_bits, 1_000.0);
+        assert_eq!(report.delivered_bits, 1_000.0);
+        assert!(report.accepted_throughput() > 0.0);
+    }
+
+    #[test]
+    fn flow_latency_grouping() {
+        let sim = OpenLoopSimulator::new(ring16(), 8, rate(), dynamic_single());
+        let src = vec![
+            event(0, 0, 3, 100.0),
+            event(0, 5, 9, 200.0),
+            event(500, 0, 3, 100.0),
+        ];
+        let report = sim.run(src.into_iter()).unwrap();
+        let by_flow = report.latency_by_flow();
+        assert_eq!(by_flow.len(), 2);
+        assert_eq!(by_flow[0].0, (NodeId(0), NodeId(3)));
+        assert_eq!(by_flow[0].1.count, 2);
+        assert_eq!(by_flow[1].1.count, 1);
+    }
+}

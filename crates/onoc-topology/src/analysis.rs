@@ -9,7 +9,7 @@
 //! application-aware spectrum walk of [`crate::SpectrumEngine`] sits far
 //! inside the worst-case envelope for every Pareto allocation.
 
-use onoc_photonics::{ber, BerConvention, SignalNoise, WavelengthId};
+use onoc_photonics::{BerConvention, SignalNoise, WavelengthId, ber};
 use onoc_units::{Decibels, Milliwatts};
 
 use crate::{Direction, NodeId, OnocArchitecture};
@@ -100,7 +100,10 @@ pub fn worst_case_bounds(
     // Entry loss of an interferer injected one hop upstream.
     let upstream_segment = geo.departing_segment(dst, direction.reversed());
     let one_hop = params.propagation_per_cm
-        * geo.segment_length(upstream_segment).to_centimeters().value()
+        * geo
+            .segment_length(upstream_segment)
+            .to_centimeters()
+            .value()
         + params.bending_per_90deg * geo.segment_bends(upstream_segment) as f64;
 
     // Average-case entry loss: half the ring, OFF stacks included.

@@ -25,7 +25,10 @@ impl core::fmt::Display for ArchError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ArchError::GridTooSmall { rows, cols } => {
-                write!(f, "grid {rows}x{cols} cannot form a ring (needs >= 2 tiles)")
+                write!(
+                    f,
+                    "grid {rows}x{cols} cannot form a ring (needs >= 2 tiles)"
+                )
             }
             ArchError::InvalidLossParams(msg) => write!(f, "invalid loss parameters: {msg}"),
             ArchError::EmptyWavelengthGrid => write!(f, "wavelength grid has no channels"),

@@ -119,8 +119,8 @@ fn budget_for(
 
     let nodes: Vec<NodeId> = path.nodes().collect();
     for (segment, arrival) in path.segments().zip(nodes.iter().skip(1)) {
-        budget.propagation += params.propagation_per_cm
-            * geo.segment_length(segment.index).to_centimeters().value();
+        budget.propagation +=
+            params.propagation_per_cm * geo.segment_length(segment.index).to_centimeters().value();
         budget.bending += params.bending_per_90deg * geo.segment_bends(segment.index) as f64;
         let stack_end = if *arrival == dst { channel.index() } else { nw };
         for c in 0..stack_end {

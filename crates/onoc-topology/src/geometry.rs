@@ -1,6 +1,14 @@
 //! Physical serpentine layout of the ring waveguide over the tile grid.
+//!
+//! Two modules in this workspace are named `geometry` and deliberately do
+//! not overlap: `onoc_units::geometry` defines the dimensioned *length
+//! newtypes* ([`Millimeters`], [`Centimeters`]) shared by every crate,
+//! while this module defines the *layout model* ([`RingGeometry`]) that
+//! consumes them. The unit types are re-exported here (and from the crate
+//! root) so downstream code describing layouts needs only
+//! `onoc-topology`.
 
-use onoc_units::Millimeters;
+pub use onoc_units::{Centimeters, Millimeters};
 
 use crate::{Direction, NodeId};
 
@@ -154,9 +162,7 @@ impl RingGeometry {
     /// Total ring length (sum of all segment lengths).
     #[must_use]
     pub fn ring_length(&self) -> Millimeters {
-        (0..self.node_count())
-            .map(|s| self.segment_length(s))
-            .sum()
+        (0..self.node_count()).map(|s| self.segment_length(s)).sum()
     }
 
     /// The pair of ring positions joined by physical segment `k`, ordered in

@@ -43,10 +43,10 @@ mod path;
 mod ring;
 mod spectrum;
 
-pub use analysis::{worst_case_bounds, CrosstalkBound};
+pub use analysis::{CrosstalkBound, worst_case_bounds};
 pub use arch::{ArchBuilder, ArchError, OnocArchitecture};
-pub use budget::{power_budgets, PowerBudget};
-pub use geometry::RingGeometry;
+pub use budget::{PowerBudget, power_budgets};
+pub use geometry::{Centimeters, Millimeters, RingGeometry};
 pub use path::{DirectedSegment, RingPath};
 pub use ring::{Direction, NodeId, RingTopology};
 pub use spectrum::{CrosstalkModel, ReceiverReport, SpectrumEngine, SpectrumError, Transmission};

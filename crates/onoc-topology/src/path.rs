@@ -186,7 +186,12 @@ mod tests {
 
     #[test]
     fn counterclockwise_segments() {
-        let p = RingPath::new(&ring16(), NodeId(1), NodeId(14), Direction::CounterClockwise);
+        let p = RingPath::new(
+            &ring16(),
+            NodeId(1),
+            NodeId(14),
+            Direction::CounterClockwise,
+        );
         let segs: Vec<_> = p.segments().map(|s| s.index).collect();
         assert_eq!(segs, vec![0, 15, 14]);
         assert_eq!(

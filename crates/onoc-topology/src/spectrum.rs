@@ -255,10 +255,8 @@ impl<'a> SpectrumEngine<'a> {
     ) -> Result<Self, SpectrumError> {
         let nodes = arch.ring().node_count();
         let nw = arch.grid().count();
-        let mut receivers: [Vec<Vec<Option<usize>>>; 2] = [
-            vec![vec![None; nw]; nodes],
-            vec![vec![None; nw]; nodes],
-        ];
+        let mut receivers: [Vec<Vec<Option<usize>>>; 2] =
+            [vec![vec![None; nw]; nodes], vec![vec![None; nw]; nodes]];
         for (idx, t) in traffic.iter().enumerate() {
             if t.channels().is_empty() {
                 return Err(SpectrumError::NoChannels {
@@ -273,8 +271,8 @@ impl<'a> SpectrumEngine<'a> {
                         grid_size: nw,
                     });
                 }
-                let slot = &mut receivers[dir_index(t.path().direction())][t.path().dst().0]
-                    [ch.index()];
+                let slot =
+                    &mut receivers[dir_index(t.path().direction())][t.path().dst().0][ch.index()];
                 if let Some(prev) = *slot {
                     return Err(SpectrumError::ReceiverCollision {
                         first: traffic[prev].id(),
@@ -308,7 +306,12 @@ impl<'a> SpectrumEngine<'a> {
 
     /// State of the receiver MR for `channel` at `node` on the waveguide of
     /// `direction`, together with the owning transmission index.
-    fn receiver_at(&self, node: NodeId, direction: Direction, channel: WavelengthId) -> Option<usize> {
+    fn receiver_at(
+        &self,
+        node: NodeId,
+        direction: Direction,
+        channel: WavelengthId,
+    ) -> Option<usize> {
         self.receivers[dir_index(direction)][node.0][channel.index()]
     }
 
@@ -372,7 +375,9 @@ impl<'a> SpectrumEngine<'a> {
                     }
                 }
             }
-            loss += self.mr_element(node, direction, ch).through_loss(signal, grid, params);
+            loss += self
+                .mr_element(node, direction, ch)
+                .through_loss(signal, grid, params);
         }
         Ok(loss)
     }
@@ -589,9 +594,15 @@ mod tests {
             )]
         };
         let near_traffic = make(1);
-        let near = SpectrumEngine::new(&a, &near_traffic).unwrap().analyze().unwrap();
+        let near = SpectrumEngine::new(&a, &near_traffic)
+            .unwrap()
+            .analyze()
+            .unwrap();
         let far_traffic = make(7);
-        let far = SpectrumEngine::new(&a, &far_traffic).unwrap().analyze().unwrap();
+        let far = SpectrumEngine::new(&a, &far_traffic)
+            .unwrap()
+            .analyze()
+            .unwrap();
         assert!(near[0].crosstalk > far[0].crosstalk);
     }
 
@@ -675,7 +686,14 @@ mod tests {
         let engine = SpectrumEngine::new(&a, &traffic).unwrap();
         let err = engine.analyze().unwrap_err();
         assert!(
-            matches!(err, SpectrumError::ChannelDroppedEnRoute { transmission: 0, at: NodeId(2), .. }),
+            matches!(
+                err,
+                SpectrumError::ChannelDroppedEnRoute {
+                    transmission: 0,
+                    at: NodeId(2),
+                    ..
+                }
+            ),
             "unexpected error: {err}"
         );
     }
@@ -744,7 +762,10 @@ mod tests {
             .analyze()
             .unwrap();
         for (p, e) in paper.iter().zip(&element) {
-            assert!(e.crosstalk <= p.crosstalk, "paper {p:?} vs elementwise {e:?}");
+            assert!(
+                e.crosstalk <= p.crosstalk,
+                "paper {p:?} vs elementwise {e:?}"
+            );
         }
     }
 

@@ -1,0 +1,323 @@
+//! The classic synthetic NoC traffic patterns, adapted to a ring.
+//!
+//! Each pattern maps a source node to a destination. Permutation patterns
+//! (transpose, bit-reversal, bit-complement) are defined on the
+//! `b = ⌈log₂ n⌉`-bit id space as usual in the NoC literature (Dally &
+//! Towles §3.2); for non-power-of-two rings the image is folded back with
+//! `mod n`, which preserves determinism and keeps every pattern total.
+//! A pattern may map a node onto itself (e.g. palindromic ids under
+//! bit-reversal) — [`TrafficPattern::destination`] then returns `None` and
+//! the generator simply skips that injection slot, matching how NoC
+//! simulators treat self-addressed packets.
+
+use onoc_topology::NodeId;
+
+use crate::rng::TrafficRng;
+
+/// A destination-selection rule over an `n`-node ring.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficPattern {
+    /// Uniform random over all nodes except the source.
+    UniformRandom,
+    /// With probability `fraction`, send to one of `hotspots` (uniformly);
+    /// otherwise behave like [`TrafficPattern::UniformRandom`]. A hotspot
+    /// node that draws itself also falls back to the uniform branch, so
+    /// every node injects at the full configured rate. Models a few
+    /// memory-controller-like sinks absorbing a share of all traffic.
+    Hotspot {
+        /// The favoured destinations.
+        hotspots: Vec<NodeId>,
+        /// Probability of addressing a hotspot, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Matrix transpose: swap the high and low halves of the `b`-bit id.
+    Transpose,
+    /// Reverse the `b`-bit id.
+    BitReversal,
+    /// Complement the `b`-bit id (maximum average distance on a ring).
+    BitComplement,
+    /// One-hop neighbour, choosing clockwise or counter-clockwise with
+    /// equal probability per message.
+    NearestNeighbor,
+}
+
+impl TrafficPattern {
+    /// Short machine-friendly name (CSV column values, bench ids).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficPattern::UniformRandom => "uniform",
+            TrafficPattern::Hotspot { .. } => "hotspot",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::BitReversal => "bit_reversal",
+            TrafficPattern::BitComplement => "bit_complement",
+            TrafficPattern::NearestNeighbor => "nearest_neighbor",
+        }
+    }
+
+    /// The default four-pattern panel used by the saturation binaries.
+    #[must_use]
+    pub fn panel() -> Vec<TrafficPattern> {
+        vec![
+            TrafficPattern::UniformRandom,
+            TrafficPattern::Transpose,
+            TrafficPattern::BitComplement,
+            TrafficPattern::NearestNeighbor,
+        ]
+    }
+
+    /// Validates the pattern against a ring size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hotspot node is outside the ring, the hotspot list is
+    /// empty, or `fraction` is outside `[0, 1]`.
+    pub fn validate(&self, nodes: usize) {
+        if let TrafficPattern::Hotspot { hotspots, fraction } = self {
+            assert!(
+                !hotspots.is_empty(),
+                "hotspot pattern needs at least one hotspot"
+            );
+            assert!(
+                (0.0..=1.0).contains(fraction),
+                "hotspot fraction must be in [0, 1], got {fraction}"
+            );
+            for h in hotspots {
+                assert!(h.0 < nodes, "{h} is not on a {nodes}-node ring");
+            }
+        }
+    }
+
+    /// Picks the destination for a message from `src`, or `None` when the
+    /// pattern maps `src` onto itself (the slot is skipped).
+    ///
+    /// Deterministic patterns ignore `rng`; random ones draw from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is outside the ring or `nodes < 2`.
+    #[must_use]
+    pub fn destination(&self, src: NodeId, nodes: usize, rng: &mut TrafficRng) -> Option<NodeId> {
+        assert!(nodes >= 2, "a ring needs at least 2 nodes, got {nodes}");
+        assert!(src.0 < nodes, "{src} is not on a {nodes}-node ring");
+        let dst = match self {
+            TrafficPattern::UniformRandom => other_than(src, nodes, rng),
+            TrafficPattern::Hotspot { hotspots, fraction } => {
+                let hot = hotspots[rng.below(hotspots.len())];
+                // A hotspot node drawing itself falls back to the uniform
+                // branch so every node keeps the full injection rate.
+                if rng.bernoulli(*fraction) && hot != src {
+                    hot
+                } else {
+                    other_than(src, nodes, rng)
+                }
+            }
+            TrafficPattern::Transpose => {
+                let b = id_bits(nodes);
+                let half = b / 2;
+                let mask = (1usize << b) - 1;
+                let s = src.0;
+                NodeId((((s >> half) | (s << (b - half))) & mask) % nodes)
+            }
+            TrafficPattern::BitReversal => {
+                let b = id_bits(nodes);
+                let mut s = src.0;
+                let mut r = 0usize;
+                for _ in 0..b {
+                    r = (r << 1) | (s & 1);
+                    s >>= 1;
+                }
+                NodeId(r % nodes)
+            }
+            TrafficPattern::BitComplement => {
+                let mask = (1usize << id_bits(nodes)) - 1;
+                NodeId((src.0 ^ mask) % nodes)
+            }
+            TrafficPattern::NearestNeighbor => {
+                if rng.bernoulli(0.5) {
+                    NodeId((src.0 + 1) % nodes)
+                } else {
+                    NodeId((src.0 + nodes - 1) % nodes)
+                }
+            }
+        };
+        (dst != src).then_some(dst)
+    }
+}
+
+impl core::fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TrafficPattern::Hotspot { hotspots, fraction } => {
+                write!(f, "hotspot(×{}, {:.0}%)", hotspots.len(), fraction * 100.0)
+            }
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+/// Bits needed to address `nodes` ids (≥ 1).
+fn id_bits(nodes: usize) -> usize {
+    (usize::BITS - (nodes - 1).leading_zeros()).max(1) as usize
+}
+
+/// Uniform over `[0, nodes) \ {src}`.
+fn other_than(src: NodeId, nodes: usize, rng: &mut TrafficRng) -> NodeId {
+    let raw = rng.below(nodes - 1);
+    NodeId(if raw >= src.0 { raw + 1 } else { raw })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TrafficRng {
+        TrafficRng::new(42)
+    }
+
+    #[test]
+    fn uniform_never_self_and_covers_ring() {
+        let mut rng = rng();
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let dst = TrafficPattern::UniformRandom
+                .destination(NodeId(3), 8, &mut rng)
+                .unwrap();
+            assert_ne!(dst, NodeId(3));
+            seen[dst.0] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 7);
+    }
+
+    #[test]
+    fn transpose_is_an_involution_on_square_rings() {
+        // 16 nodes = 4-bit ids, half swap of 2 bits each: applying the
+        // pattern twice returns to the source.
+        let mut r = rng();
+        for s in 0..16 {
+            if let Some(d) = TrafficPattern::Transpose.destination(NodeId(s), 16, &mut r) {
+                let back = TrafficPattern::Transpose
+                    .destination(d, 16, &mut r)
+                    .unwrap();
+                assert_eq!(back, NodeId(s));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_known_values() {
+        let mut r = rng();
+        // id 0b0001 → 0b0100 on 16 nodes.
+        assert_eq!(
+            TrafficPattern::Transpose.destination(NodeId(1), 16, &mut r),
+            Some(NodeId(4))
+        );
+        // 0b0101 is fixed under transpose → skipped.
+        assert_eq!(
+            TrafficPattern::Transpose.destination(NodeId(5), 16, &mut r),
+            None
+        );
+    }
+
+    #[test]
+    fn bit_reversal_known_values() {
+        let mut r = rng();
+        // 0b0001 reversed over 4 bits = 0b1000.
+        assert_eq!(
+            TrafficPattern::BitReversal.destination(NodeId(1), 16, &mut r),
+            Some(NodeId(8))
+        );
+        // Palindromic id 0b1001 maps to itself → skipped.
+        assert_eq!(
+            TrafficPattern::BitReversal.destination(NodeId(9), 16, &mut r),
+            None
+        );
+    }
+
+    #[test]
+    fn bit_complement_known_values() {
+        let mut r = rng();
+        assert_eq!(
+            TrafficPattern::BitComplement.destination(NodeId(0), 16, &mut r),
+            Some(NodeId(15))
+        );
+        assert_eq!(
+            TrafficPattern::BitComplement.destination(NodeId(5), 16, &mut r),
+            Some(NodeId(10))
+        );
+    }
+
+    #[test]
+    fn bit_patterns_fold_into_non_power_of_two_rings() {
+        let mut r = rng();
+        for pattern in [
+            TrafficPattern::Transpose,
+            TrafficPattern::BitReversal,
+            TrafficPattern::BitComplement,
+        ] {
+            for s in 0..12 {
+                if let Some(d) = pattern.destination(NodeId(s), 12, &mut r) {
+                    assert!(d.0 < 12, "{pattern} sent n{s} to {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_is_one_hop_both_ways() {
+        let mut r = rng();
+        let mut cw = 0;
+        let mut ccw = 0;
+        for _ in 0..200 {
+            let d = TrafficPattern::NearestNeighbor
+                .destination(NodeId(0), 16, &mut r)
+                .unwrap();
+            match d.0 {
+                1 => cw += 1,
+                15 => ccw += 1,
+                other => panic!("nearest neighbor sent 0 to {other}"),
+            }
+        }
+        assert!(cw > 50 && ccw > 50, "cw {cw}, ccw {ccw}");
+    }
+
+    #[test]
+    fn hotspot_fraction_is_respected() {
+        let hotspot = NodeId(7);
+        let pattern = TrafficPattern::Hotspot {
+            hotspots: vec![hotspot],
+            fraction: 0.8,
+        };
+        pattern.validate(16);
+        let mut r = rng();
+        let hits = (0..1_000)
+            .filter(|_| pattern.destination(NodeId(0), 16, &mut r) == Some(hotspot))
+            .count();
+        // 80% direct + ~1.3% via the uniform branch.
+        assert!((730..=880).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_hotspot_fraction_rejected() {
+        TrafficPattern::Hotspot {
+            hotspots: vec![NodeId(0)],
+            fraction: 1.5,
+        }
+        .validate(16);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TrafficPattern::UniformRandom.name(), "uniform");
+        assert_eq!(TrafficPattern::panel().len(), 4);
+        assert_eq!(
+            TrafficPattern::Hotspot {
+                hotspots: vec![NodeId(1)],
+                fraction: 0.3
+            }
+            .to_string(),
+            "hotspot(×1, 30%)"
+        );
+    }
+}

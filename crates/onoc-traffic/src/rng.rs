@@ -1,0 +1,211 @@
+//! A seeded, *splittable* PRNG for deterministic traffic generation.
+//!
+//! Scenario sweeps run on a thread pool, and per-node injection streams
+//! interleave arbitrarily — so sharing one sequential generator would make
+//! results depend on scheduling. [`TrafficRng`] solves this the way
+//! splittable PRNGs do (Steele, Lea & Flood, OOPSLA 2014): [`TrafficRng::split`]
+//! derives an *independent* child stream from `(parent seed, salt)` without
+//! advancing the parent, so
+//!
+//! * every node's stream is a pure function of `(master seed, node index)`,
+//! * every sweep scenario's stream is a pure function of
+//!   `(sweep seed, scenario index)`,
+//!
+//! and the whole sweep is bit-identical for any worker-thread count.
+//!
+//! The core is SplitMix64 with an odd per-stream increment (gamma) derived
+//! from the salt, which keeps sibling streams decorrelated.
+
+/// A 64-bit splittable generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficRng {
+    /// Seed-derived stream identity; set at construction, never mutated.
+    /// [`TrafficRng::split`] keys children off this, so splitting is
+    /// independent of how many values were already drawn.
+    identity: u64,
+    state: u64,
+    gamma: u64,
+}
+
+/// One SplitMix64 output/mixing step.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Variant mixer used to derive gammas (David Stafford's Mix13 constants).
+fn mix_gamma(mut z: u64) -> u64 {
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    // Gammas must be odd; weight test per Steele et al. is overkill here.
+    (z ^ (z >> 33)) | 1
+}
+
+impl TrafficRng {
+    /// The canonical SplitMix64 increment.
+    const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// Creates the master stream for `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let identity = mix(seed.wrapping_add(Self::GOLDEN_GAMMA));
+        Self {
+            identity,
+            state: identity,
+            gamma: Self::GOLDEN_GAMMA,
+        }
+    }
+
+    /// Derives an independent child stream from this stream's *seed
+    /// identity* and `salt`, without advancing `self`.
+    ///
+    /// Splitting is pure: `rng.split(s)` is the same stream no matter how
+    /// many values were drawn from `rng` before the call, and
+    /// `split(a) != split(b)` for `a != b`.
+    #[must_use]
+    pub fn split(&self, salt: u64) -> Self {
+        let identity = mix(self.identity ^ mix(salt.wrapping_add(Self::GOLDEN_GAMMA)));
+        Self {
+            identity,
+            state: identity,
+            gamma: mix_gamma(identity ^ salt),
+        }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(self.gamma);
+        mix(self.state)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53-bit precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, bound)` via debiased multiply-shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample below 0");
+        let span = bound as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// A bounded Pareto sample with scale `x_m` and shape `alpha`, capped
+    /// at `cap` (self-similar ON-period lengths; the cap keeps horizons
+    /// finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x_m > 0`, `alpha > 0` and `cap >= x_m`.
+    pub fn pareto(&mut self, x_m: f64, alpha: f64, cap: f64) -> f64 {
+        assert!(
+            x_m > 0.0 && alpha > 0.0 && cap >= x_m,
+            "invalid Pareto parameters"
+        );
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        (x_m / u.powf(1.0 / alpha)).min(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TrafficRng::new(7);
+        let mut b = TrafficRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_is_pure_and_position_independent() {
+        let mut advanced = TrafficRng::new(7);
+        for _ in 0..1_000 {
+            advanced.next_u64();
+        }
+        let fresh = TrafficRng::new(7);
+        assert_eq!(fresh.split(3), advanced.split(3));
+        assert_ne!(fresh.split(3), fresh.split(4));
+    }
+
+    #[test]
+    fn siblings_are_decorrelated() {
+        let master = TrafficRng::new(1);
+        let mut a = master.split(0);
+        let mut b = master.split(1);
+        let matches = (0..1_000)
+            .filter(|_| (a.next_u64() & 1) == (b.next_u64() & 1))
+            .count();
+        // Two independent bit streams agree ~half the time.
+        assert!((350..=650).contains(&matches), "matches = {matches}");
+    }
+
+    #[test]
+    fn below_is_unbiased_enough_and_in_bounds() {
+        let mut rng = TrafficRng::new(9);
+        let mut counts = [0usize; 7];
+        for _ in 0..7_000 {
+            counts[rng.below(7)] += 1;
+        }
+        for (value, &count) in counts.iter().enumerate() {
+            assert!((800..=1200).contains(&count), "value {value}: {count}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_edges() {
+        let mut rng = TrafficRng::new(3);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+        assert!(!rng.bernoulli(f64::NAN));
+    }
+
+    #[test]
+    fn unit_floats_are_unit() {
+        let mut rng = TrafficRng::new(5);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_cap() {
+        let mut rng = TrafficRng::new(11);
+        for _ in 0..10_000 {
+            let x = rng.pareto(2.0, 1.5, 500.0);
+            assert!((2.0..=500.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below 0")]
+    fn zero_bound_panics() {
+        let _ = TrafficRng::new(0).below(0);
+    }
+}

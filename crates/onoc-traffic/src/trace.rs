@@ -1,0 +1,470 @@
+//! Trace generation: turn a pattern + injection process into a stream of
+//! timed [`TrafficEvent`]s.
+//!
+//! Each node runs an independent injection process derived from the master
+//! seed via [`TrafficRng::split`], so the trace is a pure function of the
+//! configuration — independent of generation order, thread count, or how
+//! many other scenarios share the seed.
+//!
+//! Two injection processes are provided:
+//!
+//! * **Bernoulli** (default): each node independently injects a message
+//!   with probability `injection_rate` per cycle — the standard open-loop
+//!   load model.
+//! * **ON-OFF bursty** ([`OnOffConfig`]): nodes alternate Pareto-length ON
+//!   periods and geometric OFF gaps, injecting only while ON. Heavy-tailed
+//!   ON periods give the aggregate stream the burstiness/self-similarity
+//!   of measured traffic (Willinger et al.'s ON-OFF construction). The ON
+//!   rate is scaled so the long-run mean rate still equals
+//!   `injection_rate`, keeping sweeps comparable.
+
+use onoc_sim::{TrafficEvent, TrafficSource};
+use onoc_topology::NodeId;
+use onoc_units::Bits;
+
+use crate::pattern::TrafficPattern;
+use crate::rng::TrafficRng;
+
+/// Parameters of the bursty ON-OFF injection process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnOffConfig {
+    /// Mean ON-period length in cycles (Pareto-distributed, shape
+    /// [`OnOffConfig::PARETO_SHAPE`], capped at 64× the mean).
+    pub mean_on: f64,
+    /// Mean OFF-period length in cycles (geometric); exactly 0 (never
+    /// idle) or at least 1.
+    pub mean_off: f64,
+}
+
+impl OnOffConfig {
+    /// Pareto shape for ON periods. 1.5 sits in the (1, 2) range that
+    /// yields self-similar aggregate traffic: finite mean, infinite
+    /// variance.
+    pub const PARETO_SHAPE: f64 = 1.5;
+
+    /// A moderately bursty default: 50-cycle bursts separated by
+    /// 200-cycle idle gaps (20% duty cycle).
+    #[must_use]
+    pub fn default_bursty() -> Self {
+        Self {
+            mean_on: 50.0,
+            mean_off: 200.0,
+        }
+    }
+
+    /// Fraction of time a node spends ON.
+    #[must_use]
+    pub fn duty_cycle(&self) -> f64 {
+        self.mean_on / (self.mean_on + self.mean_off)
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.mean_on >= 1.0 && (self.mean_off == 0.0 || self.mean_off >= 1.0),
+            "ON-OFF means must be >= 1 (on) and 0 or >= 1 (off), got on {} / off {}",
+            self.mean_on,
+            self.mean_off
+        );
+    }
+
+    /// Pareto scale `x_m` whose mean equals `mean_on` at the fixed shape.
+    fn pareto_scale(&self) -> f64 {
+        // E[X] = α·x_m / (α − 1)  ⇒  x_m = mean·(α − 1)/α.
+        self.mean_on * (Self::PARETO_SHAPE - 1.0) / Self::PARETO_SHAPE
+    }
+}
+
+/// Full specification of one synthetic traffic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Ring size.
+    pub nodes: usize,
+    /// Destination rule.
+    pub pattern: TrafficPattern,
+    /// Mean injected messages per node per cycle, in `[0, 1]`.
+    pub injection_rate: f64,
+    /// Size of every message.
+    pub message_volume: Bits,
+    /// Injection window: messages enter during `[0, horizon)`.
+    pub horizon: u64,
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+    /// `Some` switches the Bernoulli process to bursty ON-OFF.
+    pub burstiness: Option<OnOffConfig>,
+}
+
+impl TrafficConfig {
+    /// A small, fast default on the paper's 16-node ring: uniform traffic,
+    /// 512-bit messages, a 10 kcc window.
+    #[must_use]
+    pub fn paper_ring(pattern: TrafficPattern, injection_rate: f64, seed: u64) -> Self {
+        Self {
+            nodes: 16,
+            pattern,
+            injection_rate,
+            message_volume: Bits::new(512.0),
+            horizon: 10_000,
+            seed,
+            burstiness: None,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.nodes >= 2,
+            "a ring needs at least 2 nodes, got {}",
+            self.nodes
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.injection_rate),
+            "injection rate is a per-cycle probability, got {}",
+            self.injection_rate
+        );
+        assert!(
+            self.message_volume.value() > 0.0,
+            "messages need a positive volume, got {}",
+            self.message_volume
+        );
+        self.pattern.validate(self.nodes);
+        if let Some(b) = &self.burstiness {
+            b.validate();
+            // The ON-period rate is injection_rate / duty_cycle; it must
+            // stay a probability or the mean-rate guarantee breaks.
+            assert!(
+                self.injection_rate <= b.duty_cycle(),
+                "bursty injection rate {} exceeds the ON-OFF duty cycle {:.3}: \
+                 the rescaled burst rate would exceed 1 msg/cycle",
+                self.injection_rate,
+                b.duty_cycle()
+            );
+        }
+    }
+
+    /// Mean offered load in bits per cycle across the whole ring.
+    #[must_use]
+    pub fn offered_load(&self) -> f64 {
+        self.injection_rate * self.nodes as f64 * self.message_volume.value()
+    }
+}
+
+/// A generated, time-ordered batch of traffic events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficTrace {
+    events: Vec<TrafficEvent>,
+}
+
+impl TrafficTrace {
+    /// The events in nondecreasing time order.
+    #[must_use]
+    pub fn events(&self) -> &[TrafficEvent] {
+        &self.events
+    }
+
+    /// Number of messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no node ever injected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A polling [`TrafficSource`] over the trace (cheap; clones nothing).
+    #[must_use]
+    pub fn source(&self) -> TraceSource<'_> {
+        TraceSource {
+            events: &self.events,
+            at: 0,
+        }
+    }
+
+    /// Consumes the trace into an owning source.
+    #[must_use]
+    pub fn into_source(self) -> std::vec::IntoIter<TrafficEvent> {
+        self.events.into_iter()
+    }
+}
+
+/// Borrowing [`TrafficSource`] over a [`TrafficTrace`].
+#[derive(Debug, Clone)]
+pub struct TraceSource<'a> {
+    events: &'a [TrafficEvent],
+    at: usize,
+}
+
+impl TrafficSource for TraceSource<'_> {
+    fn next_event(&mut self) -> Option<TrafficEvent> {
+        let event = self.events.get(self.at).copied();
+        self.at += 1;
+        event
+    }
+}
+
+/// Generates the deterministic trace for `config`.
+///
+/// Each node walks the injection window cycle by cycle with its own split
+/// stream; per-node events are then merged by `(time, src)`, which is a
+/// total order because one node injects at most once per cycle.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration (see [`TrafficConfig`] field
+/// docs).
+#[must_use]
+pub fn generate(config: &TrafficConfig) -> TrafficTrace {
+    config.validate();
+    let master = TrafficRng::new(config.seed);
+    let mut events = Vec::new();
+    for node in 0..config.nodes {
+        generate_node(config, node, &master, &mut events);
+    }
+    events.sort_by_key(|e| (e.time, e.src));
+    TrafficTrace { events }
+}
+
+/// One node's independent injection process.
+fn generate_node(
+    config: &TrafficConfig,
+    node: usize,
+    master: &TrafficRng,
+    out: &mut Vec<TrafficEvent>,
+) {
+    // Separate streams for timing and addressing, so adding a pattern draw
+    // never perturbs the arrival process.
+    let mut clock_rng = master.split(node as u64 * 2);
+    let mut addr_rng = master.split(node as u64 * 2 + 1);
+    let src = NodeId(node);
+
+    let (rate_when_active, mut phase) = match &config.burstiness {
+        None => (config.injection_rate, Phase::AlwaysOn),
+        Some(onoff) => {
+            // Rescale so duty_cycle × on_rate = mean injection rate;
+            // validate() guarantees the rescaled rate stays a probability.
+            let on_rate = config.injection_rate / onoff.duty_cycle();
+            (on_rate, Phase::Off { remaining: 0 })
+        }
+    };
+
+    for cycle in 0..config.horizon {
+        if let Some(onoff) = &config.burstiness {
+            phase = phase.step(onoff, &mut clock_rng);
+        }
+        let active = matches!(phase, Phase::AlwaysOn | Phase::On { .. });
+        if !active || !clock_rng.bernoulli(rate_when_active) {
+            continue;
+        }
+        if let Some(dst) = config.pattern.destination(src, config.nodes, &mut addr_rng) {
+            out.push(TrafficEvent {
+                time: cycle,
+                src,
+                dst,
+                volume: config.message_volume,
+            });
+        }
+    }
+}
+
+/// ON-OFF state machine for one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Bernoulli process without bursts.
+    AlwaysOn,
+    /// Injecting for `remaining` more cycles.
+    On { remaining: u64 },
+    /// Idle for `remaining` more cycles.
+    Off { remaining: u64 },
+}
+
+impl Phase {
+    /// Advances one cycle, drawing fresh period lengths at boundaries.
+    fn step(self, onoff: &OnOffConfig, rng: &mut TrafficRng) -> Phase {
+        match self {
+            Phase::AlwaysOn => Phase::AlwaysOn,
+            Phase::On { remaining: 0 } | Phase::Off { remaining: 0 } => {
+                let entering_on = matches!(self, Phase::Off { .. });
+                if entering_on {
+                    let cap = onoff.mean_on * 64.0;
+                    let len = rng
+                        .pareto(onoff.pareto_scale(), OnOffConfig::PARETO_SHAPE, cap)
+                        .round()
+                        .max(1.0) as u64;
+                    Phase::On { remaining: len - 1 }
+                } else if onoff.mean_off == 0.0 {
+                    // Degenerate always-on configuration; validate()
+                    // forbids mean_off in (0, 1) so p below stays ≤ 1.
+                    Phase::On { remaining: 0 }
+                } else {
+                    // Geometric with mean `mean_off` via inverse CDF.
+                    let p = 1.0 / onoff.mean_off;
+                    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+                    let len = (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64;
+                    Phase::Off { remaining: len - 1 }
+                }
+            }
+            Phase::On { remaining } => Phase::On {
+                remaining: remaining - 1,
+            },
+            Phase::Off { remaining } => Phase::Off {
+                remaining: remaining - 1,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> TrafficConfig {
+        TrafficConfig::paper_ring(TrafficPattern::UniformRandom, 0.02, 7)
+    }
+
+    #[test]
+    fn traces_are_seed_deterministic() {
+        let a = generate(&base_config());
+        let b = generate(&base_config());
+        assert_eq!(a, b);
+        let c = generate(&TrafficConfig {
+            seed: 8,
+            ..base_config()
+        });
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_in_window() {
+        let trace = generate(&base_config());
+        assert!(!trace.is_empty());
+        for pair in trace.events().windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        assert!(trace.events().iter().all(|e| e.time < 10_000));
+        assert!(trace.events().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn mean_rate_is_close_to_configured() {
+        let config = TrafficConfig {
+            horizon: 50_000,
+            ..base_config()
+        };
+        let trace = generate(&config);
+        let expected = config.injection_rate * config.nodes as f64 * config.horizon as f64;
+        let got = trace.len() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.1,
+            "expected ≈{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn bursty_mean_rate_is_preserved() {
+        let config = TrafficConfig {
+            horizon: 200_000,
+            burstiness: Some(OnOffConfig::default_bursty()),
+            ..base_config()
+        };
+        let trace = generate(&config);
+        let expected = config.injection_rate * config.nodes as f64 * config.horizon as f64;
+        let got = trace.len() as f64;
+        // Heavy-tailed ON periods converge slowly; 25% is enough to catch
+        // a broken rescale (which would be off by 5×).
+        assert!(
+            (got - expected).abs() < expected * 0.25,
+            "expected ≈{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn bursty_traffic_is_burstier() {
+        // Compare the variance of per-100-cycle message counts.
+        let smooth = generate(&TrafficConfig {
+            horizon: 50_000,
+            ..base_config()
+        });
+        let bursty = generate(&TrafficConfig {
+            horizon: 50_000,
+            burstiness: Some(OnOffConfig::default_bursty()),
+            ..base_config()
+        });
+        let variance = |trace: &TrafficTrace| {
+            let mut bins = vec![0f64; 500];
+            for e in trace.events() {
+                bins[(e.time / 100) as usize] += 1.0;
+            }
+            let mean = bins.iter().sum::<f64>() / bins.len() as f64;
+            bins.iter().map(|b| (b - mean).powi(2)).sum::<f64>() / bins.len() as f64
+        };
+        assert!(
+            variance(&bursty) > 2.0 * variance(&smooth),
+            "bursty {} vs smooth {}",
+            variance(&bursty),
+            variance(&smooth)
+        );
+    }
+
+    #[test]
+    fn source_yields_events_in_order() {
+        let trace = generate(&base_config());
+        let mut source = trace.source();
+        let mut n = 0;
+        while let Some(e) = source.next_event() {
+            assert_eq!(e, trace.events()[n]);
+            n += 1;
+        }
+        assert_eq!(n, trace.len());
+    }
+
+    #[test]
+    fn deterministic_pattern_traces_have_fixed_destinations() {
+        let config = TrafficConfig::paper_ring(TrafficPattern::BitComplement, 0.05, 3);
+        let trace = generate(&config);
+        assert!(trace.events().iter().all(|e| e.dst.0 == (e.src.0 ^ 0xF)));
+    }
+
+    #[test]
+    fn offered_load_formula() {
+        let config = base_config();
+        assert!((config.offered_load() - 0.02 * 16.0 * 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_gives_empty_trace() {
+        let config = TrafficConfig {
+            injection_rate: 0.0,
+            ..base_config()
+        };
+        assert!(generate(&config).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "per-cycle probability")]
+    fn excessive_rate_rejected() {
+        let config = TrafficConfig {
+            injection_rate: 1.5,
+            ..base_config()
+        };
+        let _ = generate(&config);
+    }
+
+    #[test]
+    fn simulates_end_to_end_with_openloop() {
+        use onoc_sim::{DynamicPolicy, OpenLoopSimulator, WavelengthMode};
+        use onoc_topology::RingTopology;
+        use onoc_units::BitsPerCycle;
+
+        let trace = generate(&base_config());
+        let sim = OpenLoopSimulator::new(
+            RingTopology::new(16),
+            8,
+            BitsPerCycle::new(1.0),
+            WavelengthMode::Dynamic(DynamicPolicy::Single),
+        );
+        let report = sim.run(trace.source()).unwrap();
+        assert_eq!(report.records.len(), trace.len());
+        assert!(report.latency().mean > 0.0);
+    }
+}

@@ -1,4 +1,11 @@
-//! On-chip geometric quantities.
+//! On-chip geometric quantities: dimensioned length newtypes.
+//!
+//! Not to be confused with `onoc_topology::geometry`, which models the
+//! ring's physical *layout* ([`RingGeometry`]) in terms of these units;
+//! `onoc-topology` re-exports [`Millimeters`] and [`Centimeters`] so
+//! layout consumers need only one crate.
+//!
+//! [`RingGeometry`]: https://docs.rs/onoc-topology
 
 /// A physical length in millimetres (tile pitch, waveguide segment length).
 ///
@@ -62,8 +69,14 @@ mod tests {
 
     #[test]
     fn conversion_known_value() {
-        assert_eq!(Millimeters::new(25.0).to_centimeters(), Centimeters::new(2.5));
-        assert_eq!(Centimeters::new(0.3).to_millimeters(), Millimeters::new(3.0));
+        assert_eq!(
+            Millimeters::new(25.0).to_centimeters(),
+            Centimeters::new(2.5)
+        );
+        assert_eq!(
+            Centimeters::new(0.3).to_millimeters(),
+            Millimeters::new(3.0)
+        );
     }
 
     #[test]

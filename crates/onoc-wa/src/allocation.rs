@@ -114,7 +114,10 @@ impl Allocation {
     ///
     /// Returns [`AllocationError::CountTooLarge`] if any count exceeds the
     /// comb size.
-    pub fn from_counts_dense(counts: &[usize], wavelengths: usize) -> Result<Self, AllocationError> {
+    pub fn from_counts_dense(
+        counts: &[usize],
+        wavelengths: usize,
+    ) -> Result<Self, AllocationError> {
         let mut alloc = Self::new(counts.len(), wavelengths);
         for (k, &count) in counts.iter().enumerate() {
             if count > wavelengths {
@@ -298,7 +301,10 @@ mod tests {
     #[test]
     fn oversized_count_rejected() {
         let err = Allocation::from_counts_dense(&[5], 4).unwrap_err();
-        assert!(matches!(err, AllocationError::CountTooLarge { requested: 5, .. }));
+        assert!(matches!(
+            err,
+            AllocationError::CountTooLarge { requested: 5, .. }
+        ));
     }
 
     #[test]

@@ -196,9 +196,7 @@ impl<'a> Evaluator<'a> {
         let traffic: Vec<Transmission> = app
             .graph()
             .comms()
-            .map(|(id, _)| {
-                Transmission::new(id.0, *app.route(id), allocation.channels(id))
-            })
+            .map(|(id, _)| Transmission::new(id.0, *app.route(id), allocation.channels(id)))
             .collect();
         let engine = SpectrumEngine::with_model(
             self.instance.arch(),

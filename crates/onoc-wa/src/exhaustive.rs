@@ -196,11 +196,13 @@ mod tests {
         let inst = ProblemInstance::paper_with_wavelengths(4);
         let ev = inst.evaluator();
         let result = enumerate_count_vectors(&inst, &ev, ObjectiveSet::TimeEnergy);
-        assert!(result
-            .front
-            .points()
-            .iter()
-            .any(|p| p.allocation.counts() == vec![1; 6]));
+        assert!(
+            result
+                .front
+                .points()
+                .iter()
+                .any(|p| p.allocation.counts() == vec![1; 6])
+        );
         assert!(result.valid > 0 && result.valid <= result.candidates);
     }
 
@@ -208,13 +210,12 @@ mod tests {
     fn gene_oracle_agrees_with_count_oracle_on_time() {
         // Tiny instance: 2-comm pipeline on a 4-node ring, 4 wavelengths →
         // 2^8 chromosomes.
-        use onoc_app::{workloads, MappedApplication, Mapping, RouteStrategy};
+        use onoc_app::{MappedApplication, Mapping, RouteStrategy, workloads};
         use onoc_topology::{NodeId, OnocArchitecture, RingTopology};
         use onoc_units::{Bits, Cycles};
 
         let graph = workloads::pipeline(3, Cycles::new(100.0), Bits::new(400.0));
-        let mapping =
-            Mapping::new(&graph, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let mapping = Mapping::new(&graph, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
         let app = MappedApplication::new(
             graph,
             mapping,

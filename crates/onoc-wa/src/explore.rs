@@ -1,8 +1,8 @@
 //! Comb-size sweeps: the driver behind Figs. 6–7 and Table II.
 
-use crate::{Nsga2, Nsga2Config, Nsga2Outcome, ProblemInstance};
 #[cfg(test)]
 use crate::ObjectiveSet;
+use crate::{Nsga2, Nsga2Config, Nsga2Outcome, ProblemInstance};
 
 /// The outcome of one comb size in a sweep.
 #[derive(Debug, Clone)]

@@ -32,7 +32,10 @@ impl core::fmt::Display for HeuristicError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             HeuristicError::OutOfWavelengths(c) => {
-                write!(f, "no wavelength left for {c} under disjointness constraints")
+                write!(
+                    f,
+                    "no wavelength left for {c} under disjointness constraints"
+                )
             }
             HeuristicError::ExhaustedAttempts { attempts } => {
                 write!(f, "no valid allocation found in {attempts} random attempts")
@@ -173,7 +176,9 @@ pub fn greedy_makespan(
         .expect("first-fit allocations are valid");
     let free_genes = |alloc: &Allocation| -> Vec<(CommId, WavelengthId)> {
         (0..instance.comm_count())
-            .flat_map(|k| (0..instance.wavelength_count()).map(move |w| (CommId(k), WavelengthId(w))))
+            .flat_map(|k| {
+                (0..instance.wavelength_count()).map(move |w| (CommId(k), WavelengthId(w)))
+            })
             .filter(|&(c, w)| !alloc.is_reserved(c, w))
             .collect()
     };
@@ -221,8 +226,8 @@ pub fn greedy_makespan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rand::rngs::StdRng;
 
     fn instance(nw: usize) -> ProblemInstance {
         ProblemInstance::paper_with_wavelengths(nw)

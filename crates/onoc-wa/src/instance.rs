@@ -291,8 +291,11 @@ mod tests {
         let b = tg.add_task("b", Cycles::new(1.0));
         tg.add_comm(a, b, Bits::new(1.0)).unwrap();
         tg.add_comm(b, a, Bits::new(1.0)).unwrap();
-        let mapping = Mapping::new(&tg, vec![onoc_topology::NodeId(0), onoc_topology::NodeId(1)])
-            .unwrap();
+        let mapping = Mapping::new(
+            &tg,
+            vec![onoc_topology::NodeId(0), onoc_topology::NodeId(1)],
+        )
+        .unwrap();
         let app =
             MappedApplication::new(tg, mapping, RingTopology::new(16), RouteStrategy::Shortest)
                 .unwrap();
@@ -317,7 +320,9 @@ mod tests {
     #[test]
     fn overfull_counts_rejected() {
         let inst = ProblemInstance::paper_with_wavelengths(4);
-        let err = inst.allocation_from_counts(&[3, 2, 1, 1, 1, 1]).unwrap_err();
+        let err = inst
+            .allocation_from_counts(&[3, 2, 1, 1, 1, 1])
+            .unwrap_err();
         assert!(matches!(
             err,
             InstanceError::CountsDoNotFit {
@@ -333,7 +338,10 @@ mod tests {
         let inst = ProblemInstance::paper_with_wavelengths(4);
         assert!(matches!(
             inst.allocation_from_counts(&[1, 1]).unwrap_err(),
-            InstanceError::WrongCountLength { comms: 6, entries: 2 }
+            InstanceError::WrongCountLength {
+                comms: 6,
+                entries: 2
+            }
         ));
     }
 

@@ -76,4 +76,4 @@ pub use nsga2::crowding as nsga2_crowding;
 pub use nsga2::operators as nsga2_operators;
 pub use nsga2::sort as nsga2_sort;
 pub use nsga2::{Individual, Nsga2, Nsga2Config, Nsga2Outcome, Nsga2Stats};
-pub use pareto::{dominates, FrontPoint, ParetoFront};
+pub use pareto::{FrontPoint, ParetoFront, dominates};

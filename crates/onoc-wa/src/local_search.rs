@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::pareto::{FrontPoint, ParetoFront};
-use crate::{heuristics, Allocation, Evaluator, Objectives, ObjectiveSet};
+use crate::{Allocation, Evaluator, ObjectiveSet, Objectives, heuristics};
 
 /// Non-negative weights of the scalarisation (they need not sum to one).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -274,7 +274,10 @@ mod tests {
         )
         .unwrap();
         let total: usize = run.allocation.counts().iter().sum();
-        assert!(total <= 10, "energy-weighted SA reserved {total} wavelengths");
+        assert!(
+            total <= 10,
+            "energy-weighted SA reserved {total} wavelengths"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use onoc_units::Cycles;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{heuristics, EvalOptions, ProblemInstance};
+use crate::{EvalOptions, ProblemInstance, heuristics};
 
 /// Configuration of the mapping search.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,8 +122,7 @@ pub fn optimize_mapping(
                     .filter(|&n| !candidate.iter().any(|m| m.0 == n))
                     .collect();
                 if !free.is_empty() {
-                    candidate[task] =
-                        onoc_topology::NodeId(free[rng.random_range(0..free.len())]);
+                    candidate[task] = onoc_topology::NodeId(free[rng.random_range(0..free.len())]);
                 }
             }
             let score = score_mapping(arch, graph, &candidate, config.options);
@@ -149,9 +148,8 @@ pub fn optimize_mapping(
         }
     }
 
-    let (mapping, makespan) = best.expect(
-        "at least one restart must produce a scoreable mapping for a feasible instance",
-    );
+    let (mapping, makespan) = best
+        .expect("at least one restart must produce a scoreable mapping for a feasible instance");
     MappingSearchResult {
         mapping,
         makespan,

@@ -7,7 +7,7 @@ use crate::nsga2::crowding::crowding_distances;
 use crate::nsga2::operators::{binary_tournament, bitflip_mutation, two_point_crossover};
 use crate::nsga2::sort::fast_nondominated_sort;
 use crate::pareto::{FrontPoint, ParetoFront};
-use crate::{Allocation, Evaluator, Objectives, ObjectiveSet};
+use crate::{Allocation, Evaluator, ObjectiveSet, Objectives};
 
 /// Configuration of one NSGA-II run.
 ///
@@ -136,7 +136,10 @@ impl<'e, 'i> Nsga2<'e, 'i> {
             "crossover probability must be in [0, 1]"
         );
         if let Some(pm) = config.mutation_probability {
-            assert!((0.0..=1.0).contains(&pm), "mutation probability must be in [0, 1]");
+            assert!(
+                (0.0..=1.0).contains(&pm),
+                "mutation probability must be in [0, 1]"
+            );
         }
         Self { evaluator, config }
     }
@@ -469,8 +472,16 @@ mod tests {
             .points()
             .iter()
             .any(|p| p.allocation.counts() == vec![1; 6]);
-        assert!(has_frugal, "front lacks [1,1,1,1,1,1]: {:?}",
-            outcome.front.points().iter().map(|p| p.allocation.counts()).collect::<Vec<_>>());
+        assert!(
+            has_frugal,
+            "front lacks [1,1,1,1,1,1]: {:?}",
+            outcome
+                .front
+                .points()
+                .iter()
+                .map(|p| p.allocation.counts())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

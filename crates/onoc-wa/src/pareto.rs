@@ -1,6 +1,6 @@
 //! Pareto dominance, fronts and quality indicators.
 
-use crate::{Allocation, Objectives, ObjectiveSet};
+use crate::{Allocation, ObjectiveSet, Objectives};
 
 /// Returns `true` if objective vector `a` Pareto-dominates `b`
 /// (minimisation): `a` is no worse everywhere and strictly better somewhere.
@@ -100,11 +100,13 @@ impl ParetoFront {
         let scored = allocations
             .into_iter()
             .filter_map(|allocation| {
-                evaluator.evaluate(&allocation).map(|objectives| FrontPoint {
-                    values: objectives.values(set),
-                    objectives,
-                    allocation,
-                })
+                evaluator
+                    .evaluate(&allocation)
+                    .map(|objectives| FrontPoint {
+                        values: objectives.values(set),
+                        objectives,
+                        allocation,
+                    })
             })
             .collect();
         Self::from_points(scored)
@@ -228,8 +230,7 @@ mod tests {
 
     #[test]
     fn front_deduplicates_objective_space() {
-        let front =
-            ParetoFront::from_points(vec![point(vec![1.0, 5.0]), point(vec![1.0, 5.0])]);
+        let front = ParetoFront::from_points(vec![point(vec![1.0, 5.0]), point(vec![1.0, 5.0])]);
         assert_eq!(front.len(), 1);
     }
 
@@ -248,7 +249,11 @@ mod tests {
             let _ = incremental.insert(point(v));
         }
         let a: Vec<_> = batch.points().iter().map(|p| p.values.clone()).collect();
-        let b: Vec<_> = incremental.points().iter().map(|p| p.values.clone()).collect();
+        let b: Vec<_> = incremental
+            .points()
+            .iter()
+            .map(|p| p.values.clone())
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -279,8 +284,7 @@ mod tests {
 
     #[test]
     fn hypervolume_staircase() {
-        let front =
-            ParetoFront::from_points(vec![point(vec![1.0, 2.0]), point(vec![2.0, 1.0])]);
+        let front = ParetoFront::from_points(vec![point(vec![1.0, 2.0]), point(vec![2.0, 1.0])]);
         // (1,2): (3-1)*(3-2)=2 ; (2,1): (3-2)*(2-1)=1 → 3.
         assert!((front.hypervolume_2d([3.0, 3.0]) - 3.0).abs() < 1e-12);
     }

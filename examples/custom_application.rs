@@ -90,11 +90,7 @@ fn main() {
         );
     }
 
-    let schedule = Schedule::new(
-        instance.app().graph(),
-        instance.options().rate,
-    )
-    .unwrap();
+    let schedule = Schedule::new(instance.app().graph(), instance.options().rate).unwrap();
     println!(
         "\nZero-communication lower bound: {:.1} kcc",
         schedule.min_makespan().to_kilocycles()

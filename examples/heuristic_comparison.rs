@@ -5,8 +5,8 @@
 //! cargo run --example heuristic_comparison
 //! ```
 
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 use ring_wdm_onoc::prelude::*;
 use ring_wdm_onoc::wa::heuristics;
 
@@ -34,7 +34,9 @@ fn main() {
         "heuristic", "exec (kcc)", "energy (fJ/bit)", "log10(BER)"
     );
     for (name, allocation) in &baselines {
-        let o = evaluator.evaluate(allocation).expect("heuristics are valid");
+        let o = evaluator
+            .evaluate(allocation)
+            .expect("heuristics are valid");
         println!(
             "{:<18}{:>12.2}{:>16.2}{:>12.3}   {:?}",
             name,

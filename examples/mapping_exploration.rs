@@ -6,7 +6,7 @@
 //! ```
 
 use ring_wdm_onoc::prelude::*;
-use ring_wdm_onoc::wa::mapping_search::{optimize_mapping, MappingSearchConfig};
+use ring_wdm_onoc::wa::mapping_search::{MappingSearchConfig, optimize_mapping};
 
 fn main() {
     let arch = OnocArchitecture::paper_architecture(8);

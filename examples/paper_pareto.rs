@@ -26,7 +26,10 @@ fn main() {
     let nsga2 = Nsga2::new(&evaluator, config);
     let outcome = nsga2.run_with_observer(|generation, front| {
         if generation % 20 == 0 {
-            println!("  generation {generation:>3}: {} points on the front", front.len());
+            println!(
+                "  generation {generation:>3}: {} points on the front",
+                front.len()
+            );
         }
     });
 

@@ -1,0 +1,76 @@
+//! Generate synthetic traffic, drive it open loop, and sweep to
+//! saturation — the workflow the `onoc-traffic` crate adds on top of the
+//! paper's closed-loop task-graph evaluation.
+//!
+//! Run with `cargo run --release --example synthetic_traffic`.
+
+use ring_wdm_onoc::prelude::*;
+use ring_wdm_onoc::sim::DynamicPolicy;
+use ring_wdm_onoc::traffic::OnOffConfig;
+
+fn main() {
+    // 1. One workload: bursty uniform-random traffic on the paper's ring.
+    let config = TrafficConfig {
+        burstiness: Some(OnOffConfig::default_bursty()),
+        ..TrafficConfig::paper_ring(TrafficPattern::UniformRandom, 0.02, 42)
+    };
+    let trace = generate(&config);
+    println!(
+        "generated {} messages over {} cycles (mean offered load {:.1} bits/cycle)",
+        trace.len(),
+        config.horizon,
+        config.offered_load()
+    );
+
+    // 2. Drive it through the open-loop simulator on an 8-λ comb.
+    let sim = OpenLoopSimulator::new(
+        ring_wdm_onoc::topology::RingTopology::new(16),
+        8,
+        BitsPerCycle::new(1.0),
+        WavelengthMode::Dynamic(DynamicPolicy::Single),
+    );
+    let report = sim.run(trace.source()).expect("generated traces are valid");
+    let latency = report.latency();
+    println!(
+        "delivered {} messages: latency mean {:.0} / p50 {:.0} / p99 {:.0} cycles, \
+         {} queued, comb occupancy {:.2}%",
+        report.records.len(),
+        latency.mean,
+        latency.p50,
+        latency.p99,
+        report.blocked_attempts,
+        report.mean_wavelength_occupancy() * 100.0
+    );
+
+    // The three busiest flows by p99 latency.
+    let mut flows = report.latency_by_flow();
+    flows.sort_by(|a, b| b.1.p99.total_cmp(&a.1.p99));
+    for ((src, dst), stats) in flows.iter().take(3) {
+        println!(
+            "  hottest flow {src}→{dst}: {} msgs, p99 {:.0} cycles",
+            stats.count, stats.p99
+        );
+    }
+
+    // 3. Sweep the full pattern panel to saturation on 4 worker threads.
+    let grid = SweepGrid {
+        horizon: 5_000,
+        ..SweepGrid::saturation_default(42)
+    };
+    let outcome = run_sweep(&grid, 4);
+    println!(
+        "\nsaturation sweep: {} scenarios on {} workers",
+        outcome.results.len(),
+        outcome.workers_used
+    );
+    for r in &outcome.results {
+        if r.scenario.injection_rate == 0.16 {
+            println!(
+                "  {:>16} at rate 0.16: mean latency {:>8.1} cycles, accepted {:>6.1} bits/cycle",
+                r.scenario.pattern.name(),
+                r.latency.mean,
+                r.accepted_throughput
+            );
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`topology`] — the ring-based ONoC architecture, routing and the
 //!   per-wavelength receiver-spectrum engine,
 //! * [`app`] — task graphs, mappings and the communication-aware schedule,
-//! * [`sim`] — a cycle-level discrete-event simulator of the ring,
+//! * [`sim`] — cycle-level discrete-event simulators of the ring
+//!   (closed-loop task graphs and open-loop injected traffic),
+//! * [`traffic`] — synthetic traffic patterns, seeded trace generation and
+//!   the parallel saturation-sweep runner,
 //! * [`wa`] — the paper's contribution: multi-objective wavelength
 //!   allocation (NSGA-II), validity constraints, objectives, heuristic
 //!   baselines, exhaustive oracles and the mapping-search extension.
@@ -39,6 +42,7 @@ pub use onoc_app as app;
 pub use onoc_photonics as photonics;
 pub use onoc_sim as sim;
 pub use onoc_topology as topology;
+pub use onoc_traffic as traffic;
 pub use onoc_units as units;
 pub use onoc_wa as wa;
 
@@ -46,10 +50,15 @@ pub use onoc_wa as wa;
 pub mod prelude {
     pub use onoc_app::{MappedApplication, Mapping, RouteStrategy, Schedule, TaskGraph};
     pub use onoc_photonics::{BerConvention, LossParams, MicroRing, Vcsel, WavelengthGrid};
-    pub use onoc_sim::{SimReport, Simulator};
+    pub use onoc_sim::{
+        LatencyStats, OpenLoopReport, OpenLoopSimulator, SimReport, Simulator, TrafficEvent,
+        TrafficSource, WavelengthMode,
+    };
     pub use onoc_topology::{
-        CrosstalkModel, Direction, NodeId, OnocArchitecture, RingPath, SpectrumEngine,
-        Transmission,
+        CrosstalkModel, Direction, NodeId, OnocArchitecture, RingPath, SpectrumEngine, Transmission,
+    };
+    pub use onoc_traffic::{
+        SweepGrid, TrafficConfig, TrafficPattern, TrafficTrace, generate, run_sweep,
     };
     pub use onoc_units::{
         Bits, BitsPerCycle, Cycles, DbMilliwatts, Decibels, Femtojoules, Milliwatts, Nanometers,

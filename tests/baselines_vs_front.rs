@@ -1,8 +1,8 @@
 //! The classical heuristics are sanity baselines: valid, reproducible and
 //! never better than the exhaustive Pareto front.
 
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 use ring_wdm_onoc::prelude::*;
 use ring_wdm_onoc::wa::{dominates, exhaustive, heuristics};
 
@@ -38,15 +38,19 @@ fn heuristics_never_beat_the_exhaustive_time_optimum() {
 fn heuristics_never_dominate_the_gene_level_front() {
     // On an instance small enough for full gene-space enumeration the
     // oracle front is exact in all objectives.
-    use ring_wdm_onoc::app::{workloads, MappedApplication, Mapping, RouteStrategy};
+    use ring_wdm_onoc::app::{MappedApplication, Mapping, RouteStrategy, workloads};
     use ring_wdm_onoc::topology::RingTopology;
     use ring_wdm_onoc::units::{Bits, Cycles};
 
     let graph = workloads::pipeline(3, Cycles::new(200.0), Bits::new(600.0));
     let mapping = Mapping::new(&graph, vec![NodeId(0), NodeId(1), NodeId(3)]).unwrap();
-    let app =
-        MappedApplication::new(graph, mapping, RingTopology::new(4), RouteStrategy::Shortest)
-            .unwrap();
+    let app = MappedApplication::new(
+        graph,
+        mapping,
+        RingTopology::new(4),
+        RouteStrategy::Shortest,
+    )
+    .unwrap();
     let arch = OnocArchitecture::builder()
         .grid_dimensions(2, 2)
         .wavelengths(4)

@@ -1,8 +1,8 @@
 //! Reproducibility: every stochastic component is exactly deterministic
 //! under a fixed seed, and deterministic components are pure.
 
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 use ring_wdm_onoc::prelude::*;
 use ring_wdm_onoc::wa::{heuristics, mapping_search};
 
@@ -35,14 +35,19 @@ fn ga_runs_are_bit_identical_per_seed() {
     assert_eq!(run(123), run(123));
     let (front_a, _) = run(123);
     let (front_b, _) = run(124);
-    assert_ne!(front_a, front_b, "different seeds should explore differently");
+    assert_ne!(
+        front_a, front_b,
+        "different seeds should explore differently"
+    );
 }
 
 #[test]
 fn evaluation_is_pure() {
     let instance = ProblemInstance::paper_with_wavelengths(12);
     let evaluator = instance.evaluator();
-    let alloc = instance.allocation_from_counts(&[2, 8, 6, 6, 4, 7]).unwrap();
+    let alloc = instance
+        .allocation_from_counts(&[2, 8, 6, 6, 4, 7])
+        .unwrap();
     let a = evaluator.evaluate(&alloc).unwrap();
     let b = evaluator.evaluate(&alloc).unwrap();
     assert_eq!(a, b);
@@ -76,7 +81,9 @@ fn mapping_search_is_seed_deterministic() {
 #[test]
 fn simulator_is_pure() {
     let instance = ProblemInstance::paper_with_wavelengths(8);
-    let alloc = instance.allocation_from_counts(&[3, 4, 8, 5, 3, 8]).unwrap();
+    let alloc = instance
+        .allocation_from_counts(&[3, 4, 8, 5, 3, 8])
+        .unwrap();
     let run = || {
         Simulator::new(instance.app(), &alloc, instance.options().rate)
             .unwrap()
@@ -96,4 +103,68 @@ fn workload_generators_are_seed_deterministic() {
     let ma = workloads::random_mapping(&mut StdRng::seed_from_u64(5), 6, 16);
     let mb = workloads::random_mapping(&mut StdRng::seed_from_u64(5), 6, 16);
     assert_eq!(ma, mb);
+}
+
+#[test]
+fn dynamic_simulator_is_pure() {
+    use ring_wdm_onoc::sim::{DynamicPolicy, DynamicSimulator};
+
+    let instance = ProblemInstance::paper_with_wavelengths(8);
+    let run = || {
+        DynamicSimulator::new(
+            instance.app(),
+            8,
+            instance.options().rate,
+            DynamicPolicy::Greedy { cap: 4 },
+        )
+        .run()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn traffic_traces_are_seed_deterministic() {
+    let config = TrafficConfig::paper_ring(TrafficPattern::UniformRandom, 0.02, 11);
+    assert_eq!(generate(&config), generate(&config));
+    let reseeded = TrafficConfig {
+        seed: 12,
+        ..config.clone()
+    };
+    assert_ne!(generate(&config), generate(&reseeded));
+}
+
+#[test]
+fn open_loop_reports_are_pure() {
+    use ring_wdm_onoc::sim::DynamicPolicy;
+    use ring_wdm_onoc::topology::RingTopology;
+
+    let config = TrafficConfig::paper_ring(TrafficPattern::BitReversal, 0.03, 5);
+    let trace = generate(&config);
+    let sim = OpenLoopSimulator::new(
+        RingTopology::new(16),
+        8,
+        BitsPerCycle::new(1.0),
+        WavelengthMode::Dynamic(DynamicPolicy::Single),
+    );
+    let a = sim.run(trace.source()).unwrap();
+    let b = sim.run(trace.source()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sweeps_are_identical_across_thread_counts() {
+    use ring_wdm_onoc::traffic::run_sweep;
+
+    let grid = SweepGrid {
+        injection_rates: vec![0.005, 0.02],
+        horizon: 2_000,
+        ..SweepGrid::saturation_default(33)
+    };
+    let serial = run_sweep(&grid, 1);
+    let parallel = run_sweep(&grid, 3);
+    let more_parallel = run_sweep(&grid, 7);
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(parallel.results, more_parallel.results);
+    // And the whole sweep is a pure function of the grid.
+    assert_eq!(parallel.results, run_sweep(&grid, 3).results);
 }

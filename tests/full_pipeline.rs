@@ -3,7 +3,11 @@
 
 use ring_wdm_onoc::prelude::*;
 
-fn quick_ga(instance: &ProblemInstance, set: ObjectiveSet, seed: u64) -> ring_wdm_onoc::wa::Nsga2Outcome {
+fn quick_ga(
+    instance: &ProblemInstance,
+    set: ObjectiveSet,
+    seed: u64,
+) -> ring_wdm_onoc::wa::Nsga2Outcome {
     let evaluator = instance.evaluator();
     Nsga2::new(
         &evaluator,
@@ -54,7 +58,10 @@ fn front_improves_with_more_wavelengths() {
     };
     let (b4, b8, b12) = (best(4), best(8), best(12));
     assert!(b8 < b4, "8λ ({b8}) should beat 4λ ({b4})");
-    assert!(b12 <= b8 + 0.5, "12λ ({b12}) should not regress vs 8λ ({b8})");
+    assert!(
+        b12 <= b8 + 0.5,
+        "12λ ({b12}) should not regress vs 8λ ({b8})"
+    );
     // And everything is bounded below by the 20 kcc asymptote.
     assert!(b12 >= 20.0);
 }
@@ -72,9 +79,11 @@ fn three_objective_front_covers_two_objective_fronts() {
         exhaustive::enumerate_count_vectors(&instance, &evaluator, ObjectiveSet::TimeEnergyBer);
     for p in te.front.points() {
         let v3 = p.objectives.values(ObjectiveSet::TimeEnergyBer);
-        let covered = teb.front.points().iter().any(|q| {
-            q.values == v3 || !ring_wdm_onoc::wa::dominates(&v3, &q.values)
-        });
+        let covered = teb
+            .front
+            .points()
+            .iter()
+            .any(|q| q.values == v3 || !ring_wdm_onoc::wa::dominates(&v3, &q.values));
         assert!(covered);
         // Stronger: no 3-objective front point strictly dominates a
         // 2-objective-front point in the 3-objective space.
@@ -82,8 +91,7 @@ fn three_objective_front_covers_two_objective_fronts() {
             !teb.front
                 .points()
                 .iter()
-                .any(|q| ring_wdm_onoc::wa::dominates(&q.values, &v3)
-                    && q.values[0] != v3[0]),
+                .any(|q| ring_wdm_onoc::wa::dominates(&q.values, &v3) && q.values[0] != v3[0]),
         );
     }
 }
@@ -111,9 +119,10 @@ fn archive_front_dominates_final_population_front() {
     // The archive saw everything the final population saw (same seed ⇒
     // identical evolution), so its front must weakly cover the other.
     for p in without.front.points() {
-        let covered = with_archive.front.points().iter().any(|q| {
-            q.values == p.values || ring_wdm_onoc::wa::dominates(&q.values, &p.values)
-        });
+        let covered =
+            with_archive.front.points().iter().any(|q| {
+                q.values == p.values || ring_wdm_onoc::wa::dominates(&q.values, &p.values)
+            });
         assert!(covered, "population point {:?} not covered", p.values);
     }
 }
@@ -124,7 +133,9 @@ fn evaluator_and_manual_composition_agree() {
     use ring_wdm_onoc::topology::{SpectrumEngine, Transmission};
     let instance = ProblemInstance::paper_with_wavelengths(8);
     let evaluator = instance.evaluator();
-    let alloc = instance.allocation_from_counts(&[2, 3, 4, 3, 2, 4]).unwrap();
+    let alloc = instance
+        .allocation_from_counts(&[2, 3, 4, 3, 2, 4])
+        .unwrap();
     let objectives = evaluator.evaluate(&alloc).unwrap();
 
     // Manual schedule.

@@ -24,11 +24,12 @@ fn ber_is_insensitive_to_comb_size_for_frugal_allocations() {
         let alloc = instance.allocation_from_counts(&[1; 6]).unwrap();
         bers.push(evaluator.evaluate(&alloc).unwrap().avg_log_ber);
     }
-    let spread = bers
-        .iter()
-        .fold(f64::NEG_INFINITY, |m, &b| m.max(b))
+    let spread = bers.iter().fold(f64::NEG_INFINITY, |m, &b| m.max(b))
         - bers.iter().fold(f64::INFINITY, |m, &b| m.min(b));
-    assert!(spread < 0.4, "frugal BER varies too much across NW: {bers:?}");
+    assert!(
+        spread < 0.4,
+        "frugal BER varies too much across NW: {bers:?}"
+    );
 }
 
 #[test]
@@ -38,7 +39,9 @@ fn dense_crosstalk_is_a_material_fraction_of_the_noise() {
     // still be a material fraction of it — that modulation is exactly what
     // separates the BER endpoints of Fig. 6(b).
     let instance = ProblemInstance::paper_with_wavelengths(8);
-    let alloc = instance.allocation_from_counts(&[4, 4, 8, 4, 4, 8]).unwrap();
+    let alloc = instance
+        .allocation_from_counts(&[4, 4, 8, 4, 4, 8])
+        .unwrap();
     let app = instance.app();
     let traffic: Vec<Transmission> = app
         .graph()
@@ -172,7 +175,11 @@ fn path_loss_grows_with_distance_and_stack_depth() {
         vec![grid.channel(0).unwrap()],
     )];
     let loss = |traffic: &Vec<Transmission>| {
-        SpectrumEngine::new(arch, traffic).unwrap().analyze().unwrap()[0].path_loss
+        SpectrumEngine::new(arch, traffic)
+            .unwrap()
+            .analyze()
+            .unwrap()[0]
+            .path_loss
     };
     assert!(loss(&long).value() < loss(&short).value());
 }

@@ -21,7 +21,11 @@ fn frugal_allocation_anchor() {
     // Paper Fig. 6: rightmost point at ≈40 kcc; the reconstruction gives 38.
     assert_eq!(o.exec_time.to_kilocycles(), 38.0);
     // Energy calibration: ≈3.5 fJ/bit.
-    assert!((2.5..=5.0).contains(&o.bit_energy.value()), "{}", o.bit_energy);
+    assert!(
+        (2.5..=5.0).contains(&o.bit_energy.value()),
+        "{}",
+        o.bit_energy
+    );
     // Canonical packing puts c0/c1 on adjacent channels: decent BER.
     assert!((-3.85..=-3.2).contains(&o.avg_log_ber), "{}", o.avg_log_ber);
 
@@ -105,10 +109,17 @@ fn energy_spans_the_figure_6a_band() {
         .unwrap()
         .bit_energy;
     let rich = evaluator
-        .evaluate(&instance.allocation_from_counts(&[2, 8, 6, 6, 4, 7]).unwrap())
+        .evaluate(
+            &instance
+                .allocation_from_counts(&[2, 8, 6, 6, 4, 7])
+                .unwrap(),
+        )
         .unwrap()
         .bit_energy;
-    assert!(rich.value() / frugal.value() > 1.4, "span {frugal} … {rich} too flat");
+    assert!(
+        rich.value() / frugal.value() > 1.4,
+        "span {frugal} … {rich} too flat"
+    );
     assert!(rich.value() < 20.0, "dense point {rich} unreasonably high");
 }
 
@@ -144,7 +155,10 @@ fn paper_chromosome_notation_roundtrip() {
     // §III-D's worked example: [1000/0001/0001/0001/1000/1000] on 4 λ is a
     // valid allocation of one wavelength per communication.
     let instance = ProblemInstance::paper_with_wavelengths(4);
-    let genes: Vec<bool> = "100000010001000110001000".chars().map(|c| c == '1').collect();
+    let genes: Vec<bool> = "100000010001000110001000"
+        .chars()
+        .map(|c| c == '1')
+        .collect();
     let alloc = Allocation::from_genes(genes, 4).unwrap();
     assert_eq!(alloc.to_string(), "[1000/0001/0001/0001/1000/1000]");
     assert!(instance.checker().is_valid(&alloc));

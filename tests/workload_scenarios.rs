@@ -2,9 +2,9 @@
 //! application — the generators must compose with mapping, allocation,
 //! optimisation and simulation.
 
-use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ring_wdm_onoc::app::{workloads, MappedApplication, Mapping, RouteStrategy};
+use rand::rngs::StdRng;
+use ring_wdm_onoc::app::{MappedApplication, Mapping, RouteStrategy, workloads};
 use ring_wdm_onoc::prelude::*;
 use ring_wdm_onoc::topology::RingTopology;
 use ring_wdm_onoc::wa::heuristics;

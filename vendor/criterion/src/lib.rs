@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements the subset of the criterion API the workspace's benches
+//! use: [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`Throughput`], `sample_size`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical pipeline it reports the
+//! median and minimum wall-clock time per iteration over a fixed number
+//! of samples — enough to compare orders of magnitude and track
+//! regressions by eye.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    #[must_use]
+    pub fn new(function: impl Into<String>, parameter: impl core::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+impl core::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A set of benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    /// Recorded only for API compatibility; the stub reports raw times.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark that closes over an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up sample, then the recorded ones.
+        for sample in 0..=self.sample_size {
+            let mut bencher = Bencher {
+                per_iter: Duration::ZERO,
+            };
+            f(&mut bencher);
+            if sample > 0 {
+                samples.push(bencher.per_iter);
+            }
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        println!(
+            "  {}/{}: median {:?}  min {:?}  ({} samples)",
+            self.name,
+            id,
+            median,
+            min,
+            samples.len()
+        );
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over an adaptively chosen iteration count.
+#[derive(Debug)]
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate the iteration count towards ~5 ms per sample.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.per_iter = start.elapsed() / iters as u32;
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from one or more group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements the subset of the proptest API the workspace uses:
+//! the [`proptest!`] macro over `param in strategy` arguments, range and
+//! [`collection::vec`] strategies, [`any::<bool>()`](any) and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`
+//! macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports the
+//! sampled inputs verbatim), and each test runs a fixed 96 cases from a
+//! seed derived from the test name, so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+/// Strategies for generating values.
+pub mod strategy {
+    use core::ops::{Range, RangeInclusive};
+    use rand::{Rng, RngCore};
+
+    /// A recipe for sampling random values of `Self::Value`.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+
+        /// Draws one value.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample<R: RngCore>(&self, rng: &mut R) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample<R: RngCore>(&self, rng: &mut R) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8, f64, f32);
+
+    /// Strategy produced by [`crate::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self(core::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample<R: RngCore>(&self, rng: &mut R) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample<R: RngCore>(&self, _rng: &mut R) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Generates an arbitrary value of `T` (only `bool` is needed here).
+#[must_use]
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use core::ops::Range;
+    use rand::{Rng, RngCore};
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a strategy producing vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample<R: RngCore>(&self, rng: &mut R) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The engine behind the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Outcome of one generated test case.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; the case is skipped, not failed.
+        Reject,
+        /// A `prop_assert*!` failed with this message.
+        Fail(String),
+    }
+
+    /// Cases per property; fixed so runtimes stay predictable.
+    pub const CASES: u32 = 96;
+
+    /// Derives a deterministic per-test generator from the test's name
+    /// (FNV-1a over the bytes), so every run replays the same inputs.
+    #[must_use]
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` consumer expects.
+pub mod prelude {
+    pub use crate::collection as prop_collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    /// Upstream's `prop::` alias for nested strategy modules.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests: each `param in strategy` argument is sampled
+/// per case and the body re-runs for a fixed number of cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($param:ident in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for case in 0..$crate::test_runner::CASES {
+                $(let $param = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                // Rendered before the body runs: the body may consume the
+                // sampled values, and failures must still describe them.
+                let inputs =
+                    [$(format!("{} = {:?}", stringify!($param), $param)),+].join(", ");
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                        "property {} failed at case {case}: {msg}\ninputs: {inputs}",
+                        stringify!($name),
+                    ),
+                }
+            }
+        }
+    )+};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless the two sides compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 1usize..10, y in 0.0f64..1.0) {
+            prop_assert!(x >= 1 && x < 10);
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x > 4);
+            prop_assert!(x > 4, "assume must filter, got {x}");
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(any::<bool>(), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn fixed_size_vec(v in crate::collection::vec(0u32..5, 4)) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sample = |_: ()| {
+            let mut rng = crate::test_runner::rng_for("runs_are_deterministic");
+            crate::strategy::Strategy::sample(&(0u64..1_000_000), &mut rng)
+        };
+        assert_eq!(sample(()), sample(()));
+    }
+}
