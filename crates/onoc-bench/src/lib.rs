@@ -1,117 +1,18 @@
-//! Shared plumbing for the figure/table regeneration binaries.
+//! Criterion micro-benchmarks for the workspace, plus compatibility
+//! re-exports of the experiment plumbing that used to live here.
 //!
-//! Every binary in `src/bin` regenerates one artefact of the paper
-//! (see DESIGN.md §5 for the experiment index) and prints both a
-//! human-readable table and machine-readable CSV. Full paper-scale GA runs
-//! (population 400 × 300 generations) take a few minutes; set
-//! `ONOC_BENCH_SCALE=quick` (or pass `--quick`) to run a reduced
-//! configuration that preserves the qualitative shape.
+//! The 15 figure/table regeneration binaries this crate once carried are
+//! gone: every experiment is now a named entry in the `onoc-exp` registry,
+//! run through the single `onoc` CLI (`onoc list`, `onoc run fig6a
+//! --quick`, `onoc run --spec scenario.toml`). Scale resolution, CSV
+//! fencing and count formatting all live in `onoc-exp`; the re-exports
+//! below keep old `onoc_bench::…` call sites compiling.
 
-use onoc_wa::{Nsga2Config, ObjectiveSet};
+pub use onoc_exp::Scale;
+pub use onoc_exp::artifact::paper_counts;
 
-/// How large the GA runs should be.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// The paper's configuration: population 400, 300 generations.
-    Paper,
-    /// A reduced configuration for smoke runs: population 120, 60
-    /// generations.
-    Quick,
-}
-
-impl Scale {
-    /// Resolves the scale from the process arguments (`--quick`) and the
-    /// `ONOC_BENCH_SCALE` environment variable (`quick` / `paper`).
-    /// Defaults to [`Scale::Paper`].
-    #[must_use]
-    pub fn from_env_and_args() -> Self {
-        let arg_quick = std::env::args().any(|a| a == "--quick");
-        let env_quick = std::env::var("ONOC_BENCH_SCALE")
-            .map(|v| v.eq_ignore_ascii_case("quick"))
-            .unwrap_or(false);
-        if arg_quick || env_quick {
-            Scale::Quick
-        } else {
-            Scale::Paper
-        }
-    }
-
-    /// The NSGA-II configuration for this scale.
-    #[must_use]
-    pub fn ga_config(self, objectives: ObjectiveSet, seed: u64) -> Nsga2Config {
-        match self {
-            Scale::Paper => Nsga2Config {
-                population_size: 400,
-                generations: 300,
-                objectives,
-                seed,
-                ..Nsga2Config::default()
-            },
-            Scale::Quick => Nsga2Config {
-                population_size: 120,
-                generations: 60,
-                objectives,
-                seed,
-                ..Nsga2Config::default()
-            },
-        }
-    }
-}
-
-impl core::fmt::Display for Scale {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            Scale::Paper => write!(f, "paper (pop 400 × 300 gen)"),
-            Scale::Quick => write!(f, "quick (pop 120 × 60 gen)"),
-        }
-    }
-}
-
-/// Returns the value following a `--flag value` pair in the process
-/// arguments, or `None` if the flag is absent or dangling.
-#[must_use]
-pub fn arg_value(name: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == name {
-            return args.next();
-        }
-    }
-    None
-}
-
-/// Parses `--seed N` from the process arguments, defaulting to the
-/// paper's year.
-///
-/// # Panics
-///
-/// Panics if the value is not a `u64`.
-#[must_use]
-pub fn seed_arg() -> u64 {
-    arg_value("--seed").map_or(2017, |v| v.parse().expect("--seed takes a u64"))
-}
-
-/// Parses `--threads N` from the process arguments. The default uses the
-/// available parallelism clamped to `[2, 8]` — at least two workers even
-/// on single-CPU boxes, so parallel sweeps stay demonstrably parallel.
-///
-/// # Panics
-///
-/// Panics if the value is not a positive integer.
-#[must_use]
-pub fn threads_arg() -> usize {
-    arg_value("--threads").map_or_else(
-        || {
-            std::thread::available_parallelism()
-                .map(std::num::NonZero::get)
-                .unwrap_or(4)
-                .clamp(2, 8)
-        },
-        |v| v.parse().expect("--threads takes a positive integer"),
-    )
-}
-
-/// Prints a CSV block, fenced so it is easy to extract with standard tools.
+/// Prints a CSV block, fenced so it is easy to extract with standard
+/// tools (compatibility wrapper over [`onoc_exp::Table`]'s fencing).
 pub fn print_csv(name: &str, header: &str, rows: &[String]) {
     println!("--- begin csv: {name} ---");
     println!("{header}");
@@ -121,23 +22,13 @@ pub fn print_csv(name: &str, header: &str, rows: &[String]) {
     println!("--- end csv: {name} ---");
 }
 
-/// Formats a count vector the way the paper annotates Fig. 6:
-/// `[ 2. 8. 6. 6. 4. 7.]`.
-#[must_use]
-pub fn paper_counts(counts: &[usize]) -> String {
-    let inner: Vec<String> = counts.iter().map(|c| format!("{c}.")).collect();
-    format!("[ {}]", inner.join(" "))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use onoc_wa::ObjectiveSet;
 
     #[test]
-    fn scales_produce_expected_configs() {
-        let paper = Scale::Paper.ga_config(ObjectiveSet::TimeEnergy, 1);
-        assert_eq!(paper.population_size, 400);
-        assert_eq!(paper.generations, 300);
+    fn scale_reexport_is_the_exp_scale() {
         let quick = Scale::Quick.ga_config(ObjectiveSet::TimeBer, 2);
         assert_eq!(quick.population_size, 120);
         assert_eq!(quick.objectives, ObjectiveSet::TimeBer);

@@ -1,0 +1,361 @@
+//! Structured experiment output: tables, narrative blocks and reports.
+//!
+//! Every experiment returns a [`Report`] instead of printing ad hoc. The
+//! renderer reproduces the presentation contract of the former per-binary
+//! `println!` plumbing — aligned human-readable tables followed by fenced
+//! machine-readable CSV blocks (`--- begin csv: <name> ---`) that existing
+//! extraction tooling already understands — and adds a JSON form built on
+//! [`Value`].
+
+use crate::value::Value;
+
+/// A named table artifact: one CSV block plus its aligned text rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    csv_only: bool,
+}
+
+impl Table {
+    /// Creates an empty table with the given CSV header columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Self {
+            name: name.into(),
+            columns: columns.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+            csv_only: false,
+        }
+    }
+
+    /// Marks the table as machine-readable only: the report renderer
+    /// skips its aligned text view and emits just the fenced CSV block
+    /// (for bulk artifacts like the Fig. 7 solution cloud).
+    #[must_use]
+    pub fn csv_only(mut self) -> Self {
+        self.csv_only = true;
+        self
+    }
+
+    /// Whether the aligned text view is suppressed.
+    #[must_use]
+    pub fn is_csv_only(&self) -> bool {
+        self.csv_only
+    }
+
+    /// The artifact name (CSV fence label).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column names.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "table {:?} expects {} cells per row, got {}",
+            self.name,
+            self.columns.len(),
+            cells.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// The CSV header line.
+    #[must_use]
+    pub fn csv_header(&self) -> String {
+        self.columns.join(",")
+    }
+
+    /// One CSV line per row (cells joined verbatim — keep commas out of
+    /// cell values).
+    #[must_use]
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.rows.iter().map(|r| r.join(",")).collect()
+    }
+
+    /// The fenced CSV block (`--- begin csv: <name> ---` … `--- end … ---`).
+    #[must_use]
+    pub fn fenced_csv(&self) -> String {
+        let mut out = format!("--- begin csv: {} ---\n{}\n", self.name, self.csv_header());
+        for row in self.csv_rows() {
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out.push_str(&format!("--- end csv: {} ---\n", self.name));
+        out
+    }
+
+    /// Aligned text rendering: first column left-aligned, the rest
+    /// right-aligned, two spaces between columns.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].chars().count())
+                    .chain(std::iter::once(c.chars().count()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        let render_line = |out: &mut String, cells: &[String]| {
+            for (i, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = width.saturating_sub(cell.chars().count());
+                if i == 0 {
+                    out.push_str(cell);
+                    if cells.len() > 1 {
+                        out.push_str(&" ".repeat(pad));
+                    }
+                } else {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_line(&mut out, &self.columns);
+        for row in &self.rows {
+            render_line(&mut out, row);
+        }
+        out
+    }
+
+    /// The JSON-able document form (`{name, columns, rows}`).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("name", self.name.as_str());
+        t.insert(
+            "columns",
+            Value::Array(self.columns.iter().map(|c| c.as_str().into()).collect()),
+        );
+        t.insert(
+            "rows",
+            Value::Array(
+                self.rows
+                    .iter()
+                    .map(|r| Value::Array(r.iter().map(|c| c.as_str().into()).collect()))
+                    .collect(),
+            ),
+        );
+        t
+    }
+}
+
+/// One ordered piece of a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// Free-form narrative (printed verbatim).
+    Text(String),
+    /// A table artifact (printed aligned; CSV emitted at the end).
+    Table(Table),
+}
+
+/// A complete experiment outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Headline printed first.
+    pub title: String,
+    /// Narrative and tables, in presentation order.
+    pub blocks: Vec<Block>,
+}
+
+impl Report {
+    /// An empty report with a title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Appends a narrative block.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.blocks.push(Block::Text(text.into()));
+    }
+
+    /// Appends a table artifact.
+    pub fn push_table(&mut self, table: Table) {
+        self.blocks.push(Block::Table(table));
+    }
+
+    /// Every table, in order.
+    #[must_use]
+    pub fn tables(&self) -> Vec<&Table> {
+        self.blocks
+            .iter()
+            .filter_map(|b| match b {
+                Block::Table(t) => Some(t),
+                Block::Text(_) => None,
+            })
+            .collect()
+    }
+
+    /// Renders the human-readable view followed by every fenced CSV block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push_str("\n\n");
+        for block in &self.blocks {
+            match block {
+                Block::Text(text) => {
+                    out.push_str(text);
+                    out.push('\n');
+                }
+                Block::Table(table) => {
+                    if !table.is_csv_only() {
+                        out.push_str(&table.render_text());
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        for table in self.tables() {
+            out.push_str(&table.fenced_csv());
+        }
+        out
+    }
+
+    /// The JSON-able document form (`{title, tables}`; narrative blocks
+    /// are presentation-only).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("title", self.title.as_str());
+        t.insert(
+            "tables",
+            Value::Array(self.tables().iter().map(|t| t.to_value()).collect()),
+        );
+        t
+    }
+
+    /// The JSON rendering of [`Report::to_value`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+/// Formats a count vector the way the paper annotates Fig. 6:
+/// `[ 2. 8. 6. 6. 4. 7.]`.
+#[must_use]
+pub fn paper_counts(counts: &[usize]) -> String {
+    let inner: Vec<String> = counts.iter().map(|c| format!("{c}.")).collect();
+    format!("[ {}]", inner.join(" "))
+}
+
+/// Joins counts as a CSV-safe `a|b|c` cell.
+#[must_use]
+pub fn counts_cell(counts: &[usize]) -> String {
+    counts
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("demo", &["method", "exec_kcc", "energy_fj"]);
+        t.push_row(vec!["first-fit".into(), "38.00".into(), "3.51".into()]);
+        t.push_row(vec!["nsga-ii".into(), "23.80".into(), "7.80".into()]);
+        t
+    }
+
+    #[test]
+    fn csv_block_is_fenced_and_headed() {
+        let csv = table().fenced_csv();
+        assert!(csv.starts_with("--- begin csv: demo ---\nmethod,exec_kcc,energy_fj\n"));
+        assert!(csv.contains("first-fit,38.00,3.51\n"));
+        assert!(csv.ends_with("--- end csv: demo ---\n"));
+    }
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let text = table().render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Right-aligned numeric columns line up on their last character.
+        let col_end = lines[0].find("exec_kcc").unwrap() + "exec_kcc".len();
+        assert_eq!(&lines[1][col_end - 5..col_end], "38.00");
+        assert_eq!(&lines[2][col_end - 5..col_end], "23.80");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 3 cells")]
+    fn row_arity_is_enforced() {
+        table().push_row(vec!["too-short".into()]);
+    }
+
+    #[test]
+    fn report_renders_blocks_in_order_and_csv_last() {
+        let mut report = Report::new("Demo report");
+        report.push_text("Narrative first.");
+        report.push_table(table());
+        report.push_text("Reading: numbers go up.");
+        let rendered = report.render();
+        let narrative = rendered.find("Narrative first.").unwrap();
+        let table_pos = rendered.find("first-fit").unwrap();
+        let reading = rendered.find("Reading:").unwrap();
+        let csv = rendered.find("--- begin csv").unwrap();
+        assert!(narrative < table_pos && table_pos < reading && reading < csv);
+    }
+
+    #[test]
+    fn report_json_contains_tables() {
+        let mut report = Report::new("Demo");
+        report.push_table(table());
+        let v = Value::parse_json(&report.to_json()).unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("Demo"));
+        let tables = v.get("tables").unwrap().as_array().unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].get("name").unwrap().as_str(), Some("demo"));
+    }
+
+    #[test]
+    fn count_formatting_matches_paper_style() {
+        assert_eq!(paper_counts(&[2, 8, 6, 6, 4, 7]), "[ 2. 8. 6. 6. 4. 7.]");
+        assert_eq!(counts_cell(&[1, 2, 3]), "1|2|3");
+    }
+}

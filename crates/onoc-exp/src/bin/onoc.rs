@@ -1,0 +1,341 @@
+//! `onoc` — the single entry point to every experiment of the
+//! reproduction.
+//!
+//! ```console
+//! $ onoc list                        # the registry of named experiments
+//! $ onoc run fig6a --quick           # one named experiment, reduced GA
+//! $ onoc run --spec scenario.toml    # any declarative scenario file
+//! $ onoc sweep --rates 0.01,0.04     # ad-hoc open-loop saturation sweep
+//! ```
+//!
+//! Subcommands are thin lookups over [`onoc_exp::Registry`] and
+//! [`onoc_exp::run_spec`]; all experiment logic lives in the library.
+
+use onoc_exp::scenario::sweep_table;
+use onoc_exp::{Registry, Report, RunContext, Scale, ScenarioSpec, run_spec};
+use onoc_sim::DynamicPolicy;
+use onoc_topology::NodeId;
+use onoc_traffic::{OnOffConfig, SweepGrid, TrafficPattern, run_sweep};
+use onoc_units::Bits;
+
+const USAGE: &str = "onoc — experiments for the ring-WDM-ONoC reproduction
+
+USAGE:
+    onoc list                          list every named experiment
+    onoc run <name> [options]          run a named experiment
+    onoc run --spec <file> [options]   run a declarative scenario (TOML or JSON)
+    onoc sweep [options]               ad-hoc open-loop saturation sweep
+    onoc help                          this text
+
+OPTIONS (run, sweep):
+    --quick               reduced GA/horizon configuration (scale = quick)
+    --scale <s>           paper | quick | smoke          [default: paper]
+    --seed <n>            master seed                    [default: 2017]
+    --threads <n>         sweep worker threads           [default: cores, clamped 2..8]
+    --json                emit the report as JSON instead of text
+
+OPTIONS (sweep only):
+    --patterns <a,b,..>   uniform,transpose,bit-reversal,bit-complement,
+                          nearest-neighbor,hotspot       [default: panel]
+    --rates <r,r,..>      injection rates                [default: saturation ramp]
+    --wavelengths <n,..>  comb sizes                     [default: 8]
+    --rings <n,..>        ring sizes                     [default: 16]
+    --horizon <n>         injection window in cycles     [default: scale-dependent]
+    --message-bits <n>    message size in bits           [default: 512]
+    --bursty              Pareto ON-OFF bursty injection
+    --policy <p>          single | greedy:<cap>          [default: single]
+    --hotspots <n,..>     hotspot nodes (with a hotspot pattern) [default: 0]
+    --fraction <f>        hotspot traffic share          [default: 0.5]
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("help" | "--help" | "-h") | None => {
+            print!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n");
+            eprint!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+// ------------------------------------------------------------- helpers --
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn value_of(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed_value<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match value_of(args, name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("{name} could not parse {raw:?}")),
+    }
+}
+
+fn list_of<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<Vec<T>>, String> {
+    match value_of(args, name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<T>()
+                    .map_err(|_| format!("{name} could not parse {part:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+    }
+}
+
+fn context(args: &[String]) -> Result<RunContext, String> {
+    let scale = if flag(args, "--quick") {
+        Scale::Quick
+    } else if let Some(raw) = value_of(args, "--scale") {
+        Scale::from_name(&raw).ok_or_else(|| format!("unknown scale {raw:?}"))?
+    } else {
+        Scale::from_env_and_args()
+    };
+    let mut ctx = RunContext::new(scale);
+    if let Some(seed) = parsed_value::<u64>(args, "--seed")? {
+        ctx = ctx.with_seed(seed);
+    }
+    if let Some(threads) = parsed_value::<usize>(args, "--threads")? {
+        if threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        ctx = ctx.with_threads(threads);
+    }
+    Ok(ctx)
+}
+
+fn emit(report: &Report, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+}
+
+// ---------------------------------------------------------- subcommands --
+
+fn cmd_list() -> i32 {
+    let registry = Registry::standard();
+    let width = registry.names().iter().map(|n| n.len()).max().unwrap_or(0);
+    for exp in registry.iter() {
+        println!("{:<width$}  {}", exp.name(), exp.summary());
+    }
+    println!("\nrun one with `onoc run <name> [--quick]`, or bring a spec file:");
+    println!("  onoc run --spec examples/scenario.toml");
+    0
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let ctx = match context(args) {
+        Ok(ctx) => ctx,
+        Err(message) => {
+            eprintln!("{message}");
+            return 2;
+        }
+    };
+    let json = flag(args, "--json");
+
+    if let Some(path) = value_of(args, "--spec") {
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("could not read {path:?}: {e}");
+                return 1;
+            }
+        };
+        let parsed = if path.ends_with(".json") {
+            ScenarioSpec::from_json_str(&raw)
+        } else {
+            ScenarioSpec::from_toml_str(&raw)
+        };
+        let mut spec = match parsed {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return 1;
+            }
+        };
+        // CLI scale/seed flags override the file.
+        if flag(args, "--quick") || value_of(args, "--scale").is_some() {
+            spec.scale = ctx.scale;
+        }
+        if value_of(args, "--seed").is_some() {
+            spec.seed = ctx.seed;
+        }
+        return match run_spec(&spec, ctx.threads) {
+            Ok(report) => {
+                emit(&report, json);
+                0
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                1
+            }
+        };
+    }
+
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| {
+            !a.starts_with("--")
+                && (i == 0
+                    || !matches!(
+                        args[i - 1].as_str(),
+                        "--scale" | "--seed" | "--threads" | "--spec"
+                    ))
+        })
+        .map(|(_, a)| a)
+        .collect();
+    let Some(name) = positional.first() else {
+        eprintln!("`onoc run` needs an experiment name or --spec <file>\n");
+        eprint!("{USAGE}");
+        return 2;
+    };
+    let registry = Registry::standard();
+    let Some(experiment) = registry.get(name) else {
+        eprintln!(
+            "unknown experiment {name:?}; `onoc list` shows: {}",
+            registry.names().join(", ")
+        );
+        return 2;
+    };
+    emit(&experiment.run(&ctx), json);
+    0
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    match build_sweep(args) {
+        Ok((grid, ctx, json)) => {
+            let outcome = run_sweep(&grid, ctx.threads);
+            let mut report = Report::new(format!(
+                "Ad-hoc saturation sweep — {} scenarios, seed {}",
+                outcome.results.len(),
+                grid.seed
+            ));
+            report.push_table(sweep_table("sweep", &outcome));
+            report.push_text(format!(
+                "Workers used: {} of {}.",
+                outcome.workers_used, outcome.threads
+            ));
+            emit(&report, json);
+            0
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            2
+        }
+    }
+}
+
+fn build_sweep(args: &[String]) -> Result<(SweepGrid, RunContext, bool), String> {
+    let ctx = context(args)?;
+    let mut grid = SweepGrid::saturation_default(ctx.seed);
+    grid.horizon = ctx.scale.pick(20_000, 5_000, 2_000);
+
+    if let Some(names) = list_of::<String>(args, "--patterns")? {
+        let hotspots: Vec<NodeId> = parsed_value::<String>(args, "--hotspots")?
+            .map(|raw| {
+                raw.split(',')
+                    .map(|p| p.trim().parse::<usize>().map(NodeId))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| "--hotspots could not parse".to_string())
+            })
+            .transpose()?
+            .unwrap_or_else(|| vec![NodeId(0)]);
+        let fraction = parsed_value::<f64>(args, "--fraction")?.unwrap_or(0.5);
+        grid.patterns = names
+            .iter()
+            .map(|name| match name.as_str() {
+                "uniform" => Ok(TrafficPattern::UniformRandom),
+                "transpose" => Ok(TrafficPattern::Transpose),
+                "bit-reversal" => Ok(TrafficPattern::BitReversal),
+                "bit-complement" => Ok(TrafficPattern::BitComplement),
+                "nearest-neighbor" => Ok(TrafficPattern::NearestNeighbor),
+                "hotspot" => Ok(TrafficPattern::Hotspot {
+                    hotspots: hotspots.clone(),
+                    fraction,
+                }),
+                other => Err(format!("unknown pattern {other:?}")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(rates) = list_of::<f64>(args, "--rates")? {
+        grid.injection_rates = rates;
+    }
+    if let Some(wavelengths) = list_of::<usize>(args, "--wavelengths")? {
+        grid.wavelengths = wavelengths;
+    }
+    if let Some(rings) = list_of::<usize>(args, "--rings")? {
+        grid.ring_sizes = rings;
+    }
+    if let Some(horizon) = parsed_value::<u64>(args, "--horizon")? {
+        grid.horizon = horizon;
+    }
+    if let Some(bits) = parsed_value::<f64>(args, "--message-bits")? {
+        grid.message_volume = Bits::new(bits);
+    }
+    if flag(args, "--bursty") {
+        grid.burstiness = Some(OnOffConfig::default_bursty());
+    }
+    if let Some(raw) = value_of(args, "--policy") {
+        grid.policy = match raw.as_str() {
+            "single" => DynamicPolicy::Single,
+            "greedy" => DynamicPolicy::Greedy {
+                cap: grid.wavelengths[0].max(1),
+            },
+            greedy if greedy.starts_with("greedy:") => {
+                let cap = greedy["greedy:".len()..]
+                    .parse::<usize>()
+                    .map_err(|_| format!("--policy could not parse cap in {greedy:?}"))?;
+                if cap == 0 {
+                    return Err("--policy greedy cap must be at least 1".into());
+                }
+                DynamicPolicy::Greedy { cap }
+            }
+            other => return Err(format!("unknown policy {other:?} (single | greedy:<cap>)")),
+        };
+    }
+    // Surface grid mistakes (empty axes, bad hotspot nodes) as CLI errors
+    // rather than worker panics.
+    if grid.patterns.is_empty() || grid.injection_rates.is_empty() {
+        return Err("sweep axes must be non-empty".into());
+    }
+    for nodes in &grid.ring_sizes {
+        if *nodes < 2 {
+            return Err("--rings entries must be at least 2".into());
+        }
+        for pattern in &grid.patterns {
+            if let TrafficPattern::Hotspot { hotspots, .. } = pattern {
+                for h in hotspots {
+                    if h.0 >= *nodes {
+                        return Err(format!("hotspot {h} is not on a {nodes}-node ring"));
+                    }
+                }
+            }
+        }
+    }
+    Ok((grid, ctx, flag(args, "--json")))
+}

@@ -1,0 +1,160 @@
+//! The [`Experiment`] trait and the registry of named paper experiments.
+//!
+//! Every figure/table/extension study that used to be a hand-rolled
+//! binary in `onoc-bench` is now an `Experiment` looked up by name:
+//! `onoc list` prints the registry, `onoc run <name>` executes one entry.
+//! Experiments receive a shared [`RunContext`] (scale, seed, threads) and
+//! return a structured [`Report`] — no experiment prints directly.
+
+use crate::artifact::Report;
+use crate::spec::Scale;
+
+/// Shared run parameters every experiment receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunContext {
+    /// Search/simulation scale.
+    pub scale: Scale,
+    /// Master seed (the paper's year by default).
+    pub seed: u64,
+    /// Worker threads for parallel sweeps.
+    pub threads: usize,
+}
+
+impl RunContext {
+    /// A context at the given scale with the paper seed and the default
+    /// thread count.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            seed: 2017,
+            threads: default_threads(),
+        }
+    }
+
+    /// Replaces the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "sweeps need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+}
+
+/// The default sweep parallelism: available cores clamped to `[2, 8]` —
+/// at least two workers even on single-CPU boxes, so parallel sweeps stay
+/// demonstrably parallel.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+/// A named, registry-addressable experiment.
+pub trait Experiment: Sync {
+    /// The registry name (`onoc run <name>`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description shown by `onoc list`.
+    fn summary(&self) -> &'static str;
+
+    /// Runs the experiment and returns its structured report.
+    fn run(&self, ctx: &RunContext) -> Report;
+}
+
+/// The experiment registry.
+pub struct Registry {
+    experiments: Vec<Box<dyn Experiment>>,
+}
+
+impl Registry {
+    /// The standard registry: every experiment the former 15 `onoc-bench`
+    /// binaries implemented, under the same names.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            experiments: crate::experiments::all(),
+        }
+    }
+
+    /// Experiment count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// Every name, in registry order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.experiments.iter().map(|e| e.name()).collect()
+    }
+
+    /// Looks an experiment up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&dyn Experiment> {
+        self.experiments
+            .iter()
+            .find(|e| e.name() == name)
+            .map(AsRef::as_ref)
+    }
+
+    /// Iterates the experiments in registry order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.experiments.iter().map(AsRef::as_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_unique_names_and_known_size() {
+        let registry = Registry::standard();
+        let names = registry.names();
+        assert_eq!(names.len(), 15, "one entry per former binary");
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "names must be unique");
+    }
+
+    #[test]
+    fn lookup_finds_each_listed_name() {
+        let registry = Registry::standard();
+        for name in registry.names() {
+            let exp = registry.get(name).expect("listed names resolve");
+            assert_eq!(exp.name(), name);
+            assert!(!exp.summary().is_empty());
+        }
+        assert!(registry.get("not-an-experiment").is_none());
+    }
+
+    #[test]
+    fn context_builders_compose() {
+        let ctx = RunContext::new(Scale::Quick).with_seed(7).with_threads(3);
+        assert_eq!(ctx.scale, Scale::Quick);
+        assert_eq!(ctx.seed, 7);
+        assert_eq!(ctx.threads, 3);
+        assert!(RunContext::new(Scale::Paper).threads >= 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! E2–E4 — the paper's figures.
+
+use onoc_wa::{Nsga2, ObjectiveSet, ProblemInstance, explore};
+
+use crate::artifact::{Report, Table, counts_cell, paper_counts};
+use crate::experiment::{Experiment, RunContext};
+
+/// Shared body of the two Fig. 6 panels: an NW sweep tabulating one
+/// secondary objective against execution time.
+fn fig6_report(
+    ctx: &RunContext,
+    title: &str,
+    csv_name: &str,
+    objectives: ObjectiveSet,
+    secondary_column: &str,
+    secondary: impl Fn(&onoc_wa::FrontPoint) -> f64,
+    annotate: impl Fn(&explore::SweepEntry) -> String,
+) -> Report {
+    let mut report = Report::new(format!("{title}, scale: {}", ctx.scale));
+    let entries = explore::sweep_paper_nw(&[4, 8, 12], ctx.scale.ga_config(objectives, ctx.seed));
+    let mut table =
+        Table::new(csv_name, &["nw", "exec_kcc", secondary_column, "counts"]).csv_only();
+    for entry in &entries {
+        report.push_text(format!(
+            "NW = {} λ — {} Pareto points",
+            entry.wavelengths,
+            entry.outcome.front.len()
+        ));
+        let mut panel = Table::new(
+            format!("{csv_name}_nw{}", entry.wavelengths),
+            &["exec_kcc", secondary_column, "reserved_wavelengths"],
+        );
+        for p in entry.outcome.front.points() {
+            panel.push_row(vec![
+                format!("{:.2}", p.objectives.exec_time.to_kilocycles()),
+                format!("{:.3}", secondary(p)),
+                paper_counts(&p.allocation.counts()).replace(',', ";"),
+            ]);
+            table.push_row(vec![
+                entry.wavelengths.to_string(),
+                format!("{:.4}", p.objectives.exec_time.to_kilocycles()),
+                format!("{:.4}", secondary(p)),
+                counts_cell(&p.allocation.counts()),
+            ]);
+        }
+        report.push_table(panel);
+        report.push_text(annotate(entry));
+    }
+    report.push_table(table);
+    report
+}
+
+/// E2 — Fig. 6(a): Pareto fronts, bit energy vs global execution time,
+/// for NW ∈ {4, 8, 12}.
+///
+/// Expected shape (paper): the minimum-energy solution is `[1,1,1,1,1,1]`
+/// at every comb size; optimised execution times are annotated as 28.3 kcc
+/// (4λ), 23.8 kcc (8λ) and 22.96 kcc (12λ) and approach the 20 kcc
+/// minimum; bit energy grows with the number of reserved wavelengths.
+pub struct Fig6a;
+
+impl Experiment for Fig6a {
+    fn name(&self) -> &'static str {
+        "fig6a"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Fig. 6(a): Pareto fronts, bit energy vs execution time (NW 4/8/12)"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut report = fig6_report(
+            ctx,
+            "Fig. 6(a) — bit energy vs execution time",
+            "fig6a",
+            ObjectiveSet::TimeEnergy,
+            "bit_energy_fj",
+            |p| p.objectives.bit_energy.value(),
+            |entry| {
+                let best = entry
+                    .outcome
+                    .front
+                    .points()
+                    .iter()
+                    .map(|p| p.objectives.exec_time.to_kilocycles())
+                    .fold(f64::INFINITY, f64::min);
+                let paper_best = match entry.wavelengths {
+                    4 => 28.3,
+                    8 => 23.8,
+                    _ => 22.96,
+                };
+                format!("  optimised exec time: {best:.2} kcc (paper: {paper_best} kcc)")
+            },
+        );
+        let min_time = ProblemInstance::paper_with_wavelengths(4);
+        let schedule =
+            onoc_app::Schedule::new(min_time.app().graph(), min_time.options().rate).unwrap();
+        report.push_text(format!(
+            "Min exe time asymptote: {} kcc (paper: 20 kcc)",
+            schedule.min_makespan().to_kilocycles()
+        ));
+        report
+    }
+}
+
+/// E3 — Fig. 6(b): Pareto fronts, log10(average BER) vs global execution
+/// time, for NW ∈ {4, 8, 12}.
+///
+/// Expected shape (paper): execution time falls as more wavelengths are
+/// reserved while log10(BER) degrades from about −3.7 towards −3.0; the
+/// comb size itself barely moves the BER (fixed FSR ⇒ the spacing shrinks
+/// but the co-propagation pattern dominates).
+pub struct Fig6b;
+
+impl Experiment for Fig6b {
+    fn name(&self) -> &'static str {
+        "fig6b"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Fig. 6(b): Pareto fronts, average BER vs execution time (NW 4/8/12)"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        fig6_report(
+            ctx,
+            "Fig. 6(b) — average BER vs execution time",
+            "fig6b",
+            ObjectiveSet::TimeBer,
+            "log10_ber",
+            |p| p.objectives.avg_log_ber,
+            |entry| {
+                let (lo, hi) = entry.outcome.front.points().iter().fold(
+                    (f64::INFINITY, f64::NEG_INFINITY),
+                    |(lo, hi), p| {
+                        (
+                            lo.min(p.objectives.avg_log_ber),
+                            hi.max(p.objectives.avg_log_ber),
+                        )
+                    },
+                );
+                format!("  log10(BER) span: {lo:.2} … {hi:.2} (paper window: −3.7 … −3.0)")
+            },
+        )
+    }
+}
+
+/// E4 — Fig. 7: every valid allocation the 8-λ GA run generates,
+/// scattered in the (execution time, log BER) plane, with the Pareto
+/// front marked.
+///
+/// Expected shape (paper): a large cloud of valid solutions (86,525 in
+/// the paper's run) far from the front, with only a few dozen points on
+/// the front itself — the figure that motivates doing WA carefully at
+/// all.
+pub struct Fig7;
+
+impl Experiment for Fig7 {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Fig. 7: the 8-λ valid-solution cloud in the (time, BER) plane"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut report = Report::new(format!(
+            "Fig. 7 — valid 8λ allocations in the (time, BER) plane, scale: {}",
+            ctx.scale
+        ));
+        let instance = ProblemInstance::paper_with_wavelengths(8);
+        let evaluator = instance.evaluator();
+        let config = ctx.scale.ga_config(ObjectiveSet::TimeBer, ctx.seed);
+
+        // Collect every distinct valid evaluation the GA performs.
+        let mut seen = std::collections::HashSet::<Vec<bool>>::new();
+        let mut cloud: Vec<(f64, f64)> = Vec::new();
+        let outcome = Nsga2::new(&evaluator, config).run_with_observers(
+            |_, _| {},
+            |alloc, objectives| {
+                if let Some(o) = objectives {
+                    if seen.insert(alloc.genes().to_vec()) {
+                        cloud.push((o.exec_time.to_kilocycles(), o.avg_log_ber));
+                    }
+                }
+            },
+        );
+
+        report.push_text(format!(
+            "valid solutions generated : {}\ndistinct valid solutions  : {}\n\
+             solutions on Pareto front : {}\n(paper: 86,525 valid, 29 on the front)",
+            outcome.stats.valid_evaluations,
+            cloud.len(),
+            outcome.front.len()
+        ));
+
+        // A coarse 2-D histogram so the cloud's shape is visible in text.
+        let (tmin, tmax) = cloud
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(t, _)| {
+                (lo.min(t), hi.max(t))
+            });
+        let (bmin, bmax) = cloud
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, b)| {
+                (lo.min(b), hi.max(b))
+            });
+        const COLS: usize = 60;
+        const ROWS: usize = 18;
+        let mut grid = vec![[0usize; COLS]; ROWS];
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        for &(t, b) in &cloud {
+            let c = (((t - tmin) / (tmax - tmin + 1e-12)) * (COLS as f64 - 1.0)) as usize;
+            let r = (((b - bmin) / (bmax - bmin + 1e-12)) * (ROWS as f64 - 1.0)) as usize;
+            grid[ROWS - 1 - r][c] += 1;
+        }
+        let mut histogram = format!("log10(BER) {bmax:.2} (top) … {bmin:.2} (bottom)\n");
+        for row in &grid {
+            let line: String = row
+                .iter()
+                .map(|&n| match n {
+                    0 => ' ',
+                    1..=2 => '.',
+                    3..=9 => '+',
+                    _ => '#',
+                })
+                .collect();
+            histogram.push('|');
+            histogram.push_str(&line);
+            histogram.push_str("|\n");
+        }
+        histogram.push_str(&format!(
+            "exec time {tmin:.1} kcc (left) … {tmax:.1} kcc (right)"
+        ));
+        report.push_text(histogram);
+
+        let mut front_table = Table::new("fig7_front", &["exec_kcc", "log10_ber"]);
+        for p in outcome.front.points() {
+            front_table.push_row(vec![
+                format!("{:.2}", p.objectives.exec_time.to_kilocycles()),
+                format!("{:.3}", p.objectives.avg_log_ber),
+            ]);
+        }
+        report.push_table(front_table);
+
+        let mut table = Table::new("fig7", &["exec_kcc", "log10_ber", "kind"]).csv_only();
+        for &(t, b) in &cloud {
+            table.push_row(vec![
+                format!("{t:.4}"),
+                format!("{b:.4}"),
+                "cloud".to_string(),
+            ]);
+        }
+        for p in outcome.front.points() {
+            table.push_row(vec![
+                format!("{:.4}", p.objectives.exec_time.to_kilocycles()),
+                format!("{:.4}", p.objectives.avg_log_ber),
+                "front".to_string(),
+            ]);
+        }
+        report.push_table(table);
+        report
+    }
+}

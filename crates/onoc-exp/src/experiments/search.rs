@@ -1,0 +1,366 @@
+//! E8/E10/E11/E12 — baselines and search-strategy comparisons.
+
+use onoc_app::{MappedApplication, Mapping, RouteStrategy, workloads};
+use onoc_sim::{DynamicPolicy, DynamicSimulator};
+use onoc_topology::{OnocArchitecture, RingTopology};
+use onoc_units::BitsPerCycle;
+use onoc_wa::local_search::{AnnealConfig, time_energy_weight_sweep, weighted_sum_front};
+use onoc_wa::{
+    EvalOptions, Nsga2, ObjectiveSet, ProblemInstance, exhaustive, heuristics, mapping_search,
+};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use crate::artifact::{Report, Table};
+use crate::experiment::{Experiment, RunContext};
+
+/// E8 — classical WA heuristics vs the NSGA-II front (8 λ).
+///
+/// The single-wavelength heuristics from the related work (Random,
+/// First-Fit, Most-Used, Least-Used) all land on the slow/frugal corner;
+/// the greedy makespan baseline buys speed with energy; only the
+/// multi-objective search exposes the whole trade-off curve.
+pub struct Baselines;
+
+impl Experiment for Baselines {
+    fn name(&self) -> &'static str {
+        "baselines"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Classical WA heuristics vs the NSGA-II front at 8 λ"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut report = Report::new(format!(
+            "Baselines vs GA front at 8 λ, scale: {}",
+            ctx.scale
+        ));
+        let instance = ProblemInstance::paper_with_wavelengths(8);
+        let evaluator = instance.evaluator();
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let named: Vec<(&str, onoc_wa::Allocation)> = vec![
+            ("first-fit", heuristics::first_fit(&instance).unwrap()),
+            ("most-used", heuristics::most_used(&instance).unwrap()),
+            ("least-used", heuristics::least_used(&instance).unwrap()),
+            (
+                "random",
+                heuristics::random_single(&instance, &mut rng, 10_000).unwrap(),
+            ),
+            (
+                "greedy-makespan",
+                heuristics::greedy_makespan(&instance, &evaluator).unwrap(),
+            ),
+        ];
+
+        let mut table = Table::new(
+            "baselines",
+            &["method", "exec_kcc", "bit_energy_fj", "log10_ber", "counts"],
+        );
+        for (name, alloc) in &named {
+            let o = evaluator
+                .evaluate(alloc)
+                .expect("heuristics produce valid allocations");
+            table.push_row(vec![
+                (*name).to_string(),
+                format!("{:.4}", o.exec_time.to_kilocycles()),
+                format!("{:.4}", o.bit_energy.value()),
+                format!("{:.4}", o.avg_log_ber),
+                crate::artifact::counts_cell(&alloc.counts()),
+            ]);
+        }
+
+        // The GA front for comparison (time–energy view).
+        let outcome = Nsga2::new(
+            &evaluator,
+            ctx.scale.ga_config(ObjectiveSet::TimeEnergy, ctx.seed),
+        )
+        .run();
+        for p in outcome.front.points() {
+            table.push_row(vec![
+                "nsga-ii".to_string(),
+                format!("{:.4}", p.objectives.exec_time.to_kilocycles()),
+                format!("{:.4}", p.objectives.bit_energy.value()),
+                format!("{:.4}", p.objectives.avg_log_ber),
+                crate::artifact::counts_cell(&p.allocation.counts()),
+            ]);
+        }
+        report.push_table(table);
+
+        // How many heuristic points are dominated by the front?
+        let dominated = named
+            .iter()
+            .filter(|(_, alloc)| {
+                let o = evaluator.evaluate(alloc).unwrap();
+                let v = o.values(ObjectiveSet::TimeEnergy);
+                outcome
+                    .front
+                    .points()
+                    .iter()
+                    .any(|p| onoc_wa::dominates(&p.values, &v))
+            })
+            .count();
+        report.push_text(format!(
+            "{dominated}/{} heuristic points are strictly dominated by the GA front.",
+            named.len()
+        ));
+        report
+    }
+}
+
+/// E10 — the paper's future-work extension: joint task-mapping +
+/// wavelength-allocation exploration.
+///
+/// Compares three placements of the 6-task application on the 16-core
+/// ring at 8 λ: the paper's hand placement, random placements, and the
+/// hill-climbed mapping of `onoc_wa::mapping_search` — each scored by
+/// greedy wavelength allocation.
+pub struct MappingExplore;
+
+fn score(arch: &OnocArchitecture, nodes: Vec<onoc_topology::NodeId>) -> Option<f64> {
+    let graph = workloads::paper_task_graph();
+    let mapping = Mapping::new(&graph, nodes).ok()?;
+    let app = MappedApplication::new(
+        graph,
+        mapping,
+        RingTopology::new(16),
+        RouteStrategy::Shortest,
+    )
+    .ok()?;
+    let inst = ProblemInstance::new(arch.clone(), app, EvalOptions::default()).ok()?;
+    let ev = inst.evaluator();
+    let alloc = heuristics::greedy_makespan(&inst, &ev).ok()?;
+    Some(ev.evaluate(&alloc)?.exec_time.to_kilocycles())
+}
+
+impl Experiment for MappingExplore {
+    fn name(&self) -> &'static str {
+        "mapping-explore"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Joint task-mapping + wavelength-allocation exploration at 8 λ"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut report =
+            Report::new("Joint mapping + wavelength allocation (8 λ, greedy WA scorer)");
+        let arch = OnocArchitecture::paper_architecture(8);
+        let graph = workloads::paper_task_graph();
+        let mut table = Table::new("mapping_explore", &["method", "exec_kcc"]);
+
+        // Paper's hand placement (re-routed shortest-path for comparability).
+        let paper = score(&arch, workloads::paper_mapping_nodes()).expect("paper mapping scores");
+        table.push_row(vec!["paper".into(), format!("{paper:.4}")]);
+
+        // Random placements.
+        let samples = ctx.scale.pick(10usize, 10, 3);
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut random_scores = Vec::new();
+        for _ in 0..samples {
+            let nodes = workloads::random_mapping(&mut rng, graph.task_count(), 16);
+            if let Some(s) = score(&arch, nodes) {
+                random_scores.push(s);
+            }
+        }
+        let rand_best = random_scores.iter().copied().fold(f64::INFINITY, f64::min);
+        #[allow(clippy::cast_precision_loss)]
+        let rand_mean = random_scores.iter().sum::<f64>() / random_scores.len() as f64;
+        table.push_row(vec!["random_best".into(), format!("{rand_best:.4}")]);
+        table.push_row(vec!["random_mean".into(), format!("{rand_mean:.4}")]);
+
+        // Hill-climbed mapping.
+        let (iterations, restarts) = ctx.scale.pick((300, 4), (120, 2), (30, 1));
+        let result = mapping_search::optimize_mapping(
+            &arch,
+            &graph,
+            &mapping_search::MappingSearchConfig {
+                iterations,
+                restarts,
+                seed: ctx.seed,
+                options: EvalOptions::default(),
+            },
+        );
+        table.push_row(vec![
+            "search".into(),
+            format!("{:.4}", result.makespan.to_kilocycles()),
+        ]);
+        report.push_table(table);
+        report.push_text(format!(
+            "hill-climbed placement after {} evaluations: {:?}",
+            result.evaluated,
+            result.mapping.iter().map(|n| n.0).collect::<Vec<_>>()
+        ));
+        report.push_text(
+            "The search should at least match the paper's hand placement and\n\
+             clearly beat typical random placements — the improvement the paper's\n\
+             conclusion anticipates from mapping-aware optimisation.",
+        );
+        report
+    }
+}
+
+/// E12 — NSGA-II vs the classical weighted-sum approach.
+///
+/// Runs one NSGA-II search and a sweep of simulated-annealing runs (one
+/// per weight vector) with a comparable evaluation budget, then compares
+/// the resulting time-energy fronts by hypervolume.
+pub struct MoeaComparison;
+
+impl Experiment for MoeaComparison {
+    fn name(&self) -> &'static str {
+        "moea-comparison"
+    }
+
+    fn summary(&self) -> &'static str {
+        "NSGA-II vs weighted-sum simulated annealing at equal budget"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut report = Report::new(format!(
+            "NSGA-II vs weighted-sum simulated annealing (8 λ), scale: {}",
+            ctx.scale
+        ));
+        let instance = ProblemInstance::paper_with_wavelengths(8);
+        let evaluator = instance.evaluator();
+
+        // NSGA-II: one run, whole front.
+        let ga_config = ctx.scale.ga_config(ObjectiveSet::TimeEnergy, ctx.seed);
+        let ga_budget = ga_config.population_size * (ga_config.generations + 1);
+        let ga = Nsga2::new(&evaluator, ga_config).run();
+
+        // Weighted sum: spend the same budget across the weight vectors.
+        let weights = time_energy_weight_sweep(ctx.scale.pick(12, 12, 4));
+        let per_run = (ga_budget / weights.len()).max(1_000);
+        let anneal = AnnealConfig {
+            iterations: per_run,
+            seed: ctx.seed,
+            ..AnnealConfig::default()
+        };
+        let ws = weighted_sum_front(&evaluator, &weights, ObjectiveSet::TimeEnergy, &anneal)
+            .expect("paper instance fits first-fit");
+
+        // A reference point worse than everything either method produces.
+        let reference = [45.0, 12.0];
+        let hv_ga = ga.front.hypervolume_2d(reference);
+        let hv_ws = ws.hypervolume_2d(reference);
+
+        let mut table = Table::new(
+            "moea_comparison",
+            &["method", "evaluations", "front_size", "hypervolume"],
+        );
+        table.push_row(vec![
+            "nsga-ii".into(),
+            ga.stats.evaluations.to_string(),
+            ga.front.len().to_string(),
+            format!("{hv_ga:.3}"),
+        ]);
+        table.push_row(vec![
+            "weighted-sum".into(),
+            (per_run * weights.len()).to_string(),
+            ws.len().to_string(),
+            format!("{hv_ws:.3}"),
+        ]);
+        report.push_table(table);
+
+        let mut points = Table::new(
+            "moea_points",
+            &["method", "exec_kcc", "bit_energy_fj", "counts"],
+        );
+        for p in ga.front.points().iter().take(10) {
+            points.push_row(vec![
+                "nsga-ii".into(),
+                format!("{:.2}", p.objectives.exec_time.to_kilocycles()),
+                format!("{:.2}", p.objectives.bit_energy.value()),
+                crate::artifact::counts_cell(&p.allocation.counts()),
+            ]);
+        }
+        for p in ws.points() {
+            points.push_row(vec![
+                "weighted-sum".into(),
+                format!("{:.2}", p.objectives.exec_time.to_kilocycles()),
+                format!("{:.2}", p.objectives.bit_energy.value()),
+                crate::artifact::counts_cell(&p.allocation.counts()),
+            ]);
+        }
+        report.push_table(points);
+        report.push_text(
+            "The GA covers the front with one run; the scalarised baseline needs\n\
+             a run per point and typically recovers only a handful of them.",
+        );
+        report
+    }
+}
+
+/// E11 — static design-time WA (the paper's subject) vs an idealised
+/// runtime allocator (the related work's "dynamic time" class).
+///
+/// The dynamic simulator pays no arbitration latency, so it upper-bounds
+/// what any runtime scheme could achieve; the gap to the static optimum
+/// is the price of deciding wavelengths at design time.
+pub struct DynamicVsStatic;
+
+impl Experiment for DynamicVsStatic {
+    fn name(&self) -> &'static str {
+        "dynamic-vs-static"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Design-time (static) vs runtime (dynamic) wavelength allocation"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut report =
+            Report::new("Static (design-time) vs dynamic (runtime) wavelength allocation");
+        let rate = BitsPerCycle::new(1.0);
+        let combs: &[usize] = ctx.scale.pick(
+            &[2usize, 4, 8, 12, 16][..],
+            &[2, 4, 8, 12, 16][..],
+            &[2, 4, 8][..],
+        );
+        let mut table = Table::new(
+            "dynamic_vs_static",
+            &[
+                "nw",
+                "static_opt_kcc",
+                "dynamic_single_kcc",
+                "dynamic_full_kcc",
+                "blocked",
+            ],
+        );
+        for &nw in combs {
+            let instance = ProblemInstance::paper_with_wavelengths(nw);
+            let evaluator = instance.evaluator();
+            let static_best = exhaustive::time_optimal_counts(&instance, &evaluator)
+                .1
+                .to_kilocycles();
+            #[allow(clippy::cast_precision_loss)]
+            let single = DynamicSimulator::new(instance.app(), nw, rate, DynamicPolicy::Single)
+                .run()
+                .makespan as f64
+                / 1000.0;
+            let full =
+                DynamicSimulator::new(instance.app(), nw, rate, DynamicPolicy::Greedy { cap: nw })
+                    .run();
+            #[allow(clippy::cast_precision_loss)]
+            table.push_row(vec![
+                nw.to_string(),
+                format!("{static_best:.3}"),
+                format!("{single:.3}"),
+                format!("{:.3}", full.makespan as f64 / 1000.0),
+                full.blocked_attempts.to_string(),
+            ]);
+        }
+        report.push_table(table);
+        report.push_text(
+            "Reading: dynamic-1 is the classical one-λ-per-lightpath scheme\n\
+             (38 kcc whenever the comb avoids blocking); dynamic-full grabs the\n\
+             whole free comb per burst and bounds any runtime allocator from\n\
+             below. The static optimum sits between the two: design-time WA\n\
+             recovers most of the burst advantage without any arbitration\n\
+             hardware — the paper's case in one table.",
+        );
+        report
+    }
+}

@@ -1,0 +1,179 @@
+//! E1/E5 — the paper's two tables.
+
+use onoc_photonics::{LossParams, Photodetector, Vcsel, WavelengthGrid};
+use onoc_wa::{ObjectiveSet, explore};
+
+use crate::artifact::{Report, Table};
+use crate::experiment::{Experiment, RunContext};
+
+/// E1 — Table I: power-loss values.
+///
+/// Prints the element parameters the reproduction uses and the paper's
+/// values side by side (they are identical by construction; the table
+/// documents that the defaults were not silently changed).
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Table I: power-loss parameters, paper vs reproduction defaults"
+    }
+
+    fn run(&self, _ctx: &RunContext) -> Report {
+        let p = LossParams::default();
+        let laser = Vcsel::paper_laser();
+        let detector = Photodetector::default();
+
+        let mut report = Report::new("Table I — power loss values (paper vs reproduction)");
+        let mut side_by_side = Table::new(
+            "table1_parameters",
+            &["parameter", "symbol", "paper", "ours"],
+        );
+        let rows: [(&str, &str, &str, String); 6] = [
+            (
+                "Propagation loss",
+                "Lp",
+                "-0.274 dB/cm",
+                format!("{} /cm", p.propagation_per_cm),
+            ),
+            (
+                "Bending loss",
+                "Lb",
+                "-0.005 dB/90",
+                format!("{} /90", p.bending_per_90deg),
+            ),
+            (
+                "Power loss: OFF-state MR",
+                "Lp0",
+                "-0.005 dB",
+                p.mr_off.to_string(),
+            ),
+            (
+                "Power loss: ON-state MR",
+                "Lp1",
+                "-0.5 dB",
+                p.mr_on.to_string(),
+            ),
+            (
+                "Crosstalk loss: OFF-state MR",
+                "Kp0",
+                "-20 dB",
+                p.crosstalk_off.to_string(),
+            ),
+            (
+                "Crosstalk loss: ON-state MR",
+                "Kp1",
+                "-25 dB",
+                p.crosstalk_on.to_string(),
+            ),
+        ];
+        for (name, sym, paper, ours) in rows {
+            side_by_side.push_row(vec![
+                name.to_string(),
+                sym.to_string(),
+                paper.to_string(),
+                ours.replace(',', ";"),
+            ]);
+        }
+        report.push_table(side_by_side);
+
+        report.push_text(format!(
+            "Other physical constants (§IV):\n  FSR = {}, Q = {}, centre = {}\n  \
+             Pv(1) = {}, Pv(0) = {} (extinction {})\n  \
+             Receiver target power (energy calibration, DESIGN.md S6) = {}",
+            WavelengthGrid::PAPER_FSR,
+            WavelengthGrid::PAPER_Q,
+            WavelengthGrid::PAPER_CENTER,
+            laser.power_on(),
+            laser.power_off(),
+            laser.extinction_ratio(),
+            detector.target_power()
+        ));
+
+        let mut machine = Table::new("table1", &["parameter", "value"]);
+        for (k, v) in [
+            ("Lp_dB_per_cm", p.propagation_per_cm.value()),
+            ("Lb_dB_per_90deg", p.bending_per_90deg.value()),
+            ("Lp0_dB", p.mr_off.value()),
+            ("Lp1_dB", p.mr_on.value()),
+            ("Kp0_dB", p.crosstalk_off.value()),
+            ("Kp1_dB", p.crosstalk_on.value()),
+            ("FSR_nm", WavelengthGrid::PAPER_FSR.value()),
+            ("Q", WavelengthGrid::PAPER_Q),
+            ("Pv1_dBm", laser.power_on().value()),
+            ("Pv0_dBm", laser.power_off().value()),
+        ] {
+            machine.push_row(vec![k.to_string(), v.to_string()]);
+        }
+        report.push_table(machine);
+        report
+    }
+}
+
+/// E5 — Table II: number of valid solutions generated and number of
+/// solutions on the Pareto front, for NW ∈ {4, 8, 12}.
+///
+/// Expected shape (paper): both counts grow with the comb size
+/// (4λ: 28,284 valid / 10 front; 8λ: 86,525 / 29; 12λ: 100,578 / 51).
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Table II: GA search statistics (valid / front counts) per comb size"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut report = Report::new(format!(
+            "Table II — search statistics per comb size, scale: {}",
+            ctx.scale
+        ));
+        let entries = explore::sweep_paper_nw(
+            &[4, 8, 12],
+            ctx.scale.ga_config(ObjectiveSet::TimeBer, ctx.seed),
+        );
+        let rows = explore::summarize(&entries);
+        let paper = [
+            (4usize, 28_284usize, 10usize),
+            (8, 86_525, 29),
+            (12, 100_578, 51),
+        ];
+        let mut table = Table::new(
+            "table2",
+            &[
+                "nw",
+                "valid_ours",
+                "valid_paper",
+                "front_ours",
+                "front_paper",
+                "unique_valid_ours",
+            ],
+        );
+        for row in &rows {
+            let (_, paper_valid, paper_front) = paper
+                .iter()
+                .find(|(nw, _, _)| *nw == row.wavelengths)
+                .expect("paper rows cover 4/8/12");
+            table.push_row(vec![
+                row.wavelengths.to_string(),
+                row.valid_evaluations.to_string(),
+                paper_valid.to_string(),
+                row.front_size.to_string(),
+                paper_front.to_string(),
+                row.unique_valid.to_string(),
+            ]);
+        }
+        report.push_table(table);
+        report.push_text(
+            "Both counts should increase with NW; absolute values depend on GA\n\
+             operator details the paper does not specify (see EXPERIMENTS.md).",
+        );
+        report
+    }
+}

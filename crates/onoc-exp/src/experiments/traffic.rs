@@ -1,0 +1,273 @@
+//! E12/E13 extensions — open-loop traffic studies and the kernel panel.
+
+use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
+use onoc_sim::DynamicPolicy;
+use onoc_topology::{NodeId, OnocArchitecture, RingTopology};
+use onoc_traffic::{OnOffConfig, SweepGrid, TrafficPattern, run_sweep};
+use onoc_units::{Bits, Cycles};
+use onoc_wa::{EvalOptions, Nsga2, ObjectiveSet, ProblemInstance};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use crate::artifact::{Report, Table};
+use crate::experiment::{Experiment, RunContext};
+use crate::scenario::sweep_table;
+
+/// E12 (extension) — open-loop saturation sweep: latency vs injection
+/// rate for the synthetic-pattern panel on the paper's 16-node ring.
+///
+/// Each (pattern, rate) point generates a seeded trace, drives it through
+/// the open-loop simulator and reports the latency distribution; the
+/// scenario grid fans out over a scoped thread pool. Deterministic under
+/// the seed regardless of the thread count.
+pub struct TrafficSweep;
+
+impl Experiment for TrafficSweep {
+    fn name(&self) -> &'static str {
+        "traffic-sweep"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Open-loop saturation sweep: latency vs injection rate (pattern panel)"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut grid = SweepGrid::saturation_default(ctx.seed);
+        grid.horizon = ctx.scale.pick(20_000, 5_000, 2_000);
+        if ctx.scale.pick(false, true, true) {
+            grid.injection_rates =
+                ctx.scale
+                    .pick(vec![], vec![0.002, 0.01, 0.04, 0.16], vec![0.002, 0.04]);
+        }
+        let mut report = Report::new(format!(
+            "Open-loop saturation sweep on the paper's 16-node ring ({} λ, seed {})",
+            grid.wavelengths[0], ctx.seed
+        ));
+        report.push_text(format!(
+            "{} patterns × {} rates = {} scenarios over {} worker threads",
+            grid.patterns.len(),
+            grid.injection_rates.len(),
+            grid.scenarios().len(),
+            ctx.threads
+        ));
+        let outcome = run_sweep(&grid, ctx.threads);
+        report.push_table(sweep_table("traffic_sweep", &outcome));
+        report.push_text(format!(
+            "Reading: below saturation accepted ≈ offered and latency stays at\n\
+             the transmission time; past the knee the queue grows over the whole\n\
+             injection window, mean and p99 latency blow up, and accepted\n\
+             throughput plateaus at ring capacity. Workers used: {} of {}.",
+            outcome.workers_used, outcome.threads
+        ));
+        report
+    }
+}
+
+/// E13 (extension) — saturation throughput vs comb size: how many
+/// wavelengths does the ring need before synthetic workloads stop
+/// queueing?
+///
+/// Sweeps uniform-random and bursty uniform traffic at a fixed injection
+/// rate across comb sizes, plus a hotspot scenario that no comb can save
+/// (the bottleneck is the victim node's ingress segments, not the
+/// spectrum). Complements `traffic-sweep`, which fixes the comb and
+/// sweeps the rate.
+pub struct Saturation;
+
+impl Experiment for Saturation {
+    fn name(&self) -> &'static str {
+        "saturation"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Saturation throughput vs comb size (uniform / bursty / hotspot)"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let horizon = ctx.scale.pick(20_000, 5_000, 2_000);
+        let wavelengths = ctx
+            .scale
+            .pick(vec![1usize, 2, 4, 8, 16], vec![1, 4, 16], vec![1, 4]);
+        let rate = 0.04; // past the 1-λ knee, below the 16-λ one
+
+        let base = SweepGrid {
+            patterns: vec![TrafficPattern::UniformRandom],
+            injection_rates: vec![rate],
+            wavelengths: wavelengths.clone(),
+            ring_sizes: vec![16],
+            horizon,
+            policy: DynamicPolicy::Single,
+            ..SweepGrid::saturation_default(ctx.seed)
+        };
+        let bursty = SweepGrid {
+            burstiness: Some(OnOffConfig::default_bursty()),
+            ..base.clone()
+        };
+        let hotspot = SweepGrid {
+            patterns: vec![TrafficPattern::Hotspot {
+                hotspots: vec![NodeId(0)],
+                fraction: 0.5,
+            }],
+            ..base.clone()
+        };
+
+        let mut report = Report::new(format!(
+            "Saturation vs comb size: 16-node ring, uniform rate {rate} msg/node/cycle, seed {}",
+            ctx.seed
+        ));
+        let mut table = Table::new(
+            "saturation",
+            &[
+                "wavelengths",
+                "workload",
+                "offered_bits_per_cycle",
+                "accepted_bits_per_cycle",
+                "latency_mean",
+                "latency_p99",
+                "occupancy",
+            ],
+        );
+        let mut workers_seen = 0usize;
+        for (label, grid) in [
+            ("uniform", &base),
+            ("bursty", &bursty),
+            ("hotspot", &hotspot),
+        ] {
+            let outcome = run_sweep(grid, ctx.threads);
+            workers_seen = workers_seen.max(outcome.workers_used);
+            for r in &outcome.results {
+                table.push_row(vec![
+                    r.scenario.wavelengths.to_string(),
+                    label.to_string(),
+                    format!("{:.3}", r.offered_load),
+                    format!("{:.3}", r.accepted_throughput),
+                    format!("{:.2}", r.latency.mean),
+                    format!("{:.2}", r.latency.p99),
+                    format!("{:.5}", r.occupancy),
+                ]);
+            }
+        }
+        report.push_table(table);
+        report.push_text(format!(
+            "Reading: uniform traffic saturates the 1-λ comb (latency explodes,\n\
+             accepted < offered) and smooths out by 8–16 λ; bursty arrivals keep\n\
+             a long p99 tail even with spectrum to spare; the hotspot workload\n\
+             stays congested at every comb size because the victim's two ingress\n\
+             waveguides — not wavelengths — are the bottleneck. Workers used: \
+             {workers_seen} of {}.",
+            ctx.threads
+        ));
+        report
+    }
+}
+
+/// E13 (extension) — the optimisation generalises beyond the paper's
+/// single virtual application.
+///
+/// Runs the full pipeline (map → constrain → NSGA-II → front) on three
+/// synthetic kernels (pipeline, fork-join, butterfly) at 8 λ and reports
+/// the trade-off ranges each workload exposes.
+pub struct WorkloadSweep;
+
+fn build_instance(graph: TaskGraph, seed: u64) -> ProblemInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes: Vec<NodeId> = workloads::random_mapping(&mut rng, graph.task_count(), 16);
+    let mapping = Mapping::new(&graph, nodes).expect("random mapping is injective");
+    let app = MappedApplication::new(
+        graph,
+        mapping,
+        RingTopology::new(16),
+        RouteStrategy::Shortest,
+    )
+    .expect("mapping fits the 16-node ring");
+    let arch = OnocArchitecture::paper_architecture(8);
+    ProblemInstance::new(arch, app, EvalOptions::default()).expect("instance is consistent")
+}
+
+impl Experiment for WorkloadSweep {
+    fn name(&self) -> &'static str {
+        "workload-sweep"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Three-objective fronts across synthetic kernels (beyond the paper app)"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut report = Report::new(format!(
+            "Workload sweep at 8 λ (random seeded mappings), scale: {}",
+            ctx.scale
+        ));
+        let kernels: Vec<(&str, TaskGraph)> = vec![
+            ("paper-app", workloads::paper_task_graph()),
+            (
+                "pipeline-6",
+                workloads::pipeline(6, Cycles::from_kilocycles(3.0), Bits::from_kilobits(6.0)),
+            ),
+            (
+                "fork-join-4",
+                workloads::fork_join(4, Cycles::from_kilocycles(4.0), Bits::from_kilobits(5.0)),
+            ),
+            (
+                "butterfly-4",
+                workloads::butterfly(2, Cycles::from_kilocycles(2.0), Bits::from_kilobits(3.0)),
+            ),
+        ];
+
+        let mut table = Table::new(
+            "workload_sweep",
+            &[
+                "workload", "tasks", "comms", "pairs", "front", "exec_lo", "exec_hi", "fj_lo",
+                "fj_hi", "ber_lo", "ber_hi",
+            ],
+        );
+        for (i, (name, graph)) in kernels.into_iter().enumerate() {
+            let instance = if name == "paper-app" {
+                ProblemInstance::paper_with_wavelengths(8)
+            } else {
+                build_instance(graph, 100 + i as u64)
+            };
+            let pairs = instance.app().overlapping_pairs().len();
+            let evaluator = instance.evaluator();
+            let mut config = ctx.scale.ga_config(ObjectiveSet::TimeEnergyBer, ctx.seed);
+            // The sweep optimises all three objectives at once; reuse the
+            // scale's population but cap generations for the wider kernels.
+            if config.generations > 150 {
+                config.generations = 150;
+            }
+            let outcome = Nsga2::new(&evaluator, config).run();
+            let span = |f: &dyn Fn(&onoc_wa::FrontPoint) -> f64| {
+                outcome
+                    .front
+                    .points()
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+                        (lo.min(f(p)), hi.max(f(p)))
+                    })
+            };
+            let (t_lo, t_hi) = span(&|p| p.objectives.exec_time.to_kilocycles());
+            let (e_lo, e_hi) = span(&|p| p.objectives.bit_energy.value());
+            let (b_lo, b_hi) = span(&|p| p.objectives.avg_log_ber);
+            table.push_row(vec![
+                name.to_string(),
+                instance.app().graph().task_count().to_string(),
+                instance.comm_count().to_string(),
+                pairs.to_string(),
+                outcome.front.len().to_string(),
+                format!("{t_lo:.3}"),
+                format!("{t_hi:.3}"),
+                format!("{e_lo:.3}"),
+                format!("{e_hi:.3}"),
+                format!("{b_lo:.3}"),
+                format!("{b_hi:.3}"),
+            ]);
+        }
+        report.push_table(table);
+        report.push_text(
+            "Every kernel yields a non-trivial 3-objective front: the trade-off\n\
+             the paper demonstrates on its virtual application is a property of\n\
+             WDM ring ONoCs, not of that one task graph.",
+        );
+        report
+    }
+}

@@ -1,0 +1,455 @@
+//! E6/E7/E9 — anchors against the exhaustive oracle, analytic-vs-DES
+//! cross-validation, and model ablations.
+
+use onoc_app::{Schedule, workloads};
+use onoc_photonics::BerConvention;
+use onoc_sim::Simulator;
+use onoc_topology::CrosstalkModel;
+use onoc_units::BitsPerCycle;
+use onoc_wa::{EvalOptions, ProblemInstance, exhaustive, heuristics};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use crate::artifact::{Report, Table, paper_counts};
+use crate::experiment::{Experiment, RunContext};
+
+/// E6 — headline anchors: paper-reported numbers vs the reproduction.
+///
+/// Uses the exhaustive count oracle (not the GA) so the comparison is
+/// against ground truth of the reconstructed instance.
+pub struct Anchors;
+
+impl Experiment for Anchors {
+    fn name(&self) -> &'static str {
+        "anchors"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Headline anchors: paper numbers vs the exhaustive oracle"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut report =
+            Report::new("Headline anchors — paper vs reproduction (exhaustive oracle)");
+        let mut csv = Table::new("anchors", &["anchor", "paper", "ours"]);
+
+        // Optimised execution times per comb size. The 12-λ oracle
+        // enumerates a much larger count space, so smoke runs skip it.
+        let combs: &[(usize, f64)] = ctx.scale.pick(
+            &[(4usize, 28.3f64), (8, 23.8), (12, 22.96)][..],
+            &[(4, 28.3), (8, 23.8), (12, 22.96)][..],
+            &[(4, 28.3), (8, 23.8)][..],
+        );
+        let mut best_table = Table::new(
+            "anchors_best_exec",
+            &[
+                "nw",
+                "best_exec_paper_kcc",
+                "best_exec_ours_kcc",
+                "witness_counts",
+            ],
+        );
+        for &(nw, paper_kcc) in combs {
+            let instance = ProblemInstance::paper_with_wavelengths(nw);
+            let evaluator = instance.evaluator();
+            let (counts, makespan) = exhaustive::time_optimal_counts(&instance, &evaluator);
+            best_table.push_row(vec![
+                nw.to_string(),
+                format!("{paper_kcc:.2}"),
+                format!("{:.2}", makespan.to_kilocycles()),
+                paper_counts(&counts).replace(',', ";"),
+            ]);
+            csv.push_row(vec![
+                format!("best_exec_nw{nw}"),
+                paper_kcc.to_string(),
+                format!("{:.4}", makespan.to_kilocycles()),
+            ]);
+        }
+        report.push_table(best_table);
+
+        // The frugal corner and the asymptote. For the BER anchor, place
+        // the six single wavelengths with maximum spectral spread (the
+        // canonical low-index packing puts c0/c1 on adjacent channels, a
+        // valid but BER-pessimal representative of [1,…,1]).
+        let instance = ProblemInstance::paper_with_wavelengths(12);
+        let evaluator = instance.evaluator();
+        let frugal = instance.allocation_from_counts(&[1; 6]).unwrap();
+        let o = evaluator.evaluate(&frugal).unwrap();
+        let mut spread = onoc_wa::Allocation::new(6, 12);
+        for (k, w) in [0usize, 11, 0, 0, 11, 0].into_iter().enumerate() {
+            spread.set(onoc_app::CommId(k), onoc_photonics::WavelengthId(w), true);
+        }
+        let o_spread = evaluator.evaluate(&spread).expect("spread frugal is valid");
+        report.push_text(format!(
+            "[1,1,1,1,1,1] execution time : {:.1} kcc (paper: ~40 kcc, rightmost Fig. 6 point)\n\
+             [1,1,1,1,1,1] bit energy     : {:.2} fJ/bit (paper: ~3.5 fJ/bit)\n\
+             [1,1,1,1,1,1] log10(BER)     : {:.2} packed / {:.2} spread (paper: ~-3.7)",
+            o.exec_time.to_kilocycles(),
+            o.bit_energy.value(),
+            o.avg_log_ber,
+            o_spread.avg_log_ber
+        ));
+        csv.push_row(vec![
+            "frugal_exec_kcc".into(),
+            "40".into(),
+            format!("{:.4}", o.exec_time.to_kilocycles()),
+        ]);
+        csv.push_row(vec![
+            "frugal_energy_fj".into(),
+            "3.5".into(),
+            format!("{:.4}", o.bit_energy.value()),
+        ]);
+        csv.push_row(vec![
+            "frugal_log_ber".into(),
+            "-3.7".into(),
+            format!("{:.4}", o_spread.avg_log_ber),
+        ]);
+
+        let schedule = Schedule::new(instance.app().graph(), instance.options().rate).unwrap();
+        report.push_text(format!(
+            "Min exe time asymptote       : {:.1} kcc (paper: 20 kcc)",
+            schedule.min_makespan().to_kilocycles()
+        ));
+        csv.push_row(vec![
+            "min_exec_kcc".into(),
+            "20".into(),
+            format!("{:.4}", schedule.min_makespan().to_kilocycles()),
+        ]);
+
+        // The busiest reported 12-λ point.
+        let rich = instance
+            .allocation_from_counts(&[2, 8, 6, 6, 4, 7])
+            .unwrap();
+        let o = evaluator.evaluate(&rich).unwrap();
+        report.push_text(format!(
+            "[2,8,6,6,4,7] @12λ           : {:.2} kcc, {:.2} fJ/bit, log BER {:.2} \
+             (paper: 22.96 kcc, ~7.5-8 fJ/bit)",
+            o.exec_time.to_kilocycles(),
+            o.bit_energy.value(),
+            o.avg_log_ber
+        ));
+        csv.push_row(vec![
+            "rich_exec_kcc".into(),
+            "22.96".into(),
+            format!("{:.4}", o.exec_time.to_kilocycles()),
+        ]);
+        csv.push_row(vec![
+            "rich_energy_fj".into(),
+            "7.8".into(),
+            format!("{:.4}", o.bit_energy.value()),
+        ]);
+        report.push_table(csv);
+        report
+    }
+}
+
+/// E7 — cross-validation: analytic schedule (Eqs. 10–12) vs the
+/// discrete-event simulator.
+///
+/// The paper's numbers come from the analytic model; this experiment runs
+/// the same allocations through an independent executable model and
+/// reports the deviation (bounded by integer-cycle rounding) and the
+/// runtime conflict check.
+pub struct SimValidation;
+
+impl Experiment for SimValidation {
+    fn name(&self) -> &'static str {
+        "sim-validation"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Cross-validation: analytic schedule vs discrete-event simulation"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let mut report = Report::new("Analytic schedule vs discrete-event simulation");
+        let rate = BitsPerCycle::new(1.0);
+        let mut csv = Table::new("sim_validation", &["study", "a", "b", "c", "d"]);
+
+        // --- Paper instance across comb sizes and allocations ------------
+        let mut table = Table::new(
+            "sim_validation_paper",
+            &[
+                "nw",
+                "counts",
+                "analytic_cc",
+                "des_cc",
+                "delta_cc",
+                "conflicts",
+            ],
+        );
+        let cases: [(usize, Vec<usize>); 6] = [
+            (4, vec![1, 1, 1, 1, 1, 1]),
+            (4, vec![2, 2, 4, 2, 2, 4]),
+            (8, vec![3, 4, 8, 5, 3, 8]),
+            (8, vec![1, 7, 4, 4, 3, 5]),
+            (12, vec![4, 8, 12, 6, 6, 12]),
+            (12, vec![2, 8, 6, 6, 4, 7]),
+        ];
+        for (nw, counts) in &cases {
+            let inst = ProblemInstance::paper_with_wavelengths(*nw);
+            let alloc = inst.allocation_from_counts(counts).unwrap();
+            let analytic = Schedule::new(inst.app().graph(), rate)
+                .unwrap()
+                .evaluate(counts)
+                .unwrap()
+                .makespan
+                .value();
+            let run = Simulator::new(inst.app(), &alloc, rate)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert!(
+                run.conflicts.is_empty(),
+                "valid allocation must be conflict-free"
+            );
+            #[allow(clippy::cast_precision_loss)]
+            let delta = run.makespan as f64 - analytic;
+            table.push_row(vec![
+                nw.to_string(),
+                crate::artifact::counts_cell(counts),
+                format!("{analytic:.1}"),
+                run.makespan.to_string(),
+                format!("{delta:.1}"),
+                run.conflicts.len().to_string(),
+            ]);
+            csv.push_row(vec![
+                format!("paper_nw{nw}"),
+                format!("{analytic:.1}"),
+                run.makespan.to_string(),
+                format!("{delta:.1}"),
+                run.conflicts.len().to_string(),
+            ]);
+        }
+        report.push_text("Paper application:".to_string());
+        report.push_table(table);
+
+        // --- Random DAG sweep ---------------------------------------------
+        let dag_count = ctx.scale.pick(200usize, 60, 20);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut max_rel_dev: f64 = 0.0;
+        let mut simulated = 0usize;
+        for i in 0..dag_count {
+            let graph = workloads::random_layered_dag(
+                &mut rng,
+                &workloads::LayeredDagConfig {
+                    layers: 4,
+                    width: 3,
+                    edge_probability: 0.35,
+                    exec_range: (500.0, 4_000.0),
+                    volume_range: (200.0, 5_000.0),
+                },
+            );
+            let nodes = workloads::random_mapping(&mut rng, graph.task_count(), 16);
+            let mapping = onoc_app::Mapping::new(&graph, nodes).unwrap();
+            let app = onoc_app::MappedApplication::new(
+                graph,
+                mapping,
+                onoc_topology::RingTopology::new(16),
+                onoc_app::RouteStrategy::Shortest,
+            )
+            .unwrap();
+            let arch = onoc_topology::OnocArchitecture::paper_architecture(16);
+            let inst = ProblemInstance::new(arch, app, EvalOptions::default()).unwrap();
+            let Ok(alloc) = heuristics::first_fit(&inst) else {
+                continue; // congested mapping, comb too small — skip
+            };
+            let analytic = Schedule::new(inst.app().graph(), rate)
+                .unwrap()
+                .evaluate(&alloc.counts())
+                .unwrap()
+                .makespan
+                .value();
+            let run = Simulator::new(inst.app(), &alloc, rate)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert!(
+                run.conflicts.is_empty(),
+                "DAG {i}: conflict on valid allocation"
+            );
+            #[allow(clippy::cast_precision_loss)]
+            let rel = (run.makespan as f64 - analytic) / analytic;
+            max_rel_dev = max_rel_dev.max(rel);
+            simulated += 1;
+        }
+        report.push_text(format!(
+            "Random layered DAGs (first-fit allocations, 16 λ):\n  \
+             {simulated}/{dag_count} DAGs simulated, all conflict-free\n  \
+             max relative DES-vs-analytic deviation: {max_rel_dev:.3e} (rounding only)"
+        ));
+        csv.push_row(vec![
+            "random".into(),
+            simulated.to_string(),
+            format!("{max_rel_dev:.6}"),
+            String::new(),
+            String::new(),
+        ]);
+        report.push_table(csv);
+        report
+    }
+}
+
+/// E9 — model ablations.
+///
+/// Three studies on fixed allocations of the paper instance: the SNR
+/// convention of Eq. 9, the crosstalk accumulation model, a
+/// channel-spacing sweep, plus the worst-case-bound comparison.
+pub struct Ablation;
+
+fn instance_with(nw: usize, conv: BerConvention, model: CrosstalkModel) -> ProblemInstance {
+    let base = ProblemInstance::paper_with_wavelengths(nw);
+    ProblemInstance::new(
+        base.arch().clone(),
+        workloads::paper_mapped_application(),
+        EvalOptions {
+            ber_convention: conv,
+            crosstalk_model: model,
+            ..EvalOptions::default()
+        },
+    )
+    .expect("paper instance variants are consistent")
+}
+
+impl Experiment for Ablation {
+    fn name(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Model ablations: SNR convention, crosstalk model, channel spacing"
+    }
+
+    fn run(&self, _ctx: &RunContext) -> Report {
+        let mut report = Report::new("Model ablations on the paper instance");
+        let mut csv = Table::new("ablation", &["study", "a", "b", "c", "d"]);
+
+        // --- 1 & 2: convention × crosstalk model grid at 8 λ -------------
+        let counts = [3usize, 4, 8, 5, 3, 8]; // the 8-λ time optimum
+        let mut grid = Table::new(
+            "ablation_grid",
+            &["snr_convention", "crosstalk_model", "log10_ber"],
+        );
+        for conv in [BerConvention::PaperDb, BerConvention::Linear] {
+            for model in [CrosstalkModel::PaperFirstOrder, CrosstalkModel::Elementwise] {
+                let inst = instance_with(8, conv, model);
+                let ev = inst.evaluator();
+                let alloc = inst.allocation_from_counts(&counts).unwrap();
+                let o = ev.evaluate(&alloc).unwrap();
+                grid.push_row(vec![
+                    conv.to_string(),
+                    model.to_string(),
+                    format!("{:.3}", o.avg_log_ber),
+                ]);
+                csv.push_row(vec![
+                    "grid".into(),
+                    conv.to_string(),
+                    model.to_string(),
+                    format!("{:.4}", o.avg_log_ber),
+                    String::new(),
+                ]);
+            }
+        }
+        report.push_text(format!("Allocation {counts:?} at 8 λ:"));
+        report.push_table(grid);
+        report.push_text(
+            "The paper's reported window (−3.7 … −3.0) is reproduced only by the\n\
+             dB convention; the literal reading of Eq. 9 predicts error-free links.",
+        );
+
+        // --- 3: channel-spacing sweep -------------------------------------
+        let mut sweep = Table::new(
+            "ablation_spacing",
+            &["nw", "spacing_nm", "frugal_log10_ber", "dense_log10_ber"],
+        );
+        for nw in [4usize, 6, 8, 10, 12, 16] {
+            let inst = instance_with(nw, BerConvention::PaperDb, CrosstalkModel::PaperFirstOrder);
+            let ev = inst.evaluator();
+            let spacing = inst.arch().grid().spacing().value();
+            let frugal = inst.allocation_from_counts(&[1; 6]).unwrap();
+            let frugal_ber = ev.evaluate(&frugal).unwrap().avg_log_ber;
+            // Dense: split each sharing group evenly, give loners half the comb.
+            let half = (nw / 2).max(1);
+            let dense_counts = [half, nw - half, nw, half, nw - half, nw];
+            let dense_ber = inst
+                .allocation_from_counts(&dense_counts)
+                .ok()
+                .and_then(|a| ev.evaluate(&a))
+                .map(|o| o.avg_log_ber);
+            let dense_cell = dense_ber.map_or_else(|| "n/a".to_string(), |b| format!("{b:.3}"));
+            sweep.push_row(vec![
+                nw.to_string(),
+                format!("{spacing:.3}"),
+                format!("{frugal_ber:.3}"),
+                dense_cell.clone(),
+            ]);
+            csv.push_row(vec![
+                "sweep".into(),
+                nw.to_string(),
+                format!("{spacing:.4}"),
+                format!("{frugal_ber:.4}"),
+                dense_ber.map_or_else(String::new, |b| format!("{b:.4}")),
+            ]);
+        }
+        report.push_text("Channel-spacing sweep (fixed 12.8 nm FSR):".to_string());
+        report.push_table(sweep);
+        report.push_text(
+            "Denser combs shrink the spacing and pull the dense-allocation BER\n\
+             up; the frugal allocation barely moves (its channels stay far apart\n\
+             after constraint-aware packing).",
+        );
+
+        // --- 4: worst-case bounds vs application-aware analysis -----------
+        let mut worst_table = Table::new(
+            "ablation_worst_case",
+            &["nw", "worst_case_log10_ber", "paper_app_log10_ber"],
+        );
+        for nw in [4usize, 8, 12] {
+            let inst = instance_with(nw, BerConvention::PaperDb, CrosstalkModel::PaperFirstOrder);
+            let ev = inst.evaluator();
+            let arch = inst.arch();
+            let p0 = arch.laser().power_off().to_milliwatts();
+            let worst = onoc_topology::worst_case_bounds(
+                arch,
+                onoc_topology::NodeId(3),
+                onoc_topology::Direction::Clockwise,
+            )
+            .iter()
+            .map(|b| b.worst_log_ber(p0, BerConvention::PaperDb))
+            .fold(f64::NEG_INFINITY, f64::max);
+            let dense_counts: Vec<usize> = vec![nw / 2, nw - nw / 2, nw, nw / 2, nw - nw / 2, nw];
+            let app_ber = inst
+                .allocation_from_counts(&dense_counts)
+                .ok()
+                .and_then(|a| ev.evaluate(&a))
+                .map_or(f64::NAN, |o| o.avg_log_ber);
+            worst_table.push_row(vec![
+                nw.to_string(),
+                format!("{worst:.3}"),
+                format!("{app_ber:.3}"),
+            ]);
+            csv.push_row(vec![
+                "worst_case".into(),
+                nw.to_string(),
+                format!("{worst:.4}"),
+                format!("{app_ber:.4}"),
+                String::new(),
+            ]);
+        }
+        report.push_text(
+            "Worst-case crosstalk bound (Nikdast-style) vs application reality:".to_string(),
+        );
+        report.push_table(worst_table);
+        report.push_text(
+            "The bound misjudges the application in both directions: sparse\n\
+             allocations sit far inside it (sizing lasers against the bound\n\
+             wastes their margin), while maximally dense allocations can exceed\n\
+             it — the bound assumes an all-OFF victim path and misses the\n\
+             intra-communication ON-ring losses dense points pay. Either way,\n\
+             only the application-aware analysis prices a concrete design point\n\
+             (the paper's §II argument against worst-case-only design).",
+        );
+        report.push_table(csv);
+        report
+    }
+}

@@ -1,0 +1,688 @@
+//! Executes a [`ScenarioSpec`]: the `onoc run --spec file.toml` path.
+//!
+//! This is the generic interpreter over the (architecture × workload ×
+//! allocator × scale) space — scenarios the 15 named experiments never
+//! hard-coded (say, hotspot traffic + synthesised static allocation on a
+//! 12-λ comb) run from a data file with no new Rust code.
+//!
+//! Scale semantics: the GA always takes its population/generations from
+//! the spec's [`Scale`] (unless the allocator overrides them), and
+//! open-loop horizons shrink at `quick`/`smoke` scale so smoke runs stay
+//! fast even on paper-sized spec files.
+
+use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
+use onoc_sim::{
+    DynamicSimulator, FlowMatrix, OpenLoopReport, OpenLoopSimulator, StaticFlowMap, WavelengthMode,
+};
+use onoc_topology::{OnocArchitecture, RingTopology};
+use onoc_traffic::{OnOffConfig, SweepGrid, SweepOutcome, TrafficConfig, generate, run_sweep};
+use onoc_units::{Bits, BitsPerCycle, Cycles};
+use onoc_wa::{Allocation, Evaluator, Nsga2, ProblemInstance, heuristics};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+use crate::artifact::{Report, Table, counts_cell};
+use crate::spec::{
+    AllocatorSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, WorkloadSpec, objectives_name,
+};
+
+/// Why a scenario could not be executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The workload/architecture could not be assembled.
+    Build {
+        /// Which stage failed.
+        stage: &'static str,
+        /// The underlying failure.
+        message: String,
+    },
+    /// The allocator produced no allocation.
+    Allocator {
+        /// The underlying failure.
+        message: String,
+    },
+    /// The simulation rejected the scenario.
+    Simulation {
+        /// The underlying failure.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScenarioError::Build { stage, message } => {
+                write!(f, "could not build {stage}: {message}")
+            }
+            ScenarioError::Allocator { message } => write!(f, "allocator failed: {message}"),
+            ScenarioError::Simulation { message } => write!(f, "simulation failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn build_err(stage: &'static str, e: impl core::fmt::Display) -> ScenarioError {
+    ScenarioError::Build {
+        stage,
+        message: e.to_string(),
+    }
+}
+
+fn alloc_err(e: impl core::fmt::Display) -> ScenarioError {
+    ScenarioError::Allocator {
+        message: e.to_string(),
+    }
+}
+
+/// The unit data rate (`B` of Eq. 10) shared by every scenario.
+fn rate() -> BitsPerCycle {
+    BitsPerCycle::new(1.0)
+}
+
+/// Horizon shrink at reduced scales (keeps smoke runs fast on
+/// paper-sized spec files).
+fn scaled_horizon(scale: Scale, horizon: u64) -> u64 {
+    scale.pick(horizon, (horizon / 4).max(1), (horizon / 10).max(1))
+}
+
+/// Runs one scenario to a structured report.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] when the workload cannot be assembled, the
+/// allocator fails (e.g. the comb is too small), or the simulation
+/// rejects its input.
+pub fn run_spec(spec: &ScenarioSpec, threads: usize) -> Result<Report, ScenarioError> {
+    let mut report = Report::new(format!(
+        "Scenario `{}` — {} workload, {} allocator, scale: {}",
+        spec.name,
+        spec.workload.kind(),
+        spec.allocator.kind(),
+        spec.scale
+    ));
+    report.push_text(format!(
+        "arch: {} nodes × {} λ, seed {}, objectives {}",
+        spec.arch.nodes,
+        spec.arch.wavelengths,
+        spec.seed,
+        objectives_name(spec.objectives)
+    ));
+    match &spec.workload {
+        WorkloadSpec::PaperApp | WorkloadSpec::Kernel { .. } => {
+            run_closed_loop(spec, &mut report)?;
+        }
+        WorkloadSpec::Synthetic { .. } => run_synthetic(spec, &mut report)?,
+        WorkloadSpec::Sweep { .. } => run_sweep_workload(spec, threads, &mut report)?,
+    }
+    Ok(report)
+}
+
+// --------------------------------------------------------- closed loop --
+
+fn closed_loop_instance(spec: &ScenarioSpec) -> Result<ProblemInstance, ScenarioError> {
+    match &spec.workload {
+        WorkloadSpec::PaperApp => Ok(ProblemInstance::paper_with_wavelengths(
+            spec.arch.wavelengths,
+        )),
+        WorkloadSpec::Kernel {
+            kind,
+            stages,
+            exec_kcc,
+            volume_kbits,
+            mapping_seed,
+        } => {
+            let exec = Cycles::from_kilocycles(*exec_kcc);
+            let volume = Bits::from_kilobits(*volume_kbits);
+            let graph: TaskGraph = match kind {
+                KernelKind::Pipeline => workloads::pipeline(*stages, exec, volume),
+                KernelKind::ForkJoin => workloads::fork_join(*stages, exec, volume),
+                KernelKind::Butterfly => workloads::butterfly(*stages, exec, volume),
+                KernelKind::ReductionTree => workloads::reduction_tree(*stages, exec, volume),
+            };
+            if graph.task_count() > spec.arch.nodes {
+                return Err(ScenarioError::Build {
+                    stage: "kernel mapping",
+                    message: format!(
+                        "{} tasks do not fit injectively on {} nodes",
+                        graph.task_count(),
+                        spec.arch.nodes
+                    ),
+                });
+            }
+            let mut rng = StdRng::seed_from_u64(*mapping_seed);
+            let nodes = workloads::random_mapping(&mut rng, graph.task_count(), spec.arch.nodes);
+            let mapping = Mapping::new(&graph, nodes).map_err(|e| build_err("mapping", e))?;
+            let app = MappedApplication::new(
+                graph,
+                mapping,
+                RingTopology::new(spec.arch.nodes),
+                RouteStrategy::Shortest,
+            )
+            .map_err(|e| build_err("mapped application", e))?;
+            let (rows, cols) = grid_dims(spec.arch.nodes);
+            let arch = OnocArchitecture::builder()
+                .grid_dimensions(rows, cols)
+                .wavelengths(spec.arch.wavelengths)
+                .build()
+                .map_err(|e| build_err("architecture", e))?;
+            ProblemInstance::new(arch, app, onoc_wa::EvalOptions::default())
+                .map_err(|e| build_err("problem instance", e))
+        }
+        _ => unreachable!("caller dispatches only closed-loop workloads here"),
+    }
+}
+
+/// Near-square grid factorisation of the ring size (serpentine layout).
+fn grid_dims(nodes: usize) -> (usize, usize) {
+    let mut best = (1, nodes);
+    let mut r = 1;
+    while r * r <= nodes {
+        if nodes.is_multiple_of(r) {
+            best = (r, nodes / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+fn objectives_table(
+    label: &str,
+    evaluator: &Evaluator<'_>,
+    allocations: &[(String, Allocation)],
+) -> Result<Table, ScenarioError> {
+    let mut table = Table::new(
+        label,
+        &[
+            "allocator",
+            "exec_kcc",
+            "bit_energy_fj",
+            "log10_ber",
+            "counts",
+        ],
+    );
+    for (name, alloc) in allocations {
+        let o = evaluator.evaluate(alloc).ok_or_else(|| {
+            alloc_err(format!(
+                "{name} produced an allocation that violates the §III-D constraints"
+            ))
+        })?;
+        table.push_row(vec![
+            name.clone(),
+            format!("{:.4}", o.exec_time.to_kilocycles()),
+            format!("{:.4}", o.bit_energy.value()),
+            format!("{:.4}", o.avg_log_ber),
+            counts_cell(&alloc.counts()),
+        ]);
+    }
+    Ok(table)
+}
+
+fn run_closed_loop(spec: &ScenarioSpec, report: &mut Report) -> Result<(), ScenarioError> {
+    let instance = closed_loop_instance(spec)?;
+    report.push_text(format!(
+        "application: {} tasks, {} communications, {} overlapping pairs",
+        instance.app().graph().task_count(),
+        instance.comm_count(),
+        instance.app().overlapping_pairs().len()
+    ));
+    let evaluator = instance.evaluator();
+    match &spec.allocator {
+        AllocatorSpec::Nsga2 {
+            population,
+            generations,
+        } => {
+            let mut config = spec.scale.ga_config(spec.objectives, spec.seed);
+            if let Some(p) = population {
+                config.population_size = *p;
+            }
+            if let Some(g) = generations {
+                config.generations = *g;
+            }
+            let outcome = Nsga2::new(&evaluator, config).run();
+            report.push_text(format!(
+                "NSGA-II: {} evaluations, {} valid, {} on the Pareto front",
+                outcome.stats.evaluations,
+                outcome.stats.valid_evaluations,
+                outcome.front.len()
+            ));
+            let mut table = Table::new(
+                "front",
+                &["exec_kcc", "bit_energy_fj", "log10_ber", "counts"],
+            );
+            for p in outcome.front.points() {
+                table.push_row(vec![
+                    format!("{:.4}", p.objectives.exec_time.to_kilocycles()),
+                    format!("{:.4}", p.objectives.bit_energy.value()),
+                    format!("{:.4}", p.objectives.avg_log_ber),
+                    counts_cell(&p.allocation.counts()),
+                ]);
+            }
+            report.push_table(table);
+        }
+        AllocatorSpec::Heuristic { kind } => {
+            let alloc = run_heuristic(*kind, &instance, &evaluator, spec.seed)?;
+            let table = objectives_table("objectives", &evaluator, &[(kind.name().into(), alloc)])?;
+            report.push_table(table);
+        }
+        AllocatorSpec::Counts { counts } => {
+            let alloc = instance.allocation_from_counts(counts).map_err(alloc_err)?;
+            let table = objectives_table("objectives", &evaluator, &[("counts".into(), alloc)])?;
+            report.push_table(table);
+        }
+        AllocatorSpec::Dynamic { policy } => {
+            let sim = DynamicSimulator::new(instance.app(), spec.arch.wavelengths, rate(), *policy);
+            let outcome = sim.run();
+            let mut table = Table::new("dynamic", &["policy", "makespan_kcc", "blocked_attempts"]);
+            table.push_row(vec![
+                policy.to_string(),
+                format!("{:.4}", outcome.makespan as f64 / 1000.0),
+                outcome.blocked_attempts.to_string(),
+            ]);
+            report.push_table(table);
+        }
+        other => unreachable!("spec validation rejects {} for closed loops", other.kind()),
+    }
+    Ok(())
+}
+
+fn run_heuristic(
+    kind: HeuristicKind,
+    instance: &ProblemInstance,
+    evaluator: &Evaluator<'_>,
+    seed: u64,
+) -> Result<Allocation, ScenarioError> {
+    match kind {
+        HeuristicKind::FirstFit => heuristics::first_fit(instance).map_err(alloc_err),
+        HeuristicKind::MostUsed => heuristics::most_used(instance).map_err(alloc_err),
+        HeuristicKind::LeastUsed => heuristics::least_used(instance).map_err(alloc_err),
+        HeuristicKind::Random => {
+            heuristics::random_single(instance, &mut StdRng::seed_from_u64(seed), 10_000)
+                .map_err(alloc_err)
+        }
+        HeuristicKind::GreedyMakespan => {
+            heuristics::greedy_makespan(instance, evaluator).map_err(alloc_err)
+        }
+    }
+}
+
+// ----------------------------------------------------------- open loop --
+
+fn open_loop_table(label: &str) -> Table {
+    Table::new(
+        label,
+        &[
+            "mode",
+            "pattern",
+            "nodes",
+            "wavelengths",
+            "injection_rate",
+            "messages",
+            "offered_bits_per_cycle",
+            "accepted_bits_per_cycle",
+            "latency_mean",
+            "latency_p50",
+            "latency_p95",
+            "latency_p99",
+            "latency_max",
+            "blocked",
+            "occupancy",
+            "conflicts",
+        ],
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_open_loop_row(
+    table: &mut Table,
+    mode: &str,
+    pattern: &str,
+    injection_rate: f64,
+    offered: f64,
+    report: &OpenLoopReport,
+) {
+    let latency = report.latency();
+    table.push_row(vec![
+        mode.to_string(),
+        pattern.to_string(),
+        report.nodes.to_string(),
+        report.wavelengths.to_string(),
+        format!("{injection_rate}"),
+        report.records.len().to_string(),
+        format!("{offered:.3}"),
+        format!("{:.3}", report.accepted_throughput()),
+        format!("{:.2}", latency.mean),
+        format!("{:.2}", latency.p50),
+        format!("{:.2}", latency.p95),
+        format!("{:.2}", latency.p99),
+        latency.max.to_string(),
+        report.blocked_attempts.to_string(),
+        format!("{:.5}", report.mean_wavelength_occupancy()),
+        report.conflict_count.to_string(),
+    ]);
+}
+
+fn run_synthetic(spec: &ScenarioSpec, report: &mut Report) -> Result<(), ScenarioError> {
+    let WorkloadSpec::Synthetic {
+        pattern,
+        injection_rate,
+        message_bits,
+        horizon,
+        burstiness,
+    } = &spec.workload
+    else {
+        unreachable!("caller dispatches only synthetic workloads here");
+    };
+    let horizon = scaled_horizon(spec.scale, *horizon);
+    let config = TrafficConfig {
+        nodes: spec.arch.nodes,
+        pattern: pattern.clone(),
+        injection_rate: *injection_rate,
+        message_volume: Bits::new(*message_bits),
+        horizon,
+        seed: spec.seed,
+        burstiness: burstiness.map(|(mean_on, mean_off)| OnOffConfig { mean_on, mean_off }),
+    };
+    let trace = generate(&config);
+    report.push_text(format!(
+        "trace: {} pattern, rate {}, {} messages over {} cycles",
+        pattern,
+        injection_rate,
+        trace.len(),
+        horizon
+    ));
+    let ring = RingTopology::new(spec.arch.nodes);
+    let mode = match &spec.allocator {
+        AllocatorSpec::Dynamic { policy } => WavelengthMode::Dynamic(*policy),
+        AllocatorSpec::Striped { lanes_per_flow } => WavelengthMode::Static(
+            StaticFlowMap::striped(spec.arch.nodes, spec.arch.wavelengths, *lanes_per_flow),
+        ),
+        AllocatorSpec::FlowSynthesis { policy } => {
+            let matrix = FlowMatrix::from_events(spec.arch.nodes, trace.events());
+            let map = StaticFlowMap::from_allocator(&ring, spec.arch.wavelengths, &matrix, *policy)
+                .map_err(alloc_err)?;
+            let mut lanes_table = Table::new("flow_lanes", &["src", "dst", "bits", "lanes"]);
+            for (src, dst, bits) in matrix.flows() {
+                lanes_table.push_row(vec![
+                    src.0.to_string(),
+                    dst.0.to_string(),
+                    format!("{bits:.0}"),
+                    map.lanes(src, dst).len().to_string(),
+                ]);
+            }
+            report.push_text(format!(
+                "flow synthesis: {} measured flows, {:.0} bits total, lanes via the onoc-wa allocator",
+                matrix.flow_count(),
+                matrix.total_bits()
+            ));
+            report.push_table(lanes_table);
+            WavelengthMode::Static(map)
+        }
+        other => unreachable!(
+            "spec validation rejects {} for synthetic traffic",
+            other.kind()
+        ),
+    };
+    let mode_label = match &mode {
+        WavelengthMode::Dynamic(policy) => format!("dynamic-{policy}"),
+        WavelengthMode::Static(_) => format!("static-{}", spec.allocator.kind()),
+    };
+    let sim = OpenLoopSimulator::new(ring, spec.arch.wavelengths, rate(), mode);
+    let run = sim
+        .run(trace.source())
+        .map_err(|e| ScenarioError::Simulation {
+            message: e.to_string(),
+        })?;
+    let mut table = open_loop_table("scenario");
+    push_open_loop_row(
+        &mut table,
+        &mode_label,
+        pattern.name(),
+        *injection_rate,
+        config.offered_load(),
+        &run,
+    );
+    report.push_table(table);
+    Ok(())
+}
+
+fn run_sweep_workload(
+    spec: &ScenarioSpec,
+    threads: usize,
+    report: &mut Report,
+) -> Result<(), ScenarioError> {
+    let WorkloadSpec::Sweep {
+        patterns,
+        injection_rates,
+        wavelengths,
+        ring_sizes,
+        message_bits,
+        horizon,
+        burstiness,
+    } = &spec.workload
+    else {
+        unreachable!("caller dispatches only sweep workloads here");
+    };
+    let AllocatorSpec::Dynamic { policy } = &spec.allocator else {
+        unreachable!("spec validation allows only dynamic allocators for sweeps");
+    };
+    let grid = SweepGrid {
+        patterns: patterns.clone(),
+        injection_rates: injection_rates.clone(),
+        wavelengths: wavelengths.clone(),
+        ring_sizes: ring_sizes.clone(),
+        message_volume: Bits::new(*message_bits),
+        horizon: scaled_horizon(spec.scale, *horizon),
+        seed: spec.seed,
+        lane_rate: rate(),
+        policy: *policy,
+        burstiness: burstiness.map(|(mean_on, mean_off)| OnOffConfig { mean_on, mean_off }),
+    };
+    let scenario_count = grid.scenarios().len();
+    let outcome = run_sweep(&grid, threads);
+    report.push_text(format!(
+        "{scenario_count} scenarios over {} worker threads ({} participated)",
+        outcome.threads, outcome.workers_used
+    ));
+    report.push_table(sweep_table("sweep", &outcome));
+    Ok(())
+}
+
+/// Tabulates a sweep outcome under the sweep runner's canonical header.
+#[must_use]
+pub fn sweep_table(name: &str, outcome: &SweepOutcome) -> Table {
+    let columns: Vec<&str> = SweepOutcome::CSV_HEADER.split(',').collect();
+    let mut table = Table::new(name, &columns);
+    for row in outcome.to_csv() {
+        table.push_row(row.split(',').map(ToString::to_string).collect());
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AllocatorSpec, WorkloadSpec};
+    use onoc_sim::{DynamicPolicy, FlowAllocPolicy};
+    use onoc_topology::NodeId;
+    use onoc_traffic::TrafficPattern;
+
+    fn smoke(spec: ScenarioSpec) -> Report {
+        run_spec(&spec, 2).expect("smoke scenario runs")
+    }
+
+    #[test]
+    fn paper_counts_scenario_reproduces_the_anchor() {
+        let report = smoke(
+            ScenarioSpec::builder("counts")
+                .scale(Scale::Smoke)
+                .wavelengths(4)
+                .allocator(AllocatorSpec::Counts {
+                    counts: vec![1, 1, 1, 1, 1, 1],
+                })
+                .build()
+                .unwrap(),
+        );
+        let tables = report.tables();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows()[0][1], "38.0000", "frugal anchor is 38 kcc");
+    }
+
+    #[test]
+    fn nsga2_scenario_produces_a_front() {
+        let report = smoke(
+            ScenarioSpec::builder("ga")
+                .scale(Scale::Smoke)
+                .build()
+                .unwrap(),
+        );
+        let front = report.tables()[0];
+        assert_eq!(front.name(), "front");
+        assert!(!front.rows().is_empty());
+    }
+
+    #[test]
+    fn the_previously_inexpressible_scenario_runs_from_data() {
+        // Hotspot traffic + synthesised static allocation + 12-λ comb:
+        // no former binary could run this; the spec layer can. (A pure
+        // hotspot keeps the measured flow set colourable: ~30 flows in
+        // per-segment cliques of ≤ 8, vs ~240 for a uniform background.)
+        let toml = r#"
+name = "hotspot-heuristic-12"
+seed = 42
+scale = "smoke"
+
+[arch]
+nodes = 16
+wavelengths = 12
+
+[workload]
+kind = "synthetic"
+pattern = "hotspot"
+hotspots = [0]
+fraction = 1.0
+injection_rate = 0.01
+message_bits = 512.0
+horizon = 20000
+
+[allocator]
+kind = "flow-synthesis"
+policy = "proportional"
+max_lanes_per_flow = 4
+"#;
+        let spec = ScenarioSpec::from_toml_str(toml).unwrap();
+        let report = run_spec(&spec, 2).unwrap();
+        let names: Vec<&str> = report.tables().iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["flow_lanes", "scenario"]);
+        let scenario = report.tables()[1];
+        assert_eq!(scenario.rows().len(), 1);
+        assert_eq!(scenario.rows()[0][0], "static-flow-synthesis");
+        assert_eq!(
+            scenario.rows()[0].last().unwrap(),
+            "0",
+            "synthesised maps replay their own trace conflict-free"
+        );
+    }
+
+    #[test]
+    fn kernel_dynamic_scenario_runs() {
+        let report = smoke(
+            ScenarioSpec::builder("kernel-dyn")
+                .scale(Scale::Smoke)
+                .nodes(12)
+                .workload(WorkloadSpec::Kernel {
+                    kind: KernelKind::Pipeline,
+                    stages: 5,
+                    exec_kcc: 2.0,
+                    volume_kbits: 4.0,
+                    mapping_seed: 3,
+                })
+                .allocator(AllocatorSpec::Dynamic {
+                    policy: DynamicPolicy::Single,
+                })
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(report.tables()[0].name(), "dynamic");
+    }
+
+    #[test]
+    fn sweep_scenario_is_thread_deterministic() {
+        let spec = ScenarioSpec::builder("grid")
+            .scale(Scale::Smoke)
+            .workload(WorkloadSpec::Sweep {
+                patterns: vec![TrafficPattern::UniformRandom, TrafficPattern::Transpose],
+                injection_rates: vec![0.005, 0.02],
+                wavelengths: vec![4],
+                ring_sizes: vec![16],
+                message_bits: 256.0,
+                horizon: 8_000,
+                burstiness: None,
+            })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        let one = run_spec(&spec, 1).unwrap();
+        let four = run_spec(&spec, 4).unwrap();
+        // The worker head-count line differs; the artifact tables must not.
+        assert_eq!(one.tables()[0], four.tables()[0]);
+        assert_eq!(one.tables()[0].rows().len(), 4);
+    }
+
+    #[test]
+    fn infeasible_flow_synthesis_is_a_clean_error() {
+        let spec = ScenarioSpec::builder("tight")
+            .scale(Scale::Smoke)
+            .wavelengths(1)
+            .workload(WorkloadSpec::Synthetic {
+                pattern: TrafficPattern::Hotspot {
+                    hotspots: vec![NodeId(0)],
+                    fraction: 0.9,
+                },
+                injection_rate: 0.05,
+                message_bits: 512.0,
+                horizon: 5_000,
+                burstiness: None,
+            })
+            .allocator(AllocatorSpec::FlowSynthesis {
+                policy: FlowAllocPolicy::FirstFit,
+            })
+            .build()
+            .unwrap();
+        let err = run_spec(&spec, 2).unwrap_err();
+        assert!(matches!(err, ScenarioError::Allocator { .. }), "{err}");
+    }
+
+    #[test]
+    fn heuristic_and_striped_scenarios_run() {
+        let heuristic = smoke(
+            ScenarioSpec::builder("ff")
+                .scale(Scale::Smoke)
+                .allocator(AllocatorSpec::Heuristic {
+                    kind: HeuristicKind::FirstFit,
+                })
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(heuristic.tables()[0].rows()[0][0], "first-fit");
+
+        let striped = smoke(
+            ScenarioSpec::builder("striped")
+                .scale(Scale::Smoke)
+                .wavelengths(16)
+                .workload(WorkloadSpec::Synthetic {
+                    pattern: TrafficPattern::NearestNeighbor,
+                    injection_rate: 0.005,
+                    message_bits: 128.0,
+                    horizon: 4_000,
+                    burstiness: None,
+                })
+                .allocator(AllocatorSpec::Striped { lanes_per_flow: 1 })
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(striped.tables()[0].rows()[0][0], "static-striped");
+    }
+}

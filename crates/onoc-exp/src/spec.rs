@@ -1,0 +1,1491 @@
+//! The declarative scenario API: one [`ScenarioSpec`] names a point in the
+//! (architecture × workload × allocator × scale) design space.
+//!
+//! Specs are plain data: build them with [`ScenarioSpec::builder`], load
+//! them from TOML-subset or JSON files ([`ScenarioSpec::from_toml_str`],
+//! [`ScenarioSpec::from_json_str`]), and hand them to
+//! [`run_spec`](crate::scenario::run_spec) — new scenarios need a file,
+//! not a binary. Every spec round-trips exactly through both serializers.
+
+use onoc_sim::{DynamicPolicy, FlowAllocPolicy};
+use onoc_topology::NodeId;
+use onoc_traffic::TrafficPattern;
+use onoc_wa::{Nsga2Config, ObjectiveSet};
+
+use crate::value::{ParseError, Value};
+
+/// How large the search/simulation runs should be.
+///
+/// This is the single scale knob of the workspace (the seven per-binary
+/// copies of `Scale::from_env_and_args` collapsed here): GA population ×
+/// generations, and a shrink factor experiments apply to horizons and
+/// sample counts via [`Scale::pick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// The paper's configuration: population 400, 300 generations.
+    #[default]
+    Paper,
+    /// A reduced configuration for smoke runs: population 120, 60
+    /// generations.
+    Quick,
+    /// A minimal configuration for in-test registry sweeps: population
+    /// 32, 12 generations.
+    Smoke,
+}
+
+impl Scale {
+    /// Resolves the scale from the process arguments (`--quick`) and the
+    /// `ONOC_SCALE` / legacy `ONOC_BENCH_SCALE` environment variables
+    /// (`paper` / `quick` / `smoke`). Defaults to [`Scale::Paper`].
+    #[must_use]
+    pub fn from_env_and_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            return Scale::Quick;
+        }
+        for var in ["ONOC_SCALE", "ONOC_BENCH_SCALE"] {
+            if let Ok(v) = std::env::var(var) {
+                if let Some(scale) = Self::from_name(&v.to_ascii_lowercase()) {
+                    return scale;
+                }
+            }
+        }
+        Scale::Paper
+    }
+
+    /// Parses `paper` / `quick` / `smoke`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "paper" => Some(Scale::Paper),
+            "quick" => Some(Scale::Quick),
+            "smoke" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
+
+    /// The machine-friendly name (`paper` / `quick` / `smoke`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+            Scale::Smoke => "smoke",
+        }
+    }
+
+    /// The NSGA-II configuration for this scale.
+    #[must_use]
+    pub fn ga_config(self, objectives: ObjectiveSet, seed: u64) -> Nsga2Config {
+        let (population_size, generations) = match self {
+            Scale::Paper => (400, 300),
+            Scale::Quick => (120, 60),
+            Scale::Smoke => (32, 12),
+        };
+        Nsga2Config {
+            population_size,
+            generations,
+            objectives,
+            seed,
+            ..Nsga2Config::default()
+        }
+    }
+
+    /// Scale-dependent constant selection (horizons, sample counts, …).
+    #[must_use]
+    pub fn pick<T>(self, paper: T, quick: T, smoke: T) -> T {
+        match self {
+            Scale::Paper => paper,
+            Scale::Quick => quick,
+            Scale::Smoke => smoke,
+        }
+    }
+}
+
+impl core::fmt::Display for Scale {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Scale::Paper => write!(f, "paper (pop 400 × 300 gen)"),
+            Scale::Quick => write!(f, "quick (pop 120 × 60 gen)"),
+            Scale::Smoke => write!(f, "smoke (pop 32 × 12 gen)"),
+        }
+    }
+}
+
+/// The architecture axis: ring size and comb size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchSpec {
+    /// Cores on the ring.
+    pub nodes: usize,
+    /// WDM channels in the comb (`N_W`).
+    pub wavelengths: usize,
+}
+
+impl Default for ArchSpec {
+    fn default() -> Self {
+        Self {
+            nodes: 16,
+            wavelengths: 8,
+        }
+    }
+}
+
+/// Closed-loop kernel generators (mapped with a seeded random placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// A linear chain of `stages` tasks.
+    Pipeline,
+    /// One source fanning out to `stages` workers and joining.
+    ForkJoin,
+    /// An FFT-style butterfly with `stages` levels (`2^stages` lanes).
+    Butterfly,
+    /// A binary reduction over `stages` leaves.
+    ReductionTree,
+}
+
+impl KernelKind {
+    /// The machine-friendly name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Pipeline => "pipeline",
+            KernelKind::ForkJoin => "fork-join",
+            KernelKind::Butterfly => "butterfly",
+            KernelKind::ReductionTree => "reduction-tree",
+        }
+    }
+
+    /// Parses [`KernelKind::name`] output.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "pipeline" => Some(KernelKind::Pipeline),
+            "fork-join" => Some(KernelKind::ForkJoin),
+            "butterfly" => Some(KernelKind::Butterfly),
+            "reduction-tree" => Some(KernelKind::ReductionTree),
+            _ => None,
+        }
+    }
+}
+
+/// The workload axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper's 6-task virtual application on its hand mapping.
+    PaperApp,
+    /// A generated task-graph kernel on a seeded random mapping.
+    Kernel {
+        /// Which generator.
+        kind: KernelKind,
+        /// Stages / width / levels / leaves (generator-specific).
+        stages: usize,
+        /// Per-task execution time in kilocycles.
+        exec_kcc: f64,
+        /// Per-edge volume in kilobits.
+        volume_kbits: f64,
+        /// Seed for the random placement.
+        mapping_seed: u64,
+    },
+    /// One open-loop synthetic-traffic scenario.
+    Synthetic {
+        /// Destination-selection rule.
+        pattern: TrafficPattern,
+        /// Mean messages per node per cycle, in `[0, 1]`.
+        injection_rate: f64,
+        /// Size of every message in bits.
+        message_bits: f64,
+        /// Injection window in cycles.
+        horizon: u64,
+        /// Optional `(mean_on, mean_off)` bursty ON-OFF injection.
+        burstiness: Option<(f64, f64)>,
+    },
+    /// A grid of open-loop scenarios (the saturation-sweep shape).
+    Sweep {
+        /// Patterns to sweep.
+        patterns: Vec<TrafficPattern>,
+        /// Injection rates to sweep.
+        injection_rates: Vec<f64>,
+        /// Comb sizes to sweep (overrides the arch wavelength count).
+        wavelengths: Vec<usize>,
+        /// Ring sizes to sweep (overrides the arch node count).
+        ring_sizes: Vec<usize>,
+        /// Message size in bits, shared by every scenario.
+        message_bits: f64,
+        /// Injection window in cycles.
+        horizon: u64,
+        /// Optional `(mean_on, mean_off)` bursty ON-OFF injection.
+        burstiness: Option<(f64, f64)>,
+    },
+}
+
+impl WorkloadSpec {
+    /// The `kind` discriminator used in spec files.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadSpec::PaperApp => "paper-app",
+            WorkloadSpec::Kernel { .. } => "kernel",
+            WorkloadSpec::Synthetic { .. } => "synthetic",
+            WorkloadSpec::Sweep { .. } => "sweep",
+        }
+    }
+}
+
+/// Classical single-solution wavelength-assignment heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeuristicKind {
+    /// Lowest-indexed disjoint wavelength per communication.
+    FirstFit,
+    /// Prefer the most-reserved wavelength.
+    MostUsed,
+    /// Prefer the least-reserved wavelength.
+    LeastUsed,
+    /// Rejection-sampled random single wavelength.
+    Random,
+    /// Greedy makespan descent with pair lookahead.
+    GreedyMakespan,
+}
+
+impl HeuristicKind {
+    /// The machine-friendly name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HeuristicKind::FirstFit => "first-fit",
+            HeuristicKind::MostUsed => "most-used",
+            HeuristicKind::LeastUsed => "least-used",
+            HeuristicKind::Random => "random",
+            HeuristicKind::GreedyMakespan => "greedy-makespan",
+        }
+    }
+
+    /// Parses [`HeuristicKind::name`] output.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "first-fit" => Some(HeuristicKind::FirstFit),
+            "most-used" => Some(HeuristicKind::MostUsed),
+            "least-used" => Some(HeuristicKind::LeastUsed),
+            "random" => Some(HeuristicKind::Random),
+            "greedy-makespan" => Some(HeuristicKind::GreedyMakespan),
+            _ => None,
+        }
+    }
+
+    /// Every heuristic, in presentation order.
+    #[must_use]
+    pub fn all() -> [HeuristicKind; 5] {
+        [
+            HeuristicKind::FirstFit,
+            HeuristicKind::MostUsed,
+            HeuristicKind::LeastUsed,
+            HeuristicKind::Random,
+            HeuristicKind::GreedyMakespan,
+        ]
+    }
+}
+
+/// The allocator axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocatorSpec {
+    /// The paper's NSGA-II search; population/generations default to the
+    /// spec's [`Scale`] when `None`.
+    Nsga2 {
+        /// Population override.
+        population: Option<usize>,
+        /// Generation-count override.
+        generations: Option<usize>,
+    },
+    /// A classical single-solution heuristic.
+    Heuristic {
+        /// Which heuristic.
+        kind: HeuristicKind,
+    },
+    /// A fixed wavelength-count vector packed greedily (`NW_k` per
+    /// communication).
+    Counts {
+        /// One count per communication.
+        counts: Vec<usize>,
+    },
+    /// Runtime wavelength arbitration (open loop and closed loop).
+    Dynamic {
+        /// Claim policy per message/burst.
+        policy: DynamicPolicy,
+    },
+    /// Design-time static flow map synthesised from the measured flow
+    /// matrix of the workload's own trace, via the `onoc-wa` allocator.
+    FlowSynthesis {
+        /// Lane-sizing policy.
+        policy: FlowAllocPolicy,
+    },
+    /// Naive striped static flow map (the pre-synthesis baseline).
+    Striped {
+        /// Consecutive lanes per flow.
+        lanes_per_flow: usize,
+    },
+}
+
+impl AllocatorSpec {
+    /// The `kind` discriminator used in spec files.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AllocatorSpec::Nsga2 { .. } => "nsga2",
+            AllocatorSpec::Heuristic { .. } => "heuristic",
+            AllocatorSpec::Counts { .. } => "counts",
+            AllocatorSpec::Dynamic { .. } => "dynamic",
+            AllocatorSpec::FlowSynthesis { .. } => "flow-synthesis",
+            AllocatorSpec::Striped { .. } => "striped",
+        }
+    }
+}
+
+/// Why a spec could not be built or parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document did not parse.
+    Parse(ParseError),
+    /// A required field is absent.
+    Missing {
+        /// Dotted path of the field.
+        field: &'static str,
+    },
+    /// A field is present but unusable.
+    Invalid {
+        /// Dotted path of the field.
+        field: &'static str,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The workload/allocator combination has no defined semantics.
+    Incompatible {
+        /// Workload kind.
+        workload: &'static str,
+        /// Allocator kind.
+        allocator: &'static str,
+    },
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "spec parse error: {e}"),
+            SpecError::Missing { field } => write!(f, "spec is missing required field `{field}`"),
+            SpecError::Invalid { field, message } => write!(f, "spec field `{field}`: {message}"),
+            SpecError::Incompatible {
+                workload,
+                allocator,
+            } => write!(
+                f,
+                "a `{workload}` workload cannot run under a `{allocator}` allocator"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ParseError> for SpecError {
+    fn from(e: ParseError) -> Self {
+        SpecError::Parse(e)
+    }
+}
+
+/// A complete, validated experiment scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Human-readable scenario name (also the artifact prefix).
+    pub name: String,
+    /// Master seed for everything the scenario randomises.
+    pub seed: u64,
+    /// Search/simulation scale.
+    pub scale: Scale,
+    /// Objectives driving GA dominance (ignored by non-GA allocators).
+    pub objectives: ObjectiveSet,
+    /// Architecture axis.
+    pub arch: ArchSpec,
+    /// Workload axis.
+    pub workload: WorkloadSpec,
+    /// Allocator axis.
+    pub allocator: AllocatorSpec,
+}
+
+impl ScenarioSpec {
+    /// Starts a builder with the paper's defaults (16 nodes, 8 λ, paper
+    /// app, NSGA-II, seed 2017, paper scale).
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> ScenarioSpecBuilder {
+        ScenarioSpecBuilder {
+            name: name.into(),
+            seed: 2017,
+            scale: Scale::Paper,
+            objectives: ObjectiveSet::TimeEnergy,
+            arch: ArchSpec::default(),
+            workload: WorkloadSpec::PaperApp,
+            allocator: AllocatorSpec::Nsga2 {
+                population: None,
+                generations: None,
+            },
+        }
+    }
+
+    /// Parses a TOML-subset spec document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on parse or validation failure.
+    pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
+        Self::from_value(&Value::parse_toml(input)?)
+    }
+
+    /// Parses a JSON spec document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on parse or validation failure.
+    pub fn from_json_str(input: &str) -> Result<Self, SpecError> {
+        Self::from_value(&Value::parse_json(input)?)
+    }
+
+    /// Serializes as a TOML-subset document.
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        self.to_value().to_toml()
+    }
+
+    /// Serializes as JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// The document form of this spec.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::table();
+        root.insert("name", self.name.as_str());
+        root.insert("seed", self.seed);
+        root.insert("scale", self.scale.name());
+        root.insert("objectives", objectives_name(self.objectives));
+
+        let mut arch = Value::table();
+        arch.insert("nodes", self.arch.nodes);
+        arch.insert("wavelengths", self.arch.wavelengths);
+        root.insert("arch", arch);
+
+        let mut workload = Value::table();
+        workload.insert("kind", self.workload.kind());
+        match &self.workload {
+            WorkloadSpec::PaperApp => {}
+            WorkloadSpec::Kernel {
+                kind,
+                stages,
+                exec_kcc,
+                volume_kbits,
+                mapping_seed,
+            } => {
+                workload.insert("kernel", kind.name());
+                workload.insert("stages", *stages);
+                workload.insert("exec_kcc", *exec_kcc);
+                workload.insert("volume_kbits", *volume_kbits);
+                workload.insert("mapping_seed", *mapping_seed);
+            }
+            WorkloadSpec::Synthetic {
+                pattern,
+                injection_rate,
+                message_bits,
+                horizon,
+                burstiness,
+            } => {
+                write_pattern(&mut workload, pattern);
+                workload.insert("injection_rate", *injection_rate);
+                workload.insert("message_bits", *message_bits);
+                workload.insert("horizon", *horizon);
+                write_burstiness(&mut workload, *burstiness);
+            }
+            WorkloadSpec::Sweep {
+                patterns,
+                injection_rates,
+                wavelengths,
+                ring_sizes,
+                message_bits,
+                horizon,
+                burstiness,
+            } => {
+                let mut names = Vec::new();
+                for p in patterns {
+                    if let TrafficPattern::Hotspot { hotspots, fraction } = p {
+                        workload
+                            .insert("hotspots", hotspots.iter().map(|h| h.0).collect::<Vec<_>>());
+                        workload.insert("fraction", *fraction);
+                    }
+                    names.push(pattern_name(p));
+                }
+                workload.insert("patterns", names);
+                workload.insert("injection_rates", injection_rates.clone());
+                workload.insert("wavelengths", wavelengths.clone());
+                workload.insert("ring_sizes", ring_sizes.clone());
+                workload.insert("message_bits", *message_bits);
+                workload.insert("horizon", *horizon);
+                write_burstiness(&mut workload, *burstiness);
+            }
+        }
+        root.insert("workload", workload);
+
+        let mut allocator = Value::table();
+        allocator.insert("kind", self.allocator.kind());
+        match &self.allocator {
+            AllocatorSpec::Nsga2 {
+                population,
+                generations,
+            } => {
+                if let Some(p) = population {
+                    allocator.insert("population", *p);
+                }
+                if let Some(g) = generations {
+                    allocator.insert("generations", *g);
+                }
+            }
+            AllocatorSpec::Heuristic { kind } => allocator.insert("name", kind.name()),
+            AllocatorSpec::Counts { counts } => allocator.insert("counts", counts.clone()),
+            AllocatorSpec::Dynamic { policy } => match policy {
+                DynamicPolicy::Single => allocator.insert("policy", "single"),
+                DynamicPolicy::Greedy { cap } => {
+                    allocator.insert("policy", "greedy");
+                    allocator.insert("cap", *cap);
+                }
+            },
+            AllocatorSpec::FlowSynthesis { policy } => match policy {
+                FlowAllocPolicy::FirstFit => allocator.insert("policy", "first-fit"),
+                FlowAllocPolicy::Proportional { max_lanes_per_flow } => {
+                    allocator.insert("policy", "proportional");
+                    allocator.insert("max_lanes_per_flow", *max_lanes_per_flow);
+                }
+            },
+            AllocatorSpec::Striped { lanes_per_flow } => {
+                allocator.insert("lanes_per_flow", *lanes_per_flow);
+            }
+        }
+        root.insert("allocator", allocator);
+        root
+    }
+
+    /// Reads and validates a spec from its document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when fields are missing, malformed, or the
+    /// combination is invalid.
+    pub fn from_value(value: &Value) -> Result<Self, SpecError> {
+        let name = req_str(value, "name")?.to_string();
+        let seed = opt_u64(value, "seed")?.unwrap_or(2017);
+        let scale = match value.get("scale") {
+            None => Scale::Paper,
+            Some(v) => {
+                let raw = v.as_str().ok_or_else(|| invalid("scale", "not a string"))?;
+                Scale::from_name(raw)
+                    .ok_or_else(|| invalid("scale", format!("unknown scale {raw:?}")))?
+            }
+        };
+        let objectives = match value.get("objectives") {
+            None => ObjectiveSet::TimeEnergy,
+            Some(v) => {
+                let raw = v
+                    .as_str()
+                    .ok_or_else(|| invalid("objectives", "not a string"))?;
+                objectives_from_name(raw)
+                    .ok_or_else(|| invalid("objectives", format!("unknown set {raw:?}")))?
+            }
+        };
+        let arch = match value.get("arch") {
+            None => ArchSpec::default(),
+            Some(a) => ArchSpec {
+                nodes: opt_usize_in(a, "arch.nodes", "nodes")?.unwrap_or(16),
+                wavelengths: opt_usize_in(a, "arch.wavelengths", "wavelengths")?.unwrap_or(8),
+            },
+        };
+        let workload = parse_workload(
+            value
+                .get("workload")
+                .ok_or(SpecError::Missing { field: "workload" })?,
+        )?;
+        let allocator = parse_allocator(
+            value
+                .get("allocator")
+                .ok_or(SpecError::Missing { field: "allocator" })?,
+        )?;
+        ScenarioSpecBuilder {
+            name,
+            seed,
+            scale,
+            objectives,
+            arch,
+            workload,
+            allocator,
+        }
+        .build()
+    }
+}
+
+/// Typed builder for [`ScenarioSpec`]; `build` validates the combination.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpecBuilder {
+    name: String,
+    seed: u64,
+    scale: Scale,
+    objectives: ObjectiveSet,
+    arch: ArchSpec,
+    workload: WorkloadSpec,
+    allocator: AllocatorSpec,
+}
+
+impl ScenarioSpecBuilder {
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the scale.
+    #[must_use]
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the GA objective set.
+    #[must_use]
+    pub fn objectives(mut self, objectives: ObjectiveSet) -> Self {
+        self.objectives = objectives;
+        self
+    }
+
+    /// Sets the ring size.
+    #[must_use]
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.arch.nodes = nodes;
+        self
+    }
+
+    /// Sets the comb size.
+    #[must_use]
+    pub fn wavelengths(mut self, wavelengths: usize) -> Self {
+        self.arch.wavelengths = wavelengths;
+        self
+    }
+
+    /// Sets the workload axis.
+    #[must_use]
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the allocator axis.
+    #[must_use]
+    pub fn allocator(mut self, allocator: AllocatorSpec) -> Self {
+        self.allocator = allocator;
+        self
+    }
+
+    /// Validates the combination and produces the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on out-of-range fields or an
+    /// undefined workload/allocator combination.
+    pub fn build(self) -> Result<ScenarioSpec, SpecError> {
+        if self.name.trim().is_empty() {
+            return Err(invalid("name", "must not be empty"));
+        }
+        if self.arch.nodes < 2 {
+            return Err(invalid("arch.nodes", "a ring needs at least 2 nodes"));
+        }
+        if self.arch.wavelengths == 0 || self.arch.wavelengths > 128 {
+            return Err(invalid("arch.wavelengths", "must be in 1..=128"));
+        }
+        match &self.workload {
+            WorkloadSpec::PaperApp => {
+                if self.arch.nodes != 16 {
+                    return Err(invalid(
+                        "arch.nodes",
+                        "the paper application is mapped on a 16-node ring",
+                    ));
+                }
+            }
+            WorkloadSpec::Kernel {
+                stages,
+                exec_kcc,
+                volume_kbits,
+                ..
+            } => {
+                if *stages == 0 {
+                    return Err(invalid("workload.stages", "must be at least 1"));
+                }
+                if *exec_kcc <= 0.0 || *volume_kbits <= 0.0 {
+                    return Err(invalid(
+                        "workload.exec_kcc",
+                        "execution time and volume must be positive",
+                    ));
+                }
+            }
+            WorkloadSpec::Synthetic {
+                pattern,
+                injection_rate,
+                message_bits,
+                horizon,
+                burstiness,
+            } => {
+                validate_pattern(pattern, self.arch.nodes)?;
+                if !(0.0..=1.0).contains(injection_rate) {
+                    return Err(invalid(
+                        "workload.injection_rate",
+                        "per-cycle probability must be in [0, 1]",
+                    ));
+                }
+                if *message_bits <= 0.0 {
+                    return Err(invalid("workload.message_bits", "must be positive"));
+                }
+                if *horizon == 0 {
+                    return Err(invalid("workload.horizon", "must be positive"));
+                }
+                validate_burstiness(*burstiness)?;
+            }
+            WorkloadSpec::Sweep {
+                patterns,
+                injection_rates,
+                wavelengths,
+                ring_sizes,
+                message_bits,
+                horizon,
+                burstiness,
+            } => {
+                if patterns.is_empty()
+                    || injection_rates.is_empty()
+                    || wavelengths.is_empty()
+                    || ring_sizes.is_empty()
+                {
+                    return Err(invalid(
+                        "workload.patterns",
+                        "sweep axes must all be non-empty",
+                    ));
+                }
+                for nodes in ring_sizes {
+                    if *nodes < 2 {
+                        return Err(invalid("workload.ring_sizes", "rings need ≥ 2 nodes"));
+                    }
+                    for pattern in patterns {
+                        validate_pattern(pattern, *nodes)?;
+                    }
+                }
+                // The sweep document form stores hotspot parameters in
+                // shared sibling keys, so two *different* hotspot
+                // parameterisations cannot round-trip — reject them.
+                let mut hotspot_params: Option<&TrafficPattern> = None;
+                for pattern in patterns {
+                    if matches!(pattern, TrafficPattern::Hotspot { .. }) {
+                        match hotspot_params {
+                            None => hotspot_params = Some(pattern),
+                            Some(first) if first == pattern => {}
+                            Some(_) => {
+                                return Err(invalid(
+                                    "workload.patterns",
+                                    "a sweep supports at most one distinct hotspot \
+                                     parameterisation (hotspots/fraction are shared keys)",
+                                ));
+                            }
+                        }
+                    }
+                }
+                for nw in wavelengths {
+                    if *nw == 0 || *nw > 128 {
+                        return Err(invalid(
+                            "workload.wavelengths",
+                            "entries must be in 1..=128",
+                        ));
+                    }
+                }
+                for rate in injection_rates {
+                    if !(0.0..=1.0).contains(rate) {
+                        return Err(invalid(
+                            "workload.injection_rates",
+                            "rates must be in [0, 1]",
+                        ));
+                    }
+                }
+                if *message_bits <= 0.0 || *horizon == 0 {
+                    return Err(invalid(
+                        "workload.message_bits",
+                        "message size and horizon must be positive",
+                    ));
+                }
+                validate_burstiness(*burstiness)?;
+            }
+        }
+        match &self.allocator {
+            AllocatorSpec::Counts { counts } if counts.is_empty() => {
+                return Err(invalid("allocator.counts", "must not be empty"));
+            }
+            AllocatorSpec::Striped { lanes_per_flow }
+                if *lanes_per_flow == 0 || *lanes_per_flow > self.arch.wavelengths =>
+            {
+                return Err(invalid(
+                    "allocator.lanes_per_flow",
+                    "must be in 1..=arch.wavelengths",
+                ));
+            }
+            AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Greedy { cap: 0 },
+            } => {
+                return Err(invalid("allocator.cap", "greedy burst cap must be ≥ 1"));
+            }
+            AllocatorSpec::FlowSynthesis {
+                policy:
+                    FlowAllocPolicy::Proportional {
+                        max_lanes_per_flow: 0,
+                    },
+            } => {
+                return Err(invalid(
+                    "allocator.max_lanes_per_flow",
+                    "lane cap must be ≥ 1",
+                ));
+            }
+            _ => {}
+        }
+        let closed_loop = matches!(
+            self.workload,
+            WorkloadSpec::PaperApp | WorkloadSpec::Kernel { .. }
+        );
+        let compatible = match &self.allocator {
+            AllocatorSpec::Nsga2 { .. }
+            | AllocatorSpec::Heuristic { .. }
+            | AllocatorSpec::Counts { .. } => closed_loop,
+            AllocatorSpec::Dynamic { .. } => true,
+            AllocatorSpec::FlowSynthesis { .. } | AllocatorSpec::Striped { .. } => {
+                matches!(self.workload, WorkloadSpec::Synthetic { .. })
+            }
+        };
+        if !compatible {
+            return Err(SpecError::Incompatible {
+                workload: self.workload.kind(),
+                allocator: self.allocator.kind(),
+            });
+        }
+        Ok(ScenarioSpec {
+            name: self.name,
+            seed: self.seed,
+            scale: self.scale,
+            objectives: self.objectives,
+            arch: self.arch,
+            workload: self.workload,
+            allocator: self.allocator,
+        })
+    }
+}
+
+// ------------------------------------------------------- field helpers --
+
+fn invalid(field: &'static str, message: impl Into<String>) -> SpecError {
+    SpecError::Invalid {
+        field,
+        message: message.into(),
+    }
+}
+
+fn req_str<'a>(value: &'a Value, field: &'static str) -> Result<&'a str, SpecError> {
+    value
+        .get(field)
+        .ok_or(SpecError::Missing { field })?
+        .as_str()
+        .ok_or_else(|| invalid(field, "not a string"))
+}
+
+fn opt_u64(value: &Value, field: &'static str) -> Result<Option<u64>, SpecError> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => {
+            let i = v.as_int().ok_or_else(|| invalid(field, "not an integer"))?;
+            u64::try_from(i)
+                .map(Some)
+                .map_err(|_| invalid(field, "must be nonnegative"))
+        }
+    }
+}
+
+fn opt_usize_in(table: &Value, field: &'static str, key: &str) -> Result<Option<usize>, SpecError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let i = v.as_int().ok_or_else(|| invalid(field, "not an integer"))?;
+            usize::try_from(i)
+                .map(Some)
+                .map_err(|_| invalid(field, "must be nonnegative"))
+        }
+    }
+}
+
+fn req_float_in(table: &Value, field: &'static str, key: &str) -> Result<f64, SpecError> {
+    table
+        .get(key)
+        .ok_or(SpecError::Missing { field })?
+        .as_float()
+        .ok_or_else(|| invalid(field, "not a number"))
+}
+
+fn usize_array(table: &Value, field: &'static str, key: &str) -> Result<Vec<usize>, SpecError> {
+    table
+        .get(key)
+        .ok_or(SpecError::Missing { field })?
+        .as_array()
+        .ok_or_else(|| invalid(field, "not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_int()
+                .and_then(|i| usize::try_from(i).ok())
+                .ok_or_else(|| invalid(field, "entries must be nonnegative integers"))
+        })
+        .collect()
+}
+
+fn float_array(table: &Value, field: &'static str, key: &str) -> Result<Vec<f64>, SpecError> {
+    table
+        .get(key)
+        .ok_or(SpecError::Missing { field })?
+        .as_array()
+        .ok_or_else(|| invalid(field, "not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_float()
+                .ok_or_else(|| invalid(field, "entries must be numbers"))
+        })
+        .collect()
+}
+
+// ----------------------------------------------- pattern/objective names --
+
+/// The spec-file name of a pattern (hotspot parameters live in sibling
+/// keys, not the name).
+fn pattern_name(pattern: &TrafficPattern) -> &'static str {
+    match pattern {
+        TrafficPattern::UniformRandom => "uniform",
+        TrafficPattern::Hotspot { .. } => "hotspot",
+        TrafficPattern::Transpose => "transpose",
+        TrafficPattern::BitReversal => "bit-reversal",
+        TrafficPattern::BitComplement => "bit-complement",
+        TrafficPattern::NearestNeighbor => "nearest-neighbor",
+    }
+}
+
+fn pattern_from_parts(
+    name: &str,
+    table: &Value,
+    field: &'static str,
+) -> Result<TrafficPattern, SpecError> {
+    match name {
+        "uniform" => Ok(TrafficPattern::UniformRandom),
+        "transpose" => Ok(TrafficPattern::Transpose),
+        "bit-reversal" => Ok(TrafficPattern::BitReversal),
+        "bit-complement" => Ok(TrafficPattern::BitComplement),
+        "nearest-neighbor" => Ok(TrafficPattern::NearestNeighbor),
+        "hotspot" => {
+            let hotspots = usize_array(table, "workload.hotspots", "hotspots")?
+                .into_iter()
+                .map(NodeId)
+                .collect::<Vec<_>>();
+            let fraction = req_float_in(table, "workload.fraction", "fraction")?;
+            Ok(TrafficPattern::Hotspot { hotspots, fraction })
+        }
+        other => Err(invalid(field, format!("unknown pattern {other:?}"))),
+    }
+}
+
+fn write_pattern(workload: &mut Value, pattern: &TrafficPattern) {
+    workload.insert("pattern", pattern_name(pattern));
+    if let TrafficPattern::Hotspot { hotspots, fraction } = pattern {
+        workload.insert("hotspots", hotspots.iter().map(|h| h.0).collect::<Vec<_>>());
+        workload.insert("fraction", *fraction);
+    }
+}
+
+fn write_burstiness(workload: &mut Value, burstiness: Option<(f64, f64)>) {
+    if let Some((on, off)) = burstiness {
+        workload.insert("burst_on", on);
+        workload.insert("burst_off", off);
+    }
+}
+
+fn read_burstiness(table: &Value) -> Result<Option<(f64, f64)>, SpecError> {
+    match (table.get("burst_on"), table.get("burst_off")) {
+        (None, None) => Ok(None),
+        (Some(on), Some(off)) => {
+            let on = on
+                .as_float()
+                .ok_or_else(|| invalid("workload.burst_on", "not a number"))?;
+            let off = off
+                .as_float()
+                .ok_or_else(|| invalid("workload.burst_off", "not a number"))?;
+            Ok(Some((on, off)))
+        }
+        _ => Err(invalid(
+            "workload.burst_on",
+            "burst_on and burst_off must be given together",
+        )),
+    }
+}
+
+fn validate_pattern(pattern: &TrafficPattern, nodes: usize) -> Result<(), SpecError> {
+    if let TrafficPattern::Hotspot { hotspots, fraction } = pattern {
+        if hotspots.is_empty() {
+            return Err(invalid("workload.hotspots", "needs at least one hotspot"));
+        }
+        if !(0.0..=1.0).contains(fraction) {
+            return Err(invalid("workload.fraction", "must be in [0, 1]"));
+        }
+        for h in hotspots {
+            if h.0 >= nodes {
+                return Err(invalid(
+                    "workload.hotspots",
+                    format!("{h} is not on a {nodes}-node ring"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_burstiness(burstiness: Option<(f64, f64)>) -> Result<(), SpecError> {
+    if let Some((on, off)) = burstiness {
+        if on < 1.0 || (off != 0.0 && off < 1.0) {
+            return Err(invalid(
+                "workload.burst_on",
+                "ON-OFF means must be ≥ 1 (on) and 0 or ≥ 1 (off)",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The spec-file name of an objective set.
+#[must_use]
+pub fn objectives_name(set: ObjectiveSet) -> &'static str {
+    match set {
+        ObjectiveSet::TimeEnergy => "time-energy",
+        ObjectiveSet::TimeBer => "time-ber",
+        ObjectiveSet::TimeEnergyBer => "time-energy-ber",
+    }
+}
+
+/// Parses [`objectives_name`] output.
+#[must_use]
+pub fn objectives_from_name(name: &str) -> Option<ObjectiveSet> {
+    match name {
+        "time-energy" => Some(ObjectiveSet::TimeEnergy),
+        "time-ber" => Some(ObjectiveSet::TimeBer),
+        "time-energy-ber" => Some(ObjectiveSet::TimeEnergyBer),
+        _ => None,
+    }
+}
+
+fn parse_workload(table: &Value) -> Result<WorkloadSpec, SpecError> {
+    match req_str(table, "kind") {
+        Err(SpecError::Missing { .. }) => Err(SpecError::Missing {
+            field: "workload.kind",
+        }),
+        Err(e) => Err(e),
+        Ok("paper-app") => Ok(WorkloadSpec::PaperApp),
+        Ok("kernel") => {
+            let raw = table
+                .get("kernel")
+                .ok_or(SpecError::Missing {
+                    field: "workload.kernel",
+                })?
+                .as_str()
+                .ok_or_else(|| invalid("workload.kernel", "not a string"))?;
+            let kind = KernelKind::from_name(raw)
+                .ok_or_else(|| invalid("workload.kernel", format!("unknown kernel {raw:?}")))?;
+            Ok(WorkloadSpec::Kernel {
+                kind,
+                stages: opt_usize_in(table, "workload.stages", "stages")?.ok_or(
+                    SpecError::Missing {
+                        field: "workload.stages",
+                    },
+                )?,
+                exec_kcc: req_float_in(table, "workload.exec_kcc", "exec_kcc")?,
+                volume_kbits: req_float_in(table, "workload.volume_kbits", "volume_kbits")?,
+                mapping_seed: opt_u64(table, "mapping_seed")?.unwrap_or(1),
+            })
+        }
+        Ok("synthetic") => {
+            let raw = req_str(table, "pattern").map_err(|e| match e {
+                SpecError::Missing { .. } => SpecError::Missing {
+                    field: "workload.pattern",
+                },
+                other => other,
+            })?;
+            Ok(WorkloadSpec::Synthetic {
+                pattern: pattern_from_parts(raw, table, "workload.pattern")?,
+                injection_rate: req_float_in(table, "workload.injection_rate", "injection_rate")?,
+                message_bits: req_float_in(table, "workload.message_bits", "message_bits")?,
+                horizon: opt_u64(table, "horizon")?.ok_or(SpecError::Missing {
+                    field: "workload.horizon",
+                })?,
+                burstiness: read_burstiness(table)?,
+            })
+        }
+        Ok("sweep") => {
+            let names = table
+                .get("patterns")
+                .ok_or(SpecError::Missing {
+                    field: "workload.patterns",
+                })?
+                .as_array()
+                .ok_or_else(|| invalid("workload.patterns", "not an array"))?;
+            let patterns = names
+                .iter()
+                .map(|v| {
+                    let raw = v
+                        .as_str()
+                        .ok_or_else(|| invalid("workload.patterns", "entries must be strings"))?;
+                    pattern_from_parts(raw, table, "workload.patterns")
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(WorkloadSpec::Sweep {
+                patterns,
+                injection_rates: float_array(table, "workload.injection_rates", "injection_rates")?,
+                wavelengths: usize_array(table, "workload.wavelengths", "wavelengths")?,
+                ring_sizes: usize_array(table, "workload.ring_sizes", "ring_sizes")?,
+                message_bits: req_float_in(table, "workload.message_bits", "message_bits")?,
+                horizon: opt_u64(table, "horizon")?.ok_or(SpecError::Missing {
+                    field: "workload.horizon",
+                })?,
+                burstiness: read_burstiness(table)?,
+            })
+        }
+        Ok(other) => Err(invalid(
+            "workload.kind",
+            format!("unknown workload kind {other:?}"),
+        )),
+    }
+}
+
+fn parse_allocator(table: &Value) -> Result<AllocatorSpec, SpecError> {
+    match req_str(table, "kind") {
+        Err(SpecError::Missing { .. }) => Err(SpecError::Missing {
+            field: "allocator.kind",
+        }),
+        Err(e) => Err(e),
+        Ok("nsga2") => Ok(AllocatorSpec::Nsga2 {
+            population: opt_usize_in(table, "allocator.population", "population")?,
+            generations: opt_usize_in(table, "allocator.generations", "generations")?,
+        }),
+        Ok("heuristic") => {
+            let raw = req_str(table, "name").map_err(|e| match e {
+                SpecError::Missing { .. } => SpecError::Missing {
+                    field: "allocator.name",
+                },
+                other => other,
+            })?;
+            let kind = HeuristicKind::from_name(raw)
+                .ok_or_else(|| invalid("allocator.name", format!("unknown heuristic {raw:?}")))?;
+            Ok(AllocatorSpec::Heuristic { kind })
+        }
+        Ok("counts") => Ok(AllocatorSpec::Counts {
+            counts: usize_array(table, "allocator.counts", "counts")?,
+        }),
+        Ok("dynamic") => {
+            let policy = match table.get("policy").and_then(Value::as_str) {
+                None | Some("single") => DynamicPolicy::Single,
+                Some("greedy") => DynamicPolicy::Greedy {
+                    cap: opt_usize_in(table, "allocator.cap", "cap")?.ok_or(
+                        SpecError::Missing {
+                            field: "allocator.cap",
+                        },
+                    )?,
+                },
+                Some(other) => {
+                    return Err(invalid(
+                        "allocator.policy",
+                        format!("unknown dynamic policy {other:?}"),
+                    ));
+                }
+            };
+            Ok(AllocatorSpec::Dynamic { policy })
+        }
+        Ok("flow-synthesis") => {
+            let policy = match table.get("policy").and_then(Value::as_str) {
+                None | Some("proportional") => FlowAllocPolicy::Proportional {
+                    max_lanes_per_flow: opt_usize_in(
+                        table,
+                        "allocator.max_lanes_per_flow",
+                        "max_lanes_per_flow",
+                    )?
+                    .unwrap_or(128),
+                },
+                Some("first-fit") => FlowAllocPolicy::FirstFit,
+                Some(other) => {
+                    return Err(invalid(
+                        "allocator.policy",
+                        format!("unknown flow-synthesis policy {other:?}"),
+                    ));
+                }
+            };
+            Ok(AllocatorSpec::FlowSynthesis { policy })
+        }
+        Ok("striped") => Ok(AllocatorSpec::Striped {
+            lanes_per_flow: opt_usize_in(table, "allocator.lanes_per_flow", "lanes_per_flow")?
+                .unwrap_or(1),
+        }),
+        Ok(other) => Err(invalid(
+            "allocator.kind",
+            format!("unknown allocator kind {other:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_produce_expected_configs() {
+        let paper = Scale::Paper.ga_config(ObjectiveSet::TimeEnergy, 1);
+        assert_eq!(paper.population_size, 400);
+        assert_eq!(paper.generations, 300);
+        let quick = Scale::Quick.ga_config(ObjectiveSet::TimeBer, 2);
+        assert_eq!(quick.population_size, 120);
+        assert_eq!(quick.objectives, ObjectiveSet::TimeBer);
+        let smoke = Scale::Smoke.ga_config(ObjectiveSet::TimeEnergyBer, 3);
+        assert!(smoke.population_size < quick.population_size);
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for scale in [Scale::Paper, Scale::Quick, Scale::Smoke] {
+            assert_eq!(Scale::from_name(scale.name()), Some(scale));
+        }
+        assert_eq!(Scale::from_name("warp"), None);
+    }
+
+    #[test]
+    fn builder_defaults_are_the_paper_point() {
+        let spec = ScenarioSpec::builder("default").build().unwrap();
+        assert_eq!(spec.arch, ArchSpec::default());
+        assert_eq!(spec.workload, WorkloadSpec::PaperApp);
+        assert_eq!(spec.scale, Scale::Paper);
+        assert_eq!(spec.seed, 2017);
+    }
+
+    #[test]
+    fn paper_app_requires_sixteen_nodes() {
+        let err = ScenarioSpec::builder("bad").nodes(8).build().unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "arch.nodes"));
+    }
+
+    #[test]
+    fn open_loop_allocators_reject_closed_loop_workloads() {
+        let err = ScenarioSpec::builder("bad")
+            .allocator(AllocatorSpec::Striped { lanes_per_flow: 1 })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::Incompatible {
+                workload: "paper-app",
+                allocator: "striped"
+            }
+        );
+    }
+
+    #[test]
+    fn ga_rejects_synthetic_workloads() {
+        let err = ScenarioSpec::builder("bad")
+            .workload(WorkloadSpec::Synthetic {
+                pattern: TrafficPattern::UniformRandom,
+                injection_rate: 0.02,
+                message_bits: 512.0,
+                horizon: 1_000,
+                burstiness: None,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::Incompatible {
+                workload: "synthetic",
+                allocator: "nsga2"
+            }
+        );
+    }
+
+    #[test]
+    fn hotspot_outside_the_ring_is_rejected() {
+        let err = ScenarioSpec::builder("bad")
+            .workload(WorkloadSpec::Synthetic {
+                pattern: TrafficPattern::Hotspot {
+                    hotspots: vec![NodeId(99)],
+                    fraction: 0.5,
+                },
+                injection_rate: 0.02,
+                message_bits: 512.0,
+                horizon: 1_000,
+                burstiness: None,
+            })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "workload.hotspots"));
+    }
+
+    #[test]
+    fn toml_spec_round_trips() {
+        let spec = ScenarioSpec::builder("hotspot-heuristic-12")
+            .seed(42)
+            .scale(Scale::Quick)
+            .wavelengths(12)
+            .workload(WorkloadSpec::Synthetic {
+                pattern: TrafficPattern::Hotspot {
+                    hotspots: vec![NodeId(0), NodeId(5)],
+                    fraction: 0.5,
+                },
+                injection_rate: 0.02,
+                message_bits: 512.0,
+                horizon: 20_000,
+                burstiness: Some((50.0, 200.0)),
+            })
+            .allocator(AllocatorSpec::FlowSynthesis {
+                policy: FlowAllocPolicy::Proportional {
+                    max_lanes_per_flow: 4,
+                },
+            })
+            .build()
+            .unwrap();
+        let toml = spec.to_toml();
+        let round = ScenarioSpec::from_toml_str(&toml).unwrap();
+        assert_eq!(round, spec);
+        let json = spec.to_json();
+        assert_eq!(ScenarioSpec::from_json_str(&json).unwrap(), spec);
+    }
+
+    #[test]
+    fn sweep_spec_round_trips() {
+        let spec = ScenarioSpec::builder("grid")
+            .workload(WorkloadSpec::Sweep {
+                patterns: vec![
+                    TrafficPattern::UniformRandom,
+                    TrafficPattern::Hotspot {
+                        hotspots: vec![NodeId(0)],
+                        fraction: 0.4,
+                    },
+                ],
+                injection_rates: vec![0.002, 0.04],
+                wavelengths: vec![2, 8],
+                ring_sizes: vec![16],
+                message_bits: 512.0,
+                horizon: 5_000,
+                burstiness: None,
+            })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Greedy { cap: 4 },
+            })
+            .build()
+            .unwrap();
+        let round = ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap();
+        assert_eq!(round, spec);
+    }
+
+    #[test]
+    fn sweeps_reject_two_distinct_hotspot_parameterisations() {
+        // The document form shares hotspots/fraction keys across the
+        // pattern list, so two different hotspot patterns cannot
+        // round-trip — the builder must refuse rather than corrupt.
+        let build = |second: TrafficPattern| {
+            ScenarioSpec::builder("grid")
+                .workload(WorkloadSpec::Sweep {
+                    patterns: vec![
+                        TrafficPattern::Hotspot {
+                            hotspots: vec![NodeId(0)],
+                            fraction: 0.5,
+                        },
+                        second,
+                    ],
+                    injection_rates: vec![0.01],
+                    wavelengths: vec![4],
+                    ring_sizes: vec![16],
+                    message_bits: 512.0,
+                    horizon: 5_000,
+                    burstiness: None,
+                })
+                .allocator(AllocatorSpec::Dynamic {
+                    policy: DynamicPolicy::Single,
+                })
+                .build()
+        };
+        let err = build(TrafficPattern::Hotspot {
+            hotspots: vec![NodeId(3)],
+            fraction: 0.9,
+        })
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "workload.patterns"));
+        // An identical repeat is representable and round-trips.
+        let spec = build(TrafficPattern::Hotspot {
+            hotspots: vec![NodeId(0)],
+            fraction: 0.5,
+        })
+        .unwrap();
+        assert_eq!(ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+    }
+
+    #[test]
+    fn handwritten_spec_parses_without_optional_fields() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+name = "minimal"
+
+[workload]
+kind = "paper-app"
+
+[allocator]
+kind = "nsga2"
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 2017);
+        assert_eq!(spec.scale, Scale::Paper);
+        assert_eq!(spec.arch, ArchSpec::default());
+    }
+
+    #[test]
+    fn missing_sections_are_named() {
+        let err = ScenarioSpec::from_toml_str("name = \"x\"").unwrap_err();
+        assert_eq!(err, SpecError::Missing { field: "workload" });
+    }
+
+    #[test]
+    fn unknown_kinds_are_reported_with_context() {
+        let err = ScenarioSpec::from_toml_str(
+            "name = \"x\"\n[workload]\nkind = \"quantum\"\n[allocator]\nkind = \"nsga2\"\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "workload.kind"));
+    }
+
+    #[test]
+    fn kernel_spec_round_trips() {
+        let spec = ScenarioSpec::builder("kernel")
+            .workload(WorkloadSpec::Kernel {
+                kind: KernelKind::ForkJoin,
+                stages: 4,
+                exec_kcc: 4.0,
+                volume_kbits: 5.0,
+                mapping_seed: 7,
+            })
+            .allocator(AllocatorSpec::Heuristic {
+                kind: HeuristicKind::GreedyMakespan,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+    }
+}

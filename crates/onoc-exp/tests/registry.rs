@@ -1,0 +1,152 @@
+//! Registry completeness + golden CSV headers: every experiment named by
+//! `onoc list` must run (at smoke scale) and must emit its canonical
+//! machine-readable artifact under the documented header — downstream
+//! extraction scripts key on these.
+
+use onoc_exp::{Registry, RunContext, Scale};
+use onoc_traffic::SweepOutcome;
+
+/// The canonical artifact per experiment: `(experiment, table, header)`.
+fn golden_headers() -> Vec<(&'static str, &'static str, String)> {
+    vec![
+        ("table1", "table1", "parameter,value".into()),
+        (
+            "table2",
+            "table2",
+            "nw,valid_ours,valid_paper,front_ours,front_paper,unique_valid_ours".into(),
+        ),
+        ("fig6a", "fig6a", "nw,exec_kcc,bit_energy_fj,counts".into()),
+        ("fig6b", "fig6b", "nw,exec_kcc,log10_ber,counts".into()),
+        ("fig7", "fig7", "exec_kcc,log10_ber,kind".into()),
+        ("anchors", "anchors", "anchor,paper,ours".into()),
+        ("sim-validation", "sim_validation", "study,a,b,c,d".into()),
+        (
+            "baselines",
+            "baselines",
+            "method,exec_kcc,bit_energy_fj,log10_ber,counts".into(),
+        ),
+        ("ablation", "ablation", "study,a,b,c,d".into()),
+        (
+            "mapping-explore",
+            "mapping_explore",
+            "method,exec_kcc".into(),
+        ),
+        (
+            "moea-comparison",
+            "moea_comparison",
+            "method,evaluations,front_size,hypervolume".into(),
+        ),
+        (
+            "dynamic-vs-static",
+            "dynamic_vs_static",
+            "nw,static_opt_kcc,dynamic_single_kcc,dynamic_full_kcc,blocked".into(),
+        ),
+        (
+            "traffic-sweep",
+            "traffic_sweep",
+            SweepOutcome::CSV_HEADER.to_string(),
+        ),
+        (
+            "saturation",
+            "saturation",
+            "wavelengths,workload,offered_bits_per_cycle,accepted_bits_per_cycle,\
+             latency_mean,latency_p99,occupancy"
+                .into(),
+        ),
+        (
+            "workload-sweep",
+            "workload_sweep",
+            "workload,tasks,comms,pairs,front,exec_lo,exec_hi,fj_lo,fj_hi,ber_lo,ber_hi".into(),
+        ),
+    ]
+}
+
+#[test]
+fn every_listed_experiment_runs_and_emits_its_golden_artifact() {
+    let registry = Registry::standard();
+    let golden = golden_headers();
+    assert_eq!(
+        registry.len(),
+        golden.len(),
+        "golden table must cover the whole registry"
+    );
+    let ctx = RunContext::new(Scale::Smoke).with_threads(2);
+    for (experiment_name, table_name, header) in &golden {
+        let experiment = registry
+            .get(experiment_name)
+            .unwrap_or_else(|| panic!("{experiment_name} missing from the registry"));
+        let report = experiment.run(&ctx);
+        assert!(
+            !report.title.is_empty() && !report.tables().is_empty(),
+            "{experiment_name} must produce at least one table"
+        );
+        let table = report
+            .tables()
+            .into_iter()
+            .find(|t| t.name() == *table_name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{experiment_name} lost its canonical `{table_name}` artifact; tables: {:?}",
+                    report
+                        .tables()
+                        .iter()
+                        .map(|t| t.name().to_string())
+                        .collect::<Vec<_>>()
+                )
+            });
+        assert_eq!(
+            &table.csv_header(),
+            header,
+            "{experiment_name}/{table_name} golden header changed"
+        );
+        assert!(
+            !table.rows().is_empty(),
+            "{experiment_name}/{table_name} must have rows"
+        );
+        // The fenced block downstream tools grep for.
+        let rendered = report.render();
+        assert!(
+            rendered.contains(&format!("--- begin csv: {table_name} ---")),
+            "{experiment_name} render lost the CSV fence"
+        );
+    }
+}
+
+#[test]
+fn registry_order_matches_the_documented_index() {
+    let names = Registry::standard().names();
+    assert_eq!(
+        names,
+        vec![
+            "table1",
+            "table2",
+            "fig6a",
+            "fig6b",
+            "fig7",
+            "anchors",
+            "sim-validation",
+            "baselines",
+            "ablation",
+            "mapping-explore",
+            "moea-comparison",
+            "dynamic-vs-static",
+            "traffic-sweep",
+            "saturation",
+            "workload-sweep",
+        ]
+    );
+}
+
+#[test]
+fn experiments_are_seed_deterministic() {
+    let registry = Registry::standard();
+    let ctx = RunContext::new(Scale::Smoke).with_seed(11).with_threads(2);
+    // A GA-backed and a sweep-backed experiment; both must reproduce
+    // bit-identical artifacts for the same context.
+    for name in ["table2", "traffic-sweep"] {
+        let exp = registry.get(name).unwrap();
+        let a = exp.run(&ctx);
+        let b = exp.run(&ctx);
+        assert_eq!(a.tables(), b.tables(), "{name} is not deterministic");
+    }
+}

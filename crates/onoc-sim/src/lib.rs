@@ -41,11 +41,13 @@
 
 mod dynamic;
 mod engine;
+mod flows;
 mod openloop;
 mod report;
 
 pub use dynamic::{DynamicPolicy, DynamicReport, DynamicSimulator};
 pub use engine::{SimError, Simulator};
+pub use flows::{FlowAllocPolicy, FlowMatrix, FlowSynthesisError};
 pub use openloop::{
     LatencyStats, MsgId, MsgRecord, OpenLoopConflict, OpenLoopError, OpenLoopReport,
     OpenLoopSimulator, StaticFlowMap, TrafficEvent, TrafficSource, WavelengthMode,

@@ -163,6 +163,23 @@ impl StaticFlowMap {
         }
     }
 
+    /// Internal constructor for synthesised maps (see `flows.rs`); unlike
+    /// [`StaticFlowMap::from_table`], off-diagonal entries may stay empty —
+    /// the engine rejects traffic on them with
+    /// [`OpenLoopError::UnmappedFlow`].
+    pub(crate) fn from_parts(
+        nodes: usize,
+        wavelengths: usize,
+        lanes: Vec<Vec<WavelengthId>>,
+    ) -> Self {
+        debug_assert_eq!(lanes.len(), nodes * nodes);
+        Self {
+            nodes,
+            wavelengths,
+            lanes,
+        }
+    }
+
     /// The wavelengths owned by the `src → dst` flow.
     #[must_use]
     pub fn lanes(&self, src: NodeId, dst: NodeId) -> &[WavelengthId] {
@@ -411,6 +428,14 @@ pub enum OpenLoopError {
         /// Index of the offending event in the stream.
         index: usize,
     },
+    /// Static mode: the flow map owns no wavelengths for this flow (it was
+    /// not in the measured matrix a synthesised map was built from).
+    UnmappedFlow {
+        /// Producing ONI.
+        src: NodeId,
+        /// Consuming ONI.
+        dst: NodeId,
+    },
 }
 
 impl core::fmt::Display for OpenLoopError {
@@ -424,6 +449,9 @@ impl core::fmt::Display for OpenLoopError {
             }
             OpenLoopError::DegenerateEvent { index } => {
                 write!(f, "event {index} is degenerate (self-loop or empty volume)")
+            }
+            OpenLoopError::UnmappedFlow { src, dst } => {
+                write!(f, "static flow map owns no wavelengths for {src}→{dst}")
             }
         }
     }
@@ -622,6 +650,9 @@ impl OpenLoopSimulator {
                     WavelengthMode::Static(map) => {
                         let (src, dst) = (pending[id].src, pending[id].dst);
                         let lanes = map.lanes(src, dst);
+                        if lanes.is_empty() {
+                            return Err(OpenLoopError::UnmappedFlow { src, dst });
+                        }
                         let free_at = flow_free_at.get(&(src, dst)).copied().unwrap_or(0);
                         let start = now.max(free_at);
                         if start > now {

@@ -46,11 +46,103 @@ impl core::fmt::Display for HeuristicError {
 
 impl std::error::Error for HeuristicError {}
 
+/// A demand that could not be packed by [`assign_disjoint_lanes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LanePackingError {
+    /// Index of the demand that ran out of channels.
+    pub index: usize,
+    /// Channels it requested.
+    pub requested: usize,
+    /// Channels still disjoint from its already-assigned neighbours.
+    pub available: usize,
+}
+
+impl core::fmt::Display for LanePackingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "demand {} requests {} wavelengths but only {} remain disjoint from its neighbours",
+            self.index, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for LanePackingError {}
+
+/// The core greedy allocator shared by every static assignment in the
+/// workspace: packs `demands[k]` wavelengths per item into a
+/// `wavelengths`-channel comb so that any two items named by a `conflicts`
+/// pair receive disjoint sets, always taking the lowest-indexed feasible
+/// channel.
+///
+/// Items are processed in index order, so the result is deterministic.
+/// This is the engine behind [`first_fit`],
+/// [`ProblemInstance::allocation_from_counts`] and (via `onoc-sim`)
+/// `StaticFlowMap::from_allocator` — the conflict graph is *abstract*, so
+/// callers may pack task-graph communications, measured traffic flows, or
+/// anything else that shares waveguide segments.
+///
+/// # Errors
+///
+/// Returns [`LanePackingError`] when an item cannot receive its full
+/// demand in greedy order.
+///
+/// # Panics
+///
+/// Panics if `wavelengths` exceeds the 128-channel mask limit or a
+/// conflict pair names an item out of range.
+pub fn assign_disjoint_lanes(
+    demands: &[usize],
+    conflicts: &[(usize, usize)],
+    wavelengths: usize,
+) -> Result<Vec<Vec<WavelengthId>>, LanePackingError> {
+    assert!(
+        wavelengths <= 128,
+        "{wavelengths} wavelengths exceed the 128-channel mask limit"
+    );
+    let n = demands.len();
+    for &(a, b) in conflicts {
+        assert!(
+            a < n && b < n,
+            "conflict pair ({a}, {b}) out of range 0..{n}"
+        );
+    }
+    let mut masks = vec![0u128; n];
+    let mut lanes: Vec<Vec<WavelengthId>> = vec![Vec::new(); n];
+    for (k, &count) in demands.iter().enumerate() {
+        let mut occupied = 0u128;
+        for &(a, b) in conflicts {
+            if a == k {
+                occupied |= masks[b];
+            } else if b == k {
+                occupied |= masks[a];
+            }
+        }
+        let mut assigned = 0usize;
+        for w in 0..wavelengths {
+            if assigned == count {
+                break;
+            }
+            if occupied & (1 << w) == 0 {
+                lanes[k].push(WavelengthId(w));
+                masks[k] |= 1 << w;
+                assigned += 1;
+            }
+        }
+        if assigned < count {
+            return Err(LanePackingError {
+                index: k,
+                requested: count,
+                available: assigned,
+            });
+        }
+    }
+    Ok(lanes)
+}
+
 /// Order in which single-wavelength heuristics pick channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PickPolicy {
-    /// Lowest-indexed feasible wavelength (First-Fit).
-    FirstFit,
     /// Feasible wavelength already reserved by the most communications
     /// (Most-Used), ties to the lowest index.
     MostUsed,
@@ -80,7 +172,6 @@ fn assign_single(
         }
         let feasible = (0..nw).filter(|&w| blocked & (1 << w) == 0);
         let choice = match policy {
-            PickPolicy::FirstFit => feasible.min(),
             PickPolicy::MostUsed => feasible.max_by_key(|&w| (usage[w], nw - w)),
             PickPolicy::LeastUsed => feasible.min_by_key(|&w| (usage[w], w)),
         };
@@ -99,7 +190,22 @@ fn assign_single(
 ///
 /// Returns [`HeuristicError::OutOfWavelengths`] if the comb is too small.
 pub fn first_fit(instance: &ProblemInstance) -> Result<Allocation, HeuristicError> {
-    assign_single(instance, PickPolicy::FirstFit)
+    let nl = instance.comm_count();
+    let pairs: Vec<(usize, usize)> = instance
+        .app()
+        .overlapping_pairs()
+        .iter()
+        .map(|&(a, b)| (a.0, b.0))
+        .collect();
+    let lanes = assign_disjoint_lanes(&vec![1; nl], &pairs, instance.wavelength_count())
+        .map_err(|e| HeuristicError::OutOfWavelengths(CommId(e.index)))?;
+    let mut alloc = Allocation::new(nl, instance.wavelength_count());
+    for (k, set) in lanes.iter().enumerate() {
+        for &w in set {
+            alloc.set(CommId(k), w, true);
+        }
+    }
+    Ok(alloc)
 }
 
 /// Most-Used: prefer the wavelength already reserved by the most
@@ -315,6 +421,36 @@ mod tests {
         let a8 = greedy_makespan(&inst8, &ev8).unwrap();
         let t = ev8.evaluate(&a8).unwrap().exec_time.to_kilocycles();
         assert!((23.7..=25.0).contains(&t), "greedy reached {t} kcc");
+    }
+
+    #[test]
+    fn disjoint_lanes_pack_lowest_index_first() {
+        // 0 conflicts with 1; 2 is independent.
+        let lanes = assign_disjoint_lanes(&[2, 1, 2], &[(0, 1)], 4).unwrap();
+        assert_eq!(lanes[0], vec![WavelengthId(0), WavelengthId(1)]);
+        assert_eq!(lanes[1], vec![WavelengthId(2)]);
+        assert_eq!(lanes[2], vec![WavelengthId(0), WavelengthId(1)]);
+    }
+
+    #[test]
+    fn disjoint_lanes_report_the_failing_demand() {
+        // A triangle of mutual conflicts needs 3 channels for one each.
+        let err = assign_disjoint_lanes(&[1, 1, 1], &[(0, 1), (1, 2), (0, 2)], 2).unwrap_err();
+        assert_eq!(
+            err,
+            LanePackingError {
+                index: 2,
+                requested: 1,
+                available: 0
+            }
+        );
+    }
+
+    #[test]
+    fn disjoint_lanes_allow_zero_demands() {
+        let lanes = assign_disjoint_lanes(&[0, 3, 0], &[(0, 1), (1, 2)], 4).unwrap();
+        assert!(lanes[0].is_empty() && lanes[2].is_empty());
+        assert_eq!(lanes[1].len(), 3);
     }
 
     #[test]

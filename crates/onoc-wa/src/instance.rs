@@ -1,7 +1,7 @@
 //! Problem instances: architecture + mapped application + evaluation options.
 
 use onoc_app::{CommId, MappedApplication};
-use onoc_photonics::{BerConvention, WavelengthId};
+use onoc_photonics::BerConvention;
 use onoc_topology::{CrosstalkModel, OnocArchitecture};
 use onoc_units::{BitsPerCycle, Gigahertz};
 
@@ -223,35 +223,23 @@ impl ProblemInstance {
                 entries: counts.len(),
             });
         }
-        let pairs = self.app.overlapping_pairs();
+        let pairs: Vec<(usize, usize)> = self
+            .app
+            .overlapping_pairs()
+            .iter()
+            .map(|&(a, b)| (a.0, b.0))
+            .collect();
+        let lanes = crate::heuristics::assign_disjoint_lanes(counts, &pairs, nw).map_err(|e| {
+            InstanceError::CountsDoNotFit {
+                comm: CommId(e.index),
+                requested: e.requested,
+                available: e.available,
+            }
+        })?;
         let mut alloc = Allocation::new(nl, nw);
-        let mut masks = vec![0u128; nl];
-        for (k, &count) in counts.iter().enumerate() {
-            let mut occupied = 0u128;
-            for &(a, b) in &pairs {
-                if a.0 == k {
-                    occupied |= masks[b.0];
-                } else if b.0 == k {
-                    occupied |= masks[a.0];
-                }
-            }
-            let mut assigned = 0usize;
-            for w in 0..nw {
-                if assigned == count {
-                    break;
-                }
-                if occupied & (1 << w) == 0 {
-                    alloc.set(CommId(k), WavelengthId(w), true);
-                    masks[k] |= 1 << w;
-                    assigned += 1;
-                }
-            }
-            if assigned < count {
-                return Err(InstanceError::CountsDoNotFit {
-                    comm: CommId(k),
-                    requested: count,
-                    available: assigned,
-                });
+        for (k, set) in lanes.iter().enumerate() {
+            for &w in set {
+                alloc.set(CommId(k), w, true);
             }
         }
         Ok(alloc)

@@ -19,7 +19,10 @@
 //!   the parallel saturation-sweep runner,
 //! * [`wa`] — the paper's contribution: multi-objective wavelength
 //!   allocation (NSGA-II), validity constraints, objectives, heuristic
-//!   baselines, exhaustive oracles and the mapping-search extension.
+//!   baselines, exhaustive oracles and the mapping-search extension,
+//! * [`exp`] — the experiment layer: declarative [`ScenarioSpec`]s
+//!   (TOML/JSON), the registry of named paper experiments, structured
+//!   table/CSV/JSON artifacts, and the `onoc` CLI.
 //!
 //! # Quickstart
 //!
@@ -35,10 +38,35 @@
 //! let objectives = evaluator.evaluate(&alloc).expect("allocation is valid");
 //! assert_eq!(objectives.exec_time.to_kilocycles(), 38.0);
 //! ```
+//!
+//! # Regenerating the paper (and going beyond it)
+//!
+//! Every figure/table experiment is a named registry entry of the single
+//! `onoc` CLI — `onoc list` enumerates them, `onoc run fig6a --quick`
+//! reproduces one, and `onoc run --spec examples/scenario.toml` runs any
+//! declarative scenario over the (architecture × workload × allocator ×
+//! scale) space:
+//!
+//! ```
+//! use ring_wdm_onoc::prelude::*;
+//!
+//! let registry = Registry::standard();
+//! assert!(registry.get("fig6a").is_some());
+//!
+//! let spec = ScenarioSpec::builder("frugal")
+//!     .scale(Scale::Smoke)
+//!     .wavelengths(4)
+//!     .allocator(AllocatorSpec::Counts { counts: vec![1; 6] })
+//!     .build()
+//!     .unwrap();
+//! let report = run_spec(&spec, 2).unwrap();
+//! assert_eq!(report.tables()[0].rows()[0][1], "38.0000"); // kcc
+//! ```
 
 #![forbid(unsafe_code)]
 
 pub use onoc_app as app;
+pub use onoc_exp as exp;
 pub use onoc_photonics as photonics;
 pub use onoc_sim as sim;
 pub use onoc_topology as topology;
@@ -49,10 +77,14 @@ pub use onoc_wa as wa;
 /// Convenience re-exports covering the most common entry points.
 pub mod prelude {
     pub use onoc_app::{MappedApplication, Mapping, RouteStrategy, Schedule, TaskGraph};
+    pub use onoc_exp::{
+        AllocatorSpec, ArchSpec, Experiment, Registry, Report, RunContext, Scale, ScenarioSpec,
+        Table, WorkloadSpec, run_spec,
+    };
     pub use onoc_photonics::{BerConvention, LossParams, MicroRing, Vcsel, WavelengthGrid};
     pub use onoc_sim::{
-        LatencyStats, OpenLoopReport, OpenLoopSimulator, SimReport, Simulator, TrafficEvent,
-        TrafficSource, WavelengthMode,
+        FlowAllocPolicy, FlowMatrix, LatencyStats, OpenLoopReport, OpenLoopSimulator, SimReport,
+        Simulator, StaticFlowMap, TrafficEvent, TrafficSource, WavelengthMode,
     };
     pub use onoc_topology::{
         CrosstalkModel, Direction, NodeId, OnocArchitecture, RingPath, SpectrumEngine, Transmission,
