@@ -24,6 +24,8 @@ USAGE:
     onoc list                          list every named experiment
     onoc run <name> [options]          run a named experiment
     onoc run --spec <file> [options]   run a declarative scenario (TOML or JSON)
+    onoc run --all <dir> [options]     run every *.toml/*.json spec in a directory,
+                                       writing one artifact per spec
     onoc sweep [options]               ad-hoc open-loop saturation sweep
     onoc help                          this text
 
@@ -33,6 +35,7 @@ OPTIONS (run, sweep):
     --seed <n>            master seed                    [default: 2017]
     --threads <n>         sweep worker threads           [default: cores, clamped 2..8]
     --json                emit the report as JSON instead of text
+    --out <dir>           artifact directory for --all   [default: the spec directory]
 
 OPTIONS (sweep only):
     --patterns <a,b,..>   uniform,transpose,bit-reversal,bit-complement,
@@ -157,33 +160,19 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     let json = flag(args, "--json");
 
+    if let Some(dir) = value_of(args, "--all") {
+        return cmd_run_all(&dir, value_of(args, "--out"), args, &ctx, json);
+    }
+
     if let Some(path) = value_of(args, "--spec") {
-        let raw = match std::fs::read_to_string(&path) {
-            Ok(raw) => raw,
-            Err(e) => {
-                eprintln!("could not read {path:?}: {e}");
-                return 1;
-            }
-        };
-        let parsed = if path.ends_with(".json") {
-            ScenarioSpec::from_json_str(&raw)
-        } else {
-            ScenarioSpec::from_toml_str(&raw)
-        };
-        let mut spec = match parsed {
+        // CLI scale/seed flags override the file (see `load_spec`).
+        let spec = match load_spec(&path, args, &ctx) {
             Ok(spec) => spec,
-            Err(e) => {
-                eprintln!("{path}: {e}");
+            Err(message) => {
+                eprintln!("{message}");
                 return 1;
             }
         };
-        // CLI scale/seed flags override the file.
-        if flag(args, "--quick") || value_of(args, "--scale").is_some() {
-            spec.scale = ctx.scale;
-        }
-        if value_of(args, "--seed").is_some() {
-            spec.seed = ctx.seed;
-        }
         return match run_spec(&spec, ctx.threads) {
             Ok(report) => {
                 emit(&report, json);
@@ -204,7 +193,7 @@ fn cmd_run(args: &[String]) -> i32 {
                 && (i == 0
                     || !matches!(
                         args[i - 1].as_str(),
-                        "--scale" | "--seed" | "--threads" | "--spec"
+                        "--scale" | "--seed" | "--threads" | "--spec" | "--all" | "--out"
                     ))
         })
         .map(|(_, a)| a)
@@ -224,6 +213,127 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     emit(&experiment.run(&ctx), json);
     0
+}
+
+/// Parses one spec file (TOML unless the extension says JSON) and applies
+/// the CLI scale/seed overrides.
+fn load_spec(path: &str, args: &[String], ctx: &RunContext) -> Result<ScenarioSpec, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("could not read {path:?}: {e}"))?;
+    let parsed = if path.ends_with(".json") {
+        ScenarioSpec::from_json_str(&raw)
+    } else {
+        ScenarioSpec::from_toml_str(&raw)
+    };
+    let mut spec = parsed.map_err(|e| format!("{path}: {e}"))?;
+    // Relative trace paths resolve against the spec file's directory, so
+    // a spec + trace pair is a self-contained artifact and corpus runs
+    // work from any working directory.
+    if let onoc_exp::WorkloadSpec::Trace { path: trace_path } = &mut spec.workload {
+        let trace = std::path::Path::new(trace_path);
+        if trace.is_relative() {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                *trace_path = dir.join(trace).to_string_lossy().into_owned();
+            }
+        }
+    }
+    if flag(args, "--quick") || value_of(args, "--scale").is_some() {
+        spec.scale = ctx.scale;
+    }
+    if value_of(args, "--seed").is_some() {
+        spec.seed = ctx.seed;
+    }
+    Ok(spec)
+}
+
+/// The corpus runner: every `*.toml`/`*.json` spec in `dir`, one artifact
+/// per spec, non-zero exit if any spec fails.
+fn cmd_run_all(
+    dir: &str,
+    out_dir: Option<String>,
+    args: &[String],
+    ctx: &RunContext,
+    json: bool,
+) -> i32 {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("could not read directory {dir:?}: {e}");
+            return 1;
+        }
+    };
+    let mut spec_paths: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| {
+            matches!(
+                path.extension().and_then(|e| e.to_str()),
+                Some("toml" | "json")
+            )
+        })
+        // Never ingest our own artifacts: a prior `--all` run with the
+        // default output directory leaves `<stem>.report.{txt,json}`
+        // next to the specs.
+        .filter(|path| {
+            !path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .is_some_and(|s| s.ends_with(".report"))
+        })
+        .collect();
+    spec_paths.sort();
+    if spec_paths.is_empty() {
+        eprintln!("{dir:?} holds no *.toml or *.json spec files");
+        return 1;
+    }
+    let out_dir = out_dir.map_or_else(|| std::path::PathBuf::from(dir), std::path::PathBuf::from);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("could not create {}: {e}", out_dir.display());
+        return 1;
+    }
+    let mut failures = 0usize;
+    for path in &spec_paths {
+        let path_str = path.to_string_lossy();
+        // The artifact keeps the spec's full file name (extension
+        // included) so same-stem .toml and .json specs never clobber
+        // each other's report.
+        let stem = path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "spec".into());
+        let outcome = load_spec(&path_str, args, ctx)
+            .and_then(|spec| run_spec(&spec, ctx.threads).map_err(|e| format!("{path_str}: {e}")));
+        match outcome {
+            Ok(report) => {
+                let (artifact, payload) = if json {
+                    (
+                        out_dir.join(format!("{stem}.report.json")),
+                        report.to_json(),
+                    )
+                } else {
+                    (out_dir.join(format!("{stem}.report.txt")), report.render())
+                };
+                if let Err(e) = std::fs::write(&artifact, payload) {
+                    eprintln!(
+                        "FAIL {path_str}: could not write {}: {e}",
+                        artifact.display()
+                    );
+                    failures += 1;
+                } else {
+                    println!("ok   {path_str} -> {}", artifact.display());
+                }
+            }
+            Err(message) => {
+                eprintln!("FAIL {message}");
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "{} of {} specs succeeded",
+        spec_paths.len() - failures,
+        spec_paths.len()
+    );
+    i32::from(failures > 0)
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {

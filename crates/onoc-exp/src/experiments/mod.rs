@@ -17,6 +17,7 @@
 //! | `dynamic-vs-static` | `dynamic_vs_static` | design-time vs runtime WA |
 //! | `traffic-sweep` | `traffic_sweep` | open-loop saturation sweep |
 //! | `saturation` | `saturation` | saturation vs comb size |
+//! | `sustained-saturation` | — (new) | closed-loop sustained knee per allocator |
 //! | `workload-sweep` | `workload_sweep` | the panel of synthetic kernels |
 
 mod figures;
@@ -45,6 +46,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(search::DynamicVsStatic),
         Box::new(traffic::TrafficSweep),
         Box::new(traffic::Saturation),
+        Box::new(traffic::SustainedSaturation),
         Box::new(traffic::WorkloadSweep),
     ]
 }

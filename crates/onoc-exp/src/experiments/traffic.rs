@@ -1,7 +1,8 @@
-//! E12/E13 extensions — open-loop traffic studies and the kernel panel.
+//! E12/E13 extensions — open-loop traffic studies, the closed-loop
+//! sustained-saturation study, and the kernel panel.
 
 use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
-use onoc_sim::DynamicPolicy;
+use onoc_sim::{DynamicPolicy, InjectionMode};
 use onoc_topology::{NodeId, OnocArchitecture, RingTopology};
 use onoc_traffic::{OnOffConfig, SweepGrid, TrafficPattern, run_sweep};
 use onoc_units::{Bits, Cycles};
@@ -157,6 +158,136 @@ impl Experiment for Saturation {
              {workers_seen} of {}.",
             ctx.threads
         ));
+        report
+    }
+}
+
+/// Extension — the closed-loop saturation study the open-loop sweep
+/// cannot do: sweep offered load under credit-based injection and report
+/// the *sustained* knee per allocator.
+///
+/// Past the open-loop knee queues grow without bound, so "throughput at
+/// rate r" measures queue depth, not a sustainable operating point. With
+/// credit gating every source bounds its in-flight traffic, so accepted
+/// throughput converges to the fabric's sustained capacity — the knee is
+/// a property of the allocator, not of the horizon. Two runtime
+/// allocators are compared (single-lane and full-comb greedy
+/// arbitration); the `knee` table reports each one's plateau.
+pub struct SustainedSaturation;
+
+impl SustainedSaturation {
+    /// Accepted throughput within this fraction of the plateau counts as
+    /// "at the knee".
+    const KNEE_TOLERANCE: f64 = 0.98;
+}
+
+impl Experiment for SustainedSaturation {
+    fn name(&self) -> &'static str {
+        "sustained-saturation"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Closed-loop (credit-gated) load sweep: sustained knee per allocator"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let rates = ctx.scale.pick(
+            vec![0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16],
+            vec![0.002, 0.01, 0.04, 0.16],
+            vec![0.002, 0.04],
+        );
+        let horizon = ctx.scale.pick(20_000, 5_000, 2_000);
+        let window = 4;
+        let allocators: [(&str, DynamicPolicy); 2] = [
+            ("dynamic-single", DynamicPolicy::Single),
+            ("dynamic-greedy8", DynamicPolicy::Greedy { cap: 8 }),
+        ];
+
+        let mut report = Report::new(format!(
+            "Sustained saturation under credit-based injection (window {window}), \
+             16-node ring at 8 λ, seed {}",
+            ctx.seed
+        ));
+        let mut table = Table::new(
+            "sustained_saturation",
+            &[
+                "allocator",
+                "injection_rate",
+                "offered_bits_per_cycle",
+                "accepted_bits_per_cycle",
+                "stall_mean",
+                "credit_occupancy",
+                "latency_p99",
+            ],
+        );
+        let mut knee_table = Table::new(
+            "knee",
+            &[
+                "allocator",
+                "sustained_knee_bits_per_cycle",
+                "knee_rate",
+                "plateau_points",
+            ],
+        );
+        for (label, policy) in allocators {
+            let grid = SweepGrid {
+                patterns: vec![TrafficPattern::UniformRandom],
+                injection_rates: rates.clone(),
+                wavelengths: vec![8],
+                ring_sizes: vec![16],
+                horizon,
+                policy,
+                injection: InjectionMode::Credit { window },
+                ..SweepGrid::saturation_default(ctx.seed)
+            };
+            let outcome = run_sweep(&grid, ctx.threads);
+            for r in &outcome.results {
+                table.push_row(vec![
+                    label.to_string(),
+                    r.scenario.injection_rate.to_string(),
+                    format!("{:.3}", r.offered_load),
+                    format!("{:.3}", r.accepted_throughput),
+                    format!("{:.2}", r.stall_mean),
+                    format!("{:.5}", r.credit_occupancy),
+                    format!("{:.2}", r.latency.p99),
+                ]);
+            }
+            // The sustained knee: the plateau of accepted throughput, and
+            // the lowest offered rate that reaches it.
+            let plateau = outcome
+                .results
+                .iter()
+                .map(|r| r.accepted_throughput)
+                .fold(0.0f64, f64::max);
+            let at_knee: Vec<&onoc_traffic::ScenarioResult> = outcome
+                .results
+                .iter()
+                .filter(|r| r.accepted_throughput >= Self::KNEE_TOLERANCE * plateau)
+                .collect();
+            let knee_rate = at_knee
+                .iter()
+                .map(|r| r.scenario.injection_rate)
+                .fold(f64::INFINITY, f64::min);
+            knee_table.push_row(vec![
+                label.to_string(),
+                format!("{plateau:.3}"),
+                format!("{knee_rate}"),
+                at_knee.len().to_string(),
+            ]);
+        }
+        report.push_table(table);
+        report.push_table(knee_table);
+        report.push_text(
+            "Reading: accepted throughput climbs with offered load until the\n\
+             fabric saturates, then *plateaus* at a finite sustained knee —\n\
+             credit gating keeps sources from outrunning delivery, so the\n\
+             plateau is measurable instead of queues growing without bound.\n\
+             The greedy allocator reaches a similar plateau at lower latency\n\
+             by spending the whole comb per burst. `knee_rate` is the lowest\n\
+             offered rate whose accepted throughput is within 2% of the\n\
+             plateau; stall_mean and credit_occupancy show the gate doing\n\
+             the throttling past that point.",
+        );
         report
     }
 }

@@ -11,9 +11,10 @@
 //!   access),
 //! * [`scenario::run_spec`] — the generic interpreter: any spec file runs
 //!   without new Rust code,
-//! * [`Experiment`] + [`Registry`] — the 15 named paper
-//!   experiments/extensions that used to be hand-rolled `onoc-bench`
-//!   binaries, each returning a structured [`Report`],
+//! * [`Experiment`] + [`Registry`] — the 16 named paper
+//!   experiments/extensions (the 15 former hand-rolled `onoc-bench`
+//!   binaries plus the closed-loop `sustained-saturation` study), each
+//!   returning a structured [`Report`],
 //! * [`artifact`] — the table/CSV/JSON output layer replacing per-binary
 //!   `println!` plumbing,
 //! * the `onoc` CLI (`onoc list`, `onoc run fig6a --quick`,

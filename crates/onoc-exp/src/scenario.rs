@@ -12,10 +12,13 @@
 
 use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
 use onoc_sim::{
-    DynamicSimulator, FlowMatrix, OpenLoopReport, OpenLoopSimulator, StaticFlowMap, WavelengthMode,
+    DynamicSimulator, FlowMatrix, OpenLoopReport, OpenLoopSimulator, StaticFlowMap,
+    SynthesisSummary, WavelengthMode,
 };
 use onoc_topology::{OnocArchitecture, RingTopology};
-use onoc_traffic::{OnOffConfig, SweepGrid, SweepOutcome, TrafficConfig, generate, run_sweep};
+use onoc_traffic::{
+    OnOffConfig, SweepGrid, SweepOutcome, TrafficConfig, TrafficTrace, generate, run_sweep,
+};
 use onoc_units::{Bits, BitsPerCycle, Cycles};
 use onoc_wa::{Allocation, Evaluator, Nsga2, ProblemInstance, heuristics};
 use rand::SeedableRng;
@@ -113,6 +116,7 @@ pub fn run_spec(spec: &ScenarioSpec, threads: usize) -> Result<Report, ScenarioE
             run_closed_loop(spec, &mut report)?;
         }
         WorkloadSpec::Synthetic { .. } => run_synthetic(spec, &mut report)?,
+        WorkloadSpec::Trace { .. } => run_trace(spec, &mut report)?,
         WorkloadSpec::Sweep { .. } => run_sweep_workload(spec, threads, &mut report)?,
     }
     Ok(report)
@@ -313,6 +317,7 @@ fn open_loop_table(label: &str) -> Table {
         label,
         &[
             "mode",
+            "injection",
             "pattern",
             "nodes",
             "wavelengths",
@@ -326,6 +331,8 @@ fn open_loop_table(label: &str) -> Table {
             "latency_p99",
             "latency_max",
             "blocked",
+            "stall_mean",
+            "credit_occupancy",
             "occupancy",
             "conflicts",
         ],
@@ -344,6 +351,7 @@ fn push_open_loop_row(
     let latency = report.latency();
     table.push_row(vec![
         mode.to_string(),
+        report.injection.name().to_string(),
         pattern.to_string(),
         report.nodes.to_string(),
         report.wavelengths.to_string(),
@@ -357,9 +365,132 @@ fn push_open_loop_row(
         format!("{:.2}", latency.p99),
         latency.max.to_string(),
         report.blocked_attempts.to_string(),
+        format!("{:.2}", report.stall().mean),
+        format!("{:.5}", report.credit_occupancy),
         format!("{:.5}", report.mean_wavelength_occupancy()),
         report.conflict_count.to_string(),
     ]);
+}
+
+/// Resolves the spec's allocator into a [`WavelengthMode`] for a
+/// message-stream workload, reporting flow-synthesis artifacts (lane
+/// table, predicted conflict budget) along the way.
+fn open_loop_mode(
+    spec: &ScenarioSpec,
+    ring: &RingTopology,
+    events: &[onoc_sim::TrafficEvent],
+    report: &mut Report,
+) -> Result<WavelengthMode, ScenarioError> {
+    Ok(match &spec.allocator {
+        AllocatorSpec::Dynamic { policy } => WavelengthMode::Dynamic(*policy),
+        AllocatorSpec::Striped { lanes_per_flow } => WavelengthMode::Static(
+            StaticFlowMap::striped(spec.arch.nodes, spec.arch.wavelengths, *lanes_per_flow),
+        ),
+        AllocatorSpec::FlowSynthesis { policy } => {
+            let matrix = FlowMatrix::from_events(spec.arch.nodes, events);
+            let (map, summary) = StaticFlowMap::from_allocator_with_summary(
+                ring,
+                spec.arch.wavelengths,
+                &matrix,
+                *policy,
+            )
+            .map_err(alloc_err)?;
+            let mut lanes_table = Table::new("flow_lanes", &["src", "dst", "bits", "lanes"]);
+            for (src, dst, bits) in matrix.flows() {
+                lanes_table.push_row(vec![
+                    src.0.to_string(),
+                    dst.0.to_string(),
+                    format!("{bits:.0}"),
+                    map.lanes(src, dst).len().to_string(),
+                ]);
+            }
+            report.push_text(format!(
+                "flow synthesis: {} measured flows, {:.0} bits total, lanes via the onoc-wa allocator",
+                matrix.flow_count(),
+                matrix.total_bits()
+            ));
+            push_conflict_budget(report, &summary);
+            report.push_table(lanes_table);
+            WavelengthMode::Static(map)
+        }
+        other => unreachable!(
+            "spec validation rejects {} for message-stream workloads",
+            other.kind()
+        ),
+    })
+}
+
+/// How many lane-sharing pairs the allocation summary spells out
+/// (mirrors the engine's conflict-example cap); the rest stay counted.
+const SHARED_PAIR_EXAMPLE_CAP: usize = 16;
+
+/// Reports the predicted conflict budget of a (possibly relaxed) flow
+/// synthesis.
+fn push_conflict_budget(report: &mut Report, summary: &SynthesisSummary) {
+    if summary.is_disjoint() {
+        report.push_text(
+            "allocation summary: strictly disjoint (§III-D) — predicted conflict budget 0 pairs",
+        );
+    } else {
+        let mut pairs: Vec<String> = summary
+            .shared_pairs
+            .iter()
+            .take(SHARED_PAIR_EXAMPLE_CAP)
+            .map(|((s1, d1), (s2, d2), lane)| format!("{s1}→{d1} with {s2}→{d2} on {lane}"))
+            .collect();
+        let hidden = summary.shared_pairs.len().saturating_sub(pairs.len());
+        if hidden > 0 {
+            pairs.push(format!("… and {hidden} more"));
+        }
+        report.push_text(format!(
+            "allocation summary: relaxed — predicted conflict budget {} lane-sharing pair(s) \
+             covering {:.0} bits: {}",
+            summary.shared_pairs.len(),
+            summary.shared_bits,
+            pairs.join("; ")
+        ));
+    }
+}
+
+/// Runs a message-stream workload (synthetic or trace) through the
+/// open/closed-loop engine and tabulates one scenario row.
+fn run_stream(
+    spec: &ScenarioSpec,
+    trace: &TrafficTrace,
+    pattern_label: &str,
+    injection_rate: f64,
+    offered_load: f64,
+    report: &mut Report,
+) -> Result<(), ScenarioError> {
+    let ring = RingTopology::new(spec.arch.nodes);
+    let mode = open_loop_mode(spec, &ring, trace.events(), report)?;
+    let mode_label = match &mode {
+        WavelengthMode::Dynamic(policy) => format!("dynamic-{policy}"),
+        WavelengthMode::Static(_) => format!("static-{}", spec.allocator.kind()),
+    };
+    let sim = OpenLoopSimulator::with_injection(
+        ring,
+        spec.arch.wavelengths,
+        rate(),
+        mode,
+        spec.injection,
+    );
+    let run = sim
+        .run(trace.source())
+        .map_err(|e| ScenarioError::Simulation {
+            message: e.to_string(),
+        })?;
+    let mut table = open_loop_table("scenario");
+    push_open_loop_row(
+        &mut table,
+        &mode_label,
+        pattern_label,
+        injection_rate,
+        offered_load,
+        &run,
+    );
+    report.push_table(table);
+    Ok(())
 }
 
 fn run_synthetic(spec: &ScenarioSpec, report: &mut Report) -> Result<(), ScenarioError> {
@@ -385,65 +516,55 @@ fn run_synthetic(spec: &ScenarioSpec, report: &mut Report) -> Result<(), Scenari
     };
     let trace = generate(&config);
     report.push_text(format!(
-        "trace: {} pattern, rate {}, {} messages over {} cycles",
+        "trace: {} pattern, rate {}, {} messages over {} cycles, {} injection",
         pattern,
         injection_rate,
         trace.len(),
-        horizon
+        horizon,
+        spec.injection
     ));
-    let ring = RingTopology::new(spec.arch.nodes);
-    let mode = match &spec.allocator {
-        AllocatorSpec::Dynamic { policy } => WavelengthMode::Dynamic(*policy),
-        AllocatorSpec::Striped { lanes_per_flow } => WavelengthMode::Static(
-            StaticFlowMap::striped(spec.arch.nodes, spec.arch.wavelengths, *lanes_per_flow),
-        ),
-        AllocatorSpec::FlowSynthesis { policy } => {
-            let matrix = FlowMatrix::from_events(spec.arch.nodes, trace.events());
-            let map = StaticFlowMap::from_allocator(&ring, spec.arch.wavelengths, &matrix, *policy)
-                .map_err(alloc_err)?;
-            let mut lanes_table = Table::new("flow_lanes", &["src", "dst", "bits", "lanes"]);
-            for (src, dst, bits) in matrix.flows() {
-                lanes_table.push_row(vec![
-                    src.0.to_string(),
-                    dst.0.to_string(),
-                    format!("{bits:.0}"),
-                    map.lanes(src, dst).len().to_string(),
-                ]);
-            }
-            report.push_text(format!(
-                "flow synthesis: {} measured flows, {:.0} bits total, lanes via the onoc-wa allocator",
-                matrix.flow_count(),
-                matrix.total_bits()
-            ));
-            report.push_table(lanes_table);
-            WavelengthMode::Static(map)
-        }
-        other => unreachable!(
-            "spec validation rejects {} for synthetic traffic",
-            other.kind()
-        ),
-    };
-    let mode_label = match &mode {
-        WavelengthMode::Dynamic(policy) => format!("dynamic-{policy}"),
-        WavelengthMode::Static(_) => format!("static-{}", spec.allocator.kind()),
-    };
-    let sim = OpenLoopSimulator::new(ring, spec.arch.wavelengths, rate(), mode);
-    let run = sim
-        .run(trace.source())
-        .map_err(|e| ScenarioError::Simulation {
-            message: e.to_string(),
-        })?;
-    let mut table = open_loop_table("scenario");
-    push_open_loop_row(
-        &mut table,
-        &mode_label,
+    run_stream(
+        spec,
+        &trace,
         pattern.name(),
         *injection_rate,
         config.offered_load(),
-        &run,
-    );
-    report.push_table(table);
-    Ok(())
+        report,
+    )
+}
+
+fn run_trace(spec: &ScenarioSpec, report: &mut Report) -> Result<(), ScenarioError> {
+    let WorkloadSpec::Trace { path } = &spec.workload else {
+        unreachable!("caller dispatches only trace workloads here");
+    };
+    let raw = std::fs::read_to_string(path).map_err(|e| ScenarioError::Build {
+        stage: "trace file",
+        message: format!("{path}: {e}"),
+    })?;
+    let trace = TrafficTrace::from_csv_str(&raw).map_err(|e| ScenarioError::Build {
+        stage: "trace file",
+        message: format!("{path}: {e}"),
+    })?;
+    if trace.max_node() >= spec.arch.nodes {
+        return Err(ScenarioError::Build {
+            stage: "trace file",
+            message: format!(
+                "{path} references node {} but the architecture has {} nodes",
+                trace.max_node(),
+                spec.arch.nodes
+            ),
+        });
+    }
+    report.push_text(format!(
+        "trace: {} replayed messages from {path}, {} injection",
+        trace.len(),
+        spec.injection
+    ));
+    let offered_load = {
+        let window = trace.events().iter().map(|e| e.time).max().unwrap_or(0) + 1;
+        trace.events().iter().map(|e| e.volume.value()).sum::<f64>() / window as f64
+    };
+    run_stream(spec, &trace, "trace", 0.0, offered_load, report)
 }
 
 fn run_sweep_workload(
@@ -477,12 +598,13 @@ fn run_sweep_workload(
         lane_rate: rate(),
         policy: *policy,
         burstiness: burstiness.map(|(mean_on, mean_off)| OnOffConfig { mean_on, mean_off }),
+        injection: spec.injection,
     };
     let scenario_count = grid.scenarios().len();
     let outcome = run_sweep(&grid, threads);
     report.push_text(format!(
-        "{scenario_count} scenarios over {} worker threads ({} participated)",
-        outcome.threads, outcome.workers_used
+        "{scenario_count} scenarios over {} worker threads ({} participated), {} injection",
+        outcome.threads, outcome.workers_used, spec.injection
     ));
     report.push_table(sweep_table("sweep", &outcome));
     Ok(())
@@ -653,6 +775,138 @@ max_lanes_per_flow = 4
             .unwrap();
         let err = run_spec(&spec, 2).unwrap_err();
         assert!(matches!(err, ScenarioError::Allocator { .. }), "{err}");
+    }
+
+    #[test]
+    fn closed_loop_scenario_reports_backpressure_columns() {
+        use onoc_sim::InjectionMode;
+        let spec = ScenarioSpec::builder("closed")
+            .scale(Scale::Smoke)
+            .wavelengths(1)
+            .workload(WorkloadSpec::Synthetic {
+                pattern: TrafficPattern::UniformRandom,
+                injection_rate: 0.2,
+                message_bits: 512.0,
+                horizon: 20_000,
+                burstiness: None,
+            })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .injection(InjectionMode::Credit { window: 1 })
+            .build()
+            .unwrap();
+        let report = run_spec(&spec, 2).unwrap();
+        let table = report.tables()[0];
+        let header = table.csv_header();
+        assert!(header.contains("stall_mean") && header.contains("credit_occupancy"));
+        let row = &table.rows()[0];
+        assert_eq!(row[1], "credit", "injection column");
+        let stall: f64 = row[15].parse().unwrap();
+        let credit: f64 = row[16].parse().unwrap();
+        assert!(stall > 0.0, "saturated credit gate must stall: {row:?}");
+        assert!(credit > 0.0 && credit <= 1.0);
+    }
+
+    #[test]
+    fn trace_scenario_replays_a_csv_file() {
+        let path = std::env::temp_dir().join("onoc_exp_trace_scenario.csv");
+        std::fs::write(
+            &path,
+            "cycle,src,dst,size\n0,0,3,256\n5,1,4,128\n9,0,3,256\n",
+        )
+        .unwrap();
+        let spec = ScenarioSpec::builder("replay")
+            .scale(Scale::Smoke)
+            .workload(WorkloadSpec::Trace {
+                path: path.to_string_lossy().into_owned(),
+            })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        let report = run_spec(&spec, 2).unwrap();
+        let table = report.tables()[0];
+        assert_eq!(table.rows()[0][2], "trace", "pattern column");
+        assert_eq!(table.rows()[0][6], "3", "replayed message count");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_scenario_rejects_missing_and_oversized_traces() {
+        let spec = ScenarioSpec::builder("missing")
+            .workload(WorkloadSpec::Trace {
+                path: "/nonexistent/trace.csv".into(),
+            })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        assert!(matches!(
+            run_spec(&spec, 1).unwrap_err(),
+            ScenarioError::Build {
+                stage: "trace file",
+                ..
+            }
+        ));
+
+        let path = std::env::temp_dir().join("onoc_exp_trace_foreign.csv");
+        std::fs::write(&path, "0,0,99,256\n").unwrap();
+        let spec = ScenarioSpec::builder("foreign")
+            .workload(WorkloadSpec::Trace {
+                path: path.to_string_lossy().into_owned(),
+            })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        let err = run_spec(&spec, 1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ScenarioError::Build {
+                    stage: "trace file",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn relaxed_synthesis_reports_the_conflict_budget() {
+        // The 1-λ hotspot set that is infeasible under first-fit (see
+        // `infeasible_flow_synthesis_is_a_clean_error`) runs under the
+        // relaxed policy and reports its predicted conflict budget.
+        let spec = ScenarioSpec::builder("tight-relaxed")
+            .scale(Scale::Smoke)
+            .wavelengths(1)
+            .workload(WorkloadSpec::Synthetic {
+                pattern: TrafficPattern::Hotspot {
+                    hotspots: vec![NodeId(0)],
+                    fraction: 0.9,
+                },
+                injection_rate: 0.05,
+                message_bits: 512.0,
+                horizon: 5_000,
+                burstiness: None,
+            })
+            .allocator(AllocatorSpec::FlowSynthesis {
+                policy: FlowAllocPolicy::Relaxed,
+            })
+            .build()
+            .unwrap();
+        let report = run_spec(&spec, 2).unwrap();
+        let rendered = report.render();
+        assert!(
+            rendered.contains("predicted conflict budget"),
+            "allocation summary must name the budget"
+        );
+        assert!(rendered.contains("lane-sharing pair"), "{rendered}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! [`run_spec`](crate::scenario::run_spec) — new scenarios need a file,
 //! not a binary. Every spec round-trips exactly through both serializers.
 
-use onoc_sim::{DynamicPolicy, FlowAllocPolicy};
+use onoc_sim::{DynamicPolicy, FlowAllocPolicy, InjectionMode};
 use onoc_topology::NodeId;
 use onoc_traffic::TrafficPattern;
 use onoc_wa::{Nsga2Config, ObjectiveSet};
@@ -198,6 +198,14 @@ pub enum WorkloadSpec {
         /// Optional `(mean_on, mean_off)` bursty ON-OFF injection.
         burstiness: Option<(f64, f64)>,
     },
+    /// An external message trace replayed from a `cycle,src,dst,size`
+    /// CSV file (see `onoc_traffic::TrafficTrace::from_csv_str`).
+    Trace {
+        /// Path of the CSV file. The `onoc` CLI resolves relative paths
+        /// against the spec file's directory; `run_spec` itself uses the
+        /// path as given (i.e. against the working directory).
+        path: String,
+    },
     /// A grid of open-loop scenarios (the saturation-sweep shape).
     Sweep {
         /// Patterns to sweep.
@@ -225,6 +233,7 @@ impl WorkloadSpec {
             WorkloadSpec::PaperApp => "paper-app",
             WorkloadSpec::Kernel { .. } => "kernel",
             WorkloadSpec::Synthetic { .. } => "synthetic",
+            WorkloadSpec::Trace { .. } => "trace",
             WorkloadSpec::Sweep { .. } => "sweep",
         }
     }
@@ -407,6 +416,10 @@ pub struct ScenarioSpec {
     pub workload: WorkloadSpec,
     /// Allocator axis.
     pub allocator: AllocatorSpec,
+    /// Injection policy for message-stream workloads (open loop by
+    /// default; ignored by the closed task-graph workloads, which are
+    /// dependence-gated by construction).
+    pub injection: InjectionMode,
 }
 
 impl ScenarioSpec {
@@ -425,6 +438,7 @@ impl ScenarioSpec {
                 population: None,
                 generations: None,
             },
+            injection: InjectionMode::Open,
         }
     }
 
@@ -476,6 +490,9 @@ impl ScenarioSpec {
         workload.insert("kind", self.workload.kind());
         match &self.workload {
             WorkloadSpec::PaperApp => {}
+            WorkloadSpec::Trace { path } => {
+                workload.insert("path", path.as_str());
+            }
             WorkloadSpec::Kernel {
                 kind,
                 stages,
@@ -556,6 +573,7 @@ impl ScenarioSpec {
             },
             AllocatorSpec::FlowSynthesis { policy } => match policy {
                 FlowAllocPolicy::FirstFit => allocator.insert("policy", "first-fit"),
+                FlowAllocPolicy::Relaxed => allocator.insert("policy", "relaxed"),
                 FlowAllocPolicy::Proportional { max_lanes_per_flow } => {
                     allocator.insert("policy", "proportional");
                     allocator.insert("max_lanes_per_flow", *max_lanes_per_flow);
@@ -566,6 +584,17 @@ impl ScenarioSpec {
             }
         }
         root.insert("allocator", allocator);
+
+        if self.injection != InjectionMode::Open {
+            let mut injection = Value::table();
+            injection.insert("mode", self.injection.name());
+            match self.injection {
+                InjectionMode::Open => unreachable!("open mode is the omitted default"),
+                InjectionMode::Credit { window } => injection.insert("credit_window", window),
+                InjectionMode::Ecn { threshold } => injection.insert("ecn_threshold", threshold),
+            }
+            root.insert("injection", injection);
+        }
         root
     }
 
@@ -613,6 +642,10 @@ impl ScenarioSpec {
                 .get("allocator")
                 .ok_or(SpecError::Missing { field: "allocator" })?,
         )?;
+        let injection = match value.get("injection") {
+            None => InjectionMode::Open,
+            Some(table) => parse_injection(table)?,
+        };
         ScenarioSpecBuilder {
             name,
             seed,
@@ -621,6 +654,7 @@ impl ScenarioSpec {
             arch,
             workload,
             allocator,
+            injection,
         }
         .build()
     }
@@ -636,6 +670,7 @@ pub struct ScenarioSpecBuilder {
     arch: ArchSpec,
     workload: WorkloadSpec,
     allocator: AllocatorSpec,
+    injection: InjectionMode,
 }
 
 impl ScenarioSpecBuilder {
@@ -685,6 +720,13 @@ impl ScenarioSpecBuilder {
     #[must_use]
     pub fn allocator(mut self, allocator: AllocatorSpec) -> Self {
         self.allocator = allocator;
+        self
+    }
+
+    /// Sets the injection policy.
+    #[must_use]
+    pub fn injection(mut self, injection: InjectionMode) -> Self {
+        self.injection = injection;
         self
     }
 
@@ -750,6 +792,11 @@ impl ScenarioSpecBuilder {
                     return Err(invalid("workload.horizon", "must be positive"));
                 }
                 validate_burstiness(*burstiness)?;
+            }
+            WorkloadSpec::Trace { path } => {
+                if path.trim().is_empty() {
+                    return Err(invalid("workload.path", "must name a CSV file"));
+                }
             }
             WorkloadSpec::Sweep {
                 patterns,
@@ -852,6 +899,29 @@ impl ScenarioSpecBuilder {
             }
             _ => {}
         }
+        match self.injection {
+            InjectionMode::Open => {}
+            InjectionMode::Credit { window: 0 } => {
+                return Err(invalid("injection.credit_window", "must be at least 1"));
+            }
+            InjectionMode::Ecn { threshold }
+                if !(threshold.is_finite() && threshold > 0.0 && threshold <= 1.0) =>
+            {
+                return Err(invalid("injection.ecn_threshold", "must be in (0, 1]"));
+            }
+            InjectionMode::Credit { .. } | InjectionMode::Ecn { .. } => {
+                if matches!(
+                    self.workload,
+                    WorkloadSpec::PaperApp | WorkloadSpec::Kernel { .. }
+                ) {
+                    return Err(invalid(
+                        "injection.mode",
+                        "task-graph workloads are dependence-gated already; \
+                         closed-loop injection applies to message-stream workloads",
+                    ));
+                }
+            }
+        }
         let closed_loop = matches!(
             self.workload,
             WorkloadSpec::PaperApp | WorkloadSpec::Kernel { .. }
@@ -862,7 +932,10 @@ impl ScenarioSpecBuilder {
             | AllocatorSpec::Counts { .. } => closed_loop,
             AllocatorSpec::Dynamic { .. } => true,
             AllocatorSpec::FlowSynthesis { .. } | AllocatorSpec::Striped { .. } => {
-                matches!(self.workload, WorkloadSpec::Synthetic { .. })
+                matches!(
+                    self.workload,
+                    WorkloadSpec::Synthetic { .. } | WorkloadSpec::Trace { .. }
+                )
             }
         };
         if !compatible {
@@ -879,6 +952,7 @@ impl ScenarioSpecBuilder {
             arch: self.arch,
             workload: self.workload,
             allocator: self.allocator,
+            injection: self.injection,
         })
     }
 }
@@ -1093,6 +1167,17 @@ fn parse_workload(table: &Value) -> Result<WorkloadSpec, SpecError> {
         }),
         Err(e) => Err(e),
         Ok("paper-app") => Ok(WorkloadSpec::PaperApp),
+        Ok("trace") => {
+            let path = req_str(table, "path")
+                .map_err(|e| match e {
+                    SpecError::Missing { .. } => SpecError::Missing {
+                        field: "workload.path",
+                    },
+                    other => other,
+                })?
+                .to_string();
+            Ok(WorkloadSpec::Trace { path })
+        }
         Ok("kernel") => {
             let raw = table
                 .get("kernel")
@@ -1222,6 +1307,7 @@ fn parse_allocator(table: &Value) -> Result<AllocatorSpec, SpecError> {
                     .unwrap_or(128),
                 },
                 Some("first-fit") => FlowAllocPolicy::FirstFit,
+                Some("relaxed") => FlowAllocPolicy::Relaxed,
                 Some(other) => {
                     return Err(invalid(
                         "allocator.policy",
@@ -1238,6 +1324,32 @@ fn parse_allocator(table: &Value) -> Result<AllocatorSpec, SpecError> {
         Ok(other) => Err(invalid(
             "allocator.kind",
             format!("unknown allocator kind {other:?}"),
+        )),
+    }
+}
+
+fn parse_injection(table: &Value) -> Result<InjectionMode, SpecError> {
+    match req_str(table, "mode") {
+        Err(SpecError::Missing { .. }) => Err(SpecError::Missing {
+            field: "injection.mode",
+        }),
+        Err(e) => Err(e),
+        Ok("open") => Ok(InjectionMode::Open),
+        Ok("credit") => Ok(InjectionMode::Credit {
+            window: opt_usize_in(table, "injection.credit_window", "credit_window")?.unwrap_or(4),
+        }),
+        Ok("ecn") => {
+            let threshold = match table.get("ecn_threshold") {
+                None => 0.75,
+                Some(v) => v
+                    .as_float()
+                    .ok_or_else(|| invalid("injection.ecn_threshold", "not a number"))?,
+            };
+            Ok(InjectionMode::Ecn { threshold })
+        }
+        Ok(other) => Err(invalid(
+            "injection.mode",
+            format!("unknown injection mode {other:?}"),
         )),
     }
 }
@@ -1469,6 +1581,141 @@ kind = "nsga2"
         )
         .unwrap_err();
         assert!(matches!(err, SpecError::Invalid { field, .. } if field == "workload.kind"));
+    }
+
+    fn synthetic_uniform() -> WorkloadSpec {
+        WorkloadSpec::Synthetic {
+            pattern: TrafficPattern::UniformRandom,
+            injection_rate: 0.02,
+            message_bits: 512.0,
+            horizon: 5_000,
+            burstiness: None,
+        }
+    }
+
+    #[test]
+    fn injection_table_round_trips_in_both_formats() {
+        for injection in [
+            InjectionMode::Credit { window: 3 },
+            InjectionMode::Ecn { threshold: 0.6 },
+        ] {
+            let spec = ScenarioSpec::builder("closed")
+                .workload(synthetic_uniform())
+                .allocator(AllocatorSpec::Dynamic {
+                    policy: DynamicPolicy::Single,
+                })
+                .injection(injection)
+                .build()
+                .unwrap();
+            let toml = spec.to_toml();
+            assert!(toml.contains("[injection]"), "{toml}");
+            assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+            assert_eq!(ScenarioSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn open_injection_is_the_omitted_default() {
+        let spec = ScenarioSpec::builder("open")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(spec.injection, InjectionMode::Open);
+        assert!(!spec.to_toml().contains("[injection]"));
+        assert_eq!(ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+    }
+
+    #[test]
+    fn injection_defaults_and_errors() {
+        let parse = |body: &str| {
+            ScenarioSpec::from_toml_str(&format!(
+                "name = \"x\"\n[workload]\nkind = \"synthetic\"\npattern = \"uniform\"\n\
+                 injection_rate = 0.01\nmessage_bits = 512.0\nhorizon = 1000\n\
+                 [allocator]\nkind = \"dynamic\"\n{body}"
+            ))
+        };
+        // Defaults: credit window 4, ECN threshold 0.75.
+        assert_eq!(
+            parse("[injection]\nmode = \"credit\"\n").unwrap().injection,
+            InjectionMode::Credit { window: 4 }
+        );
+        assert_eq!(
+            parse("[injection]\nmode = \"ecn\"\n").unwrap().injection,
+            InjectionMode::Ecn { threshold: 0.75 }
+        );
+        let err = parse("[injection]\nmode = \"credit\"\ncredit_window = 0\n").unwrap_err();
+        assert!(
+            matches!(err, SpecError::Invalid { field, .. } if field == "injection.credit_window")
+        );
+        let err = parse("[injection]\nmode = \"ecn\"\necn_threshold = 2.0\n").unwrap_err();
+        assert!(
+            matches!(err, SpecError::Invalid { field, .. } if field == "injection.ecn_threshold")
+        );
+        let err = parse("[injection]\nmode = \"tcp\"\n").unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "injection.mode"));
+    }
+
+    #[test]
+    fn task_graph_workloads_reject_closed_loop_injection() {
+        let err = ScenarioSpec::builder("bad")
+            .injection(InjectionMode::Credit { window: 4 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "injection.mode"));
+    }
+
+    #[test]
+    fn trace_workload_round_trips_and_validates() {
+        let spec = ScenarioSpec::builder("replay")
+            .workload(WorkloadSpec::Trace {
+                path: "traces/app.csv".into(),
+            })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .injection(InjectionMode::Credit { window: 2 })
+            .build()
+            .unwrap();
+        assert_eq!(ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+
+        let err = ScenarioSpec::builder("bad")
+            .workload(WorkloadSpec::Trace { path: "  ".into() })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "workload.path"));
+        // GA allocators have no trace semantics.
+        let err = ScenarioSpec::builder("bad")
+            .workload(WorkloadSpec::Trace {
+                path: "trace.csv".into(),
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::Incompatible {
+                workload: "trace",
+                allocator: "nsga2"
+            }
+        );
+    }
+
+    #[test]
+    fn relaxed_flow_synthesis_round_trips() {
+        let spec = ScenarioSpec::builder("relaxed")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::FlowSynthesis {
+                policy: FlowAllocPolicy::Relaxed,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
     }
 
     #[test]

@@ -54,6 +54,13 @@ fn golden_headers() -> Vec<(&'static str, &'static str, String)> {
                 .into(),
         ),
         (
+            "sustained-saturation",
+            "sustained_saturation",
+            "allocator,injection_rate,offered_bits_per_cycle,accepted_bits_per_cycle,\
+             stall_mean,credit_occupancy,latency_p99"
+                .into(),
+        ),
+        (
             "workload-sweep",
             "workload_sweep",
             "workload,tasks,comms,pairs,front,exec_lo,exec_hi,fj_lo,fj_hi,ber_lo,ber_hi".into(),
@@ -132,6 +139,7 @@ fn registry_order_matches_the_documented_index() {
             "dynamic-vs-static",
             "traffic-sweep",
             "saturation",
+            "sustained-saturation",
             "workload-sweep",
         ]
     );

@@ -4,7 +4,7 @@
 //! JSON serializer, and the two document forms must agree.
 
 use onoc_exp::{AllocatorSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, WorkloadSpec};
-use onoc_sim::{DynamicPolicy, FlowAllocPolicy};
+use onoc_sim::{DynamicPolicy, FlowAllocPolicy, InjectionMode};
 use onoc_topology::NodeId;
 use onoc_traffic::TrafficPattern;
 use onoc_wa::ObjectiveSet;
@@ -130,16 +130,30 @@ fn decode_spec(
                 policy: DynamicPolicy::Greedy { cap: 1 + lanes % 4 },
             },
             1 => AllocatorSpec::FlowSynthesis {
-                policy: if lanes.is_multiple_of(2) {
-                    FlowAllocPolicy::FirstFit
-                } else {
-                    FlowAllocPolicy::Proportional {
+                policy: match lanes % 3 {
+                    0 => FlowAllocPolicy::FirstFit,
+                    1 => FlowAllocPolicy::Relaxed,
+                    _ => FlowAllocPolicy::Proportional {
                         max_lanes_per_flow: 1 + lanes % 8,
-                    }
+                    },
                 },
             },
             _ => AllocatorSpec::Striped {
                 lanes_per_flow: 1 + lanes % nw,
+            },
+        }
+    };
+    // Closed-loop injection applies to the message-stream workloads only.
+    let injection = if closed_loop {
+        InjectionMode::Open
+    } else {
+        match (rate_millis + stages) % 3 {
+            0 => InjectionMode::Open,
+            1 => InjectionMode::Credit {
+                window: 1 + stages % 8,
+            },
+            _ => InjectionMode::Ecn {
+                threshold: 0.25 + ((rate_millis % 3) as f64) * 0.25,
             },
         }
     };
@@ -151,6 +165,7 @@ fn decode_spec(
         .wavelengths(nw)
         .workload(workload)
         .allocator(allocator)
+        .injection(injection)
         .build()
         .expect("decoded specs are valid by construction")
 }

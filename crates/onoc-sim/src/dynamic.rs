@@ -45,6 +45,7 @@ use onoc_units::BitsPerCycle;
 
 use crate::ChannelConflict;
 use crate::engine::detect_conflicts_with;
+use crate::injection::LaneArbiter;
 
 /// How many wavelengths a ready communication claims.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +59,17 @@ pub enum DynamicPolicy {
         /// Maximum wavelengths per burst.
         cap: usize,
     },
+}
+
+impl DynamicPolicy {
+    /// Wavelengths a ready transmission asks the arbiter for.
+    #[must_use]
+    pub fn lane_demand(self) -> usize {
+        match self {
+            DynamicPolicy::Single => 1,
+            DynamicPolicy::Greedy { cap } => cap,
+        }
+    }
 }
 
 impl core::fmt::Display for DynamicPolicy {
@@ -143,27 +155,6 @@ impl<'a> DynamicSimulator<'a> {
         }
     }
 
-    /// Wavelengths free on every directed segment of `comm`'s path.
-    fn free_mask(&self, busy: &[u128], comm: CommId) -> u128 {
-        let all = if self.wavelengths == 128 {
-            u128::MAX
-        } else {
-            (1u128 << self.wavelengths) - 1
-        };
-        self.app
-            .route(comm)
-            .segments()
-            .fold(all, |mask, seg| mask & !busy[self.segment_slot(seg)])
-    }
-
-    fn segment_slot(&self, seg: onoc_topology::DirectedSegment) -> usize {
-        let n = self.app.ring().node_count();
-        match seg.direction {
-            onoc_topology::Direction::Clockwise => seg.index,
-            onoc_topology::Direction::CounterClockwise => n + seg.index,
-        }
-    }
-
     /// Runs to completion.
     ///
     /// The run always terminates: a waiting communication is retried on
@@ -172,9 +163,8 @@ impl<'a> DynamicSimulator<'a> {
     pub fn run(&self) -> DynamicReport {
         let graph = self.app.graph();
         let (nt, nl) = (graph.task_count(), graph.comm_count());
-        let n_slots = 2 * self.app.ring().node_count();
 
-        let mut busy = vec![0u128; n_slots];
+        let mut arbiter = LaneArbiter::new(self.app.ring().node_count(), self.wavelengths);
         let mut pending_inputs: Vec<usize> =
             (0..nt).map(|t| graph.incoming(TaskId(t)).len()).collect();
         let mut task_spans = vec![(0u64, 0u64); nt];
@@ -201,7 +191,7 @@ impl<'a> DynamicSimulator<'a> {
                         if !self.try_start(
                             c,
                             now,
-                            &mut busy,
+                            &mut arbiter,
                             &mut comm_spans,
                             &mut granted,
                             &mut queue,
@@ -213,10 +203,7 @@ impl<'a> DynamicSimulator<'a> {
                 }
                 Event::CommCompleted(c) => {
                     // Release the burst.
-                    let mask = granted[c].iter().fold(0u128, |m, ch| m | (1 << ch.index()));
-                    for seg in self.app.route(CommId(c)).segments() {
-                        busy[self.segment_slot(seg)] &= !mask;
-                    }
+                    arbiter.release(self.app.route(CommId(c)), &granted[c]);
                     // Deliver to the consumer.
                     let dst = graph.comm(CommId(c)).dst();
                     pending_inputs[dst.0] -= 1;
@@ -231,7 +218,7 @@ impl<'a> DynamicSimulator<'a> {
                         if !self.try_start(
                             w,
                             now,
-                            &mut busy,
+                            &mut arbiter,
                             &mut comm_spans,
                             &mut granted,
                             &mut queue,
@@ -266,33 +253,14 @@ impl<'a> DynamicSimulator<'a> {
         &self,
         comm: CommId,
         now: u64,
-        busy: &mut [u128],
+        arbiter: &mut LaneArbiter,
         comm_spans: &mut [(u64, u64)],
         granted: &mut [Vec<WavelengthId>],
         queue: &mut BinaryHeap<Reverse<(u64, Event)>>,
     ) -> bool {
-        let free = self.free_mask(busy, comm);
-        if free == 0 {
+        let Some(lanes) = arbiter.claim(self.app.route(comm), self.policy.lane_demand()) else {
             return false;
-        }
-        let want = match self.policy {
-            DynamicPolicy::Single => 1,
-            DynamicPolicy::Greedy { cap } => cap,
         };
-        let mut lanes = Vec::with_capacity(want);
-        let mut mask = 0u128;
-        for w in 0..self.wavelengths {
-            if lanes.len() == want {
-                break;
-            }
-            if free & (1 << w) != 0 {
-                lanes.push(WavelengthId(w));
-                mask |= 1 << w;
-            }
-        }
-        for seg in self.app.route(comm).segments() {
-            busy[self.segment_slot(seg)] |= mask;
-        }
         let volume = self.app.graph().comm(comm).volume();
         let duration = (volume.value() / (lanes.len() as f64 * self.rate.value())).ceil() as u64;
         comm_spans[comm.0] = (now, now + duration);

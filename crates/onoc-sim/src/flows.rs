@@ -17,9 +17,10 @@
 //! is conflict-free by construction; only unmeasured flows are rejected
 //! (see [`OpenLoopError::UnmappedFlow`](crate::OpenLoopError)).
 
+use onoc_photonics::WavelengthId;
 use onoc_topology::{NodeId, RingPath, RingTopology};
 use onoc_units::Bits;
-use onoc_wa::heuristics::assign_disjoint_lanes;
+use onoc_wa::heuristics::{assign_disjoint_lanes, assign_shared_lanes};
 
 use crate::openloop::{StaticFlowMap, TrafficEvent};
 
@@ -143,6 +144,49 @@ pub enum FlowAllocPolicy {
         /// Upper bound on lanes per flow (use the comb size for "no cap").
         max_lanes_per_flow: usize,
     },
+    /// One wavelength per measured flow like [`FlowAllocPolicy::FirstFit`],
+    /// but dense flow sets that exceed the strict §III-D disjointness
+    /// budget (more than `NW` mutually overlapping flows) *share* lanes
+    /// between low-volume flows instead of failing: flows pack
+    /// heaviest-first, so sharing lands on the light tail, and the
+    /// predicted conflict budget is reported in the
+    /// [`SynthesisSummary`].
+    Relaxed,
+}
+
+/// One lane-sharing record of a relaxed packing: `((src, dst)` of the
+/// flow that had to share, `(src, dst)` of the earlier-packed owner, and
+/// the contested lane.
+pub type SharedLanePair = ((NodeId, NodeId), (NodeId, NodeId), WavelengthId);
+
+/// What [`StaticFlowMap::from_allocator_with_summary`] learned while
+/// packing: the predicted conflict budget of a relaxed assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisSummary {
+    /// Every pair of flows that shares a lane, with the contested lane.
+    /// Empty for strict policies and for relaxed runs that stayed
+    /// disjoint.
+    pub shared_pairs: Vec<SharedLanePair>,
+    /// Measured bits on flows involved in at least one sharing pair —
+    /// the traffic volume exposed to potential runtime conflicts.
+    pub shared_bits: f64,
+}
+
+impl SynthesisSummary {
+    /// A summary with no sharing (strict packings).
+    #[must_use]
+    pub fn disjoint() -> Self {
+        Self {
+            shared_pairs: Vec::new(),
+            shared_bits: 0.0,
+        }
+    }
+
+    /// `true` when the packing satisfies strict §III-D disjointness.
+    #[must_use]
+    pub fn is_disjoint(&self) -> bool {
+        self.shared_pairs.is_empty()
+    }
 }
 
 /// Why a flow map could not be synthesised from a matrix.
@@ -209,6 +253,28 @@ impl StaticFlowMap {
         flows: &FlowMatrix,
         policy: FlowAllocPolicy,
     ) -> Result<Self, FlowSynthesisError> {
+        Self::from_allocator_with_summary(ring, wavelengths, flows, policy).map(|(map, _)| map)
+    }
+
+    /// Like [`StaticFlowMap::from_allocator`], additionally returning the
+    /// [`SynthesisSummary`] — the predicted conflict budget when the
+    /// [`FlowAllocPolicy::Relaxed`] policy had to share lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowSynthesisError`] under the strict policies when the
+    /// matrix is empty or one lane per flow does not fit the comb; the
+    /// relaxed policy only fails on an empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`StaticFlowMap::from_allocator`].
+    pub fn from_allocator_with_summary(
+        ring: &RingTopology,
+        wavelengths: usize,
+        flows: &FlowMatrix,
+        policy: FlowAllocPolicy,
+    ) -> Result<(Self, SynthesisSummary), FlowSynthesisError> {
         assert!(
             (1..=128).contains(&wavelengths),
             "flow maps support 1..=128 wavelengths, got {wavelengths}"
@@ -219,7 +285,7 @@ impl StaticFlowMap {
             "flow matrix was measured on a different ring"
         );
         let max_lanes = match policy {
-            FlowAllocPolicy::FirstFit => 1,
+            FlowAllocPolicy::FirstFit | FlowAllocPolicy::Relaxed => 1,
             FlowAllocPolicy::Proportional { max_lanes_per_flow } => {
                 assert!(max_lanes_per_flow >= 1, "lane cap must be at least 1");
                 max_lanes_per_flow.min(wavelengths)
@@ -254,6 +320,41 @@ impl StaticFlowMap {
         }
 
         let pack = |demands: &[usize]| assign_disjoint_lanes(demands, &conflicts, wavelengths);
+
+        // The relaxed policy never fails: it shares lanes on the light
+        // tail and reports the sharing pairs as the conflict budget.
+        if matches!(policy, FlowAllocPolicy::Relaxed) {
+            let relaxed = assign_shared_lanes(&vec![1; measured.len()], &conflicts, wavelengths);
+            let shared_pairs: Vec<_> = relaxed
+                .shared
+                .iter()
+                .map(|&(k, owner, lane)| {
+                    (
+                        (measured[k].0, measured[k].1),
+                        (measured[owner].0, measured[owner].1),
+                        lane,
+                    )
+                })
+                .collect();
+            let mut involved: Vec<usize> = relaxed
+                .shared
+                .iter()
+                .flat_map(|&(k, owner, _)| [k, owner])
+                .collect();
+            involved.sort_unstable();
+            involved.dedup();
+            let shared_bits = involved.iter().map(|&k| measured[k].2).sum();
+            let summary = SynthesisSummary {
+                shared_pairs,
+                shared_bits,
+            };
+            let nodes = flows.nodes();
+            let mut table = vec![Vec::new(); nodes * nodes];
+            for (k, &(src, dst, _)) in measured.iter().enumerate() {
+                table[src.0 * nodes + dst.0] = relaxed.lanes[k].clone();
+            }
+            return Ok((Self::from_parts(nodes, wavelengths, table), summary));
+        }
 
         // One lane per flow is the feasibility floor.
         let mut demands = vec![1usize; measured.len()];
@@ -294,7 +395,10 @@ impl StaticFlowMap {
         for (k, &(src, dst, _)) in measured.iter().enumerate() {
             table[src.0 * nodes + dst.0] = lanes[k].clone();
         }
-        Ok(Self::from_parts(nodes, wavelengths, table))
+        Ok((
+            Self::from_parts(nodes, wavelengths, table),
+            SynthesisSummary::disjoint(),
+        ))
     }
 }
 
@@ -446,6 +550,67 @@ mod tests {
         let report = sim.run(events.into_iter()).unwrap();
         assert_eq!(report.conflict_count, 0);
         assert_eq!(report.records.len(), 40);
+    }
+
+    #[test]
+    fn relaxed_policy_matches_first_fit_when_feasible() {
+        let mut m = FlowMatrix::new(4);
+        m.record(NodeId(0), NodeId(2), Bits::new(100.0));
+        m.record(NodeId(1), NodeId(3), Bits::new(50.0));
+        let ring = RingTopology::new(4);
+        let strict =
+            StaticFlowMap::from_allocator(&ring, 2, &m, FlowAllocPolicy::FirstFit).unwrap();
+        let (relaxed, summary) =
+            StaticFlowMap::from_allocator_with_summary(&ring, 2, &m, FlowAllocPolicy::Relaxed)
+                .unwrap();
+        assert_eq!(strict, relaxed);
+        assert!(summary.is_disjoint());
+        assert_eq!(summary.shared_bits, 0.0);
+    }
+
+    #[test]
+    fn relaxed_policy_shares_lanes_on_the_light_tail() {
+        // Both flows fight over segment 1-2 on a 1-λ comb: strict
+        // synthesis is infeasible, relaxed shares the lane and charges
+        // the conflict budget to the light flow.
+        let mut m = FlowMatrix::new(4);
+        m.record(NodeId(0), NodeId(2), Bits::new(1_000.0));
+        m.record(NodeId(1), NodeId(3), Bits::new(10.0));
+        let ring = RingTopology::new(4);
+        assert!(StaticFlowMap::from_allocator(&ring, 1, &m, FlowAllocPolicy::FirstFit).is_err());
+        let (map, summary) =
+            StaticFlowMap::from_allocator_with_summary(&ring, 1, &m, FlowAllocPolicy::Relaxed)
+                .unwrap();
+        assert_eq!(map.lanes(NodeId(0), NodeId(2)), &[WavelengthId(0)]);
+        assert_eq!(map.lanes(NodeId(1), NodeId(3)), &[WavelengthId(0)]);
+        assert_eq!(summary.shared_pairs.len(), 1);
+        let (light, heavy, lane) = summary.shared_pairs[0];
+        assert_eq!(light, (NodeId(1), NodeId(3)), "the light flow shares");
+        assert_eq!(heavy, (NodeId(0), NodeId(2)));
+        assert_eq!(lane, WavelengthId(0));
+        assert_eq!(summary.shared_bits, 1_010.0);
+        // The shared map still replays; conflicts are *predicted*, and the
+        // checker confirms them only if transmissions actually overlap.
+        let sim =
+            OpenLoopSimulator::new(ring, 1, BitsPerCycle::new(1.0), WavelengthMode::Static(map));
+        let quiet = sim
+            .run(vec![event(0, 0, 2, 100.0), event(500, 1, 3, 10.0)].into_iter())
+            .unwrap();
+        assert_eq!(quiet.conflict_count, 0, "non-overlapping in time");
+        let clash = sim
+            .run(vec![event(0, 0, 2, 100.0), event(0, 1, 3, 10.0)].into_iter())
+            .unwrap();
+        assert_eq!(clash.conflict_count, 1, "overlap confirms the prediction");
+    }
+
+    #[test]
+    fn relaxed_policy_still_rejects_empty_matrices() {
+        let ring = RingTopology::new(4);
+        assert_eq!(
+            StaticFlowMap::from_allocator(&ring, 4, &FlowMatrix::new(4), FlowAllocPolicy::Relaxed)
+                .unwrap_err(),
+            FlowSynthesisError::NoFlows
+        );
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! The injection-policy layer of the event core: how sources react (or
+//! don't) to network backpressure, and the wavelength arbiter both
+//! runtime simulators share.
+//!
+//! The open-loop engine historically hard-wired open-loop semantics:
+//! every [`TrafficEvent`](crate::TrafficEvent) entered the network
+//! interface at its offered time and queues grew without bound past
+//! saturation. This module factors the injection decision out into an
+//! [`InjectionMode`] — a policy over one shared event core — so the same
+//! engine measures both regimes:
+//!
+//! * [`InjectionMode::Open`] — the classical open loop: offered time is
+//!   admission time.
+//! * [`InjectionMode::Credit`] — credit-based throttling: each source
+//!   owns a window of `window` credits, admission consumes one, delivery
+//!   of one of the source's messages returns one. A source with an empty
+//!   credit pool *stalls* further messages at the source (recorded as
+//!   stall time, separate from network-interface queueing), so in-flight
+//!   traffic per source is bounded and sustained operating points near
+//!   saturation are measurable.
+//! * [`InjectionMode::Ecn`] — ECN-style AIMD: each source carries an
+//!   offered-rate factor in `[ECN_MIN_FACTOR, 1]`. Messages whose
+//!   transmission starts while ring occupancy exceeds `threshold` are
+//!   *marked*; on delivery of a marked message the source halves its
+//!   factor (multiplicative decrease), on an unmarked delivery it adds
+//!   [`InjectionMode::ECN_ADDITIVE_STEP`] back (additive increase). A
+//!   factor below 1 stretches the source's offered inter-injection gaps
+//!   by `1/factor`, pacing admissions without a hard window.
+//!
+//! Both closed-loop modes gate *admission into the network interface*;
+//! wavelength arbitration below the gate (dynamic claim/release or the
+//! static flow-map checker) is unchanged and shared with the open loop.
+
+use std::collections::VecDeque;
+
+use onoc_photonics::WavelengthId;
+use onoc_topology::{DirectedSegment, Direction, RingPath};
+
+/// How sources inject: open loop, or one of two closed-loop policies.
+///
+/// See the module docs for the exact semantics of each variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectionMode {
+    /// Pure open loop: admission time equals offered time.
+    Open,
+    /// Credit-based closed loop with a per-source window.
+    Credit {
+        /// Maximum in-flight (admitted but undelivered) messages per
+        /// source. Must be at least 1.
+        window: usize,
+    },
+    /// ECN-style AIMD closed loop.
+    Ecn {
+        /// Ring-occupancy fraction in `(0, 1]` above which a starting
+        /// transmission is congestion-marked.
+        threshold: f64,
+    },
+}
+
+impl InjectionMode {
+    /// Floor of the ECN rate factor (a source never throttles below
+    /// 1/64 of its offered rate, so recovery always restarts).
+    pub const ECN_MIN_FACTOR: f64 = 1.0 / 64.0;
+
+    /// Additive-increase step applied to the rate factor on every
+    /// unmarked delivery.
+    pub const ECN_ADDITIVE_STEP: f64 = 0.05;
+
+    /// The machine-friendly name (`open` / `credit` / `ecn`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectionMode::Open => "open",
+            InjectionMode::Credit { .. } => "credit",
+            InjectionMode::Ecn { .. } => "ecn",
+        }
+    }
+
+    /// `true` for the backpressure-aware modes.
+    #[must_use]
+    pub fn is_closed_loop(self) -> bool {
+        !matches!(self, InjectionMode::Open)
+    }
+
+    /// Panics on degenerate parameters (zero credit window, ECN
+    /// threshold outside `(0, 1]`).
+    pub(crate) fn validate(self) {
+        match self {
+            InjectionMode::Open => {}
+            InjectionMode::Credit { window } => {
+                assert!(window >= 1, "credit window must be at least 1");
+            }
+            InjectionMode::Ecn { threshold } => {
+                assert!(
+                    threshold.is_finite() && threshold > 0.0 && threshold <= 1.0,
+                    "ECN occupancy threshold must be in (0, 1], got {threshold}"
+                );
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for InjectionMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InjectionMode::Open => write!(f, "open"),
+            InjectionMode::Credit { window } => write!(f, "credit(window {window})"),
+            InjectionMode::Ecn { threshold } => write!(f, "ecn(threshold {threshold})"),
+        }
+    }
+}
+
+/// The runtime wavelength arbiter shared by
+/// [`DynamicSimulator`](crate::DynamicSimulator) and the open/closed-loop
+/// engine: per-directed-segment busy masks with greedy lowest-index
+/// claims.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneArbiter {
+    nodes: usize,
+    wavelengths: usize,
+    /// Busy mask per directed segment: clockwise segments first, then
+    /// counter-clockwise.
+    busy: Vec<u128>,
+}
+
+impl LaneArbiter {
+    /// A fully idle arbiter over `2 * nodes` directed segments.
+    pub(crate) fn new(nodes: usize, wavelengths: usize) -> Self {
+        debug_assert!((1..=128).contains(&wavelengths));
+        Self {
+            nodes,
+            wavelengths,
+            busy: vec![0u128; 2 * nodes],
+        }
+    }
+
+    fn slot(&self, seg: DirectedSegment) -> usize {
+        match seg.direction {
+            Direction::Clockwise => seg.index,
+            Direction::CounterClockwise => self.nodes + seg.index,
+        }
+    }
+
+    fn all_mask(&self) -> u128 {
+        if self.wavelengths == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.wavelengths) - 1
+        }
+    }
+
+    /// Claims up to `want` lanes free on *every* segment of `path`
+    /// (lowest indices first), or `None` if not even one lane is free.
+    pub(crate) fn claim(&mut self, path: &RingPath, want: usize) -> Option<Vec<WavelengthId>> {
+        let free = path.segments().fold(self.all_mask(), |mask, seg| {
+            mask & !self.busy[self.slot(seg)]
+        });
+        if free == 0 {
+            return None;
+        }
+        let mut lanes = Vec::with_capacity(want);
+        let mut mask = 0u128;
+        for w in 0..self.wavelengths {
+            if lanes.len() == want {
+                break;
+            }
+            if free & (1 << w) != 0 {
+                lanes.push(WavelengthId(w));
+                mask |= 1 << w;
+            }
+        }
+        for seg in path.segments() {
+            let slot = self.slot(seg);
+            self.busy[slot] |= mask;
+        }
+        Some(lanes)
+    }
+
+    /// Releases a claim made by [`LaneArbiter::claim`].
+    pub(crate) fn release(&mut self, path: &RingPath, lanes: &[WavelengthId]) {
+        let mask = lanes.iter().fold(0u128, |m, ch| m | (1 << ch.index()));
+        for seg in path.segments() {
+            let slot = self.slot(seg);
+            self.busy[slot] &= !mask;
+        }
+    }
+}
+
+/// Per-source injection state machine: the offered FIFO in front of the
+/// network interface, the credit pool, and the AIMD rate factor.
+///
+/// One gate per ONI; the engine calls [`SourceGate::note_admit`] /
+/// [`SourceGate::note_delivery`] at the corresponding events and reads
+/// the admission verdict through the engine's `drain_gate` loop.
+#[derive(Debug, Clone)]
+pub(crate) struct SourceGate {
+    /// Messages offered by the source but not yet admitted, in offered
+    /// order.
+    pub(crate) offered: VecDeque<usize>,
+    /// Admitted but undelivered messages (the consumed credits).
+    pub(crate) in_flight: usize,
+    /// ECN rate factor in `[ECN_MIN_FACTOR, 1]`.
+    pub(crate) factor: f64,
+    /// Cycle of the most recent admission (meaningful once
+    /// `has_admitted`).
+    pub(crate) last_admit: u64,
+    /// Whether any message was admitted yet (disambiguates
+    /// `last_admit == 0`).
+    pub(crate) has_admitted: bool,
+    /// Offered time of the most recent offer, for gap bookkeeping.
+    pub(crate) last_offered: Option<u64>,
+    /// Earliest pending gate wake-up, to avoid duplicate events.
+    pub(crate) wake_at: Option<u64>,
+    /// Time of the last `in_flight` change (credit-occupancy integral).
+    credit_changed_at: u64,
+    /// Accumulated `in_flight × cycles` (credit-occupancy integral).
+    credit_cycles: f64,
+}
+
+impl SourceGate {
+    pub(crate) fn new() -> Self {
+        Self {
+            offered: VecDeque::new(),
+            in_flight: 0,
+            factor: 1.0,
+            last_admit: 0,
+            has_admitted: false,
+            last_offered: None,
+            wake_at: None,
+            credit_changed_at: 0,
+            credit_cycles: 0.0,
+        }
+    }
+
+    /// Offered-time gap to the previous offer from this source (0 for
+    /// the first message), updating the bookkeeping.
+    pub(crate) fn offered_gap(&mut self, time: u64) -> u64 {
+        let gap = match self.last_offered {
+            None => 0,
+            Some(prev) => time.saturating_sub(prev),
+        };
+        self.last_offered = Some(time);
+        gap
+    }
+
+    /// Earliest admission cycle for a message with offered time `time`
+    /// and offered gap `gap` under the ECN pacing rule.
+    ///
+    /// A throttled source (`factor < 1`) paces even same-cycle bursts:
+    /// the offered gap counts as at least one cycle, so a burst admits
+    /// at `1/factor`-cycle spacing instead of bypassing congestion
+    /// control with `gap == 0`. An unthrottled source keeps the offered
+    /// timing exactly.
+    pub(crate) fn ecn_allowed(&self, time: u64, gap: u64) -> u64 {
+        if !self.has_admitted {
+            return time;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let scaled = if self.factor >= 1.0 {
+            gap
+        } else {
+            (gap.max(1) as f64 / self.factor).ceil() as u64
+        };
+        time.max(self.last_admit.saturating_add(scaled))
+    }
+
+    fn integrate(&mut self, now: u64) {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.credit_cycles += self.in_flight as f64 * (now - self.credit_changed_at) as f64;
+        }
+        self.credit_changed_at = now;
+    }
+
+    /// Records an admission at `now`: one credit consumed.
+    pub(crate) fn note_admit(&mut self, now: u64) {
+        self.integrate(now);
+        self.in_flight += 1;
+        self.last_admit = now;
+        self.has_admitted = true;
+    }
+
+    /// Records a delivery at `now`: the credit returns and, under ECN,
+    /// the AIMD factor reacts to the congestion mark.
+    pub(crate) fn note_delivery(&mut self, now: u64, mode: InjectionMode, marked: bool) {
+        self.integrate(now);
+        debug_assert!(self.in_flight > 0, "delivery without admission");
+        self.in_flight -= 1;
+        if matches!(mode, InjectionMode::Ecn { .. }) {
+            if marked {
+                self.factor = (self.factor * 0.5).max(InjectionMode::ECN_MIN_FACTOR);
+            } else {
+                self.factor = (self.factor + InjectionMode::ECN_ADDITIVE_STEP).min(1.0);
+            }
+        }
+    }
+
+    /// The credit-occupancy integral (`in_flight × cycles`) over the run.
+    pub(crate) fn credit_cycles(&self) -> f64 {
+        debug_assert_eq!(self.in_flight, 0, "finalise after the ring drained");
+        self.credit_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_topology::{NodeId, RingTopology};
+
+    #[test]
+    fn mode_names_and_closed_loop_flags() {
+        assert_eq!(InjectionMode::Open.name(), "open");
+        assert_eq!(InjectionMode::Credit { window: 4 }.name(), "credit");
+        assert_eq!(InjectionMode::Ecn { threshold: 0.5 }.name(), "ecn");
+        assert!(!InjectionMode::Open.is_closed_loop());
+        assert!(InjectionMode::Credit { window: 1 }.is_closed_loop());
+        assert!(InjectionMode::Ecn { threshold: 0.5 }.is_closed_loop());
+    }
+
+    #[test]
+    #[should_panic(expected = "credit window")]
+    fn zero_credit_window_is_rejected() {
+        InjectionMode::Credit { window: 0 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy threshold")]
+    fn out_of_range_ecn_threshold_is_rejected() {
+        InjectionMode::Ecn { threshold: 1.5 }.validate();
+    }
+
+    #[test]
+    fn arbiter_claims_and_releases_lowest_lanes() {
+        let ring = RingTopology::new(8);
+        let path = RingPath::new(
+            &ring,
+            NodeId(0),
+            NodeId(2),
+            ring.shortest_direction(NodeId(0), NodeId(2)),
+        );
+        let mut arb = LaneArbiter::new(8, 4);
+        let a = arb.claim(&path, 2).unwrap();
+        assert_eq!(a, vec![WavelengthId(0), WavelengthId(1)]);
+        let b = arb.claim(&path, 4).unwrap();
+        assert_eq!(b, vec![WavelengthId(2), WavelengthId(3)]);
+        assert!(arb.claim(&path, 1).is_none(), "comb exhausted on the path");
+        arb.release(&path, &a);
+        let c = arb.claim(&path, 1).unwrap();
+        assert_eq!(c, vec![WavelengthId(0)]);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_share_masks() {
+        let ring = RingTopology::new(8);
+        let cw = RingPath::new(
+            &ring,
+            NodeId(0),
+            NodeId(1),
+            onoc_topology::Direction::Clockwise,
+        );
+        let ccw = RingPath::new(
+            &ring,
+            NodeId(1),
+            NodeId(0),
+            onoc_topology::Direction::CounterClockwise,
+        );
+        let mut arb = LaneArbiter::new(8, 1);
+        assert!(arb.claim(&cw, 1).is_some());
+        assert!(arb.claim(&ccw, 1).is_some());
+    }
+
+    #[test]
+    fn gate_aimd_halves_and_recovers() {
+        let mode = InjectionMode::Ecn { threshold: 0.5 };
+        let mut gate = SourceGate::new();
+        gate.note_admit(0);
+        gate.note_delivery(10, mode, true);
+        assert!((gate.factor - 0.5).abs() < 1e-12);
+        gate.note_admit(10);
+        gate.note_delivery(20, mode, false);
+        assert!((gate.factor - 0.55).abs() < 1e-12);
+        for k in 0..64 {
+            gate.note_admit(30 + k);
+            gate.note_delivery(31 + k, mode, true);
+        }
+        assert!(gate.factor >= InjectionMode::ECN_MIN_FACTOR);
+    }
+
+    #[test]
+    fn gate_pacing_scales_offered_gaps() {
+        let mut gate = SourceGate::new();
+        assert_eq!(gate.offered_gap(100), 0, "first offer has no gap");
+        assert_eq!(gate.ecn_allowed(100, 0), 100, "first message never paces");
+        gate.note_admit(100);
+        let gap = gate.offered_gap(110);
+        assert_eq!(gap, 10);
+        assert_eq!(
+            gate.ecn_allowed(110, gap),
+            110,
+            "factor 1 keeps the offered time"
+        );
+        gate.factor = 0.5;
+        assert_eq!(
+            gate.ecn_allowed(110, gap),
+            120,
+            "halved rate doubles the gap"
+        );
+    }
+
+    #[test]
+    fn throttled_gate_paces_same_cycle_bursts() {
+        // gap == 0 must not bypass a throttled source's pacing.
+        let mut gate = SourceGate::new();
+        gate.offered_gap(100);
+        gate.note_admit(100);
+        let gap = gate.offered_gap(100); // second offer in the same cycle
+        assert_eq!(gap, 0);
+        assert_eq!(gate.ecn_allowed(100, gap), 100, "unthrottled bursts pass");
+        gate.factor = 0.25;
+        assert_eq!(
+            gate.ecn_allowed(100, gap),
+            104,
+            "quartered rate spaces by 4"
+        );
+    }
+
+    #[test]
+    fn credit_integral_accumulates_in_flight_cycles() {
+        let mut gate = SourceGate::new();
+        gate.note_admit(0);
+        gate.note_admit(10); // 1 credit busy for 10 cycles
+        gate.note_delivery(30, InjectionMode::Credit { window: 2 }, false); // 2 busy for 20
+        gate.note_delivery(50, InjectionMode::Credit { window: 2 }, false); // 1 busy for 20
+        assert!((gate.credit_cycles() - (10.0 + 40.0 + 20.0)).abs() < 1e-9);
+    }
+}

@@ -42,14 +42,17 @@
 mod dynamic;
 mod engine;
 mod flows;
+mod injection;
 mod openloop;
 mod report;
 
 pub use dynamic::{DynamicPolicy, DynamicReport, DynamicSimulator};
 pub use engine::{SimError, Simulator};
-pub use flows::{FlowAllocPolicy, FlowMatrix, FlowSynthesisError};
+pub use flows::{FlowAllocPolicy, FlowMatrix, FlowSynthesisError, SynthesisSummary};
+pub use injection::InjectionMode;
 pub use openloop::{
-    LatencyStats, MsgId, MsgRecord, OpenLoopConflict, OpenLoopError, OpenLoopReport,
-    OpenLoopSimulator, StaticFlowMap, TrafficEvent, TrafficSource, WavelengthMode,
+    OpenLoopError, OpenLoopSimulator, StaticFlowMap, TrafficEvent, TrafficSource, WavelengthMode,
 };
-pub use report::{ChannelConflict, SimReport};
+pub use report::{
+    ChannelConflict, LatencyStats, MsgId, MsgRecord, OpenLoopConflict, OpenLoopReport, SimReport,
+};

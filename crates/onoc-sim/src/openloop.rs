@@ -1,32 +1,41 @@
-//! Open-loop injection: simulate *streams of timed messages* instead of a
-//! closed task graph.
+//! The open/closed-loop traffic engine: simulate *streams of timed
+//! messages* instead of a closed task graph.
 //!
-//! The closed-loop simulators ([`Simulator`](crate::Simulator),
+//! The task-graph simulators ([`Simulator`](crate::Simulator),
 //! [`DynamicSimulator`](crate::DynamicSimulator)) replay one application
 //! whose communications are gated by task dependencies. Saturation studies
 //! (Dally & Towles ch. 23; Das et al., arXiv:1608.06972) instead drive the
-//! network *open loop*: messages arrive on a schedule that does not react
-//! to network backpressure, and the figure of merit is the latency
-//! distribution as offered load approaches capacity.
+//! network with timed message streams, and the figure of merit is the
+//! latency distribution as offered load approaches capacity.
 //!
 //! [`OpenLoopSimulator`] polls a [`TrafficSource`] for timed
-//! [`TrafficEvent`]s and services them on the ring WDM fabric under one of
-//! two wavelength disciplines ([`WavelengthMode`]):
+//! [`TrafficEvent`]s and services them on the ring WDM fabric. Two
+//! orthogonal policies parameterise one shared event core:
 //!
-//! * **Dynamic** — runtime arbitration like
-//!   [`DynamicSimulator`](crate::DynamicSimulator): a message claims free
-//!   wavelengths along its whole path or waits. Every ONI keeps a FIFO
-//!   injection queue — a node's messages transmit in order (head-of-line
-//!   at the network interface), different nodes arbitrate independently.
-//!   Per-source queues keep retry work O(nodes) per release, so saturated
-//!   sweeps stay fast. Latency includes the queueing delay, so the
-//!   latency-vs-load curve shows the classic saturation knee.
-//! * **Static** — every ordered `(src, dst)` flow owns a fixed wavelength
-//!   set ([`StaticFlowMap`]); messages of one flow serialise on their own
-//!   lanes, and the simulator *checks* rather than arbitrates: any two
-//!   flows that ever drive a common wavelength on a common directed
-//!   segment at the same time are recorded as [`OpenLoopConflict`]s. This
-//!   is the open-loop analogue of the §III-D static-validity checker.
+//! * **Wavelength discipline** ([`WavelengthMode`]):
+//!   * **Dynamic** — runtime arbitration like
+//!     [`DynamicSimulator`](crate::DynamicSimulator): a message claims free
+//!     wavelengths along its whole path or waits. Every ONI keeps a FIFO
+//!     injection queue — a node's messages transmit in order (head-of-line
+//!     at the network interface), different nodes arbitrate independently.
+//!     Per-source queues keep retry work O(nodes) per release, so saturated
+//!     sweeps stay fast.
+//!   * **Static** — every ordered `(src, dst)` flow owns a fixed wavelength
+//!     set ([`StaticFlowMap`]); messages of one flow serialise on their own
+//!     lanes, and the simulator *checks* rather than arbitrates: any two
+//!     flows that ever drive a common wavelength on a common directed
+//!     segment at the same time are recorded as [`OpenLoopConflict`]s. This
+//!     is the open-loop analogue of the §III-D static-validity checker.
+//!
+//! * **Injection policy** ([`InjectionMode`]): pure open loop (offered
+//!   time is admission time, queues may grow without bound past
+//!   saturation), credit-based closed loop (per-source in-flight window,
+//!   credits returned on delivery), or ECN-style closed loop (sources
+//!   halve their offered rate on congestion marks and additively
+//!   recover). See the [`injection`](crate::InjectionMode) docs. Closed
+//!   loops bound queue growth, so *sustained* operating points near the
+//!   saturation knee are measurable — accepted throughput plateaus
+//!   instead of queueing delay diverging.
 //!
 //! Synthetic traffic patterns that feed this interface live in the
 //! `onoc-traffic` crate; the trait is defined here so the engine has no
@@ -40,12 +49,14 @@ use onoc_topology::{DirectedSegment, NodeId, RingPath, RingTopology};
 use onoc_units::{Bits, BitsPerCycle};
 
 use crate::DynamicPolicy;
+use crate::injection::{InjectionMode, LaneArbiter, SourceGate};
+use crate::report::{MsgId, MsgRecord, OpenLoopConflict, OpenLoopReport};
 
-/// One injected message: `volume` bits from `src` to `dst`, entering the
+/// One injected message: `volume` bits from `src` to `dst`, offered to the
 /// network interface at cycle `time`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficEvent {
-    /// Injection cycle.
+    /// Offered injection cycle.
     pub time: u64,
     /// Producing ONI.
     pub src: NodeId,
@@ -69,16 +80,6 @@ pub trait TrafficSource {
 impl<I: Iterator<Item = TrafficEvent>> TrafficSource for I {
     fn next_event(&mut self) -> Option<TrafficEvent> {
         self.next()
-    }
-}
-
-/// Message index within one open-loop run (injection order).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct MsgId(pub usize);
-
-impl core::fmt::Display for MsgId {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "m{}", self.0)
     }
 }
 
@@ -193,7 +194,7 @@ impl StaticFlowMap {
     }
 }
 
-/// How the open-loop engine assigns wavelengths to messages.
+/// How the engine assigns wavelengths to messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WavelengthMode {
     /// Runtime arbitration with FIFO queueing (see crate docs).
@@ -202,210 +203,7 @@ pub enum WavelengthMode {
     Static(StaticFlowMap),
 }
 
-/// Two messages driving the same wavelength on the same directed segment
-/// during overlapping cycles (static mode only; dynamic runs are
-/// conflict-free by construction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OpenLoopConflict {
-    /// Where the collision happens.
-    pub segment: DirectedSegment,
-    /// The contested wavelength.
-    pub channel: WavelengthId,
-    /// The earlier-starting message.
-    pub first: MsgId,
-    /// The later-starting message.
-    pub second: MsgId,
-    /// The overlapping cycle interval `[start, end)`.
-    pub overlap: (u64, u64),
-}
-
-/// Summary statistics over a latency (or any nonnegative) sample set.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencyStats {
-    /// Number of samples.
-    pub count: usize,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Median (linear interpolation between ranks).
-    pub p50: f64,
-    /// 95th percentile.
-    pub p95: f64,
-    /// 99th percentile.
-    pub p99: f64,
-    /// Largest sample.
-    pub max: u64,
-}
-
-impl LatencyStats {
-    /// Computes the statistics, consuming and sorting the samples.
-    /// Returns an all-zero record for an empty set.
-    #[must_use]
-    pub fn from_samples(mut samples: Vec<u64>) -> Self {
-        if samples.is_empty() {
-            return Self {
-                count: 0,
-                mean: 0.0,
-                p50: 0.0,
-                p95: 0.0,
-                p99: 0.0,
-                max: 0,
-            };
-        }
-        samples.sort_unstable();
-        let count = samples.len();
-        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / count as f64;
-        let pct = |q: f64| -> f64 {
-            let rank = q * (count - 1) as f64;
-            let lo = rank.floor() as usize;
-            let hi = rank.ceil() as usize;
-            let frac = rank - lo as f64;
-            samples[lo] as f64 * (1.0 - frac) + samples[hi] as f64 * frac
-        };
-        Self {
-            count,
-            mean,
-            p50: pct(0.50),
-            p95: pct(0.95),
-            p99: pct(0.99),
-            max: *samples.last().expect("non-empty"),
-        }
-    }
-}
-
-/// Everything recorded about one delivered message.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MsgRecord {
-    /// Producing ONI.
-    pub src: NodeId,
-    /// Consuming ONI.
-    pub dst: NodeId,
-    /// Injection cycle.
-    pub injected: u64,
-    /// Cycle the transmission actually started (after any queueing).
-    pub started: u64,
-    /// Cycle the last bit arrived.
-    pub completed: u64,
-    /// Wavelength count the message transmitted on.
-    pub lanes: usize,
-}
-
-impl MsgRecord {
-    /// End-to-end latency: injection to last-bit arrival.
-    #[must_use]
-    pub fn latency(&self) -> u64 {
-        self.completed - self.injected
-    }
-
-    /// Cycles spent waiting for wavelengths before transmission.
-    #[must_use]
-    pub fn queueing(&self) -> u64 {
-        self.started - self.injected
-    }
-}
-
-/// Outcome of one open-loop run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct OpenLoopReport {
-    /// Ring size the run used.
-    pub nodes: usize,
-    /// Comb size the run used.
-    pub wavelengths: usize,
-    /// Cycle of the last message completion (0 for an empty source).
-    pub horizon: u64,
-    /// Last injection cycle seen from the source.
-    pub last_injection: u64,
-    /// Per message, injection order.
-    pub records: Vec<MsgRecord>,
-    /// Total bits offered by the source.
-    pub offered_bits: f64,
-    /// Total bits delivered (open loop delivers everything eventually;
-    /// kept separate so truncated variants stay honest).
-    pub delivered_bits: f64,
-    /// Messages that could not start transmitting at their injection
-    /// cycle: no free wavelength on the path, or an earlier message from
-    /// the same ONI still queued (dynamic mode); flow lanes busy
-    /// (static mode).
-    pub blocked_attempts: usize,
-    /// Total wavelength collisions (static mode; 0 in dynamic mode).
-    pub conflict_count: usize,
-    /// The first few collisions, for diagnostics.
-    pub conflict_examples: Vec<OpenLoopConflict>,
-    /// Busy wavelength-cycles per directed segment.
-    pub segment_busy: Vec<(DirectedSegment, u64)>,
-    /// Busy wavelength-cycles per wavelength, summed over segments.
-    pub lane_busy: Vec<u64>,
-}
-
-impl OpenLoopReport {
-    /// Latency statistics over every delivered message.
-    #[must_use]
-    pub fn latency(&self) -> LatencyStats {
-        LatencyStats::from_samples(self.records.iter().map(MsgRecord::latency).collect())
-    }
-
-    /// Latency statistics per ordered `(src, dst)` flow, sorted by flow.
-    #[must_use]
-    pub fn latency_by_flow(&self) -> Vec<((NodeId, NodeId), LatencyStats)> {
-        let mut per_flow: HashMap<(NodeId, NodeId), Vec<u64>> = HashMap::new();
-        for r in &self.records {
-            per_flow
-                .entry((r.src, r.dst))
-                .or_default()
-                .push(r.latency());
-        }
-        let mut out: Vec<_> = per_flow
-            .into_iter()
-            .map(|(flow, samples)| (flow, LatencyStats::from_samples(samples)))
-            .collect();
-        out.sort_by_key(|&((s, d), _)| (s, d));
-        out
-    }
-
-    /// Offered load in bits per cycle over the injection window
-    /// `[0, last_injection]` (a burst entirely at cycle 0 is a 1-cycle
-    /// window, not a division by zero).
-    #[must_use]
-    pub fn offered_load(&self) -> f64 {
-        if self.records.is_empty() {
-            return 0.0;
-        }
-        self.offered_bits / (self.last_injection + 1) as f64
-    }
-
-    /// Accepted throughput in bits per cycle over the whole run (the
-    /// saturation-curve y-axis companion).
-    #[must_use]
-    pub fn accepted_throughput(&self) -> f64 {
-        if self.horizon == 0 {
-            return 0.0;
-        }
-        self.delivered_bits / self.horizon as f64
-    }
-
-    /// Mean occupancy of the comb: busy wavelength-cycles over
-    /// `horizon × 2·nodes segments × wavelengths` capacity.
-    #[must_use]
-    pub fn mean_wavelength_occupancy(&self) -> f64 {
-        if self.horizon == 0 || self.wavelengths == 0 {
-            return 0.0;
-        }
-        let busy: u64 = self.segment_busy.iter().map(|&(_, b)| b).sum();
-        let capacity = self.horizon as f64 * (2 * self.nodes) as f64 * self.wavelengths as f64;
-        busy as f64 / capacity
-    }
-
-    /// Occupancy of one wavelength across the whole ring.
-    #[must_use]
-    pub fn lane_occupancy(&self, lane: WavelengthId) -> f64 {
-        if self.horizon == 0 {
-            return 0.0;
-        }
-        let busy = self.lane_busy.get(lane.index()).copied().unwrap_or(0);
-        busy as f64 / (self.horizon as f64 * (2 * self.nodes) as f64)
-    }
-}
-
-/// Errors raised by the open-loop engine.
+/// Errors raised by the open/closed-loop engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OpenLoopError {
     /// The source produced events with decreasing timestamps.
@@ -462,25 +260,35 @@ impl std::error::Error for OpenLoopError {}
 /// How many conflict examples an [`OpenLoopReport`] retains.
 const CONFLICT_EXAMPLE_CAP: usize = 16;
 
+/// Engine events. Variant order is the tiebreak at equal timestamps:
+/// completions release lanes and credits first, static transmissions
+/// start, gates wake, and only then do fresh offers arrive — so released
+/// capacity is reusable in the same cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
-    /// Completions sort before injections at one timestamp so released
-    /// wavelengths are reusable in the same cycle.
+    /// A transmission delivered its last bit.
     Completed(usize),
-    Injected(usize),
+    /// A static-mode transmission begins driving its lanes.
+    Started(usize),
+    /// A closed-loop gate retries admission for one source.
+    GateWake(usize),
+    /// A source offers a message to its injection gate.
+    Offered(usize),
 }
 
-/// The open-loop engine. See the module docs for semantics.
+/// The open/closed-loop engine. See the module docs for semantics.
 #[derive(Debug)]
 pub struct OpenLoopSimulator {
     ring: RingTopology,
     wavelengths: usize,
     rate: BitsPerCycle,
     mode: WavelengthMode,
+    injection: InjectionMode,
 }
 
 impl OpenLoopSimulator {
-    /// Creates an engine over a `wavelengths`-channel comb.
+    /// Creates an open-loop engine over a `wavelengths`-channel comb
+    /// (injection policy [`InjectionMode::Open`]).
     ///
     /// # Panics
     ///
@@ -493,6 +301,23 @@ impl OpenLoopSimulator {
         wavelengths: usize,
         rate: BitsPerCycle,
         mode: WavelengthMode,
+    ) -> Self {
+        Self::with_injection(ring, wavelengths, rate, mode, InjectionMode::Open)
+    }
+
+    /// Creates an engine with an explicit injection policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`OpenLoopSimulator::new`], a zero
+    /// credit window, or an ECN threshold outside `(0, 1]`.
+    #[must_use]
+    pub fn with_injection(
+        ring: RingTopology,
+        wavelengths: usize,
+        rate: BitsPerCycle,
+        mode: WavelengthMode,
+        injection: InjectionMode,
     ) -> Self {
         assert!(
             wavelengths > 0 && wavelengths <= 128,
@@ -520,12 +345,20 @@ impl OpenLoopSimulator {
                 );
             }
         }
+        injection.validate();
         Self {
             ring,
             wavelengths,
             rate,
             mode,
+            injection,
         }
+    }
+
+    /// The injection policy this engine runs under.
+    #[must_use]
+    pub fn injection(&self) -> InjectionMode {
+        self.injection
     }
 
     /// Routes a message along the shortest ring direction
@@ -535,264 +368,376 @@ impl OpenLoopSimulator {
         RingPath::new(&self.ring, src, dst, direction)
     }
 
-    fn segment_slot(&self, seg: DirectedSegment) -> usize {
-        let n = self.ring.node_count();
-        match seg.direction {
-            onoc_topology::Direction::Clockwise => seg.index,
-            onoc_topology::Direction::CounterClockwise => n + seg.index,
-        }
-    }
-
     /// Drains `source` to completion.
     ///
     /// # Errors
     ///
-    /// Returns [`OpenLoopError`] on unordered, foreign-node or degenerate
-    /// events. The stream is validated as it is consumed.
+    /// Returns [`OpenLoopError`] on unordered, foreign-node, degenerate
+    /// or (static mode) unmapped events. The stream is validated as it is
+    /// consumed.
     pub fn run<S: TrafficSource>(&self, mut source: S) -> Result<OpenLoopReport, OpenLoopError> {
-        let n = self.ring.node_count();
-        let mut pending: Vec<TrafficEvent> = Vec::new();
-        let mut routes: Vec<RingPath> = Vec::new();
-        let mut records: Vec<MsgRecord> = Vec::new();
-        let mut granted: Vec<Vec<WavelengthId>> = Vec::new();
-        let mut offered_bits = 0.0f64;
-        let mut last_injection = 0u64;
-        let mut last_time = 0u64;
-        let mut blocked_attempts = 0usize;
-
-        // Dynamic-mode state: busy masks plus one FIFO per source ONI.
-        let mut busy = vec![0u128; 2 * n];
-        let mut source_queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); n];
-        // Static-mode state: next free cycle per flow.
-        let mut flow_free_at: HashMap<(NodeId, NodeId), u64> = HashMap::new();
-
-        let mut queue: BinaryHeap<Reverse<(u64, Event)>> = BinaryHeap::new();
+        let mut run = RunState::new(self);
         let mut next_from_source = source.next_event();
-        let mut horizon = 0u64;
-        let mut segment_busy: HashMap<DirectedSegment, u64> = HashMap::new();
-        let mut lane_busy = vec![0u64; self.wavelengths];
-
         loop {
             // Pull every source event that is due before the next
-            // scheduled completion (or all of them if none is scheduled).
+            // scheduled event (or all of them if none is scheduled).
             while let Some(event) = next_from_source {
-                let due_now = match queue.peek() {
+                let due_now = match run.queue.peek() {
                     Some(&Reverse((t, _))) => event.time <= t,
                     None => true,
                 };
                 if !due_now {
                     break;
                 }
-                if event.time < last_time {
-                    return Err(OpenLoopError::UnorderedSource {
-                        time: event.time,
-                        previous: last_time,
-                    });
-                }
-                last_time = event.time;
-                for node in [event.src, event.dst] {
-                    if !self.ring.contains(node) {
-                        return Err(OpenLoopError::ForeignNode { node, nodes: n });
-                    }
-                }
-                if event.src == event.dst || event.volume.value() <= 0.0 {
-                    return Err(OpenLoopError::DegenerateEvent {
-                        index: pending.len(),
-                    });
-                }
-                let id = pending.len();
-                pending.push(event);
-                routes.push(self.route(event.src, event.dst));
-                records.push(MsgRecord {
-                    src: event.src,
-                    dst: event.dst,
-                    injected: event.time,
-                    started: 0,
-                    completed: 0,
-                    lanes: 0,
-                });
-                granted.push(Vec::new());
-                offered_bits += event.volume.value();
-                last_injection = last_injection.max(event.time);
-                queue.push(Reverse((event.time, Event::Injected(id))));
+                run.offer(event)?;
                 next_from_source = source.next_event();
             }
 
-            let Some(Reverse((now, event))) = queue.pop() else {
+            let Some(Reverse((now, event))) = run.queue.pop() else {
                 break;
             };
-            horizon = horizon.max(now);
+            if let Event::GateWake(s) = event {
+                // A wake superseded by a fresher, earlier one (the gate's
+                // `wake_at` moved on) is a no-op: every admission it could
+                // have triggered was already handled by the fresh wake or
+                // a delivery re-drain. It must not extend the horizon —
+                // stale wakes can outlive the last completion.
+                if run.gates[s].wake_at != Some(now) {
+                    continue;
+                }
+                run.gates[s].wake_at = None;
+                run.horizon = run.horizon.max(now);
+                run.drain_gate(s, now);
+                continue;
+            }
+            run.horizon = run.horizon.max(now);
 
             match event {
-                Event::Injected(id) => match &self.mode {
-                    WavelengthMode::Dynamic(policy) => {
-                        let src = pending[id].src.0;
-                        // The NI transmits in order: an earlier queued
-                        // message blocks this one even if its own path is
-                        // free.
-                        if !source_queues[src].is_empty()
-                            || !self.try_start_dynamic(
-                                id,
-                                now,
-                                *policy,
-                                &pending,
-                                &routes,
-                                &mut busy,
-                                &mut records,
-                                &mut granted,
-                                &mut queue,
-                            )
-                        {
-                            blocked_attempts += 1;
-                            source_queues[src].push_back(id);
-                        }
-                    }
-                    WavelengthMode::Static(map) => {
-                        let (src, dst) = (pending[id].src, pending[id].dst);
-                        let lanes = map.lanes(src, dst);
-                        if lanes.is_empty() {
-                            return Err(OpenLoopError::UnmappedFlow { src, dst });
-                        }
-                        let free_at = flow_free_at.get(&(src, dst)).copied().unwrap_or(0);
-                        let start = now.max(free_at);
-                        if start > now {
-                            blocked_attempts += 1;
-                        }
-                        let duration = self.duration(pending[id].volume, lanes.len());
-                        let end = start + duration;
-                        flow_free_at.insert((src, dst), end);
-                        records[id].started = start;
-                        records[id].completed = end;
-                        records[id].lanes = lanes.len();
-                        granted[id] = lanes.to_vec();
-                        queue.push(Reverse((end, Event::Completed(id))));
-                    }
-                },
-                Event::Completed(id) => {
-                    // Accumulate occupancy on the way out.
-                    let span = records[id].completed - records[id].started;
-                    let lanes = granted[id].len() as u64;
-                    for seg in routes[id].segments() {
-                        *segment_busy.entry(seg).or_insert(0) += span * lanes;
-                    }
-                    for lane in &granted[id] {
-                        lane_busy[lane.index()] += span * routes[id].hops() as u64;
-                    }
-                    if let WavelengthMode::Dynamic(policy) = &self.mode {
-                        let mask = granted[id]
-                            .iter()
-                            .fold(0u128, |m, ch| m | (1 << ch.index()));
-                        for seg in routes[id].segments() {
-                            busy[self.segment_slot(seg)] &= !mask;
-                        }
-                        // Retry each source's head; a started head unblocks
-                        // the next message behind it.
-                        for source_queue in &mut source_queues {
-                            while let Some(&head) = source_queue.front() {
-                                if self.try_start_dynamic(
-                                    head,
-                                    now,
-                                    *policy,
-                                    &pending,
-                                    &routes,
-                                    &mut busy,
-                                    &mut records,
-                                    &mut granted,
-                                    &mut queue,
-                                ) {
-                                    source_queue.pop_front();
-                                } else {
-                                    break;
-                                }
-                            }
-                        }
+                Event::Offered(id) => {
+                    let src = run.pending[id].src.0;
+                    if self.injection.is_closed_loop() {
+                        run.gates[src].offered.push_back(id);
+                        run.drain_gate(src, now);
+                    } else {
+                        run.admit(id, now);
                     }
                 }
+                Event::GateWake(_) => unreachable!("handled above"),
+                Event::Started(id) => run.on_started(id),
+                Event::Completed(id) => run.on_completed(id, now),
             }
         }
-
-        debug_assert!(
-            source_queues.iter().all(VecDeque::is_empty),
-            "completions always drain the source queues"
-        );
-        let delivered_bits = pending.iter().map(|e| e.volume.value()).sum();
-        let (conflict_count, conflict_examples) = match &self.mode {
-            WavelengthMode::Dynamic(_) => (0, Vec::new()),
-            WavelengthMode::Static(_) => sweep_conflicts(&records, &routes, &granted),
-        };
-        let mut segment_busy: Vec<_> = segment_busy.into_iter().collect();
-        segment_busy
-            .sort_by_key(|&(s, _)| (s.index, s.direction != onoc_topology::Direction::Clockwise));
-        Ok(OpenLoopReport {
-            nodes: n,
-            wavelengths: self.wavelengths,
-            horizon,
-            last_injection,
-            records,
-            offered_bits,
-            delivered_bits,
-            blocked_attempts,
-            conflict_count,
-            conflict_examples,
-            segment_busy,
-            lane_busy,
-        })
+        Ok(run.finish())
     }
 
     /// Whole-cycle transmission duration over `lanes` wavelengths.
     fn duration(&self, volume: Bits, lanes: usize) -> u64 {
         ((volume.value() / (lanes as f64 * self.rate.value())).ceil() as u64).max(1)
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn try_start_dynamic(
-        &self,
-        id: usize,
-        now: u64,
-        policy: DynamicPolicy,
-        pending: &[TrafficEvent],
-        routes: &[RingPath],
-        busy: &mut [u128],
-        records: &mut [MsgRecord],
-        granted: &mut [Vec<WavelengthId>],
-        queue: &mut BinaryHeap<Reverse<(u64, Event)>>,
-    ) -> bool {
-        let all = if self.wavelengths == 128 {
-            u128::MAX
-        } else {
-            (1u128 << self.wavelengths) - 1
-        };
-        let free = routes[id]
-            .segments()
-            .fold(all, |mask, seg| mask & !busy[self.segment_slot(seg)]);
-        if free == 0 {
+/// All mutable state of one engine run: arbitration below the injection
+/// gates, the gates themselves, and the accounting that becomes the
+/// report.
+struct RunState<'a> {
+    sim: &'a OpenLoopSimulator,
+    n: usize,
+    pending: Vec<TrafficEvent>,
+    routes: Vec<RingPath>,
+    records: Vec<MsgRecord>,
+    granted: Vec<Vec<WavelengthId>>,
+    /// Offered-time gap to the previous offer of the same source.
+    gaps: Vec<u64>,
+    /// ECN congestion marks, set when a transmission starts.
+    marked: Vec<bool>,
+    // Arbitration state below the gate.
+    arbiter: LaneArbiter,
+    /// Dynamic-mode network-interface FIFOs, one per source ONI.
+    ni_queues: Vec<VecDeque<usize>>,
+    /// Static-mode next free cycle per flow.
+    flow_free_at: HashMap<(NodeId, NodeId), u64>,
+    // Injection gates above it.
+    gates: Vec<SourceGate>,
+    /// Lane-segments currently driven by in-transit messages (the
+    /// instantaneous occupancy numerator for ECN marks).
+    active_lane_segments: u64,
+    /// `2 × nodes × wavelengths`: the occupancy denominator.
+    capacity: f64,
+    queue: BinaryHeap<Reverse<(u64, Event)>>,
+    blocked_attempts: usize,
+    segment_busy: HashMap<DirectedSegment, u64>,
+    lane_busy: Vec<u64>,
+    offered_bits: f64,
+    last_injection: u64,
+    last_time: u64,
+    horizon: u64,
+}
+
+impl<'a> RunState<'a> {
+    fn new(sim: &'a OpenLoopSimulator) -> Self {
+        let n = sim.ring.node_count();
+        Self {
+            sim,
+            n,
+            pending: Vec::new(),
+            routes: Vec::new(),
+            records: Vec::new(),
+            granted: Vec::new(),
+            gaps: Vec::new(),
+            marked: Vec::new(),
+            arbiter: LaneArbiter::new(n, sim.wavelengths),
+            ni_queues: vec![VecDeque::new(); n],
+            flow_free_at: HashMap::new(),
+            gates: (0..n).map(|_| SourceGate::new()).collect(),
+            active_lane_segments: 0,
+            capacity: ((2 * n) * sim.wavelengths) as f64,
+            queue: BinaryHeap::new(),
+            blocked_attempts: 0,
+            segment_busy: HashMap::new(),
+            lane_busy: vec![0u64; sim.wavelengths],
+            offered_bits: 0.0,
+            last_injection: 0,
+            last_time: 0,
+            horizon: 0,
+        }
+    }
+
+    /// Validates and registers one source event, scheduling its offer.
+    fn offer(&mut self, event: TrafficEvent) -> Result<(), OpenLoopError> {
+        if event.time < self.last_time {
+            return Err(OpenLoopError::UnorderedSource {
+                time: event.time,
+                previous: self.last_time,
+            });
+        }
+        self.last_time = event.time;
+        for node in [event.src, event.dst] {
+            if !self.sim.ring.contains(node) {
+                return Err(OpenLoopError::ForeignNode {
+                    node,
+                    nodes: self.n,
+                });
+            }
+        }
+        if event.src == event.dst || event.volume.value() <= 0.0 {
+            return Err(OpenLoopError::DegenerateEvent {
+                index: self.pending.len(),
+            });
+        }
+        if let WavelengthMode::Static(map) = &self.sim.mode {
+            if map.lanes(event.src, event.dst).is_empty() {
+                return Err(OpenLoopError::UnmappedFlow {
+                    src: event.src,
+                    dst: event.dst,
+                });
+            }
+        }
+        let id = self.pending.len();
+        self.pending.push(event);
+        self.routes.push(self.sim.route(event.src, event.dst));
+        self.records.push(MsgRecord {
+            src: event.src,
+            dst: event.dst,
+            injected: event.time,
+            admitted: 0,
+            started: 0,
+            completed: 0,
+            lanes: 0,
+        });
+        self.granted.push(Vec::new());
+        self.gaps
+            .push(self.gates[event.src.0].offered_gap(event.time));
+        self.marked.push(false);
+        self.offered_bits += event.volume.value();
+        self.last_injection = self.last_injection.max(event.time);
+        self.queue.push(Reverse((event.time, Event::Offered(id))));
+        Ok(())
+    }
+
+    /// Admits as many of source `s`'s offered messages as the injection
+    /// policy allows at `now`, scheduling a wake-up when ECN pacing
+    /// defers the head.
+    fn drain_gate(&mut self, s: usize, now: u64) {
+        loop {
+            let Some(&head) = self.gates[s].offered.front() else {
+                return;
+            };
+            let allowed = match self.sim.injection {
+                InjectionMode::Open => now,
+                InjectionMode::Credit { window } => {
+                    if self.gates[s].in_flight >= window {
+                        // The wake-up is the next delivery of this source.
+                        return;
+                    }
+                    now
+                }
+                InjectionMode::Ecn { .. } => {
+                    self.gates[s].ecn_allowed(self.pending[head].time, self.gaps[head])
+                }
+            };
+            if allowed > now {
+                if self.gates[s].wake_at.is_none_or(|w| w > allowed) {
+                    self.gates[s].wake_at = Some(allowed);
+                    self.queue.push(Reverse((allowed, Event::GateWake(s))));
+                }
+                return;
+            }
+            self.gates[s].offered.pop_front();
+            // Any pending wake was scheduled for this head; admitting it
+            // makes that wake obsolete — clear the marker so the leftover
+            // queue event is recognised as stale (the loop schedules a
+            // fresh wake if the next head still needs pacing).
+            self.gates[s].wake_at = None;
+            self.admit(head, now);
+        }
+    }
+
+    /// Passes message `id` through its gate into the network interface.
+    fn admit(&mut self, id: usize, now: u64) {
+        let sim = self.sim;
+        let src = self.pending[id].src.0;
+        self.records[id].admitted = now;
+        self.gates[src].note_admit(now);
+        match &sim.mode {
+            WavelengthMode::Dynamic(policy) => {
+                // The NI transmits in order: an earlier queued message
+                // blocks this one even if its own path is free.
+                if !self.ni_queues[src].is_empty() || !self.try_start_dynamic(id, now, *policy) {
+                    self.blocked_attempts += 1;
+                    self.ni_queues[src].push_back(id);
+                }
+            }
+            WavelengthMode::Static(map) => {
+                let (s, d) = (self.pending[id].src, self.pending[id].dst);
+                let lanes = map.lanes(s, d);
+                debug_assert!(!lanes.is_empty(), "unmapped flows are rejected at offer");
+                let free_at = self.flow_free_at.get(&(s, d)).copied().unwrap_or(0);
+                let start = now.max(free_at);
+                if start > now {
+                    self.blocked_attempts += 1;
+                }
+                let duration = sim.duration(self.pending[id].volume, lanes.len());
+                let end = start + duration;
+                self.flow_free_at.insert((s, d), end);
+                self.records[id].started = start;
+                self.records[id].completed = end;
+                self.records[id].lanes = lanes.len();
+                self.granted[id] = lanes.to_vec();
+                self.queue.push(Reverse((start, Event::Started(id))));
+                self.queue.push(Reverse((end, Event::Completed(id))));
+            }
+        }
+    }
+
+    /// Attempts to start a dynamic-mode transmission at `now`.
+    fn try_start_dynamic(&mut self, id: usize, now: u64, policy: DynamicPolicy) -> bool {
+        let Some(lanes) = self.arbiter.claim(&self.routes[id], policy.lane_demand()) else {
             return false;
-        }
-        let want = match policy {
-            DynamicPolicy::Single => 1,
-            DynamicPolicy::Greedy { cap } => cap,
         };
-        let mut lanes = Vec::with_capacity(want);
-        let mut mask = 0u128;
-        for w in 0..self.wavelengths {
-            if lanes.len() == want {
-                break;
-            }
-            if free & (1 << w) != 0 {
-                lanes.push(WavelengthId(w));
-                mask |= 1 << w;
-            }
-        }
-        for seg in routes[id].segments() {
-            busy[self.segment_slot(seg)] |= mask;
-        }
-        let duration = self.duration(pending[id].volume, lanes.len());
-        records[id].started = now;
-        records[id].completed = now + duration;
-        records[id].lanes = lanes.len();
-        granted[id] = lanes;
-        queue.push(Reverse((now + duration, Event::Completed(id))));
+        let duration = self.sim.duration(self.pending[id].volume, lanes.len());
+        self.records[id].started = now;
+        self.records[id].completed = now + duration;
+        self.records[id].lanes = lanes.len();
+        self.granted[id] = lanes;
+        self.queue
+            .push(Reverse((now + duration, Event::Completed(id))));
+        self.note_transmission_start(id);
         true
+    }
+
+    /// Occupancy bookkeeping (and the ECN mark) when a transmission
+    /// begins driving its lanes.
+    fn note_transmission_start(&mut self, id: usize) {
+        let span = self.routes[id].hops() as u64 * self.granted[id].len() as u64;
+        self.active_lane_segments += span;
+        if let InjectionMode::Ecn { threshold } = self.sim.injection {
+            self.marked[id] = self.active_lane_segments as f64 / self.capacity > threshold;
+        }
+    }
+
+    /// A static-mode transmission begins now.
+    fn on_started(&mut self, id: usize) {
+        self.note_transmission_start(id);
+    }
+
+    /// A transmission delivered its last bit: accumulate occupancy,
+    /// release lanes and credits, and retry whoever waits on them.
+    fn on_completed(&mut self, id: usize, now: u64) {
+        let span = self.records[id].completed - self.records[id].started;
+        let lanes = self.granted[id].len() as u64;
+        let hops = self.routes[id].hops() as u64;
+        for seg in self.routes[id].segments() {
+            *self.segment_busy.entry(seg).or_insert(0) += span * lanes;
+        }
+        for lane in &self.granted[id] {
+            self.lane_busy[lane.index()] += span * hops;
+        }
+        self.active_lane_segments -= hops * lanes;
+        if let WavelengthMode::Dynamic(policy) = &self.sim.mode {
+            let policy = *policy;
+            self.arbiter.release(&self.routes[id], &self.granted[id]);
+            // Retry each source's head; a started head unblocks the next
+            // message behind it.
+            for s in 0..self.n {
+                while let Some(&head) = self.ni_queues[s].front() {
+                    if self.try_start_dynamic(head, now, policy) {
+                        self.ni_queues[s].pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        let src = self.pending[id].src.0;
+        self.gates[src].note_delivery(now, self.sim.injection, self.marked[id]);
+        if self.sim.injection.is_closed_loop() {
+            self.drain_gate(src, now);
+        }
+    }
+
+    /// Assembles the report once the queue drained.
+    fn finish(self) -> OpenLoopReport {
+        debug_assert!(
+            self.ni_queues.iter().all(VecDeque::is_empty),
+            "completions always drain the NI queues"
+        );
+        debug_assert!(
+            self.gates.iter().all(|g| g.offered.is_empty()),
+            "deliveries and wake-ups always drain the gates"
+        );
+        let delivered_bits = self.pending.iter().map(|e| e.volume.value()).sum();
+        let (conflict_count, conflict_examples) = match &self.sim.mode {
+            WavelengthMode::Dynamic(_) => (0, Vec::new()),
+            WavelengthMode::Static(_) => {
+                sweep_conflicts(&self.records, &self.routes, &self.granted)
+            }
+        };
+        let mut segment_busy: Vec<_> = self.segment_busy.into_iter().collect();
+        segment_busy
+            .sort_by_key(|&(s, _)| (s.index, s.direction != onoc_topology::Direction::Clockwise));
+        let credit_occupancy = match self.sim.injection {
+            InjectionMode::Credit { window } if self.horizon > 0 => {
+                let used: f64 = self.gates.iter().map(SourceGate::credit_cycles).sum();
+                used / (self.horizon as f64 * self.n as f64 * window as f64)
+            }
+            _ => 0.0,
+        };
+        OpenLoopReport {
+            nodes: self.n,
+            wavelengths: self.sim.wavelengths,
+            injection: self.sim.injection,
+            horizon: self.horizon,
+            last_injection: self.last_injection,
+            records: self.records,
+            offered_bits: self.offered_bits,
+            delivered_bits,
+            blocked_attempts: self.blocked_attempts,
+            conflict_count,
+            conflict_examples,
+            segment_busy,
+            lane_busy: self.lane_busy,
+            credit_occupancy,
+        }
     }
 }
 
@@ -887,6 +832,7 @@ mod tests {
         assert_eq!(report.horizon, 0);
         assert_eq!(report.accepted_throughput(), 0.0);
         assert_eq!(report.latency().count, 0);
+        assert_eq!(report.injection, InjectionMode::Open);
     }
 
     #[test]
@@ -897,6 +843,7 @@ mod tests {
         // 500 bits over 1 λ at 1 bit/cycle.
         assert_eq!(report.records[0].latency(), 500);
         assert_eq!(report.records[0].queueing(), 0);
+        assert_eq!(report.records[0].stall(), 0);
         assert_eq!(report.horizon, 510);
     }
 
@@ -1036,19 +983,6 @@ mod tests {
     }
 
     #[test]
-    fn latency_stats_percentiles() {
-        let stats = LatencyStats::from_samples((1..=100).collect());
-        assert_eq!(stats.count, 100);
-        assert!((stats.mean - 50.5).abs() < 1e-12);
-        assert!((stats.p50 - 50.5).abs() < 1e-9);
-        assert!((stats.p99 - 99.01).abs() < 1e-9);
-        assert_eq!(stats.max, 100);
-        let empty = LatencyStats::from_samples(Vec::new());
-        assert_eq!(empty.count, 0);
-        assert_eq!(empty.max, 0);
-    }
-
-    #[test]
     fn throughput_matches_offered_when_unsaturated() {
         let sim = OpenLoopSimulator::new(ring16(), 8, rate(), dynamic_single());
         let src: Vec<_> = (0..10)
@@ -1075,5 +1009,280 @@ mod tests {
         assert_eq!(by_flow[0].0, (NodeId(0), NodeId(3)));
         assert_eq!(by_flow[0].1.count, 2);
         assert_eq!(by_flow[1].1.count, 1);
+    }
+
+    // ------------------------------------------------- closed loop --
+
+    /// A burst of same-source messages offered back to back.
+    fn burst(count: usize, gap: u64, bits: f64) -> Vec<TrafficEvent> {
+        (0..count)
+            .map(|k| event(k as u64 * gap, 0, 3, bits))
+            .collect()
+    }
+
+    #[test]
+    fn credit_window_bounds_in_flight_and_records_stalls() {
+        // Window 1 on a 1-λ comb: message k may only be admitted once
+        // message k-1 delivered, so admissions serialise exactly.
+        let sim = OpenLoopSimulator::with_injection(
+            ring16(),
+            1,
+            rate(),
+            dynamic_single(),
+            InjectionMode::Credit { window: 1 },
+        );
+        let report = sim.run(burst(4, 0, 100.0).into_iter()).unwrap();
+        assert_eq!(report.records.len(), 4);
+        for (k, r) in report.records.iter().enumerate() {
+            assert_eq!(r.admitted, k as u64 * 100, "admissions serialise");
+            assert_eq!(r.queueing(), 0, "admitted messages never queue at the NI");
+        }
+        assert_eq!(report.stalled_count(), 3);
+        assert_eq!(report.stall().max, 300);
+        // The whole window is in flight the whole run.
+        assert!((report.credit_occupancy - 1.0 / 16.0).abs() < 1e-9);
+        // Open loop on the same input queues at the NI instead.
+        let open = OpenLoopSimulator::new(ring16(), 1, rate(), dynamic_single())
+            .run(burst(4, 0, 100.0).into_iter())
+            .unwrap();
+        assert_eq!(open.stalled_count(), 0);
+        assert_eq!(open.records[3].queueing(), 300);
+        // Both deliver everything with identical end-to-end latency here.
+        assert_eq!(open.records[3].completed, report.records[3].completed);
+    }
+
+    #[test]
+    fn large_credit_window_matches_open_loop() {
+        let events: Vec<_> = (0..20)
+            .map(|k| event(k * 7, (k % 5) as usize, ((k % 5) + 6) as usize, 256.0))
+            .collect();
+        let open = OpenLoopSimulator::new(ring16(), 4, rate(), dynamic_single())
+            .run(events.clone().into_iter())
+            .unwrap();
+        let credit = OpenLoopSimulator::with_injection(
+            ring16(),
+            4,
+            rate(),
+            dynamic_single(),
+            InjectionMode::Credit { window: 64 },
+        )
+        .run(events.into_iter())
+        .unwrap();
+        // A window no source ever exhausts never stalls: identical spans.
+        assert_eq!(credit.stalled_count(), 0);
+        for (a, b) in open.records.iter().zip(&credit.records) {
+            assert_eq!((a.started, a.completed), (b.started, b.completed));
+        }
+    }
+
+    #[test]
+    fn closed_loop_conserves_messages_and_bits() {
+        for injection in [
+            InjectionMode::Credit { window: 2 },
+            InjectionMode::Ecn { threshold: 0.05 },
+        ] {
+            let events: Vec<_> = (0..50)
+                .map(|k| event(k * 2, (k % 8) as usize, ((k % 8) + 4) as usize, 320.0))
+                .collect();
+            let sim =
+                OpenLoopSimulator::with_injection(ring16(), 2, rate(), dynamic_single(), injection);
+            let report = sim.run(events.clone().into_iter()).unwrap();
+            assert_eq!(report.records.len(), events.len(), "{injection}");
+            assert_eq!(report.offered_bits, report.delivered_bits, "{injection}");
+            for r in &report.records {
+                assert!(r.injected <= r.admitted, "{injection}");
+                assert!(r.admitted <= r.started, "{injection}");
+                assert!(r.started < r.completed, "{injection}");
+            }
+        }
+    }
+
+    #[test]
+    fn ecn_throttles_under_congestion() {
+        // A sustained stream on a tiny comb crosses the 5% occupancy
+        // threshold (one 3-hop transmission is 3/32 of the fabric) on
+        // every delivery: AIMD halves the source's rate, stretching its
+        // offered gaps, so the last admission lands later than the last
+        // offer. The stream must outlast a delivery time for the first
+        // mark to feed back while offers still arrive.
+        let events = burst(60, 2, 50.0);
+        let last_offer = events.last().unwrap().time;
+        let sim = OpenLoopSimulator::with_injection(
+            ring16(),
+            1,
+            rate(),
+            dynamic_single(),
+            InjectionMode::Ecn { threshold: 0.05 },
+        );
+        let report = sim.run(events.into_iter()).unwrap();
+        assert!(report.stalled_count() > 0, "pacing must defer admissions");
+        assert!(report.records.last().unwrap().admitted > last_offer);
+        // Everything still delivers.
+        assert_eq!(report.records.len(), 60);
+    }
+
+    #[test]
+    fn stale_gate_wakes_do_not_extend_the_horizon() {
+        // An AIMD recovery can reschedule a source's wake *earlier*,
+        // leaving the superseded wake in the queue; when it pops after
+        // the last completion it must not inflate the horizon (which
+        // would dilute accepted throughput and every occupancy metric).
+        let sim = OpenLoopSimulator::with_injection(
+            ring16(),
+            2,
+            rate(),
+            dynamic_single(),
+            InjectionMode::Ecn { threshold: 0.15 },
+        );
+        let events = vec![
+            event(0, 0, 8, 2000.0),
+            event(1, 0, 3, 100.0),
+            event(1801, 0, 3, 20.0),
+        ];
+        let report = sim.run(events.into_iter()).unwrap();
+        let last_completion = report.records.iter().map(|r| r.completed).max().unwrap();
+        assert_eq!(
+            report.horizon, last_completion,
+            "horizon is the cycle of the last completion"
+        );
+    }
+
+    #[test]
+    fn ecn_with_high_threshold_never_marks() {
+        let events = burst(10, 50, 100.0);
+        let report = OpenLoopSimulator::with_injection(
+            ring16(),
+            8,
+            rate(),
+            dynamic_single(),
+            InjectionMode::Ecn { threshold: 1.0 },
+        )
+        .run(events.into_iter())
+        .unwrap();
+        assert_eq!(report.stalled_count(), 0, "unmarked sources never pace");
+    }
+
+    #[test]
+    fn closed_loop_static_mode_keeps_the_conflict_checker() {
+        let map = StaticFlowMap::striped(16, 8, 1);
+        let sim = OpenLoopSimulator::with_injection(
+            ring16(),
+            8,
+            rate(),
+            WavelengthMode::Static(map),
+            InjectionMode::Credit { window: 1 },
+        );
+        let src = vec![event(0, 0, 3, 100.0), event(0, 0, 3, 100.0)];
+        let report = sim.run(src.into_iter()).unwrap();
+        // Window 1 admits the second message only at delivery of the
+        // first, so the flow never double-books its lane.
+        assert_eq!(report.records[1].admitted, 100);
+        assert_eq!(report.records[1].stall(), 100);
+        assert_eq!(report.conflict_count, 0);
+        assert_eq!(report.blocked_attempts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit window")]
+    fn zero_credit_window_panics_at_construction() {
+        let _ = OpenLoopSimulator::with_injection(
+            ring16(),
+            4,
+            rate(),
+            dynamic_single(),
+            InjectionMode::Credit { window: 0 },
+        );
+    }
+
+    proptest::proptest! {
+        /// Conservation under closed-loop injection: for any credit
+        /// window / ECN threshold, every offered message is delivered
+        /// exactly once with ordered timestamps — none lost, none stuck.
+        #[test]
+        fn closed_loop_conserves_traffic(
+            seed in 0u64..500,
+            window in 1usize..6,
+            wavelengths in 1usize..5,
+            use_ecn in 0usize..2,
+        ) {
+            use proptest::prelude::*;
+            // A deterministic pseudo-random ordered stream from the seed.
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut time = 0u64;
+            let events: Vec<TrafficEvent> = (0..80)
+                .map(|_| {
+                    time += next() % 4;
+                    let src = (next() % 16) as usize;
+                    let dst = (src + 1 + (next() % 15) as usize) % 16;
+                    event(time, src, dst, 64.0 + (next() % 512) as f64)
+                })
+                .collect();
+            let injection = if use_ecn == 0 {
+                InjectionMode::Credit { window }
+            } else {
+                InjectionMode::Ecn { threshold: 0.1 + window as f64 * 0.15 }
+            };
+            let sim = OpenLoopSimulator::with_injection(
+                ring16(),
+                wavelengths,
+                rate(),
+                dynamic_single(),
+                injection,
+            );
+            let report = sim.run(events.clone().into_iter()).unwrap();
+            prop_assert_eq!(report.records.len(), events.len());
+            prop_assert!((report.offered_bits - report.delivered_bits).abs() < 1e-9);
+            let last_completion = report.records.iter().map(|r| r.completed).max().unwrap();
+            prop_assert_eq!(report.horizon, last_completion);
+            for (r, e) in report.records.iter().zip(&events) {
+                prop_assert_eq!(r.injected, e.time);
+                prop_assert_eq!((r.src, r.dst), (e.src, e.dst));
+                prop_assert!(r.injected <= r.admitted);
+                prop_assert!(r.admitted <= r.started);
+                prop_assert!(r.started < r.completed);
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_accepted_throughput_plateaus() {
+        // Offered load doubles; sustained (credit-gated) accepted
+        // throughput stays within a few percent — the finite knee.
+        let run_at = |gap: u64| {
+            let events: Vec<_> = (0..600)
+                .flat_map(|k| {
+                    (0..16).filter_map(move |s| {
+                        if s % 2 == 0 {
+                            Some(event(k * gap, s, (s + 8) % 16, 512.0))
+                        } else {
+                            None
+                        }
+                    })
+                })
+                .collect();
+            OpenLoopSimulator::with_injection(
+                ring16(),
+                2,
+                rate(),
+                dynamic_single(),
+                InjectionMode::Credit { window: 2 },
+            )
+            .run(events.into_iter())
+            .unwrap()
+        };
+        let saturated = run_at(8); // offered well past capacity
+        let doubled = run_at(4); // offered 2× that
+        assert!(saturated.offered_load() < doubled.offered_load() * 0.6);
+        let ratio = doubled.accepted_throughput() / saturated.accepted_throughput();
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "sustained throughput must plateau, got ratio {ratio}"
+        );
     }
 }

@@ -1,8 +1,14 @@
-//! Simulation outputs.
+//! Simulation outputs: the closed task-graph report ([`SimReport`]) and
+//! the open/closed-loop traffic report ([`OpenLoopReport`]) with its
+//! latency, throughput, stall and credit-occupancy metrics.
+
+use std::collections::HashMap;
 
 use onoc_app::CommId;
 use onoc_photonics::WavelengthId;
-use onoc_topology::DirectedSegment;
+use onoc_topology::{DirectedSegment, NodeId};
+
+use crate::injection::InjectionMode;
 
 /// Two communications holding the same wavelength on the same directed
 /// waveguide segment during overlapping cycle intervals.
@@ -68,6 +74,251 @@ impl SimReport {
     }
 }
 
+/// Message index within one open-loop run (injection order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub usize);
+
+impl core::fmt::Display for MsgId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Two messages driving the same wavelength on the same directed segment
+/// during overlapping cycles (static mode only; dynamic runs are
+/// conflict-free by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopConflict {
+    /// Where the collision happens.
+    pub segment: DirectedSegment,
+    /// The contested wavelength.
+    pub channel: WavelengthId,
+    /// The earlier-starting message.
+    pub first: MsgId,
+    /// The later-starting message.
+    pub second: MsgId,
+    /// The overlapping cycle interval `[start, end)`.
+    pub overlap: (u64, u64),
+}
+
+/// Summary statistics over a latency (or any nonnegative) sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (linear interpolation between ranks).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Computes the statistics, consuming and sorting the samples.
+    /// Returns an all-zero record for an empty set.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0,
+            };
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / count as f64;
+        let pct = |q: f64| -> f64 {
+            let rank = q * (count - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            samples[lo] as f64 * (1.0 - frac) + samples[hi] as f64 * frac
+        };
+        Self {
+            count,
+            mean,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Everything recorded about one delivered message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgRecord {
+    /// Producing ONI.
+    pub src: NodeId,
+    /// Consuming ONI.
+    pub dst: NodeId,
+    /// Offered (injection) cycle: when the source wanted to send.
+    pub injected: u64,
+    /// Cycle the injection gate admitted the message into the network
+    /// interface (equals `injected` in open-loop mode).
+    pub admitted: u64,
+    /// Cycle the transmission actually started (after any queueing).
+    pub started: u64,
+    /// Cycle the last bit arrived.
+    pub completed: u64,
+    /// Wavelength count the message transmitted on.
+    pub lanes: usize,
+}
+
+impl MsgRecord {
+    /// End-to-end latency: offered time to last-bit arrival.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.completed - self.injected
+    }
+
+    /// Cycles the closed-loop gate held the message at the source
+    /// (0 in open-loop mode).
+    #[must_use]
+    pub fn stall(&self) -> u64 {
+        self.admitted - self.injected
+    }
+
+    /// Cycles spent waiting for wavelengths at the network interface
+    /// after admission.
+    #[must_use]
+    pub fn queueing(&self) -> u64 {
+        self.started - self.admitted
+    }
+}
+
+/// Outcome of one open/closed-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopReport {
+    /// Ring size the run used.
+    pub nodes: usize,
+    /// Comb size the run used.
+    pub wavelengths: usize,
+    /// Injection policy the run used.
+    pub injection: InjectionMode,
+    /// Cycle of the last message completion (0 for an empty source).
+    pub horizon: u64,
+    /// Last offered injection cycle seen from the source.
+    pub last_injection: u64,
+    /// Per message, injection order.
+    pub records: Vec<MsgRecord>,
+    /// Total bits offered by the source.
+    pub offered_bits: f64,
+    /// Total bits delivered (the engine delivers everything eventually;
+    /// kept separate so truncated variants stay honest).
+    pub delivered_bits: f64,
+    /// Messages that could not start transmitting at their admission
+    /// cycle: no free wavelength on the path, or an earlier message from
+    /// the same ONI still queued (dynamic mode); flow lanes busy
+    /// (static mode).
+    pub blocked_attempts: usize,
+    /// Total wavelength collisions (static mode; 0 in dynamic mode).
+    pub conflict_count: usize,
+    /// The first few collisions, for diagnostics.
+    pub conflict_examples: Vec<OpenLoopConflict>,
+    /// Busy wavelength-cycles per directed segment.
+    pub segment_busy: Vec<(DirectedSegment, u64)>,
+    /// Busy wavelength-cycles per wavelength, summed over segments.
+    pub lane_busy: Vec<u64>,
+    /// Time-averaged fraction of the per-source credit windows in use
+    /// over the run (0 outside credit mode).
+    pub credit_occupancy: f64,
+}
+
+impl OpenLoopReport {
+    /// Latency statistics over every delivered message.
+    #[must_use]
+    pub fn latency(&self) -> LatencyStats {
+        LatencyStats::from_samples(self.records.iter().map(MsgRecord::latency).collect())
+    }
+
+    /// Stall-time statistics: cycles the closed-loop gate held messages
+    /// at their source (all-zero in open-loop mode).
+    #[must_use]
+    pub fn stall(&self) -> LatencyStats {
+        LatencyStats::from_samples(self.records.iter().map(MsgRecord::stall).collect())
+    }
+
+    /// Messages the gate stalled for at least one cycle.
+    #[must_use]
+    pub fn stalled_count(&self) -> usize {
+        self.records.iter().filter(|r| r.stall() > 0).count()
+    }
+
+    /// Latency statistics per ordered `(src, dst)` flow, sorted by flow.
+    #[must_use]
+    pub fn latency_by_flow(&self) -> Vec<((NodeId, NodeId), LatencyStats)> {
+        let mut per_flow: HashMap<(NodeId, NodeId), Vec<u64>> = HashMap::new();
+        for r in &self.records {
+            per_flow
+                .entry((r.src, r.dst))
+                .or_default()
+                .push(r.latency());
+        }
+        let mut out: Vec<_> = per_flow
+            .into_iter()
+            .map(|(flow, samples)| (flow, LatencyStats::from_samples(samples)))
+            .collect();
+        out.sort_by_key(|&((s, d), _)| (s, d));
+        out
+    }
+
+    /// Offered load in bits per cycle over the offered window
+    /// `[0, last_injection]` (a burst entirely at cycle 0 is a 1-cycle
+    /// window, not a division by zero).
+    #[must_use]
+    pub fn offered_load(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.offered_bits / (self.last_injection + 1) as f64
+    }
+
+    /// Accepted throughput in bits per cycle over the whole run (the
+    /// saturation-curve y-axis companion). Under closed-loop injection
+    /// the run stretches past the offered window when sources throttle,
+    /// so this plateaus at the sustained knee instead of growing with
+    /// queue depth.
+    #[must_use]
+    pub fn accepted_throughput(&self) -> f64 {
+        if self.horizon == 0 {
+            return 0.0;
+        }
+        self.delivered_bits / self.horizon as f64
+    }
+
+    /// Mean occupancy of the comb: busy wavelength-cycles over
+    /// `horizon × 2·nodes segments × wavelengths` capacity.
+    #[must_use]
+    pub fn mean_wavelength_occupancy(&self) -> f64 {
+        if self.horizon == 0 || self.wavelengths == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.segment_busy.iter().map(|&(_, b)| b).sum();
+        let capacity = self.horizon as f64 * (2 * self.nodes) as f64 * self.wavelengths as f64;
+        busy as f64 / capacity
+    }
+
+    /// Occupancy of one wavelength across the whole ring.
+    #[must_use]
+    pub fn lane_occupancy(&self, lane: WavelengthId) -> f64 {
+        if self.horizon == 0 {
+            return 0.0;
+        }
+        let busy = self.lane_busy.get(lane.index()).copied().unwrap_or(0);
+        busy as f64 / (self.horizon as f64 * (2 * self.nodes) as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +357,35 @@ mod tests {
         assert!((report.segment_utilization(seg(0), 1) - 0.5).abs() < 1e-12);
         assert!((report.segment_utilization(seg(1), 4) - 0.5).abs() < 1e-12);
         assert_eq!(report.segment_utilization(seg(2), 4), 0.0);
+    }
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let stats = LatencyStats::from_samples((1..=100).collect());
+        assert_eq!(stats.count, 100);
+        assert!((stats.mean - 50.5).abs() < 1e-12);
+        assert!((stats.p50 - 50.5).abs() < 1e-9);
+        assert!((stats.p99 - 99.01).abs() < 1e-9);
+        assert_eq!(stats.max, 100);
+        let empty = LatencyStats::from_samples(Vec::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0);
+    }
+
+    #[test]
+    fn record_splits_stall_queueing_and_latency() {
+        let r = MsgRecord {
+            src: NodeId(0),
+            dst: NodeId(3),
+            injected: 10,
+            admitted: 25,
+            started: 40,
+            completed: 140,
+            lanes: 1,
+        };
+        assert_eq!(r.stall(), 15);
+        assert_eq!(r.queueing(), 15);
+        assert_eq!(r.latency(), 130);
     }
 
     #[test]

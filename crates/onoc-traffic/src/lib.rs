@@ -13,8 +13,13 @@
 //!   function of `(seed, node)` and every sweep thread-count independent,
 //! * [`generate`] / [`TrafficTrace`] — timed message streams, optionally
 //!   bursty via a Pareto ON-OFF process ([`OnOffConfig`]),
+//! * [`TrafficTrace::from_csv_str`] — external `cycle,src,dst,size` CSV
+//!   traces replayed through the same engine,
 //! * [`sweep`] — scenario grids `{pattern × rate × λ × ring}` fanned out
-//!   over scoped worker threads, emitting CSV/JSON saturation curves.
+//!   over scoped worker threads under any
+//!   [`InjectionMode`](onoc_sim::InjectionMode) (open loop, or
+//!   credit/ECN closed loop with backpressure-aware offered-vs-accepted
+//!   reporting), emitting CSV/JSON saturation curves.
 //!
 //! Traces feed `onoc-sim`'s [`OpenLoopSimulator`](onoc_sim::OpenLoopSimulator)
 //! through the [`TrafficSource`](onoc_sim::TrafficSource) trait.
@@ -51,4 +56,7 @@ mod trace;
 pub use pattern::TrafficPattern;
 pub use rng::TrafficRng;
 pub use sweep::{Scenario, ScenarioResult, SweepGrid, SweepOutcome, run_scenario, run_sweep};
-pub use trace::{OnOffConfig, TraceSource, TrafficConfig, TrafficTrace, generate};
+pub use trace::{
+    OnOffConfig, TRACE_CSV_HEADER, TraceParseError, TraceSource, TrafficConfig, TrafficTrace,
+    generate,
+};

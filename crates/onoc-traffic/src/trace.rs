@@ -188,6 +188,147 @@ impl TrafficTrace {
     }
 }
 
+/// Why a CSV trace document could not be loaded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceParseError {
+    /// A row could not be parsed.
+    Row {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The document holds no event rows.
+    Empty,
+}
+
+impl core::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceParseError::Row { line, message } => {
+                write!(f, "trace line {line}: {message}")
+            }
+            TraceParseError::Empty => write!(f, "trace holds no event rows"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// The header [`TrafficTrace::to_csv`] writes and
+/// [`TrafficTrace::from_csv_str`] accepts (and skips) on the first line.
+pub const TRACE_CSV_HEADER: &str = "cycle,src,dst,size";
+
+impl TrafficTrace {
+    /// Loads an external message trace from `cycle,src,dst,size` CSV rows
+    /// (sizes in bits; an optional header line and blank or `#`-comment
+    /// lines are skipped). Rows are sorted by `(cycle, src, dst)`, so
+    /// out-of-order dumps replay deterministically.
+    ///
+    /// Node bounds are checked by the engine against the ring the trace
+    /// is replayed on, not here — a trace file is ring-agnostic data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceParseError`] on a malformed row (wrong column
+    /// count, unparsable number, nonpositive size) or an event-free
+    /// document.
+    pub fn from_csv_str(input: &str) -> Result<Self, TraceParseError> {
+        let mut events = Vec::new();
+        let mut seen_row = false;
+        for (index, raw) in input.lines().enumerate() {
+            let line = index + 1;
+            let row = raw.trim();
+            if row.is_empty() || row.starts_with('#') {
+                continue;
+            }
+            // The header may follow leading blank/comment lines, but not
+            // actual data rows.
+            if !seen_row && row.eq_ignore_ascii_case(TRACE_CSV_HEADER) {
+                seen_row = true;
+                continue;
+            }
+            seen_row = true;
+            let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+            if fields.len() != 4 {
+                return Err(TraceParseError::Row {
+                    line,
+                    message: format!(
+                        "expected 4 columns (cycle,src,dst,size), got {}",
+                        fields.len()
+                    ),
+                });
+            }
+            let number = |field: &str, what: &str| -> Result<u64, TraceParseError> {
+                field.parse::<u64>().map_err(|_| TraceParseError::Row {
+                    line,
+                    message: format!("could not parse {what} {field:?}"),
+                })
+            };
+            let time = number(fields[0], "cycle")?;
+            let src = number(fields[1], "src")? as usize;
+            let dst = number(fields[2], "dst")? as usize;
+            let size = fields[3].parse::<f64>().map_err(|_| TraceParseError::Row {
+                line,
+                message: format!("could not parse size {:?}", fields[3]),
+            })?;
+            if !size.is_finite() || size <= 0.0 {
+                return Err(TraceParseError::Row {
+                    line,
+                    message: format!("size must be a positive bit count, got {size}"),
+                });
+            }
+            if src == dst {
+                return Err(TraceParseError::Row {
+                    line,
+                    message: format!("self-addressed row n{src}→n{dst} never enters the ring"),
+                });
+            }
+            events.push(TrafficEvent {
+                time,
+                src: NodeId(src),
+                dst: NodeId(dst),
+                volume: Bits::new(size),
+            });
+        }
+        if events.is_empty() {
+            return Err(TraceParseError::Empty);
+        }
+        events.sort_by_key(|e| (e.time, e.src, e.dst));
+        Ok(Self { events })
+    }
+
+    /// Renders the trace as `cycle,src,dst,size` CSV with a header line
+    /// (the inverse of [`TrafficTrace::from_csv_str`]).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(TRACE_CSV_HEADER);
+        for e in &self.events {
+            out.push('\n');
+            out.push_str(&format!(
+                "{},{},{},{}",
+                e.time,
+                e.src.0,
+                e.dst.0,
+                e.volume.value()
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// The largest node index any event references (the minimum ring
+    /// size for replay is one more than this).
+    #[must_use]
+    pub fn max_node(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.src.0.max(e.dst.0))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Borrowing [`TrafficSource`] over a [`TrafficTrace`].
 #[derive(Debug, Clone)]
 pub struct TraceSource<'a> {
@@ -448,6 +589,70 @@ mod tests {
             ..base_config()
         };
         let _ = generate(&config);
+    }
+
+    #[test]
+    fn csv_round_trips_through_loader_and_writer() {
+        let trace = generate(&base_config());
+        let round = TrafficTrace::from_csv_str(&trace.to_csv()).unwrap();
+        assert_eq!(round, trace);
+    }
+
+    #[test]
+    fn csv_loader_sorts_skips_and_validates() {
+        let parsed = TrafficTrace::from_csv_str(
+            "cycle,src,dst,size\n# warm-up burst\n20, 3, 1, 64\n\n5,0,2,128.5\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.events()[0].time, 5, "rows are time-sorted");
+        assert_eq!(parsed.events()[0].src, NodeId(0));
+        assert!((parsed.events()[0].volume.value() - 128.5).abs() < 1e-12);
+        assert_eq!(parsed.max_node(), 3);
+
+        // The header is recognised after leading comments/blank lines…
+        let late_header = TrafficTrace::from_csv_str(
+            "# generated by dump tool\n\ncycle,src,dst,size\n0,0,3,256\n",
+        )
+        .unwrap();
+        assert_eq!(late_header.len(), 1);
+        // …but a header-looking line after data rows is a malformed row.
+        assert!(matches!(
+            TrafficTrace::from_csv_str("0,0,3,256\ncycle,src,dst,size\n").unwrap_err(),
+            TraceParseError::Row { line: 2, .. }
+        ));
+
+        let bad_columns = TrafficTrace::from_csv_str("1,2,3\n").unwrap_err();
+        assert!(matches!(bad_columns, TraceParseError::Row { line: 1, .. }));
+        let bad_size = TrafficTrace::from_csv_str("1,0,2,-5\n").unwrap_err();
+        assert!(matches!(bad_size, TraceParseError::Row { line: 1, .. }));
+        let self_loop = TrafficTrace::from_csv_str("1,2,2,64\n").unwrap_err();
+        assert!(matches!(self_loop, TraceParseError::Row { line: 1, .. }));
+        assert_eq!(
+            TrafficTrace::from_csv_str("# only comments\n").unwrap_err(),
+            TraceParseError::Empty
+        );
+    }
+
+    #[test]
+    fn csv_trace_drives_both_injection_modes() {
+        use onoc_sim::{DynamicPolicy, InjectionMode, OpenLoopSimulator, WavelengthMode};
+        use onoc_topology::RingTopology;
+        use onoc_units::BitsPerCycle;
+
+        let trace = TrafficTrace::from_csv_str("0,0,3,256\n0,0,3,256\n4,5,9,128\n").unwrap();
+        for injection in [InjectionMode::Open, InjectionMode::Credit { window: 1 }] {
+            let sim = OpenLoopSimulator::with_injection(
+                RingTopology::new(16),
+                2,
+                BitsPerCycle::new(1.0),
+                WavelengthMode::Dynamic(DynamicPolicy::Single),
+                injection,
+            );
+            let report = sim.run(trace.source()).unwrap();
+            assert_eq!(report.records.len(), 3, "{injection}");
+            assert_eq!(report.delivered_bits, 640.0, "{injection}");
+        }
     }
 
     #[test]

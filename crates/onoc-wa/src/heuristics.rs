@@ -110,25 +110,8 @@ pub fn assign_disjoint_lanes(
     let mut masks = vec![0u128; n];
     let mut lanes: Vec<Vec<WavelengthId>> = vec![Vec::new(); n];
     for (k, &count) in demands.iter().enumerate() {
-        let mut occupied = 0u128;
-        for &(a, b) in conflicts {
-            if a == k {
-                occupied |= masks[b];
-            } else if b == k {
-                occupied |= masks[a];
-            }
-        }
-        let mut assigned = 0usize;
-        for w in 0..wavelengths {
-            if assigned == count {
-                break;
-            }
-            if occupied & (1 << w) == 0 {
-                lanes[k].push(WavelengthId(w));
-                masks[k] |= 1 << w;
-                assigned += 1;
-            }
-        }
+        let occupied = conflict_neighbour_mask(k, conflicts, &masks);
+        let assigned = fill_free_lanes(occupied, count, wavelengths, &mut lanes[k], &mut masks[k]);
         if assigned < count {
             return Err(LanePackingError {
                 index: k,
@@ -138,6 +121,146 @@ pub fn assign_disjoint_lanes(
         }
     }
     Ok(lanes)
+}
+
+/// Wavelengths already held by item `k`'s conflict neighbours.
+fn conflict_neighbour_mask(k: usize, conflicts: &[(usize, usize)], masks: &[u128]) -> u128 {
+    conflicts.iter().fold(0u128, |m, &(a, b)| {
+        if a == k {
+            m | masks[b]
+        } else if b == k {
+            m | masks[a]
+        } else {
+            m
+        }
+    })
+}
+
+/// The greedy fill both packers share: assigns up to `count` channels
+/// disjoint from `occupied`, lowest index first, into `lanes`/`mask`.
+/// Returns how many were assigned (less than `count` when the
+/// neighbourhood exhausted the comb).
+fn fill_free_lanes(
+    occupied: u128,
+    count: usize,
+    wavelengths: usize,
+    lanes: &mut Vec<WavelengthId>,
+    mask: &mut u128,
+) -> usize {
+    let mut assigned = 0usize;
+    for w in 0..wavelengths {
+        if assigned == count {
+            break;
+        }
+        if occupied & (1 << w) == 0 {
+            lanes.push(WavelengthId(w));
+            *mask |= 1 << w;
+            assigned += 1;
+        }
+    }
+    assigned
+}
+
+/// Outcome of [`assign_shared_lanes`]: the per-item lane sets plus the
+/// *predicted conflict budget* — every pair of conflicting items that
+/// ended up sharing a lane because the comb ran out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelaxedAssignment {
+    /// One wavelength set per item, in item order.
+    pub lanes: Vec<Vec<WavelengthId>>,
+    /// `(item, earlier item, lane)` triples for every lane an item had
+    /// to share with a conflicting neighbour, in assignment order.
+    pub shared: Vec<(usize, usize, WavelengthId)>,
+}
+
+impl RelaxedAssignment {
+    /// `true` when the assignment is fully disjoint (the strict packer
+    /// would have succeeded too).
+    #[must_use]
+    pub fn is_disjoint(&self) -> bool {
+        self.shared.is_empty()
+    }
+}
+
+/// The relaxed companion of [`assign_disjoint_lanes`]: instead of failing
+/// when an item's conflict neighbourhood exhausts the comb, it *shares*
+/// lanes — the item takes the feasible channels it can and fills the rest
+/// with the lanes least claimed by its conflicting neighbours, recording
+/// each sharing pair as a predicted conflict.
+///
+/// Callers order items most-important-first (the flow synthesiser passes
+/// flows heaviest-first), so sharing lands on the low-volume tail. The
+/// returned [`RelaxedAssignment::shared`] list is the conflict budget a
+/// runtime replay may actually pay; an assignment with an empty list is
+/// exactly what the strict packer would have produced.
+///
+/// Demands larger than the comb are clamped to `wavelengths` (an item
+/// cannot hold one lane twice).
+///
+/// # Panics
+///
+/// Panics if `wavelengths` is 0 or exceeds the 128-channel mask limit, or
+/// a conflict pair names an item out of range.
+#[must_use]
+pub fn assign_shared_lanes(
+    demands: &[usize],
+    conflicts: &[(usize, usize)],
+    wavelengths: usize,
+) -> RelaxedAssignment {
+    assert!(
+        (1..=128).contains(&wavelengths),
+        "relaxed packing needs a comb of 1..=128 wavelengths, got {wavelengths}"
+    );
+    let n = demands.len();
+    for &(a, b) in conflicts {
+        assert!(
+            a < n && b < n,
+            "conflict pair ({a}, {b}) out of range 0..{n}"
+        );
+    }
+    let mut masks = vec![0u128; n];
+    let mut lanes: Vec<Vec<WavelengthId>> = vec![Vec::new(); n];
+    let mut shared = Vec::new();
+    for (k, &count) in demands.iter().enumerate() {
+        let count = count.min(wavelengths);
+        let neighbours: Vec<usize> = conflicts
+            .iter()
+            .filter_map(|&(a, b)| match () {
+                () if a == k => Some(b),
+                () if b == k => Some(a),
+                () => None,
+            })
+            .collect();
+        let occupied = conflict_neighbour_mask(k, conflicts, &masks);
+        // Free channels first — the same greedy fill as the strict
+        // packer, so the two agree while the comb lasts.
+        let mut assigned =
+            fill_free_lanes(occupied, count, wavelengths, &mut lanes[k], &mut masks[k]);
+        // Relaxation: fill the remaining demand with the lanes claimed by
+        // the fewest conflicting neighbours (ties to the lowest index),
+        // recording every sharing pair.
+        while assigned < count {
+            let choice = (0..wavelengths)
+                .filter(|&w| masks[k] & (1 << w) == 0)
+                .min_by_key(|&w| {
+                    neighbours
+                        .iter()
+                        .filter(|&&o| masks[o] & (1 << w) != 0)
+                        .count()
+                })
+                .expect("count is clamped to the comb size");
+            for &o in &neighbours {
+                if masks[o] & (1 << choice) != 0 {
+                    shared.push((k, o, WavelengthId(choice)));
+                }
+            }
+            lanes[k].push(WavelengthId(choice));
+            masks[k] |= 1 << choice;
+            assigned += 1;
+        }
+        lanes[k].sort_unstable_by_key(|w| w.index());
+    }
+    RelaxedAssignment { lanes, shared }
 }
 
 /// Order in which single-wavelength heuristics pick channels.
@@ -461,5 +584,51 @@ mod tests {
             first_fit(&inst).unwrap_err(),
             HeuristicError::OutOfWavelengths(CommId(1))
         );
+    }
+
+    #[test]
+    fn relaxed_matches_strict_while_the_comb_lasts() {
+        let demands = [2, 1, 2];
+        let conflicts = [(0, 1)];
+        let strict = assign_disjoint_lanes(&demands, &conflicts, 4).unwrap();
+        let relaxed = assign_shared_lanes(&demands, &conflicts, 4);
+        assert_eq!(strict, relaxed.lanes);
+        assert!(relaxed.is_disjoint());
+    }
+
+    #[test]
+    fn relaxed_shares_instead_of_failing_on_a_triangle() {
+        // Three mutually conflicting items on a 2-λ comb: the strict
+        // packer fails; the relaxed one shares a lane and says which.
+        let relaxed = assign_shared_lanes(&[1, 1, 1], &[(0, 1), (1, 2), (0, 2)], 2);
+        assert_eq!(relaxed.lanes[0], vec![WavelengthId(0)]);
+        assert_eq!(relaxed.lanes[1], vec![WavelengthId(1)]);
+        assert_eq!(relaxed.lanes[2].len(), 1, "the tail item still gets a lane");
+        assert_eq!(relaxed.shared.len(), 1, "exactly one predicted conflict");
+        let (item, owner, lane) = relaxed.shared[0];
+        assert_eq!(item, 2);
+        assert_eq!(lane, relaxed.lanes[2][0]);
+        assert!(relaxed.lanes[owner].contains(&lane));
+    }
+
+    #[test]
+    fn relaxed_prefers_the_least_claimed_lane() {
+        // Items 0 and 1 both hold λ0 (no mutual conflict), item 2 holds
+        // λ1 alone; item 3 conflicts with all of them on a full comb.
+        // Sharing should land on λ1 (one owner) over λ0 (two owners).
+        let relaxed =
+            assign_shared_lanes(&[1, 1, 1, 1], &[(0, 3), (1, 3), (2, 3), (0, 2), (1, 2)], 2);
+        assert_eq!(relaxed.lanes[0], vec![WavelengthId(0)]);
+        assert_eq!(relaxed.lanes[1], vec![WavelengthId(0)]);
+        assert_eq!(relaxed.lanes[2], vec![WavelengthId(1)]);
+        assert_eq!(relaxed.lanes[3], vec![WavelengthId(1)]);
+        assert_eq!(relaxed.shared, vec![(3, 2, WavelengthId(1))]);
+    }
+
+    #[test]
+    fn relaxed_clamps_oversized_demands() {
+        let relaxed = assign_shared_lanes(&[5], &[], 3);
+        assert_eq!(relaxed.lanes[0].len(), 3);
+        assert!(relaxed.is_disjoint());
     }
 }

@@ -83,8 +83,9 @@ pub mod prelude {
     };
     pub use onoc_photonics::{BerConvention, LossParams, MicroRing, Vcsel, WavelengthGrid};
     pub use onoc_sim::{
-        FlowAllocPolicy, FlowMatrix, LatencyStats, OpenLoopReport, OpenLoopSimulator, SimReport,
-        Simulator, StaticFlowMap, TrafficEvent, TrafficSource, WavelengthMode,
+        FlowAllocPolicy, FlowMatrix, InjectionMode, LatencyStats, OpenLoopReport,
+        OpenLoopSimulator, SimReport, Simulator, StaticFlowMap, TrafficEvent, TrafficSource,
+        WavelengthMode,
     };
     pub use onoc_topology::{
         CrosstalkModel, Direction, NodeId, OnocArchitecture, RingPath, SpectrumEngine, Transmission,

@@ -168,3 +168,45 @@ fn sweeps_are_identical_across_thread_counts() {
     // And the whole sweep is a pure function of the grid.
     assert_eq!(parallel.results, run_sweep(&grid, 3).results);
 }
+
+#[test]
+fn closed_loop_reports_are_pure_and_thread_count_independent() {
+    use ring_wdm_onoc::sim::DynamicPolicy;
+    use ring_wdm_onoc::topology::RingTopology;
+    use ring_wdm_onoc::traffic::run_sweep;
+
+    // Engine level: one closed-loop run is a pure function of its input.
+    let config = TrafficConfig::paper_ring(TrafficPattern::UniformRandom, 0.05, 5);
+    let trace = generate(&config);
+    for injection in [
+        InjectionMode::Credit { window: 2 },
+        InjectionMode::Ecn { threshold: 0.3 },
+    ] {
+        let sim = OpenLoopSimulator::with_injection(
+            RingTopology::new(16),
+            4,
+            BitsPerCycle::new(1.0),
+            WavelengthMode::Dynamic(DynamicPolicy::Single),
+            injection,
+        );
+        let a = sim.run(trace.source()).unwrap();
+        let b = sim.run(trace.source()).unwrap();
+        assert_eq!(a, b, "{injection:?}");
+    }
+
+    // Sweep level: credit-gated sweeps are bit-identical for any worker
+    // head-count, like their open-loop counterparts.
+    let grid = SweepGrid {
+        injection_rates: vec![0.005, 0.08],
+        horizon: 2_000,
+        injection: InjectionMode::Credit { window: 2 },
+        ..SweepGrid::saturation_default(34)
+    };
+    let serial = run_sweep(&grid, 1);
+    let parallel = run_sweep(&grid, 5);
+    assert_eq!(serial.results, parallel.results);
+    assert!(
+        serial.results.iter().any(|r| r.stall_mean > 0.0),
+        "the saturated points must exercise the credit gate"
+    );
+}
