@@ -1,0 +1,351 @@
+//! The tracked simulation-core benchmark: a pinned scenario set whose
+//! wall time and peak RSS are written to `BENCH_sim_core.json`, so every
+//! commit has a perf trajectory to compare against.
+//!
+//! The pinned set covers the hot paths the paper's sweeps exercise:
+//! the headline *saturation sweep* (the full rate ramp on uniform
+//! traffic, at paper scale and at the 32-node "beyond paper" scale), and
+//! a matrix of injection policy × pattern × comb size scenarios
+//! (open/credit/ECN × uniform/hotspot × 4/8 λ). All scenarios run the
+//! streaming sweep path single-threaded, so wall times measure the
+//! engine, not the thread pool.
+//!
+//! `check_regressions` compares a fresh run against a committed baseline
+//! file and reports every scenario that slowed down by more than the
+//! given factor — CI runs the quick tier against the committed
+//! `BENCH_sim_core.json` and fails on a >2× regression.
+
+use std::time::Instant;
+
+use onoc_sim::{DynamicPolicy, InjectionMode};
+use onoc_topology::NodeId;
+use onoc_traffic::{SweepGrid, TrafficPattern, run_sweep};
+use onoc_units::{Bits, BitsPerCycle};
+
+use crate::value::Value;
+
+/// Schema tag written into the JSON artifact.
+pub const BENCH_SCHEMA: &str = "onoc-bench/v1";
+
+/// Default artifact path, relative to the repository root.
+pub const BENCH_DEFAULT_PATH: &str = "BENCH_sim_core.json";
+
+/// One pinned benchmark scenario: a named sweep grid.
+#[derive(Debug, Clone)]
+pub struct BenchScenario {
+    /// Stable scenario id (baseline comparisons key on it).
+    pub name: String,
+    /// The sweep this scenario times.
+    pub grid: SweepGrid,
+}
+
+/// Measured outcome of one pinned scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Scenario id.
+    pub name: String,
+    /// Wall time of the sweep (generation + simulation), single-threaded.
+    pub wall_ms: f64,
+    /// Process peak RSS (`VmHWM`) after the scenario, in kB. Monotone
+    /// over the process lifetime, so it attributes the high-water mark,
+    /// not per-scenario usage; 0 when the platform does not expose it.
+    pub peak_rss_kb: u64,
+    /// Messages injected across the sweep's points.
+    pub messages: usize,
+    /// Sweep points in the scenario.
+    pub points: usize,
+}
+
+/// The pinned scenario set. `quick` divides horizons by 10 for CI smoke
+/// runs; scenario names are tier-independent so a quick run compares
+/// against a quick baseline.
+#[must_use]
+pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
+    let scale = |horizon: u64| if quick { horizon / 10 } else { horizon };
+    let ramp = vec![0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16];
+    let base = SweepGrid {
+        patterns: vec![TrafficPattern::UniformRandom],
+        injection_rates: ramp.clone(),
+        wavelengths: vec![8],
+        ring_sizes: vec![16],
+        message_volume: Bits::new(512.0),
+        horizon: scale(100_000),
+        seed: 2017,
+        lane_rate: BitsPerCycle::new(1.0),
+        policy: DynamicPolicy::Single,
+        burstiness: None,
+        injection: InjectionMode::Open,
+    };
+    let mut out = vec![
+        // The headline saturation sweeps: paper scale and beyond.
+        BenchScenario {
+            name: "saturation-sweep-16n".into(),
+            grid: base.clone(),
+        },
+        BenchScenario {
+            name: "saturation-sweep-32n".into(),
+            grid: SweepGrid {
+                ring_sizes: vec![32],
+                ..base.clone()
+            },
+        },
+    ];
+    // The injection × pattern × comb matrix at paper scale.
+    let hotspot = TrafficPattern::Hotspot {
+        hotspots: vec![NodeId(0)],
+        fraction: 0.5,
+    };
+    for (inj_name, injection) in [
+        ("open", InjectionMode::Open),
+        ("credit4", InjectionMode::Credit { window: 4 }),
+        ("ecn", InjectionMode::Ecn { threshold: 0.2 }),
+    ] {
+        for (pat_name, pattern) in [
+            ("uniform", TrafficPattern::UniformRandom),
+            ("hotspot", hotspot.clone()),
+        ] {
+            for wavelengths in [4usize, 8] {
+                out.push(BenchScenario {
+                    name: format!("{inj_name}-{pat_name}-{wavelengths}l"),
+                    grid: SweepGrid {
+                        patterns: vec![pattern.clone()],
+                        injection_rates: vec![0.01, 0.04],
+                        wavelengths: vec![wavelengths],
+                        horizon: scale(40_000),
+                        injection,
+                        ..base.clone()
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Peak resident-set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`), or 0 where unavailable.
+#[must_use]
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.split_whitespace()
+                .next()
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Runs every pinned scenario single-threaded and returns the records in
+/// pinned order.
+#[must_use]
+pub fn run_bench(quick: bool) -> Vec<BenchRecord> {
+    pinned_scenarios(quick)
+        .into_iter()
+        .map(|scenario| {
+            let start = Instant::now();
+            let outcome = run_sweep(&scenario.grid, 1);
+            let wall = start.elapsed();
+            BenchRecord {
+                name: scenario.name,
+                #[allow(clippy::cast_precision_loss)]
+                wall_ms: wall.as_nanos() as f64 / 1e6,
+                peak_rss_kb: peak_rss_kb(),
+                messages: outcome.results.iter().map(|r| r.injected).sum(),
+                points: outcome.results.len(),
+            }
+        })
+        .collect()
+}
+
+/// Renders records as the `BENCH_sim_core.json` document.
+#[must_use]
+pub fn render_json(records: &[BenchRecord], quick: bool) -> String {
+    let mut doc = Value::table();
+    doc.insert("schema", BENCH_SCHEMA);
+    doc.insert("tier", if quick { "quick" } else { "full" });
+    let scenarios: Vec<Value> = records
+        .iter()
+        .map(|r| {
+            let mut row = Value::table();
+            row.insert("name", r.name.clone());
+            row.insert("wall_ms", (r.wall_ms * 1000.0).round() / 1000.0);
+            row.insert("peak_rss_kb", r.peak_rss_kb);
+            row.insert("messages", r.messages);
+            row.insert("points", r.points);
+            row
+        })
+        .collect();
+    doc.insert("scenarios", Value::Array(scenarios));
+    doc.to_json()
+}
+
+/// Scenarios faster than this in the baseline are exempt from the
+/// regression gate: a 2 ms measurement doubles from scheduler noise
+/// alone, and the headline scenarios (tens of ms even at the quick tier)
+/// are the ones worth gating.
+pub const MIN_GATE_MS: f64 = 10.0;
+
+/// Compares `current` (a run at the given tier) against a baseline
+/// artifact (the JSON produced by [`render_json`]). Returns the list of
+/// regressions — scenarios whose wall time exceeds `factor ×` the
+/// baseline — or an error when the baseline cannot be interpreted or was
+/// recorded at a different tier (full-tier wall times are ~10× the quick
+/// tier's, so a tier mismatch would silently neuter the gate). Scenarios
+/// absent from the baseline, and scenarios whose baseline is under
+/// [`MIN_GATE_MS`], are ignored.
+///
+/// # Errors
+///
+/// Returns a description when the baseline is not a bench artifact or
+/// its tier does not match.
+pub fn check_regressions(
+    current: &[BenchRecord],
+    quick: bool,
+    baseline_json: &str,
+    factor: f64,
+) -> Result<Vec<String>, String> {
+    let baseline =
+        Value::parse_json(baseline_json).map_err(|e| format!("baseline is not JSON: {e}"))?;
+    if baseline.get("schema").and_then(Value::as_str) != Some(BENCH_SCHEMA) {
+        return Err(format!(
+            "baseline schema is not {BENCH_SCHEMA}; regenerate it with `onoc bench`"
+        ));
+    }
+    let tier = if quick { "quick" } else { "full" };
+    let baseline_tier = baseline.get("tier").and_then(Value::as_str);
+    if baseline_tier != Some(tier) {
+        return Err(format!(
+            "baseline tier is {} but this run is {tier}; wall times are not \
+             comparable across tiers — regenerate the baseline with \
+             `onoc bench{}`",
+            baseline_tier.unwrap_or("missing"),
+            if quick { " --quick" } else { "" },
+        ));
+    }
+    let scenarios = baseline
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "baseline has no scenarios array".to_string())?;
+    let mut regressions = Vec::new();
+    for record in current {
+        let Some(base_ms) = scenarios.iter().find_map(|s| {
+            (s.get("name").and_then(Value::as_str) == Some(record.name.as_str()))
+                .then(|| s.get("wall_ms").and_then(Value::as_float))
+                .flatten()
+        }) else {
+            continue;
+        };
+        if base_ms >= MIN_GATE_MS && record.wall_ms > factor * base_ms {
+            regressions.push(format!(
+                "{}: {:.1} ms vs baseline {:.1} ms (> {factor}x)",
+                record.name, record.wall_ms, base_ms
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_set_shape_is_stable() {
+        let full = pinned_scenarios(false);
+        let quick = pinned_scenarios(true);
+        assert_eq!(full.len(), 14, "2 headline + 3×2×2 matrix");
+        assert_eq!(full.len(), quick.len());
+        for (f, q) in full.iter().zip(&quick) {
+            assert_eq!(f.name, q.name, "tiers share scenario names");
+            assert_eq!(f.grid.horizon, q.grid.horizon * 10);
+        }
+        // Names are unique (baseline lookups key on them).
+        let mut names: Vec<&str> = full.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), full.len());
+        assert!(names.contains(&"saturation-sweep-32n"));
+    }
+
+    #[test]
+    fn render_and_check_roundtrip() {
+        let records = vec![
+            BenchRecord {
+                name: "saturation-sweep-16n".into(),
+                wall_ms: 100.0,
+                peak_rss_kb: 1234,
+                messages: 42,
+                points: 7,
+            },
+            BenchRecord {
+                name: "open-uniform-8l".into(),
+                wall_ms: 50.0,
+                peak_rss_kb: 1300,
+                messages: 17,
+                points: 2,
+            },
+        ];
+        let json = render_json(&records, true);
+        // Unchanged numbers pass the gate at any factor ≥ 1.
+        assert_eq!(
+            check_regressions(&records, true, &json, 1.0).unwrap(),
+            Vec::<String>::new()
+        );
+        // A 3× slowdown on one scenario is caught at factor 2.
+        let mut slowed = records.clone();
+        slowed[1].wall_ms = 150.0;
+        let regressions = check_regressions(&slowed, true, &json, 2.0).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("open-uniform-8l"));
+        // A scenario the baseline never saw is not a regression.
+        slowed[1].name = "brand-new".into();
+        assert!(
+            check_regressions(&slowed, true, &json, 2.0)
+                .unwrap()
+                .is_empty()
+        );
+        // Baselines under the gating floor are exempt (too noisy to gate).
+        let tiny_base = vec![BenchRecord {
+            name: "tiny".into(),
+            wall_ms: 2.0,
+            peak_rss_kb: 0,
+            messages: 1,
+            points: 1,
+        }];
+        let tiny_json = render_json(&tiny_base, true);
+        let mut tiny_now = tiny_base.clone();
+        tiny_now[0].wall_ms = 9.0;
+        assert!(
+            check_regressions(&tiny_now, true, &tiny_json, 2.0)
+                .unwrap()
+                .is_empty()
+        );
+        // Garbage baselines are a clean error.
+        assert!(check_regressions(&records, true, "{}", 2.0).is_err());
+        assert!(check_regressions(&records, true, "not json", 2.0).is_err());
+        // A full-tier run must refuse a quick-tier baseline (and vice
+        // versa) instead of silently passing against ~10x-off numbers.
+        let err = check_regressions(&records, false, &json, 2.0).unwrap_err();
+        assert!(err.contains("tier"), "{err}");
+    }
+
+    #[test]
+    fn quick_bench_runs_and_reports() {
+        // One real quick scenario end-to-end (the smallest matrix entry)
+        // to keep the test fast while exercising the measurement path.
+        let scenario = pinned_scenarios(true)
+            .into_iter()
+            .find(|s| s.name == "open-uniform-4l")
+            .expect("pinned");
+        let start = Instant::now();
+        let outcome = run_sweep(&scenario.grid, 1);
+        assert!(start.elapsed().as_secs() < 30);
+        assert_eq!(outcome.results.len(), 2);
+        assert!(outcome.results.iter().all(|r| r.injected > 0));
+    }
+}

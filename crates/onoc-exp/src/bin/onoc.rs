@@ -12,10 +12,10 @@
 //! [`onoc_exp::run_spec`]; all experiment logic lives in the library.
 
 use onoc_exp::scenario::sweep_table;
-use onoc_exp::{Registry, Report, RunContext, Scale, ScenarioSpec, run_spec};
+use onoc_exp::{Registry, Report, RunContext, Scale, ScenarioSpec, bench, run_spec};
 use onoc_sim::DynamicPolicy;
 use onoc_topology::NodeId;
-use onoc_traffic::{OnOffConfig, SweepGrid, TrafficPattern, run_sweep};
+use onoc_traffic::{OnOffConfig, SweepGrid, TrafficPattern, TrafficTrace, run_sweep};
 use onoc_units::Bits;
 
 const USAGE: &str = "onoc — experiments for the ring-WDM-ONoC reproduction
@@ -27,7 +27,16 @@ USAGE:
     onoc run --all <dir> [options]     run every *.toml/*.json spec in a directory,
                                        writing one artifact per spec
     onoc sweep [options]               ad-hoc open-loop saturation sweep
+    onoc bench [options]               tracked sim-core benchmark (BENCH_sim_core.json)
+    onoc trace info <file>             summarise a cycle,src,dst,size CSV trace
     onoc help                          this text
+
+OPTIONS (bench):
+    --quick               horizons ÷ 10 (the CI smoke tier)
+    --out <file>          artifact path            [default: BENCH_sim_core.json]
+    --check <baseline>    fail (exit 1) if any pinned scenario regresses
+                          more than --factor vs the baseline file
+    --factor <x>          regression threshold      [default: 2.0]
 
 OPTIONS (run, sweep):
     --quick               reduced GA/horizon configuration (scale = quick)
@@ -57,6 +66,8 @@ fn main() {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("help" | "--help" | "-h") | None => {
             print!("{USAGE}");
             0
@@ -334,6 +345,112 @@ fn cmd_run_all(
         spec_paths.len()
     );
     i32::from(failures > 0)
+}
+
+/// The tracked benchmark: run the pinned scenario set, write the JSON
+/// artifact, and optionally gate against a committed baseline.
+fn cmd_bench(args: &[String]) -> i32 {
+    let quick = flag(args, "--quick");
+    let out = value_of(args, "--out").unwrap_or_else(|| bench::BENCH_DEFAULT_PATH.to_string());
+    let factor = match parsed_value::<f64>(args, "--factor") {
+        Ok(factor) => factor.unwrap_or(2.0),
+        Err(message) => {
+            eprintln!("{message}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "running {} pinned scenarios ({} tier, 1 worker thread)…",
+        bench::pinned_scenarios(quick).len(),
+        if quick { "quick" } else { "full" }
+    );
+    let records = bench::run_bench(quick);
+    for r in &records {
+        println!(
+            "{:<24} {:>10.1} ms  {:>9} msgs  peak RSS {:>8} kB",
+            r.name, r.wall_ms, r.messages, r.peak_rss_kb
+        );
+    }
+    let json = bench::render_json(&records, quick);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("could not write {out}: {e}");
+        return 1;
+    }
+    println!("wrote {out}");
+    if let Some(baseline_path) = value_of(args, "--check") {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("could not read baseline {baseline_path}: {e}");
+                return 1;
+            }
+        };
+        match bench::check_regressions(&records, quick, &baseline, factor) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("no scenario regressed more than {factor}x vs {baseline_path}");
+            }
+            Ok(regressions) => {
+                for r in &regressions {
+                    eprintln!("REGRESSION {r}");
+                }
+                return 1;
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// Trace tooling: `onoc trace info <file>` prints the summary statistics
+/// of a `cycle,src,dst,size` CSV trace.
+fn cmd_trace(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("info") => {}
+        other => {
+            eprintln!("unknown trace subcommand {other:?} (expected `info <file>`)");
+            return 2;
+        }
+    }
+    let Some(path) = args.get(1) else {
+        eprintln!("`onoc trace info` needs a CSV trace file");
+        return 2;
+    };
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
+            return 1;
+        }
+    };
+    let trace = match TrafficTrace::from_csv_str(&raw) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    let stats = trace.stats();
+    println!("trace: {path}");
+    println!("messages:             {}", stats.messages);
+    println!(
+        "cycle span:           {}..{} ({} cycles)",
+        stats.first_cycle,
+        stats.last_cycle,
+        stats.last_cycle - stats.first_cycle + 1
+    );
+    println!("total volume:         {:.0} bits", stats.total_bits);
+    println!(
+        "mean offered load:    {:.3} bits/cycle",
+        stats.mean_offered_bits_per_cycle
+    );
+    println!("node  sent  received");
+    for (node, (sent, received)) in stats.per_source.iter().zip(&stats.per_dest).enumerate() {
+        println!("n{node:<4} {sent:>5} {received:>9}");
+    }
+    0
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {

@@ -133,8 +133,8 @@ mod tests {
         let names = registry.names();
         assert_eq!(
             names.len(),
-            16,
-            "the 15 former binaries plus sustained-saturation"
+            17,
+            "the 15 former binaries plus sustained-saturation and sustained-knee"
         );
         let mut dedup = names.clone();
         dedup.sort_unstable();

@@ -47,6 +47,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(traffic::TrafficSweep),
         Box::new(traffic::Saturation),
         Box::new(traffic::SustainedSaturation),
+        Box::new(traffic::SustainedKnee),
         Box::new(traffic::WorkloadSweep),
     ]
 }

@@ -4,7 +4,9 @@
 use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
 use onoc_sim::{DynamicPolicy, InjectionMode};
 use onoc_topology::{NodeId, OnocArchitecture, RingTopology};
-use onoc_traffic::{OnOffConfig, SweepGrid, TrafficPattern, run_sweep};
+use onoc_traffic::{
+    KneeSearchConfig, OnOffConfig, SweepGrid, TrafficPattern, find_sustained_knee, run_sweep,
+};
 use onoc_units::{Bits, Cycles};
 use onoc_wa::{EvalOptions, Nsga2, ObjectiveSet, ProblemInstance};
 use rand::SeedableRng;
@@ -288,6 +290,96 @@ impl Experiment for SustainedSaturation {
              plateau; stall_mean and credit_occupancy show the gate doing\n\
              the throttling past that point.",
         );
+        report
+    }
+}
+
+/// Extension — the adaptive companion to `sustained-saturation`: locate
+/// each allocator's sustained knee by geometric bisection in `O(log)`
+/// simulation runs instead of a fixed rate grid, and report per-allocator
+/// knees *across comb sizes* for the paper's Fig. 7-style comparison.
+///
+/// The grid mode stays available as the `sustained-saturation`
+/// experiment; this one trades the full curve for many more operating
+/// points per run budget.
+pub struct SustainedKnee;
+
+impl Experiment for SustainedKnee {
+    fn name(&self) -> &'static str {
+        "sustained-knee"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Adaptive bisection of the sustained knee per allocator × comb size"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let window = 4;
+        let horizon = ctx.scale.pick(20_000, 5_000, 2_000);
+        let combs: Vec<usize> = ctx
+            .scale
+            .pick(vec![2usize, 4, 8, 12], vec![2, 8], vec![2, 8]);
+        let config = KneeSearchConfig {
+            rate_resolution: ctx.scale.pick(0.05, 0.10, 0.20),
+            ..KneeSearchConfig::default()
+        };
+        let allocators: [(&str, DynamicPolicy); 2] = [
+            ("dynamic-single", DynamicPolicy::Single),
+            ("dynamic-greedy8", DynamicPolicy::Greedy { cap: 8 }),
+        ];
+        let mut report = Report::new(format!(
+            "Adaptive sustained-knee search (credit window {window}, tolerance {}, \
+             rate resolution {}), 16-node ring, seed {}",
+            config.tolerance, config.rate_resolution, ctx.seed
+        ));
+        let mut table = Table::new(
+            "sustained_knee",
+            &[
+                "allocator",
+                "wavelengths",
+                "knee_rate",
+                "knee_offered_bits_per_cycle",
+                "plateau_bits_per_cycle",
+                "evaluations",
+            ],
+        );
+        let mut total_evaluations = 0usize;
+        for (label, policy) in allocators {
+            for &wavelengths in &combs {
+                let grid = SweepGrid {
+                    patterns: vec![TrafficPattern::UniformRandom],
+                    injection_rates: vec![],
+                    wavelengths: vec![wavelengths],
+                    ring_sizes: vec![16],
+                    horizon,
+                    policy,
+                    injection: InjectionMode::Credit { window },
+                    ..SweepGrid::saturation_default(ctx.seed)
+                };
+                let knee = find_sustained_knee(&grid, &config);
+                total_evaluations += knee.evaluations;
+                table.push_row(vec![
+                    label.to_string(),
+                    wavelengths.to_string(),
+                    format!("{:.4}", knee.knee_rate),
+                    format!("{:.3}", knee.knee_offered),
+                    format!("{:.3}", knee.plateau),
+                    knee.evaluations.to_string(),
+                ]);
+            }
+        }
+        report.push_table(table);
+        report.push_text(format!(
+            "Reading: each row localises the offered rate past which credit-gated\n\
+             accepted throughput stops growing (within the tolerance of its\n\
+             plateau), to a {}% rate bracket in O(log) simulation runs — {}\n\
+             evaluations in total here, versus one full sweep per grid point in\n\
+             `sustained-saturation` (the grid mode, still available). Wider combs\n\
+             push the knee to higher offered rates until the ring's two\n\
+             waveguides, not the spectrum, saturate.",
+            (config.rate_resolution * 100.0).round(),
+            total_evaluations
+        ));
         report
     }
 }

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod bench;
 pub mod experiment;
 pub mod experiments;
 pub mod scenario;

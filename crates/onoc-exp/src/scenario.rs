@@ -356,7 +356,7 @@ fn push_open_loop_row(
         report.nodes.to_string(),
         report.wavelengths.to_string(),
         format!("{injection_rate}"),
-        report.records.len().to_string(),
+        report.message_count.to_string(),
         format!("{offered:.3}"),
         format!("{:.3}", report.accepted_throughput()),
         format!("{:.2}", latency.mean),

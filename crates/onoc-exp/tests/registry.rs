@@ -61,6 +61,13 @@ fn golden_headers() -> Vec<(&'static str, &'static str, String)> {
                 .into(),
         ),
         (
+            "sustained-knee",
+            "sustained_knee",
+            "allocator,wavelengths,knee_rate,knee_offered_bits_per_cycle,\
+             plateau_bits_per_cycle,evaluations"
+                .into(),
+        ),
+        (
             "workload-sweep",
             "workload_sweep",
             "workload,tasks,comms,pairs,front,exec_lo,exec_hi,fj_lo,fj_hi,ber_lo,ber_hi".into(),
@@ -140,6 +147,7 @@ fn registry_order_matches_the_documented_index() {
             "traffic-sweep",
             "saturation",
             "sustained-saturation",
+            "sustained-knee",
             "workload-sweep",
         ]
     );

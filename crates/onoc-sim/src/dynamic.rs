@@ -172,6 +172,7 @@ impl<'a> DynamicSimulator<'a> {
         let mut granted: Vec<Vec<WavelengthId>> = vec![Vec::new(); nl];
         let mut waiting: std::collections::VecDeque<CommId> = std::collections::VecDeque::new();
         let mut blocked_attempts = 0usize;
+        // Like `Simulator`, event counts here are tiny: keep the heap.
         let mut queue: BinaryHeap<Reverse<(u64, Event)>> = BinaryHeap::new();
 
         for t in 0..nt {

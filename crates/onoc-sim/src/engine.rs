@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use onoc_app::{CommId, MappedApplication, TaskId};
-use onoc_topology::DirectedSegment;
+use onoc_topology::{DirectedSegment, segment_count};
 use onoc_units::BitsPerCycle;
 use onoc_wa::Allocation;
 
@@ -141,6 +141,9 @@ impl<'a> Simulator<'a> {
             (0..nt).map(|t| graph.incoming(TaskId(t)).len()).collect();
         let mut task_spans = vec![(0u64, 0u64); nt];
         let mut comm_spans = vec![(0u64, 0u64); nl];
+        // Task graphs hold tens of events, so a binary heap stays the
+        // right queue here; the calendar queue pays off in the
+        // high-rate open-loop engine, not at this scale.
         let mut queue: BinaryHeap<Reverse<(u64, Event)>> = BinaryHeap::new();
 
         // All dependency-free tasks start at cycle 0.
@@ -200,22 +203,31 @@ impl<'a> Simulator<'a> {
         detect_conflicts_with(self.app, comm_spans, &lanes)
     }
 
-    /// Busy wavelength-cycles per directed segment.
+    /// Busy wavelength-cycles per directed segment, accumulated in a flat
+    /// dense-indexed table (the dense order *is* the canonical report
+    /// order, so no sort is needed). Segments a route crosses are listed
+    /// even when their accumulated busy time is zero, matching the old
+    /// hash-map behaviour.
     pub(crate) fn accumulate_utilization(
         &self,
         comm_spans: &[(u64, u64)],
     ) -> Vec<(DirectedSegment, u64)> {
-        let mut busy: std::collections::HashMap<DirectedSegment, u64> =
-            std::collections::HashMap::new();
+        let ring_nodes = self.app.ring().node_count();
+        let mut busy = vec![0u64; segment_count(ring_nodes)];
+        let mut touched = vec![false; segment_count(ring_nodes)];
         for (k, &(start, end)) in comm_spans.iter().enumerate() {
             let lanes = self.allocation.channels(CommId(k)).len() as u64;
             for segment in self.app.route(CommId(k)).segments() {
-                *busy.entry(segment).or_insert(0) += (end - start) * lanes;
+                let dense = segment.segment_index();
+                busy[dense] += (end - start) * lanes;
+                touched[dense] = true;
             }
         }
-        let mut out: Vec<_> = busy.into_iter().collect();
-        out.sort_by_key(|&(s, _)| (s.index, s.direction != onoc_topology::Direction::Clockwise));
-        out
+        busy.iter()
+            .enumerate()
+            .filter(|&(dense, _)| touched[dense])
+            .map(|(dense, &b)| (DirectedSegment::from_segment_index(dense), b))
+            .collect()
     }
 }
 

@@ -34,7 +34,7 @@
 use std::collections::VecDeque;
 
 use onoc_photonics::WavelengthId;
-use onoc_topology::{DirectedSegment, Direction, RingPath};
+use onoc_topology::RingPath;
 
 /// How sources inject: open loop, or one of two closed-loop policies.
 ///
@@ -114,12 +114,16 @@ impl core::fmt::Display for InjectionMode {
 /// [`DynamicSimulator`](crate::DynamicSimulator) and the open/closed-loop
 /// engine: per-directed-segment busy masks with greedy lowest-index
 /// claims.
+///
+/// Segments index into the busy table through
+/// [`DirectedSegment::segment_index`], and the allocation-free mask API
+/// ([`LaneArbiter::claim_mask`] / [`LaneArbiter::release_mask`]) is the
+/// hot path; the `Vec<WavelengthId>` wrappers exist for callers that
+/// expose granted lane lists.
 #[derive(Debug, Clone)]
 pub(crate) struct LaneArbiter {
-    nodes: usize,
     wavelengths: usize,
-    /// Busy mask per directed segment: clockwise segments first, then
-    /// counter-clockwise.
+    /// Busy mask per directed segment, dense-indexed.
     busy: Vec<u128>,
 }
 
@@ -128,17 +132,18 @@ impl LaneArbiter {
     pub(crate) fn new(nodes: usize, wavelengths: usize) -> Self {
         debug_assert!((1..=128).contains(&wavelengths));
         Self {
-            nodes,
             wavelengths,
-            busy: vec![0u128; 2 * nodes],
+            busy: vec![0u128; onoc_topology::segment_count(nodes)],
         }
     }
 
-    fn slot(&self, seg: DirectedSegment) -> usize {
-        match seg.direction {
-            Direction::Clockwise => seg.index,
-            Direction::CounterClockwise => self.nodes + seg.index,
-        }
+    /// Resets to fully idle, optionally for a different geometry, keeping
+    /// the table allocation when it already fits.
+    pub(crate) fn reset(&mut self, nodes: usize, wavelengths: usize) {
+        debug_assert!((1..=128).contains(&wavelengths));
+        self.wavelengths = wavelengths;
+        self.busy.clear();
+        self.busy.resize(onoc_topology::segment_count(nodes), 0);
     }
 
     fn all_mask(&self) -> u128 {
@@ -149,29 +154,63 @@ impl LaneArbiter {
         }
     }
 
+    /// Claims up to `want` lanes free on *every* dense-indexed segment of
+    /// `segs` (lowest indices first) as a bit mask, or `None` if not even
+    /// one lane is free. Allocation-free — this is the hot path; callers
+    /// pass precomputed flat route slices.
+    pub(crate) fn claim_mask(&mut self, segs: &[u16], want: usize) -> Option<u128> {
+        let mut free = self.all_mask();
+        for &seg in segs {
+            free &= !self.busy[seg as usize];
+            if free == 0 {
+                return None;
+            }
+        }
+        let mut mask = 0u128;
+        for _ in 0..want {
+            if free == 0 {
+                break;
+            }
+            let lowest = free & free.wrapping_neg();
+            mask |= lowest;
+            free ^= lowest;
+        }
+        for &seg in segs {
+            self.busy[seg as usize] |= mask;
+        }
+        Some(mask)
+    }
+
+    /// Releases a claim made by [`LaneArbiter::claim_mask`].
+    pub(crate) fn release_mask(&mut self, segs: &[u16], mask: u128) {
+        for &seg in segs {
+            self.busy[seg as usize] &= !mask;
+        }
+    }
+
     /// Claims up to `want` lanes free on *every* segment of `path`
     /// (lowest indices first), or `None` if not even one lane is free.
     pub(crate) fn claim(&mut self, path: &RingPath, want: usize) -> Option<Vec<WavelengthId>> {
-        let free = path.segments().fold(self.all_mask(), |mask, seg| {
-            mask & !self.busy[self.slot(seg)]
-        });
-        if free == 0 {
-            return None;
+        let mut free = self.all_mask();
+        for seg in path.segments() {
+            free &= !self.busy[seg.segment_index()];
+            if free == 0 {
+                return None;
+            }
         }
         let mut lanes = Vec::with_capacity(want);
         let mut mask = 0u128;
-        for w in 0..self.wavelengths {
-            if lanes.len() == want {
+        for _ in 0..want {
+            if free == 0 {
                 break;
             }
-            if free & (1 << w) != 0 {
-                lanes.push(WavelengthId(w));
-                mask |= 1 << w;
-            }
+            let lowest = free & free.wrapping_neg();
+            lanes.push(WavelengthId(lowest.trailing_zeros() as usize));
+            mask |= lowest;
+            free ^= lowest;
         }
         for seg in path.segments() {
-            let slot = self.slot(seg);
-            self.busy[slot] |= mask;
+            self.busy[seg.segment_index()] |= mask;
         }
         Some(lanes)
     }
@@ -180,8 +219,7 @@ impl LaneArbiter {
     pub(crate) fn release(&mut self, path: &RingPath, lanes: &[WavelengthId]) {
         let mask = lanes.iter().fold(0u128, |m, ch| m | (1 << ch.index()));
         for seg in path.segments() {
-            let slot = self.slot(seg);
-            self.busy[slot] &= !mask;
+            self.busy[seg.segment_index()] &= !mask;
         }
     }
 }
@@ -230,6 +268,20 @@ impl SourceGate {
             credit_changed_at: 0,
             credit_cycles: 0.0,
         }
+    }
+
+    /// Resets to the pristine state, keeping the offered queue's
+    /// allocation for scratch reuse.
+    pub(crate) fn reset(&mut self) {
+        self.offered.clear();
+        self.in_flight = 0;
+        self.factor = 1.0;
+        self.last_admit = 0;
+        self.has_admitted = false;
+        self.last_offered = None;
+        self.wake_at = None;
+        self.credit_changed_at = 0;
+        self.credit_cycles = 0.0;
     }
 
     /// Offered-time gap to the previous offer from this source (0 for

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod dynamic;
 mod engine;
 mod flows;
@@ -51,8 +52,10 @@ pub use engine::{SimError, Simulator};
 pub use flows::{FlowAllocPolicy, FlowMatrix, FlowSynthesisError, SynthesisSummary};
 pub use injection::InjectionMode;
 pub use openloop::{
-    OpenLoopError, OpenLoopSimulator, StaticFlowMap, TrafficEvent, TrafficSource, WavelengthMode,
+    OpenLoopError, OpenLoopSimulator, ReportMode, SimScratch, StaticFlowMap, TrafficEvent,
+    TrafficSource, WavelengthMode,
 };
 pub use report::{
-    ChannelConflict, LatencyStats, MsgId, MsgRecord, OpenLoopConflict, OpenLoopReport, SimReport,
+    ChannelConflict, LatencyHistogram, LatencyStats, MsgId, MsgRecord, OpenLoopConflict,
+    OpenLoopReport, SimReport,
 };

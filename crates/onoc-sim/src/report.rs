@@ -154,6 +154,156 @@ impl LatencyStats {
     }
 }
 
+/// Number of bins in a [`LatencyHistogram`]: one zero bin plus 8 log-scale
+/// sub-bins per power of two across the whole `u64` range.
+const HIST_BINS: usize = 1 + 64 * 8;
+
+/// A fixed-size log-scale histogram over nonnegative cycle counts — the
+/// streaming replacement for retaining every sample.
+///
+/// Values bucket into 8 sub-bins per octave (plus an exact zero bin), so
+/// every bin spans at most a 9/8 ratio: any quantile read from the
+/// histogram is the lower edge of the bin holding the exact nearest-rank
+/// sample, i.e. within one bin (≤ 12.5% relative) of it. Values below 16
+/// are exact. Count, sum (hence mean) and max are tracked exactly.
+///
+/// Memory is `O(bins)` — one fixed 513-slot table — independent of the
+/// sample count, which is what lets sweep workers run millions of
+/// messages without retaining [`MsgRecord`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Sub-bin resolution: `2^3 = 8` bins per octave.
+    const SUB_BITS: u32 = 3;
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; HIST_BINS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bin index of `value`.
+    fn bin_of(value: u64) -> usize {
+        if value == 0 {
+            return 0;
+        }
+        let e = 63 - value.leading_zeros();
+        let sub = if e >= Self::SUB_BITS {
+            (value >> (e - Self::SUB_BITS)) & 7
+        } else {
+            (value << (Self::SUB_BITS - e)) & 7
+        };
+        1 + (e as usize) * 8 + sub as usize
+    }
+
+    /// The smallest value mapping to bin `idx` (the bin's representative).
+    fn bin_lower(idx: usize) -> u64 {
+        if idx == 0 {
+            return 0;
+        }
+        let k = idx - 1;
+        let (e, sub) = ((k / 8) as u32, (k % 8) as u64);
+        if e >= Self::SUB_BITS {
+            (8 + sub) << (e - Self::SUB_BITS)
+        } else {
+            (8 + sub) >> (Self::SUB_BITS - e)
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bin_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of samples strictly greater than zero.
+    #[must_use]
+    pub fn nonzero_count(&self) -> u64 {
+        self.count - self.counts[0]
+    }
+
+    /// Exact largest sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (sum and count are tracked exactly).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The nearest-rank `q`-quantile, reported as the lower edge of the
+    /// bin holding that rank's sample — within one bin of the exact
+    /// nearest-rank value (see the type docs for the error bound).
+    #[must_use]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::bin_lower(idx) as f64;
+            }
+        }
+        self.max as f64
+    }
+
+    /// Summary statistics in the same shape the exact path produces.
+    /// Quantiles follow the nearest-rank convention (no interpolation).
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn stats(&self) -> LatencyStats {
+        LatencyStats {
+            count: self.count as usize,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
 /// Everything recorded about one delivered message.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MsgRecord {
@@ -209,8 +359,21 @@ pub struct OpenLoopReport {
     pub horizon: u64,
     /// Last offered injection cycle seen from the source.
     pub last_injection: u64,
-    /// Per message, injection order.
+    /// Messages the run delivered (always exact, in both report modes).
+    pub message_count: usize,
+    /// Per message, injection order. Populated by the record-retaining
+    /// mode ([`ReportMode::Full`](crate::ReportMode)); empty in streaming
+    /// mode, where only the histograms below are kept.
     pub records: Vec<MsgRecord>,
+    /// Log-scale end-to-end latency histogram (always populated; the
+    /// streaming mode's only latency state).
+    pub latency_hist: LatencyHistogram,
+    /// Log-scale source-stall histogram (always populated).
+    pub stall_hist: LatencyHistogram,
+    /// Largest number of messages simultaneously in flight through the
+    /// engine (offered-but-unretired window) — the streaming mode's
+    /// actual memory high-water in message slots.
+    pub peak_in_flight: usize,
     /// Total bits offered by the source.
     pub offered_bits: f64,
     /// Total bits delivered (the engine delivers everything eventually;
@@ -235,26 +398,48 @@ pub struct OpenLoopReport {
 }
 
 impl OpenLoopReport {
-    /// Latency statistics over every delivered message.
+    /// Latency statistics over every delivered message: exact
+    /// (interpolated quantiles) when [`OpenLoopReport::records`] are
+    /// retained, histogram-based (nearest-rank quantiles, within one log
+    /// bin of exact) in streaming mode.
     #[must_use]
     pub fn latency(&self) -> LatencyStats {
-        LatencyStats::from_samples(self.records.iter().map(MsgRecord::latency).collect())
+        if self.records.is_empty() {
+            self.latency_hist.stats()
+        } else {
+            LatencyStats::from_samples(self.records.iter().map(MsgRecord::latency).collect())
+        }
     }
 
     /// Stall-time statistics: cycles the closed-loop gate held messages
-    /// at their source (all-zero in open-loop mode).
+    /// at their source (all-zero in open-loop mode). Exact with retained
+    /// records, histogram-based in streaming mode.
     #[must_use]
     pub fn stall(&self) -> LatencyStats {
-        LatencyStats::from_samples(self.records.iter().map(MsgRecord::stall).collect())
+        if self.records.is_empty() {
+            self.stall_hist.stats()
+        } else {
+            LatencyStats::from_samples(self.records.iter().map(MsgRecord::stall).collect())
+        }
     }
 
-    /// Messages the gate stalled for at least one cycle.
+    /// Messages the gate stalled for at least one cycle (exact in both
+    /// modes — the zero bin is exact).
     #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
     pub fn stalled_count(&self) -> usize {
-        self.records.iter().filter(|r| r.stall() > 0).count()
+        if self.records.is_empty() {
+            self.stall_hist.nonzero_count() as usize
+        } else {
+            self.records.iter().filter(|r| r.stall() > 0).count()
+        }
     }
 
     /// Latency statistics per ordered `(src, dst)` flow, sorted by flow.
+    ///
+    /// Requires retained records; the streaming mode returns an empty
+    /// vector (per-flow distributions are exactly the per-message state
+    /// it exists to drop).
     #[must_use]
     pub fn latency_by_flow(&self) -> Vec<((NodeId, NodeId), LatencyStats)> {
         let mut per_flow: HashMap<(NodeId, NodeId), Vec<u64>> = HashMap::new();
@@ -277,7 +462,7 @@ impl OpenLoopReport {
     /// window, not a division by zero).
     #[must_use]
     pub fn offered_load(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.message_count == 0 {
             return 0.0;
         }
         self.offered_bits / (self.last_injection + 1) as f64
@@ -370,6 +555,72 @@ mod tests {
         let empty = LatencyStats::from_samples(Vec::new());
         assert_eq!(empty.count, 0);
         assert_eq!(empty.max, 0);
+    }
+
+    #[test]
+    fn histogram_is_exact_for_small_values() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.nonzero_count(), 15);
+        // Values below 16 land in exact single-value bins.
+        for v in 0..16u64 {
+            assert_eq!(
+                LatencyHistogram::bin_lower(LatencyHistogram::bin_of(v)),
+                v,
+                "value {v}"
+            );
+        }
+        assert!((h.mean() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_bound_relative_error() {
+        // Every value's bin lower edge is within 12.5% below the value.
+        for v in [
+            1u64,
+            17,
+            100,
+            513,
+            4_095,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ] {
+            let lower = LatencyHistogram::bin_lower(LatencyHistogram::bin_of(v));
+            assert!(lower <= v, "lower {lower} > value {v}");
+            assert!(
+                (v - lower) as f64 <= v as f64 / 8.0,
+                "value {v} lower {lower}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_match_nearest_rank_bins() {
+        let samples: Vec<u64> = (0..1000).map(|k| k * k % 7919).collect();
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let exact = sorted[(q * (sorted.len() - 1) as f64).round() as usize];
+            let approx = h.quantile(q);
+            let lower = LatencyHistogram::bin_lower(LatencyHistogram::bin_of(exact)) as f64;
+            assert!(
+                (approx - lower).abs() < 1e-9,
+                "q {q}: got {approx}, exact nearest-rank {exact} (bin lower {lower})"
+            );
+        }
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        assert_eq!(empty.stats().count, 0);
     }
 
     #[test]

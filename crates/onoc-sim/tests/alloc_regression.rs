@@ -1,0 +1,120 @@
+//! Regression gate: the steady-state admit path of the open-loop engine
+//! makes **zero heap allocations** once a reused [`SimScratch`] is warm.
+//!
+//! A counting global allocator is armed by the traffic source itself
+//! after a few warm-up messages and disarmed when the source runs dry, so
+//! the counted window covers exactly the steady-state portion of the
+//! run — offers, admissions, transmission starts, completions and
+//! retirements interleaved — and not the run's setup or the report
+//! assembly.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use onoc_sim::{
+    DynamicPolicy, OpenLoopSimulator, ReportMode, SimScratch, TrafficEvent, TrafficSource,
+    WavelengthMode,
+};
+use onoc_topology::{NodeId, RingTopology};
+use onoc_units::{Bits, BitsPerCycle};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// A deterministic 64-message open-loop workload on the 16-node ring.
+fn workload() -> Vec<TrafficEvent> {
+    (0..64u64)
+        .map(|k| TrafficEvent {
+            time: k * 3,
+            src: NodeId((k % 16) as usize),
+            dst: NodeId(((k % 16 + 1 + k % 7) % 16) as usize),
+            volume: Bits::new(96.0),
+        })
+        .collect()
+}
+
+/// Arms the allocation counter after `warmup` events and disarms it when
+/// the stream ends.
+struct ArmingSource {
+    events: std::vec::IntoIter<TrafficEvent>,
+    seen: usize,
+    warmup: usize,
+}
+
+impl TrafficSource for ArmingSource {
+    fn next_event(&mut self) -> Option<TrafficEvent> {
+        let next = self.events.next();
+        if next.is_none() {
+            ARMED.store(false, Ordering::SeqCst);
+            return None;
+        }
+        self.seen += 1;
+        if self.seen == self.warmup {
+            ARMED.store(true, Ordering::SeqCst);
+        }
+        next
+    }
+}
+
+#[test]
+fn steady_state_admit_path_is_allocation_free() {
+    let sim = OpenLoopSimulator::new(
+        RingTopology::new(16),
+        4,
+        BitsPerCycle::new(1.0),
+        WavelengthMode::Dynamic(DynamicPolicy::Single),
+    );
+    let mut scratch = SimScratch::new();
+
+    // Warm run: sizes every buffer (window, calendar buckets, NI queues).
+    let warm = sim
+        .run_with_scratch(workload().into_iter(), &mut scratch, ReportMode::Streaming)
+        .unwrap();
+    assert_eq!(warm.message_count, 64);
+
+    // Counted run on the same warm scratch: after 8 warm-up messages the
+    // counter arms, and every remaining offer/admit/start/complete must
+    // reuse existing capacity.
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    let source = ArmingSource {
+        events: workload().into_iter(),
+        seen: 0,
+        warmup: 8,
+    };
+    let report = sim
+        .run_with_scratch(source, &mut scratch, ReportMode::Streaming)
+        .unwrap();
+    assert!(!ARMED.load(Ordering::SeqCst), "source disarmed the counter");
+    assert_eq!(report.message_count, 64);
+    assert_eq!(report, warm, "scratch reuse must not change results");
+    let counted = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        counted, 0,
+        "steady-state admit path allocated {counted} times"
+    );
+}

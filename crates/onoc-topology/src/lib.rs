@@ -47,6 +47,6 @@ pub use analysis::{CrosstalkBound, worst_case_bounds};
 pub use arch::{ArchBuilder, ArchError, OnocArchitecture};
 pub use budget::{PowerBudget, power_budgets};
 pub use geometry::{Centimeters, Millimeters, RingGeometry};
-pub use path::{DirectedSegment, RingPath};
+pub use path::{DirectedSegment, RingPath, segment_count};
 pub use ring::{Direction, NodeId, RingTopology};
 pub use spectrum::{CrosstalkModel, ReceiverReport, SpectrumEngine, SpectrumError, Transmission};

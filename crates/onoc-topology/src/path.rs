@@ -15,6 +15,45 @@ pub struct DirectedSegment {
     pub direction: Direction,
 }
 
+impl DirectedSegment {
+    /// The canonical dense index of this segment: `2 · index` for the
+    /// clockwise waveguide, `2 · index + 1` for the counter-clockwise one.
+    ///
+    /// Dense indices enumerate the `2 · nodes` directed segments of an
+    /// `nodes`-node ring (see [`segment_count`]) in the canonical report
+    /// order — ascending physical index, clockwise before
+    /// counter-clockwise — so flat per-segment tables replace hash maps
+    /// in simulation hot paths and iterate in the canonical order for
+    /// free.
+    #[must_use]
+    pub fn segment_index(self) -> usize {
+        self.index * 2 + usize::from(self.direction == Direction::CounterClockwise)
+    }
+
+    /// Inverse of [`DirectedSegment::segment_index`].
+    #[must_use]
+    pub fn from_segment_index(dense: usize) -> Self {
+        Self {
+            index: dense / 2,
+            direction: if dense.is_multiple_of(2) {
+                Direction::Clockwise
+            } else {
+                Direction::CounterClockwise
+            },
+        }
+    }
+}
+
+/// Number of directed segments on an `nodes`-node ring: one clockwise and
+/// one counter-clockwise waveguide segment per physical span.
+///
+/// Valid [`DirectedSegment::segment_index`] values are
+/// `0..segment_count(nodes)`.
+#[must_use]
+pub fn segment_count(nodes: usize) -> usize {
+    2 * nodes
+}
+
 impl core::fmt::Display for DirectedSegment {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "s{}/{}", self.index, self.direction)
@@ -252,7 +291,35 @@ mod tests {
         let _ = RingPath::new(&ring16(), NodeId(3), NodeId(3), Direction::Clockwise);
     }
 
+    #[test]
+    fn dense_segment_index_roundtrips_and_orders_canonically() {
+        let n = 16;
+        for dense in 0..segment_count(n) {
+            let seg = DirectedSegment::from_segment_index(dense);
+            assert_eq!(seg.segment_index(), dense);
+            assert!(seg.index < n);
+        }
+        // Canonical order: ascending span, clockwise first — the order
+        // reports have always sorted (index, direction != CW) by.
+        let mut segs: Vec<DirectedSegment> = (0..segment_count(n))
+            .map(DirectedSegment::from_segment_index)
+            .collect();
+        let reference = segs.clone();
+        segs.sort_by_key(|s| (s.index, s.direction != Direction::Clockwise));
+        assert_eq!(segs, reference);
+    }
+
     proptest! {
+        #[test]
+        fn dense_index_is_a_bijection(i in 0usize..64, cw in any::<bool>()) {
+            let seg = DirectedSegment {
+                index: i,
+                direction: if cw { Direction::Clockwise } else { Direction::CounterClockwise },
+            };
+            prop_assert_eq!(DirectedSegment::from_segment_index(seg.segment_index()), seg);
+            prop_assert!(seg.segment_index() < segment_count(i + 1));
+        }
+
         #[test]
         fn node_and_segment_counts_agree(
             n in 2usize..32, a in 0usize..32, b in 0usize..32,

@@ -55,8 +55,11 @@ mod trace;
 
 pub use pattern::TrafficPattern;
 pub use rng::TrafficRng;
-pub use sweep::{Scenario, ScenarioResult, SweepGrid, SweepOutcome, run_scenario, run_sweep};
+pub use sweep::{
+    KneeResult, KneeSearchConfig, Scenario, ScenarioResult, SweepGrid, SweepOutcome,
+    find_sustained_knee, run_scenario, run_scenario_with, run_sweep,
+};
 pub use trace::{
-    OnOffConfig, TRACE_CSV_HEADER, TraceParseError, TraceSource, TrafficConfig, TrafficTrace,
-    generate,
+    OnOffConfig, TRACE_CSV_HEADER, TraceParseError, TraceSource, TraceStats, TrafficConfig,
+    TrafficTrace, generate,
 };

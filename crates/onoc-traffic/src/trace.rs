@@ -186,6 +186,64 @@ impl TrafficTrace {
     pub fn into_source(self) -> std::vec::IntoIter<TrafficEvent> {
         self.events.into_iter()
     }
+
+    /// Summarises the trace: counts, cycle span, volume, offered load and
+    /// per-node histograms (the `onoc trace info` payload).
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats {
+            messages: self.events.len(),
+            first_cycle: self.events.iter().map(|e| e.time).min().unwrap_or(0),
+            last_cycle: self.events.iter().map(|e| e.time).max().unwrap_or(0),
+            total_bits: self.events.iter().map(|e| e.volume.value()).sum(),
+            mean_offered_bits_per_cycle: 0.0,
+            per_source: Vec::new(),
+            per_dest: Vec::new(),
+        };
+        let nodes = self
+            .events
+            .iter()
+            .map(|e| e.src.0.max(e.dst.0) + 1)
+            .max()
+            .unwrap_or(0);
+        stats.per_source = vec![0; nodes];
+        stats.per_dest = vec![0; nodes];
+        for e in &self.events {
+            stats.per_source[e.src.0] += 1;
+            stats.per_dest[e.dst.0] += 1;
+        }
+        if stats.messages > 0 {
+            // The offered window convention matches
+            // `OpenLoopReport::offered_load`: a burst entirely at cycle 0
+            // is a 1-cycle window.
+            #[allow(clippy::cast_precision_loss)]
+            {
+                stats.mean_offered_bits_per_cycle =
+                    stats.total_bits / (stats.last_cycle + 1) as f64;
+            }
+        }
+        stats
+    }
+}
+
+/// Summary statistics of a message trace (see [`TrafficTrace::stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of messages.
+    pub messages: usize,
+    /// Earliest offered cycle (0 for an empty trace).
+    pub first_cycle: u64,
+    /// Latest offered cycle (0 for an empty trace).
+    pub last_cycle: u64,
+    /// Total offered volume in bits.
+    pub total_bits: f64,
+    /// `total_bits / (last_cycle + 1)` — the whole-trace offered load.
+    pub mean_offered_bits_per_cycle: f64,
+    /// Messages produced per source node (indexed by node id, length
+    /// `max referenced node + 1`).
+    pub per_source: Vec<usize>,
+    /// Messages consumed per destination node (same indexing).
+    pub per_dest: Vec<usize>,
 }
 
 /// Why a CSV trace document could not be loaded.
@@ -671,5 +729,30 @@ mod tests {
         let report = sim.run(trace.source()).unwrap();
         assert_eq!(report.records.len(), trace.len());
         assert!(report.latency().mean > 0.0);
+    }
+
+    #[test]
+    fn trace_stats_summarise_counts_span_and_load() {
+        let trace = TrafficTrace::from_csv_str(
+            "cycle,src,dst,size\n0,0,3,256\n5,1,4,128\n9,0,3,256\n9,4,1,60\n",
+        )
+        .unwrap();
+        let stats = trace.stats();
+        assert_eq!(stats.messages, 4);
+        assert_eq!((stats.first_cycle, stats.last_cycle), (0, 9));
+        assert!((stats.total_bits - 700.0).abs() < 1e-9);
+        assert!((stats.mean_offered_bits_per_cycle - 70.0).abs() < 1e-9);
+        assert_eq!(stats.per_source, vec![2, 1, 0, 0, 1]);
+        assert_eq!(stats.per_dest, vec![0, 1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn trace_stats_match_generated_traffic() {
+        let trace = generate(&base_config());
+        let stats = trace.stats();
+        assert_eq!(stats.messages, trace.len());
+        assert_eq!(stats.per_source.iter().sum::<usize>(), trace.len());
+        assert_eq!(stats.per_dest.iter().sum::<usize>(), trace.len());
+        assert!(stats.mean_offered_bits_per_cycle > 0.0);
     }
 }
