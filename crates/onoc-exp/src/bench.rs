@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use onoc_sim::{DynamicPolicy, InjectionMode};
+use onoc_sim::{DynamicPolicy, EnergyModel, InjectionMode};
 use onoc_topology::NodeId;
 use onoc_traffic::{SweepGrid, TrafficPattern, run_sweep};
 use onoc_units::{Bits, BitsPerCycle};
@@ -54,6 +54,11 @@ pub struct BenchRecord {
     pub messages: usize,
     /// Sweep points in the scenario.
     pub points: usize,
+    /// Mean energy per delivered bit over the sweep's points, in pJ
+    /// (every pinned grid carries the paper energy model), recorded
+    /// beside wall time so the perf *and* energy trajectories are
+    /// plottable across commits.
+    pub pj_per_bit: f64,
 }
 
 /// The pinned scenario set. `quick` divides horizons by 10 for CI smoke
@@ -75,6 +80,7 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
         policy: DynamicPolicy::Single,
         burstiness: None,
         injection: InjectionMode::Open,
+        energy: Some(EnergyModel::paper(16, 8)),
     };
     let mut out = vec![
         // The headline saturation sweeps: paper scale and beyond.
@@ -86,6 +92,7 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
             name: "saturation-sweep-32n".into(),
             grid: SweepGrid {
                 ring_sizes: vec![32],
+                energy: Some(EnergyModel::paper(32, 8)),
                 ..base.clone()
             },
         },
@@ -150,6 +157,17 @@ pub fn run_bench(quick: bool) -> Vec<BenchRecord> {
             let start = Instant::now();
             let outcome = run_sweep(&scenario.grid, 1);
             let wall = start.elapsed();
+            #[allow(clippy::cast_precision_loss)]
+            let pj_per_bit = if outcome.results.is_empty() {
+                0.0
+            } else {
+                outcome
+                    .results
+                    .iter()
+                    .map(|r| r.energy_pj_per_bit)
+                    .sum::<f64>()
+                    / outcome.results.len() as f64
+            };
             BenchRecord {
                 name: scenario.name,
                 #[allow(clippy::cast_precision_loss)]
@@ -157,9 +175,23 @@ pub fn run_bench(quick: bool) -> Vec<BenchRecord> {
                 peak_rss_kb: peak_rss_kb(),
                 messages: outcome.results.iter().map(|r| r.injected).sum(),
                 points: outcome.results.len(),
+                pj_per_bit,
             }
         })
         .collect()
+}
+
+/// The document form of one record — the single field list shared by
+/// [`render_json`] and [`history_line`].
+fn record_value(r: &BenchRecord) -> Value {
+    let mut row = Value::table();
+    row.insert("name", r.name.clone());
+    row.insert("wall_ms", (r.wall_ms * 1000.0).round() / 1000.0);
+    row.insert("peak_rss_kb", r.peak_rss_kb);
+    row.insert("messages", r.messages);
+    row.insert("points", r.points);
+    row.insert("pj_per_bit", (r.pj_per_bit * 10_000.0).round() / 10_000.0);
+    row
 }
 
 /// Renders records as the `BENCH_sim_core.json` document.
@@ -168,20 +200,31 @@ pub fn render_json(records: &[BenchRecord], quick: bool) -> String {
     let mut doc = Value::table();
     doc.insert("schema", BENCH_SCHEMA);
     doc.insert("tier", if quick { "quick" } else { "full" });
-    let scenarios: Vec<Value> = records
-        .iter()
-        .map(|r| {
-            let mut row = Value::table();
-            row.insert("name", r.name.clone());
-            row.insert("wall_ms", (r.wall_ms * 1000.0).round() / 1000.0);
-            row.insert("peak_rss_kb", r.peak_rss_kb);
-            row.insert("messages", r.messages);
-            row.insert("points", r.points);
-            row
-        })
-        .collect();
-    doc.insert("scenarios", Value::Array(scenarios));
+    doc.insert(
+        "scenarios",
+        Value::Array(records.iter().map(record_value).collect()),
+    );
     doc.to_json()
+}
+
+/// Schema tag of one bench-history JSONL record.
+pub const BENCH_HISTORY_SCHEMA: &str = "onoc-bench-history/v1";
+
+/// Renders one single-line JSON record for the append-only bench history
+/// (`onoc bench --append-history BENCH_history.jsonl`): the caller's
+/// timestamp plus every scenario's wall time and pJ/bit, so the perf and
+/// energy trajectories are plottable across commits with one file.
+#[must_use]
+pub fn history_line(records: &[BenchRecord], quick: bool, unix_ms: u64) -> String {
+    let mut doc = Value::table();
+    doc.insert("schema", BENCH_HISTORY_SCHEMA);
+    doc.insert("unix_ms", unix_ms);
+    doc.insert("tier", if quick { "quick" } else { "full" });
+    doc.insert(
+        "scenarios",
+        Value::Array(records.iter().map(record_value).collect()),
+    );
+    doc.to_json_compact()
 }
 
 /// Scenarios faster than this in the baseline are exempt from the
@@ -281,6 +324,7 @@ mod tests {
                 peak_rss_kb: 1234,
                 messages: 42,
                 points: 7,
+                pj_per_bit: 1.25,
             },
             BenchRecord {
                 name: "open-uniform-8l".into(),
@@ -288,6 +332,7 @@ mod tests {
                 peak_rss_kb: 1300,
                 messages: 17,
                 points: 2,
+                pj_per_bit: 2.5,
             },
         ];
         let json = render_json(&records, true);
@@ -316,6 +361,7 @@ mod tests {
             peak_rss_kb: 0,
             messages: 1,
             points: 1,
+            pj_per_bit: 0.0,
         }];
         let tiny_json = render_json(&tiny_base, true);
         let mut tiny_now = tiny_base.clone();
@@ -335,6 +381,36 @@ mod tests {
     }
 
     #[test]
+    fn history_line_is_one_parsable_json_record() {
+        let records = vec![BenchRecord {
+            name: "saturation-sweep-16n".into(),
+            wall_ms: 123.456,
+            peak_rss_kb: 4096,
+            messages: 1000,
+            points: 7,
+            pj_per_bit: 1.2345,
+        }];
+        let line = history_line(&records, true, 1_753_000_000_000);
+        assert!(!line.contains('\n'), "JSONL records are single lines");
+        let parsed = Value::parse_json(&line).expect("history line is JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some(BENCH_HISTORY_SCHEMA)
+        );
+        assert_eq!(parsed.get("tier").and_then(Value::as_str), Some("quick"));
+        assert_eq!(
+            parsed.get("unix_ms").and_then(Value::as_int),
+            Some(1_753_000_000_000)
+        );
+        let scenarios = parsed.get("scenarios").and_then(Value::as_array).unwrap();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(
+            scenarios[0].get("pj_per_bit").and_then(Value::as_float),
+            Some(1.2345)
+        );
+    }
+
+    #[test]
     fn quick_bench_runs_and_reports() {
         // One real quick scenario end-to-end (the smallest matrix entry)
         // to keep the test fast while exercising the measurement path.
@@ -347,5 +423,8 @@ mod tests {
         assert!(start.elapsed().as_secs() < 30);
         assert_eq!(outcome.results.len(), 2);
         assert!(outcome.results.iter().all(|r| r.injected > 0));
+        // Every pinned grid carries the paper energy model, so the
+        // recorded pJ/bit trajectory is never vacuously zero.
+        assert!(outcome.results.iter().all(|r| r.energy_pj_per_bit > 0.0));
     }
 }

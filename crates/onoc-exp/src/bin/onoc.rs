@@ -28,6 +28,8 @@ USAGE:
                                        writing one artifact per spec
     onoc sweep [options]               ad-hoc open-loop saturation sweep
     onoc bench [options]               tracked sim-core benchmark (BENCH_sim_core.json)
+    onoc diff <a.json> <b.json>        field-by-field comparison of two report
+                                       artifacts; exit 1 on drift
     onoc trace info <file>             summarise a cycle,src,dst,size CSV trace
     onoc help                          this text
 
@@ -37,6 +39,15 @@ OPTIONS (bench):
     --check <baseline>    fail (exit 1) if any pinned scenario regresses
                           more than --factor vs the baseline file
     --factor <x>          regression threshold      [default: 2.0]
+    --append-history <f>  append one timestamped JSONL record per run, so
+                          the perf/energy trajectory is plottable across commits
+
+OPTIONS (diff):
+    --tolerance <x>       allowed relative drift for numeric cells [default: 0]
+
+OPTIONS (run --spec only):
+    --capture-trace <f>   also dump the run's message stream as a
+                          cycle,src,dst,size CSV (synthetic/trace workloads)
 
 OPTIONS (run, sweep):
     --quick               reduced GA/horizon configuration (scale = quick)
@@ -67,6 +78,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("help" | "--help" | "-h") | None => {
             print!("{USAGE}");
@@ -171,6 +183,13 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     let json = flag(args, "--json");
 
+    if value_of(args, "--capture-trace").is_some()
+        && (value_of(args, "--spec").is_none() || value_of(args, "--all").is_some())
+    {
+        eprintln!("--capture-trace applies to `onoc run --spec <file>` only");
+        return 2;
+    }
+
     if let Some(dir) = value_of(args, "--all") {
         return cmd_run_all(&dir, value_of(args, "--out"), args, &ctx, json);
     }
@@ -184,6 +203,21 @@ fn cmd_run(args: &[String]) -> i32 {
                 return 1;
             }
         };
+        if let Some(capture_path) = value_of(args, "--capture-trace") {
+            match onoc_exp::capture_trace(&spec) {
+                Ok(csv) => {
+                    if let Err(e) = std::fs::write(&capture_path, csv) {
+                        eprintln!("could not write {capture_path}: {e}");
+                        return 1;
+                    }
+                    eprintln!("captured trace -> {capture_path}");
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            }
+        }
         return match run_spec(&spec, ctx.threads) {
             Ok(report) => {
                 emit(&report, json);
@@ -204,7 +238,13 @@ fn cmd_run(args: &[String]) -> i32 {
                 && (i == 0
                     || !matches!(
                         args[i - 1].as_str(),
-                        "--scale" | "--seed" | "--threads" | "--spec" | "--all" | "--out"
+                        "--scale"
+                            | "--seed"
+                            | "--threads"
+                            | "--spec"
+                            | "--all"
+                            | "--out"
+                            | "--capture-trace"
                     ))
         })
         .map(|(_, a)| a)
@@ -377,6 +417,26 @@ fn cmd_bench(args: &[String]) -> i32 {
         return 1;
     }
     println!("wrote {out}");
+    if let Some(history_path) = value_of(args, "--append-history") {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(0))
+            .unwrap_or(0);
+        let line = bench::history_line(&records, quick, unix_ms);
+        use std::io::Write;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        match appended {
+            Ok(()) => println!("appended history record -> {history_path}"),
+            Err(e) => {
+                eprintln!("could not append to {history_path}: {e}");
+                return 1;
+            }
+        }
+    }
     if let Some(baseline_path) = value_of(args, "--check") {
         let baseline = match std::fs::read_to_string(&baseline_path) {
             Ok(baseline) => baseline,
@@ -402,6 +462,70 @@ fn cmd_bench(args: &[String]) -> i32 {
         }
     }
     0
+}
+
+/// The report differ: `onoc diff <a.json> <b.json> [--tolerance x]`
+/// compares two report artifacts field by field and exits non-zero on
+/// drift, so corpus runs are regression-checkable across commits.
+fn cmd_diff(args: &[String]) -> i32 {
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1].as_str() != "--tolerance"))
+        .map(|(_, a)| a)
+        .collect();
+    let [a_path, b_path] = positional.as_slice() else {
+        eprintln!("`onoc diff` needs exactly two report artifacts (got {positional:?})\n");
+        eprint!("{USAGE}");
+        return 2;
+    };
+    let tolerance = match parsed_value::<f64>(args, "--tolerance") {
+        Ok(tolerance) => tolerance.unwrap_or(0.0),
+        Err(message) => {
+            eprintln!("{message}");
+            return 2;
+        }
+    };
+    if !(tolerance.is_finite() && tolerance >= 0.0) {
+        eprintln!("--tolerance must be a nonnegative number, got {tolerance}");
+        return 2;
+    }
+    let load = |path: &str| -> Result<onoc_exp::Value, String> {
+        let raw =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        onoc_exp::Value::parse_json(&raw).map_err(|e| format!("{path}: {e}"))
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(message), _) | (_, Err(message)) => {
+            eprintln!("{message}");
+            return 1;
+        }
+    };
+    match onoc_exp::diff_reports(&a, &b, tolerance) {
+        Ok(diff) if diff.is_clean() => {
+            println!(
+                "identical within tolerance {tolerance}: {} cells compared",
+                diff.cells_compared
+            );
+            0
+        }
+        Ok(diff) => {
+            for drift in &diff.drifts {
+                eprintln!("DRIFT {drift}");
+            }
+            eprintln!(
+                "{} drift(s) over {} compared cells (tolerance {tolerance})",
+                diff.drifts.len(),
+                diff.cells_compared
+            );
+            1
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            1
+        }
+    }
 }
 
 /// Trace tooling: `onoc trace info <file>` prints the summary statistics
@@ -547,7 +671,11 @@ fn build_sweep(args: &[String]) -> Result<(SweepGrid, RunContext, bool), String>
     }
     // Surface grid mistakes (empty axes, bad hotspot nodes) as CLI errors
     // rather than worker panics.
-    if grid.patterns.is_empty() || grid.injection_rates.is_empty() {
+    if grid.patterns.is_empty()
+        || grid.injection_rates.is_empty()
+        || grid.wavelengths.is_empty()
+        || grid.ring_sizes.is_empty()
+    {
         return Err("sweep axes must be non-empty".into());
     }
     for nodes in &grid.ring_sizes {
@@ -564,5 +692,11 @@ fn build_sweep(args: &[String]) -> Result<(SweepGrid, RunContext, bool), String>
             }
         }
     }
+    // Match `run_spec` sweep workloads: energy columns fold the paper
+    // model at the grid's nominal (first ring × first comb) point.
+    grid.energy = Some(onoc_sim::EnergyModel::paper(
+        grid.ring_sizes[0],
+        grid.wavelengths[0],
+    ));
     Ok((grid, ctx, flag(args, "--json")))
 }

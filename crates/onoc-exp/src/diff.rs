@@ -1,0 +1,272 @@
+//! Field-by-field comparison of report artifacts (`onoc diff`).
+//!
+//! Corpus runs (`onoc run --all specs/ --json --out dir`) leave one JSON
+//! artifact per spec; this module compares two such artifacts — same
+//! spec, different commits — cell by cell, so paper-scale regression
+//! runs are checkable with an exit code instead of eyeballs.
+//!
+//! Numeric cells compare under a relative tolerance (plus a small
+//! absolute epsilon so zeroes compare cleanly); everything else must
+//! match exactly. Differences are reported as human-readable drift
+//! lines naming the table, row, column and both values.
+
+use crate::value::Value;
+
+/// Everything that differs between two report artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// One line per drift, in document order.
+    pub drifts: Vec<String>,
+    /// Cells compared (drifted or not), for the summary line.
+    pub cells_compared: usize,
+}
+
+impl DiffReport {
+    /// Whether the artifacts agree within the tolerance.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.drifts.is_empty()
+    }
+}
+
+/// Absolute epsilon under which two numeric cells always compare equal
+/// (keeps `0` vs `0.0000` and formatting noise out of the drift list).
+const ABS_EPSILON: f64 = 1e-9;
+
+/// Compares two report artifacts (the JSON produced by
+/// [`Report::to_json`](crate::Report::to_json)).
+///
+/// `tolerance` is the allowed relative difference for numeric cells
+/// (e.g. `0.0` for exact, `0.05` for 5%).
+///
+/// # Errors
+///
+/// Returns a description when either document is not a report artifact
+/// (missing `title`/`tables`).
+pub fn diff_reports(a: &Value, b: &Value, tolerance: f64) -> Result<DiffReport, String> {
+    let mut drifts = Vec::new();
+    let mut cells = 0usize;
+
+    let title_a = report_title(a, "first")?;
+    let title_b = report_title(b, "second")?;
+    if title_a != title_b {
+        drifts.push(format!("title: {title_a:?} vs {title_b:?}"));
+    }
+
+    let tables_a = report_tables(a, "first")?;
+    let tables_b = report_tables(b, "second")?;
+
+    for ta in &tables_a {
+        let name = table_name(ta);
+        let Some(tb) = tables_b.iter().find(|t| table_name(t) == name) else {
+            drifts.push(format!("table `{name}`: missing from the second artifact"));
+            continue;
+        };
+        diff_table(name, ta, tb, tolerance, &mut drifts, &mut cells);
+    }
+    for tb in &tables_b {
+        let name = table_name(tb);
+        if !tables_a.iter().any(|t| table_name(t) == name) {
+            drifts.push(format!("table `{name}`: missing from the first artifact"));
+        }
+    }
+
+    Ok(DiffReport {
+        drifts,
+        cells_compared: cells,
+    })
+}
+
+fn report_title<'a>(doc: &'a Value, which: &str) -> Result<&'a str, String> {
+    doc.get("title")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("the {which} artifact has no `title` (not a report JSON?)"))
+}
+
+fn report_tables<'a>(doc: &'a Value, which: &str) -> Result<Vec<&'a Value>, String> {
+    Ok(doc
+        .get("tables")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("the {which} artifact has no `tables` array (not a report JSON?)"))?
+        .iter()
+        .collect())
+}
+
+fn table_name(table: &Value) -> &str {
+    table
+        .get("name")
+        .and_then(Value::as_str)
+        .unwrap_or("<unnamed>")
+}
+
+fn string_rows(table: &Value, key: &str) -> Vec<Vec<String>> {
+    table
+        .get(key)
+        .and_then(Value::as_array)
+        .map(|rows| {
+            rows.iter()
+                .map(|row| match row.as_array() {
+                    Some(cells) => cells.iter().map(cell_to_string).collect(),
+                    None => vec![cell_to_string(row)],
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn cell_to_string(cell: &Value) -> String {
+    match cell {
+        Value::Str(s) => s.clone(),
+        other => other.to_json(),
+    }
+}
+
+fn columns_of(table: &Value) -> Vec<String> {
+    table
+        .get("columns")
+        .and_then(Value::as_array)
+        .map(|cols| cols.iter().map(cell_to_string).collect())
+        .unwrap_or_default()
+}
+
+fn diff_table(
+    name: &str,
+    a: &Value,
+    b: &Value,
+    tolerance: f64,
+    drifts: &mut Vec<String>,
+    cells: &mut usize,
+) {
+    let cols_a = columns_of(a);
+    let cols_b = columns_of(b);
+    if cols_a != cols_b {
+        drifts.push(format!(
+            "table `{name}`: columns differ ({} vs {})",
+            cols_a.join(","),
+            cols_b.join(",")
+        ));
+        return;
+    }
+    let rows_a = string_rows(a, "rows");
+    let rows_b = string_rows(b, "rows");
+    if rows_a.len() != rows_b.len() {
+        drifts.push(format!(
+            "table `{name}`: {} rows vs {} rows",
+            rows_a.len(),
+            rows_b.len()
+        ));
+        return;
+    }
+    for (i, (ra, rb)) in rows_a.iter().zip(&rows_b).enumerate() {
+        for (j, (ca, cb)) in ra.iter().zip(rb).enumerate() {
+            *cells += 1;
+            if cells_agree(ca, cb, tolerance) {
+                continue;
+            }
+            let column = cols_a.get(j).map_or_else(|| j.to_string(), Clone::clone);
+            drifts.push(format!(
+                "table `{name}` row {i} column `{column}`: {ca} vs {cb}"
+            ));
+        }
+        if ra.len() != rb.len() {
+            drifts.push(format!(
+                "table `{name}` row {i}: {} cells vs {}",
+                ra.len(),
+                rb.len()
+            ));
+        }
+    }
+}
+
+/// Two cells agree when equal as strings, or both numeric and within the
+/// relative tolerance (or the absolute epsilon).
+fn cells_agree(a: &str, b: &str, tolerance: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a.parse::<f64>(), b.parse::<f64>()) {
+        (Ok(x), Ok(y)) => {
+            let diff = (x - y).abs();
+            diff <= ABS_EPSILON || diff <= tolerance * x.abs().max(y.abs())
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{Report, Table};
+
+    fn artifact(latency: &str, extra_table: bool) -> Value {
+        let mut report = Report::new("Scenario `x`");
+        let mut table = Table::new("scenario", &["mode", "latency_mean", "conflicts"]);
+        table.push_row(vec!["dynamic-single".into(), latency.into(), "0".into()]);
+        report.push_table(table);
+        if extra_table {
+            let mut t = Table::new("extra", &["k"]);
+            t.push_row(vec!["v".into()]);
+            report.push_table(t);
+        }
+        Value::parse_json(&report.to_json()).unwrap()
+    }
+
+    #[test]
+    fn identical_artifacts_are_clean() {
+        let a = artifact("12.50", false);
+        let diff = diff_reports(&a, &a, 0.0).unwrap();
+        assert!(diff.is_clean());
+        assert_eq!(diff.cells_compared, 3);
+    }
+
+    #[test]
+    fn numeric_drift_respects_the_tolerance() {
+        let a = artifact("100.00", false);
+        let b = artifact("104.00", false);
+        // 4% apart: dirty at exact, clean at 5%.
+        let exact = diff_reports(&a, &b, 0.0).unwrap();
+        assert_eq!(exact.drifts.len(), 1);
+        assert!(
+            exact.drifts[0].contains("latency_mean"),
+            "{:?}",
+            exact.drifts
+        );
+        assert!(exact.drifts[0].contains("100.00") && exact.drifts[0].contains("104.00"));
+        let loose = diff_reports(&a, &b, 0.05).unwrap();
+        assert!(loose.is_clean(), "{:?}", loose.drifts);
+    }
+
+    #[test]
+    fn string_drift_is_always_reported() {
+        let a = artifact("1.0", false);
+        let mut report = Report::new("Scenario `x`");
+        let mut table = Table::new("scenario", &["mode", "latency_mean", "conflicts"]);
+        table.push_row(vec!["dynamic-greedy".into(), "1.0".into(), "0".into()]);
+        report.push_table(table);
+        let b = Value::parse_json(&report.to_json()).unwrap();
+        let diff = diff_reports(&a, &b, 1.0).unwrap();
+        assert_eq!(diff.drifts.len(), 1);
+        assert!(diff.drifts[0].contains("dynamic-single"));
+    }
+
+    #[test]
+    fn missing_tables_and_shape_changes_are_drifts() {
+        let a = artifact("1.0", true);
+        let b = artifact("1.0", false);
+        let diff = diff_reports(&a, &b, 0.0).unwrap();
+        assert_eq!(diff.drifts.len(), 1);
+        assert!(diff.drifts[0].contains("`extra`"));
+        assert!(diff.drifts[0].contains("second"));
+        // Symmetric direction.
+        let diff = diff_reports(&b, &a, 0.0).unwrap();
+        assert!(diff.drifts[0].contains("first"));
+    }
+
+    #[test]
+    fn non_reports_are_a_clean_error() {
+        let junk = Value::parse_json("{\"x\": 1}").unwrap();
+        let a = artifact("1.0", false);
+        assert!(diff_reports(&junk, &a, 0.0).is_err());
+        assert!(diff_reports(&a, &junk, 0.0).is_err());
+    }
+}

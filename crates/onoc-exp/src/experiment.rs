@@ -133,8 +133,9 @@ mod tests {
         let names = registry.names();
         assert_eq!(
             names.len(),
-            17,
-            "the 15 former binaries plus sustained-saturation and sustained-knee"
+            18,
+            "the 15 former binaries plus sustained-saturation, sustained-knee \
+             and energy-vs-load"
         );
         let mut dedup = names.clone();
         dedup.sort_unstable();

@@ -18,6 +18,7 @@
 //! | `traffic-sweep` | `traffic_sweep` | open-loop saturation sweep |
 //! | `saturation` | `saturation` | saturation vs comb size |
 //! | `sustained-saturation` | — (new) | closed-loop sustained knee per allocator |
+//! | `energy-vs-load` | — (new) | energy per bit vs offered load per allocator |
 //! | `workload-sweep` | `workload_sweep` | the panel of synthetic kernels |
 
 mod figures;
@@ -48,6 +49,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(traffic::Saturation),
         Box::new(traffic::SustainedSaturation),
         Box::new(traffic::SustainedKnee),
+        Box::new(traffic::EnergyVsLoad),
         Box::new(traffic::WorkloadSweep),
     ]
 }

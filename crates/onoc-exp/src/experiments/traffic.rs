@@ -2,7 +2,7 @@
 //! sustained-saturation study, and the kernel panel.
 
 use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
-use onoc_sim::{DynamicPolicy, InjectionMode};
+use onoc_sim::{DynamicPolicy, EnergyModel, InjectionMode};
 use onoc_topology::{NodeId, OnocArchitecture, RingTopology};
 use onoc_traffic::{
     KneeSearchConfig, OnOffConfig, SweepGrid, TrafficPattern, find_sustained_knee, run_sweep,
@@ -380,6 +380,103 @@ impl Experiment for SustainedKnee {
             (config.rate_resolution * 100.0).round(),
             total_evaluations
         ));
+        report
+    }
+}
+
+/// Extension — the energy axis the open-loop sweeps never had: energy
+/// per delivered bit vs offered load, per runtime allocator.
+///
+/// Every point runs with an [`onoc_sim::EnergyProbe`] folding the paper
+/// energy model (laser sized from the Table I power budget, per-bit
+/// TX/RX dynamic energy, per-ring MR tuning power). At low load the
+/// always-on MR tuning dominates and pJ/bit is poor; as offered load
+/// grows the static power amortises over more bits and pJ/bit falls
+/// toward the laser + dynamic floor — the energy-proportionality curve
+/// the photonic-NoC literature plots (Li et al.; Das et al.).
+pub struct EnergyVsLoad;
+
+impl Experiment for EnergyVsLoad {
+    fn name(&self) -> &'static str {
+        "energy-vs-load"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Energy per bit vs offered load per allocator (paper energy model)"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let rates = ctx.scale.pick(
+            vec![0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16],
+            vec![0.002, 0.01, 0.04, 0.16],
+            vec![0.002, 0.04],
+        );
+        let horizon = ctx.scale.pick(20_000, 5_000, 2_000);
+        let allocators: [(&str, DynamicPolicy); 2] = [
+            ("dynamic-single", DynamicPolicy::Single),
+            ("dynamic-greedy8", DynamicPolicy::Greedy { cap: 8 }),
+        ];
+        let mut report = Report::new(format!(
+            "Energy per bit vs offered load (paper energy model), \
+             16-node ring at 8 λ, seed {}",
+            ctx.seed
+        ));
+        let model = EnergyModel::paper(16, 8);
+        report.push_text(format!(
+            "model: laser {:.4} mW/λ active, TX {} + RX {} fJ/bit, MR tuning \
+             {} mW/ring × {} rings, {} GHz clock",
+            model.laser_mw,
+            model.tx_fj_per_bit,
+            model.rx_fj_per_bit,
+            model.mr_tuning_mw,
+            onoc_sim::MRS_PER_NODE_PER_WAVELENGTH * 16 * 8,
+            model.clock_ghz
+        ));
+        let mut table = Table::new(
+            "energy_vs_load",
+            &[
+                "allocator",
+                "injection_rate",
+                "offered_bits_per_cycle",
+                "accepted_bits_per_cycle",
+                "energy_pj_per_bit",
+                "energy_static_frac",
+                "latency_p99",
+            ],
+        );
+        for (label, policy) in allocators {
+            let grid = SweepGrid {
+                patterns: vec![TrafficPattern::UniformRandom],
+                injection_rates: rates.clone(),
+                wavelengths: vec![8],
+                ring_sizes: vec![16],
+                horizon,
+                policy,
+                energy: Some(model.clone()),
+                ..SweepGrid::saturation_default(ctx.seed)
+            };
+            let outcome = run_sweep(&grid, ctx.threads);
+            for r in &outcome.results {
+                table.push_row(vec![
+                    label.to_string(),
+                    r.scenario.injection_rate.to_string(),
+                    format!("{:.3}", r.offered_load),
+                    format!("{:.3}", r.accepted_throughput),
+                    format!("{:.4}", r.energy_pj_per_bit),
+                    format!("{:.4}", r.energy_static_frac),
+                    format!("{:.2}", r.latency.p99),
+                ]);
+            }
+        }
+        report.push_table(table);
+        report.push_text(
+            "Reading: at low load the always-on MR tuning power dominates and\n\
+             every delivered bit is expensive; pJ/bit falls roughly as 1/load\n\
+             until the fabric saturates, where the curve flattens at the\n\
+             laser + TX/RX floor. The greedy allocator buys its lower latency\n\
+             with more laser-on lane-cycles per message, so its floor sits\n\
+             slightly higher than single-lane arbitration at equal load.",
+        );
         report
     }
 }

@@ -11,12 +11,15 @@
 //!   access),
 //! * [`scenario::run_spec`] — the generic interpreter: any spec file runs
 //!   without new Rust code,
-//! * [`Experiment`] + [`Registry`] — the 16 named paper
+//! * [`Experiment`] + [`Registry`] — the 18 named paper
 //!   experiments/extensions (the 15 former hand-rolled `onoc-bench`
-//!   binaries plus the closed-loop `sustained-saturation` study), each
+//!   binaries plus the closed-loop `sustained-saturation` /
+//!   `sustained-knee` studies and the `energy-vs-load` curve), each
 //!   returning a structured [`Report`],
 //! * [`artifact`] — the table/CSV/JSON output layer replacing per-binary
 //!   `println!` plumbing,
+//! * [`diff`] — field-by-field comparison of two report artifacts
+//!   (`onoc diff a.json b.json`), non-zero exit on drift,
 //! * the `onoc` CLI (`onoc list`, `onoc run fig6a --quick`,
 //!   `onoc run --spec scenario.toml`, `onoc sweep …`) — thin lookups over
 //!   the registry and the spec runner.
@@ -61,6 +64,7 @@
 
 pub mod artifact;
 pub mod bench;
+pub mod diff;
 pub mod experiment;
 pub mod experiments;
 pub mod scenario;
@@ -68,10 +72,11 @@ pub mod spec;
 pub mod value;
 
 pub use artifact::{Block, Report, Table};
+pub use diff::{DiffReport, diff_reports};
 pub use experiment::{Experiment, Registry, RunContext, default_threads};
-pub use scenario::{ScenarioError, run_spec};
+pub use scenario::{ScenarioError, capture_trace, run_spec};
 pub use spec::{
-    AllocatorSpec, ArchSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, ScenarioSpecBuilder,
-    SpecError, WorkloadSpec,
+    AllocatorSpec, ArchSpec, EnergySpec, HeuristicKind, KernelKind, ReportKind, Scale,
+    ScenarioSpec, ScenarioSpecBuilder, SpecError, WorkloadSpec,
 };
 pub use value::{ParseError, Value};

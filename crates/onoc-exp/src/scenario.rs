@@ -12,8 +12,8 @@
 
 use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
 use onoc_sim::{
-    DynamicSimulator, FlowMatrix, OpenLoopReport, OpenLoopSimulator, StaticFlowMap,
-    SynthesisSummary, WavelengthMode,
+    DynamicSimulator, EnergyProbe, EnergyReport, FlowMatrix, OpenLoopReport, OpenLoopSimulator,
+    SimScratch, StaticFlowMap, SynthesisSummary, WavelengthMode,
 };
 use onoc_topology::{OnocArchitecture, RingTopology};
 use onoc_traffic::{
@@ -164,7 +164,7 @@ fn closed_loop_instance(spec: &ScenarioSpec) -> Result<ProblemInstance, Scenario
                 RouteStrategy::Shortest,
             )
             .map_err(|e| build_err("mapped application", e))?;
-            let (rows, cols) = grid_dims(spec.arch.nodes);
+            let (rows, cols) = OnocArchitecture::near_square_grid(spec.arch.nodes);
             let arch = OnocArchitecture::builder()
                 .grid_dimensions(rows, cols)
                 .wavelengths(spec.arch.wavelengths)
@@ -175,19 +175,6 @@ fn closed_loop_instance(spec: &ScenarioSpec) -> Result<ProblemInstance, Scenario
         }
         _ => unreachable!("caller dispatches only closed-loop workloads here"),
     }
-}
-
-/// Near-square grid factorisation of the ring size (serpentine layout).
-fn grid_dims(nodes: usize) -> (usize, usize) {
-    let mut best = (1, nodes);
-    let mut r = 1;
-    while r * r <= nodes {
-        if nodes.is_multiple_of(r) {
-            best = (r, nodes / r);
-        }
-        r += 1;
-    }
-    best
 }
 
 fn objectives_table(
@@ -335,6 +322,8 @@ fn open_loop_table(label: &str) -> Table {
             "credit_occupancy",
             "occupancy",
             "conflicts",
+            "energy_pj_per_bit",
+            "energy_static_frac",
         ],
     )
 }
@@ -347,6 +336,7 @@ fn push_open_loop_row(
     injection_rate: f64,
     offered: f64,
     report: &OpenLoopReport,
+    energy: &EnergyReport,
 ) {
     let latency = report.latency();
     table.push_row(vec![
@@ -369,6 +359,8 @@ fn push_open_loop_row(
         format!("{:.5}", report.credit_occupancy),
         format!("{:.5}", report.mean_wavelength_occupancy()),
         report.conflict_count.to_string(),
+        format!("{:.4}", energy.pj_per_bit()),
+        format!("{:.4}", energy.static_fraction()),
     ]);
 }
 
@@ -452,8 +444,19 @@ fn push_conflict_budget(report: &mut Report, summary: &SynthesisSummary) {
     }
 }
 
+/// The energy model a spec resolves to: its own `[energy]` table when
+/// present, the paper preset otherwise — so every message-stream
+/// artifact carries energy columns.
+fn resolve_energy(spec: &ScenarioSpec) -> onoc_sim::EnergyModel {
+    spec.energy
+        .clone()
+        .unwrap_or_default()
+        .resolve(spec.arch.nodes, spec.arch.wavelengths)
+}
+
 /// Runs a message-stream workload (synthetic or trace) through the
-/// open/closed-loop engine and tabulates one scenario row.
+/// open/closed-loop engine — report mode and energy model from the
+/// spec — and tabulates one scenario row.
 fn run_stream(
     spec: &ScenarioSpec,
     trace: &TrafficTrace,
@@ -475,11 +478,30 @@ fn run_stream(
         mode,
         spec.injection,
     );
+    let model = resolve_energy(spec);
+    let mut probe = EnergyProbe::new(model, spec.arch.nodes, spec.arch.wavelengths);
     let run = sim
-        .run(trace.source())
+        .run_with_scratch_probed(
+            trace.source(),
+            &mut SimScratch::new(),
+            spec.report.mode(),
+            &mut probe,
+        )
         .map_err(|e| ScenarioError::Simulation {
             message: e.to_string(),
         })?;
+    let energy = probe.report();
+    report.push_text(format!(
+        "energy: {:.4} pJ/bit over {:.0} bits ({:.0}% static — laser {:.1} pJ, \
+         MR tuning {:.1} pJ, TX+RX {:.1} pJ; {} report mode)",
+        energy.pj_per_bit(),
+        energy.bits,
+        energy.static_fraction() * 100.0,
+        energy.laser_fj / 1e3,
+        energy.tuning_fj / 1e3,
+        energy.dynamic_fj() / 1e3,
+        spec.report.name(),
+    ));
     let mut table = open_loop_table("scenario");
     push_open_loop_row(
         &mut table,
@@ -488,6 +510,7 @@ fn run_stream(
         injection_rate,
         offered_load,
         &run,
+        &energy,
     );
     report.push_table(table);
     Ok(())
@@ -599,6 +622,10 @@ fn run_sweep_workload(
         policy: *policy,
         burstiness: burstiness.map(|(mean_on, mean_off)| OnOffConfig { mean_on, mean_off }),
         injection: spec.injection,
+        // One model for the whole grid, resolved at the spec's nominal
+        // architecture (per-point laser re-derivation would make sweep
+        // rows incomparable across the comb/ring axes).
+        energy: Some(resolve_energy(spec)),
     };
     let scenario_count = grid.scenarios().len();
     let outcome = run_sweep(&grid, threads);
@@ -608,6 +635,63 @@ fn run_sweep_workload(
     ));
     report.push_table(sweep_table("sweep", &outcome));
     Ok(())
+}
+
+/// Renders the exact message stream a spec's run would inject as a
+/// `cycle,src,dst,size` CSV (the `onoc run --spec f.toml --capture-trace
+/// out.csv` path), making synthetic sweeps replayable artifacts: the
+/// captured file feeds back through the `trace` workload kind under any
+/// allocator or injection policy.
+///
+/// Synthetic workloads regenerate their seeded trace (identical to what
+/// [`run_spec`] simulates, horizon scaling included); trace workloads
+/// re-emit the normalised form of their input file.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Build`] for workloads without a single
+/// message stream (task graphs, sweeps) or when a trace file cannot be
+/// read.
+pub fn capture_trace(spec: &ScenarioSpec) -> Result<String, ScenarioError> {
+    match &spec.workload {
+        WorkloadSpec::Synthetic {
+            pattern,
+            injection_rate,
+            message_bits,
+            horizon,
+            burstiness,
+        } => {
+            let config = TrafficConfig {
+                nodes: spec.arch.nodes,
+                pattern: pattern.clone(),
+                injection_rate: *injection_rate,
+                message_volume: Bits::new(*message_bits),
+                horizon: scaled_horizon(spec.scale, *horizon),
+                seed: spec.seed,
+                burstiness: burstiness.map(|(mean_on, mean_off)| OnOffConfig { mean_on, mean_off }),
+            };
+            Ok(generate(&config).to_csv())
+        }
+        WorkloadSpec::Trace { path } => {
+            let raw = std::fs::read_to_string(path).map_err(|e| ScenarioError::Build {
+                stage: "trace file",
+                message: format!("{path}: {e}"),
+            })?;
+            let trace = TrafficTrace::from_csv_str(&raw).map_err(|e| ScenarioError::Build {
+                stage: "trace file",
+                message: format!("{path}: {e}"),
+            })?;
+            Ok(trace.to_csv())
+        }
+        other => Err(ScenarioError::Build {
+            stage: "trace capture",
+            message: format!(
+                "a `{}` workload has no single message stream to capture \
+                 (only synthetic and trace workloads do)",
+                other.kind()
+            ),
+        }),
+    }
 }
 
 /// Tabulates a sweep outcome under the sweep runner's canonical header.
@@ -699,11 +783,24 @@ max_lanes_per_flow = 4
         let scenario = report.tables()[1];
         assert_eq!(scenario.rows().len(), 1);
         assert_eq!(scenario.rows()[0][0], "static-flow-synthesis");
+        let conflicts_col = scenario
+            .columns()
+            .iter()
+            .position(|c| c == "conflicts")
+            .unwrap();
         assert_eq!(
-            scenario.rows()[0].last().unwrap(),
+            scenario.rows()[0][conflicts_col],
             "0",
             "synthesised maps replay their own trace conflict-free"
         );
+        // The energy columns ride on every message-stream artifact.
+        let energy_col = scenario
+            .columns()
+            .iter()
+            .position(|c| c == "energy_pj_per_bit")
+            .unwrap();
+        let pj: f64 = scenario.rows()[0][energy_col].parse().unwrap();
+        assert!(pj > 0.0, "energy column must be populated");
     }
 
     #[test]
@@ -907,6 +1004,157 @@ max_lanes_per_flow = 4
             "allocation summary must name the budget"
         );
         assert!(rendered.contains("lane-sharing pair"), "{rendered}");
+    }
+
+    #[test]
+    fn streaming_report_knob_runs_and_keeps_exact_metrics() {
+        use crate::spec::ReportKind;
+        let build = |report: ReportKind| {
+            run_spec(
+                &ScenarioSpec::builder("streamed")
+                    .scale(Scale::Smoke)
+                    .workload(WorkloadSpec::Synthetic {
+                        pattern: TrafficPattern::UniformRandom,
+                        injection_rate: 0.05,
+                        message_bits: 256.0,
+                        horizon: 20_000,
+                        burstiness: None,
+                    })
+                    .allocator(AllocatorSpec::Dynamic {
+                        policy: DynamicPolicy::Single,
+                    })
+                    .report(report)
+                    .build()
+                    .unwrap(),
+                2,
+            )
+            .unwrap()
+        };
+        let full = build(ReportKind::Full);
+        let streaming = build(ReportKind::Streaming);
+        let row = |r: &Report, col: &str| -> String {
+            let t = *r.tables().last().unwrap();
+            let idx = t.columns().iter().position(|c| c == col).unwrap();
+            t.rows()[0][idx].clone()
+        };
+        // Exact metrics agree across modes; energy folds identically.
+        for col in [
+            "messages",
+            "accepted_bits_per_cycle",
+            "latency_mean",
+            "latency_max",
+            "energy_pj_per_bit",
+            "energy_static_frac",
+        ] {
+            assert_eq!(row(&full, col), row(&streaming, col), "{col}");
+        }
+        // Quantiles may differ (nearest-rank within one log bin).
+        let p99_full: f64 = row(&full, "latency_p99").parse().unwrap();
+        let p99_stream: f64 = row(&streaming, "latency_p99").parse().unwrap();
+        assert!(p99_stream <= p99_full + 1.0 && p99_full <= p99_stream * 1.125 + 1.0);
+    }
+
+    #[test]
+    fn captured_traces_replay_to_the_same_message_count() {
+        // Capture a synthetic run's stream, feed it back through the
+        // trace workload kind, and compare the scenario rows.
+        let synthetic = ScenarioSpec::builder("origin")
+            .scale(Scale::Smoke)
+            .workload(WorkloadSpec::Synthetic {
+                pattern: TrafficPattern::Transpose,
+                injection_rate: 0.02,
+                message_bits: 128.0,
+                horizon: 10_000,
+                burstiness: None,
+            })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        let csv = capture_trace(&synthetic).unwrap();
+        let path = std::env::temp_dir().join("onoc_exp_capture_roundtrip.csv");
+        std::fs::write(&path, &csv).unwrap();
+        let replay = ScenarioSpec::builder("replay")
+            .scale(Scale::Smoke)
+            .workload(WorkloadSpec::Trace {
+                path: path.to_string_lossy().into_owned(),
+            })
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        let origin_report = run_spec(&synthetic, 2).unwrap();
+        let replay_report = run_spec(&replay, 2).unwrap();
+        let row = |r: &Report, col: &str| -> String {
+            let t = *r.tables().last().unwrap();
+            let idx = t.columns().iter().position(|c| c == col).unwrap();
+            t.rows()[0][idx].clone()
+        };
+        for col in [
+            "messages",
+            "latency_mean",
+            "latency_max",
+            "energy_pj_per_bit",
+        ] {
+            assert_eq!(row(&origin_report, col), row(&replay_report, col), "{col}");
+        }
+        std::fs::remove_file(&path).ok();
+        // Workloads without a message stream are a clean error.
+        let err = capture_trace(&ScenarioSpec::builder("graph").build().unwrap()).unwrap_err();
+        assert!(matches!(err, ScenarioError::Build { stage, .. } if stage == "trace capture"));
+    }
+
+    #[test]
+    fn energy_overrides_change_the_artifact() {
+        use crate::spec::EnergySpec;
+        let base = ScenarioSpec::builder("base")
+            .scale(Scale::Smoke)
+            .workload(synthetic_uniform_small())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        let hot = ScenarioSpec::builder("hot")
+            .scale(Scale::Smoke)
+            .workload(synthetic_uniform_small())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .energy(EnergySpec {
+                mr_tuning_mw: Some(1.0),
+                ..EnergySpec::default()
+            })
+            .build()
+            .unwrap();
+        let col = |spec: &ScenarioSpec| -> f64 {
+            let report = run_spec(spec, 2).unwrap();
+            let t = *report.tables().last().unwrap();
+            let idx = t
+                .columns()
+                .iter()
+                .position(|c| c == "energy_pj_per_bit")
+                .unwrap();
+            t.rows()[0][idx].parse().unwrap()
+        };
+        let (base_pj, hot_pj) = (col(&base), col(&hot));
+        assert!(base_pj > 0.0);
+        assert!(
+            hot_pj > base_pj * 5.0,
+            "a 50× tuning override must dominate: {base_pj} vs {hot_pj}"
+        );
+    }
+
+    fn synthetic_uniform_small() -> WorkloadSpec {
+        WorkloadSpec::Synthetic {
+            pattern: TrafficPattern::UniformRandom,
+            injection_rate: 0.02,
+            message_bits: 256.0,
+            horizon: 10_000,
+            burstiness: None,
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! [`run_spec`](crate::scenario::run_spec) — new scenarios need a file,
 //! not a binary. Every spec round-trips exactly through both serializers.
 
-use onoc_sim::{DynamicPolicy, FlowAllocPolicy, InjectionMode};
+use onoc_sim::{DynamicPolicy, EnergyModel, FlowAllocPolicy, InjectionMode};
 use onoc_topology::NodeId;
 use onoc_traffic::TrafficPattern;
 use onoc_wa::{Nsga2Config, ObjectiveSet};
@@ -348,6 +348,139 @@ impl AllocatorSpec {
     }
 }
 
+/// How a message-stream scenario retains per-message results
+/// (the spec form of [`onoc_sim::ReportMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportKind {
+    /// Retain every record: exact quantiles, per-flow latency, conflict
+    /// examples. Memory is `O(messages)`.
+    #[default]
+    Full,
+    /// Fold retirements into fixed-size histograms as they happen:
+    /// `O(bins + sources)` memory for paper-scale corpus runs, quantiles
+    /// within one log bin of exact.
+    Streaming,
+}
+
+impl ReportKind {
+    /// The machine-friendly name (`full` / `streaming`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReportKind::Full => "full",
+            ReportKind::Streaming => "streaming",
+        }
+    }
+
+    /// Parses [`ReportKind::name`] output.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "full" => Some(ReportKind::Full),
+            "streaming" => Some(ReportKind::Streaming),
+            _ => None,
+        }
+    }
+
+    /// The engine-level report mode this spec value selects.
+    #[must_use]
+    pub fn mode(self) -> onoc_sim::ReportMode {
+        match self {
+            ReportKind::Full => onoc_sim::ReportMode::Full,
+            ReportKind::Streaming => onoc_sim::ReportMode::Streaming,
+        }
+    }
+}
+
+/// The `[energy]` table: a named parameter preset plus per-coefficient
+/// overrides, resolved into an [`EnergyModel`] at run time.
+///
+/// Every field that is `None` falls back to the preset's value, so the
+/// document form round-trips exactly (only explicit overrides are
+/// written back).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergySpec {
+    /// Override: electrical laser power per active wavelength, in mW
+    /// (preset: derived from the architecture's mean path-loss budget).
+    pub laser_mw: Option<f64>,
+    /// Override: dynamic transmitter energy per bit, in fJ.
+    pub tx_fj_per_bit: Option<f64>,
+    /// Override: dynamic receiver energy per bit, in fJ.
+    pub rx_fj_per_bit: Option<f64>,
+    /// Override: thermal tuning power per micro-ring, in mW.
+    pub mr_tuning_mw: Option<f64>,
+    /// Override: core clock in GHz.
+    pub clock_ghz: Option<f64>,
+}
+
+/// The only named preset so far (`preset = "paper"`): Table I devices on
+/// the spec's architecture, [`onoc_photonics::EnergyParams::paper`]
+/// coefficients, 1 GHz clock.
+pub const ENERGY_PRESET_PAPER: &str = "paper";
+
+impl EnergySpec {
+    /// Resolves the spec into a concrete model for a `nodes`-core ring
+    /// with a `wavelengths`-channel comb: the paper preset with this
+    /// spec's overrides applied. When `laser_mw` is overridden, the
+    /// preset's all-pairs power-budget derivation — whose only output is
+    /// the laser power — is skipped entirely.
+    #[must_use]
+    pub fn resolve(&self, nodes: usize, wavelengths: usize) -> EnergyModel {
+        let mut model = match self.laser_mw {
+            Some(laser_mw) => {
+                EnergyModel::new(laser_mw, onoc_photonics::EnergyParams::paper(), 1.0)
+            }
+            None => EnergyModel::paper(nodes, wavelengths),
+        };
+        if let Some(v) = self.tx_fj_per_bit {
+            model.tx_fj_per_bit = v;
+        }
+        if let Some(v) = self.rx_fj_per_bit {
+            model.rx_fj_per_bit = v;
+        }
+        if let Some(v) = self.mr_tuning_mw {
+            model.mr_tuning_mw = v;
+        }
+        if let Some(v) = self.clock_ghz {
+            model.clock_ghz = v;
+        }
+        model
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        let positive = [
+            ("energy.laser_mw", self.laser_mw),
+            ("energy.clock_ghz", self.clock_ghz),
+        ];
+        for (field, v) in positive {
+            if let Some(v) = v {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(SpecError::Invalid {
+                        field,
+                        message: format!("must be positive and finite, got {v}"),
+                    });
+                }
+            }
+        }
+        let nonnegative = [
+            ("energy.tx_fj_per_bit", self.tx_fj_per_bit),
+            ("energy.rx_fj_per_bit", self.rx_fj_per_bit),
+            ("energy.mr_tuning_mw", self.mr_tuning_mw),
+        ];
+        for (field, v) in nonnegative {
+            if let Some(v) = v {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(SpecError::Invalid {
+                        field,
+                        message: format!("must be finite and >= 0, got {v}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Why a spec could not be built or parsed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpecError {
@@ -420,6 +553,15 @@ pub struct ScenarioSpec {
     /// default; ignored by the closed task-graph workloads, which are
     /// dependence-gated by construction).
     pub injection: InjectionMode,
+    /// Report retention for message-stream workloads (`full` by
+    /// default; `streaming` runs paper-scale corpora in
+    /// `O(bins + sources)` memory).
+    pub report: ReportKind,
+    /// Optional `[energy]` table. When present, message-stream runs fold
+    /// an [`EnergyReport`](onoc_sim::EnergyReport) with the resolved
+    /// model; when absent, the paper preset is used for the artifact's
+    /// energy columns.
+    pub energy: Option<EnergySpec>,
 }
 
 impl ScenarioSpec {
@@ -439,6 +581,8 @@ impl ScenarioSpec {
                 generations: None,
             },
             injection: InjectionMode::Open,
+            report: ReportKind::Full,
+            energy: None,
         }
     }
 
@@ -480,6 +624,9 @@ impl ScenarioSpec {
         root.insert("seed", self.seed);
         root.insert("scale", self.scale.name());
         root.insert("objectives", objectives_name(self.objectives));
+        if self.report != ReportKind::Full {
+            root.insert("report", self.report.name());
+        }
 
         let mut arch = Value::table();
         arch.insert("nodes", self.arch.nodes);
@@ -595,6 +742,23 @@ impl ScenarioSpec {
             }
             root.insert("injection", injection);
         }
+        if let Some(energy) = &self.energy {
+            let mut table = Value::table();
+            table.insert("preset", ENERGY_PRESET_PAPER);
+            let overrides = [
+                ("laser_mw", energy.laser_mw),
+                ("tx_fj_per_bit", energy.tx_fj_per_bit),
+                ("rx_fj_per_bit", energy.rx_fj_per_bit),
+                ("mr_tuning_mw", energy.mr_tuning_mw),
+                ("clock_ghz", energy.clock_ghz),
+            ];
+            for (key, v) in overrides {
+                if let Some(v) = v {
+                    table.insert(key, v);
+                }
+            }
+            root.insert("energy", table);
+        }
         root
     }
 
@@ -646,6 +810,20 @@ impl ScenarioSpec {
             None => InjectionMode::Open,
             Some(table) => parse_injection(table)?,
         };
+        let report = match value.get("report") {
+            None => ReportKind::Full,
+            Some(v) => {
+                let raw = v
+                    .as_str()
+                    .ok_or_else(|| invalid("report", "not a string"))?;
+                ReportKind::from_name(raw)
+                    .ok_or_else(|| invalid("report", format!("unknown report mode {raw:?}")))?
+            }
+        };
+        let energy = match value.get("energy") {
+            None => None,
+            Some(table) => Some(parse_energy(table)?),
+        };
         ScenarioSpecBuilder {
             name,
             seed,
@@ -655,6 +833,8 @@ impl ScenarioSpec {
             workload,
             allocator,
             injection,
+            report,
+            energy,
         }
         .build()
     }
@@ -671,6 +851,8 @@ pub struct ScenarioSpecBuilder {
     workload: WorkloadSpec,
     allocator: AllocatorSpec,
     injection: InjectionMode,
+    report: ReportKind,
+    energy: Option<EnergySpec>,
 }
 
 impl ScenarioSpecBuilder {
@@ -727,6 +909,20 @@ impl ScenarioSpecBuilder {
     #[must_use]
     pub fn injection(mut self, injection: InjectionMode) -> Self {
         self.injection = injection;
+        self
+    }
+
+    /// Sets the report retention mode.
+    #[must_use]
+    pub fn report(mut self, report: ReportKind) -> Self {
+        self.report = report;
+        self
+    }
+
+    /// Sets the `[energy]` table.
+    #[must_use]
+    pub fn energy(mut self, energy: EnergySpec) -> Self {
+        self.energy = Some(energy);
         self
     }
 
@@ -922,6 +1118,21 @@ impl ScenarioSpecBuilder {
                 }
             }
         }
+        if self.report == ReportKind::Streaming
+            && matches!(
+                self.workload,
+                WorkloadSpec::PaperApp | WorkloadSpec::Kernel { .. }
+            )
+        {
+            return Err(invalid(
+                "report",
+                "streaming reports apply to message-stream workloads; \
+                 task-graph runs do not use the open-loop engine",
+            ));
+        }
+        if let Some(energy) = &self.energy {
+            energy.validate()?;
+        }
         let closed_loop = matches!(
             self.workload,
             WorkloadSpec::PaperApp | WorkloadSpec::Kernel { .. }
@@ -953,6 +1164,8 @@ impl ScenarioSpecBuilder {
             workload: self.workload,
             allocator: self.allocator,
             injection: self.injection,
+            report: self.report,
+            energy: self.energy,
         })
     }
 }
@@ -1328,6 +1541,39 @@ fn parse_allocator(table: &Value) -> Result<AllocatorSpec, SpecError> {
     }
 }
 
+fn parse_energy(table: &Value) -> Result<EnergySpec, SpecError> {
+    match table.get("preset") {
+        None => {}
+        Some(v) => {
+            let raw = v
+                .as_str()
+                .ok_or_else(|| invalid("energy.preset", "not a string"))?;
+            if raw != ENERGY_PRESET_PAPER {
+                return Err(invalid(
+                    "energy.preset",
+                    format!("unknown preset {raw:?} (only \"paper\" is defined)"),
+                ));
+            }
+        }
+    }
+    let opt_float = |key, field: &'static str| -> Result<Option<f64>, SpecError> {
+        match table.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_float()
+                .map(Some)
+                .ok_or_else(|| invalid(field, "not a number")),
+        }
+    };
+    Ok(EnergySpec {
+        laser_mw: opt_float("laser_mw", "energy.laser_mw")?,
+        tx_fj_per_bit: opt_float("tx_fj_per_bit", "energy.tx_fj_per_bit")?,
+        rx_fj_per_bit: opt_float("rx_fj_per_bit", "energy.rx_fj_per_bit")?,
+        mr_tuning_mw: opt_float("mr_tuning_mw", "energy.mr_tuning_mw")?,
+        clock_ghz: opt_float("clock_ghz", "energy.clock_ghz")?,
+    })
+}
+
 fn parse_injection(table: &Value) -> Result<InjectionMode, SpecError> {
     match req_str(table, "mode") {
         Err(SpecError::Missing { .. }) => Err(SpecError::Missing {
@@ -1665,6 +1911,133 @@ kind = "nsga2"
             .build()
             .unwrap_err();
         assert!(matches!(err, SpecError::Invalid { field, .. } if field == "injection.mode"));
+    }
+
+    #[test]
+    fn energy_table_round_trips_in_both_formats() {
+        // Bare preset, and preset + overrides: both must survive the
+        // TOML and JSON round trips exactly.
+        for energy in [
+            EnergySpec::default(),
+            EnergySpec {
+                laser_mw: Some(0.004),
+                tx_fj_per_bit: Some(75.0),
+                rx_fj_per_bit: None,
+                mr_tuning_mw: Some(0.05),
+                clock_ghz: Some(2.0),
+            },
+        ] {
+            let spec = ScenarioSpec::builder("energetic")
+                .workload(synthetic_uniform())
+                .allocator(AllocatorSpec::Dynamic {
+                    policy: DynamicPolicy::Single,
+                })
+                .energy(energy.clone())
+                .build()
+                .unwrap();
+            let toml = spec.to_toml();
+            assert!(toml.contains("[energy]"), "{toml}");
+            assert!(toml.contains("preset = \"paper\""), "{toml}");
+            assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+            assert_eq!(ScenarioSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+            assert_eq!(spec.energy, Some(energy));
+        }
+        // Omitted [energy] stays omitted.
+        let plain = ScenarioSpec::builder("plain")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(plain.energy, None);
+        assert!(!plain.to_toml().contains("[energy]"));
+    }
+
+    #[test]
+    fn energy_overrides_resolve_over_the_paper_preset() {
+        let spec = EnergySpec {
+            laser_mw: Some(0.5),
+            mr_tuning_mw: Some(0.0),
+            ..EnergySpec::default()
+        };
+        let model = spec.resolve(16, 8);
+        assert_eq!(model.laser_mw, 0.5);
+        assert_eq!(model.mr_tuning_mw, 0.0);
+        // Untouched coefficients fall back to the preset.
+        assert_eq!(model.tx_fj_per_bit, 50.0);
+        assert_eq!(model.clock_ghz, 1.0);
+    }
+
+    #[test]
+    fn energy_validation_rejects_bad_overrides() {
+        let build = |energy: EnergySpec| {
+            ScenarioSpec::builder("bad")
+                .workload(synthetic_uniform())
+                .allocator(AllocatorSpec::Dynamic {
+                    policy: DynamicPolicy::Single,
+                })
+                .energy(energy)
+                .build()
+        };
+        let err = build(EnergySpec {
+            laser_mw: Some(0.0),
+            ..EnergySpec::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "energy.laser_mw"));
+        let err = build(EnergySpec {
+            tx_fj_per_bit: Some(-1.0),
+            ..EnergySpec::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "energy.tx_fj_per_bit"));
+        // Unknown presets are named in the error.
+        let err = ScenarioSpec::from_toml_str(
+            "name = \"x\"\n[workload]\nkind = \"synthetic\"\npattern = \"uniform\"\n\
+             injection_rate = 0.01\nmessage_bits = 512.0\nhorizon = 1000\n\
+             [allocator]\nkind = \"dynamic\"\n[energy]\npreset = \"exotic\"\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "energy.preset"));
+    }
+
+    #[test]
+    fn report_knob_round_trips_and_validates() {
+        let spec = ScenarioSpec::builder("streamed")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .report(ReportKind::Streaming)
+            .build()
+            .unwrap();
+        let toml = spec.to_toml();
+        assert!(toml.contains("report = \"streaming\""), "{toml}");
+        assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+        // Full is the omitted default.
+        let full = ScenarioSpec::builder("full")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(full.report, ReportKind::Full);
+        assert!(!full.to_toml().contains("report ="));
+        // Task-graph workloads reject the knob (they never run the
+        // open-loop engine).
+        let err = ScenarioSpec::builder("bad")
+            .report(ReportKind::Streaming)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "report"));
+        assert_eq!(
+            ReportKind::from_name("streaming"),
+            Some(ReportKind::Streaming)
+        );
+        assert_eq!(ReportKind::from_name("warp"), None);
     }
 
     #[test]

@@ -254,6 +254,19 @@ impl Value {
         write_json(&mut out, self, 0);
         out
     }
+
+    /// Serializes as single-line JSON (no whitespace between tokens,
+    /// sorted keys) — the JSONL form for append-only history files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a float is non-finite.
+    #[must_use]
+    pub fn to_json_compact(&self) -> String {
+        let mut out = String::new();
+        write_json_compact(&mut out, self);
+        out
+    }
 }
 
 impl From<bool> for Value {
@@ -828,6 +841,39 @@ fn write_json(out: &mut String, value: &Value, indent: usize) {
             }
             out.push('\n');
             out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// The single-line companion of [`write_json`]: same escaping and float
+/// formatting, no indentation or newlines.
+fn write_json_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Str(_) => {
+            write_json(out, value, 0);
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Table(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape(key));
+                out.push_str("\":");
+                write_json_compact(out, item);
+            }
             out.push('}');
         }
     }

@@ -68,6 +68,14 @@ fn golden_headers() -> Vec<(&'static str, &'static str, String)> {
                 .into(),
         ),
         (
+            "energy-vs-load",
+            "energy_vs_load",
+            "allocator,injection_rate,offered_bits_per_cycle,\
+             accepted_bits_per_cycle,energy_pj_per_bit,energy_static_frac,\
+             latency_p99"
+                .into(),
+        ),
+        (
             "workload-sweep",
             "workload_sweep",
             "workload,tasks,comms,pairs,front,exec_lo,exec_hi,fj_lo,fj_hi,ber_lo,ber_hi".into(),
@@ -148,6 +156,7 @@ fn registry_order_matches_the_documented_index() {
             "saturation",
             "sustained-saturation",
             "sustained-knee",
+            "energy-vs-load",
             "workload-sweep",
         ]
     );

@@ -1,0 +1,112 @@
+//! Device-level energy coefficients for the link energy model.
+//!
+//! The paper's analytic objective (DESIGN.md S6) accounts only for laser
+//! electrical energy; the measurement-side model in `onoc-sim` adds the
+//! two device contributions the photonic-NoC literature treats as
+//! first-class (Li et al., *Energy-efficient optical crossbars on chip*;
+//! Das et al., arXiv:1608.06972):
+//!
+//! * **dynamic TX/RX energy per bit** — modulator driver and
+//!   photodetector/TIA switching energy, proportional to traffic,
+//! * **per-ring MR tuning power** — thermal power holding every
+//!   micro-ring resonator on resonance, burned for the whole run
+//!   regardless of traffic.
+//!
+//! [`EnergyParams`] bundles these coefficients; the laser term is derived
+//! separately from [`Vcsel`](crate::Vcsel) /
+//! [`Photodetector`](crate::Photodetector) and the path-loss budget.
+
+/// Traffic-dependent and always-on energy coefficients of one optical
+/// link, excluding the laser (which is sized from the power budget).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::EnergyParams;
+///
+/// let paper = EnergyParams::paper();
+/// // 100 bits through one TX/RX pair cost 100 × (tx + rx) fJ of
+/// // dynamic energy.
+/// let dynamic_fj = 100.0 * (paper.tx_fj_per_bit + paper.rx_fj_per_bit);
+/// assert!((dynamic_fj - 10_000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Dynamic transmitter energy per bit (modulator + driver), in fJ.
+    pub tx_fj_per_bit: f64,
+    /// Dynamic receiver energy per bit (photodetector + TIA), in fJ.
+    pub rx_fj_per_bit: f64,
+    /// Thermal tuning power per micro-ring resonator held on resonance,
+    /// in mW. Burned continuously by every MR of the fabric.
+    pub mr_tuning_mw: f64,
+}
+
+impl EnergyParams {
+    /// Representative silicon-photonics values used with the paper's
+    /// Table I devices: 50 fJ/bit modulator, 50 fJ/bit receiver, 20 µW
+    /// thermal tuning per ring.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            tx_fj_per_bit: 50.0,
+            rx_fj_per_bit: 50.0,
+            mr_tuning_mw: 0.02,
+        }
+    }
+
+    /// Validates that every coefficient is finite and nonnegative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending coefficient.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("tx_fj_per_bit", self.tx_fj_per_bit),
+            ("rx_fj_per_bit", self.rx_fj_per_bit),
+            ("mr_tuning_mw", self.mr_tuning_mw),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "energy parameter `{name}` must be finite and >= 0, got {v}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_are_the_documented_point() {
+        let p = EnergyParams::paper();
+        assert_eq!(p.tx_fj_per_bit, 50.0);
+        assert_eq!(p.rx_fj_per_bit, 50.0);
+        assert_eq!(p.mr_tuning_mw, 0.02);
+        assert_eq!(EnergyParams::default(), p);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn negative_and_non_finite_values_rejected() {
+        let bad = EnergyParams {
+            tx_fj_per_bit: -1.0,
+            ..EnergyParams::paper()
+        };
+        assert!(bad.validate().unwrap_err().contains("tx_fj_per_bit"));
+        let nan = EnergyParams {
+            mr_tuning_mw: f64::NAN,
+            ..EnergyParams::paper()
+        };
+        assert!(nan.validate().is_err());
+    }
+}

@@ -10,7 +10,9 @@
 //!   functions (Eqs. 2–5),
 //! * [`LossParams`] — the loss/crosstalk coefficients of Table I,
 //! * [`Vcsel`] / [`Photodetector`] — the OOK laser source and the receiver,
-//! * [`SignalNoise`] / [`ber()`] — the SNR (Eq. 8) and BER (Eq. 9) models.
+//! * [`SignalNoise`] / [`ber()`] — the SNR (Eq. 8) and BER (Eq. 9) models,
+//! * [`EnergyParams`] — TX/RX dynamic energy per bit and per-ring MR
+//!   tuning power for the measurement-side energy model in `onoc-sim`.
 //!
 //! Everything here is *device level*: path-level accumulation over a concrete
 //! ring topology lives in `onoc-topology`.
@@ -33,6 +35,7 @@
 
 mod ber;
 mod detector;
+mod energy;
 mod grid;
 mod laser;
 mod mr;
@@ -41,6 +44,7 @@ mod snr;
 
 pub use ber::{BerConvention, ber, log10_ber};
 pub use detector::Photodetector;
+pub use energy::EnergyParams;
 pub use grid::{WavelengthGrid, WavelengthId};
 pub use laser::Vcsel;
 pub use mr::{MicroRing, MrElement, MrState};

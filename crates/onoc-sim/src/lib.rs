@@ -20,6 +20,14 @@
 //! real or merely conservative (the two communications may never overlap in
 //! time — see [`SimReport::conflicts`]).
 //!
+//! The open/closed-loop engine ([`OpenLoopSimulator`]) additionally
+//! emits a stream of simulation facts to composable observers
+//! ([`SimProbe`]): the full and streaming reports are built on that
+//! stream, and [`EnergyProbe`] folds it — with an [`EnergyModel`]
+//! derived from the `onoc-photonics` devices — into an end-to-end
+//! [`EnergyReport`] (pJ/bit, static/dynamic split, per-lane laser-on
+//! time).
+//!
 //! # Example
 //!
 //! ```
@@ -41,13 +49,16 @@
 
 mod calendar;
 mod dynamic;
+mod energy;
 mod engine;
 mod flows;
 mod injection;
 mod openloop;
+mod probe;
 mod report;
 
 pub use dynamic::{DynamicPolicy, DynamicReport, DynamicSimulator};
+pub use energy::{EnergyModel, EnergyProbe, EnergyReport, MRS_PER_NODE_PER_WAVELENGTH};
 pub use engine::{SimError, Simulator};
 pub use flows::{FlowAllocPolicy, FlowMatrix, FlowSynthesisError, SynthesisSummary};
 pub use injection::InjectionMode;
@@ -55,6 +66,7 @@ pub use openloop::{
     OpenLoopError, OpenLoopSimulator, ReportMode, SimScratch, StaticFlowMap, TrafficEvent,
     TrafficSource, WavelengthMode,
 };
+pub use probe::{NullProbe, SimProbe, TxFact};
 pub use report::{
     ChannelConflict, LatencyHistogram, LatencyStats, MsgId, MsgRecord, OpenLoopConflict,
     OpenLoopReport, SimReport,

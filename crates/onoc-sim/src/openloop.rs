@@ -50,7 +50,8 @@ use onoc_units::{Bits, BitsPerCycle};
 use crate::DynamicPolicy;
 use crate::calendar::EventQueue;
 use crate::injection::{InjectionMode, LaneArbiter, SourceGate};
-use crate::report::{LatencyHistogram, MsgId, MsgRecord, OpenLoopConflict, OpenLoopReport};
+use crate::probe::{NullProbe, ReportProbe, SimProbe, TxFact};
+use crate::report::{MsgId, MsgRecord, OpenLoopConflict, OpenLoopReport};
 
 /// One injected message: `volume` bits from `src` to `dst`, offered to the
 /// network interface at cycle `time`.
@@ -413,6 +414,22 @@ impl OpenLoopSimulator {
         self.run_with_scratch(source, &mut SimScratch::new(), ReportMode::Full)
     }
 
+    /// [`OpenLoopSimulator::run`] with an attached [`SimProbe`]: every
+    /// simulation fact (admissions, transmission starts/completions,
+    /// retirements, the final horizon) streams into `probe` while the
+    /// report is produced exactly as without it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`OpenLoopSimulator::run`].
+    pub fn run_probed<S: TrafficSource, P: SimProbe>(
+        &self,
+        source: S,
+        probe: &mut P,
+    ) -> Result<OpenLoopReport, OpenLoopError> {
+        self.run_with_scratch_probed(source, &mut SimScratch::new(), ReportMode::Full, probe)
+    }
+
     /// Drains `source` in streaming mode: per-message records are folded
     /// into `O(bins + sources)` aggregates as soon as every earlier
     /// message has retired, so memory tracks the in-flight window instead
@@ -437,11 +454,32 @@ impl OpenLoopSimulator {
     /// reusable state on both success and failure.
     pub fn run_with_scratch<S: TrafficSource>(
         &self,
-        mut source: S,
+        source: S,
         scratch: &mut SimScratch,
         mode: ReportMode,
     ) -> Result<OpenLoopReport, OpenLoopError> {
-        let mut run = RunState::new(self, std::mem::take(scratch), mode);
+        self.run_with_scratch_probed(source, scratch, mode, &mut NullProbe)
+    }
+
+    /// The fully general entry point: caller-provided buffers, explicit
+    /// [`ReportMode`], and an attached [`SimProbe`]. The probe receives
+    /// every engine fact; a [`NullProbe`](crate::NullProbe) run
+    /// monomorphises to the probe-free engine, and the steady-state admit
+    /// path stays allocation-free as long as the probe's does.
+    ///
+    /// # Errors
+    ///
+    /// As for [`OpenLoopSimulator::run`]. The scratch is returned to a
+    /// reusable state on both success and failure; the probe observes
+    /// only the facts emitted before the failure (and no `finished`).
+    pub fn run_with_scratch_probed<S: TrafficSource, P: SimProbe>(
+        &self,
+        mut source: S,
+        scratch: &mut SimScratch,
+        mode: ReportMode,
+        probe: &mut P,
+    ) -> Result<OpenLoopReport, OpenLoopError> {
+        let mut run = RunState::new(self, std::mem::take(scratch), mode, probe);
         let outcome = run.drive(&mut source);
         match outcome {
             Ok(()) => {
@@ -672,9 +710,10 @@ impl SimScratch {
 }
 
 /// All mutable state of one engine run: arbitration below the injection
-/// gates, the gates themselves, and the accounting that becomes the
-/// report. Bulky reusable buffers live in the [`SimScratch`].
-struct RunState<'a> {
+/// gates, the gates themselves, and the fact consumers — the built-in
+/// [`ReportProbe`] plus the caller's [`SimProbe`]. Bulky reusable buffers
+/// live in the [`SimScratch`].
+struct RunState<'a, P: SimProbe> {
     sim: &'a OpenLoopSimulator,
     n: usize,
     mode: ReportMode,
@@ -683,12 +722,11 @@ struct RunState<'a> {
     /// the contiguous id range `base..next_id` minus retired prefixes).
     base: usize,
     next_id: usize,
-    /// Full-mode output, pushed in id order as messages retire.
-    records: Vec<MsgRecord>,
-    latency_hist: LatencyHistogram,
-    stall_hist: LatencyHistogram,
+    /// The built-in reporting probe (full/streaming accumulation).
+    report: ReportProbe,
+    /// The caller's probe, fed the same fact stream.
+    probe: &'a mut P,
     peak_in_flight: usize,
-    delivered_bits: f64,
     /// Lane-segments currently driven by in-transit messages (the
     /// instantaneous occupancy numerator for ECN marks).
     active_lane_segments: u64,
@@ -705,8 +743,13 @@ struct RunState<'a> {
     horizon: u64,
 }
 
-impl<'a> RunState<'a> {
-    fn new(sim: &'a OpenLoopSimulator, mut scratch: SimScratch, mode: ReportMode) -> Self {
+impl<'a, P: SimProbe> RunState<'a, P> {
+    fn new(
+        sim: &'a OpenLoopSimulator,
+        mut scratch: SimScratch,
+        mode: ReportMode,
+        probe: &'a mut P,
+    ) -> Self {
         let n = sim.ring.node_count();
         let static_mode = matches!(sim.mode, WavelengthMode::Static(_));
         scratch.prepare(
@@ -725,11 +768,9 @@ impl<'a> RunState<'a> {
             s: scratch,
             base: 0,
             next_id: 0,
-            records: Vec::new(),
-            latency_hist: LatencyHistogram::new(),
-            stall_hist: LatencyHistogram::new(),
+            report: ReportProbe::new(mode == ReportMode::Full),
+            probe,
             peak_in_flight: 0,
-            delivered_bits: 0.0,
             active_lane_segments: 0,
             capacity,
             blocked_attempts: 0,
@@ -793,6 +834,16 @@ impl<'a> RunState<'a> {
                 Event::GateWake(_) => unreachable!("handled above"),
                 Event::Started((id, flow)) => {
                     let mask = self.s.flow_lane_masks[flow as usize];
+                    let (start, end) = {
+                        let m = self.msg(id);
+                        (m.started, m.completed)
+                    };
+                    self.probe.started(TxFact {
+                        start,
+                        end,
+                        lanes: mask,
+                        hops: self.flow_hops(flow as usize),
+                    });
                     if self.note_transmission_start(flow, mask) {
                         self.s.flags[id - self.base] |= flag::MARKED;
                     }
@@ -805,6 +856,11 @@ impl<'a> RunState<'a> {
 
     fn msg(&mut self, id: usize) -> &mut MsgState {
         &mut self.s.msgs[id - self.base]
+    }
+
+    /// Directed-segment count of `flow`'s path.
+    fn flow_hops(&self, flow: usize) -> usize {
+        (self.s.path_offsets[flow + 1] - self.s.path_offsets[flow]) as usize
     }
 
     /// Validates and registers one source event, scheduling its offer.
@@ -907,11 +963,12 @@ impl<'a> RunState<'a> {
     /// Passes message `id` through its gate into the network interface.
     fn admit(&mut self, id: usize, now: u64) {
         let sim = self.sim;
-        let (src_node, dst_node, volume) = {
+        let (src_node, dst_node, volume, offered) = {
             let m = self.msg(id);
             m.admitted = now;
-            (m.ev.src, m.ev.dst, m.ev.volume)
+            (m.ev.src, m.ev.dst, m.ev.volume, m.ev.time)
         };
+        self.probe.admitted(now, now - offered);
         let src = src_node.0;
         if self.sim.injection.is_closed_loop() {
             self.s.gates[src].note_admit(now);
@@ -1010,6 +1067,12 @@ impl<'a> RunState<'a> {
                 mask,
             }),
         );
+        self.probe.started(TxFact {
+            start: now,
+            end: now + duration,
+            lanes: mask,
+            hops: hi - lo,
+        });
         if self.note_transmission_start(flow, mask) {
             self.s.flags[id - self.base] |= flag::MARKED;
         }
@@ -1071,6 +1134,12 @@ impl<'a> RunState<'a> {
         );
         let lanes = u64::from(mask.count_ones());
         let hops = (hi - lo) as u64;
+        self.probe.completed(TxFact {
+            start,
+            end: now,
+            lanes: mask,
+            hops: hi - lo,
+        });
         for i in lo..hi {
             self.s.segment_busy[self.s.path_segs[i] as usize] += span * lanes;
         }
@@ -1175,7 +1244,9 @@ impl<'a> RunState<'a> {
     }
 
     /// Folds every completed message at the front of the window into the
-    /// aggregates (and, in full mode, the retained outputs), in id order.
+    /// fact consumers (the built-in [`ReportProbe`] plus the caller's
+    /// probe) and, in full static mode, the retained conflict spans — in
+    /// id order.
     fn retire_front(&mut self) {
         while let Some(&bits) = self.s.flags.front() {
             if bits & flag::DONE == 0 {
@@ -1185,30 +1256,27 @@ impl<'a> RunState<'a> {
             self.s.flags.pop_front();
             self.base += 1;
             let record = m.record();
-            self.latency_hist.record(record.latency());
-            self.stall_hist.record(record.stall());
-            self.delivered_bits += m.ev.volume.value();
-            if self.mode == ReportMode::Full {
-                if matches!(self.sim.mode, WavelengthMode::Static(_)) {
-                    let w = self.sim.wavelengths as u64;
-                    let id = self.base - 1;
-                    let flow = m.ev.src.0 * self.n + m.ev.dst.0;
-                    let mask = self.s.flow_lane_masks[flow];
-                    let (lo, hi) = (
-                        self.s.path_offsets[flow] as usize,
-                        self.s.path_offsets[flow + 1] as usize,
-                    );
-                    for i in lo..hi {
-                        let row = u64::from(self.s.path_segs[i]) * w;
-                        let mut rest = mask;
-                        while rest != 0 {
-                            let lane = u64::from(rest.trailing_zeros());
-                            rest &= rest - 1;
-                            self.s.spans.push((row + lane, m.started, m.completed, id));
-                        }
+            let flow = m.ev.src.0 * self.n + m.ev.dst.0;
+            let hops = self.flow_hops(flow);
+            self.report.retired(&record, m.ev.volume.value(), hops);
+            self.probe.retired(&record, m.ev.volume.value(), hops);
+            if self.mode == ReportMode::Full && matches!(self.sim.mode, WavelengthMode::Static(_)) {
+                let w = self.sim.wavelengths as u64;
+                let id = self.base - 1;
+                let mask = self.s.flow_lane_masks[flow];
+                let (lo, hi) = (
+                    self.s.path_offsets[flow] as usize,
+                    self.s.path_offsets[flow + 1] as usize,
+                );
+                for i in lo..hi {
+                    let row = u64::from(self.s.path_segs[i]) * w;
+                    let mut rest = mask;
+                    while rest != 0 {
+                        let lane = u64::from(rest.trailing_zeros());
+                        rest &= rest - 1;
+                        self.s.spans.push((row + lane, m.started, m.completed, id));
                     }
                 }
-                self.records.push(record);
             }
         }
     }
@@ -1221,6 +1289,7 @@ impl<'a> RunState<'a> {
     /// Assembles the report once the queue drained.
     fn finish(mut self) -> (OpenLoopReport, SimScratch) {
         self.retire_front();
+        self.probe.finished(self.horizon, self.last_injection);
         debug_assert!(self.s.queue.is_empty(), "the event queue drained");
         debug_assert!(
             self.s.msgs.is_empty(),
@@ -1268,12 +1337,12 @@ impl<'a> RunState<'a> {
             horizon: self.horizon,
             last_injection: self.last_injection,
             message_count: self.next_id,
-            records: self.records,
-            latency_hist: self.latency_hist,
-            stall_hist: self.stall_hist,
+            records: self.report.records,
+            latency_hist: self.report.latency_hist,
+            stall_hist: self.report.stall_hist,
             peak_in_flight: self.peak_in_flight,
             offered_bits: self.offered_bits,
-            delivered_bits: self.delivered_bits,
+            delivered_bits: self.report.delivered_bits,
             blocked_attempts: self.blocked_attempts,
             conflict_count,
             conflict_examples,

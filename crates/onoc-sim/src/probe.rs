@@ -1,0 +1,319 @@
+//! The composable observer API of the open/closed-loop engine.
+//!
+//! The engine emits a small, stable stream of *simulation facts* —
+//! admissions through the injection gates, transmission starts,
+//! per-lane busy intervals, retirements with bits × lanes × hop count —
+//! to anything implementing [`SimProbe`]. Reporting is built on the same
+//! stream: the full and streaming reports are one built-in probe
+//! ([`ReportProbe`], parameterised by
+//! [`ReportMode`](crate::ReportMode)), and user probes such as the
+//! [`EnergyProbe`](crate::EnergyProbe) attach *beside* it without
+//! touching the engine.
+//!
+//! Design constraints, enforced by tests:
+//!
+//! * **Zero cost when unused** — every hook has an empty default body and
+//!   the engine is generic over the probe, so a [`NullProbe`] run
+//!   monomorphises to exactly the pre-probe code. The counting-allocator
+//!   regression test runs with a probe attached.
+//! * **Bit-identical reports** — [`ReportProbe`] folds retirements in
+//!   the same order the old hard-wired accumulation did, so
+//!   [`OpenLoopReport`](crate::OpenLoopReport)s are unchanged.
+//! * **Composability** — probes compose structurally: `(&mut a, &mut b)`
+//!   is a probe that forwards every fact to both.
+
+use crate::report::{LatencyHistogram, MsgRecord};
+
+/// A transmission fact: one message began (or finished) driving its
+/// wavelengths along its path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxFact {
+    /// Cycle the transmission started.
+    pub start: u64,
+    /// Cycle the last bit arrives (start + duration).
+    pub end: u64,
+    /// Bitmask of the wavelengths driven (bit *i* = λ*i*).
+    pub lanes: u128,
+    /// Directed waveguide segments the path crosses.
+    pub hops: usize,
+}
+
+impl TxFact {
+    /// Number of wavelengths driven.
+    #[must_use]
+    pub fn lane_count(&self) -> usize {
+        self.lanes.count_ones() as usize
+    }
+
+    /// Transmission duration in cycles.
+    #[must_use]
+    pub fn span(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// A pull-free observer of engine facts. Every hook defaults to a no-op,
+/// so probes implement only what they fold.
+///
+/// Hooks fire in simulation order: for one message,
+/// `admitted` ≤ `started` < `completed` ≤ `retired` (retirement is
+/// deferred until every earlier message has completed, preserving
+/// injection order). `finished` fires exactly once, after the last
+/// retirement.
+pub trait SimProbe {
+    /// A message passed its injection gate into the network interface at
+    /// `now`, after `stall` cycles held at the source (0 in open loop).
+    #[inline]
+    fn admitted(&mut self, now: u64, stall: u64) {
+        let _ = (now, stall);
+    }
+
+    /// A transmission began driving `fact.lanes` over `fact.hops`
+    /// segments. In static mode this fires at the scheduled start cycle.
+    #[inline]
+    fn started(&mut self, fact: TxFact) {
+        let _ = fact;
+    }
+
+    /// A transmission delivered its last bit; `fact` carries the whole
+    /// busy interval, so per-lane laser-on accounting needs no other
+    /// state.
+    #[inline]
+    fn completed(&mut self, fact: TxFact) {
+        let _ = fact;
+    }
+
+    /// A message retired (all earlier messages have completed):
+    /// the full per-message record plus its volume in bits and the hop
+    /// count of its path.
+    #[inline]
+    fn retired(&mut self, record: &MsgRecord, volume_bits: f64, hops: usize) {
+        let _ = (record, volume_bits, hops);
+    }
+
+    /// The run drained; `horizon` is the cycle of the last completion and
+    /// `last_injection` the last offered cycle.
+    #[inline]
+    fn finished(&mut self, horizon: u64, last_injection: u64) {
+        let _ = (horizon, last_injection);
+    }
+}
+
+/// The do-nothing probe: a run with it attached compiles to the
+/// pre-observer engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl SimProbe for NullProbe {}
+
+/// Structural composition: a pair of probes receives every fact, left
+/// first.
+impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
+    #[inline]
+    fn admitted(&mut self, now: u64, stall: u64) {
+        self.0.admitted(now, stall);
+        self.1.admitted(now, stall);
+    }
+
+    #[inline]
+    fn started(&mut self, fact: TxFact) {
+        self.0.started(fact);
+        self.1.started(fact);
+    }
+
+    #[inline]
+    fn completed(&mut self, fact: TxFact) {
+        self.0.completed(fact);
+        self.1.completed(fact);
+    }
+
+    #[inline]
+    fn retired(&mut self, record: &MsgRecord, volume_bits: f64, hops: usize) {
+        self.0.retired(record, volume_bits, hops);
+        self.1.retired(record, volume_bits, hops);
+    }
+
+    #[inline]
+    fn finished(&mut self, horizon: u64, last_injection: u64) {
+        self.0.finished(horizon, last_injection);
+        self.1.finished(horizon, last_injection);
+    }
+}
+
+/// Forwarding through a mutable reference, so callers can keep ownership
+/// of their probe across runs.
+impl<P: SimProbe + ?Sized> SimProbe for &mut P {
+    #[inline]
+    fn admitted(&mut self, now: u64, stall: u64) {
+        (**self).admitted(now, stall);
+    }
+
+    #[inline]
+    fn started(&mut self, fact: TxFact) {
+        (**self).started(fact);
+    }
+
+    #[inline]
+    fn completed(&mut self, fact: TxFact) {
+        (**self).completed(fact);
+    }
+
+    #[inline]
+    fn retired(&mut self, record: &MsgRecord, volume_bits: f64, hops: usize) {
+        (**self).retired(record, volume_bits, hops);
+    }
+
+    #[inline]
+    fn finished(&mut self, horizon: u64, last_injection: u64) {
+        (**self).finished(horizon, last_injection);
+    }
+}
+
+/// The built-in reporting probe: folds retirements into the latency and
+/// stall histograms, the delivered-bits integral and — in
+/// [`ReportMode::Full`](crate::ReportMode) — the retained
+/// [`MsgRecord`] list. The engine assembles the public
+/// [`OpenLoopReport`](crate::OpenLoopReport) from this state, so full
+/// and streaming reports are two parameterisations of one probe.
+#[derive(Debug)]
+pub(crate) struct ReportProbe {
+    /// Whether retirements retain their [`MsgRecord`].
+    retain_records: bool,
+    /// Full-mode output, pushed in id order as messages retire.
+    pub(crate) records: Vec<MsgRecord>,
+    pub(crate) latency_hist: LatencyHistogram,
+    pub(crate) stall_hist: LatencyHistogram,
+    pub(crate) delivered_bits: f64,
+}
+
+impl ReportProbe {
+    pub(crate) fn new(retain_records: bool) -> Self {
+        Self {
+            retain_records,
+            records: Vec::new(),
+            latency_hist: LatencyHistogram::new(),
+            stall_hist: LatencyHistogram::new(),
+            delivered_bits: 0.0,
+        }
+    }
+}
+
+impl SimProbe for ReportProbe {
+    #[inline]
+    fn retired(&mut self, record: &MsgRecord, volume_bits: f64, _hops: usize) {
+        self.latency_hist.record(record.latency());
+        self.stall_hist.record(record.stall());
+        self.delivered_bits += volume_bits;
+        if self.retain_records {
+            self.records.push(*record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_topology::NodeId;
+
+    fn record(injected: u64, completed: u64) -> MsgRecord {
+        MsgRecord {
+            src: NodeId(0),
+            dst: NodeId(3),
+            injected,
+            admitted: injected,
+            started: injected,
+            completed,
+            lanes: 1,
+        }
+    }
+
+    /// A probe counting every hook invocation.
+    #[derive(Default, Debug, PartialEq)]
+    struct Counter {
+        admitted: usize,
+        started: usize,
+        completed: usize,
+        retired: usize,
+        finished: usize,
+        bits: f64,
+    }
+
+    impl SimProbe for Counter {
+        fn admitted(&mut self, _: u64, _: u64) {
+            self.admitted += 1;
+        }
+        fn started(&mut self, _: TxFact) {
+            self.started += 1;
+        }
+        fn completed(&mut self, _: TxFact) {
+            self.completed += 1;
+        }
+        fn retired(&mut self, _: &MsgRecord, volume: f64, _: usize) {
+            self.retired += 1;
+            self.bits += volume;
+        }
+        fn finished(&mut self, _: u64, _: u64) {
+            self.finished += 1;
+        }
+    }
+
+    #[test]
+    fn tx_fact_accessors() {
+        let fact = TxFact {
+            start: 10,
+            end: 110,
+            lanes: 0b1011,
+            hops: 3,
+        };
+        assert_eq!(fact.lane_count(), 3);
+        assert_eq!(fact.span(), 100);
+    }
+
+    #[test]
+    fn pair_composition_forwards_every_fact_to_both() {
+        let mut pair = (Counter::default(), Counter::default());
+        pair.admitted(5, 0);
+        let fact = TxFact {
+            start: 5,
+            end: 15,
+            lanes: 1,
+            hops: 2,
+        };
+        pair.started(fact);
+        pair.completed(fact);
+        pair.retired(&record(5, 15), 64.0, 2);
+        pair.finished(15, 5);
+        assert_eq!(pair.0, pair.1);
+        assert_eq!(pair.0.admitted, 1);
+        assert_eq!(pair.0.retired, 1);
+        assert_eq!(pair.0.bits, 64.0);
+        assert_eq!(pair.0.finished, 1);
+    }
+
+    #[test]
+    fn mut_ref_forwarding_reaches_the_owner() {
+        // Drive the `&mut P` impl explicitly (a plain method call would
+        // auto-deref to `Counter`'s own impl and bypass the forwarding).
+        fn run<P: SimProbe>(mut probe: P) {
+            probe.admitted(0, 0);
+            probe.finished(0, 0);
+        }
+        let mut counter = Counter::default();
+        run(&mut counter);
+        assert_eq!(counter.admitted, 1);
+        assert_eq!(counter.finished, 1);
+    }
+
+    #[test]
+    fn report_probe_folds_and_optionally_retains() {
+        for (retain, expect_records) in [(true, 2usize), (false, 0)] {
+            let mut probe = ReportProbe::new(retain);
+            probe.retired(&record(0, 100), 64.0, 2);
+            probe.retired(&record(10, 120), 32.0, 2);
+            assert_eq!(probe.records.len(), expect_records);
+            assert_eq!(probe.latency_hist.count(), 2);
+            assert_eq!(probe.latency_hist.max(), 110);
+            assert_eq!(probe.delivered_bits, 96.0);
+        }
+    }
+}

@@ -11,9 +11,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use onoc_photonics::EnergyParams;
 use onoc_sim::{
-    DynamicPolicy, OpenLoopSimulator, ReportMode, SimScratch, TrafficEvent, TrafficSource,
-    WavelengthMode,
+    DynamicPolicy, EnergyModel, EnergyProbe, OpenLoopSimulator, ReportMode, SimScratch,
+    TrafficEvent, TrafficSource, WavelengthMode,
 };
 use onoc_topology::{NodeId, RingTopology};
 use onoc_units::{Bits, BitsPerCycle};
@@ -90,6 +91,11 @@ fn steady_state_admit_path_is_allocation_free() {
         WavelengthMode::Dynamic(DynamicPolicy::Single),
     );
     let mut scratch = SimScratch::new();
+    // The probe attaches *inside* the counted window: its per-lane
+    // buffers are sized at construction, so observing admissions,
+    // completions and retirements must not allocate either.
+    let model = EnergyModel::new(0.003, EnergyParams::paper(), 1.0);
+    let mut probe = EnergyProbe::new(model, 16, 4);
 
     // Warm run: sizes every buffer (window, calendar buckets, NI queues).
     let warm = sim
@@ -99,7 +105,7 @@ fn steady_state_admit_path_is_allocation_free() {
 
     // Counted run on the same warm scratch: after 8 warm-up messages the
     // counter arms, and every remaining offer/admit/start/complete must
-    // reuse existing capacity.
+    // reuse existing capacity — with the energy probe attached.
     ALLOCATIONS.store(0, Ordering::SeqCst);
     let source = ArmingSource {
         events: workload().into_iter(),
@@ -107,14 +113,20 @@ fn steady_state_admit_path_is_allocation_free() {
         warmup: 8,
     };
     let report = sim
-        .run_with_scratch(source, &mut scratch, ReportMode::Streaming)
+        .run_with_scratch_probed(source, &mut scratch, ReportMode::Streaming, &mut probe)
         .unwrap();
     assert!(!ARMED.load(Ordering::SeqCst), "source disarmed the counter");
     assert_eq!(report.message_count, 64);
-    assert_eq!(report, warm, "scratch reuse must not change results");
+    assert_eq!(
+        report, warm,
+        "scratch reuse and probes must not change results"
+    );
     let counted = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
         counted, 0,
         "steady-state admit path allocated {counted} times"
     );
+    let energy = probe.report();
+    assert_eq!(energy.messages, 64);
+    assert!(energy.pj_per_bit() > 0.0);
 }

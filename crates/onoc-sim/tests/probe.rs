@@ -1,0 +1,269 @@
+//! Probe-layer guarantees: probed runs are bit-identical to unprobed
+//! ones in both report modes, the fact stream conserves traffic, and the
+//! energy probe's laser term cross-validates against the analytic
+//! `onoc_wa::Evaluator` bit-energy on the paper's 16-core instance.
+
+use onoc_app::workloads;
+use onoc_photonics::EnergyParams;
+use onoc_sim::{
+    DynamicPolicy, EnergyModel, EnergyProbe, MsgRecord, OpenLoopSimulator, ReportMode, SimProbe,
+    SimScratch, TrafficEvent, TxFact, WavelengthMode,
+};
+use onoc_topology::{NodeId, RingTopology};
+use onoc_units::{Bits, BitsPerCycle};
+use onoc_wa::ProblemInstance;
+
+fn event(time: u64, src: usize, dst: usize, bits: f64) -> TrafficEvent {
+    TrafficEvent {
+        time,
+        src: NodeId(src),
+        dst: NodeId(dst),
+        volume: Bits::new(bits),
+    }
+}
+
+/// A probe accumulating every fact, for conservation checks.
+#[derive(Default)]
+struct Recorder {
+    admitted: usize,
+    started: usize,
+    completed: usize,
+    retired: usize,
+    stall_cycles: u64,
+    retired_bits: f64,
+    lane_cycles: u64,
+    hop_lane_cycles: u64,
+    horizon: Option<u64>,
+}
+
+impl SimProbe for Recorder {
+    fn admitted(&mut self, _now: u64, stall: u64) {
+        self.admitted += 1;
+        self.stall_cycles += stall;
+    }
+    fn started(&mut self, _fact: TxFact) {
+        self.started += 1;
+    }
+    fn completed(&mut self, fact: TxFact) {
+        self.completed += 1;
+        self.lane_cycles += fact.span() * fact.lane_count() as u64;
+        self.hop_lane_cycles += fact.span() * fact.lane_count() as u64 * fact.hops as u64;
+    }
+    fn retired(&mut self, _record: &MsgRecord, volume_bits: f64, _hops: usize) {
+        self.retired += 1;
+        self.retired_bits += volume_bits;
+    }
+    fn finished(&mut self, horizon: u64, _last_injection: u64) {
+        self.horizon = Some(horizon);
+    }
+}
+
+/// A deterministic pseudo-random ordered stream from a seed (the
+/// conservation-corpus generator of the engine's own proptests).
+fn corpus(seed: u64, len: usize) -> Vec<TrafficEvent> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut time = 0u64;
+    (0..len)
+        .map(|_| {
+            time += next() % 4;
+            let src = (next() % 16) as usize;
+            let dst = (src + 1 + (next() % 15) as usize) % 16;
+            event(time, src, dst, 64.0 + (next() % 512) as f64)
+        })
+        .collect()
+}
+
+proptest::proptest! {
+    /// Attaching probes never changes the report, in either mode, under
+    /// any injection policy of the conservation corpus — and the fact
+    /// stream itself conserves traffic (every offered message is
+    /// admitted, started, completed and retired exactly once, with the
+    /// offered bits accounted).
+    #[test]
+    fn probed_runs_are_bit_identical_and_conserve_facts(
+        seed in 0u64..200,
+        wavelengths in 1usize..5,
+        use_ecn in 0usize..3,
+    ) {
+        use onoc_sim::InjectionMode;
+        use proptest::prelude::*;
+
+        let injection = match use_ecn {
+            0 => InjectionMode::Open,
+            1 => InjectionMode::Credit { window: 2 },
+            _ => InjectionMode::Ecn { threshold: 0.2 },
+        };
+        let events = corpus(seed, 80);
+        let sim = OpenLoopSimulator::with_injection(
+            RingTopology::new(16),
+            wavelengths,
+            BitsPerCycle::new(1.0),
+            WavelengthMode::Dynamic(DynamicPolicy::Single),
+            injection,
+        );
+        for mode in [ReportMode::Full, ReportMode::Streaming] {
+            let plain = sim
+                .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), mode)
+                .unwrap();
+            let mut recorder = Recorder::default();
+            let probed = sim
+                .run_with_scratch_probed(
+                    events.clone().into_iter(),
+                    &mut SimScratch::new(),
+                    mode,
+                    &mut recorder,
+                )
+                .unwrap();
+            prop_assert_eq!(&probed, &plain, "{:?} report changed under a probe", mode);
+
+            prop_assert_eq!(recorder.admitted, events.len());
+            prop_assert_eq!(recorder.started, events.len());
+            prop_assert_eq!(recorder.completed, events.len());
+            prop_assert_eq!(recorder.retired, events.len());
+            prop_assert!((recorder.retired_bits - plain.offered_bits).abs() < 1e-9);
+            prop_assert_eq!(recorder.horizon, Some(plain.horizon));
+            // Lane×hop busy integral from the fact stream equals the
+            // report's per-segment busy integral.
+            let busy: u64 = plain.segment_busy.iter().map(|&(_, b)| b).sum();
+            prop_assert_eq!(recorder.hop_lane_cycles, busy);
+            // Open loop admits at the offered time; closed loops may
+            // stall but never un-stall what the report counts.
+            if injection == InjectionMode::Open {
+                prop_assert_eq!(recorder.stall_cycles, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn energy_probe_composes_with_static_mode_and_scratch_reuse() {
+    use onoc_sim::StaticFlowMap;
+    let map = StaticFlowMap::striped(16, 8, 1);
+    let sim = OpenLoopSimulator::new(
+        RingTopology::new(16),
+        8,
+        BitsPerCycle::new(1.0),
+        WavelengthMode::Static(map),
+    );
+    let events: Vec<TrafficEvent> = (0..50u64)
+        .map(|k| {
+            event(
+                k * 3,
+                (k % 16) as usize,
+                ((k % 16 + 3) % 16) as usize,
+                128.0,
+            )
+        })
+        .collect();
+    let model = EnergyModel::paper(16, 8);
+    let mut probe = EnergyProbe::new(model, 16, 8);
+    let mut scratch = SimScratch::new();
+    let report = sim
+        .run_with_scratch_probed(
+            events.clone().into_iter(),
+            &mut scratch,
+            ReportMode::Streaming,
+            &mut probe,
+        )
+        .unwrap();
+    let energy = probe.report();
+    assert_eq!(energy.messages, 50);
+    assert_eq!(energy.bits, report.delivered_bits);
+    assert_eq!(energy.horizon, report.horizon);
+    assert!(energy.pj_per_bit() > 0.0);
+    // Static-mode per-lane laser-on time: each message drives exactly its
+    // flow's one lane for its span; the total lane-on time equals the
+    // lane busy integral divided by the per-flow hop count only when
+    // paths are uniform, so check the weaker invariant: every driven
+    // lane shows up.
+    assert!(energy.lane_on_cycles.iter().any(|&c| c > 0));
+
+    // The probe resets and observes a second run identically.
+    let mut again = EnergyProbe::new(EnergyModel::paper(16, 8), 16, 8);
+    probe.reset();
+    let _ = sim
+        .run_with_scratch_probed(
+            events.into_iter(),
+            &mut scratch,
+            ReportMode::Streaming,
+            &mut (&mut probe, &mut again),
+        )
+        .unwrap();
+    assert_eq!(probe.report(), again.report());
+    assert_eq!(probe.report(), energy);
+}
+
+/// The headline cross-validation: the energy probe's laser-only fJ/bit on
+/// the paper's 16-core instance agrees with the analytic
+/// `onoc_wa::Evaluator` bit-energy objective.
+///
+/// The two models differ by construction — the evaluator sizes each
+/// communication's laser through its *allocation-dependent* spectrum walk
+/// (ON-MR crossings of concurrently allocated channels included), while
+/// the probe's [`EnergyModel::from_architecture`] uses the traffic-free
+/// mean path-loss budget over all ordered pairs — so exact equality is
+/// not expected. The documented tolerance is **10% relative** on the
+/// frugal single-wavelength allocation; the test also pins both values
+/// into the Fig. 6(a) few-fJ/bit band so the agreement cannot drift into
+/// vacuity.
+#[test]
+fn simulated_laser_energy_cross_validates_against_the_evaluator() {
+    let instance = ProblemInstance::paper_with_wavelengths(4);
+    let evaluator = instance.evaluator();
+    let frugal = instance.allocation_from_counts(&[1; 6]).unwrap();
+    let analytic_fj_per_bit = evaluator.evaluate(&frugal).unwrap().bit_energy.value();
+
+    // Replay the paper application's six communications as an open-loop
+    // message stream on the same architecture: one message per
+    // communication, single-lane dynamic arbitration (the frugal
+    // allocation gives every communication exactly one wavelength).
+    let app = workloads::paper_mapped_application();
+    let mut events: Vec<TrafficEvent> = app
+        .graph()
+        .comms()
+        .map(|(id, comm)| {
+            let path = app.route(id);
+            TrafficEvent {
+                time: 0,
+                src: path.src(),
+                dst: path.dst(),
+                volume: comm.volume(),
+            }
+        })
+        .collect();
+    events.sort_by_key(|e| (e.src.0, e.dst.0));
+    assert_eq!(events.len(), 6, "the paper app has six communications");
+
+    let sim = OpenLoopSimulator::new(
+        RingTopology::new(16),
+        4,
+        BitsPerCycle::new(1.0),
+        WavelengthMode::Dynamic(DynamicPolicy::Single),
+    );
+    let model = EnergyModel::from_architecture(instance.arch(), EnergyParams::paper(), 1.0);
+    let mut probe = EnergyProbe::new(model, 16, 4);
+    let report = sim.run_probed(events.into_iter(), &mut probe).unwrap();
+    assert_eq!(report.message_count, 6);
+    let simulated_fj_per_bit = probe.report().laser_fj_per_bit();
+
+    let relative = (simulated_fj_per_bit - analytic_fj_per_bit).abs() / analytic_fj_per_bit;
+    assert!(
+        relative < 0.10,
+        "simulated laser energy {simulated_fj_per_bit:.3} fJ/bit vs analytic \
+         {analytic_fj_per_bit:.3} fJ/bit: {:.1}% apart (documented tolerance 10%)",
+        relative * 100.0
+    );
+    // Both sit in the paper's Fig. 6(a) low band.
+    for value in [simulated_fj_per_bit, analytic_fj_per_bit] {
+        assert!(
+            value > 1.0 && value < 6.0,
+            "{value} fJ/bit outside the calibrated band"
+        );
+    }
+}

@@ -92,6 +92,24 @@ impl OnocArchitecture {
             .expect("paper defaults are valid")
     }
 
+    /// The near-square serpentine grid factorisation of a ring size:
+    /// the largest `rows ≤ cols` with `rows × cols == nodes`. The one
+    /// convention shared by every layer that instantiates a grid for a
+    /// given node count (kernel mappings, energy-model derivation), so
+    /// they cannot drift apart.
+    #[must_use]
+    pub fn near_square_grid(nodes: usize) -> (usize, usize) {
+        let mut best = (1, nodes);
+        let mut r = 1;
+        while r * r <= nodes {
+            if nodes.is_multiple_of(r) {
+                best = (r, nodes / r);
+            }
+            r += 1;
+        }
+        best
+    }
+
     /// The logical ring of ONIs.
     #[must_use]
     pub fn ring(&self) -> &RingTopology {

@@ -17,8 +17,8 @@ use std::sync::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use onoc_sim::{
-    DynamicPolicy, InjectionMode, LatencyStats, OpenLoopSimulator, ReportMode, SimScratch,
-    WavelengthMode,
+    DynamicPolicy, EnergyProbe, EnergyReport, InjectionMode, LatencyStats, OpenLoopSimulator,
+    ReportMode, SimScratch, WavelengthMode,
 };
 use onoc_topology::RingTopology;
 use onoc_units::{Bits, BitsPerCycle};
@@ -53,6 +53,10 @@ pub struct SweepGrid {
     /// Injection policy (open loop, credit-based or ECN closed loop)
     /// shared by every scenario.
     pub injection: InjectionMode,
+    /// Optional energy model: when set, every scenario runs with an
+    /// [`EnergyProbe`] attached and its result carries the folded
+    /// energy-per-bit figures (0 otherwise).
+    pub energy: Option<onoc_sim::EnergyModel>,
 }
 
 impl SweepGrid {
@@ -72,6 +76,7 @@ impl SweepGrid {
             policy: DynamicPolicy::Single,
             burstiness: None,
             injection: InjectionMode::Open,
+            energy: None,
         }
     }
 
@@ -138,6 +143,12 @@ pub struct ScenarioResult {
     /// Time-averaged fraction of the credit windows in use (0 outside
     /// credit mode).
     pub credit_occupancy: f64,
+    /// Energy per delivered bit in pJ (0 when the grid has no
+    /// [`SweepGrid::energy`] model).
+    pub energy_pj_per_bit: f64,
+    /// Static (laser-on + MR tuning) share of the total energy in
+    /// `[0, 1]` (0 without an energy model).
+    pub energy_static_frac: f64,
 }
 
 /// A finished sweep: per-scenario results in grid order plus parallelism
@@ -158,7 +169,7 @@ impl SweepOutcome {
     pub const CSV_HEADER: &'static str = "pattern,nodes,wavelengths,injection_rate,\
         offered_bits_per_cycle,accepted_bits_per_cycle,messages,blocked,\
         latency_mean,latency_p50,latency_p95,latency_p99,latency_max,occupancy,\
-        stall_mean,credit_occupancy";
+        stall_mean,credit_occupancy,energy_pj_per_bit,energy_static_frac";
 
     /// Renders every result as one CSV row (no header).
     #[must_use]
@@ -167,7 +178,7 @@ impl SweepOutcome {
             .iter()
             .map(|r| {
                 format!(
-                    "{},{},{},{},{:.3},{:.3},{},{},{:.2},{:.2},{:.2},{:.2},{},{:.5},{:.2},{:.5}",
+                    "{},{},{},{},{:.3},{:.3},{},{},{:.2},{:.2},{:.2},{:.2},{},{:.5},{:.2},{:.5},{:.4},{:.4}",
                     r.scenario.pattern.name(),
                     r.scenario.nodes,
                     r.scenario.wavelengths,
@@ -184,6 +195,8 @@ impl SweepOutcome {
                     r.occupancy,
                     r.stall_mean,
                     r.credit_occupancy,
+                    r.energy_pj_per_bit,
+                    r.energy_static_frac,
                 )
             })
             .collect()
@@ -202,7 +215,8 @@ impl SweepOutcome {
                      \"accepted_bits_per_cycle\": {:.3}, \"messages\": {}, \"blocked\": {}, \
                      \"latency\": {{\"mean\": {:.2}, \"p50\": {:.2}, \"p95\": {:.2}, \
                      \"p99\": {:.2}, \"max\": {}}}, \"occupancy\": {:.5}, \
-                     \"stall_mean\": {:.2}, \"credit_occupancy\": {:.5}}}",
+                     \"stall_mean\": {:.2}, \"credit_occupancy\": {:.5}, \
+                     \"energy_pj_per_bit\": {:.4}, \"energy_static_frac\": {:.4}}}",
                     r.scenario.pattern.name(),
                     r.scenario.nodes,
                     r.scenario.wavelengths,
@@ -219,6 +233,8 @@ impl SweepOutcome {
                     r.occupancy,
                     r.stall_mean,
                     r.credit_occupancy,
+                    r.energy_pj_per_bit,
+                    r.energy_static_frac,
                 )
             })
             .collect();
@@ -272,9 +288,20 @@ pub fn run_scenario_with(
         WavelengthMode::Dynamic(grid.policy),
         grid.injection,
     );
-    let report = sim
-        .run_with_scratch(trace.source(), scratch, ReportMode::Streaming)
-        .expect("generated traces are ordered and non-degenerate");
+    let (report, energy): (_, Option<EnergyReport>) = match &grid.energy {
+        Some(model) => {
+            let mut probe = EnergyProbe::new(model.clone(), scenario.nodes, scenario.wavelengths);
+            let report = sim
+                .run_with_scratch_probed(trace.source(), scratch, ReportMode::Streaming, &mut probe)
+                .expect("generated traces are ordered and non-degenerate");
+            (report, Some(probe.report()))
+        }
+        None => (
+            sim.run_with_scratch(trace.source(), scratch, ReportMode::Streaming)
+                .expect("generated traces are ordered and non-degenerate"),
+            None,
+        ),
+    };
     ScenarioResult {
         scenario: scenario.clone(),
         injected: trace.len(),
@@ -285,6 +312,8 @@ pub fn run_scenario_with(
         occupancy: report.mean_wavelength_occupancy(),
         stall_mean: report.stall().mean,
         credit_occupancy: report.credit_occupancy,
+        energy_pj_per_bit: energy.as_ref().map_or(0.0, EnergyReport::pj_per_bit),
+        energy_static_frac: energy.as_ref().map_or(0.0, EnergyReport::static_fraction),
     }
 }
 
@@ -518,6 +547,7 @@ mod tests {
             policy: DynamicPolicy::Single,
             burstiness: None,
             injection: InjectionMode::Open,
+            energy: None,
         }
     }
 
@@ -645,6 +675,53 @@ mod tests {
     }
 
     #[test]
+    fn energy_model_populates_the_energy_columns_deterministically() {
+        use onoc_sim::EnergyModel;
+        let grid = SweepGrid {
+            energy: Some(EnergyModel::paper(16, 4)),
+            patterns: vec![TrafficPattern::UniformRandom],
+            injection_rates: vec![0.005, 0.04],
+            wavelengths: vec![4],
+            ring_sizes: vec![16],
+            horizon: 3_000,
+            ..tiny_grid()
+        };
+        let one = run_sweep(&grid, 1);
+        let four = run_sweep(&grid, 4);
+        assert_eq!(one.results, four.results, "energy folding is deterministic");
+        for r in &one.results {
+            assert!(r.energy_pj_per_bit > 0.0, "{r:?}");
+            assert!(
+                r.energy_static_frac > 0.0 && r.energy_static_frac < 1.0,
+                "{r:?}"
+            );
+        }
+        // Higher load amortises the always-on MR tuning power over more
+        // bits: energy per bit drops as offered load grows.
+        assert!(
+            one.results[1].energy_pj_per_bit < one.results[0].energy_pj_per_bit,
+            "pJ/bit must fall with load: {} vs {}",
+            one.results[1].energy_pj_per_bit,
+            one.results[0].energy_pj_per_bit
+        );
+        // Without a model the columns are exact zeroes and the rest of
+        // the result is unchanged.
+        let plain = run_sweep(
+            &SweepGrid {
+                energy: None,
+                ..grid
+            },
+            2,
+        );
+        for (e, p) in one.results.iter().zip(&plain.results) {
+            assert_eq!(p.energy_pj_per_bit, 0.0);
+            assert_eq!(p.energy_static_frac, 0.0);
+            assert_eq!(e.latency, p.latency, "probes must not change results");
+            assert_eq!(e.accepted_throughput, p.accepted_throughput);
+        }
+    }
+
+    #[test]
     fn scenario_seeds_differ_per_index() {
         let grid = tiny_grid();
         let scenarios = grid.scenarios();
@@ -676,6 +753,7 @@ mod tests {
             policy: DynamicPolicy::Single,
             burstiness: None,
             injection: InjectionMode::Credit { window },
+            energy: None,
         }
     }
 

@@ -78,14 +78,16 @@ pub use onoc_wa as wa;
 pub mod prelude {
     pub use onoc_app::{MappedApplication, Mapping, RouteStrategy, Schedule, TaskGraph};
     pub use onoc_exp::{
-        AllocatorSpec, ArchSpec, Experiment, Registry, Report, RunContext, Scale, ScenarioSpec,
-        Table, WorkloadSpec, run_spec,
+        AllocatorSpec, ArchSpec, EnergySpec, Experiment, Registry, Report, ReportKind, RunContext,
+        Scale, ScenarioSpec, Table, WorkloadSpec, capture_trace, diff_reports, run_spec,
     };
-    pub use onoc_photonics::{BerConvention, LossParams, MicroRing, Vcsel, WavelengthGrid};
+    pub use onoc_photonics::{
+        BerConvention, EnergyParams, LossParams, MicroRing, Vcsel, WavelengthGrid,
+    };
     pub use onoc_sim::{
-        FlowAllocPolicy, FlowMatrix, InjectionMode, LatencyStats, OpenLoopReport,
-        OpenLoopSimulator, SimReport, Simulator, StaticFlowMap, TrafficEvent, TrafficSource,
-        WavelengthMode,
+        EnergyModel, EnergyProbe, EnergyReport, FlowAllocPolicy, FlowMatrix, InjectionMode,
+        LatencyStats, OpenLoopReport, OpenLoopSimulator, SimProbe, SimReport, Simulator,
+        StaticFlowMap, TrafficEvent, TrafficSource, WavelengthMode,
     };
     pub use onoc_topology::{
         CrosstalkModel, Direction, NodeId, OnocArchitecture, RingPath, SpectrumEngine, Transmission,
