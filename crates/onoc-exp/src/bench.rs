@@ -17,11 +17,12 @@
 
 use std::time::Instant;
 
-use onoc_sim::{DynamicPolicy, EnergyModel, InjectionMode};
+use onoc_sim::{DynamicPolicy, EnergyModel, InjectionMode, SimScratch};
 use onoc_topology::NodeId;
-use onoc_traffic::{SweepGrid, TrafficPattern, run_sweep};
+use onoc_traffic::{ScenarioPhases, SweepGrid, TrafficPattern, run_scenario_phased};
 use onoc_units::{Bits, BitsPerCycle};
 
+use crate::diff::values_agree;
 use crate::value::Value;
 
 /// Schema tag written into the JSON artifact.
@@ -59,6 +60,12 @@ pub struct BenchRecord {
     /// beside wall time so the perf *and* energy trajectories are
     /// plottable across commits.
     pub pj_per_bit: f64,
+    /// Trace-generation wall time summed over the scenario's points.
+    pub setup_ms: f64,
+    /// Engine wall time summed over the scenario's points.
+    pub simulate_ms: f64,
+    /// Report-folding wall time summed over the scenario's points.
+    pub report_ms: f64,
 }
 
 /// The pinned scenario set. `quick` divides horizons by 10 for CI smoke
@@ -149,33 +156,45 @@ pub fn peak_rss_kb() -> u64 {
 
 /// Runs every pinned scenario single-threaded and returns the records in
 /// pinned order.
+///
+/// Each scenario's points run through
+/// [`run_scenario_phased`] on one reusable scratch, so the record carries
+/// the setup/simulate/report wall split beside the total — a slowdown in
+/// the tracked trajectory is attributable to trace generation, the
+/// engine, or the fold without a profiler.
 #[must_use]
 pub fn run_bench(quick: bool) -> Vec<BenchRecord> {
     pinned_scenarios(quick)
         .into_iter()
         .map(|scenario| {
+            let points = scenario.grid.scenarios();
+            let mut scratch = SimScratch::new();
+            let mut phases = ScenarioPhases::default();
+            let mut results = Vec::with_capacity(points.len());
             let start = Instant::now();
-            let outcome = run_sweep(&scenario.grid, 1);
+            for point in &points {
+                let (result, split) = run_scenario_phased(&scenario.grid, point, &mut scratch);
+                phases.accumulate(split);
+                results.push(result);
+            }
             let wall = start.elapsed();
             #[allow(clippy::cast_precision_loss)]
-            let pj_per_bit = if outcome.results.is_empty() {
+            let pj_per_bit = if results.is_empty() {
                 0.0
             } else {
-                outcome
-                    .results
-                    .iter()
-                    .map(|r| r.energy_pj_per_bit)
-                    .sum::<f64>()
-                    / outcome.results.len() as f64
+                results.iter().map(|r| r.energy_pj_per_bit).sum::<f64>() / results.len() as f64
             };
             BenchRecord {
                 name: scenario.name,
                 #[allow(clippy::cast_precision_loss)]
                 wall_ms: wall.as_nanos() as f64 / 1e6,
                 peak_rss_kb: peak_rss_kb(),
-                messages: outcome.results.iter().map(|r| r.injected).sum(),
-                points: outcome.results.len(),
+                messages: results.iter().map(|r| r.injected).sum(),
+                points: results.len(),
                 pj_per_bit,
+                setup_ms: phases.setup_ms,
+                simulate_ms: phases.simulate_ms,
+                report_ms: phases.report_ms,
             }
         })
         .collect()
@@ -191,6 +210,10 @@ fn record_value(r: &BenchRecord) -> Value {
     row.insert("messages", r.messages);
     row.insert("points", r.points);
     row.insert("pj_per_bit", (r.pj_per_bit * 10_000.0).round() / 10_000.0);
+    let ms = |v: f64| (v * 1000.0).round() / 1000.0;
+    row.insert("setup_ms", ms(r.setup_ms));
+    row.insert("simulate_ms", ms(r.simulate_ms));
+    row.insert("report_ms", ms(r.report_ms));
     row
 }
 
@@ -233,14 +256,23 @@ pub fn history_line(records: &[BenchRecord], quick: bool, unix_ms: u64) -> Strin
 /// are the ones worth gating.
 pub const MIN_GATE_MS: f64 = 10.0;
 
+/// Allowed relative drift of a scenario's mean pJ/bit against the
+/// baseline (the [`values_agree`] rule the artifact differ uses). The
+/// simulation is deterministic under the pinned seeds, so drift here is
+/// a *model* change, not noise — the slack only absorbs the artifact's
+/// 4-decimal rounding.
+pub const PJ_GATE_TOLERANCE: f64 = 0.01;
+
 /// Compares `current` (a run at the given tier) against a baseline
 /// artifact (the JSON produced by [`render_json`]). Returns the list of
 /// regressions — scenarios whose wall time exceeds `factor ×` the
-/// baseline — or an error when the baseline cannot be interpreted or was
-/// recorded at a different tier (full-tier wall times are ~10× the quick
-/// tier's, so a tier mismatch would silently neuter the gate). Scenarios
-/// absent from the baseline, and scenarios whose baseline is under
-/// [`MIN_GATE_MS`], are ignored.
+/// baseline, or whose mean pJ/bit drifts more than [`PJ_GATE_TOLERANCE`]
+/// relative (the deterministic energy fold must not move unless the
+/// model does) — or an error when the baseline cannot be interpreted or
+/// was recorded at a different tier (full-tier wall times are ~10× the
+/// quick tier's, so a tier mismatch would silently neuter the gate).
+/// Scenarios absent from the baseline, and wall times whose baseline is
+/// under [`MIN_GATE_MS`], are ignored.
 ///
 /// # Errors
 ///
@@ -276,18 +308,30 @@ pub fn check_regressions(
         .ok_or_else(|| "baseline has no scenarios array".to_string())?;
     let mut regressions = Vec::new();
     for record in current {
-        let Some(base_ms) = scenarios.iter().find_map(|s| {
-            (s.get("name").and_then(Value::as_str) == Some(record.name.as_str()))
-                .then(|| s.get("wall_ms").and_then(Value::as_float))
-                .flatten()
-        }) else {
+        let Some(base) = scenarios
+            .iter()
+            .find(|s| s.get("name").and_then(Value::as_str) == Some(record.name.as_str()))
+        else {
             continue;
         };
-        if base_ms >= MIN_GATE_MS && record.wall_ms > factor * base_ms {
-            regressions.push(format!(
-                "{}: {:.1} ms vs baseline {:.1} ms (> {factor}x)",
-                record.name, record.wall_ms, base_ms
-            ));
+        if let Some(base_ms) = base.get("wall_ms").and_then(Value::as_float) {
+            if base_ms >= MIN_GATE_MS && record.wall_ms > factor * base_ms {
+                regressions.push(format!(
+                    "{}: {:.1} ms vs baseline {:.1} ms (> {factor}x)",
+                    record.name, record.wall_ms, base_ms
+                ));
+            }
+        }
+        if let Some(base_pj) = base.get("pj_per_bit").and_then(Value::as_float) {
+            if base_pj > 0.0 && !values_agree(record.pj_per_bit, base_pj, PJ_GATE_TOLERANCE) {
+                regressions.push(format!(
+                    "{}: {:.4} pJ/bit vs baseline {base_pj:.4} (> {:.0}% relative — the \
+                     deterministic energy fold moved)",
+                    record.name,
+                    record.pj_per_bit,
+                    PJ_GATE_TOLERANCE * 100.0
+                ));
+            }
         }
     }
     Ok(regressions)
@@ -315,25 +359,25 @@ mod tests {
         assert!(names.contains(&"saturation-sweep-32n"));
     }
 
+    fn record(name: &str, wall_ms: f64, pj_per_bit: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            wall_ms,
+            peak_rss_kb: 1234,
+            messages: 42,
+            points: 7,
+            pj_per_bit,
+            setup_ms: wall_ms * 0.3,
+            simulate_ms: wall_ms * 0.6,
+            report_ms: wall_ms * 0.05,
+        }
+    }
+
     #[test]
     fn render_and_check_roundtrip() {
         let records = vec![
-            BenchRecord {
-                name: "saturation-sweep-16n".into(),
-                wall_ms: 100.0,
-                peak_rss_kb: 1234,
-                messages: 42,
-                points: 7,
-                pj_per_bit: 1.25,
-            },
-            BenchRecord {
-                name: "open-uniform-8l".into(),
-                wall_ms: 50.0,
-                peak_rss_kb: 1300,
-                messages: 17,
-                points: 2,
-                pj_per_bit: 2.5,
-            },
+            record("saturation-sweep-16n", 100.0, 1.25),
+            record("open-uniform-8l", 50.0, 2.5),
         ];
         let json = render_json(&records, true);
         // Unchanged numbers pass the gate at any factor ≥ 1.
@@ -355,14 +399,7 @@ mod tests {
                 .is_empty()
         );
         // Baselines under the gating floor are exempt (too noisy to gate).
-        let tiny_base = vec![BenchRecord {
-            name: "tiny".into(),
-            wall_ms: 2.0,
-            peak_rss_kb: 0,
-            messages: 1,
-            points: 1,
-            pj_per_bit: 0.0,
-        }];
+        let tiny_base = vec![record("tiny", 2.0, 0.0)];
         let tiny_json = render_json(&tiny_base, true);
         let mut tiny_now = tiny_base.clone();
         tiny_now[0].wall_ms = 9.0;
@@ -381,15 +418,41 @@ mod tests {
     }
 
     #[test]
+    fn energy_gate_catches_pj_drift_at_any_speed() {
+        let base = vec![record("open-uniform-8l", 50.0, 2.5)];
+        let json = render_json(&base, true);
+        // pJ/bit drift beyond the tolerance fails even when wall time is
+        // fine (the fold is deterministic, so drift means a model change),
+        // and well under the wall-time gating floor.
+        let mut drifted = base.clone();
+        drifted[0].wall_ms = 1.0;
+        drifted[0].pj_per_bit = 2.6;
+        let regressions = check_regressions(&drifted, true, &json, 2.0).unwrap();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("pJ/bit"), "{regressions:?}");
+        // Drift within the tolerance (rounding slack) passes.
+        let mut rounded = base.clone();
+        rounded[0].pj_per_bit = 2.5001;
+        assert!(
+            check_regressions(&rounded, true, &json, 2.0)
+                .unwrap()
+                .is_empty()
+        );
+        // A zero-pJ baseline (no energy model) is not gated.
+        let no_energy = vec![record("tiny", 50.0, 0.0)];
+        let no_energy_json = render_json(&no_energy, true);
+        let mut now = no_energy.clone();
+        now[0].pj_per_bit = 1.0;
+        assert!(
+            check_regressions(&now, true, &no_energy_json, 2.0)
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
     fn history_line_is_one_parsable_json_record() {
-        let records = vec![BenchRecord {
-            name: "saturation-sweep-16n".into(),
-            wall_ms: 123.456,
-            peak_rss_kb: 4096,
-            messages: 1000,
-            points: 7,
-            pj_per_bit: 1.2345,
-        }];
+        let records = vec![record("saturation-sweep-16n", 123.456, 1.2345)];
         let line = history_line(&records, true, 1_753_000_000_000);
         assert!(!line.contains('\n'), "JSONL records are single lines");
         let parsed = Value::parse_json(&line).expect("history line is JSON");
@@ -419,12 +482,26 @@ mod tests {
             .find(|s| s.name == "open-uniform-4l")
             .expect("pinned");
         let start = Instant::now();
-        let outcome = run_sweep(&scenario.grid, 1);
+        let mut scratch = SimScratch::new();
+        let mut phases = ScenarioPhases::default();
+        let results: Vec<_> = scenario
+            .grid
+            .scenarios()
+            .iter()
+            .map(|point| {
+                let (result, split) = run_scenario_phased(&scenario.grid, point, &mut scratch);
+                phases.accumulate(split);
+                result
+            })
+            .collect();
         assert!(start.elapsed().as_secs() < 30);
-        assert_eq!(outcome.results.len(), 2);
-        assert!(outcome.results.iter().all(|r| r.injected > 0));
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.injected > 0));
         // Every pinned grid carries the paper energy model, so the
         // recorded pJ/bit trajectory is never vacuously zero.
-        assert!(outcome.results.iter().all(|r| r.energy_pj_per_bit > 0.0));
+        assert!(results.iter().all(|r| r.energy_pj_per_bit > 0.0));
+        // The phase split is populated: both dominant phases measured
+        // nonzero wall time.
+        assert!(phases.setup_ms > 0.0 && phases.simulate_ms > 0.0);
     }
 }

@@ -48,6 +48,10 @@ OPTIONS (diff):
 OPTIONS (run --spec only):
     --capture-trace <f>   also dump the run's message stream as a
                           cycle,src,dst,size CSV (synthetic/trace workloads)
+    --export-chrome-trace <f>
+                          export every transmission as a Chrome trace-event
+                          JSON (load in Perfetto / chrome://tracing); implies
+                          [telemetry] with its defaults when the spec has none
 
 OPTIONS (run, sweep):
     --quick               reduced GA/horizon configuration (scale = quick)
@@ -183,11 +187,13 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     let json = flag(args, "--json");
 
-    if value_of(args, "--capture-trace").is_some()
-        && (value_of(args, "--spec").is_none() || value_of(args, "--all").is_some())
-    {
-        eprintln!("--capture-trace applies to `onoc run --spec <file>` only");
-        return 2;
+    for only_spec in ["--capture-trace", "--export-chrome-trace"] {
+        if value_of(args, only_spec).is_some()
+            && (value_of(args, "--spec").is_none() || value_of(args, "--all").is_some())
+        {
+            eprintln!("{only_spec} applies to `onoc run --spec <file>` only");
+            return 2;
+        }
     }
 
     if let Some(dir) = value_of(args, "--all") {
@@ -196,13 +202,29 @@ fn cmd_run(args: &[String]) -> i32 {
 
     if let Some(path) = value_of(args, "--spec") {
         // CLI scale/seed flags override the file (see `load_spec`).
-        let spec = match load_spec(&path, args, &ctx) {
+        let mut spec = match load_spec(&path, args, &ctx) {
             Ok(spec) => spec,
             Err(message) => {
                 eprintln!("{message}");
                 return 1;
             }
         };
+        if let Some(trace_path) = value_of(args, "--export-chrome-trace") {
+            if !matches!(
+                spec.workload,
+                onoc_exp::WorkloadSpec::Synthetic { .. } | onoc_exp::WorkloadSpec::Trace { .. }
+            ) {
+                eprintln!(
+                    "--export-chrome-trace needs a message-stream (synthetic or trace) workload"
+                );
+                return 2;
+            }
+            // The flag rides on the spec's own [telemetry] table when it
+            // has one, and implies the defaults when it does not.
+            let mut telemetry = spec.telemetry.clone().unwrap_or_default();
+            telemetry.chrome_trace = Some(trace_path);
+            spec.telemetry = Some(telemetry);
+        }
         if let Some(capture_path) = value_of(args, "--capture-trace") {
             match onoc_exp::capture_trace(&spec) {
                 Ok(csv) => {
@@ -245,6 +267,7 @@ fn cmd_run(args: &[String]) -> i32 {
                             | "--all"
                             | "--out"
                             | "--capture-trace"
+                            | "--export-chrome-trace"
                     ))
         })
         .map(|(_, a)| a)

@@ -178,6 +178,14 @@ fn diff_table(
     }
 }
 
+/// Two numbers agree within the relative tolerance (or the absolute
+/// epsilon) — the closeness rule shared by the artifact differ and the
+/// bench energy gate.
+pub(crate) fn values_agree(x: f64, y: f64, tolerance: f64) -> bool {
+    let diff = (x - y).abs();
+    diff <= ABS_EPSILON || diff <= tolerance * x.abs().max(y.abs())
+}
+
 /// Two cells agree when equal as strings, or both numeric and within the
 /// relative tolerance (or the absolute epsilon).
 fn cells_agree(a: &str, b: &str, tolerance: f64) -> bool {
@@ -185,10 +193,7 @@ fn cells_agree(a: &str, b: &str, tolerance: f64) -> bool {
         return true;
     }
     match (a.parse::<f64>(), b.parse::<f64>()) {
-        (Ok(x), Ok(y)) => {
-            let diff = (x - y).abs();
-            diff <= ABS_EPSILON || diff <= tolerance * x.abs().max(y.abs())
-        }
+        (Ok(x), Ok(y)) => values_agree(x, y, tolerance),
         _ => false,
     }
 }

@@ -133,9 +133,9 @@ mod tests {
         let names = registry.names();
         assert_eq!(
             names.len(),
-            18,
-            "the 15 former binaries plus sustained-saturation, sustained-knee \
-             and energy-vs-load"
+            19,
+            "the 15 former binaries plus sustained-saturation, sustained-knee, \
+             energy-vs-load and saturation-timeline"
         );
         let mut dedup = names.clone();
         dedup.sort_unstable();

@@ -19,6 +19,7 @@
 //! | `saturation` | `saturation` | saturation vs comb size |
 //! | `sustained-saturation` | — (new) | closed-loop sustained knee per allocator |
 //! | `energy-vs-load` | — (new) | energy per bit vs offered load per allocator |
+//! | `saturation-timeline` | — (new) | windowed time series across the sustained knee |
 //! | `workload-sweep` | `workload_sweep` | the panel of synthetic kernels |
 
 mod figures;
@@ -50,6 +51,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(traffic::SustainedSaturation),
         Box::new(traffic::SustainedKnee),
         Box::new(traffic::EnergyVsLoad),
+        Box::new(traffic::SaturationTimeline),
         Box::new(traffic::WorkloadSweep),
     ]
 }

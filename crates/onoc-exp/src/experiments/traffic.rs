@@ -481,6 +481,128 @@ impl Experiment for EnergyVsLoad {
     }
 }
 
+/// Extension — the temporal axis the knee studies collapse: a windowed
+/// time series of one credit-gated run below and one past the sustained
+/// knee, showing ramp-up, saturation onset and the steady state that the
+/// run-total rows of `sustained-saturation` average away.
+///
+/// Each rate's run attaches a [`TimeSeriesProbe`] and tabulates its
+/// window series: accepted throughput, stall fraction, gate backlog,
+/// in-flight transmissions, lane utilization and windowed Jain fairness
+/// over per-source accepted throughput.
+pub struct SaturationTimeline;
+
+impl Experiment for SaturationTimeline {
+    fn name(&self) -> &'static str {
+        "saturation-timeline"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Windowed time series across the sustained knee (credit gating)"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        use onoc_sim::{
+            OpenLoopSimulator, ReportMode, SimScratch, TimeSeriesProbe, WavelengthMode,
+        };
+        use onoc_traffic::{TrafficConfig, generate};
+        use onoc_units::BitsPerCycle;
+
+        let horizon = ctx.scale.pick(20_000u64, 5_000, 2_000);
+        let window = ctx.scale.pick(512u64, 256, 128);
+        let credit_window = 4;
+        // Below the 8-λ sustained knee, and far past it (see
+        // `sustained-saturation`).
+        let rates = [0.01, 0.16];
+
+        let mut report = Report::new(format!(
+            "Saturation timeline under credit-based injection (window {credit_window}), \
+             16-node ring at 8 λ, {window}-cycle telemetry windows, seed {}",
+            ctx.seed
+        ));
+        let mut table = Table::new(
+            "saturation_timeline",
+            &[
+                "injection_rate",
+                "window_start",
+                "offered",
+                "admitted",
+                "retired",
+                "accepted_bits_per_cycle",
+                "stall_fraction",
+                "gate_held",
+                "in_flight",
+                "lane_utilization",
+                "fairness",
+            ],
+        );
+        for rate in rates {
+            let config = TrafficConfig {
+                nodes: 16,
+                pattern: TrafficPattern::UniformRandom,
+                injection_rate: rate,
+                message_volume: Bits::new(512.0),
+                horizon,
+                seed: ctx.seed,
+                burstiness: None,
+            };
+            let trace = generate(&config);
+            let sim = OpenLoopSimulator::with_injection(
+                RingTopology::new(16),
+                8,
+                BitsPerCycle::new(1.0),
+                WavelengthMode::Dynamic(DynamicPolicy::Single),
+                InjectionMode::Credit {
+                    window: credit_window,
+                },
+            );
+            let mut probe = TimeSeriesProbe::new(window, 16, 8).with_horizon_hint(horizon);
+            let run = sim
+                .run_with_scratch_probed(
+                    trace.source(),
+                    &mut SimScratch::new(),
+                    ReportMode::Streaming,
+                    &mut probe,
+                )
+                .expect("the seeded synthetic trace is well-formed");
+            let series = probe.report();
+            for (i, w) in series.windows.iter().enumerate() {
+                table.push_row(vec![
+                    rate.to_string(),
+                    w.start.to_string(),
+                    w.offered.to_string(),
+                    w.admitted.to_string(),
+                    w.retired.to_string(),
+                    format!("{:.4}", series.accepted_bits_per_cycle(i)),
+                    format!("{:.4}", series.stall_fraction(i)),
+                    w.gate_held.to_string(),
+                    w.in_flight.to_string(),
+                    format!("{:.4}", series.lane_utilization(i)),
+                    format!("{:.4}", w.fairness),
+                ]);
+            }
+            report.push_text(format!(
+                "rate {rate}: {} messages over {} windows, final gate backlog {}",
+                run.message_count,
+                series.windows.len(),
+                series.windows.last().map_or(0, |w| w.gate_held),
+            ));
+        }
+        report.push_table(table);
+        report.push_text(
+            "Reading: below the knee every window admits what it offers —\n\
+             gate_held stays near zero and fairness near 1. Past the knee the\n\
+             gate backlog climbs window over window while accepted throughput\n\
+             plateaus at the sustained capacity; windowed Jain fairness drops\n\
+             at the onset (whichever sources grabbed credits first keep them)\n\
+             and partially recovers in steady state as the round-robin-ish\n\
+             credit return spreads admissions. The run-total rows of\n\
+             `sustained-saturation` average all of this away.",
+        );
+        report
+    }
+}
+
 /// E13 (extension) — the optimisation generalises beyond the paper's
 /// single virtual application.
 ///

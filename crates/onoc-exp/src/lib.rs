@@ -77,6 +77,6 @@ pub use experiment::{Experiment, Registry, RunContext, default_threads};
 pub use scenario::{ScenarioError, capture_trace, run_spec};
 pub use spec::{
     AllocatorSpec, ArchSpec, EnergySpec, HeuristicKind, KernelKind, ReportKind, Scale,
-    ScenarioSpec, ScenarioSpecBuilder, SpecError, WorkloadSpec,
+    ScenarioSpec, ScenarioSpecBuilder, SpecError, TelemetrySpec, WorkloadSpec,
 };
 pub use value::{ParseError, Value};

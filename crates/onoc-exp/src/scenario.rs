@@ -12,8 +12,9 @@
 
 use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
 use onoc_sim::{
-    DynamicSimulator, EnergyProbe, EnergyReport, FlowMatrix, OpenLoopReport, OpenLoopSimulator,
-    SimScratch, StaticFlowMap, SynthesisSummary, WavelengthMode,
+    ChromeTraceProbe, DynamicSimulator, EnergyProbe, EnergyReport, FlowEnergy, FlowMatrix,
+    OpenLoopReport, OpenLoopSimulator, SimScratch, StaticFlowMap, SynthesisSummary, TimeSeries,
+    TimeSeriesProbe, WavelengthMode,
 };
 use onoc_topology::{OnocArchitecture, RingTopology};
 use onoc_traffic::{
@@ -26,7 +27,8 @@ use rand::rngs::StdRng;
 
 use crate::artifact::{Report, Table, counts_cell};
 use crate::spec::{
-    AllocatorSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, WorkloadSpec, objectives_name,
+    AllocatorSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, TelemetrySpec, WorkloadSpec,
+    objectives_name,
 };
 
 /// Why a scenario could not be executed.
@@ -480,16 +482,38 @@ fn run_stream(
     );
     let model = resolve_energy(spec);
     let mut probe = EnergyProbe::new(model, spec.arch.nodes, spec.arch.wavelengths);
-    let run = sim
-        .run_with_scratch_probed(
+    let sim_err = |e: &dyn core::fmt::Display| ScenarioError::Simulation {
+        message: e.to_string(),
+    };
+    // With a `[telemetry]` table the windowed series and the trace
+    // exporter ride beside the energy probe in the same run; without one
+    // the engine monomorphises over the energy probe alone, as before.
+    let mut telemetry_out: Option<(TimeSeries, ChromeTraceProbe)> = None;
+    let run = if let Some(telemetry) = &spec.telemetry {
+        let last_injection = trace.events().iter().map(|e| e.time).max().unwrap_or(0);
+        let mut series =
+            TimeSeriesProbe::new(telemetry.window(), spec.arch.nodes, spec.arch.wavelengths)
+                .with_horizon_hint(last_injection + telemetry.window());
+        let mut chrome = ChromeTraceProbe::with_capacity(trace.len());
+        let run = sim
+            .run_with_scratch_probed(
+                trace.source(),
+                &mut SimScratch::new(),
+                spec.report.mode(),
+                &mut (&mut probe, (&mut series, &mut chrome)),
+            )
+            .map_err(|e| sim_err(&e))?;
+        telemetry_out = Some((series.report(), chrome));
+        run
+    } else {
+        sim.run_with_scratch_probed(
             trace.source(),
             &mut SimScratch::new(),
             spec.report.mode(),
             &mut probe,
         )
-        .map_err(|e| ScenarioError::Simulation {
-            message: e.to_string(),
-        })?;
+        .map_err(|e| sim_err(&e))?
+    };
     let energy = probe.report();
     report.push_text(format!(
         "energy: {:.4} pJ/bit over {:.0} bits ({:.0}% static — laser {:.1} pJ, \
@@ -513,6 +537,168 @@ fn run_stream(
         &energy,
     );
     report.push_table(table);
+    if let (Some(telemetry), Some((series, chrome))) = (&spec.telemetry, telemetry_out) {
+        push_telemetry(report, telemetry, &series, &energy, &chrome)?;
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------- telemetry --
+
+/// The canonical column order of the per-window `timeseries` artifact
+/// (pinned by a golden-header test; downstream plots key on it).
+const TIMESERIES_COLUMNS: [&str; 14] = [
+    "window_start",
+    "offered",
+    "admitted",
+    "retired",
+    "retired_bits",
+    "accepted_bits_per_cycle",
+    "stall_fraction",
+    "gate_held",
+    "queue_depth",
+    "in_flight",
+    "lane_utilization",
+    "segment_utilization",
+    "ecn_marks",
+    "fairness",
+];
+
+/// Tabulates the windowed time series under the canonical header.
+fn timeseries_table(series: &TimeSeries) -> Table {
+    let mut table = Table::new("timeseries", &TIMESERIES_COLUMNS);
+    for (i, w) in series.windows.iter().enumerate() {
+        table.push_row(vec![
+            w.start.to_string(),
+            w.offered.to_string(),
+            w.admitted.to_string(),
+            w.retired.to_string(),
+            format!("{:.0}", w.retired_bits),
+            format!("{:.4}", series.accepted_bits_per_cycle(i)),
+            format!("{:.4}", series.stall_fraction(i)),
+            w.gate_held.to_string(),
+            w.queue_depth.to_string(),
+            w.in_flight.to_string(),
+            format!("{:.4}", series.lane_utilization(i)),
+            format!("{:.4}", series.segment_utilization(i)),
+            w.ecn_marks.to_string(),
+            format!("{:.4}", w.fairness),
+        ]);
+    }
+    table
+}
+
+/// Tabulates per-source retirement and latency attribution (idle
+/// sources are omitted — they have no latency statistics to report).
+fn per_source_table(series: &TimeSeries) -> Table {
+    let mut table = Table::new(
+        "per_source",
+        &[
+            "src",
+            "retired",
+            "retired_bits",
+            "latency_mean",
+            "latency_p50",
+            "latency_p95",
+            "latency_p99",
+            "latency_max",
+        ],
+    );
+    for src in 0..series.nodes {
+        if series.source_retired[src] == 0 {
+            continue;
+        }
+        let stats = &series.source_latency[src];
+        table.push_row(vec![
+            src.to_string(),
+            series.source_retired[src].to_string(),
+            format!("{:.0}", series.source_retired_bits[src]),
+            format!("{:.2}", stats.mean),
+            format!("{:.2}", stats.p50),
+            format!("{:.2}", stats.p95),
+            format!("{:.2}", stats.p99),
+            stats.max.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Tabulates the per-flow energy attribution ([`EnergyReport::per_flow`]
+/// conserves every term against the run totals).
+fn per_flow_energy_table(flows: &[FlowEnergy]) -> Table {
+    let mut table = Table::new(
+        "per_flow_energy",
+        &[
+            "src",
+            "dst",
+            "messages",
+            "bits",
+            "lane_on_cycles",
+            "laser_fj",
+            "tuning_fj",
+            "tx_fj",
+            "rx_fj",
+            "total_fj",
+        ],
+    );
+    for f in flows {
+        table.push_row(vec![
+            f.src.0.to_string(),
+            f.dst.0.to_string(),
+            f.messages.to_string(),
+            format!("{:.0}", f.bits),
+            f.lane_on_cycles.to_string(),
+            format!("{:.2}", f.laser_fj),
+            format!("{:.2}", f.tuning_fj),
+            format!("{:.2}", f.tx_fj),
+            format!("{:.2}", f.rx_fj),
+            format!("{:.2}", f.total_fj()),
+        ]);
+    }
+    table
+}
+
+/// Pushes the telemetry artifacts (window series, per-source
+/// attribution, per-flow energy) and writes the Chrome trace file when
+/// the spec names one.
+fn push_telemetry(
+    report: &mut Report,
+    spec: &TelemetrySpec,
+    series: &TimeSeries,
+    energy: &EnergyReport,
+    chrome: &ChromeTraceProbe,
+) -> Result<(), ScenarioError> {
+    let active = series.windows.iter().filter(|w| w.retired > 0).count();
+    let mean_fairness = {
+        let (sum, n) = series
+            .windows
+            .iter()
+            .filter(|w| w.retired > 0)
+            .fold((0.0, 0usize), |(s, n), w| (s + w.fairness, n + 1));
+        if n == 0 { 1.0 } else { sum / n as f64 }
+    };
+    report.push_text(format!(
+        "telemetry: {} windows of {} cycles ({active} active), mean Jain fairness {:.4} \
+         over active windows",
+        series.windows.len(),
+        series.window,
+        mean_fairness,
+    ));
+    report.push_table(timeseries_table(series));
+    report.push_table(per_source_table(series));
+    if spec.per_flow() {
+        report.push_table(per_flow_energy_table(&energy.per_flow()));
+    }
+    if let Some(path) = &spec.chrome_trace {
+        std::fs::write(path, chrome.to_json()).map_err(|e| ScenarioError::Build {
+            stage: "chrome trace export",
+            message: format!("{path}: {e}"),
+        })?;
+        report.push_text(format!(
+            "chrome trace: {} duration events → {path} (load in Perfetto or chrome://tracing)",
+            chrome.len()
+        ));
+    }
     Ok(())
 }
 
@@ -1155,6 +1341,121 @@ max_lanes_per_flow = 4
             horizon: 10_000,
             burstiness: None,
         }
+    }
+
+    #[test]
+    fn telemetry_artifacts_ride_on_stream_scenarios() {
+        use crate::spec::TelemetrySpec;
+        use crate::value::Value;
+        let path = std::env::temp_dir().join("onoc_exp_chrome_trace.json");
+        let spec = ScenarioSpec::builder("telemetered")
+            .scale(Scale::Smoke)
+            .workload(synthetic_uniform_small())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .telemetry(TelemetrySpec {
+                window: Some(64),
+                per_flow: Some(true),
+                chrome_trace: Some(path.to_string_lossy().into_owned()),
+            })
+            .build()
+            .unwrap();
+        let report = run_spec(&spec, 2).unwrap();
+        let names: Vec<&str> = report.tables().iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            vec!["scenario", "timeseries", "per_source", "per_flow_energy"]
+        );
+
+        // Golden header: downstream plots key on this exact column order.
+        let find = |name: &str| *report.tables().iter().find(|t| t.name() == name).unwrap();
+        let series = find("timeseries");
+        assert_eq!(
+            series.csv_header(),
+            "window_start,offered,admitted,retired,retired_bits,accepted_bits_per_cycle,\
+             stall_fraction,gate_held,queue_depth,in_flight,lane_utilization,\
+             segment_utilization,ecn_marks,fairness"
+        );
+
+        // The window series conserves the scenario row's message count.
+        let scenario = find("scenario");
+        let messages: u64 = scenario.rows()[0][6].parse().unwrap();
+        let retired_col = series
+            .columns()
+            .iter()
+            .position(|c| c == "retired")
+            .unwrap();
+        let retired: u64 = series
+            .rows()
+            .iter()
+            .map(|r| r[retired_col].parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(retired, messages);
+        let per_source = find("per_source");
+        let src_retired: u64 = per_source
+            .rows()
+            .iter()
+            .map(|r| r[1].parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(src_retired, messages);
+
+        // The per-flow energy table conserves the scenario's pJ/bit.
+        let per_flow = find("per_flow_energy");
+        let total_col = per_flow
+            .columns()
+            .iter()
+            .position(|c| c == "total_fj")
+            .unwrap();
+        let flow_fj: f64 = per_flow
+            .rows()
+            .iter()
+            .map(|r| r[total_col].parse::<f64>().unwrap())
+            .sum();
+        let bits: f64 = per_flow
+            .rows()
+            .iter()
+            .map(|r| r[3].parse::<f64>().unwrap())
+            .sum();
+        let pj_per_bit: f64 = scenario.rows()[0][19].parse().unwrap();
+        let flow_pj_per_bit = flow_fj / 1e3 / bits;
+        assert!(
+            (flow_pj_per_bit - pj_per_bit).abs() < 1e-2,
+            "per-flow total {flow_pj_per_bit} pJ/bit vs scenario {pj_per_bit}"
+        );
+
+        // The exported Chrome trace parses as JSON with one duration
+        // event per retired message.
+        let json = std::fs::read_to_string(&path).unwrap();
+        let value = Value::parse_json(&json).unwrap();
+        let events = value.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len() as u64, messages);
+        assert!(
+            events
+                .iter()
+                .all(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn telemetry_per_flow_knob_drops_the_flow_table() {
+        use crate::spec::TelemetrySpec;
+        let spec = ScenarioSpec::builder("lean")
+            .scale(Scale::Smoke)
+            .workload(synthetic_uniform_small())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .telemetry(TelemetrySpec {
+                per_flow: Some(false),
+                ..TelemetrySpec::default()
+            })
+            .build()
+            .unwrap();
+        let report = run_spec(&spec, 2).unwrap();
+        let names: Vec<&str> = report.tables().iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["scenario", "timeseries", "per_source"]);
     }
 
     #[test]

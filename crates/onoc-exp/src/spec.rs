@@ -481,6 +481,55 @@ impl EnergySpec {
     }
 }
 
+/// The `[telemetry]` table: windowed time-series and attribution
+/// telemetry for message-stream runs.
+///
+/// Every field that is `None` falls back to its default, so the
+/// document form round-trips exactly (only explicit keys are written
+/// back) — the same convention as [`EnergySpec`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySpec {
+    /// Override: time-series window length in cycles
+    /// (default [`TELEMETRY_DEFAULT_WINDOW`]).
+    pub window: Option<u64>,
+    /// Override: emit the per-flow attribution artifacts (retired bits
+    /// and energy split per source→destination pair; default `true`).
+    pub per_flow: Option<bool>,
+    /// Chrome trace-event export path. Relative paths resolve against
+    /// the spec file's directory; the `--export-chrome-trace` CLI flag
+    /// overrides this key.
+    pub chrome_trace: Option<String>,
+}
+
+/// Default [`TelemetrySpec`] window length, in cycles.
+pub const TELEMETRY_DEFAULT_WINDOW: u64 = 256;
+
+impl TelemetrySpec {
+    /// The effective window length in cycles.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window.unwrap_or(TELEMETRY_DEFAULT_WINDOW)
+    }
+
+    /// Whether per-flow attribution artifacts are emitted.
+    #[must_use]
+    pub fn per_flow(&self) -> bool {
+        self.per_flow.unwrap_or(true)
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        if self.window == Some(0) {
+            return Err(invalid("telemetry.window", "must be at least 1 cycle"));
+        }
+        if let Some(path) = &self.chrome_trace {
+            if path.trim().is_empty() {
+                return Err(invalid("telemetry.chrome_trace", "must name a JSON file"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Why a spec could not be built or parsed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpecError {
@@ -562,6 +611,11 @@ pub struct ScenarioSpec {
     /// model; when absent, the paper preset is used for the artifact's
     /// energy columns.
     pub energy: Option<EnergySpec>,
+    /// Optional `[telemetry]` table. When present, single message-stream
+    /// runs additionally fold a windowed
+    /// [`TimeSeries`](onoc_sim::TimeSeries) (plus per-source and
+    /// per-flow attribution artifacts) and can export a Chrome trace.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl ScenarioSpec {
@@ -583,6 +637,7 @@ impl ScenarioSpec {
             injection: InjectionMode::Open,
             report: ReportKind::Full,
             energy: None,
+            telemetry: None,
         }
     }
 
@@ -759,6 +814,19 @@ impl ScenarioSpec {
             }
             root.insert("energy", table);
         }
+        if let Some(telemetry) = &self.telemetry {
+            let mut table = Value::table();
+            if let Some(window) = telemetry.window {
+                table.insert("window", window);
+            }
+            if let Some(per_flow) = telemetry.per_flow {
+                table.insert("per_flow", per_flow);
+            }
+            if let Some(path) = &telemetry.chrome_trace {
+                table.insert("chrome_trace", path.clone());
+            }
+            root.insert("telemetry", table);
+        }
         root
     }
 
@@ -824,6 +892,10 @@ impl ScenarioSpec {
             None => None,
             Some(table) => Some(parse_energy(table)?),
         };
+        let telemetry = match value.get("telemetry") {
+            None => None,
+            Some(table) => Some(parse_telemetry(table)?),
+        };
         ScenarioSpecBuilder {
             name,
             seed,
@@ -835,6 +907,7 @@ impl ScenarioSpec {
             injection,
             report,
             energy,
+            telemetry,
         }
         .build()
     }
@@ -853,6 +926,7 @@ pub struct ScenarioSpecBuilder {
     injection: InjectionMode,
     report: ReportKind,
     energy: Option<EnergySpec>,
+    telemetry: Option<TelemetrySpec>,
 }
 
 impl ScenarioSpecBuilder {
@@ -923,6 +997,13 @@ impl ScenarioSpecBuilder {
     #[must_use]
     pub fn energy(mut self, energy: EnergySpec) -> Self {
         self.energy = Some(energy);
+        self
+    }
+
+    /// Sets the `[telemetry]` table.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetrySpec) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -1133,6 +1214,19 @@ impl ScenarioSpecBuilder {
         if let Some(energy) = &self.energy {
             energy.validate()?;
         }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.validate()?;
+            if !matches!(
+                self.workload,
+                WorkloadSpec::Synthetic { .. } | WorkloadSpec::Trace { .. }
+            ) {
+                return Err(invalid(
+                    "telemetry",
+                    "windowed telemetry applies to single message-stream runs \
+                     (synthetic or trace workloads)",
+                ));
+            }
+        }
         let closed_loop = matches!(
             self.workload,
             WorkloadSpec::PaperApp | WorkloadSpec::Kernel { .. }
@@ -1166,6 +1260,7 @@ impl ScenarioSpecBuilder {
             injection: self.injection,
             report: self.report,
             energy: self.energy,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -1571,6 +1666,38 @@ fn parse_energy(table: &Value) -> Result<EnergySpec, SpecError> {
         rx_fj_per_bit: opt_float("rx_fj_per_bit", "energy.rx_fj_per_bit")?,
         mr_tuning_mw: opt_float("mr_tuning_mw", "energy.mr_tuning_mw")?,
         clock_ghz: opt_float("clock_ghz", "energy.clock_ghz")?,
+    })
+}
+
+fn parse_telemetry(table: &Value) -> Result<TelemetrySpec, SpecError> {
+    let window = match table.get("window") {
+        None => None,
+        Some(v) => {
+            let i = v
+                .as_int()
+                .ok_or_else(|| invalid("telemetry.window", "not an integer"))?;
+            Some(u64::try_from(i).map_err(|_| invalid("telemetry.window", "must be nonnegative"))?)
+        }
+    };
+    let per_flow = match table.get("per_flow") {
+        None => None,
+        Some(v) => Some(
+            v.as_bool()
+                .ok_or_else(|| invalid("telemetry.per_flow", "not a boolean"))?,
+        ),
+    };
+    let chrome_trace = match table.get("chrome_trace") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| invalid("telemetry.chrome_trace", "not a string"))?
+                .to_string(),
+        ),
+    };
+    Ok(TelemetrySpec {
+        window,
+        per_flow,
+        chrome_trace,
     })
 }
 
@@ -2000,6 +2127,80 @@ kind = "nsga2"
         )
         .unwrap_err();
         assert!(matches!(err, SpecError::Invalid { field, .. } if field == "energy.preset"));
+    }
+
+    #[test]
+    fn telemetry_table_round_trips_in_both_formats() {
+        // Defaults-only, and fully explicit: both must survive the TOML
+        // and JSON round trips exactly.
+        for telemetry in [
+            TelemetrySpec::default(),
+            TelemetrySpec {
+                window: Some(128),
+                per_flow: Some(false),
+                chrome_trace: Some("trace.json".to_string()),
+            },
+        ] {
+            let spec = ScenarioSpec::builder("telemetered")
+                .workload(synthetic_uniform())
+                .allocator(AllocatorSpec::Dynamic {
+                    policy: DynamicPolicy::Single,
+                })
+                .telemetry(telemetry.clone())
+                .build()
+                .unwrap();
+            let toml = spec.to_toml();
+            assert!(toml.contains("[telemetry]"), "{toml}");
+            assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+            assert_eq!(ScenarioSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+            assert_eq!(spec.telemetry, Some(telemetry));
+        }
+        // Omitted [telemetry] stays omitted, and defaults resolve.
+        let plain = ScenarioSpec::builder("plain")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(plain.telemetry, None);
+        assert!(!plain.to_toml().contains("[telemetry]"));
+        let defaults = TelemetrySpec::default();
+        assert_eq!(defaults.window(), TELEMETRY_DEFAULT_WINDOW);
+        assert!(defaults.per_flow());
+    }
+
+    #[test]
+    fn telemetry_validation_rejects_bad_tables() {
+        let build = |telemetry: TelemetrySpec| {
+            ScenarioSpec::builder("bad")
+                .workload(synthetic_uniform())
+                .allocator(AllocatorSpec::Dynamic {
+                    policy: DynamicPolicy::Single,
+                })
+                .telemetry(telemetry)
+                .build()
+        };
+        let err = build(TelemetrySpec {
+            window: Some(0),
+            ..TelemetrySpec::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "telemetry.window"));
+        let err = build(TelemetrySpec {
+            chrome_trace: Some(String::new()),
+            ..TelemetrySpec::default()
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, SpecError::Invalid { field, .. } if field == "telemetry.chrome_trace")
+        );
+        // Task-graph workloads have no message stream to window.
+        let err = ScenarioSpec::builder("graphed")
+            .telemetry(TelemetrySpec::default())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "telemetry"));
     }
 
     #[test]

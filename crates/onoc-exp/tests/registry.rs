@@ -76,6 +76,14 @@ fn golden_headers() -> Vec<(&'static str, &'static str, String)> {
                 .into(),
         ),
         (
+            "saturation-timeline",
+            "saturation_timeline",
+            "injection_rate,window_start,offered,admitted,retired,\
+             accepted_bits_per_cycle,stall_fraction,gate_held,in_flight,\
+             lane_utilization,fairness"
+                .into(),
+        ),
+        (
             "workload-sweep",
             "workload_sweep",
             "workload,tasks,comms,pairs,front,exec_lo,exec_hi,fj_lo,fj_hi,ber_lo,ber_hi".into(),
@@ -157,6 +165,7 @@ fn registry_order_matches_the_documented_index() {
             "sustained-saturation",
             "sustained-knee",
             "energy-vs-load",
+            "saturation-timeline",
             "workload-sweep",
         ]
     );

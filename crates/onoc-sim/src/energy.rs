@@ -201,6 +201,9 @@ pub struct EnergyProbe {
     model: EnergyModel,
     nodes: usize,
     lane_on_cycles: Vec<u64>,
+    flow_lane_on_cycles: Vec<u64>,
+    flow_bits: Vec<f64>,
+    flow_messages: Vec<u64>,
     bits: f64,
     messages: u64,
     horizon: u64,
@@ -215,6 +218,9 @@ impl EnergyProbe {
             model,
             nodes,
             lane_on_cycles: vec![0; wavelengths],
+            flow_lane_on_cycles: vec![0; nodes * nodes],
+            flow_bits: vec![0.0; nodes * nodes],
+            flow_messages: vec![0; nodes * nodes],
             bits: 0.0,
             messages: 0,
             horizon: 0,
@@ -225,6 +231,9 @@ impl EnergyProbe {
     /// (buffers keep their capacity).
     pub fn reset(&mut self) {
         self.lane_on_cycles.fill(0);
+        self.flow_lane_on_cycles.fill(0);
+        self.flow_bits.fill(0.0);
+        self.flow_messages.fill(0);
         self.bits = 0.0;
         self.messages = 0;
         self.horizon = 0;
@@ -255,6 +264,10 @@ impl EnergyProbe {
             rx_fj: m.rx_fj_per_bit * self.bits,
             lane_on_cycles: self.lane_on_cycles.clone(),
             ring_count,
+            nodes: self.nodes,
+            flow_lane_on_cycles: self.flow_lane_on_cycles.clone(),
+            flow_bits: self.flow_bits.clone(),
+            flow_messages: self.flow_messages.clone(),
         }
     }
 }
@@ -275,12 +288,17 @@ impl SimProbe for EnergyProbe {
             );
             self.lane_on_cycles[lane] += span;
         }
+        let flow = fact.src.0 * self.nodes + fact.dst.0;
+        self.flow_lane_on_cycles[flow] += span * fact.lane_count() as u64;
     }
 
     #[inline]
-    fn retired(&mut self, _record: &MsgRecord, volume_bits: f64, _hops: usize) {
+    fn retired(&mut self, record: &MsgRecord, volume_bits: f64, _hops: usize) {
         self.bits += volume_bits;
         self.messages += 1;
+        let flow = record.src.0 * self.nodes + record.dst.0;
+        self.flow_bits[flow] += volume_bits;
+        self.flow_messages[flow] += 1;
     }
 
     #[inline]
@@ -310,6 +328,46 @@ pub struct EnergyReport {
     pub lane_on_cycles: Vec<u64>,
     /// Micro-ring resonators held on resonance for the tuning term.
     pub ring_count: usize,
+    /// Ring size, for indexing the flow vectors (flow = src × nodes + dst).
+    pub nodes: usize,
+    /// Lane-on cycles per flow (span × lanes of every completion).
+    pub flow_lane_on_cycles: Vec<u64>,
+    /// Bits delivered per flow.
+    pub flow_bits: Vec<f64>,
+    /// Messages delivered per flow.
+    pub flow_messages: Vec<u64>,
+}
+
+/// One flow's slice of an [`EnergyReport`], from
+/// [`EnergyReport::per_flow`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEnergy {
+    /// Source node.
+    pub src: onoc_topology::NodeId,
+    /// Destination node.
+    pub dst: onoc_topology::NodeId,
+    /// Messages the flow delivered.
+    pub messages: u64,
+    /// Bits the flow delivered.
+    pub bits: f64,
+    /// Lane-on cycles the flow drove.
+    pub lane_on_cycles: u64,
+    /// Laser energy attributed to the flow (∝ its lane-on cycles).
+    pub laser_fj: f64,
+    /// MR-tuning energy attributed to the flow (∝ its delivered bits).
+    pub tuning_fj: f64,
+    /// Transmitter energy attributed to the flow (∝ its delivered bits).
+    pub tx_fj: f64,
+    /// Receiver energy attributed to the flow (∝ its delivered bits).
+    pub rx_fj: f64,
+}
+
+impl FlowEnergy {
+    /// Total energy attributed to the flow, in femtojoules.
+    #[must_use]
+    pub fn total_fj(&self) -> f64 {
+        self.laser_fj + self.tuning_fj + self.tx_fj + self.rx_fj
+    }
 }
 
 impl EnergyReport {
@@ -364,6 +422,53 @@ impl EnergyReport {
             self.static_fj() / total
         }
     }
+
+    /// Splits the run's energy across its active flows: laser in
+    /// proportion to each flow's lane-on cycles, MR tuning and TX/RX
+    /// dynamic energy in proportion to its delivered bits (falling back
+    /// to message share on a zero-bit run). Summing every
+    /// [`FlowEnergy`] term recovers the corresponding run total to
+    /// floating-point rounding (proptested); flows with no activity are
+    /// omitted.
+    #[must_use]
+    pub fn per_flow(&self) -> Vec<FlowEnergy> {
+        fn share(num: f64, den: f64) -> f64 {
+            if den <= 0.0 { 0.0 } else { num / den }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let lane_total: f64 = self.flow_lane_on_cycles.iter().map(|&c| c as f64).sum();
+        let mut flows = Vec::new();
+        for flow in 0..self.flow_bits.len() {
+            let (cycles, bits, messages) = (
+                self.flow_lane_on_cycles[flow],
+                self.flow_bits[flow],
+                self.flow_messages[flow],
+            );
+            if cycles == 0 && messages == 0 {
+                continue;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let lane_share = share(cycles as f64, lane_total);
+            #[allow(clippy::cast_precision_loss)]
+            let bit_share = if self.bits > 0.0 {
+                bits / self.bits
+            } else {
+                share(messages as f64, self.messages as f64)
+            };
+            flows.push(FlowEnergy {
+                src: onoc_topology::NodeId(flow / self.nodes),
+                dst: onoc_topology::NodeId(flow % self.nodes),
+                messages,
+                bits,
+                lane_on_cycles: cycles,
+                laser_fj: self.laser_fj * lane_share,
+                tuning_fj: self.tuning_fj * bit_share,
+                tx_fj: self.tx_fj * bit_share,
+                rx_fj: self.rx_fj * bit_share,
+            });
+        }
+        flows
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +509,9 @@ mod tests {
             end: 100,
             lanes: 0b01,
             hops: 2,
+            src: onoc_topology::NodeId(0),
+            dst: onoc_topology::NodeId(2),
+            marked: false,
         });
         probe.retired(
             &MsgRecord {
@@ -445,15 +553,25 @@ mod tests {
             end: 50,
             lanes: 0b1010,
             hops: 1,
+            src: onoc_topology::NodeId(0),
+            dst: onoc_topology::NodeId(1),
+            marked: false,
         });
         probe.completed(TxFact {
             start: 60,
             end: 80,
             lanes: 0b0010,
             hops: 1,
+            src: onoc_topology::NodeId(2),
+            dst: onoc_topology::NodeId(3),
+            marked: false,
         });
         let r = probe.report();
         assert_eq!(r.lane_on_cycles, vec![0, 70, 0, 50]);
+        // Flow attribution splits the same cycles by source pair:
+        // 0→1 drove 2 lanes × 50 cycles, 2→3 one lane × 20.
+        assert_eq!(r.flow_lane_on_cycles[1], 100);
+        assert_eq!(r.flow_lane_on_cycles[2 * 4 + 3], 20);
     }
 
     #[test]
@@ -473,11 +591,61 @@ mod tests {
             end: 10,
             lanes: 1,
             hops: 1,
+            src: onoc_topology::NodeId(0),
+            dst: onoc_topology::NodeId(1),
+            marked: false,
         });
         probe.finished(10, 0);
         probe.reset();
         assert_eq!(probe.report().total_fj(), 0.0);
         assert_eq!(probe.report().horizon, 0);
+        assert!(probe.report().per_flow().is_empty());
+    }
+
+    #[test]
+    fn per_flow_attribution_is_hand_checkable_and_conserves() {
+        // Two flows on a 4-node ring: 0→2 delivers 300 of the 400 bits
+        // and 150 of the 200 lane-on cycles, 1→3 the rest.
+        let mut probe = EnergyProbe::new(unit_model(), 4, 2);
+        for (src, dst, bits, start, end) in
+            [(0usize, 2usize, 300.0, 0u64, 150u64), (1, 3, 100.0, 0, 50)]
+        {
+            probe.completed(TxFact {
+                start,
+                end,
+                lanes: 0b01,
+                hops: 2,
+                src: onoc_topology::NodeId(src),
+                dst: onoc_topology::NodeId(dst),
+                marked: false,
+            });
+            probe.retired(
+                &MsgRecord {
+                    src: onoc_topology::NodeId(src),
+                    dst: onoc_topology::NodeId(dst),
+                    injected: start,
+                    admitted: start,
+                    started: start,
+                    completed: end,
+                    lanes: 1,
+                },
+                bits,
+                2,
+            );
+        }
+        probe.finished(150, 0);
+        let r = probe.report();
+        let flows = r.per_flow();
+        assert_eq!(flows.len(), 2);
+        let f02 = &flows[0];
+        assert_eq!((f02.src.0, f02.dst.0), (0, 2));
+        // Laser splits by lane-on share (150/200), bit terms by 300/400.
+        assert!((f02.laser_fj - r.laser_fj * 0.75).abs() < 1e-9);
+        assert!((f02.tuning_fj - r.tuning_fj * 0.75).abs() < 1e-9);
+        assert!((f02.tx_fj - r.tx_fj * 0.75).abs() < 1e-9);
+        // The split conserves every term.
+        let sum: f64 = flows.iter().map(FlowEnergy::total_fj).sum();
+        assert!((sum - r.total_fj()).abs() <= 1e-9 * r.total_fj());
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! stream, and [`EnergyProbe`] folds it — with an [`EnergyModel`]
 //! derived from the `onoc-photonics` devices — into an end-to-end
 //! [`EnergyReport`] (pJ/bit, static/dynamic split, per-lane laser-on
-//! time).
+//! time, per-flow attribution). The telemetry probes fold the same
+//! stream into a windowed [`TimeSeries`] (throughput, occupancy,
+//! stalls, ECN marks, Jain fairness) and a Perfetto-loadable Chrome
+//! trace ([`ChromeTraceProbe`]).
 //!
 //! # Example
 //!
@@ -56,9 +59,10 @@ mod injection;
 mod openloop;
 mod probe;
 mod report;
+mod telemetry;
 
 pub use dynamic::{DynamicPolicy, DynamicReport, DynamicSimulator};
-pub use energy::{EnergyModel, EnergyProbe, EnergyReport, MRS_PER_NODE_PER_WAVELENGTH};
+pub use energy::{EnergyModel, EnergyProbe, EnergyReport, FlowEnergy, MRS_PER_NODE_PER_WAVELENGTH};
 pub use engine::{SimError, Simulator};
 pub use flows::{FlowAllocPolicy, FlowMatrix, FlowSynthesisError, SynthesisSummary};
 pub use injection::InjectionMode;
@@ -71,3 +75,4 @@ pub use report::{
     ChannelConflict, LatencyHistogram, LatencyStats, MsgId, MsgRecord, OpenLoopConflict,
     OpenLoopReport, SimReport,
 };
+pub use telemetry::{ChromeTraceProbe, TimeSeries, TimeSeriesProbe, WindowStats};

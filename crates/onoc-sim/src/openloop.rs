@@ -838,15 +838,22 @@ impl<'a, P: SimProbe> RunState<'a, P> {
                         let m = self.msg(id);
                         (m.started, m.completed)
                     };
+                    // Occupancy first, so the fact carries the mark the
+                    // start itself produced (the bookkeeping emits no
+                    // facts of its own).
+                    let marked = self.note_transmission_start(flow, mask);
+                    if marked {
+                        self.s.flags[id - self.base] |= flag::MARKED;
+                    }
                     self.probe.started(TxFact {
                         start,
                         end,
                         lanes: mask,
                         hops: self.flow_hops(flow as usize),
+                        src: NodeId(flow as usize / self.n),
+                        dst: NodeId(flow as usize % self.n),
+                        marked,
                     });
-                    if self.note_transmission_start(flow, mask) {
-                        self.s.flags[id - self.base] |= flag::MARKED;
-                    }
                 }
                 Event::Completed(tx) => self.on_completed(tx, now),
             }
@@ -968,7 +975,7 @@ impl<'a, P: SimProbe> RunState<'a, P> {
             m.admitted = now;
             (m.ev.src, m.ev.dst, m.ev.volume, m.ev.time)
         };
-        self.probe.admitted(now, now - offered);
+        self.probe.admitted(now, now - offered, src_node);
         let src = src_node.0;
         if self.sim.injection.is_closed_loop() {
             self.s.gates[src].note_admit(now);
@@ -1067,15 +1074,21 @@ impl<'a, P: SimProbe> RunState<'a, P> {
                 mask,
             }),
         );
+        // Occupancy first, so the fact carries the mark the start itself
+        // produced (the bookkeeping emits no facts of its own).
+        let marked = self.note_transmission_start(flow, mask);
+        if marked {
+            self.s.flags[id - self.base] |= flag::MARKED;
+        }
         self.probe.started(TxFact {
             start: now,
             end: now + duration,
             lanes: mask,
             hops: hi - lo,
+            src: NodeId(flow as usize / self.n),
+            dst: NodeId(flow as usize % self.n),
+            marked,
         });
-        if self.note_transmission_start(flow, mask) {
-            self.s.flags[id - self.base] |= flag::MARKED;
-        }
         true
     }
 
@@ -1139,6 +1152,9 @@ impl<'a, P: SimProbe> RunState<'a, P> {
             end: now,
             lanes: mask,
             hops: hi - lo,
+            src: NodeId(flow as usize / self.n),
+            dst: NodeId(flow as usize % self.n),
+            marked: self.s.flags[id - self.base] & flag::MARKED != 0,
         });
         for i in lo..hi {
             self.s.segment_busy[self.s.path_segs[i] as usize] += span * lanes;

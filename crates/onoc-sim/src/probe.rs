@@ -22,6 +22,8 @@
 //! * **Composability** — probes compose structurally: `(&mut a, &mut b)`
 //!   is a probe that forwards every fact to both.
 
+use onoc_topology::NodeId;
+
 use crate::report::{LatencyHistogram, MsgRecord};
 
 /// A transmission fact: one message began (or finished) driving its
@@ -36,6 +38,13 @@ pub struct TxFact {
     pub lanes: u128,
     /// Directed waveguide segments the path crosses.
     pub hops: usize,
+    /// Source node of the message driving the lanes.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Whether the start tripped the ECN congestion marker (always
+    /// `false` outside [`InjectionMode::Ecn`](crate::InjectionMode)).
+    pub marked: bool,
 }
 
 impl TxFact {
@@ -62,10 +71,10 @@ impl TxFact {
 /// retirement.
 pub trait SimProbe {
     /// A message passed its injection gate into the network interface at
-    /// `now`, after `stall` cycles held at the source (0 in open loop).
+    /// `now`, after `stall` cycles held at source `src` (0 in open loop).
     #[inline]
-    fn admitted(&mut self, now: u64, stall: u64) {
-        let _ = (now, stall);
+    fn admitted(&mut self, now: u64, stall: u64, src: NodeId) {
+        let _ = (now, stall, src);
     }
 
     /// A transmission began driving `fact.lanes` over `fact.hops`
@@ -110,9 +119,9 @@ impl SimProbe for NullProbe {}
 /// first.
 impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
     #[inline]
-    fn admitted(&mut self, now: u64, stall: u64) {
-        self.0.admitted(now, stall);
-        self.1.admitted(now, stall);
+    fn admitted(&mut self, now: u64, stall: u64, src: NodeId) {
+        self.0.admitted(now, stall, src);
+        self.1.admitted(now, stall, src);
     }
 
     #[inline]
@@ -144,8 +153,8 @@ impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
 /// of their probe across runs.
 impl<P: SimProbe + ?Sized> SimProbe for &mut P {
     #[inline]
-    fn admitted(&mut self, now: u64, stall: u64) {
-        (**self).admitted(now, stall);
+    fn admitted(&mut self, now: u64, stall: u64, src: NodeId) {
+        (**self).admitted(now, stall, src);
     }
 
     #[inline]
@@ -239,7 +248,7 @@ mod tests {
     }
 
     impl SimProbe for Counter {
-        fn admitted(&mut self, _: u64, _: u64) {
+        fn admitted(&mut self, _: u64, _: u64, _: NodeId) {
             self.admitted += 1;
         }
         fn started(&mut self, _: TxFact) {
@@ -264,6 +273,9 @@ mod tests {
             end: 110,
             lanes: 0b1011,
             hops: 3,
+            src: NodeId(0),
+            dst: NodeId(3),
+            marked: false,
         };
         assert_eq!(fact.lane_count(), 3);
         assert_eq!(fact.span(), 100);
@@ -272,12 +284,15 @@ mod tests {
     #[test]
     fn pair_composition_forwards_every_fact_to_both() {
         let mut pair = (Counter::default(), Counter::default());
-        pair.admitted(5, 0);
+        pair.admitted(5, 0, NodeId(0));
         let fact = TxFact {
             start: 5,
             end: 15,
             lanes: 1,
             hops: 2,
+            src: NodeId(0),
+            dst: NodeId(3),
+            marked: false,
         };
         pair.started(fact);
         pair.completed(fact);
@@ -295,7 +310,7 @@ mod tests {
         // Drive the `&mut P` impl explicitly (a plain method call would
         // auto-deref to `Counter`'s own impl and bypass the forwarding).
         fn run<P: SimProbe>(mut probe: P) {
-            probe.admitted(0, 0);
+            probe.admitted(0, 0, NodeId(0));
             probe.finished(0, 0);
         }
         let mut counter = Counter::default();

@@ -1,0 +1,684 @@
+//! Windowed time-series and attribution telemetry over the
+//! [`SimProbe`] fact stream.
+//!
+//! The engine's observer API (admissions with stall and source,
+//! transmission starts/completions with lanes × hops × endpoints × ECN
+//! mark, retirements with the full [`MsgRecord`]) carries everything a
+//! time-resolved view needs, so telemetry is pure fold state:
+//!
+//! * [`TimeSeriesProbe`] — fixed-window series of offered/accepted
+//!   throughput, gate/queue/in-flight occupancy, stall cycles, ECN
+//!   marks, lane and segment utilization, and a windowed Jain's
+//!   fairness index over per-source accepted bits; plus per-source
+//!   latency histograms (the 513-bin [`LatencyHistogram`]) and
+//!   per-flow retired-bit totals.
+//! * [`ChromeTraceProbe`] — retirements as Chrome trace-event
+//!   ("Perfetto") duration events, one track per source, loadable in
+//!   `ui.perfetto.dev`.
+//!
+//! Both compose with any other probe through the `(A, B)` pair impl:
+//!
+//! ```
+//! use onoc_sim::{
+//!     DynamicPolicy, EnergyModel, EnergyProbe, OpenLoopSimulator, TimeSeriesProbe,
+//!     TrafficEvent, WavelengthMode,
+//! };
+//! use onoc_topology::{NodeId, RingTopology};
+//! use onoc_units::{Bits, BitsPerCycle};
+//!
+//! let sim = OpenLoopSimulator::new(
+//!     RingTopology::new(16),
+//!     8,
+//!     BitsPerCycle::new(1.0),
+//!     WavelengthMode::Dynamic(DynamicPolicy::Single),
+//! );
+//! let mut energy = EnergyProbe::new(EnergyModel::paper(16, 8), 16, 8);
+//! let mut telemetry = TimeSeriesProbe::new(64, 16, 8);
+//! let events = (0..32u64).map(|k| TrafficEvent {
+//!     time: k,
+//!     src: NodeId((k % 16) as usize),
+//!     dst: NodeId(((k + 3) % 16) as usize),
+//!     volume: Bits::new(128.0),
+//! });
+//! sim.run_probed(events, &mut (&mut energy, &mut telemetry)).unwrap();
+//! let series = telemetry.report();
+//! assert_eq!(series.total_retired(), 32);
+//! ```
+//!
+//! All buffers are sized per source/flow at construction and the window
+//! vector grows only past its reserved capacity
+//! ([`TimeSeriesProbe::with_horizon_hint`]), so a hinted probe keeps the
+//! zero-alloc admit path allocation-free (the counting-allocator
+//! regression test runs with one attached).
+
+use onoc_topology::NodeId;
+
+use crate::probe::{SimProbe, TxFact};
+use crate::report::{LatencyHistogram, LatencyStats, MsgRecord};
+
+/// One window's folded counters (internal accumulation form of
+/// [`WindowStats`] — cumulative occupancies are derived at fold time).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct WindowBin {
+    offered: u64,
+    admitted: u64,
+    started: u64,
+    completed: u64,
+    retired: u64,
+    retired_bits: f64,
+    stall_cycles: u64,
+    ecn_marks: u64,
+    lane_cycles: u64,
+    seg_cycles: u64,
+}
+
+/// One window of a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// First cycle of the window (`index × window`).
+    pub start: u64,
+    /// Messages offered (injection attempts) in the window.
+    pub offered: u64,
+    /// Messages passing their injection gate in the window.
+    pub admitted: u64,
+    /// Transmissions starting in the window.
+    pub started: u64,
+    /// Transmissions delivering their last bit in the window.
+    pub completed: u64,
+    /// Messages retiring (completion cycle) in the window.
+    pub retired: u64,
+    /// Bits retired in the window — accepted throughput × window.
+    pub retired_bits: f64,
+    /// Source-stall cycles of messages admitted in the window.
+    pub stall_cycles: u64,
+    /// ECN congestion marks set by starts in the window.
+    pub ecn_marks: u64,
+    /// Lane-on cycles overlapping the window (Σ lanes × overlap).
+    pub lane_cycles: u64,
+    /// Segment-busy cycles overlapping the window (Σ lanes × hops ×
+    /// overlap).
+    pub seg_cycles: u64,
+    /// Messages held at their source gate at the window's end
+    /// (offered but not yet admitted — credit/ECN backpressure).
+    pub gate_held: u64,
+    /// Messages admitted but not yet transmitting at the window's end.
+    pub queue_depth: u64,
+    /// Transmissions in flight at the window's end.
+    pub in_flight: u64,
+    /// Jain's fairness index over per-source bits retired in the
+    /// window: `(Σx)² / (n·Σx²)`, 1.0 for an idle window.
+    pub fairness: f64,
+}
+
+/// The folded time-series outcome of one engine run, from
+/// [`TimeSeriesProbe::report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Window length in cycles.
+    pub window: u64,
+    /// Ring size.
+    pub nodes: usize,
+    /// Comb size.
+    pub wavelengths: usize,
+    /// Cycle of the last completion.
+    pub horizon: u64,
+    /// Last offered cycle.
+    pub last_injection: u64,
+    /// The per-window series, index `i` covering cycles
+    /// `[i·window, (i+1)·window)`.
+    pub windows: Vec<WindowStats>,
+    /// Per-source end-to-end latency statistics (nearest-rank
+    /// histogram quantiles, ≤ 12.5% relative).
+    pub source_latency: Vec<LatencyStats>,
+    /// Messages retired per source.
+    pub source_retired: Vec<u64>,
+    /// Bits retired per source.
+    pub source_retired_bits: Vec<f64>,
+    /// Bits retired per flow (`src × nodes + dst`).
+    pub flow_bits: Vec<f64>,
+    /// Messages retired per flow.
+    pub flow_messages: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Total messages offered across every window.
+    #[must_use]
+    pub fn total_offered(&self) -> u64 {
+        self.windows.iter().map(|w| w.offered).sum()
+    }
+
+    /// Total messages admitted across every window.
+    #[must_use]
+    pub fn total_admitted(&self) -> u64 {
+        self.windows.iter().map(|w| w.admitted).sum()
+    }
+
+    /// Total messages retired across every window.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.windows.iter().map(|w| w.retired).sum()
+    }
+
+    /// Total bits retired across every window.
+    #[must_use]
+    pub fn total_retired_bits(&self) -> f64 {
+        self.windows.iter().map(|w| w.retired_bits).sum()
+    }
+
+    /// Total source-stall cycles across every window.
+    #[must_use]
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.windows.iter().map(|w| w.stall_cycles).sum()
+    }
+
+    /// Total ECN marks across every window.
+    #[must_use]
+    pub fn total_ecn_marks(&self) -> u64 {
+        self.windows.iter().map(|w| w.ecn_marks).sum()
+    }
+
+    /// Total segment-busy (lane × hop) cycles across every window.
+    #[must_use]
+    pub fn total_seg_cycles(&self) -> u64 {
+        self.windows.iter().map(|w| w.seg_cycles).sum()
+    }
+
+    /// Accepted throughput of window `i` in bits/cycle.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn accepted_bits_per_cycle(&self, i: usize) -> f64 {
+        self.windows[i].retired_bits / self.window as f64
+    }
+
+    /// Mean active-lane utilization of window `i`: lane-on cycles over
+    /// the window's `wavelengths × window` lane-cycles.
+    ///
+    /// A lane carries spatially disjoint transmissions concurrently, so
+    /// spatial reuse on the ring pushes this above 1.0; for a
+    /// capacity-bounded view use
+    /// [`segment_utilization`](Self::segment_utilization).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn lane_utilization(&self, i: usize) -> f64 {
+        self.windows[i].lane_cycles as f64 / (self.window * self.wavelengths as u64) as f64
+    }
+
+    /// Mean directed-segment utilization of window `i`: segment-busy
+    /// cycles over the window's `2·nodes × wavelengths × window`
+    /// segment-lane-cycles.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn segment_utilization(&self, i: usize) -> f64 {
+        let capacity = self.window * 2 * self.nodes as u64 * self.wavelengths as u64;
+        self.windows[i].seg_cycles as f64 / capacity as f64
+    }
+
+    /// Fraction of window `i`'s source-cycles spent gate-stalled
+    /// (stall cycles over `nodes × window`).
+    ///
+    /// A message's full stall is booked to the window that finally
+    /// admits it, so deep closed-loop backlogs push individual windows
+    /// above 1.0 while the run total stays conserved.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn stall_fraction(&self, i: usize) -> f64 {
+        self.windows[i].stall_cycles as f64 / (self.window * self.nodes as u64) as f64
+    }
+}
+
+/// A [`SimProbe`] folding the fact stream into a [`TimeSeries`].
+///
+/// Per-source and per-flow buffers are sized at construction; the
+/// window vector grows on demand, allocation-free up to the capacity
+/// reserved with [`with_horizon_hint`](Self::with_horizon_hint).
+#[derive(Debug, Clone)]
+pub struct TimeSeriesProbe {
+    window: u64,
+    nodes: usize,
+    wavelengths: usize,
+    bins: Vec<WindowBin>,
+    /// Flat `bins.len() × nodes` matrix of per-source retired bits.
+    src_window_bits: Vec<f64>,
+    src_hists: Vec<LatencyHistogram>,
+    src_retired: Vec<u64>,
+    src_retired_bits: Vec<f64>,
+    flow_bits: Vec<f64>,
+    flow_messages: Vec<u64>,
+    horizon: u64,
+    last_injection: u64,
+}
+
+impl TimeSeriesProbe {
+    /// A probe with `window`-cycle bins for runs on a `nodes`-core ring
+    /// with a `wavelengths`-channel comb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: u64, nodes: usize, wavelengths: usize) -> Self {
+        assert!(window > 0, "the telemetry window must be at least 1 cycle");
+        Self {
+            window,
+            nodes,
+            wavelengths,
+            bins: Vec::new(),
+            src_window_bits: Vec::new(),
+            src_hists: vec![LatencyHistogram::new(); nodes],
+            src_retired: vec![0; nodes],
+            src_retired_bits: vec![0.0; nodes],
+            flow_bits: vec![0.0; nodes * nodes],
+            flow_messages: vec![0; nodes * nodes],
+            horizon: 0,
+            last_injection: 0,
+        }
+    }
+
+    /// Reserves window capacity for a run expected to span `horizon`
+    /// cycles, so folding it allocates nothing.
+    #[must_use]
+    pub fn with_horizon_hint(mut self, horizon: u64) -> Self {
+        #[allow(clippy::cast_possible_truncation)]
+        let bins = (horizon / self.window + 2) as usize;
+        self.bins.reserve(bins);
+        self.src_window_bits.reserve(bins * self.nodes);
+        self
+    }
+
+    /// The window length in cycles.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Clears the folded state so the probe can observe another run
+    /// (buffers keep their capacity).
+    pub fn reset(&mut self) {
+        self.bins.clear();
+        self.src_window_bits.clear();
+        for h in &mut self.src_hists {
+            *h = LatencyHistogram::new();
+        }
+        self.src_retired.fill(0);
+        self.src_retired_bits.fill(0.0);
+        self.flow_bits.fill(0.0);
+        self.flow_messages.fill(0);
+        self.horizon = 0;
+        self.last_injection = 0;
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn bin_index(&self, cycle: u64) -> usize {
+        (cycle / self.window) as usize
+    }
+
+    /// Grows the window vector (and the per-source matrix in lockstep)
+    /// to cover bin `idx`.
+    fn ensure_bin(&mut self, idx: usize) -> &mut WindowBin {
+        while self.bins.len() <= idx {
+            self.bins.push(WindowBin::default());
+            self.src_window_bits
+                .resize(self.bins.len() * self.nodes, 0.0);
+        }
+        &mut self.bins[idx]
+    }
+
+    /// Assembles the time series of the observed run.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn report(&self) -> TimeSeries {
+        let (mut offered, mut admitted, mut started, mut completed) = (0u64, 0u64, 0u64, 0u64);
+        let windows = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(i, bin)| {
+                offered += bin.offered;
+                admitted += bin.admitted;
+                started += bin.started;
+                completed += bin.completed;
+                let xs = &self.src_window_bits[i * self.nodes..(i + 1) * self.nodes];
+                let sum: f64 = xs.iter().sum();
+                let sq: f64 = xs.iter().map(|x| x * x).sum();
+                let fairness = if sum > 0.0 {
+                    sum * sum / (self.nodes as f64 * sq)
+                } else {
+                    1.0
+                };
+                WindowStats {
+                    start: i as u64 * self.window,
+                    offered: bin.offered,
+                    admitted: bin.admitted,
+                    started: bin.started,
+                    completed: bin.completed,
+                    retired: bin.retired,
+                    retired_bits: bin.retired_bits,
+                    stall_cycles: bin.stall_cycles,
+                    ecn_marks: bin.ecn_marks,
+                    lane_cycles: bin.lane_cycles,
+                    seg_cycles: bin.seg_cycles,
+                    // Saturating: a full engine stream keeps these
+                    // ordered (offered ≥ admitted ≥ started ≥
+                    // completed), but partial hand-fed streams may not.
+                    gate_held: offered.saturating_sub(admitted),
+                    queue_depth: admitted.saturating_sub(started),
+                    in_flight: started.saturating_sub(completed),
+                    fairness,
+                }
+            })
+            .collect();
+        TimeSeries {
+            window: self.window,
+            nodes: self.nodes,
+            wavelengths: self.wavelengths,
+            horizon: self.horizon,
+            last_injection: self.last_injection,
+            windows,
+            source_latency: self.src_hists.iter().map(LatencyHistogram::stats).collect(),
+            source_retired: self.src_retired.clone(),
+            source_retired_bits: self.src_retired_bits.clone(),
+            flow_bits: self.flow_bits.clone(),
+            flow_messages: self.flow_messages.clone(),
+        }
+    }
+}
+
+impl SimProbe for TimeSeriesProbe {
+    #[inline]
+    fn admitted(&mut self, now: u64, stall: u64, _src: NodeId) {
+        let offered_bin = self.bin_index(now - stall);
+        self.ensure_bin(offered_bin).offered += 1;
+        let bin = self.bin_index(now);
+        let b = self.ensure_bin(bin);
+        b.admitted += 1;
+        b.stall_cycles += stall;
+        self.last_injection = self.last_injection.max(now - stall);
+    }
+
+    #[inline]
+    fn started(&mut self, fact: TxFact) {
+        let b = self.ensure_bin(self.bin_index(fact.start));
+        b.started += 1;
+        if fact.marked {
+            b.ecn_marks += 1;
+        }
+    }
+
+    #[inline]
+    fn completed(&mut self, fact: TxFact) {
+        let end_bin = self.bin_index(fact.end);
+        self.ensure_bin(end_bin).completed += 1;
+        if fact.end == fact.start {
+            return;
+        }
+        // Spread the busy interval over every window it overlaps.
+        let lanes = fact.lane_count() as u64;
+        let hops = fact.hops as u64;
+        let last = self.bin_index(fact.end - 1);
+        for idx in self.bin_index(fact.start)..=last {
+            let w_start = idx as u64 * self.window;
+            let w_end = w_start + self.window;
+            let overlap = fact.end.min(w_end) - fact.start.max(w_start);
+            let b = self.ensure_bin(idx);
+            b.lane_cycles += overlap * lanes;
+            b.seg_cycles += overlap * lanes * hops;
+        }
+    }
+
+    #[inline]
+    fn retired(&mut self, record: &MsgRecord, volume_bits: f64, _hops: usize) {
+        let idx = self.bin_index(record.completed);
+        let nodes = self.nodes;
+        let b = self.ensure_bin(idx);
+        b.retired += 1;
+        b.retired_bits += volume_bits;
+        self.src_window_bits[idx * nodes + record.src.0] += volume_bits;
+        self.src_hists[record.src.0].record(record.latency());
+        self.src_retired[record.src.0] += 1;
+        self.src_retired_bits[record.src.0] += volume_bits;
+        let flow = record.src.0 * nodes + record.dst.0;
+        self.flow_bits[flow] += volume_bits;
+        self.flow_messages[flow] += 1;
+    }
+
+    #[inline]
+    fn finished(&mut self, horizon: u64, last_injection: u64) {
+        self.horizon = horizon;
+        self.last_injection = last_injection;
+        // Materialise the trailing idle windows up to the horizon so the
+        // series always covers the whole run.
+        if horizon > 0 {
+            let last = self.bin_index(horizon - 1);
+            self.ensure_bin(last);
+        }
+    }
+}
+
+/// A [`SimProbe`] exporting every retirement as a Chrome trace-event
+/// duration ("X") event — the JSON the Perfetto UI and
+/// `chrome://tracing` load directly.
+///
+/// The trace timeline is in engine cycles, written as the format's
+/// microsecond `ts`/`dur` fields (1 cycle = 1 µs on screen). Each
+/// source is one track (`tid`), and every event carries the message's
+/// destination, bits, hops, lane count, gate stall and NI queueing as
+/// `args`.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceProbe {
+    events: Vec<(MsgRecord, f64, usize)>,
+}
+
+impl ChromeTraceProbe {
+    /// An empty exporter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An exporter with room for `messages` retirements.
+    #[must_use]
+    pub fn with_capacity(messages: usize) -> Self {
+        Self {
+            events: Vec::with_capacity(messages),
+        }
+    }
+
+    /// Number of events captured.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the captured run as Chrome trace-event JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 160);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, (r, bits, hops)) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{src}->{dst}\",\"cat\":\"tx\",\"ph\":\"X\",\
+                 \"ts\":{ts},\"dur\":{dur},\"pid\":0,\"tid\":{src},\
+                 \"args\":{{\"dst\":{dst},\"bits\":{bits},\"hops\":{hops},\
+                 \"lanes\":{lanes},\"stall\":{stall},\"queueing\":{queueing}}}}}",
+                src = r.src.0,
+                dst = r.dst.0,
+                ts = r.started,
+                dur = r.completed - r.started,
+                bits = bits,
+                hops = hops,
+                lanes = r.lanes,
+                stall = r.stall(),
+                queueing = r.queueing(),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl SimProbe for ChromeTraceProbe {
+    #[inline]
+    fn retired(&mut self, record: &MsgRecord, volume_bits: f64, hops: usize) {
+        self.events.push((*record, volume_bits, hops));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(start: u64, end: u64, lanes: u128, hops: usize, src: usize, dst: usize) -> TxFact {
+        TxFact {
+            start,
+            end,
+            lanes,
+            hops,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            marked: false,
+        }
+    }
+
+    fn record(src: usize, dst: usize, injected: u64, completed: u64) -> MsgRecord {
+        MsgRecord {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            injected,
+            admitted: injected,
+            started: injected,
+            completed,
+            lanes: 1,
+        }
+    }
+
+    #[test]
+    fn windows_fold_hand_computed_counts() {
+        let mut probe = TimeSeriesProbe::new(10, 4, 2);
+        // Admitted at 3 after a 1-cycle stall: offered in window 0.
+        probe.admitted(3, 1, NodeId(0));
+        // A 2-lane transmission spanning windows 0..2 (cycles 5..25).
+        probe.started(fact(5, 25, 0b11, 2, 0, 2));
+        probe.completed(fact(5, 25, 0b11, 2, 0, 2));
+        probe.retired(&record(0, 2, 2, 25), 40.0, 2);
+        probe.finished(25, 2);
+        let series = probe.report();
+        assert_eq!(series.windows.len(), 3);
+        let w0 = &series.windows[0];
+        assert_eq!((w0.offered, w0.admitted, w0.started), (1, 1, 1));
+        assert_eq!(w0.stall_cycles, 1);
+        // Overlaps: window 0 holds cycles 5..10 → 5 × 2 lanes = 10.
+        assert_eq!(w0.lane_cycles, 10);
+        assert_eq!(series.windows[1].lane_cycles, 20);
+        assert_eq!(series.windows[2].lane_cycles, 10);
+        assert_eq!(w0.seg_cycles, 20);
+        // The transmission completes and retires in window 2.
+        assert_eq!(series.windows[2].completed, 1);
+        assert_eq!(series.windows[2].retired, 1);
+        assert!((series.windows[2].retired_bits - 40.0).abs() < 1e-12);
+        // Occupancy at window ends: in flight through windows 0 and 1.
+        assert_eq!(w0.in_flight, 1);
+        assert_eq!(series.windows[1].in_flight, 1);
+        assert_eq!(series.windows[2].in_flight, 0);
+        assert_eq!(series.total_retired(), 1);
+        assert!((series.total_retired_bits() - 40.0).abs() < 1e-12);
+        // Only source 0 retired bits in window 2: J = 1/4 on 4 nodes.
+        assert!((series.windows[2].fairness - 0.25).abs() < 1e-12);
+        // Idle window 1 reports the trivially fair 1.0.
+        assert!((series.windows[1].fairness - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_is_one_when_sources_are_equal() {
+        let mut probe = TimeSeriesProbe::new(100, 4, 1);
+        for src in 0..4 {
+            probe.retired(&record(src, (src + 1) % 4, 0, 50), 64.0, 1);
+        }
+        probe.finished(50, 0);
+        let series = probe.report();
+        assert!((series.windows[0].fairness - 1.0).abs() < 1e-12);
+        assert_eq!(series.source_retired, vec![1, 1, 1, 1]);
+        assert_eq!(series.source_latency[0].count, 1);
+        assert_eq!(series.source_latency[0].max, 50);
+    }
+
+    #[test]
+    fn finished_materialises_trailing_idle_windows() {
+        let mut probe = TimeSeriesProbe::new(10, 2, 1);
+        probe.retired(&record(0, 1, 0, 5), 8.0, 1);
+        probe.finished(95, 0);
+        let series = probe.report();
+        assert_eq!(series.windows.len(), 10);
+        assert_eq!(series.windows[9].retired, 0);
+        assert_eq!(series.horizon, 95);
+    }
+
+    #[test]
+    fn horizon_hint_presizes_all_window_growth() {
+        let mut probe = TimeSeriesProbe::new(8, 4, 2).with_horizon_hint(800);
+        let bins_cap = probe.bins.capacity();
+        let src_cap = probe.src_window_bits.capacity();
+        for k in 0..100u64 {
+            probe.admitted(k * 8, 0, NodeId(0));
+            probe.retired(&record(0, 1, k * 8, k * 8 + 7), 8.0, 1);
+        }
+        probe.finished(799, 792);
+        assert_eq!(probe.bins.capacity(), bins_cap, "bins reallocated");
+        assert_eq!(
+            probe.src_window_bits.capacity(),
+            src_cap,
+            "per-source matrix reallocated"
+        );
+    }
+
+    #[test]
+    fn ecn_marks_count_marked_starts_only() {
+        let mut probe = TimeSeriesProbe::new(10, 4, 1);
+        let mut marked = fact(1, 5, 1, 1, 0, 1);
+        marked.marked = true;
+        probe.started(marked);
+        probe.started(fact(2, 6, 1, 1, 1, 2));
+        let series = probe.report();
+        assert_eq!(series.windows[0].ecn_marks, 1);
+        assert_eq!(series.windows[0].started, 2);
+        assert_eq!(series.total_ecn_marks(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_renders_duration_events() {
+        let mut probe = ChromeTraceProbe::with_capacity(2);
+        let mut r = record(3, 7, 10, 25);
+        r.started = 12;
+        r.admitted = 11;
+        probe.retired(&r, 128.0, 4);
+        assert_eq!(probe.len(), 1);
+        let json = probe.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"3->7\""));
+        assert!(json.contains("\"ts\":12"));
+        assert!(json.contains("\"dur\":13"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"stall\":1"));
+        assert!(json.contains("\"queueing\":1"));
+        // An empty capture still renders a valid document.
+        assert_eq!(
+            ChromeTraceProbe::new().to_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1")]
+    fn zero_window_panics() {
+        let _ = TimeSeriesProbe::new(0, 4, 1);
+    }
+}

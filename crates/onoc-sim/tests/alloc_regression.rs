@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use onoc_photonics::EnergyParams;
 use onoc_sim::{
     DynamicPolicy, EnergyModel, EnergyProbe, OpenLoopSimulator, ReportMode, SimScratch,
-    TrafficEvent, TrafficSource, WavelengthMode,
+    TimeSeriesProbe, TrafficEvent, TrafficSource, WavelengthMode,
 };
 use onoc_topology::{NodeId, RingTopology};
 use onoc_units::{Bits, BitsPerCycle};
@@ -91,11 +91,13 @@ fn steady_state_admit_path_is_allocation_free() {
         WavelengthMode::Dynamic(DynamicPolicy::Single),
     );
     let mut scratch = SimScratch::new();
-    // The probe attaches *inside* the counted window: its per-lane
-    // buffers are sized at construction, so observing admissions,
-    // completions and retirements must not allocate either.
+    // The probes attach *inside* the counted window: per-lane, per-source
+    // and per-flow buffers are sized at construction and the telemetry
+    // window vector is hinted past the run's horizon, so observing
+    // admissions, completions and retirements must not allocate either.
     let model = EnergyModel::new(0.003, EnergyParams::paper(), 1.0);
-    let mut probe = EnergyProbe::new(model, 16, 4);
+    let mut energy = EnergyProbe::new(model, 16, 4);
+    let mut telemetry = TimeSeriesProbe::new(32, 16, 4).with_horizon_hint(1 << 14);
 
     // Warm run: sizes every buffer (window, calendar buckets, NI queues).
     let warm = sim
@@ -113,7 +115,12 @@ fn steady_state_admit_path_is_allocation_free() {
         warmup: 8,
     };
     let report = sim
-        .run_with_scratch_probed(source, &mut scratch, ReportMode::Streaming, &mut probe)
+        .run_with_scratch_probed(
+            source,
+            &mut scratch,
+            ReportMode::Streaming,
+            &mut (&mut energy, &mut telemetry),
+        )
         .unwrap();
     assert!(!ARMED.load(Ordering::SeqCst), "source disarmed the counter");
     assert_eq!(report.message_count, 64);
@@ -126,7 +133,10 @@ fn steady_state_admit_path_is_allocation_free() {
         counted, 0,
         "steady-state admit path allocated {counted} times"
     );
-    let energy = probe.report();
+    let energy = energy.report();
     assert_eq!(energy.messages, 64);
     assert!(energy.pj_per_bit() > 0.0);
+    let series = telemetry.report();
+    assert_eq!(series.total_retired(), 64);
+    assert_eq!(series.horizon, report.horizon);
 }

@@ -37,7 +37,7 @@ struct Recorder {
 }
 
 impl SimProbe for Recorder {
-    fn admitted(&mut self, _now: u64, stall: u64) {
+    fn admitted(&mut self, _now: u64, stall: u64, _src: NodeId) {
         self.admitted += 1;
         self.stall_cycles += stall;
     }

@@ -1,0 +1,219 @@
+//! Telemetry-layer guarantees: the windowed time series conserves the
+//! streaming report's totals for every injection mode and window size,
+//! the per-flow energy attribution reconciles with the run totals, and
+//! the Chrome trace export covers every retirement.
+
+use onoc_sim::{
+    ChromeTraceProbe, DynamicPolicy, EnergyModel, EnergyProbe, FlowEnergy, InjectionMode,
+    OpenLoopSimulator, ReportMode, SimScratch, TimeSeriesProbe, TrafficEvent, WavelengthMode,
+};
+use onoc_topology::{NodeId, RingTopology};
+use onoc_units::{Bits, BitsPerCycle};
+
+/// The conservation-corpus generator shared with the probe tests.
+fn corpus(seed: u64, len: usize) -> Vec<TrafficEvent> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut time = 0u64;
+    (0..len)
+        .map(|_| {
+            time += next() % 4;
+            let src = (next() % 16) as usize;
+            let dst = (src + 1 + (next() % 15) as usize) % 16;
+            TrafficEvent {
+                time,
+                src: NodeId(src),
+                dst: NodeId(dst),
+                volume: Bits::new(64.0 + (next() % 512) as f64),
+            }
+        })
+        .collect()
+}
+
+proptest::proptest! {
+    /// Windowed totals equal the streaming report's, whatever the window
+    /// size or injection policy: accepted messages, retired bits, stall
+    /// cycles, and the lane×hop busy integral all fold to the same
+    /// numbers through the time-series bins.
+    #[test]
+    fn windowed_series_conserves_report_totals(
+        seed in 0u64..120,
+        window_sel in 0usize..5,
+        use_ecn in 0usize..3,
+    ) {
+        use proptest::prelude::*;
+
+        let window = [1u64, 7, 32, 256, 4096][window_sel];
+        let injection = match use_ecn {
+            0 => InjectionMode::Open,
+            1 => InjectionMode::Credit { window: 2 },
+            _ => InjectionMode::Ecn { threshold: 0.2 },
+        };
+        let events = corpus(seed, 80);
+        let sim = OpenLoopSimulator::with_injection(
+            RingTopology::new(16),
+            4,
+            BitsPerCycle::new(1.0),
+            WavelengthMode::Dynamic(DynamicPolicy::Single),
+            injection,
+        );
+        let mut probe = TimeSeriesProbe::new(window, 16, 4);
+        let report = sim
+            .run_with_scratch_probed(
+                events.clone().into_iter(),
+                &mut SimScratch::new(),
+                ReportMode::Streaming,
+                &mut probe,
+            )
+            .unwrap();
+        let series = probe.report();
+
+        prop_assert_eq!(series.total_offered(), events.len() as u64);
+        prop_assert_eq!(series.total_admitted(), report.message_count as u64);
+        prop_assert_eq!(series.total_retired(), report.message_count as u64);
+        prop_assert!((series.total_retired_bits() - report.delivered_bits).abs() < 1e-9);
+        // The stall histogram tracks count and sum exactly, so the
+        // windowed stall-cycle total must match its integral.
+        #[allow(clippy::cast_precision_loss)]
+        let report_stall = report.stall_hist.mean() * report.stall_hist.count() as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let series_stall = series.total_stall_cycles() as f64;
+        prop_assert!((series_stall - report_stall).abs() < 1e-6);
+        // Lane×hop overlap cycles, spread across windows, re-sum to the
+        // report's per-segment busy integral — exactly, in integers.
+        let busy: u64 = report.segment_busy.iter().map(|&(_, b)| b).sum();
+        prop_assert_eq!(series.total_seg_cycles(), busy);
+        prop_assert_eq!(series.horizon, report.horizon);
+        // The series covers the whole run.
+        let covered = series.windows.len() as u64 * window;
+        prop_assert!(covered >= report.horizon);
+        // Per-source retirements re-sum to the run totals too.
+        prop_assert_eq!(
+            series.source_retired.iter().sum::<u64>(),
+            report.message_count as u64
+        );
+        prop_assert!(
+            (series.source_retired_bits.iter().sum::<f64>() - report.delivered_bits).abs() < 1e-9
+        );
+        prop_assert!(
+            (series.flow_bits.iter().sum::<f64>() - report.delivered_bits).abs() < 1e-9
+        );
+        // Open loop admits at the offered cycle: nothing is ever held at
+        // a gate, and no window may claim otherwise.
+        if injection == InjectionMode::Open {
+            prop_assert_eq!(series.total_stall_cycles(), 0);
+            prop_assert!(series.windows.iter().all(|w| w.gate_held == 0));
+        }
+        // ECN marks only exist under the ECN policy.
+        if !matches!(injection, InjectionMode::Ecn { .. }) {
+            prop_assert_eq!(series.total_ecn_marks(), 0);
+        }
+    }
+
+    /// Per-flow energy attribution reconciles with the run totals on the
+    /// conservation corpus: every term's flow sum recovers the report's
+    /// value to floating-point rounding.
+    #[test]
+    fn per_flow_energy_conserves_run_totals(
+        seed in 0u64..120,
+        wavelengths in 1usize..5,
+        use_ecn in 0usize..3,
+    ) {
+        use proptest::prelude::*;
+
+        let injection = match use_ecn {
+            0 => InjectionMode::Open,
+            1 => InjectionMode::Credit { window: 2 },
+            _ => InjectionMode::Ecn { threshold: 0.2 },
+        };
+        let events = corpus(seed, 80);
+        let sim = OpenLoopSimulator::with_injection(
+            RingTopology::new(16),
+            wavelengths,
+            BitsPerCycle::new(1.0),
+            WavelengthMode::Dynamic(DynamicPolicy::Single),
+            injection,
+        );
+        let mut probe = EnergyProbe::new(EnergyModel::paper(16, wavelengths), 16, wavelengths);
+        sim.run_probed(events.into_iter(), &mut probe).unwrap();
+        let report = probe.report();
+        let flows = report.per_flow();
+        prop_assert!(!flows.is_empty());
+
+        let close = |sum: f64, total: f64| (sum - total).abs() <= 1e-9 * total.abs() + 1e-9;
+        prop_assert!(close(flows.iter().map(|f| f.laser_fj).sum(), report.laser_fj));
+        prop_assert!(close(flows.iter().map(|f| f.tuning_fj).sum(), report.tuning_fj));
+        prop_assert!(close(flows.iter().map(|f| f.tx_fj).sum(), report.tx_fj));
+        prop_assert!(close(flows.iter().map(|f| f.rx_fj).sum(), report.rx_fj));
+        prop_assert!(close(
+            flows.iter().map(FlowEnergy::total_fj).sum(),
+            report.total_fj()
+        ));
+        prop_assert!(close(flows.iter().map(|f| f.bits).sum(), report.bits));
+        prop_assert_eq!(
+            flows.iter().map(|f| f.messages).sum::<u64>(),
+            report.messages
+        );
+        // The flow lane-on integral is the lane one, redistributed.
+        prop_assert_eq!(
+            flows.iter().map(|f| f.lane_on_cycles).sum::<u64>(),
+            report.lane_on_cycles.iter().sum::<u64>()
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_covers_every_retirement() {
+    let events = corpus(3, 60);
+    let sim = OpenLoopSimulator::with_injection(
+        RingTopology::new(16),
+        4,
+        BitsPerCycle::new(1.0),
+        WavelengthMode::Dynamic(DynamicPolicy::Single),
+        InjectionMode::Credit { window: 2 },
+    );
+    let mut trace = ChromeTraceProbe::with_capacity(events.len());
+    let report = sim.run_probed(events.into_iter(), &mut trace).unwrap();
+    assert_eq!(trace.len(), report.message_count);
+    let json = trace.to_json();
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), report.message_count);
+    // Balanced braces as a cheap well-formedness check (no string values
+    // beyond the fixed keys, so counting is exact).
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+/// The time-series probe composes beside the energy probe and the
+/// trace exporter in one run, and a reset probe re-folds a second run
+/// identically.
+#[test]
+fn telemetry_composes_and_resets() {
+    let events = corpus(9, 60);
+    let sim = OpenLoopSimulator::new(
+        RingTopology::new(16),
+        4,
+        BitsPerCycle::new(1.0),
+        WavelengthMode::Dynamic(DynamicPolicy::Single),
+    );
+    let mut energy = EnergyProbe::new(EnergyModel::paper(16, 4), 16, 4);
+    let mut series = TimeSeriesProbe::new(64, 16, 4);
+    let mut trace = ChromeTraceProbe::new();
+    let report = sim
+        .run_probed(
+            events.clone().into_iter(),
+            &mut (&mut energy, (&mut series, &mut trace)),
+        )
+        .unwrap();
+    assert_eq!(series.report().total_retired(), report.message_count as u64);
+    assert_eq!(trace.len(), report.message_count);
+    assert_eq!(energy.report().messages, report.message_count as u64);
+
+    let first = series.report();
+    series.reset();
+    let _ = sim.run_probed(events.into_iter(), &mut series).unwrap();
+    assert_eq!(series.report(), first);
+}

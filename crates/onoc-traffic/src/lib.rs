@@ -56,8 +56,9 @@ mod trace;
 pub use pattern::TrafficPattern;
 pub use rng::TrafficRng;
 pub use sweep::{
-    KneeResult, KneeSearchConfig, Scenario, ScenarioResult, SweepGrid, SweepOutcome,
-    find_sustained_knee, run_scenario, run_scenario_with, run_sweep,
+    KneeResult, KneeSearchConfig, Scenario, ScenarioPhases, ScenarioResult, SweepGrid,
+    SweepOutcome, find_sustained_knee, run_scenario, run_scenario_phased, run_scenario_with,
+    run_sweep,
 };
 pub use trace::{
     OnOffConfig, TRACE_CSV_HEADER, TraceParseError, TraceSource, TraceStats, TrafficConfig,

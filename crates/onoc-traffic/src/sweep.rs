@@ -15,6 +15,7 @@
 
 use std::sync::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use onoc_sim::{
     DynamicPolicy, EnergyProbe, EnergyReport, InjectionMode, LatencyStats, OpenLoopSimulator,
@@ -253,6 +254,34 @@ pub fn run_scenario(grid: &SweepGrid, scenario: &Scenario) -> ScenarioResult {
     run_scenario_with(grid, scenario, &mut SimScratch::new())
 }
 
+/// Wall-clock phase split of one scenario run, in milliseconds: trace
+/// setup (seed split + generation), the engine run, and the fold of the
+/// run into a [`ScenarioResult`]. The bench harness accumulates these
+/// across a grid's points so slowdowns are attributable to a phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScenarioPhases {
+    /// Trace-generation wall time.
+    pub setup_ms: f64,
+    /// Engine (simulation) wall time.
+    pub simulate_ms: f64,
+    /// Report-folding wall time.
+    pub report_ms: f64,
+}
+
+impl ScenarioPhases {
+    /// Adds another run's phase split into this one.
+    pub fn accumulate(&mut self, other: ScenarioPhases) {
+        self.setup_ms += other.setup_ms;
+        self.simulate_ms += other.simulate_ms;
+        self.report_ms += other.report_ms;
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn elapsed_ms(since: Instant) -> f64 {
+    since.elapsed().as_nanos() as f64 / 1e6
+}
+
 /// [`run_scenario`] with caller-provided reusable simulator buffers.
 ///
 /// The sweep runs in the engine's streaming report mode: per-message
@@ -268,6 +297,17 @@ pub fn run_scenario_with(
     scenario: &Scenario,
     scratch: &mut SimScratch,
 ) -> ScenarioResult {
+    run_scenario_phased(grid, scenario, scratch).0
+}
+
+/// [`run_scenario_with`] plus the wall-clock phase split of the run.
+#[must_use]
+pub fn run_scenario_phased(
+    grid: &SweepGrid,
+    scenario: &Scenario,
+    scratch: &mut SimScratch,
+) -> (ScenarioResult, ScenarioPhases) {
+    let setup_start = Instant::now();
     let seed = TrafficRng::new(grid.seed)
         .split(scenario.index as u64)
         .next_u64();
@@ -281,6 +321,8 @@ pub fn run_scenario_with(
         burstiness: grid.burstiness.clone(),
     };
     let trace = generate(&config);
+    let setup_ms = elapsed_ms(setup_start);
+    let simulate_start = Instant::now();
     let sim = OpenLoopSimulator::with_injection(
         RingTopology::new(scenario.nodes),
         scenario.wavelengths,
@@ -302,7 +344,9 @@ pub fn run_scenario_with(
             None,
         ),
     };
-    ScenarioResult {
+    let simulate_ms = elapsed_ms(simulate_start);
+    let report_start = Instant::now();
+    let result = ScenarioResult {
         scenario: scenario.clone(),
         injected: trace.len(),
         offered_load: config.offered_load(),
@@ -314,7 +358,13 @@ pub fn run_scenario_with(
         credit_occupancy: report.credit_occupancy,
         energy_pj_per_bit: energy.as_ref().map_or(0.0, EnergyReport::pj_per_bit),
         energy_static_frac: energy.as_ref().map_or(0.0, EnergyReport::static_fraction),
-    }
+    };
+    let phases = ScenarioPhases {
+        setup_ms,
+        simulate_ms,
+        report_ms: elapsed_ms(report_start),
+    };
+    (result, phases)
 }
 
 /// Fans the grid out over `threads` scoped workers and gathers results in
