@@ -17,7 +17,9 @@
 
 use std::time::Instant;
 
-use onoc_sim::{DynamicPolicy, EnergyModel, InjectionMode, SimScratch};
+use onoc_sim::{
+    AimdParams, DynamicPolicy, EnergyModel, FaultPlan, InjectionMode, SimScratch, TransportMode,
+};
 use onoc_topology::NodeId;
 use onoc_traffic::{ScenarioPhases, SweepGrid, TrafficPattern, run_scenario_phased};
 use onoc_units::{Bits, BitsPerCycle};
@@ -88,6 +90,9 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
         burstiness: None,
         injection: InjectionMode::Open,
         energy: Some(EnergyModel::paper(16, 8)),
+        faults: None,
+        transport: TransportMode::None,
+        aimd: AimdParams::default(),
     };
     let mut out = vec![
         // The headline saturation sweeps: paper scale and beyond.
@@ -133,6 +138,19 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
             }
         }
     }
+    // The reliability scenario: BER-driven corruption recovered by
+    // go-back-N, so the fault/transport hot path has its own tracked
+    // wall-time and energy trajectory (retransmitted bits burn pJ).
+    out.push(BenchScenario {
+        name: "gbn-fault-8l".into(),
+        grid: SweepGrid {
+            injection_rates: vec![0.01, 0.04],
+            horizon: scale(40_000),
+            faults: Some(FaultPlan::new(2017).with_ber(1e-4)),
+            transport: TransportMode::go_back_n(),
+            ..base
+        },
+    });
     out
 }
 
@@ -345,7 +363,7 @@ mod tests {
     fn pinned_set_shape_is_stable() {
         let full = pinned_scenarios(false);
         let quick = pinned_scenarios(true);
-        assert_eq!(full.len(), 14, "2 headline + 3×2×2 matrix");
+        assert_eq!(full.len(), 15, "2 headline + 3×2×2 matrix + 1 fault");
         assert_eq!(full.len(), quick.len());
         for (f, q) in full.iter().zip(&quick) {
             assert_eq!(f.name, q.name, "tiers share scenario names");
@@ -357,6 +375,7 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), full.len());
         assert!(names.contains(&"saturation-sweep-32n"));
+        assert!(names.contains(&"gbn-fault-8l"));
     }
 
     fn record(name: &str, wall_ms: f64, pj_per_bit: f64) -> BenchRecord {

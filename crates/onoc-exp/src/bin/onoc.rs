@@ -52,6 +52,11 @@ OPTIONS (run --spec only):
                           export every transmission as a Chrome trace-event
                           JSON (load in Perfetto / chrome://tracing); implies
                           [telemetry] with its defaults when the spec has none
+    --fault-ber <x>       inject a uniform per-message corruption BER
+                          (overrides the spec's [faults] ber)
+    --fault-seed <n>      fault-process RNG seed         [default: spec seed]
+    --transport <m>       none | gbn | pfc — recovery mode layered over the
+                          injection policy (overrides the spec's [transport])
 
 OPTIONS (run, sweep):
     --quick               reduced GA/horizon configuration (scale = quick)
@@ -187,7 +192,13 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     let json = flag(args, "--json");
 
-    for only_spec in ["--capture-trace", "--export-chrome-trace"] {
+    for only_spec in [
+        "--capture-trace",
+        "--export-chrome-trace",
+        "--fault-ber",
+        "--fault-seed",
+        "--transport",
+    ] {
         if value_of(args, only_spec).is_some()
             && (value_of(args, "--spec").is_none() || value_of(args, "--all").is_some())
         {
@@ -209,6 +220,10 @@ fn cmd_run(args: &[String]) -> i32 {
                 return 1;
             }
         };
+        if let Err(message) = apply_reliability_flags(&mut spec, args) {
+            eprintln!("{message}");
+            return 2;
+        }
         if let Some(trace_path) = value_of(args, "--export-chrome-trace") {
             if !matches!(
                 spec.workload,
@@ -268,6 +283,9 @@ fn cmd_run(args: &[String]) -> i32 {
                             | "--out"
                             | "--capture-trace"
                             | "--export-chrome-trace"
+                            | "--fault-ber"
+                            | "--fault-seed"
+                            | "--transport"
                     ))
         })
         .map(|(_, a)| a)
@@ -287,6 +305,61 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     emit(&experiment.run(&ctx), json);
     0
+}
+
+/// Applies the `--fault-ber`/`--fault-seed`/`--transport` overrides onto
+/// a loaded spec (the CLI fast path for "rerun this scenario under
+/// faults" without editing the file). Ranges are checked here because
+/// the overrides land after the spec's own validation pass.
+fn apply_reliability_flags(spec: &mut ScenarioSpec, args: &[String]) -> Result<(), String> {
+    let requested = ["--fault-ber", "--fault-seed", "--transport"]
+        .iter()
+        .any(|name| value_of(args, name).is_some());
+    if requested
+        && !matches!(
+            spec.workload,
+            onoc_exp::WorkloadSpec::Synthetic { .. }
+                | onoc_exp::WorkloadSpec::Trace { .. }
+                | onoc_exp::WorkloadSpec::Sweep { .. }
+        )
+    {
+        return Err(
+            "fault/transport overrides apply to message-stream workloads \
+             (synthetic, trace or sweep specs)"
+                .into(),
+        );
+    }
+    if let Some(ber) = parsed_value::<f64>(args, "--fault-ber")? {
+        if !(ber.is_finite() && (0.0..1.0).contains(&ber)) {
+            return Err(format!("--fault-ber must be in [0, 1), got {ber}"));
+        }
+        let mut faults = spec.faults.clone().unwrap_or_default();
+        faults.ber = Some(ber);
+        faults.ber_model = None;
+        spec.faults = Some(faults);
+    }
+    if let Some(seed) = parsed_value::<u64>(args, "--fault-seed")? {
+        let mut faults = spec.faults.clone().unwrap_or_default();
+        faults.seed = Some(seed);
+        spec.faults = Some(faults);
+    }
+    if let Some(mode) = value_of(args, "--transport") {
+        spec.transport = match mode.as_str() {
+            "none" => None,
+            "gbn" => Some(onoc_exp::TransportSpec::GoBackN {
+                window: None,
+                nack_delay: None,
+                timeout: None,
+                max_retries: None,
+            }),
+            "pfc" => Some(onoc_exp::TransportSpec::Pfc {
+                dst_window: None,
+                max_retries: None,
+            }),
+            other => return Err(format!("unknown transport {other:?} (none | gbn | pfc)")),
+        };
+    }
+    Ok(())
 }
 
 /// Parses one spec file (TOML unless the extension says JSON) and applies

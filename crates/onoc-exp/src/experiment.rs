@@ -133,9 +133,9 @@ mod tests {
         let names = registry.names();
         assert_eq!(
             names.len(),
-            19,
+            20,
             "the 15 former binaries plus sustained-saturation, sustained-knee, \
-             energy-vs-load and saturation-timeline"
+             energy-vs-load, saturation-timeline and reliability-vs-fault-rate"
         );
         let mut dedup = names.clone();
         dedup.sort_unstable();

@@ -20,6 +20,7 @@
 //! | `sustained-saturation` | — (new) | closed-loop sustained knee per allocator |
 //! | `energy-vs-load` | — (new) | energy per bit vs offered load per allocator |
 //! | `saturation-timeline` | — (new) | windowed time series across the sustained knee |
+//! | `reliability-vs-fault-rate` | — (new) | goodput vs BER with/without go-back-N |
 //! | `workload-sweep` | `workload_sweep` | the panel of synthetic kernels |
 
 mod figures;
@@ -52,6 +53,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(traffic::SustainedKnee),
         Box::new(traffic::EnergyVsLoad),
         Box::new(traffic::SaturationTimeline),
+        Box::new(traffic::ReliabilityVsFaultRate),
         Box::new(traffic::WorkloadSweep),
     ]
 }

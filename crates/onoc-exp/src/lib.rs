@@ -11,11 +11,13 @@
 //!   access),
 //! * [`scenario::run_spec`] — the generic interpreter: any spec file runs
 //!   without new Rust code,
-//! * [`Experiment`] + [`Registry`] — the 18 named paper
+//! * [`Experiment`] + [`Registry`] — the 20 named paper
 //!   experiments/extensions (the 15 former hand-rolled `onoc-bench`
 //!   binaries plus the closed-loop `sustained-saturation` /
-//!   `sustained-knee` studies and the `energy-vs-load` curve), each
-//!   returning a structured [`Report`],
+//!   `sustained-knee` studies, the `energy-vs-load` curve, the
+//!   windowed `saturation-timeline`, and the fault-injection
+//!   `reliability-vs-fault-rate` study), each returning a structured
+//!   [`Report`],
 //! * [`artifact`] — the table/CSV/JSON output layer replacing per-binary
 //!   `println!` plumbing,
 //! * [`diff`] — field-by-field comparison of two report artifacts
@@ -76,7 +78,8 @@ pub use diff::{DiffReport, diff_reports};
 pub use experiment::{Experiment, Registry, RunContext, default_threads};
 pub use scenario::{ScenarioError, capture_trace, run_spec};
 pub use spec::{
-    AllocatorSpec, ArchSpec, EnergySpec, HeuristicKind, KernelKind, ReportKind, Scale,
-    ScenarioSpec, ScenarioSpecBuilder, SpecError, TelemetrySpec, WorkloadSpec,
+    AimdSpec, AllocatorSpec, ArchSpec, EnergySpec, FaultSpec, HeuristicKind, KernelKind,
+    ReportKind, Scale, ScenarioSpec, ScenarioSpecBuilder, SpecError, TelemetrySpec, TransportSpec,
+    WorkloadSpec,
 };
 pub use value::{ParseError, Value};

@@ -12,9 +12,9 @@
 
 use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
 use onoc_sim::{
-    ChromeTraceProbe, DynamicSimulator, EnergyProbe, EnergyReport, FlowEnergy, FlowMatrix,
-    OpenLoopReport, OpenLoopSimulator, SimScratch, StaticFlowMap, SynthesisSummary, TimeSeries,
-    TimeSeriesProbe, WavelengthMode,
+    AimdParams, ChromeTraceProbe, DynamicSimulator, EnergyProbe, EnergyReport, FaultPlan,
+    FlowEnergy, FlowMatrix, OpenLoopReport, OpenLoopSimulator, SimScratch, StaticFlowMap,
+    SynthesisSummary, TimeSeries, TimeSeriesProbe, TransportMode, WavelengthMode,
 };
 use onoc_topology::{OnocArchitecture, RingTopology};
 use onoc_traffic::{
@@ -27,8 +27,8 @@ use rand::rngs::StdRng;
 
 use crate::artifact::{Report, Table, counts_cell};
 use crate::spec::{
-    AllocatorSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, TelemetrySpec, WorkloadSpec,
-    objectives_name,
+    AllocatorSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, TelemetrySpec, TransportSpec,
+    WorkloadSpec, objectives_name,
 };
 
 /// Why a scenario could not be executed.
@@ -326,6 +326,9 @@ fn open_loop_table(label: &str) -> Table {
             "conflicts",
             "energy_pj_per_bit",
             "energy_static_frac",
+            "failed_attempts",
+            "lost",
+            "retx_bits",
         ],
     )
 }
@@ -363,6 +366,9 @@ fn push_open_loop_row(
         report.conflict_count.to_string(),
         format!("{:.4}", energy.pj_per_bit()),
         format!("{:.4}", energy.static_fraction()),
+        report.failed_attempts.to_string(),
+        report.lost_messages.to_string(),
+        format!("{:.1}", report.retransmitted_bits),
     ]);
 }
 
@@ -456,6 +462,21 @@ fn resolve_energy(spec: &ScenarioSpec) -> onoc_sim::EnergyModel {
         .resolve(spec.arch.nodes, spec.arch.wavelengths)
 }
 
+/// Resolves the spec's `[faults]`/`[transport]`/AIMD tables into engine
+/// terms at the spec's nominal architecture (per-flow BER vectors and
+/// lane indices are sized to it; sweep validation pins mismatches).
+fn resolve_reliability(spec: &ScenarioSpec) -> (Option<FaultPlan>, TransportMode, AimdParams) {
+    let faults = spec
+        .faults
+        .as_ref()
+        .map(|f| f.resolve(spec.seed, spec.arch.nodes, spec.arch.wavelengths));
+    let transport = spec
+        .transport
+        .as_ref()
+        .map_or(TransportMode::None, TransportSpec::resolve);
+    (faults, transport, spec.aimd.resolve())
+}
+
 /// Runs a message-stream workload (synthetic or trace) through the
 /// open/closed-loop engine — report mode and energy model from the
 /// spec — and tabulates one scenario row.
@@ -473,13 +494,20 @@ fn run_stream(
         WavelengthMode::Dynamic(policy) => format!("dynamic-{policy}"),
         WavelengthMode::Static(_) => format!("static-{}", spec.allocator.kind()),
     };
-    let sim = OpenLoopSimulator::with_injection(
+    let (faults, transport, aimd) = resolve_reliability(spec);
+    let mut sim = OpenLoopSimulator::with_injection(
         ring,
         spec.arch.wavelengths,
         rate(),
         mode,
         spec.injection,
-    );
+    )
+    .with_transport(transport)
+    .with_aimd(aimd);
+    if let Some(plan) = faults {
+        sim = sim.with_faults(plan);
+    }
+    let sim = sim;
     let model = resolve_energy(spec);
     let mut probe = EnergyProbe::new(model, spec.arch.nodes, spec.arch.wavelengths);
     let sim_err = |e: &dyn core::fmt::Display| ScenarioError::Simulation {
@@ -526,6 +554,17 @@ fn run_stream(
         energy.dynamic_fj() / 1e3,
         spec.report.name(),
     ));
+    if spec.faults.is_some() || spec.transport.is_some() {
+        report.push_text(format!(
+            "reliability: {} failed attempt(s), {:.0} bits retransmitted, {} message(s) \
+             lost ({:.0} bits) under {} transport",
+            run.failed_attempts,
+            run.retransmitted_bits,
+            run.lost_messages,
+            run.lost_bits,
+            transport.name(),
+        ));
+    }
     let mut table = open_loop_table("scenario");
     push_open_loop_row(
         &mut table,
@@ -547,7 +586,7 @@ fn run_stream(
 
 /// The canonical column order of the per-window `timeseries` artifact
 /// (pinned by a golden-header test; downstream plots key on it).
-const TIMESERIES_COLUMNS: [&str; 14] = [
+const TIMESERIES_COLUMNS: [&str; 17] = [
     "window_start",
     "offered",
     "admitted",
@@ -562,6 +601,9 @@ const TIMESERIES_COLUMNS: [&str; 14] = [
     "segment_utilization",
     "ecn_marks",
     "fairness",
+    "failed",
+    "retx_bits",
+    "lost",
 ];
 
 /// Tabulates the windowed time series under the canonical header.
@@ -583,6 +625,9 @@ fn timeseries_table(series: &TimeSeries) -> Table {
             format!("{:.4}", series.segment_utilization(i)),
             w.ecn_marks.to_string(),
             format!("{:.4}", w.fairness),
+            w.failed.to_string(),
+            format!("{:.0}", w.retransmitted_bits),
+            w.lost.to_string(),
         ]);
     }
     table
@@ -796,6 +841,7 @@ fn run_sweep_workload(
     let AllocatorSpec::Dynamic { policy } = &spec.allocator else {
         unreachable!("spec validation allows only dynamic allocators for sweeps");
     };
+    let (faults, transport, aimd) = resolve_reliability(spec);
     let grid = SweepGrid {
         patterns: patterns.clone(),
         injection_rates: injection_rates.clone(),
@@ -810,8 +856,12 @@ fn run_sweep_workload(
         injection: spec.injection,
         // One model for the whole grid, resolved at the spec's nominal
         // architecture (per-point laser re-derivation would make sweep
-        // rows incomparable across the comb/ring axes).
+        // rows incomparable across the comb/ring axes); the fault plan
+        // and transport mode are shared the same way.
         energy: Some(resolve_energy(spec)),
+        faults,
+        transport,
+        aimd,
     };
     let scenario_count = grid.scenarios().len();
     let outcome = run_sweep(&grid, threads);
@@ -1375,7 +1425,7 @@ max_lanes_per_flow = 4
             series.csv_header(),
             "window_start,offered,admitted,retired,retired_bits,accepted_bits_per_cycle,\
              stall_fraction,gate_held,queue_depth,in_flight,lane_utilization,\
-             segment_utilization,ecn_marks,fairness"
+             segment_utilization,ecn_marks,fairness,failed,retx_bits,lost"
         );
 
         // The window series conserves the scenario row's message count.
@@ -1456,6 +1506,79 @@ max_lanes_per_flow = 4
         let report = run_spec(&spec, 2).unwrap();
         let names: Vec<&str> = report.tables().iter().map(|t| t.name()).collect();
         assert_eq!(names, vec!["scenario", "timeseries", "per_source"]);
+    }
+
+    #[test]
+    fn faulted_scenario_reports_reliability_columns_and_windows() {
+        use crate::spec::{FaultSpec, TelemetrySpec, TransportSpec};
+        let toml = r#"
+name = "faulted"
+seed = 9
+scale = "smoke"
+
+[workload]
+kind = "synthetic"
+pattern = "uniform"
+injection_rate = 0.04
+message_bits = 256.0
+horizon = 30000
+
+[allocator]
+kind = "dynamic"
+policy = "single"
+
+[faults]
+ber = 0.001
+
+[transport]
+mode = "gbn"
+
+[telemetry]
+window = 64
+per_flow = false
+"#;
+        let spec = ScenarioSpec::from_toml_str(toml).unwrap();
+        assert!(matches!(spec.faults, Some(FaultSpec { .. })));
+        assert!(matches!(
+            spec.transport,
+            Some(TransportSpec::GoBackN { .. })
+        ));
+        assert!(matches!(
+            spec.telemetry,
+            Some(TelemetrySpec {
+                window: Some(64),
+                ..
+            })
+        ));
+        let report = run_spec(&spec, 2).unwrap();
+        let find = |name: &str| *report.tables().iter().find(|t| t.name() == name).unwrap();
+        let scenario = find("scenario");
+        let col = |name: &str| -> usize {
+            scenario
+                .columns()
+                .iter()
+                .position(|c| c == name)
+                .unwrap_or_else(|| panic!("missing column {name}"))
+        };
+        let row = &scenario.rows()[0];
+        let failed: u64 = row[col("failed_attempts")].parse().unwrap();
+        let retx: f64 = row[col("retx_bits")].parse().unwrap();
+        assert!(
+            failed > 0,
+            "a 1e-3 BER over 30k cycles must corrupt: {row:?}"
+        );
+        assert!(retx > 0.0, "go-back-N recovers by retransmitting: {row:?}");
+        // The windowed series carries the same reliability totals.
+        let series = find("timeseries");
+        let fail_col = series.columns().iter().position(|c| c == "failed").unwrap();
+        let window_failed: u64 = series
+            .rows()
+            .iter()
+            .map(|r| r[fail_col].parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(window_failed, failed, "windows conserve failed attempts");
+        // The summary line names the transport.
+        assert!(report.render().contains("under gbn transport"));
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! [`run_spec`](crate::scenario::run_spec) — new scenarios need a file,
 //! not a binary. Every spec round-trips exactly through both serializers.
 
-use onoc_sim::{DynamicPolicy, EnergyModel, FlowAllocPolicy, InjectionMode};
+use onoc_sim::{
+    AimdParams, DynamicPolicy, EnergyModel, FaultPlan, FlowAllocPolicy, InjectionMode, LaneFault,
+    StochasticFaults, TransportMode,
+};
 use onoc_topology::NodeId;
 use onoc_traffic::TrafficPattern;
 use onoc_wa::{Nsga2Config, ObjectiveSet};
@@ -530,6 +533,353 @@ impl TelemetrySpec {
     }
 }
 
+/// The `[faults]` table: lane outages and BER-driven corruption for
+/// message-stream runs, resolved into a [`FaultPlan`] at run time.
+///
+/// Every field that is `None` falls back to its default, so the
+/// document form round-trips exactly (only explicit keys are written
+/// back) — the same convention as [`EnergySpec`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Override: fault-stream seed (default: the spec's master seed).
+    pub seed: Option<u64>,
+    /// Uniform bit-error rate in `[0, 1)` applied to every flow.
+    /// Mutually exclusive with `ber_model`.
+    pub ber: Option<f64>,
+    /// Named per-flow BER derivation. The only model so far is
+    /// [`FAULT_BER_MODEL_PAPER`]: each destination's worst-case
+    /// crosstalk bound on the spec's architecture, pushed through the
+    /// photonics SNR → BER chain.
+    pub ber_model: Option<String>,
+    /// Scheduled outages, as parallel arrays (all three keys given
+    /// together, same length): the failed wavelength per outage...
+    pub outage_lanes: Option<Vec<usize>>,
+    /// ...the first down cycle per outage...
+    pub outage_starts: Option<Vec<u64>>,
+    /// ...and the outage length in cycles (0 means the lane never
+    /// recovers).
+    pub outage_durations: Option<Vec<u64>>,
+    /// Stochastic MR-failure process: mean cycles between failures of
+    /// one lane. Given together with `mean_down` and `fault_horizon`.
+    pub mean_up: Option<f64>,
+    /// Mean outage length in cycles.
+    pub mean_down: Option<f64>,
+    /// No new stochastic failures start at or past this cycle.
+    pub fault_horizon: Option<u64>,
+}
+
+/// The only named per-flow BER model so far (`ber_model = "paper"`):
+/// Table I devices on the spec's architecture, worst-case crosstalk per
+/// destination, `PaperDb` BER convention.
+pub const FAULT_BER_MODEL_PAPER: &str = "paper";
+
+impl FaultSpec {
+    /// Resolves the table into a concrete plan for a `nodes`-core ring
+    /// with a `wavelengths`-channel comb. `spec_seed` seeds the fault
+    /// streams when the table has no seed of its own.
+    #[must_use]
+    pub fn resolve(&self, spec_seed: u64, nodes: usize, wavelengths: usize) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.seed.unwrap_or(spec_seed));
+        if let Some(ber) = self.ber {
+            plan = plan.with_ber(ber);
+        }
+        if self.ber_model.is_some() {
+            plan = plan.with_per_flow_ber(paper_path_bers(nodes, wavelengths));
+        }
+        if let (Some(lanes), Some(starts), Some(durations)) = (
+            &self.outage_lanes,
+            &self.outage_starts,
+            &self.outage_durations,
+        ) {
+            for ((&lane, &at), &duration) in lanes.iter().zip(starts).zip(durations) {
+                plan = plan.with_scheduled(LaneFault {
+                    lane,
+                    at,
+                    duration: if duration == 0 { u64::MAX } else { duration },
+                });
+            }
+        }
+        if let (Some(mean_up), Some(mean_down), Some(horizon)) =
+            (self.mean_up, self.mean_down, self.fault_horizon)
+        {
+            plan = plan.with_stochastic(StochasticFaults {
+                mean_up,
+                mean_down,
+                horizon,
+            });
+        }
+        plan
+    }
+
+    fn validate(&self, max_lane: usize) -> Result<(), SpecError> {
+        if let Some(ber) = self.ber {
+            if !(ber.is_finite() && (0.0..1.0).contains(&ber)) {
+                return Err(invalid(
+                    "faults.ber",
+                    format!("must be in [0, 1), got {ber}"),
+                ));
+            }
+            if self.ber_model.is_some() {
+                return Err(invalid(
+                    "faults.ber",
+                    "ber and ber_model are mutually exclusive",
+                ));
+            }
+        }
+        if let Some(model) = &self.ber_model {
+            if model != FAULT_BER_MODEL_PAPER {
+                return Err(invalid(
+                    "faults.ber_model",
+                    format!("unknown model {model:?} (only \"paper\" is defined)"),
+                ));
+            }
+        }
+        let given = [
+            self.outage_lanes.is_some(),
+            self.outage_starts.is_some(),
+            self.outage_durations.is_some(),
+        ];
+        if given.iter().any(|g| *g) && !given.iter().all(|g| *g) {
+            return Err(invalid(
+                "faults.outage_lanes",
+                "outage_lanes, outage_starts and outage_durations must be given together",
+            ));
+        }
+        if let (Some(lanes), Some(starts), Some(durations)) = (
+            &self.outage_lanes,
+            &self.outage_starts,
+            &self.outage_durations,
+        ) {
+            if lanes.len() != starts.len() || lanes.len() != durations.len() {
+                return Err(invalid(
+                    "faults.outage_lanes",
+                    "the outage arrays must have the same length",
+                ));
+            }
+            for &lane in lanes {
+                if lane >= max_lane {
+                    return Err(invalid(
+                        "faults.outage_lanes",
+                        format!("lane {lane} is outside the {max_lane}-channel comb"),
+                    ));
+                }
+            }
+        }
+        let given = [
+            self.mean_up.is_some(),
+            self.mean_down.is_some(),
+            self.fault_horizon.is_some(),
+        ];
+        if given.iter().any(|g| *g) && !given.iter().all(|g| *g) {
+            return Err(invalid(
+                "faults.mean_up",
+                "mean_up, mean_down and fault_horizon must be given together",
+            ));
+        }
+        for (field, v) in [
+            ("faults.mean_up", self.mean_up),
+            ("faults.mean_down", self.mean_down),
+        ] {
+            if let Some(v) = v {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(SpecError::Invalid {
+                        field,
+                        message: format!("must be positive and finite, got {v}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-flow worst-case path BERs on the near-square paper architecture:
+/// for every destination, the noisiest channel of its receiver stack's
+/// crosstalk bound (whole-ring signal travel, all interferers active),
+/// shared by every source targeting it.
+#[must_use]
+pub fn paper_path_bers(nodes: usize, wavelengths: usize) -> Vec<f64> {
+    use onoc_topology::{Direction, NodeId, OnocArchitecture, worst_case_bounds};
+    let (rows, cols) = OnocArchitecture::near_square_grid(nodes);
+    let arch = OnocArchitecture::builder()
+        .grid_dimensions(rows, cols)
+        .wavelengths(wavelengths)
+        .build()
+        .expect("near-square paper grids are valid architectures");
+    let p0 = arch.laser().power_off().to_milliwatts();
+    let mut bers = vec![0.0; nodes * nodes];
+    for dst in 0..nodes {
+        let worst_log = worst_case_bounds(&arch, NodeId(dst), Direction::Clockwise)
+            .iter()
+            .map(|b| b.worst_log_ber(p0, onoc_photonics::BerConvention::PaperDb))
+            .fold(f64::NEG_INFINITY, f64::max);
+        // The bound is conservative but a BER is still a probability.
+        let ber = 10f64.powf(worst_log).min(0.5);
+        for src in 0..nodes {
+            if src != dst {
+                bers[src * nodes + dst] = ber;
+            }
+        }
+    }
+    bers
+}
+
+/// The `[transport]` table: a reliable-transport recovery mode plus
+/// per-parameter overrides, resolved into a [`TransportMode`] at run
+/// time. Every field that is `None` falls back to the mode's preset
+/// ([`TransportMode::go_back_n`] / [`TransportMode::pfc`]), so the
+/// document form round-trips exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportSpec {
+    /// Go-back-N ARQ (`mode = "gbn"`).
+    GoBackN {
+        /// Override: maximum unacknowledged messages per flow.
+        window: Option<usize>,
+        /// Override: NACK round trip in cycles.
+        nack_delay: Option<u64>,
+        /// Override: sender timeout in cycles.
+        timeout: Option<u64>,
+        /// Override: retransmissions allowed per message.
+        max_retries: Option<u32>,
+    },
+    /// PFC-style lossless backpressure (`mode = "pfc"`).
+    Pfc {
+        /// Override: maximum in-flight messages per destination.
+        dst_window: Option<usize>,
+        /// Override: retransmissions allowed per message.
+        max_retries: Option<u32>,
+    },
+}
+
+impl TransportSpec {
+    /// The `mode` discriminator used in spec files.
+    #[must_use]
+    pub fn mode(&self) -> &'static str {
+        match self {
+            TransportSpec::GoBackN { .. } => "gbn",
+            TransportSpec::Pfc { .. } => "pfc",
+        }
+    }
+
+    /// Resolves the table into a concrete mode: the preset with this
+    /// spec's overrides applied.
+    #[must_use]
+    pub fn resolve(&self) -> TransportMode {
+        match self {
+            TransportSpec::GoBackN {
+                window,
+                nack_delay,
+                timeout,
+                max_retries,
+            } => {
+                let TransportMode::GoBackN {
+                    window: dw,
+                    nack_delay: dn,
+                    timeout: dt,
+                    max_retries: dr,
+                } = TransportMode::go_back_n()
+                else {
+                    unreachable!("the preset is go-back-N")
+                };
+                TransportMode::GoBackN {
+                    window: window.unwrap_or(dw),
+                    nack_delay: nack_delay.unwrap_or(dn),
+                    timeout: timeout.unwrap_or(dt),
+                    max_retries: max_retries.unwrap_or(dr),
+                }
+            }
+            TransportSpec::Pfc {
+                dst_window,
+                max_retries,
+            } => {
+                let TransportMode::Pfc {
+                    dst_window: dw,
+                    max_retries: dr,
+                } = TransportMode::pfc()
+                else {
+                    unreachable!("the preset is PFC")
+                };
+                TransportMode::Pfc {
+                    dst_window: dst_window.unwrap_or(dw),
+                    max_retries: max_retries.unwrap_or(dr),
+                }
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        match self {
+            TransportSpec::GoBackN {
+                window, timeout, ..
+            } => {
+                if *window == Some(0) {
+                    return Err(invalid("transport.window", "must be at least 1"));
+                }
+                if *timeout == Some(0) {
+                    return Err(invalid("transport.timeout", "must be at least 1 cycle"));
+                }
+            }
+            TransportSpec::Pfc { dst_window, .. } => {
+                if *dst_window == Some(0) {
+                    return Err(invalid("transport.dst_window", "must be at least 1"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// ECN AIMD pacing overrides, carried in the `[injection]` table
+/// (`aimd_step` / `aimd_md_factor` / `aimd_min_factor` keys). Every
+/// field that is `None` falls back to [`AimdParams::default`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AimdSpec {
+    /// Override: additive-increase step per unmarked delivery.
+    pub additive_step: Option<f64>,
+    /// Override: multiplicative-decrease factor per marked delivery.
+    pub md_factor: Option<f64>,
+    /// Override: floor of the rate factor.
+    pub min_factor: Option<f64>,
+}
+
+impl AimdSpec {
+    /// `true` when no key is overridden.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        *self == AimdSpec::default()
+    }
+
+    /// Resolves the overrides over [`AimdParams::default`].
+    #[must_use]
+    pub fn resolve(&self) -> AimdParams {
+        let d = AimdParams::default();
+        AimdParams {
+            additive_step: self.additive_step.unwrap_or(d.additive_step),
+            md_factor: self.md_factor.unwrap_or(d.md_factor),
+            min_factor: self.min_factor.unwrap_or(d.min_factor),
+        }
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        if let Some(v) = self.additive_step {
+            if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+                return Err(invalid("injection.aimd_step", "must be in (0, 1]"));
+            }
+        }
+        if let Some(v) = self.md_factor {
+            if !(v.is_finite() && v > 0.0 && v < 1.0) {
+                return Err(invalid("injection.aimd_md_factor", "must be in (0, 1)"));
+            }
+        }
+        if let Some(v) = self.min_factor {
+            if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+                return Err(invalid("injection.aimd_min_factor", "must be in (0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Why a spec could not be built or parsed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpecError {
@@ -616,6 +966,16 @@ pub struct ScenarioSpec {
     /// [`TimeSeries`](onoc_sim::TimeSeries) (plus per-source and
     /// per-flow attribution artifacts) and can export a Chrome trace.
     pub telemetry: Option<TelemetrySpec>,
+    /// ECN AIMD pacing overrides, carried as `aimd_*` keys of the
+    /// `[injection]` table (defaults when untouched; only meaningful in
+    /// ECN mode).
+    pub aimd: AimdSpec,
+    /// Optional `[faults]` table: lane outages and BER corruption for
+    /// message-stream runs.
+    pub faults: Option<FaultSpec>,
+    /// Optional `[transport]` table: reliable-transport recovery for
+    /// message-stream runs.
+    pub transport: Option<TransportSpec>,
 }
 
 impl ScenarioSpec {
@@ -638,6 +998,9 @@ impl ScenarioSpec {
             report: ReportKind::Full,
             energy: None,
             telemetry: None,
+            aimd: AimdSpec::default(),
+            faults: None,
+            transport: None,
         }
     }
 
@@ -792,8 +1155,20 @@ impl ScenarioSpec {
             injection.insert("mode", self.injection.name());
             match self.injection {
                 InjectionMode::Open => unreachable!("open mode is the omitted default"),
-                InjectionMode::Credit { window } => injection.insert("credit_window", window),
+                InjectionMode::Credit { window } | InjectionMode::CreditPerDst { window } => {
+                    injection.insert("credit_window", window);
+                }
                 InjectionMode::Ecn { threshold } => injection.insert("ecn_threshold", threshold),
+            }
+            let overrides = [
+                ("aimd_step", self.aimd.additive_step),
+                ("aimd_md_factor", self.aimd.md_factor),
+                ("aimd_min_factor", self.aimd.min_factor),
+            ];
+            for (key, v) in overrides {
+                if let Some(v) = v {
+                    injection.insert(key, v);
+                }
             }
             root.insert("injection", injection);
         }
@@ -826,6 +1201,74 @@ impl ScenarioSpec {
                 table.insert("chrome_trace", path.clone());
             }
             root.insert("telemetry", table);
+        }
+        if let Some(faults) = &self.faults {
+            let mut table = Value::table();
+            if let Some(seed) = faults.seed {
+                table.insert("seed", seed);
+            }
+            if let Some(ber) = faults.ber {
+                table.insert("ber", ber);
+            }
+            if let Some(model) = &faults.ber_model {
+                table.insert("ber_model", model.clone());
+            }
+            if let Some(lanes) = &faults.outage_lanes {
+                table.insert("outage_lanes", lanes.clone());
+            }
+            if let Some(starts) = &faults.outage_starts {
+                table.insert("outage_starts", starts.clone());
+            }
+            if let Some(durations) = &faults.outage_durations {
+                table.insert("outage_durations", durations.clone());
+            }
+            if let Some(v) = faults.mean_up {
+                table.insert("mean_up", v);
+            }
+            if let Some(v) = faults.mean_down {
+                table.insert("mean_down", v);
+            }
+            if let Some(v) = faults.fault_horizon {
+                table.insert("fault_horizon", v);
+            }
+            root.insert("faults", table);
+        }
+        if let Some(transport) = &self.transport {
+            let mut table = Value::table();
+            table.insert("mode", transport.mode());
+            match transport {
+                TransportSpec::GoBackN {
+                    window,
+                    nack_delay,
+                    timeout,
+                    max_retries,
+                } => {
+                    if let Some(v) = window {
+                        table.insert("window", *v);
+                    }
+                    if let Some(v) = nack_delay {
+                        table.insert("nack_delay", *v);
+                    }
+                    if let Some(v) = timeout {
+                        table.insert("timeout", *v);
+                    }
+                    if let Some(v) = max_retries {
+                        table.insert("max_retries", u64::from(*v));
+                    }
+                }
+                TransportSpec::Pfc {
+                    dst_window,
+                    max_retries,
+                } => {
+                    if let Some(v) = dst_window {
+                        table.insert("dst_window", *v);
+                    }
+                    if let Some(v) = max_retries {
+                        table.insert("max_retries", u64::from(*v));
+                    }
+                }
+            }
+            root.insert("transport", table);
         }
         root
     }
@@ -874,8 +1317,8 @@ impl ScenarioSpec {
                 .get("allocator")
                 .ok_or(SpecError::Missing { field: "allocator" })?,
         )?;
-        let injection = match value.get("injection") {
-            None => InjectionMode::Open,
+        let (injection, aimd) = match value.get("injection") {
+            None => (InjectionMode::Open, AimdSpec::default()),
             Some(table) => parse_injection(table)?,
         };
         let report = match value.get("report") {
@@ -896,6 +1339,14 @@ impl ScenarioSpec {
             None => None,
             Some(table) => Some(parse_telemetry(table)?),
         };
+        let faults = match value.get("faults") {
+            None => None,
+            Some(table) => Some(parse_faults(table)?),
+        };
+        let transport = match value.get("transport") {
+            None => None,
+            Some(table) => Some(parse_transport(table)?),
+        };
         ScenarioSpecBuilder {
             name,
             seed,
@@ -908,6 +1359,9 @@ impl ScenarioSpec {
             report,
             energy,
             telemetry,
+            aimd,
+            faults,
+            transport,
         }
         .build()
     }
@@ -927,6 +1381,9 @@ pub struct ScenarioSpecBuilder {
     report: ReportKind,
     energy: Option<EnergySpec>,
     telemetry: Option<TelemetrySpec>,
+    aimd: AimdSpec,
+    faults: Option<FaultSpec>,
+    transport: Option<TransportSpec>,
 }
 
 impl ScenarioSpecBuilder {
@@ -1004,6 +1461,27 @@ impl ScenarioSpecBuilder {
     #[must_use]
     pub fn telemetry(mut self, telemetry: TelemetrySpec) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Sets the ECN AIMD pacing overrides.
+    #[must_use]
+    pub fn aimd(mut self, aimd: AimdSpec) -> Self {
+        self.aimd = aimd;
+        self
+    }
+
+    /// Sets the `[faults]` table.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Sets the `[transport]` table.
+    #[must_use]
+    pub fn transport(mut self, transport: TransportSpec) -> Self {
+        self.transport = Some(transport);
         self
     }
 
@@ -1178,7 +1656,7 @@ impl ScenarioSpecBuilder {
         }
         match self.injection {
             InjectionMode::Open => {}
-            InjectionMode::Credit { window: 0 } => {
+            InjectionMode::Credit { window: 0 } | InjectionMode::CreditPerDst { window: 0 } => {
                 return Err(invalid("injection.credit_window", "must be at least 1"));
             }
             InjectionMode::Ecn { threshold }
@@ -1186,7 +1664,9 @@ impl ScenarioSpecBuilder {
             {
                 return Err(invalid("injection.ecn_threshold", "must be in (0, 1]"));
             }
-            InjectionMode::Credit { .. } | InjectionMode::Ecn { .. } => {
+            InjectionMode::Credit { .. }
+            | InjectionMode::CreditPerDst { .. }
+            | InjectionMode::Ecn { .. } => {
                 if matches!(
                     self.workload,
                     WorkloadSpec::PaperApp | WorkloadSpec::Kernel { .. }
@@ -1198,6 +1678,13 @@ impl ScenarioSpecBuilder {
                     ));
                 }
             }
+        }
+        self.aimd.validate()?;
+        if !self.aimd.is_default() && !matches!(self.injection, InjectionMode::Ecn { .. }) {
+            return Err(invalid(
+                "injection.aimd_step",
+                "AIMD overrides apply to ECN injection",
+            ));
         }
         if self.report == ReportKind::Streaming
             && matches!(
@@ -1213,6 +1700,50 @@ impl ScenarioSpecBuilder {
         }
         if let Some(energy) = &self.energy {
             energy.validate()?;
+        }
+        let message_stream = matches!(
+            self.workload,
+            WorkloadSpec::Synthetic { .. }
+                | WorkloadSpec::Trace { .. }
+                | WorkloadSpec::Sweep { .. }
+        );
+        if let Some(faults) = &self.faults {
+            let max_lane = match &self.workload {
+                WorkloadSpec::Sweep { wavelengths, .. } => wavelengths
+                    .iter()
+                    .copied()
+                    .min()
+                    .unwrap_or(self.arch.wavelengths),
+                _ => self.arch.wavelengths,
+            };
+            faults.validate(max_lane)?;
+            if faults.ber_model.is_some()
+                && matches!(&self.workload, WorkloadSpec::Sweep { ring_sizes, .. }
+                    if ring_sizes.iter().any(|&n| n != self.arch.nodes))
+            {
+                return Err(invalid(
+                    "faults.ber_model",
+                    "the per-flow BER model is sized to the spec architecture; \
+                     sweep ring_sizes must all equal arch.nodes",
+                ));
+            }
+            if !message_stream {
+                return Err(invalid(
+                    "faults",
+                    "fault injection applies to message-stream workloads \
+                     (the open-loop engine)",
+                ));
+            }
+        }
+        if let Some(transport) = &self.transport {
+            transport.validate()?;
+            if !message_stream {
+                return Err(invalid(
+                    "transport",
+                    "reliable transport applies to message-stream workloads \
+                     (the open-loop engine)",
+                ));
+            }
         }
         if let Some(telemetry) = &self.telemetry {
             telemetry.validate()?;
@@ -1261,6 +1792,9 @@ impl ScenarioSpecBuilder {
             report: self.report,
             energy: self.energy,
             telemetry: self.telemetry,
+            aimd: self.aimd,
+            faults: self.faults,
+            transport: self.transport,
         })
     }
 }
@@ -1701,14 +2235,31 @@ fn parse_telemetry(table: &Value) -> Result<TelemetrySpec, SpecError> {
     })
 }
 
-fn parse_injection(table: &Value) -> Result<InjectionMode, SpecError> {
-    match req_str(table, "mode") {
+fn parse_injection(table: &Value) -> Result<(InjectionMode, AimdSpec), SpecError> {
+    let opt_float = |key, field: &'static str| -> Result<Option<f64>, SpecError> {
+        match table.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_float()
+                .map(Some)
+                .ok_or_else(|| invalid(field, "not a number")),
+        }
+    };
+    let aimd = AimdSpec {
+        additive_step: opt_float("aimd_step", "injection.aimd_step")?,
+        md_factor: opt_float("aimd_md_factor", "injection.aimd_md_factor")?,
+        min_factor: opt_float("aimd_min_factor", "injection.aimd_min_factor")?,
+    };
+    let mode = match req_str(table, "mode") {
         Err(SpecError::Missing { .. }) => Err(SpecError::Missing {
             field: "injection.mode",
         }),
         Err(e) => Err(e),
         Ok("open") => Ok(InjectionMode::Open),
         Ok("credit") => Ok(InjectionMode::Credit {
+            window: opt_usize_in(table, "injection.credit_window", "credit_window")?.unwrap_or(4),
+        }),
+        Ok("credit-dst") => Ok(InjectionMode::CreditPerDst {
             window: opt_usize_in(table, "injection.credit_window", "credit_window")?.unwrap_or(4),
         }),
         Ok("ecn") => {
@@ -1723,6 +2274,104 @@ fn parse_injection(table: &Value) -> Result<InjectionMode, SpecError> {
         Ok(other) => Err(invalid(
             "injection.mode",
             format!("unknown injection mode {other:?}"),
+        )),
+    }?;
+    Ok((mode, aimd))
+}
+
+fn opt_usize_array(
+    table: &Value,
+    field: &'static str,
+    key: &str,
+) -> Result<Option<Vec<usize>>, SpecError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(_) => usize_array(table, field, key).map(Some),
+    }
+}
+
+fn opt_u64_array(
+    table: &Value,
+    field: &'static str,
+    key: &str,
+) -> Result<Option<Vec<u64>>, SpecError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| invalid(field, "not an array"))?
+            .iter()
+            .map(|v| {
+                v.as_int()
+                    .and_then(|i| u64::try_from(i).ok())
+                    .ok_or_else(|| invalid(field, "entries must be nonnegative integers"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+    }
+}
+
+fn parse_faults(table: &Value) -> Result<FaultSpec, SpecError> {
+    let opt_float = |key, field: &'static str| -> Result<Option<f64>, SpecError> {
+        match table.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_float()
+                .map(Some)
+                .ok_or_else(|| invalid(field, "not a number")),
+        }
+    };
+    let ber_model = match table.get("ber_model") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| invalid("faults.ber_model", "not a string"))?
+                .to_string(),
+        ),
+    };
+    Ok(FaultSpec {
+        seed: opt_u64(table, "seed")?,
+        ber: opt_float("ber", "faults.ber")?,
+        ber_model,
+        outage_lanes: opt_usize_array(table, "faults.outage_lanes", "outage_lanes")?,
+        outage_starts: opt_u64_array(table, "faults.outage_starts", "outage_starts")?,
+        outage_durations: opt_u64_array(table, "faults.outage_durations", "outage_durations")?,
+        mean_up: opt_float("mean_up", "faults.mean_up")?,
+        mean_down: opt_float("mean_down", "faults.mean_down")?,
+        fault_horizon: opt_u64(table, "fault_horizon")?,
+    })
+}
+
+fn parse_transport(table: &Value) -> Result<TransportSpec, SpecError> {
+    let opt_u32 = |key, field: &'static str| -> Result<Option<u32>, SpecError> {
+        match table.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let i = v.as_int().ok_or_else(|| invalid(field, "not an integer"))?;
+                u32::try_from(i)
+                    .map(Some)
+                    .map_err(|_| invalid(field, "must be a nonnegative 32-bit integer"))
+            }
+        }
+    };
+    match req_str(table, "mode") {
+        Err(SpecError::Missing { .. }) => Err(SpecError::Missing {
+            field: "transport.mode",
+        }),
+        Err(e) => Err(e),
+        Ok("gbn") => Ok(TransportSpec::GoBackN {
+            window: opt_usize_in(table, "transport.window", "window")?,
+            nack_delay: opt_u64(table, "nack_delay")?,
+            timeout: opt_u64(table, "timeout")?,
+            max_retries: opt_u32("max_retries", "transport.max_retries")?,
+        }),
+        Ok("pfc") => Ok(TransportSpec::Pfc {
+            dst_window: opt_usize_in(table, "transport.dst_window", "dst_window")?,
+            max_retries: opt_u32("max_retries", "transport.max_retries")?,
+        }),
+        Ok(other) => Err(invalid(
+            "transport.mode",
+            format!("unknown transport mode {other:?}"),
         )),
     }
 }
@@ -2290,6 +2939,282 @@ kind = "nsga2"
             .build()
             .unwrap();
         assert_eq!(ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+    }
+
+    #[test]
+    fn fault_and_transport_tables_round_trip_in_both_formats() {
+        let faults = FaultSpec {
+            seed: Some(11),
+            ber: Some(1e-4),
+            outage_lanes: Some(vec![0, 2]),
+            outage_starts: Some(vec![100, 4_000]),
+            outage_durations: Some(vec![500, 0]),
+            mean_up: Some(2_000.0),
+            mean_down: Some(50.0),
+            fault_horizon: Some(4_500),
+            ..FaultSpec::default()
+        };
+        for transport in [
+            TransportSpec::GoBackN {
+                window: Some(4),
+                nack_delay: None,
+                timeout: Some(128),
+                max_retries: Some(3),
+            },
+            TransportSpec::Pfc {
+                dst_window: None,
+                max_retries: Some(32),
+            },
+        ] {
+            let spec = ScenarioSpec::builder("faulty")
+                .workload(synthetic_uniform())
+                .allocator(AllocatorSpec::Dynamic {
+                    policy: DynamicPolicy::Single,
+                })
+                .faults(faults.clone())
+                .transport(transport.clone())
+                .build()
+                .unwrap();
+            let toml = spec.to_toml();
+            assert!(toml.contains("[faults]"), "{toml}");
+            assert!(toml.contains("[transport]"), "{toml}");
+            assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+            assert_eq!(ScenarioSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+            assert_eq!(spec.faults, Some(faults.clone()));
+            assert_eq!(spec.transport, Some(transport));
+        }
+        // Defaults-only tables survive too (a bare mode, a bare seed).
+        let spec = ScenarioSpec::builder("bare")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .faults(FaultSpec {
+                ber: Some(1e-5),
+                ..FaultSpec::default()
+            })
+            .transport(TransportSpec::GoBackN {
+                window: None,
+                nack_delay: None,
+                timeout: None,
+                max_retries: None,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(ScenarioSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+        // Omitted tables stay omitted.
+        let plain = ScenarioSpec::builder("plain")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(plain.faults, None);
+        assert_eq!(plain.transport, None);
+        assert!(!plain.to_toml().contains("[faults]"));
+        assert!(!plain.to_toml().contains("[transport]"));
+    }
+
+    #[test]
+    fn fault_spec_resolves_to_the_engine_plan() {
+        let spec = FaultSpec {
+            ber: Some(1e-4),
+            outage_lanes: Some(vec![1]),
+            outage_starts: Some(vec![10]),
+            outage_durations: Some(vec![0]),
+            ..FaultSpec::default()
+        };
+        let plan = spec.resolve(2017, 16, 4);
+        assert!(!plan.is_vacuous());
+        plan.validate(16, 4);
+        // Duration 0 means a permanent outage.
+        assert_eq!(plan.scheduled[0].duration, u64::MAX);
+        assert_eq!(plan.seed, 2017);
+        // The paper BER model derives a per-flow vector through the
+        // photonics chain: finite, in [0, 1), zero on the diagonal.
+        let plan = FaultSpec {
+            ber_model: Some(FAULT_BER_MODEL_PAPER.to_string()),
+            ..FaultSpec::default()
+        }
+        .resolve(1, 8, 4);
+        plan.validate(8, 4);
+        let bers = paper_path_bers(8, 4);
+        assert_eq!(bers.len(), 64);
+        for (i, &b) in bers.iter().enumerate() {
+            if i / 8 == i % 8 {
+                assert_eq!(b, 0.0);
+            } else {
+                assert!(b.is_finite() && (0.0..0.5).contains(&b) && b > 0.0, "{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn transport_spec_resolves_overrides_over_presets() {
+        let gbn = TransportSpec::GoBackN {
+            window: Some(2),
+            nack_delay: None,
+            timeout: None,
+            max_retries: Some(1),
+        }
+        .resolve();
+        assert_eq!(
+            gbn,
+            TransportMode::GoBackN {
+                window: 2,
+                nack_delay: 16,
+                timeout: 256,
+                max_retries: 1
+            }
+        );
+        let pfc = TransportSpec::Pfc {
+            dst_window: None,
+            max_retries: None,
+        }
+        .resolve();
+        assert_eq!(pfc, TransportMode::pfc());
+    }
+
+    #[test]
+    fn fault_and_transport_validation_rejects_bad_tables() {
+        let build = |faults: Option<FaultSpec>, transport: Option<TransportSpec>| {
+            let mut b = ScenarioSpec::builder("bad")
+                .workload(synthetic_uniform())
+                .allocator(AllocatorSpec::Dynamic {
+                    policy: DynamicPolicy::Single,
+                });
+            if let Some(f) = faults {
+                b = b.faults(f);
+            }
+            if let Some(t) = transport {
+                b = b.transport(t);
+            }
+            b.build()
+        };
+        let err = build(
+            Some(FaultSpec {
+                ber: Some(1.5),
+                ..FaultSpec::default()
+            }),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "faults.ber"));
+        let err = build(
+            Some(FaultSpec {
+                outage_lanes: Some(vec![0]),
+                ..FaultSpec::default()
+            }),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "faults.outage_lanes"));
+        // Lanes are checked against the spec's comb.
+        let err = build(
+            Some(FaultSpec {
+                outage_lanes: Some(vec![8]),
+                outage_starts: Some(vec![0]),
+                outage_durations: Some(vec![10]),
+                ..FaultSpec::default()
+            }),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "faults.outage_lanes"));
+        let err = build(
+            None,
+            Some(TransportSpec::GoBackN {
+                window: Some(0),
+                nack_delay: None,
+                timeout: None,
+                max_retries: None,
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "transport.window"));
+        // Task-graph workloads have no message stream to perturb.
+        let err = ScenarioSpec::builder("graphed")
+            .faults(FaultSpec {
+                ber: Some(1e-6),
+                ..FaultSpec::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "faults"));
+        let err = ScenarioSpec::from_toml_str(
+            "name = \"x\"\n[workload]\nkind = \"synthetic\"\npattern = \"uniform\"\n\
+             injection_rate = 0.01\nmessage_bits = 512.0\nhorizon = 1000\n\
+             [allocator]\nkind = \"dynamic\"\n[transport]\nmode = \"tcp\"\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "transport.mode"));
+    }
+
+    #[test]
+    fn credit_dst_injection_and_aimd_keys_round_trip() {
+        let spec = ScenarioSpec::builder("per-dst")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .injection(InjectionMode::CreditPerDst { window: 3 })
+            .build()
+            .unwrap();
+        let toml = spec.to_toml();
+        assert!(toml.contains("mode = \"credit-dst\""), "{toml}");
+        assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+        // AIMD overrides ride in the [injection] table under ECN.
+        let spec = ScenarioSpec::builder("paced")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .injection(InjectionMode::Ecn { threshold: 0.5 })
+            .aimd(AimdSpec {
+                additive_step: Some(0.25),
+                md_factor: None,
+                min_factor: Some(0.125),
+            })
+            .build()
+            .unwrap();
+        let toml = spec.to_toml();
+        assert!(toml.contains("aimd_step = 0.25"), "{toml}");
+        assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+        let params = spec.aimd.resolve();
+        assert_eq!(params.additive_step, 0.25);
+        assert_eq!(params.md_factor, 0.5);
+        assert_eq!(params.min_factor, 0.125);
+        // AIMD keys outside ECN mode are rejected rather than dropped.
+        let err = ScenarioSpec::builder("bad")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .injection(InjectionMode::Credit { window: 2 })
+            .aimd(AimdSpec {
+                additive_step: Some(0.25),
+                ..AimdSpec::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "injection.aimd_step"));
+        let err = ScenarioSpec::builder("bad")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .injection(InjectionMode::Ecn { threshold: 0.5 })
+            .aimd(AimdSpec {
+                md_factor: Some(1.5),
+                ..AimdSpec::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecError::Invalid { field, .. } if field == "injection.aimd_md_factor")
+        );
     }
 
     #[test]

@@ -84,6 +84,13 @@ fn golden_headers() -> Vec<(&'static str, &'static str, String)> {
                 .into(),
         ),
         (
+            "reliability-vs-fault-rate",
+            "reliability_vs_fault_rate",
+            "transport,ber,offered_bits_per_cycle,goodput_bits_per_cycle,\
+             failed_attempts,retx_bits,lost,latency_p99,energy_pj_per_bit"
+                .into(),
+        ),
+        (
             "workload-sweep",
             "workload_sweep",
             "workload,tasks,comms,pairs,front,exec_lo,exec_hi,fj_lo,fj_hi,ber_lo,ber_hi".into(),
@@ -166,6 +173,7 @@ fn registry_order_matches_the_documented_index() {
             "sustained-knee",
             "energy-vs-load",
             "saturation-timeline",
+            "reliability-vs-fault-rate",
             "workload-sweep",
         ]
     );

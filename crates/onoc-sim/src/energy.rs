@@ -11,7 +11,9 @@
 //! * **MR tuning** — thermal power holding every micro-ring resonator on
 //!   resonance, burned for the whole run horizon,
 //! * **TX/RX dynamic** — per-bit modulator and receiver switching energy,
-//!   proportional to delivered traffic.
+//!   proportional to traffic put on the waveguide — delivered *plus*
+//!   retransmitted bits under fault injection, so wasted attempts burn
+//!   energy without contributing goodput.
 //!
 //! The laser term is the measured-traffic analogue of the analytic
 //! `onoc_wa::Evaluator` bit-energy objective (DESIGN.md S6): a
@@ -22,6 +24,7 @@
 use onoc_photonics::{EnergyParams, WavelengthId};
 use onoc_topology::{OnocArchitecture, Transmission, power_budgets};
 
+use crate::fault::DropFact;
 use crate::probe::{SimProbe, TxFact};
 use crate::report::MsgRecord;
 
@@ -205,6 +208,7 @@ pub struct EnergyProbe {
     flow_bits: Vec<f64>,
     flow_messages: Vec<u64>,
     bits: f64,
+    retransmitted_bits: f64,
     messages: u64,
     horizon: u64,
 }
@@ -222,6 +226,7 @@ impl EnergyProbe {
             flow_bits: vec![0.0; nodes * nodes],
             flow_messages: vec![0; nodes * nodes],
             bits: 0.0,
+            retransmitted_bits: 0.0,
             messages: 0,
             horizon: 0,
         }
@@ -235,6 +240,7 @@ impl EnergyProbe {
         self.flow_bits.fill(0.0);
         self.flow_messages.fill(0);
         self.bits = 0.0;
+        self.retransmitted_bits = 0.0;
         self.messages = 0;
         self.horizon = 0;
     }
@@ -254,14 +260,16 @@ impl EnergyProbe {
         let ring_count = MRS_PER_NODE_PER_WAVELENGTH * self.nodes * self.lane_on_cycles.len();
         #[allow(clippy::cast_precision_loss)]
         let tuning_fj = m.mw_cycles_to_fj(m.mr_tuning_mw * ring_count as f64, self.horizon as f64);
+        let wire_bits = self.bits + self.retransmitted_bits;
         EnergyReport {
             bits: self.bits,
+            retransmitted_bits: self.retransmitted_bits,
             messages: self.messages,
             horizon: self.horizon,
             laser_fj: m.mw_cycles_to_fj(m.laser_mw, lane_on_total),
             tuning_fj,
-            tx_fj: m.tx_fj_per_bit * self.bits,
-            rx_fj: m.rx_fj_per_bit * self.bits,
+            tx_fj: m.tx_fj_per_bit * wire_bits,
+            rx_fj: m.rx_fj_per_bit * wire_bits,
             lane_on_cycles: self.lane_on_cycles.clone(),
             ring_count,
             nodes: self.nodes,
@@ -293,6 +301,29 @@ impl SimProbe for EnergyProbe {
     }
 
     #[inline]
+    fn dropped(&mut self, fact: DropFact) {
+        // A failed attempt drove its lanes for the full span before the
+        // receiver rejected it: the laser-on time and the modulated bits
+        // are burned exactly as on a delivery, only the goodput is not.
+        let span = fact.end - fact.start;
+        let mut rest = fact.lanes;
+        while rest != 0 {
+            let lane = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            assert!(
+                lane < self.lane_on_cycles.len(),
+                "EnergyProbe was built for {} wavelengths but observed lane {lane}; \
+                 construct it with the simulator's comb size",
+                self.lane_on_cycles.len()
+            );
+            self.lane_on_cycles[lane] += span;
+        }
+        let flow = fact.src.0 * self.nodes + fact.dst.0;
+        self.flow_lane_on_cycles[flow] += span * fact.lane_count() as u64;
+        self.retransmitted_bits += fact.bits;
+    }
+
+    #[inline]
     fn retired(&mut self, record: &MsgRecord, volume_bits: f64, _hops: usize) {
         self.bits += volume_bits;
         self.messages += 1;
@@ -312,6 +343,10 @@ impl SimProbe for EnergyProbe {
 pub struct EnergyReport {
     /// Bits delivered by the run.
     pub bits: f64,
+    /// Bits of failed attempts that had to be retransmitted — charged
+    /// to the TX/RX dynamic terms alongside the delivered bits, but not
+    /// part of the `pj_per_bit` denominator (waste raises it).
+    pub retransmitted_bits: f64,
     /// Messages delivered by the run.
     pub messages: u64,
     /// Cycle of the last completion.
@@ -522,6 +557,7 @@ mod tests {
                 started: 0,
                 completed: 100,
                 lanes: 1,
+                attempts: 1,
             },
             100.0,
             2,
@@ -572,6 +608,60 @@ mod tests {
         // 0→1 drove 2 lanes × 50 cycles, 2→3 one lane × 20.
         assert_eq!(r.flow_lane_on_cycles[1], 100);
         assert_eq!(r.flow_lane_on_cycles[2 * 4 + 3], 20);
+    }
+
+    #[test]
+    fn dropped_attempts_burn_laser_and_dynamic_energy() {
+        use crate::fault::FaultCause;
+        // A 100-bit delivery plus one failed 100-bit attempt on the
+        // same flow: laser-on doubles, TX/RX charge 200 wire bits, but
+        // goodput stays 100 bits.
+        let mut probe = EnergyProbe::new(unit_model(), 4, 2);
+        probe.dropped(DropFact {
+            start: 0,
+            end: 100,
+            lanes: 0b01,
+            hops: 2,
+            src: onoc_topology::NodeId(0),
+            dst: onoc_topology::NodeId(2),
+            bits: 100.0,
+            cause: FaultCause::Corrupt,
+            attempt: 1,
+        });
+        probe.completed(TxFact {
+            start: 100,
+            end: 200,
+            lanes: 0b01,
+            hops: 2,
+            src: onoc_topology::NodeId(0),
+            dst: onoc_topology::NodeId(2),
+            marked: false,
+        });
+        probe.retired(
+            &MsgRecord {
+                src: onoc_topology::NodeId(0),
+                dst: onoc_topology::NodeId(2),
+                injected: 0,
+                admitted: 0,
+                started: 100,
+                completed: 200,
+                lanes: 1,
+                attempts: 2,
+            },
+            100.0,
+            2,
+        );
+        probe.finished(200, 0);
+        let r = probe.report();
+        assert_eq!(r.lane_on_cycles, vec![200, 0]);
+        assert!((r.bits - 100.0).abs() < 1e-12);
+        assert!((r.retransmitted_bits - 100.0).abs() < 1e-12);
+        // Laser: 1 mW × 200 cycles; TX/RX: (10 + 5) fJ × 200 wire bits.
+        assert!((r.laser_fj - 200_000.0).abs() < 1e-6);
+        assert!((r.tx_fj - 2_000.0).abs() < 1e-9);
+        assert!((r.rx_fj - 1_000.0).abs() < 1e-9);
+        // The failed attempt's lane cycles stay attributed to the flow.
+        assert_eq!(r.flow_lane_on_cycles[2], 200);
     }
 
     #[test]
@@ -628,6 +718,7 @@ mod tests {
                     started: start,
                     completed: end,
                     lanes: 1,
+                    attempts: 1,
                 },
                 bits,
                 2,

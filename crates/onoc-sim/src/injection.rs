@@ -49,6 +49,17 @@ pub enum InjectionMode {
         /// source. Must be at least 1.
         window: usize,
     },
+    /// Credit-based closed loop with per-destination credit pools: each
+    /// source owns `window` credits *per destination*, so one congested
+    /// destination throttles only the flows targeting it rather than
+    /// the source's whole output. The source FIFO is still drained in
+    /// offered order, so a blocked head holds later messages to other
+    /// destinations back (head-of-line blocking is part of the model).
+    CreditPerDst {
+        /// Maximum in-flight messages per `(source, destination)` pair.
+        /// Must be at least 1.
+        window: usize,
+    },
     /// ECN-style AIMD closed loop.
     Ecn {
         /// Ring-occupancy fraction in `(0, 1]` above which a starting
@@ -66,12 +77,14 @@ impl InjectionMode {
     /// unmarked delivery.
     pub const ECN_ADDITIVE_STEP: f64 = 0.05;
 
-    /// The machine-friendly name (`open` / `credit` / `ecn`).
+    /// The machine-friendly name (`open` / `credit` / `credit-dst` /
+    /// `ecn`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             InjectionMode::Open => "open",
             InjectionMode::Credit { .. } => "credit",
+            InjectionMode::CreditPerDst { .. } => "credit-dst",
             InjectionMode::Ecn { .. } => "ecn",
         }
     }
@@ -87,7 +100,7 @@ impl InjectionMode {
     pub(crate) fn validate(self) {
         match self {
             InjectionMode::Open => {}
-            InjectionMode::Credit { window } => {
+            InjectionMode::Credit { window } | InjectionMode::CreditPerDst { window } => {
                 assert!(window >= 1, "credit window must be at least 1");
             }
             InjectionMode::Ecn { threshold } => {
@@ -105,8 +118,60 @@ impl core::fmt::Display for InjectionMode {
         match self {
             InjectionMode::Open => write!(f, "open"),
             InjectionMode::Credit { window } => write!(f, "credit(window {window})"),
+            InjectionMode::CreditPerDst { window } => write!(f, "credit-dst(window {window})"),
             InjectionMode::Ecn { threshold } => write!(f, "ecn(threshold {threshold})"),
         }
+    }
+}
+
+/// The AIMD constants of the ECN closed loop, configurable per run
+/// (defaults reproduce the historical hard-wired behaviour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AimdParams {
+    /// Additive-increase step applied to the rate factor on every
+    /// unmarked delivery. Must be in `(0, 1]`.
+    pub additive_step: f64,
+    /// Multiplicative-decrease factor applied on every marked delivery.
+    /// Must be in `(0, 1)`.
+    pub md_factor: f64,
+    /// Floor of the rate factor, so recovery always restarts. Must be
+    /// in `(0, 1]`.
+    pub min_factor: f64,
+}
+
+impl Default for AimdParams {
+    fn default() -> Self {
+        Self {
+            additive_step: InjectionMode::ECN_ADDITIVE_STEP,
+            md_factor: 0.5,
+            min_factor: InjectionMode::ECN_MIN_FACTOR,
+        }
+    }
+}
+
+impl AimdParams {
+    /// Panics on parameters outside their documented ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `additive_step` is outside `(0, 1]`, `md_factor`
+    /// outside `(0, 1)`, or `min_factor` outside `(0, 1]`.
+    pub fn validate(self) {
+        assert!(
+            self.additive_step.is_finite() && self.additive_step > 0.0 && self.additive_step <= 1.0,
+            "AIMD additive step must be in (0, 1], got {}",
+            self.additive_step
+        );
+        assert!(
+            self.md_factor.is_finite() && self.md_factor > 0.0 && self.md_factor < 1.0,
+            "AIMD multiplicative-decrease factor must be in (0, 1), got {}",
+            self.md_factor
+        );
+        assert!(
+            self.min_factor.is_finite() && self.min_factor > 0.0 && self.min_factor <= 1.0,
+            "AIMD minimum factor must be in (0, 1], got {}",
+            self.min_factor
+        );
     }
 }
 
@@ -125,6 +190,10 @@ pub(crate) struct LaneArbiter {
     wavelengths: usize,
     /// Busy mask per directed segment, dense-indexed.
     busy: Vec<u128>,
+    /// Lanes currently knocked out by the fault layer (ring-wide): the
+    /// claim paths never grant them, while releases stay mask-based so
+    /// in-flight claims drain normally when a lane dies under them.
+    down: u128,
 }
 
 impl LaneArbiter {
@@ -134,6 +203,7 @@ impl LaneArbiter {
         Self {
             wavelengths,
             busy: vec![0u128; onoc_topology::segment_count(nodes)],
+            down: 0,
         }
     }
 
@@ -144,6 +214,17 @@ impl LaneArbiter {
         self.wavelengths = wavelengths;
         self.busy.clear();
         self.busy.resize(onoc_topology::segment_count(nodes), 0);
+        self.down = 0;
+    }
+
+    /// Marks one lane down (no new grants) or back up.
+    pub(crate) fn set_down(&mut self, lane: usize, down: bool) {
+        debug_assert!(lane < self.wavelengths);
+        if down {
+            self.down |= 1u128 << lane;
+        } else {
+            self.down &= !(1u128 << lane);
+        }
     }
 
     fn all_mask(&self) -> u128 {
@@ -159,7 +240,10 @@ impl LaneArbiter {
     /// one lane is free. Allocation-free — this is the hot path; callers
     /// pass precomputed flat route slices.
     pub(crate) fn claim_mask(&mut self, segs: &[u16], want: usize) -> Option<u128> {
-        let mut free = self.all_mask();
+        let mut free = self.all_mask() & !self.down;
+        if free == 0 {
+            return None;
+        }
         for &seg in segs {
             free &= !self.busy[seg as usize];
             if free == 0 {
@@ -191,7 +275,10 @@ impl LaneArbiter {
     /// Claims up to `want` lanes free on *every* segment of `path`
     /// (lowest indices first), or `None` if not even one lane is free.
     pub(crate) fn claim(&mut self, path: &RingPath, want: usize) -> Option<Vec<WavelengthId>> {
-        let mut free = self.all_mask();
+        let mut free = self.all_mask() & !self.down;
+        if free == 0 {
+            return None;
+        }
         for seg in path.segments() {
             free &= !self.busy[seg.segment_index()];
             if free == 0 {
@@ -249,6 +336,9 @@ pub(crate) struct SourceGate {
     pub(crate) last_offered: Option<u64>,
     /// Earliest pending gate wake-up, to avoid duplicate events.
     pub(crate) wake_at: Option<u64>,
+    /// Per-destination in-flight counts, sized lazily by the engine and
+    /// used only under [`InjectionMode::CreditPerDst`].
+    pub(crate) in_flight_by_dst: Vec<u32>,
     /// Time of the last `in_flight` change (credit-occupancy integral).
     credit_changed_at: u64,
     /// Accumulated `in_flight × cycles` (credit-occupancy integral).
@@ -265,6 +355,7 @@ impl SourceGate {
             has_admitted: false,
             last_offered: None,
             wake_at: None,
+            in_flight_by_dst: Vec::new(),
             credit_changed_at: 0,
             credit_cycles: 0.0,
         }
@@ -280,8 +371,16 @@ impl SourceGate {
         self.has_admitted = false;
         self.last_offered = None;
         self.wake_at = None;
+        self.in_flight_by_dst.clear();
         self.credit_changed_at = 0;
         self.credit_cycles = 0.0;
+    }
+
+    /// Sizes the per-destination pools (all zero), for
+    /// [`InjectionMode::CreditPerDst`] runs.
+    pub(crate) fn ensure_dst_pools(&mut self, nodes: usize) {
+        self.in_flight_by_dst.clear();
+        self.in_flight_by_dst.resize(nodes, 0);
     }
 
     /// Offered-time gap to the previous offer from this source (0 for
@@ -338,15 +437,21 @@ impl SourceGate {
 
     /// Records a delivery at `now`: the credit returns and, under ECN,
     /// the AIMD factor reacts to the congestion mark.
-    pub(crate) fn note_delivery(&mut self, now: u64, mode: InjectionMode, marked: bool) {
+    pub(crate) fn note_delivery(
+        &mut self,
+        now: u64,
+        mode: InjectionMode,
+        marked: bool,
+        aimd: &AimdParams,
+    ) {
         self.integrate(now);
         debug_assert!(self.in_flight > 0, "delivery without admission");
         self.in_flight -= 1;
         if matches!(mode, InjectionMode::Ecn { .. }) {
             if marked {
-                self.factor = (self.factor * 0.5).max(InjectionMode::ECN_MIN_FACTOR);
+                self.factor = (self.factor * aimd.md_factor).max(aimd.min_factor);
             } else {
-                self.factor = (self.factor + InjectionMode::ECN_ADDITIVE_STEP).min(1.0);
+                self.factor = (self.factor + aimd.additive_step).min(1.0);
             }
         }
     }
@@ -367,10 +472,50 @@ mod tests {
     fn mode_names_and_closed_loop_flags() {
         assert_eq!(InjectionMode::Open.name(), "open");
         assert_eq!(InjectionMode::Credit { window: 4 }.name(), "credit");
+        assert_eq!(
+            InjectionMode::CreditPerDst { window: 4 }.name(),
+            "credit-dst"
+        );
         assert_eq!(InjectionMode::Ecn { threshold: 0.5 }.name(), "ecn");
         assert!(!InjectionMode::Open.is_closed_loop());
         assert!(InjectionMode::Credit { window: 1 }.is_closed_loop());
+        assert!(InjectionMode::CreditPerDst { window: 1 }.is_closed_loop());
         assert!(InjectionMode::Ecn { threshold: 0.5 }.is_closed_loop());
+        assert_eq!(
+            InjectionMode::CreditPerDst { window: 3 }.to_string(),
+            "credit-dst(window 3)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "credit window")]
+    fn zero_per_dst_credit_window_is_rejected() {
+        InjectionMode::CreditPerDst { window: 0 }.validate();
+    }
+
+    #[test]
+    fn aimd_params_default_and_validation() {
+        let aimd = AimdParams::default();
+        aimd.validate();
+        assert!((aimd.additive_step - InjectionMode::ECN_ADDITIVE_STEP).abs() < 1e-12);
+        assert!((aimd.md_factor - 0.5).abs() < 1e-12);
+        assert!((aimd.min_factor - InjectionMode::ECN_MIN_FACTOR).abs() < 1e-12);
+        for bad in [
+            AimdParams {
+                additive_step: 0.0,
+                ..AimdParams::default()
+            },
+            AimdParams {
+                md_factor: 1.0,
+                ..AimdParams::default()
+            },
+            AimdParams {
+                min_factor: 0.0,
+                ..AimdParams::default()
+            },
+        ] {
+            assert!(std::panic::catch_unwind(move || bad.validate()).is_err());
+        }
     }
 
     #[test]
@@ -428,18 +573,59 @@ mod tests {
     #[test]
     fn gate_aimd_halves_and_recovers() {
         let mode = InjectionMode::Ecn { threshold: 0.5 };
+        let aimd = AimdParams::default();
         let mut gate = SourceGate::new();
         gate.note_admit(0);
-        gate.note_delivery(10, mode, true);
+        gate.note_delivery(10, mode, true, &aimd);
         assert!((gate.factor - 0.5).abs() < 1e-12);
         gate.note_admit(10);
-        gate.note_delivery(20, mode, false);
+        gate.note_delivery(20, mode, false, &aimd);
         assert!((gate.factor - 0.55).abs() < 1e-12);
         for k in 0..64 {
             gate.note_admit(30 + k);
-            gate.note_delivery(31 + k, mode, true);
+            gate.note_delivery(31 + k, mode, true, &aimd);
         }
         assert!(gate.factor >= InjectionMode::ECN_MIN_FACTOR);
+    }
+
+    #[test]
+    fn gate_aimd_respects_custom_constants() {
+        let mode = InjectionMode::Ecn { threshold: 0.5 };
+        let aimd = AimdParams {
+            additive_step: 0.25,
+            md_factor: 0.75,
+            min_factor: 0.7,
+        };
+        let mut gate = SourceGate::new();
+        gate.note_admit(0);
+        gate.note_delivery(10, mode, true, &aimd);
+        assert!((gate.factor - 0.75).abs() < 1e-12, "MD factor applies");
+        gate.note_admit(10);
+        gate.note_delivery(20, mode, true, &aimd);
+        assert!((gate.factor - 0.7).abs() < 1e-12, "clamped at the floor");
+        gate.note_admit(20);
+        gate.note_delivery(30, mode, false, &aimd);
+        assert!((gate.factor - 0.95).abs() < 1e-12, "AI step applies");
+    }
+
+    #[test]
+    fn down_lanes_are_never_granted() {
+        let ring = RingTopology::new(8);
+        let path = RingPath::new(
+            &ring,
+            NodeId(0),
+            NodeId(2),
+            ring.shortest_direction(NodeId(0), NodeId(2)),
+        );
+        let mut arb = LaneArbiter::new(8, 2);
+        arb.set_down(0, true);
+        let a = arb.claim(&path, 2).unwrap();
+        assert_eq!(a, vec![WavelengthId(1)], "only the healthy lane grants");
+        arb.release(&path, &a);
+        arb.set_down(1, true);
+        assert!(arb.claim(&path, 1).is_none(), "whole comb down");
+        arb.set_down(0, false);
+        assert_eq!(arb.claim(&path, 1).unwrap(), vec![WavelengthId(0)]);
     }
 
     #[test]
@@ -482,11 +668,22 @@ mod tests {
 
     #[test]
     fn credit_integral_accumulates_in_flight_cycles() {
+        let aimd = AimdParams::default();
         let mut gate = SourceGate::new();
         gate.note_admit(0);
         gate.note_admit(10); // 1 credit busy for 10 cycles
-        gate.note_delivery(30, InjectionMode::Credit { window: 2 }, false); // 2 busy for 20
-        gate.note_delivery(50, InjectionMode::Credit { window: 2 }, false); // 1 busy for 20
+        gate.note_delivery(30, InjectionMode::Credit { window: 2 }, false, &aimd); // 2 busy for 20
+        gate.note_delivery(50, InjectionMode::Credit { window: 2 }, false, &aimd); // 1 busy for 20
         assert!((gate.credit_cycles() - (10.0 + 40.0 + 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_dst_pools_size_and_reset() {
+        let mut gate = SourceGate::new();
+        gate.ensure_dst_pools(4);
+        assert_eq!(gate.in_flight_by_dst, vec![0; 4]);
+        gate.in_flight_by_dst[2] = 3;
+        gate.reset();
+        assert!(gate.in_flight_by_dst.is_empty());
     }
 }

@@ -54,18 +54,24 @@ mod calendar;
 mod dynamic;
 mod energy;
 mod engine;
+mod fault;
 mod flows;
 mod injection;
 mod openloop;
 mod probe;
 mod report;
 mod telemetry;
+mod transport;
 
 pub use dynamic::{DynamicPolicy, DynamicReport, DynamicSimulator};
 pub use energy::{EnergyModel, EnergyProbe, EnergyReport, FlowEnergy, MRS_PER_NODE_PER_WAVELENGTH};
 pub use engine::{SimError, Simulator};
+pub use fault::{
+    CorruptionModel, DropFact, FaultCause, FaultPlan, LaneFault, ReliabilityProbe,
+    ReliabilityReport, StochasticFaults, hash64, message_error_probability, unit_interval,
+};
 pub use flows::{FlowAllocPolicy, FlowMatrix, FlowSynthesisError, SynthesisSummary};
-pub use injection::InjectionMode;
+pub use injection::{AimdParams, InjectionMode};
 pub use openloop::{
     OpenLoopError, OpenLoopSimulator, ReportMode, SimScratch, StaticFlowMap, TrafficEvent,
     TrafficSource, WavelengthMode,
@@ -75,4 +81,7 @@ pub use report::{
     ChannelConflict, LatencyHistogram, LatencyStats, MsgId, MsgRecord, OpenLoopConflict,
     OpenLoopReport, SimReport,
 };
-pub use telemetry::{ChromeTraceProbe, TimeSeries, TimeSeriesProbe, WindowStats};
+pub use telemetry::{
+    ChromeTraceProbe, StreamingTimeSeriesProbe, TimeSeries, TimeSeriesProbe, WindowStats,
+};
+pub use transport::TransportMode;

@@ -49,9 +49,11 @@ use onoc_units::{Bits, BitsPerCycle};
 
 use crate::DynamicPolicy;
 use crate::calendar::EventQueue;
-use crate::injection::{InjectionMode, LaneArbiter, SourceGate};
+use crate::fault::{self, DropFact, FaultCause, FaultPlan};
+use crate::injection::{AimdParams, InjectionMode, LaneArbiter, SourceGate};
 use crate::probe::{NullProbe, ReportProbe, SimProbe, TxFact};
 use crate::report::{MsgId, MsgRecord, OpenLoopConflict, OpenLoopReport};
+use crate::transport::TransportMode;
 
 /// One injected message: `volume` bits from `src` to `dst`, offered to the
 /// network interface at cycle `time`.
@@ -282,12 +284,29 @@ enum Event {
     /// message id) is unchanged.
     Completed(CompletedTx),
     /// A static-mode transmission begins driving its lanes
-    /// (`(message id, flow)`).
-    Started((usize, u32)),
+    /// (`(message id, flow, lane mask)`). The mask rides along because a
+    /// fault-layer retransmission may drive a *subset* of the flow's
+    /// nominal lanes; on the fault-free path it always equals the flow's
+    /// full mask. `id` stays the first field, so the derived same-cycle
+    /// tie-break (by message id) is unchanged.
+    Started((usize, u32, u128)),
     /// A closed-loop gate retries admission for one source.
     GateWake(usize),
     /// A source offers a message to its injection gate.
     Offered(usize),
+    /// Fault layer: the wavelength fails at this cycle. Appended after
+    /// the fault-free variants, so their same-cycle tie-break order is
+    /// untouched.
+    LaneDown(u16),
+    /// Fault layer: the wavelength recovers.
+    LaneUp(u16),
+    /// Transport layer: retransmit the message.
+    Redo(usize),
+    /// Fault layer: the message is declared lost at admission time (all
+    /// of its lanes are down with no recovery pending). Deferred through
+    /// the calendar so loss bookkeeping never recurses through the gate
+    /// drains that admitted it.
+    Abandon(usize),
 }
 
 /// Payload of [`Event::Completed`]: the transmission's identity and the
@@ -308,7 +327,17 @@ mod flag {
     pub(super) const DONE: u8 = 1;
     /// ECN congestion mark, set when the transmission starts.
     pub(super) const MARKED: u8 = 2;
+    /// Permanently lost (fault layer): retires silently, contributing to
+    /// loss counters instead of delivery statistics.
+    pub(super) const LOST: u8 = 4;
+    /// At least one transmission attempt failed (recovery-latency
+    /// tracking).
+    pub(super) const FAILED: u8 = 8;
 }
+
+/// Hash-stream namespace for per-lane stochastic fault draws, disjoint
+/// from the per-message corruption streams (which use the message id).
+const LANE_STREAM: u64 = 1 << 63;
 
 /// The open/closed-loop engine. See the module docs for semantics.
 #[derive(Debug)]
@@ -318,6 +347,9 @@ pub struct OpenLoopSimulator {
     rate: BitsPerCycle,
     mode: WavelengthMode,
     injection: InjectionMode,
+    faults: Option<FaultPlan>,
+    transport: TransportMode,
+    aimd: AimdParams,
 }
 
 impl OpenLoopSimulator {
@@ -386,13 +418,70 @@ impl OpenLoopSimulator {
             rate,
             mode,
             injection,
+            faults: None,
+            transport: TransportMode::None,
+            aimd: AimdParams::default(),
         }
+    }
+
+    /// Attaches a fault plan: scheduled/stochastic lane outages and/or
+    /// BER-driven message corruption. Without one (and with
+    /// [`TransportMode::None`]) the engine takes the fault-free fast
+    /// path, bit-identical to a plain run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references a lane outside the comb, schedules
+    /// a zero-length outage, or carries degenerate rates (see
+    /// [`FaultPlan::validate`]).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        plan.validate(self.ring.node_count(), self.wavelengths);
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Selects the reliable-transport recovery mode layered over the
+    /// injection policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate windows (see [`TransportMode::validate`]).
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportMode) -> Self {
+        transport.validate();
+        self.transport = transport;
+        self
+    }
+
+    /// Overrides the ECN AIMD pacing constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range constants (see [`AimdParams::validate`]).
+    #[must_use]
+    pub fn with_aimd(mut self, aimd: AimdParams) -> Self {
+        aimd.validate();
+        self.aimd = aimd;
+        self
     }
 
     /// The injection policy this engine runs under.
     #[must_use]
     pub fn injection(&self) -> InjectionMode {
         self.injection
+    }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The transport recovery mode this engine runs under.
+    #[must_use]
+    pub fn transport(&self) -> TransportMode {
+        self.transport
     }
 
     /// Routes a message along the shortest ring direction
@@ -531,6 +620,14 @@ struct MsgState {
     gap: u64,
     /// Wavelength count the message transmitted on.
     lanes: u16,
+    /// Transmission attempts so far (0 until the first start).
+    attempts: u32,
+    /// Go-back-N sequence number within the flow (assigned at
+    /// admission).
+    seq: u32,
+    /// Cycle of the first failed attempt (valid when [`flag::FAILED`]
+    /// is set; recovery-latency tracking).
+    first_fail: u64,
 }
 
 impl MsgState {
@@ -544,6 +641,7 @@ impl MsgState {
             started: self.started,
             completed: self.completed,
             lanes: self.lanes as usize,
+            attempts: self.attempts.max(1),
         }
     }
 }
@@ -709,6 +807,86 @@ impl SimScratch {
     }
 }
 
+/// Mutable fault/transport state of one run, boxed off the fault-free
+/// path: allocated only when a [`FaultPlan`] or an active
+/// [`TransportMode`] is attached, so plain runs stay bit-identical and
+/// allocation-free.
+struct FaultState {
+    /// Currently-down lanes.
+    down_mask: u128,
+    /// Cycle each currently-down lane went down (valid where
+    /// `down_mask` is set).
+    down_since: Vec<u64>,
+    /// Closed `[down, up)` outage intervals per lane, in time order.
+    down_history: Vec<Vec<(u64, u64)>>,
+    /// Outstanding scheduled/stochastic recoveries per lane — a parked
+    /// message may wait only on lanes that will come back.
+    pending_ups: Vec<u32>,
+    /// Per-lane count of stochastic draws consumed (the hash counter).
+    lane_draws: Vec<u64>,
+    /// Go-back-N: per-flow next sequence number to assign.
+    next_seq: Vec<u32>,
+    /// Go-back-N: per-flow next sequence number the receiver accepts.
+    next_expected: Vec<u32>,
+    /// Go-back-N: per-flow admitted-but-unresolved count (window gate).
+    unacked: Vec<u32>,
+    /// PFC: per-destination in-flight count across all sources.
+    dst_in_flight: Vec<u32>,
+    /// Static-mode messages parked on an all-lanes-down flow, waiting
+    /// for a pending recovery (`(message id, flow)`).
+    parked: Vec<(usize, u32)>,
+    failed_attempts: usize,
+    retransmitted_bits: f64,
+    lost_messages: usize,
+    lost_bits: f64,
+}
+
+impl FaultState {
+    fn new(nodes: usize, wavelengths: usize, gbn: bool, pfc: bool) -> Self {
+        let flows = nodes * nodes;
+        Self {
+            down_mask: 0,
+            down_since: vec![0; wavelengths],
+            down_history: vec![Vec::new(); wavelengths],
+            pending_ups: vec![0; wavelengths],
+            lane_draws: vec![0; wavelengths],
+            next_seq: vec![0; if gbn { flows } else { 0 }],
+            next_expected: vec![0; if gbn { flows } else { 0 }],
+            unacked: vec![0; if gbn { flows } else { 0 }],
+            dst_in_flight: vec![0; if pfc { nodes } else { 0 }],
+            parked: Vec::new(),
+            failed_attempts: 0,
+            retransmitted_bits: 0.0,
+            lost_messages: 0,
+            lost_bits: 0.0,
+        }
+    }
+
+    /// Whether any lane of `mask` was down at any point of
+    /// `[start, end)`.
+    fn overlaps_down(&self, mask: u128, start: u64, end: u64) -> bool {
+        let mut rest = mask;
+        while rest != 0 {
+            let lane = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            if self.down_mask & (1u128 << lane) != 0 && self.down_since[lane] < end {
+                return true;
+            }
+            // Intervals are time-ordered; scan back until one ends
+            // before the span starts.
+            for &(a, b) in self.down_history[lane].iter().rev() {
+                if b <= start {
+                    break;
+                }
+                if a < end {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
 /// All mutable state of one engine run: arbitration below the injection
 /// gates, the gates themselves, and the fact consumers — the built-in
 /// [`ReportProbe`] plus the caller's [`SimProbe`]. Bulky reusable buffers
@@ -741,6 +919,8 @@ struct RunState<'a, P: SimProbe> {
     last_injection: u64,
     last_time: u64,
     horizon: u64,
+    /// Fault/transport state; `None` on the fault-free fast path.
+    fault: Option<Box<FaultState>>,
 }
 
 impl<'a, P: SimProbe> RunState<'a, P> {
@@ -759,6 +939,52 @@ impl<'a, P: SimProbe> RunState<'a, P> {
             mode == ReportMode::Streaming,
         );
         scratch.build_flow_tables(sim);
+        let mut fault = if sim.faults.is_some() || sim.transport.is_active() {
+            Some(Box::new(FaultState::new(
+                n,
+                sim.wavelengths,
+                matches!(sim.transport, TransportMode::GoBackN { .. }),
+                matches!(sim.transport, TransportMode::Pfc { .. }),
+            )))
+        } else {
+            None
+        };
+        if matches!(sim.injection, InjectionMode::CreditPerDst { .. }) {
+            for g in &mut scratch.gates {
+                g.ensure_dst_pools(n);
+            }
+        }
+        if let Some(plan) = &sim.faults {
+            let fs = fault
+                .as_deref_mut()
+                .expect("fault state exists with a plan");
+            for f in &plan.scheduled {
+                #[allow(clippy::cast_possible_truncation)]
+                let lane = f.lane as u16;
+                scratch.queue.push(f.at, Event::LaneDown(lane));
+                if f.duration != u64::MAX {
+                    scratch
+                        .queue
+                        .push(f.at.saturating_add(f.duration), Event::LaneUp(lane));
+                    fs.pending_ups[f.lane] += 1;
+                }
+            }
+            if let Some(st) = plan.stochastic {
+                for lane in 0..sim.wavelengths {
+                    let at = fault::exp_draw(
+                        plan.seed,
+                        LANE_STREAM | lane as u64,
+                        fs.lane_draws[lane],
+                        st.mean_up,
+                    );
+                    fs.lane_draws[lane] += 1;
+                    if at < st.horizon {
+                        #[allow(clippy::cast_possible_truncation)]
+                        scratch.queue.push(at, Event::LaneDown(lane as u16));
+                    }
+                }
+            }
+        }
         #[allow(clippy::cast_precision_loss)]
         let capacity = ((2 * n) * sim.wavelengths) as f64;
         Self {
@@ -780,6 +1006,7 @@ impl<'a, P: SimProbe> RunState<'a, P> {
             last_injection: 0,
             last_time: 0,
             horizon: 0,
+            fault,
         }
     }
 
@@ -803,6 +1030,12 @@ impl<'a, P: SimProbe> RunState<'a, P> {
             }
 
             let Some((now, event)) = self.s.queue.pop() else {
+                if next_from_source.is_none() && self.sweep_stranded() {
+                    // Losses release window slots, which can re-admit
+                    // (and even deliver) later traffic: resume on
+                    // whatever the sweep scheduled.
+                    continue;
+                }
                 break;
             };
             if let Event::GateWake(s) = event {
@@ -819,21 +1052,42 @@ impl<'a, P: SimProbe> RunState<'a, P> {
                 self.drain_gate(s, now);
                 continue;
             }
+            if let Event::LaneDown(lane) = event {
+                // Fault events don't extend the horizon: an outage after
+                // the last delivery is not time the traffic spent.
+                self.on_lane_down(lane as usize, now);
+                continue;
+            }
+            if let Event::LaneUp(lane) = event {
+                self.on_lane_up(lane as usize, now);
+                continue;
+            }
             self.horizon = self.horizon.max(now);
 
             match event {
                 Event::Offered(id) => {
                     let src = self.msg(id).ev.src.0;
-                    if self.sim.injection.is_closed_loop() {
+                    if self.sim.injection.is_closed_loop() || self.sim.transport.is_active() {
                         self.s.gates[src].offered.push_back(id);
                         self.drain_gate(src, now);
                     } else {
                         self.admit(id, now);
                     }
                 }
-                Event::GateWake(_) => unreachable!("handled above"),
-                Event::Started((id, flow)) => {
-                    let mask = self.s.flow_lane_masks[flow as usize];
+                Event::GateWake(_) | Event::LaneDown(_) | Event::LaneUp(_) => {
+                    unreachable!("handled above")
+                }
+                Event::Redo(id) => self.redo(id, now),
+                Event::Abandon(id) => {
+                    let (src, dst) = {
+                        let m = self.msg(id);
+                        (m.ev.src.0, m.ev.dst.0)
+                    };
+                    #[allow(clippy::cast_possible_truncation)]
+                    let flow = (src * self.n + dst) as u32;
+                    self.lose_message(id, flow, now);
+                }
+                Event::Started((id, flow, mask)) => {
                     let (start, end) = {
                         let m = self.msg(id);
                         (m.started, m.completed)
@@ -909,6 +1163,7 @@ impl<'a, P: SimProbe> RunState<'a, P> {
         } else {
             0
         };
+        self.probe.offered(event.time, event.src);
         self.s.msgs.push_back(MsgState {
             ev: event,
             admitted: 0,
@@ -916,6 +1171,9 @@ impl<'a, P: SimProbe> RunState<'a, P> {
             completed: 0,
             gap,
             lanes: 0,
+            attempts: 0,
+            seq: 0,
+            first_fail: 0,
         });
         self.s.flags.push_back(0);
         self.peak_in_flight = self.peak_in_flight.max(self.s.msgs.len());
@@ -933,11 +1191,50 @@ impl<'a, P: SimProbe> RunState<'a, P> {
             let Some(&head) = self.s.gates[s].offered.front() else {
                 return;
             };
+            // Transport windows gate the head before the injection
+            // policy: a full go-back-N window or PFC destination pool
+            // pauses the source (the wake-up is the next delivery or
+            // loss that shrinks the window).
+            match self.sim.transport {
+                TransportMode::GoBackN { window, .. } => {
+                    let flow = {
+                        let m = &self.s.msgs[head - self.base];
+                        m.ev.src.0 * self.n + m.ev.dst.0
+                    };
+                    let fs = self
+                        .fault
+                        .as_deref()
+                        .expect("transport implies fault state");
+                    if fs.unacked[flow] as usize >= window {
+                        return;
+                    }
+                }
+                TransportMode::Pfc { dst_window, .. } => {
+                    let dst = self.s.msgs[head - self.base].ev.dst.0;
+                    let fs = self
+                        .fault
+                        .as_deref()
+                        .expect("transport implies fault state");
+                    if fs.dst_in_flight[dst] as usize >= dst_window {
+                        return;
+                    }
+                }
+                TransportMode::None => {}
+            }
             let allowed = match self.sim.injection {
                 InjectionMode::Open => now,
                 InjectionMode::Credit { window } => {
                     if self.s.gates[s].in_flight >= window {
                         // The wake-up is the next delivery of this source.
+                        return;
+                    }
+                    now
+                }
+                InjectionMode::CreditPerDst { window } => {
+                    let dst = self.s.msgs[head - self.base].ev.dst.0;
+                    if self.s.gates[s].in_flight_by_dst[dst] as usize >= window {
+                        // The wake-up is the next delivery (or loss) to
+                        // this destination.
                         return;
                     }
                     now
@@ -970,15 +1267,39 @@ impl<'a, P: SimProbe> RunState<'a, P> {
     /// Passes message `id` through its gate into the network interface.
     fn admit(&mut self, id: usize, now: u64) {
         let sim = self.sim;
-        let (src_node, dst_node, volume, offered) = {
+        let (src_node, dst_node, offered) = {
             let m = self.msg(id);
             m.admitted = now;
-            (m.ev.src, m.ev.dst, m.ev.volume, m.ev.time)
+            (m.ev.src, m.ev.dst, m.ev.time)
         };
         self.probe.admitted(now, now - offered, src_node);
         let src = src_node.0;
         if self.sim.injection.is_closed_loop() {
             self.s.gates[src].note_admit(now);
+            if let InjectionMode::CreditPerDst { .. } = self.sim.injection {
+                self.s.gates[src].in_flight_by_dst[dst_node.0] += 1;
+            }
+        }
+        match self.sim.transport {
+            TransportMode::GoBackN { .. } => {
+                let flow = src * self.n + dst_node.0;
+                let fs = self
+                    .fault
+                    .as_deref_mut()
+                    .expect("transport implies fault state");
+                let seq = fs.next_seq[flow];
+                fs.next_seq[flow] += 1;
+                fs.unacked[flow] += 1;
+                self.msg(id).seq = seq;
+            }
+            TransportMode::Pfc { .. } => {
+                let fs = self
+                    .fault
+                    .as_deref_mut()
+                    .expect("transport implies fault state");
+                fs.dst_in_flight[dst_node.0] += 1;
+            }
+            TransportMode::None => {}
         }
         match &sim.mode {
             WavelengthMode::Dynamic(policy) => {
@@ -986,54 +1307,140 @@ impl<'a, P: SimProbe> RunState<'a, P> {
                 // blocks this one even if its own path is free.
                 #[allow(clippy::cast_possible_truncation)]
                 let flow = (src * self.n + dst_node.0) as u32;
-                if !self.s.ni_queues[src].is_empty() {
-                    self.blocked_attempts += 1;
-                    self.s.ni_queues[src].push_back((id, flow));
-                    self.waiting += 1;
-                } else if !self.try_start_dynamic(id, flow, now, *policy) {
-                    self.blocked_attempts += 1;
-                    self.s.ni_queues[src].push_back((id, flow));
-                    self.waiting += 1;
-                    // This message is now the source's blocked head:
-                    // register it with its path's waiter sets.
-                    self.set_waiter(src, flow, true);
-                }
+                let policy = *policy;
+                self.enqueue_dynamic(id, flow, now, policy);
             }
             WavelengthMode::Static(_) => {
-                let flow = src * self.n + dst_node.0;
-                let mask = self.s.flow_lane_masks[flow];
-                debug_assert!(mask != 0, "unmapped flows are rejected at offer");
-                let lanes = mask.count_ones() as usize;
-                let free_at = self.s.flow_free_at[flow];
-                let start = now.max(free_at);
-                if start > now {
-                    self.blocked_attempts += 1;
-                }
-                let duration = sim.duration(volume, lanes);
-                let end = start + duration;
-                self.s.flow_free_at[flow] = end;
-                {
-                    let m = self.msg(id);
-                    m.started = start;
-                    m.completed = end;
-                    #[allow(clippy::cast_possible_truncation)]
-                    {
-                        m.lanes = lanes as u16;
-                    }
-                }
                 #[allow(clippy::cast_possible_truncation)]
-                let flow = flow as u32;
-                self.s.queue.push(start, Event::Started((id, flow)));
-                self.s.queue.push(
-                    end,
-                    Event::Completed(CompletedTx {
-                        id,
-                        start,
-                        flow,
-                        mask,
-                    }),
-                );
+                let flow = (src * self.n + dst_node.0) as u32;
+                let mask = self.s.flow_lane_masks[flow as usize];
+                debug_assert!(mask != 0, "unmapped flows are rejected at offer");
+                let avail = match self.fault.as_deref() {
+                    Some(fs) => mask & !fs.down_mask,
+                    None => mask,
+                };
+                if avail == 0 {
+                    self.park_or_lose_static(id, flow, mask, now);
+                } else {
+                    self.start_static(id, flow, avail, now);
+                }
             }
+        }
+    }
+
+    /// Queues (or immediately starts) a dynamic-mode message at its
+    /// source NI.
+    fn enqueue_dynamic(&mut self, id: usize, flow: u32, now: u64, policy: DynamicPolicy) {
+        let src = flow as usize / self.n;
+        if !self.s.ni_queues[src].is_empty() {
+            self.blocked_attempts += 1;
+            self.s.ni_queues[src].push_back((id, flow));
+            self.waiting += 1;
+        } else if !self.try_start_dynamic(id, flow, now, policy) {
+            self.blocked_attempts += 1;
+            self.s.ni_queues[src].push_back((id, flow));
+            self.waiting += 1;
+            // This message is now the source's blocked head:
+            // register it with its path's waiter sets.
+            self.set_waiter(src, flow, true);
+        }
+    }
+
+    /// Schedules a static-mode transmission on `avail` (the flow's
+    /// nominal lanes minus any currently down), serialised on the flow's
+    /// `flow_free_at` cursor.
+    fn start_static(&mut self, id: usize, flow: u32, avail: u128, now: u64) {
+        let volume = self.msg(id).ev.volume;
+        let lanes = avail.count_ones() as usize;
+        let free_at = self.s.flow_free_at[flow as usize];
+        let start = now.max(free_at);
+        if start > now {
+            self.blocked_attempts += 1;
+        }
+        let duration = self.sim.duration(volume, lanes);
+        let end = start + duration;
+        self.s.flow_free_at[flow as usize] = end;
+        {
+            let m = self.msg(id);
+            m.started = start;
+            m.completed = end;
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                m.lanes = lanes as u16;
+            }
+            m.attempts += 1;
+        }
+        self.s.queue.push(start, Event::Started((id, flow, avail)));
+        self.s.queue.push(
+            end,
+            Event::Completed(CompletedTx {
+                id,
+                start,
+                flow,
+                mask: avail,
+            }),
+        );
+    }
+
+    /// An all-lanes-down static admission: park until a pending recovery
+    /// if one exists, otherwise the message is lost outright (deferred
+    /// through the calendar so loss bookkeeping never recurses through
+    /// the gate drain that admitted it).
+    fn park_or_lose_static(&mut self, id: usize, flow: u32, mask: u128, now: u64) {
+        let stochastic = self
+            .sim
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.stochastic.is_some());
+        let fs = self
+            .fault
+            .as_deref_mut()
+            .expect("an all-down mask implies fault state");
+        // Stochastic outages always repair; scheduled ones only if a
+        // finite-duration recovery is still outstanding.
+        let mut recovers = stochastic;
+        let mut rest = mask;
+        while !recovers && rest != 0 {
+            let lane = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            recovers = fs.pending_ups[lane] > 0;
+        }
+        if recovers {
+            fs.parked.push((id, flow));
+        } else {
+            self.s.queue.push(now, Event::Abandon(id));
+        }
+    }
+
+    /// Re-attempts a static-mode message after a NACK/timeout redo or a
+    /// lane recovery.
+    fn restart_static(&mut self, id: usize, flow: u32, now: u64) {
+        let mask = self.s.flow_lane_masks[flow as usize];
+        let avail = match self.fault.as_deref() {
+            Some(fs) => mask & !fs.down_mask,
+            None => mask,
+        };
+        if avail == 0 {
+            self.park_or_lose_static(id, flow, mask, now);
+        } else {
+            self.start_static(id, flow, avail, now);
+        }
+    }
+
+    /// Retransmits message `id` (transport recovery).
+    fn redo(&mut self, id: usize, now: u64) {
+        let (src, dst) = {
+            let m = self.msg(id);
+            (m.ev.src.0, m.ev.dst.0)
+        };
+        #[allow(clippy::cast_possible_truncation)]
+        let flow = (src * self.n + dst) as u32;
+        match &self.sim.mode {
+            WavelengthMode::Dynamic(policy) => {
+                let policy = *policy;
+                self.enqueue_dynamic(id, flow, now, policy);
+            }
+            WavelengthMode::Static(_) => self.restart_static(id, flow, now),
         }
     }
 
@@ -1062,6 +1469,7 @@ impl<'a, P: SimProbe> RunState<'a, P> {
             {
                 m.lanes = lanes as u16;
             }
+            m.attempts += 1;
         }
         #[allow(clippy::cast_possible_truncation)]
         let flow = flow as u32;
@@ -1147,15 +1555,49 @@ impl<'a, P: SimProbe> RunState<'a, P> {
         );
         let lanes = u64::from(mask.count_ones());
         let hops = (hi - lo) as u64;
-        self.probe.completed(TxFact {
-            start,
-            end: now,
-            lanes: mask,
-            hops: hi - lo,
-            src: NodeId(flow as usize / self.n),
-            dst: NodeId(flow as usize % self.n),
-            marked: self.s.flags[id - self.base] & flag::MARKED != 0,
-        });
+        let verdict = self.classify_attempt(id, flow, mask, start, now);
+        match verdict {
+            None => self.probe.completed(TxFact {
+                start,
+                end: now,
+                lanes: mask,
+                hops: hi - lo,
+                src: NodeId(flow as usize / self.n),
+                dst: NodeId(flow as usize % self.n),
+                marked: self.s.flags[id - self.base] & flag::MARKED != 0,
+            }),
+            Some(cause) => {
+                // A failed attempt drove its lanes for the full span:
+                // the fact stream reports a drop instead of a
+                // completion, but the occupancy accounting below is
+                // shared with deliveries.
+                if self.s.flags[id - self.base] & flag::FAILED == 0 {
+                    self.s.flags[id - self.base] |= flag::FAILED;
+                    self.msg(id).first_fail = now;
+                }
+                let (volume, attempt) = {
+                    let m = self.msg(id);
+                    (m.ev.volume.value(), m.attempts)
+                };
+                self.probe.dropped(DropFact {
+                    start,
+                    end: now,
+                    lanes: mask,
+                    hops: hi - lo,
+                    src: NodeId(flow as usize / self.n),
+                    dst: NodeId(flow as usize % self.n),
+                    bits: volume,
+                    cause,
+                    attempt,
+                });
+                let fs = self
+                    .fault
+                    .as_deref_mut()
+                    .expect("a drop verdict implies fault state");
+                fs.failed_attempts += 1;
+                fs.retransmitted_bits += volume;
+            }
+        }
         for i in lo..hi {
             self.s.segment_busy[self.s.path_segs[i] as usize] += span * lanes;
         }
@@ -1205,14 +1647,357 @@ impl<'a, P: SimProbe> RunState<'a, P> {
                 }
             }
         }
+        match verdict {
+            None => self.deliver(id, flow, now),
+            Some(cause) => self.handle_drop(id, flow, start, now, cause),
+        }
+    }
+
+    /// Decides whether the attempt that just delivered its last bit
+    /// actually failed: a lane outage overlapping the span, a BER
+    /// corruption draw, or a go-back-N sequence gap.
+    fn classify_attempt(
+        &self,
+        id: usize,
+        flow: u32,
+        mask: u128,
+        start: u64,
+        now: u64,
+    ) -> Option<FaultCause> {
+        let fs = self.fault.as_deref()?;
+        if fs.overlaps_down(mask, start, now) {
+            return Some(FaultCause::LaneDown);
+        }
+        if let Some(plan) = &self.sim.faults {
+            let ber = plan.corruption.ber(flow as usize);
+            if ber > 0.0 {
+                let m = &self.s.msgs[id - self.base];
+                let p = fault::message_error_probability(ber, m.ev.volume.value());
+                // Drawn from (message, attempt) so corruption outcomes
+                // are independent of event interleaving — runs replay
+                // exactly, and the corrupted sets nest as BER grows.
+                let draw = fault::unit_interval(fault::hash64(
+                    plan.seed,
+                    id as u64,
+                    u64::from(m.attempts),
+                ));
+                if draw < p {
+                    return Some(FaultCause::Corrupt);
+                }
+            }
+        }
+        if let TransportMode::GoBackN { .. } = self.sim.transport {
+            let seq = self.s.msgs[id - self.base].seq;
+            // Frames *ahead* of the receiver's window go back; frames
+            // *behind* it arrive late into a gap the receiver already
+            // gave up on (a loss skipped past them) and are accepted,
+            // so one exhausted frame can never wedge the flow.
+            if seq > fs.next_expected[flow as usize] {
+                return Some(FaultCause::OutOfOrder);
+            }
+        }
+        None
+    }
+
+    /// Final (successful) delivery bookkeeping for message `id`.
+    fn deliver(&mut self, id: usize, flow: u32, now: u64) {
+        match self.sim.transport {
+            TransportMode::GoBackN { .. } => {
+                let seq = self.s.msgs[id - self.base].seq;
+                let fs = self
+                    .fault
+                    .as_deref_mut()
+                    .expect("transport implies fault state");
+                let ne = &mut fs.next_expected[flow as usize];
+                debug_assert!(
+                    seq <= *ne,
+                    "go-back-N never delivers ahead of the receiver window"
+                );
+                // `seq < ne` is a late frame filling a gap a loss
+                // already skipped past — accepted without moving the
+                // window.
+                *ne = (*ne).max(seq + 1);
+                fs.unacked[flow as usize] -= 1;
+            }
+            TransportMode::Pfc { .. } => {
+                let fs = self
+                    .fault
+                    .as_deref_mut()
+                    .expect("transport implies fault state");
+                fs.dst_in_flight[flow as usize % self.n] -= 1;
+            }
+            TransportMode::None => {}
+        }
         self.s.flags[id - self.base] |= flag::DONE;
         if self.sim.injection.is_closed_loop() {
             let src = flow as usize / self.n;
             let marked = self.s.flags[id - self.base] & flag::MARKED != 0;
-            self.s.gates[src].note_delivery(now, self.sim.injection, marked);
+            self.s.gates[src].note_delivery(now, self.sim.injection, marked, &self.sim.aimd);
+            if let InjectionMode::CreditPerDst { .. } = self.sim.injection {
+                self.s.gates[src].in_flight_by_dst[flow as usize % self.n] -= 1;
+            }
             self.drain_gate(src, now);
         }
+        self.drain_transport(flow, now);
         self.retire_front();
+    }
+
+    /// A failed attempt: decide between retransmission and loss.
+    fn handle_drop(&mut self, id: usize, flow: u32, start: u64, now: u64, cause: FaultCause) {
+        let attempts = self.s.msgs[id - self.base].attempts;
+        match self.sim.transport {
+            TransportMode::None => self.lose_message(id, flow, now),
+            TransportMode::GoBackN {
+                nack_delay,
+                timeout,
+                max_retries,
+                ..
+            } => {
+                // Out-of-order completions are an artefact of go-back-N
+                // ordering (not data loss), so they never exhaust the
+                // retry budget.
+                if cause != FaultCause::OutOfOrder && attempts > max_retries {
+                    self.lose_message(id, flow, now);
+                } else {
+                    let at = match cause {
+                        // Lane outages are detected by timeout, not NACK.
+                        FaultCause::LaneDown => now.max(start.saturating_add(timeout)),
+                        FaultCause::Corrupt | FaultCause::OutOfOrder => now + nack_delay,
+                    };
+                    self.s.queue.push(at, Event::Redo(id));
+                }
+            }
+            TransportMode::Pfc { max_retries, .. } => {
+                if attempts > max_retries {
+                    self.lose_message(id, flow, now);
+                } else {
+                    self.s.queue.push(now + 1, Event::Redo(id));
+                }
+            }
+        }
+    }
+
+    /// Marks message `id` permanently lost at `now`: it retires silently
+    /// (delivery statistics exclude it), releasing whatever credits and
+    /// transport window slots it held.
+    fn lose_message(&mut self, id: usize, flow: u32, now: u64) {
+        let (volume, attempts, seq) = {
+            let m = self.msg(id);
+            m.completed = now;
+            if m.attempts == 0 {
+                m.started = now;
+            }
+            (m.ev.volume.value(), m.attempts, m.seq)
+        };
+        {
+            let fs = self.fault.as_deref_mut().expect("losses imply fault state");
+            fs.lost_messages += 1;
+            fs.lost_bits += volume;
+        }
+        match self.sim.transport {
+            TransportMode::GoBackN { .. } => {
+                let fs = self
+                    .fault
+                    .as_deref_mut()
+                    .expect("transport implies fault state");
+                let ne = &mut fs.next_expected[flow as usize];
+                // The receiver gives up on the gap: later frames of the
+                // flow become deliverable.
+                *ne = (*ne).max(seq + 1);
+                fs.unacked[flow as usize] -= 1;
+            }
+            TransportMode::Pfc { .. } => {
+                let fs = self
+                    .fault
+                    .as_deref_mut()
+                    .expect("transport implies fault state");
+                fs.dst_in_flight[flow as usize % self.n] -= 1;
+            }
+            TransportMode::None => {}
+        }
+        self.s.flags[id - self.base] |= flag::DONE | flag::LOST;
+        let record = self.s.msgs[id - self.base].record();
+        self.probe.lost(&record, volume, attempts.max(1));
+        if self.sim.injection.is_closed_loop() {
+            let src = flow as usize / self.n;
+            let marked = self.s.flags[id - self.base] & flag::MARKED != 0;
+            self.s.gates[src].note_delivery(now, self.sim.injection, marked, &self.sim.aimd);
+            if let InjectionMode::CreditPerDst { .. } = self.sim.injection {
+                self.s.gates[src].in_flight_by_dst[flow as usize % self.n] -= 1;
+            }
+            self.drain_gate(src, now);
+        }
+        self.drain_transport(flow, now);
+        self.retire_front();
+    }
+
+    /// Re-drains whichever gates a delivery or loss may have unblocked
+    /// under the transport windows.
+    fn drain_transport(&mut self, flow: u32, now: u64) {
+        match self.sim.transport {
+            TransportMode::None => {}
+            TransportMode::GoBackN { .. } => {
+                // Only this flow's source gained window.
+                self.drain_gate(flow as usize / self.n, now);
+            }
+            TransportMode::Pfc { .. } => {
+                // Any source may hold traffic for the freed destination.
+                for s in 0..self.n {
+                    if !self.s.gates[s].offered.is_empty() {
+                        self.drain_gate(s, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A wavelength fails at `now`.
+    fn on_lane_down(&mut self, lane: usize, now: u64) {
+        let stochastic = self.sim.faults.as_ref().and_then(|p| p.stochastic);
+        let seed = self.sim.faults.as_ref().map_or(0, |p| p.seed);
+        let fs = self
+            .fault
+            .as_deref_mut()
+            .expect("lane events imply fault state");
+        if let Some(st) = stochastic {
+            // Under the stochastic model every outage repairs: draw the
+            // repair time now so parked traffic knows the lane returns.
+            let counter = fs.lane_draws[lane];
+            fs.lane_draws[lane] += 1;
+            let up_at =
+                now + fault::exp_draw(seed, LANE_STREAM | lane as u64, counter, st.mean_down);
+            fs.pending_ups[lane] += 1;
+            #[allow(clippy::cast_possible_truncation)]
+            self.s.queue.push(up_at, Event::LaneUp(lane as u16));
+        }
+        if fs.down_mask & (1u128 << lane) != 0 {
+            // Already down (overlapping schedule entries): merge.
+            return;
+        }
+        fs.down_mask |= 1 << lane;
+        fs.down_since[lane] = now;
+        self.s.arbiter.set_down(lane, true);
+        self.probe.lane_event(now, lane, true);
+    }
+
+    /// A wavelength recovers at `now`.
+    fn on_lane_up(&mut self, lane: usize, now: u64) {
+        let stochastic = self.sim.faults.as_ref().and_then(|p| p.stochastic);
+        let seed = self.sim.faults.as_ref().map_or(0, |p| p.seed);
+        let fs = self
+            .fault
+            .as_deref_mut()
+            .expect("lane events imply fault state");
+        if fs.pending_ups[lane] > 0 {
+            fs.pending_ups[lane] -= 1;
+        }
+        if fs.down_mask & (1u128 << lane) == 0 {
+            // A merged outage already recovered this lane.
+            return;
+        }
+        fs.down_mask &= !(1u128 << lane);
+        fs.down_history[lane].push((fs.down_since[lane], now));
+        if let Some(st) = stochastic {
+            let counter = fs.lane_draws[lane];
+            fs.lane_draws[lane] += 1;
+            let down_at =
+                now + fault::exp_draw(seed, LANE_STREAM | lane as u64, counter, st.mean_up);
+            if down_at < st.horizon {
+                #[allow(clippy::cast_possible_truncation)]
+                self.s.queue.push(down_at, Event::LaneDown(lane as u16));
+            }
+        }
+        self.s.arbiter.set_down(lane, false);
+        self.probe.lane_event(now, lane, false);
+        // Recovered lanes may unblock parked static messages and blocked
+        // dynamic heads.
+        let parked = {
+            let fs = self.fault.as_deref_mut().expect("checked above");
+            std::mem::take(&mut fs.parked)
+        };
+        for (id, flow) in parked {
+            self.restart_static(id, flow, now);
+        }
+        if self.waiting > 0 {
+            if let WavelengthMode::Dynamic(policy) = &self.sim.mode {
+                let policy = *policy;
+                for s in 0..self.n {
+                    self.retry_source(s, now, policy);
+                }
+            }
+        }
+    }
+
+    /// Once the calendar runs dry, traffic stranded by permanent faults
+    /// — parked messages whose recovery never came, NI heads on dead
+    /// lanes, gate-held messages whose window never opened — is swept as
+    /// lost at the final horizon. Sweeping one batch at a time lets the
+    /// released window slots re-admit (and genuinely deliver) later
+    /// traffic before the next dry spell. Returns whether anything was
+    /// swept.
+    fn sweep_stranded(&mut self) -> bool {
+        if self.fault.is_none() {
+            return false;
+        }
+        let now = self.horizon;
+        let parked = {
+            let fs = self.fault.as_deref_mut().expect("checked above");
+            std::mem::take(&mut fs.parked)
+        };
+        let mut swept = !parked.is_empty();
+        for (id, flow) in parked {
+            self.lose_message(id, flow, now);
+        }
+        if !swept {
+            for s in 0..self.n {
+                if let Some(&(id, flow)) = self.s.ni_queues[s].front() {
+                    self.s.ni_queues[s].pop_front();
+                    self.waiting -= 1;
+                    // The head was registered in the waiter sets; its
+                    // successor takes over the registration so genuine
+                    // releases keep retrying it.
+                    self.set_waiter(s, flow, false);
+                    if let Some(&(_, f2)) = self.s.ni_queues[s].front() {
+                        self.set_waiter(s, f2, true);
+                    }
+                    self.lose_message(id, flow, now);
+                    if let WavelengthMode::Dynamic(policy) = &self.sim.mode {
+                        let policy = *policy;
+                        self.retry_source(s, now, policy);
+                    }
+                    swept = true;
+                    break;
+                }
+            }
+        }
+        if !swept {
+            for s in 0..self.n {
+                if let Some(id) = self.s.gates[s].offered.pop_front() {
+                    // Never admitted: lost without credits or transport
+                    // slots to release.
+                    let volume = {
+                        let m = self.msg(id);
+                        m.admitted = now;
+                        m.started = now;
+                        m.completed = now;
+                        m.ev.volume.value()
+                    };
+                    {
+                        let fs = self.fault.as_deref_mut().expect("checked above");
+                        fs.lost_messages += 1;
+                        fs.lost_bits += volume;
+                    }
+                    self.s.flags[id - self.base] |= flag::DONE | flag::LOST;
+                    let record = self.s.msgs[id - self.base].record();
+                    self.probe.lost(&record, volume, 1);
+                    self.s.gates[s].wake_at = None;
+                    self.retire_front();
+                    swept = true;
+                    break;
+                }
+            }
+        }
+        swept
     }
 
     /// Sets or clears source `s`'s waiter bit on every segment of `flow`'s
@@ -1271,9 +2056,18 @@ impl<'a, P: SimProbe> RunState<'a, P> {
             let m = self.s.msgs.pop_front().expect("flags parallel msgs");
             self.s.flags.pop_front();
             self.base += 1;
+            if bits & flag::LOST != 0 {
+                // Lost messages already fed the loss facts; they retire
+                // silently (delivery statistics exclude them).
+                continue;
+            }
             let record = m.record();
             let flow = m.ev.src.0 * self.n + m.ev.dst.0;
             let hops = self.flow_hops(flow);
+            if bits & flag::FAILED != 0 {
+                self.probe
+                    .recovered(&record, record.attempts, m.completed - m.first_fail);
+            }
             self.report.retired(&record, m.ev.volume.value(), hops);
             self.probe.retired(&record, m.ev.volume.value(), hops);
             if self.mode == ReportMode::Full && matches!(self.sim.mode, WavelengthMode::Static(_)) {
@@ -1344,15 +2138,33 @@ impl<'a, P: SimProbe> RunState<'a, P> {
                     used / (self.horizon as f64 * self.n as f64 * window as f64)
                 }
             }
+            InjectionMode::CreditPerDst { window } if self.horizon > 0 => {
+                // Full per-destination pools: each source owns
+                // `(n - 1) × window` credits.
+                let used: f64 = self.s.gates.iter().map(SourceGate::credit_cycles).sum();
+                #[allow(clippy::cast_precision_loss)]
+                {
+                    used / (self.horizon as f64 * (self.n * (self.n - 1) * window) as f64)
+                }
+            }
             _ => 0.0,
         };
+        let (failed_attempts, retransmitted_bits, lost_messages, lost_bits) =
+            self.fault.as_deref().map_or((0, 0.0, 0, 0.0), |fs| {
+                (
+                    fs.failed_attempts,
+                    fs.retransmitted_bits,
+                    fs.lost_messages,
+                    fs.lost_bits,
+                )
+            });
         let report = OpenLoopReport {
             nodes: self.n,
             wavelengths: self.sim.wavelengths,
             injection: self.sim.injection,
             horizon: self.horizon,
             last_injection: self.last_injection,
-            message_count: self.next_id,
+            message_count: self.next_id - lost_messages,
             records: self.report.records,
             latency_hist: self.report.latency_hist,
             stall_hist: self.report.stall_hist,
@@ -1365,6 +2177,10 @@ impl<'a, P: SimProbe> RunState<'a, P> {
             segment_busy,
             lane_busy: self.s.lane_busy.clone(),
             credit_occupancy,
+            failed_attempts,
+            retransmitted_bits,
+            lost_messages,
+            lost_bits,
         };
         (report, self.s)
     }

@@ -24,6 +24,7 @@
 
 use onoc_topology::NodeId;
 
+use crate::fault::DropFact;
 use crate::report::{LatencyHistogram, MsgRecord};
 
 /// A transmission fact: one message began (or finished) driving its
@@ -70,6 +71,14 @@ impl TxFact {
 /// injection order). `finished` fires exactly once, after the last
 /// retirement.
 pub trait SimProbe {
+    /// Source `src` offered a message at `time` (before any injection or
+    /// transport gate). Offered facts arrive in nondecreasing time
+    /// order, which is what lets streaming probes close windows early.
+    #[inline]
+    fn offered(&mut self, time: u64, src: NodeId) {
+        let _ = (time, src);
+    }
+
     /// A message passed its injection gate into the network interface at
     /// `now`, after `stall` cycles held at source `src` (0 in open loop).
     #[inline]
@@ -100,6 +109,37 @@ pub trait SimProbe {
         let _ = (record, volume_bits, hops);
     }
 
+    /// A transmission attempt failed (fault layer): the busy interval it
+    /// drove, the bits wasted, and the failure cause. Fires at the
+    /// attempt's would-be completion, before any retransmission.
+    #[inline]
+    fn dropped(&mut self, fact: DropFact) {
+        let _ = fact;
+    }
+
+    /// A message was permanently lost: retries exhausted, no transport
+    /// recovery, or the run ended with it undeliverable. Fires at the
+    /// loss decision (`record.completed` holds that cycle); lost
+    /// messages never reach `retired`.
+    #[inline]
+    fn lost(&mut self, record: &MsgRecord, volume_bits: f64, attempts: u32) {
+        let _ = (record, volume_bits, attempts);
+    }
+
+    /// A message that had at least one failed attempt retired
+    /// successfully; `recovery_cycles` spans its first failure to the
+    /// final delivery. Fires immediately before the matching `retired`.
+    #[inline]
+    fn recovered(&mut self, record: &MsgRecord, attempts: u32, recovery_cycles: u64) {
+        let _ = (record, attempts, recovery_cycles);
+    }
+
+    /// Lane `lane` went down (`down == true`) or recovered at `now`.
+    #[inline]
+    fn lane_event(&mut self, now: u64, lane: usize, down: bool) {
+        let _ = (now, lane, down);
+    }
+
     /// The run drained; `horizon` is the cycle of the last completion and
     /// `last_injection` the last offered cycle.
     #[inline]
@@ -118,6 +158,12 @@ impl SimProbe for NullProbe {}
 /// Structural composition: a pair of probes receives every fact, left
 /// first.
 impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
+    #[inline]
+    fn offered(&mut self, time: u64, src: NodeId) {
+        self.0.offered(time, src);
+        self.1.offered(time, src);
+    }
+
     #[inline]
     fn admitted(&mut self, now: u64, stall: u64, src: NodeId) {
         self.0.admitted(now, stall, src);
@@ -143,6 +189,30 @@ impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
     }
 
     #[inline]
+    fn dropped(&mut self, fact: DropFact) {
+        self.0.dropped(fact);
+        self.1.dropped(fact);
+    }
+
+    #[inline]
+    fn lost(&mut self, record: &MsgRecord, volume_bits: f64, attempts: u32) {
+        self.0.lost(record, volume_bits, attempts);
+        self.1.lost(record, volume_bits, attempts);
+    }
+
+    #[inline]
+    fn recovered(&mut self, record: &MsgRecord, attempts: u32, recovery_cycles: u64) {
+        self.0.recovered(record, attempts, recovery_cycles);
+        self.1.recovered(record, attempts, recovery_cycles);
+    }
+
+    #[inline]
+    fn lane_event(&mut self, now: u64, lane: usize, down: bool) {
+        self.0.lane_event(now, lane, down);
+        self.1.lane_event(now, lane, down);
+    }
+
+    #[inline]
     fn finished(&mut self, horizon: u64, last_injection: u64) {
         self.0.finished(horizon, last_injection);
         self.1.finished(horizon, last_injection);
@@ -152,6 +222,11 @@ impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
 /// Forwarding through a mutable reference, so callers can keep ownership
 /// of their probe across runs.
 impl<P: SimProbe + ?Sized> SimProbe for &mut P {
+    #[inline]
+    fn offered(&mut self, time: u64, src: NodeId) {
+        (**self).offered(time, src);
+    }
+
     #[inline]
     fn admitted(&mut self, now: u64, stall: u64, src: NodeId) {
         (**self).admitted(now, stall, src);
@@ -170,6 +245,26 @@ impl<P: SimProbe + ?Sized> SimProbe for &mut P {
     #[inline]
     fn retired(&mut self, record: &MsgRecord, volume_bits: f64, hops: usize) {
         (**self).retired(record, volume_bits, hops);
+    }
+
+    #[inline]
+    fn dropped(&mut self, fact: DropFact) {
+        (**self).dropped(fact);
+    }
+
+    #[inline]
+    fn lost(&mut self, record: &MsgRecord, volume_bits: f64, attempts: u32) {
+        (**self).lost(record, volume_bits, attempts);
+    }
+
+    #[inline]
+    fn recovered(&mut self, record: &MsgRecord, attempts: u32, recovery_cycles: u64) {
+        (**self).recovered(record, attempts, recovery_cycles);
+    }
+
+    #[inline]
+    fn lane_event(&mut self, now: u64, lane: usize, down: bool) {
+        (**self).lane_event(now, lane, down);
     }
 
     #[inline]
@@ -233,21 +328,30 @@ mod tests {
             started: injected,
             completed,
             lanes: 1,
+            attempts: 1,
         }
     }
 
     /// A probe counting every hook invocation.
     #[derive(Default, Debug, PartialEq)]
     struct Counter {
+        offered: usize,
         admitted: usize,
         started: usize,
         completed: usize,
         retired: usize,
+        dropped: usize,
+        lost: usize,
+        recovered: usize,
+        lane_events: usize,
         finished: usize,
         bits: f64,
     }
 
     impl SimProbe for Counter {
+        fn offered(&mut self, _: u64, _: NodeId) {
+            self.offered += 1;
+        }
         fn admitted(&mut self, _: u64, _: u64, _: NodeId) {
             self.admitted += 1;
         }
@@ -260,6 +364,18 @@ mod tests {
         fn retired(&mut self, _: &MsgRecord, volume: f64, _: usize) {
             self.retired += 1;
             self.bits += volume;
+        }
+        fn dropped(&mut self, _: DropFact) {
+            self.dropped += 1;
+        }
+        fn lost(&mut self, _: &MsgRecord, _: f64, _: u32) {
+            self.lost += 1;
+        }
+        fn recovered(&mut self, _: &MsgRecord, _: u32, _: u64) {
+            self.recovered += 1;
+        }
+        fn lane_event(&mut self, _: u64, _: usize, _: bool) {
+            self.lane_events += 1;
         }
         fn finished(&mut self, _: u64, _: u64) {
             self.finished += 1;
@@ -284,6 +400,7 @@ mod tests {
     #[test]
     fn pair_composition_forwards_every_fact_to_both() {
         let mut pair = (Counter::default(), Counter::default());
+        pair.offered(5, NodeId(0));
         pair.admitted(5, 0, NodeId(0));
         let fact = TxFact {
             start: 5,
@@ -297,10 +414,29 @@ mod tests {
         pair.started(fact);
         pair.completed(fact);
         pair.retired(&record(5, 15), 64.0, 2);
+        pair.dropped(crate::fault::DropFact {
+            start: 5,
+            end: 15,
+            lanes: 1,
+            hops: 2,
+            src: NodeId(0),
+            dst: NodeId(3),
+            bits: 64.0,
+            cause: crate::fault::FaultCause::Corrupt,
+            attempt: 1,
+        });
+        pair.lost(&record(5, 15), 64.0, 2);
+        pair.recovered(&record(5, 15), 2, 10);
+        pair.lane_event(7, 0, true);
         pair.finished(15, 5);
         assert_eq!(pair.0, pair.1);
+        assert_eq!(pair.0.offered, 1);
         assert_eq!(pair.0.admitted, 1);
         assert_eq!(pair.0.retired, 1);
+        assert_eq!(pair.0.dropped, 1);
+        assert_eq!(pair.0.lost, 1);
+        assert_eq!(pair.0.recovered, 1);
+        assert_eq!(pair.0.lane_events, 1);
         assert_eq!(pair.0.bits, 64.0);
         assert_eq!(pair.0.finished, 1);
     }

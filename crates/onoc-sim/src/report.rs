@@ -322,6 +322,9 @@ pub struct MsgRecord {
     pub completed: u64,
     /// Wavelength count the message transmitted on.
     pub lanes: usize,
+    /// Transmission attempts the message took (1 on the fault-free
+    /// path; greater after transport-layer retransmissions).
+    pub attempts: u32,
 }
 
 impl MsgRecord {
@@ -393,8 +396,21 @@ pub struct OpenLoopReport {
     /// Busy wavelength-cycles per wavelength, summed over segments.
     pub lane_busy: Vec<u64>,
     /// Time-averaged fraction of the per-source credit windows in use
-    /// over the run (0 outside credit mode).
+    /// over the run (0 outside credit mode). Under per-destination
+    /// credit pools the denominator is the full
+    /// `window × (nodes − 1)` pool per source.
     pub credit_occupancy: f64,
+    /// Transmission attempts that failed (lane outage, corruption, or a
+    /// go-back-N out-of-order discard). 0 on the fault-free path.
+    pub failed_attempts: usize,
+    /// Bits spent on those failed attempts (they drove lanes and burned
+    /// energy without delivering).
+    pub retransmitted_bits: f64,
+    /// Messages permanently lost (never retired; excluded from
+    /// `delivered_bits` and every latency statistic).
+    pub lost_messages: usize,
+    /// Bits of the lost messages.
+    pub lost_bits: f64,
 }
 
 impl OpenLoopReport {
@@ -633,6 +649,7 @@ mod tests {
             started: 40,
             completed: 140,
             lanes: 1,
+            attempts: 1,
         };
         assert_eq!(r.stall(), 15);
         assert_eq!(r.queueing(), 15);

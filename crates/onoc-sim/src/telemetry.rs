@@ -12,9 +12,14 @@
 //!   fairness index over per-source accepted bits; plus per-source
 //!   latency histograms (the 513-bin [`LatencyHistogram`]) and
 //!   per-flow retired-bit totals.
+//! * [`StreamingTimeSeriesProbe`] — the same windowed fold, but bins
+//!   are emitted through a callback as soon as no in-flight
+//!   transmission can still write into them, so memory is `O(open
+//!   windows)` instead of `O(horizon / window)`.
 //! * [`ChromeTraceProbe`] — retirements as Chrome trace-event
 //!   ("Perfetto") duration events, one track per source, loadable in
-//!   `ui.perfetto.dev`.
+//!   `ui.perfetto.dev`; fault runs additionally carry drop instants,
+//!   lane-outage spans and retry counts.
 //!
 //! Both compose with any other probe through the `(A, B)` pair impl:
 //!
@@ -51,8 +56,11 @@
 //! zero-alloc admit path allocation-free (the counting-allocator
 //! regression test runs with one attached).
 
+use std::collections::VecDeque;
+
 use onoc_topology::NodeId;
 
+use crate::fault::DropFact;
 use crate::probe::{SimProbe, TxFact};
 use crate::report::{LatencyHistogram, LatencyStats, MsgRecord};
 
@@ -70,6 +78,9 @@ struct WindowBin {
     ecn_marks: u64,
     lane_cycles: u64,
     seg_cycles: u64,
+    failed: u64,
+    retransmitted_bits: f64,
+    lost: u64,
 }
 
 /// One window of a [`TimeSeries`].
@@ -98,10 +109,22 @@ pub struct WindowStats {
     /// Segment-busy cycles overlapping the window (Σ lanes × hops ×
     /// overlap).
     pub seg_cycles: u64,
+    /// Transmission attempts failing (lane outage, corruption or
+    /// go-back-N reorder) in the window.
+    pub failed: u64,
+    /// Bits of failed attempts ending in the window — the wasted
+    /// transmission volume retransmissions must make up.
+    pub retransmitted_bits: f64,
+    /// Messages declared permanently lost in the window.
+    pub lost: u64,
     /// Messages held at their source gate at the window's end
     /// (offered but not yet admitted — credit/ECN backpressure).
+    /// Residual fault losses that never pass a gate keep this gauge
+    /// non-zero through the tail of the run.
     pub gate_held: u64,
-    /// Messages admitted but not yet transmitting at the window's end.
+    /// Messages admitted but not yet transmitting at the window's end
+    /// (approximate under fault retransmissions, where one admission
+    /// spawns several starts; the engine clamps it at zero).
     pub queue_depth: u64,
     /// Transmissions in flight at the window's end.
     pub in_flight: u64,
@@ -181,6 +204,24 @@ impl TimeSeries {
     #[must_use]
     pub fn total_seg_cycles(&self) -> u64 {
         self.windows.iter().map(|w| w.seg_cycles).sum()
+    }
+
+    /// Total failed transmission attempts across every window.
+    #[must_use]
+    pub fn total_failed(&self) -> u64 {
+        self.windows.iter().map(|w| w.failed).sum()
+    }
+
+    /// Total wasted (failed-attempt) bits across every window.
+    #[must_use]
+    pub fn total_retransmitted_bits(&self) -> f64 {
+        self.windows.iter().map(|w| w.retransmitted_bits).sum()
+    }
+
+    /// Total messages lost across every window.
+    #[must_use]
+    pub fn total_lost(&self) -> u64 {
+        self.windows.iter().map(|w| w.lost).sum()
     }
 
     /// Accepted throughput of window `i` in bits/cycle.
@@ -327,7 +368,8 @@ impl TimeSeriesProbe {
     #[must_use]
     #[allow(clippy::cast_precision_loss)]
     pub fn report(&self) -> TimeSeries {
-        let (mut offered, mut admitted, mut started, mut completed) = (0u64, 0u64, 0u64, 0u64);
+        let (mut offered, mut admitted, mut started, mut completed, mut failed) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
         let windows = self
             .bins
             .iter()
@@ -337,6 +379,7 @@ impl TimeSeriesProbe {
                 admitted += bin.admitted;
                 started += bin.started;
                 completed += bin.completed;
+                failed += bin.failed;
                 let xs = &self.src_window_bits[i * self.nodes..(i + 1) * self.nodes];
                 let sum: f64 = xs.iter().sum();
                 let sq: f64 = xs.iter().map(|x| x * x).sum();
@@ -357,12 +400,16 @@ impl TimeSeriesProbe {
                     ecn_marks: bin.ecn_marks,
                     lane_cycles: bin.lane_cycles,
                     seg_cycles: bin.seg_cycles,
+                    failed: bin.failed,
+                    retransmitted_bits: bin.retransmitted_bits,
+                    lost: bin.lost,
                     // Saturating: a full engine stream keeps these
                     // ordered (offered ≥ admitted ≥ started ≥
-                    // completed), but partial hand-fed streams may not.
+                    // completed + failed), but partial hand-fed streams
+                    // may not.
                     gate_held: offered.saturating_sub(admitted),
                     queue_depth: admitted.saturating_sub(started),
-                    in_flight: started.saturating_sub(completed),
+                    in_flight: started.saturating_sub(completed + failed),
                     fairness,
                 }
             })
@@ -385,14 +432,20 @@ impl TimeSeriesProbe {
 
 impl SimProbe for TimeSeriesProbe {
     #[inline]
+    fn offered(&mut self, time: u64, _src: NodeId) {
+        // Booked from the engine's offer fact rather than derived from
+        // `admitted − stall`, so messages a fault run loses before they
+        // ever pass a gate still count as offered load.
+        self.ensure_bin(self.bin_index(time)).offered += 1;
+        self.last_injection = self.last_injection.max(time);
+    }
+
+    #[inline]
     fn admitted(&mut self, now: u64, stall: u64, _src: NodeId) {
-        let offered_bin = self.bin_index(now - stall);
-        self.ensure_bin(offered_bin).offered += 1;
         let bin = self.bin_index(now);
         let b = self.ensure_bin(bin);
         b.admitted += 1;
         b.stall_cycles += stall;
-        self.last_injection = self.last_injection.max(now - stall);
     }
 
     #[inline]
@@ -426,6 +479,33 @@ impl SimProbe for TimeSeriesProbe {
     }
 
     #[inline]
+    fn dropped(&mut self, fact: DropFact) {
+        let b = self.ensure_bin(self.bin_index(fact.end));
+        b.failed += 1;
+        b.retransmitted_bits += fact.bits;
+        // The failed attempt drove its lanes for the full span: spread
+        // the busy interval exactly as a completion would.
+        if fact.end > fact.start {
+            let lanes = fact.lane_count() as u64;
+            let hops = fact.hops as u64;
+            let last = self.bin_index(fact.end - 1);
+            for idx in self.bin_index(fact.start)..=last {
+                let w_start = idx as u64 * self.window;
+                let w_end = w_start + self.window;
+                let overlap = fact.end.min(w_end) - fact.start.max(w_start);
+                let b = self.ensure_bin(idx);
+                b.lane_cycles += overlap * lanes;
+                b.seg_cycles += overlap * lanes * hops;
+            }
+        }
+    }
+
+    #[inline]
+    fn lost(&mut self, record: &MsgRecord, _volume_bits: f64, _attempts: u32) {
+        self.ensure_bin(self.bin_index(record.completed)).lost += 1;
+    }
+
+    #[inline]
     fn retired(&mut self, record: &MsgRecord, volume_bits: f64, _hops: usize) {
         let idx = self.bin_index(record.completed);
         let nodes = self.nodes;
@@ -454,6 +534,307 @@ impl SimProbe for TimeSeriesProbe {
     }
 }
 
+/// One open window of a [`StreamingTimeSeriesProbe`]: the fold bin, the
+/// per-source retired-bit row (fairness), and the number of
+/// transmissions started in the window that have not yet completed or
+/// dropped (they may still write lane cycles back into it).
+#[derive(Debug)]
+struct BinSlot {
+    bin: WindowBin,
+    src_bits: Vec<f64>,
+    open_starts: u32,
+}
+
+/// The emit-on-window-close variant of [`TimeSeriesProbe`]: every
+/// [`WindowStats`] is pushed through a callback as soon as the run has
+/// moved past the window *and* no transmission that started in it is
+/// still in flight (an open span writes its lane cycles back at
+/// completion). Memory is `O(open windows × nodes)` regardless of the
+/// horizon, so day-long traces fold in constant space.
+///
+/// The emitted stats are bin-for-bin identical to the batch probe's
+/// [`TimeSeriesProbe::report`] windows (proptested), minus the
+/// per-source/per-flow aggregate vectors, which a constant-space fold
+/// cannot retain per window.
+pub struct StreamingTimeSeriesProbe<F: FnMut(&WindowStats)> {
+    window: u64,
+    nodes: usize,
+    wavelengths: usize,
+    emit: F,
+    /// Open bins; the front is absolute bin index `emitted`.
+    slots: VecDeque<BinSlot>,
+    /// Recycled slots (their buffers keep capacity).
+    free: Vec<BinSlot>,
+    /// Windows already emitted (= absolute index of the front slot).
+    emitted: u64,
+    /// Running cumulative counts over emitted *and* open bins are not
+    /// enough for the end-of-window gauges — these cover emitted bins
+    /// only, and each emission folds its own bin in before deriving
+    /// the gauges.
+    cum_offered: u64,
+    cum_admitted: u64,
+    cum_started: u64,
+    cum_completed: u64,
+    cum_failed: u64,
+    horizon: u64,
+    last_injection: u64,
+}
+
+impl<F: FnMut(&WindowStats)> core::fmt::Debug for StreamingTimeSeriesProbe<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StreamingTimeSeriesProbe")
+            .field("window", &self.window)
+            .field("emitted", &self.emitted)
+            .field("open", &self.slots.len())
+            .finish()
+    }
+}
+
+impl<F: FnMut(&WindowStats)> StreamingTimeSeriesProbe<F> {
+    /// A streaming probe with `window`-cycle bins; `emit` receives each
+    /// closed window in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: u64, nodes: usize, wavelengths: usize, emit: F) -> Self {
+        assert!(window > 0, "the telemetry window must be at least 1 cycle");
+        Self {
+            window,
+            nodes,
+            wavelengths,
+            emit,
+            slots: VecDeque::new(),
+            free: Vec::new(),
+            emitted: 0,
+            cum_offered: 0,
+            cum_admitted: 0,
+            cum_started: 0,
+            cum_completed: 0,
+            cum_failed: 0,
+            horizon: 0,
+            last_injection: 0,
+        }
+    }
+
+    /// Windows emitted so far.
+    #[must_use]
+    pub fn windows_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Comb size the probe was built for.
+    #[must_use]
+    pub fn wavelengths(&self) -> usize {
+        self.wavelengths
+    }
+
+    /// Open (not yet emitted) windows currently held.
+    #[must_use]
+    pub fn open_windows(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn bin_index(&self, cycle: u64) -> u64 {
+        cycle / self.window
+    }
+
+    /// The slot of absolute bin `idx`, growing the open deque.
+    fn slot_mut(&mut self, idx: u64) -> &mut BinSlot {
+        debug_assert!(idx >= self.emitted, "bin already emitted");
+        #[allow(clippy::cast_possible_truncation)]
+        let off = (idx - self.emitted) as usize;
+        while self.slots.len() <= off {
+            let mut slot = self.free.pop().unwrap_or_else(|| BinSlot {
+                bin: WindowBin::default(),
+                src_bits: vec![0.0; self.nodes],
+                open_starts: 0,
+            });
+            slot.bin = WindowBin::default();
+            slot.src_bits.fill(0.0);
+            slot.src_bits.resize(self.nodes, 0.0);
+            slot.open_starts = 0;
+            self.slots.push_back(slot);
+        }
+        &mut self.slots[off]
+    }
+
+    /// Emits every leading window the run has fully moved past
+    /// (`now ≥` its end) with no open transmission left inside it.
+    fn drain_closed(&mut self, now: u64) {
+        while let Some(front) = self.slots.front() {
+            let end = (self.emitted + 1) * self.window;
+            if now < end || front.open_starts > 0 {
+                break;
+            }
+            self.emit_front();
+        }
+    }
+
+    /// Folds and emits the front slot unconditionally.
+    #[allow(clippy::cast_precision_loss)]
+    fn emit_front(&mut self) {
+        let slot = self.slots.pop_front().expect("caller checked front");
+        let bin = &slot.bin;
+        self.cum_offered += bin.offered;
+        self.cum_admitted += bin.admitted;
+        self.cum_started += bin.started;
+        self.cum_completed += bin.completed;
+        self.cum_failed += bin.failed;
+        let sum: f64 = slot.src_bits.iter().sum();
+        let sq: f64 = slot.src_bits.iter().map(|x| x * x).sum();
+        let fairness = if sum > 0.0 {
+            sum * sum / (self.nodes as f64 * sq)
+        } else {
+            1.0
+        };
+        let stats = WindowStats {
+            start: self.emitted * self.window,
+            offered: bin.offered,
+            admitted: bin.admitted,
+            started: bin.started,
+            completed: bin.completed,
+            retired: bin.retired,
+            retired_bits: bin.retired_bits,
+            stall_cycles: bin.stall_cycles,
+            ecn_marks: bin.ecn_marks,
+            lane_cycles: bin.lane_cycles,
+            seg_cycles: bin.seg_cycles,
+            failed: bin.failed,
+            retransmitted_bits: bin.retransmitted_bits,
+            lost: bin.lost,
+            gate_held: self.cum_offered.saturating_sub(self.cum_admitted),
+            queue_depth: self.cum_admitted.saturating_sub(self.cum_started),
+            in_flight: self
+                .cum_started
+                .saturating_sub(self.cum_completed + self.cum_failed),
+            fairness,
+        };
+        (self.emit)(&stats);
+        self.emitted += 1;
+        self.free.push(slot);
+    }
+
+    /// Spreads a span's lane/segment cycles over the windows it
+    /// overlaps.
+    fn spread(&mut self, start: u64, end: u64, lanes: u64, hops: u64) {
+        if end == start {
+            return;
+        }
+        let window = self.window;
+        let last = self.bin_index(end - 1);
+        for idx in self.bin_index(start).max(self.emitted)..=last {
+            let w_start = idx * window;
+            let w_end = w_start + window;
+            let overlap = end.min(w_end) - start.max(w_start);
+            let b = &mut self.slot_mut(idx).bin;
+            b.lane_cycles += overlap * lanes;
+            b.seg_cycles += overlap * lanes * hops;
+        }
+    }
+}
+
+impl<F: FnMut(&WindowStats)> SimProbe for StreamingTimeSeriesProbe<F> {
+    #[inline]
+    fn offered(&mut self, time: u64, _src: NodeId) {
+        // Offers can arrive ahead of the event clock (the engine pulls
+        // due source events in batches), so they only book — emission is
+        // driven by the processed-event hooks below.
+        self.slot_mut(self.bin_index(time)).bin.offered += 1;
+        self.last_injection = self.last_injection.max(time);
+    }
+
+    #[inline]
+    fn admitted(&mut self, now: u64, stall: u64, _src: NodeId) {
+        let b = &mut self.slot_mut(self.bin_index(now)).bin;
+        b.admitted += 1;
+        b.stall_cycles += stall;
+        self.drain_closed(now);
+    }
+
+    #[inline]
+    fn started(&mut self, fact: TxFact) {
+        let slot = self.slot_mut(self.bin_index(fact.start));
+        slot.bin.started += 1;
+        if fact.marked {
+            slot.bin.ecn_marks += 1;
+        }
+        slot.open_starts += 1;
+        self.drain_closed(fact.start);
+    }
+
+    #[inline]
+    fn completed(&mut self, fact: TxFact) {
+        self.slot_mut(self.bin_index(fact.end)).bin.completed += 1;
+        self.spread(
+            fact.start,
+            fact.end,
+            fact.lane_count() as u64,
+            fact.hops as u64,
+        );
+        let start_slot = self.slot_mut(self.bin_index(fact.start));
+        debug_assert!(start_slot.open_starts > 0, "completion without start");
+        start_slot.open_starts -= 1;
+        self.drain_closed(fact.end);
+    }
+
+    #[inline]
+    fn dropped(&mut self, fact: DropFact) {
+        {
+            let b = &mut self.slot_mut(self.bin_index(fact.end)).bin;
+            b.failed += 1;
+            b.retransmitted_bits += fact.bits;
+        }
+        self.spread(
+            fact.start,
+            fact.end,
+            fact.lane_count() as u64,
+            fact.hops as u64,
+        );
+        let start_slot = self.slot_mut(self.bin_index(fact.start));
+        debug_assert!(start_slot.open_starts > 0, "drop without start");
+        start_slot.open_starts -= 1;
+        self.drain_closed(fact.end);
+    }
+
+    #[inline]
+    fn lost(&mut self, record: &MsgRecord, _volume_bits: f64, _attempts: u32) {
+        self.slot_mut(self.bin_index(record.completed)).bin.lost += 1;
+        self.drain_closed(record.completed);
+    }
+
+    #[inline]
+    fn retired(&mut self, record: &MsgRecord, volume_bits: f64, _hops: usize) {
+        let src = record.src.0;
+        let slot = self.slot_mut(self.bin_index(record.completed));
+        slot.bin.retired += 1;
+        slot.bin.retired_bits += volume_bits;
+        slot.src_bits[src] += volume_bits;
+        self.drain_closed(record.completed);
+    }
+
+    #[inline]
+    fn lane_event(&mut self, now: u64, _lane: usize, _down: bool) {
+        self.drain_closed(now);
+    }
+
+    #[inline]
+    fn finished(&mut self, horizon: u64, last_injection: u64) {
+        self.horizon = horizon;
+        self.last_injection = last_injection;
+        // Materialise trailing idle windows, then flush everything —
+        // nothing can write into any bin after the final horizon.
+        if horizon > 0 {
+            self.slot_mut(self.bin_index(horizon - 1));
+        }
+        while !self.slots.is_empty() {
+            self.emit_front();
+        }
+    }
+}
+
 /// A [`SimProbe`] exporting every retirement as a Chrome trace-event
 /// duration ("X") event — the JSON the Perfetto UI and
 /// `chrome://tracing` load directly.
@@ -462,10 +843,21 @@ impl SimProbe for TimeSeriesProbe {
 /// microsecond `ts`/`dur` fields (1 cycle = 1 µs on screen). Each
 /// source is one track (`tid`), and every event carries the message's
 /// destination, bits, hops, lane count, gate stall and NI queueing as
-/// `args`.
+/// `args`. Under fault injection the trace is enriched: retirements
+/// that needed retransmission carry an `attempts` arg, every dropped
+/// attempt renders as an instant ("i") event on its source track, and
+/// lane outages render as duration spans on a separate `pid:1`
+/// process with one track per lane. Fault-free runs produce exactly
+/// the pre-fault document.
 #[derive(Debug, Clone, Default)]
 pub struct ChromeTraceProbe {
     events: Vec<(MsgRecord, f64, usize)>,
+    drops: Vec<DropFact>,
+    /// Closed lane outages as `(lane, down, up)`.
+    lane_spans: Vec<(usize, u64, u64)>,
+    /// Lanes currently down: `(lane, since)`.
+    lane_open: Vec<(usize, u64)>,
+    horizon: u64,
 }
 
 impl ChromeTraceProbe {
@@ -480,6 +872,7 @@ impl ChromeTraceProbe {
     pub fn with_capacity(messages: usize) -> Self {
         Self {
             events: Vec::with_capacity(messages),
+            ..Self::default()
         }
     }
 
@@ -498,17 +891,25 @@ impl ChromeTraceProbe {
     /// Renders the captured run as Chrome trace-event JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(64 + self.events.len() * 160);
+        let mut out = String::with_capacity(
+            64 + self.events.len() * 160 + self.drops.len() * 120 + self.lane_spans.len() * 96,
+        );
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-        for (i, (r, bits, hops)) in self.events.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for (r, bits, hops) in &self.events {
+            if !core::mem::take(&mut first) {
                 out.push(',');
             }
+            let attempts = if r.attempts > 1 {
+                format!(",\"attempts\":{}", r.attempts)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
                 "{{\"name\":\"{src}->{dst}\",\"cat\":\"tx\",\"ph\":\"X\",\
                  \"ts\":{ts},\"dur\":{dur},\"pid\":0,\"tid\":{src},\
                  \"args\":{{\"dst\":{dst},\"bits\":{bits},\"hops\":{hops},\
-                 \"lanes\":{lanes},\"stall\":{stall},\"queueing\":{queueing}}}}}",
+                 \"lanes\":{lanes},\"stall\":{stall},\"queueing\":{queueing}{attempts}}}}}",
                 src = r.src.0,
                 dst = r.dst.0,
                 ts = r.started,
@@ -518,6 +919,36 @@ impl ChromeTraceProbe {
                 lanes = r.lanes,
                 stall = r.stall(),
                 queueing = r.queueing(),
+            ));
+        }
+        for d in &self.drops {
+            if !core::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{ts},\"pid\":0,\"tid\":{src},\
+                 \"args\":{{\"dst\":{dst},\"bits\":{bits},\"attempt\":{attempt}}}}}",
+                name = d.cause.name(),
+                ts = d.end,
+                src = d.src.0,
+                dst = d.dst.0,
+                bits = d.bits,
+                attempt = d.attempt,
+            ));
+        }
+        let opens = self
+            .lane_open
+            .iter()
+            .map(|&(lane, since)| (lane, since, self.horizon.max(since)));
+        for (lane, down, up) in self.lane_spans.iter().copied().chain(opens) {
+            if !core::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"\\u03bb{lane} down\",\"cat\":\"fault\",\"ph\":\"X\",\
+                 \"ts\":{down},\"dur\":{dur},\"pid\":1,\"tid\":{lane}}}",
+                dur = up - down,
             ));
         }
         out.push_str("]}");
@@ -530,11 +961,32 @@ impl SimProbe for ChromeTraceProbe {
     fn retired(&mut self, record: &MsgRecord, volume_bits: f64, hops: usize) {
         self.events.push((*record, volume_bits, hops));
     }
+
+    #[inline]
+    fn dropped(&mut self, fact: DropFact) {
+        self.drops.push(fact);
+    }
+
+    #[inline]
+    fn lane_event(&mut self, now: u64, lane: usize, down: bool) {
+        if down {
+            self.lane_open.push((lane, now));
+        } else if let Some(pos) = self.lane_open.iter().position(|&(l, _)| l == lane) {
+            let (_, since) = self.lane_open.swap_remove(pos);
+            self.lane_spans.push((lane, since, now));
+        }
+    }
+
+    #[inline]
+    fn finished(&mut self, horizon: u64, _last_injection: u64) {
+        self.horizon = horizon;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultCause;
 
     fn fact(start: u64, end: u64, lanes: u128, hops: usize, src: usize, dst: usize) -> TxFact {
         TxFact {
@@ -557,13 +1009,15 @@ mod tests {
             started: injected,
             completed,
             lanes: 1,
+            attempts: 1,
         }
     }
 
     #[test]
     fn windows_fold_hand_computed_counts() {
         let mut probe = TimeSeriesProbe::new(10, 4, 2);
-        // Admitted at 3 after a 1-cycle stall: offered in window 0.
+        // Offered at 2, admitted at 3 after a 1-cycle stall: window 0.
+        probe.offered(2, NodeId(0));
         probe.admitted(3, 1, NodeId(0));
         // A 2-lane transmission spanning windows 0..2 (cycles 5..25).
         probe.started(fact(5, 25, 0b11, 2, 0, 2));
@@ -627,6 +1081,7 @@ mod tests {
         let bins_cap = probe.bins.capacity();
         let src_cap = probe.src_window_bits.capacity();
         for k in 0..100u64 {
+            probe.offered(k * 8, NodeId(0));
             probe.admitted(k * 8, 0, NodeId(0));
             probe.retired(&record(0, 1, k * 8, k * 8 + 7), 8.0, 1);
         }
@@ -680,5 +1135,114 @@ mod tests {
     #[should_panic(expected = "window must be at least 1")]
     fn zero_window_panics() {
         let _ = TimeSeriesProbe::new(0, 4, 1);
+    }
+
+    /// Replays the same fact stream into the batch and streaming probes
+    /// and checks every emitted window field-for-field.
+    fn assert_streaming_matches_batch(feed: impl Fn(&mut dyn SimProbe)) {
+        let mut batch = TimeSeriesProbe::new(10, 4, 2);
+        feed(&mut batch);
+        let series = batch.report();
+        let mut emitted: Vec<WindowStats> = Vec::new();
+        let mut streaming = StreamingTimeSeriesProbe::new(10, 4, 2, |w: &WindowStats| {
+            emitted.push(*w);
+        });
+        feed(&mut streaming);
+        drop(streaming);
+        assert_eq!(emitted.len(), series.windows.len());
+        for (got, want) in emitted.iter().zip(&series.windows) {
+            assert_eq!(got, want, "window at {}", want.start);
+        }
+    }
+
+    #[test]
+    fn streaming_windows_match_batch_report() {
+        assert_streaming_matches_batch(|p| {
+            p.offered(2, NodeId(0));
+            p.admitted(3, 1, NodeId(0));
+            p.started(fact(5, 25, 0b11, 2, 0, 2));
+            p.completed(fact(5, 25, 0b11, 2, 0, 2));
+            p.retired(&record(0, 2, 2, 25), 40.0, 2);
+            p.finished(25, 2);
+        });
+        // Overlapping spans, a drop, a loss, and trailing idle windows.
+        assert_streaming_matches_batch(|p| {
+            p.offered(0, NodeId(1));
+            p.admitted(0, 0, NodeId(1));
+            p.started(fact(0, 14, 0b1, 3, 1, 0));
+            p.offered(4, NodeId(2));
+            p.admitted(6, 2, NodeId(2));
+            p.started(fact(6, 9, 0b10, 1, 2, 3));
+            p.dropped(DropFact {
+                start: 6,
+                end: 9,
+                lanes: 0b10,
+                hops: 1,
+                src: NodeId(2),
+                dst: NodeId(3),
+                bits: 16.0,
+                cause: FaultCause::Corrupt,
+                attempt: 1,
+            });
+            p.completed(fact(0, 14, 0b1, 3, 1, 0));
+            p.retired(&record(1, 0, 0, 14), 14.0, 3);
+            p.lost(&record(2, 3, 4, 31), 16.0, 2);
+            p.finished(55, 4);
+        });
+    }
+
+    #[test]
+    fn streaming_emits_window_only_after_open_span_closes() {
+        let mut closed = Vec::new();
+        let mut probe = StreamingTimeSeriesProbe::new(10, 2, 1, |w: &WindowStats| {
+            closed.push(w.start);
+        });
+        probe.started(fact(5, 35, 1, 1, 0, 1));
+        // A retirement deep in window 3 cannot flush window 0 while the
+        // span that started there is still open.
+        probe.retired(&record(1, 0, 30, 34), 8.0, 1);
+        assert_eq!(probe.windows_emitted(), 0);
+        probe.completed(fact(5, 35, 1, 1, 0, 1));
+        assert_eq!(probe.windows_emitted(), 3);
+        probe.finished(35, 5);
+        drop(probe);
+        assert_eq!(closed, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn chrome_trace_renders_fault_events() {
+        let mut probe = ChromeTraceProbe::new();
+        let mut r = record(1, 2, 0, 9);
+        r.attempts = 3;
+        probe.retired(&r, 8.0, 1);
+        probe.dropped(DropFact {
+            start: 0,
+            end: 4,
+            lanes: 1,
+            hops: 1,
+            src: NodeId(1),
+            dst: NodeId(2),
+            bits: 8.0,
+            cause: FaultCause::LaneDown,
+            attempt: 1,
+        });
+        probe.lane_event(2, 0, true);
+        probe.lane_event(7, 0, false);
+        probe.lane_event(8, 1, true); // still down at the horizon
+        probe.finished(12, 0);
+        let json = probe.to_json();
+        assert!(json.contains("\"attempts\":3"));
+        assert!(json.contains("\"cat\":\"fault\",\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"lane-down\""));
+        assert!(json.contains("\\u03bb0 down"));
+        assert!(json.contains("\"ts\":2,\"dur\":5,\"pid\":1,\"tid\":0"));
+        // The open outage on lane 1 is closed at the horizon.
+        assert!(json.contains("\"ts\":8,\"dur\":4,\"pid\":1,\"tid\":1"));
+        // A fault-free capture renders the pre-fault document shape.
+        let mut clean = ChromeTraceProbe::new();
+        clean.retired(&record(0, 1, 0, 5), 8.0, 1);
+        clean.finished(10, 0);
+        assert!(!clean.to_json().contains("fault"));
+        assert!(!clean.to_json().contains("attempts"));
     }
 }

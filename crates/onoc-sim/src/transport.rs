@@ -1,0 +1,187 @@
+//! Transport-level recovery policies layered on the unified injection
+//! engine: what happens when a transmission attempt fails.
+//!
+//! Fault classification (lane outages, BER corruption — see
+//! [`FaultPlan`](crate::FaultPlan)) marks attempts as failed; the
+//! [`TransportMode`] decides the sender's reaction:
+//!
+//! * [`TransportMode::None`] — datagram service: a failed attempt loses
+//!   the message outright.
+//! * [`TransportMode::GoBackN`] — sliding-window ARQ: each flow carries
+//!   sequence numbers, the receiver NACKs corrupt and out-of-order
+//!   frames (retransmit after `nack_delay`), silent losses on a dead
+//!   lane are recovered by the sender timeout (`timeout` cycles after
+//!   the attempt started), and a flow's admissions are gated on at most
+//!   `window` unacknowledged messages. Out-of-order NACK retransmits do
+//!   not count against `max_retries` — the missing earlier frame is
+//!   still in flight, so the sender never gives up on ordering alone.
+//! * [`TransportMode::Pfc`] — priority-flow-control-style lossless
+//!   backpressure: admission pauses while a destination already has
+//!   `dst_window` messages in flight (receiver-buffer credit), and
+//!   failed attempts retry immediately (link-level retransmission).
+//!
+//! Transport gating composes with any
+//! [`InjectionMode`](crate::InjectionMode): both gates must pass before
+//! a message enters the network interface.
+
+/// Transport-level recovery policy. See the module docs for semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// No recovery: failed attempts are lost.
+    #[default]
+    None,
+    /// Go-back-N ARQ with NACKs and a sender timeout.
+    GoBackN {
+        /// Maximum unacknowledged messages per flow. Must be at least 1.
+        window: usize,
+        /// Cycles from failure detection (receiver side) to the
+        /// retransmission: the NACK round trip.
+        nack_delay: u64,
+        /// Sender timeout for attempts that die silently (lane outage):
+        /// the retransmission fires `timeout` cycles after the attempt
+        /// started (or at detection, whichever is later). Must be at
+        /// least 1.
+        timeout: u64,
+        /// Retransmissions allowed per message before it is declared
+        /// lost (out-of-order NACKs excluded); 0 means any failure
+        /// loses the message.
+        max_retries: u32,
+    },
+    /// PFC-style lossless backpressure with link-level retry.
+    Pfc {
+        /// Maximum in-flight messages per destination across all
+        /// sources (the receiver-buffer credit). Must be at least 1.
+        dst_window: usize,
+        /// Retransmissions allowed per message before it is declared
+        /// lost.
+        max_retries: u32,
+    },
+}
+
+impl TransportMode {
+    /// A go-back-N preset with a window of 8, a 16-cycle NACK delay, a
+    /// 256-cycle timeout and 8 retries.
+    #[must_use]
+    pub fn go_back_n() -> Self {
+        TransportMode::GoBackN {
+            window: 8,
+            nack_delay: 16,
+            timeout: 256,
+            max_retries: 8,
+        }
+    }
+
+    /// A PFC preset with a per-destination window of 4 and 16 retries.
+    #[must_use]
+    pub fn pfc() -> Self {
+        TransportMode::Pfc {
+            dst_window: 4,
+            max_retries: 16,
+        }
+    }
+
+    /// The machine-friendly name (`none` / `gbn` / `pfc`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportMode::None => "none",
+            TransportMode::GoBackN { .. } => "gbn",
+            TransportMode::Pfc { .. } => "pfc",
+        }
+    }
+
+    /// `true` for the recovery-capable modes (which also gate
+    /// admission).
+    #[must_use]
+    pub fn is_active(self) -> bool {
+        !matches!(self, TransportMode::None)
+    }
+
+    /// Panics on degenerate parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero go-back-N window or timeout, or a zero PFC
+    /// destination window.
+    pub fn validate(self) {
+        match self {
+            TransportMode::None => {}
+            TransportMode::GoBackN {
+                window, timeout, ..
+            } => {
+                assert!(window >= 1, "go-back-N window must be at least 1");
+                assert!(timeout >= 1, "go-back-N timeout must be at least 1 cycle");
+            }
+            TransportMode::Pfc { dst_window, .. } => {
+                assert!(dst_window >= 1, "PFC destination window must be at least 1");
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for TransportMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransportMode::None => write!(f, "none"),
+            TransportMode::GoBackN {
+                window,
+                nack_delay,
+                timeout,
+                max_retries,
+            } => write!(
+                f,
+                "gbn(window {window}, nack {nack_delay}, timeout {timeout}, retries {max_retries})"
+            ),
+            TransportMode::Pfc {
+                dst_window,
+                max_retries,
+            } => write!(f, "pfc(dst window {dst_window}, retries {max_retries})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_activity_and_display() {
+        assert_eq!(TransportMode::None.name(), "none");
+        assert_eq!(TransportMode::go_back_n().name(), "gbn");
+        assert_eq!(TransportMode::pfc().name(), "pfc");
+        assert!(!TransportMode::None.is_active());
+        assert!(TransportMode::go_back_n().is_active());
+        assert!(TransportMode::pfc().is_active());
+        assert_eq!(TransportMode::default(), TransportMode::None);
+        assert_eq!(
+            TransportMode::go_back_n().to_string(),
+            "gbn(window 8, nack 16, timeout 256, retries 8)"
+        );
+        assert_eq!(
+            TransportMode::pfc().to_string(),
+            "pfc(dst window 4, retries 16)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "go-back-N window")]
+    fn zero_gbn_window_is_rejected() {
+        TransportMode::GoBackN {
+            window: 0,
+            nack_delay: 1,
+            timeout: 1,
+            max_retries: 0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "PFC destination window")]
+    fn zero_pfc_window_is_rejected() {
+        TransportMode::Pfc {
+            dst_window: 0,
+            max_retries: 0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,345 @@
+//! Fault-injection and reliable-transport guarantees: faults-disabled
+//! configurations are bit-identical to the plain engine, faulty runs
+//! conserve every offered bit (delivered + lost), replay exactly from
+//! their seed, and the reliability probe's fold agrees with the report.
+
+use onoc_sim::{
+    DynamicPolicy, FaultPlan, InjectionMode, LaneFault, OpenLoopSimulator, ReliabilityProbe,
+    ReportMode, SimScratch, StaticFlowMap, StochasticFaults, TrafficEvent, TransportMode,
+    WavelengthMode,
+};
+use onoc_topology::{NodeId, RingTopology};
+use onoc_units::{Bits, BitsPerCycle};
+
+fn event(time: u64, src: usize, dst: usize, bits: f64) -> TrafficEvent {
+    TrafficEvent {
+        time,
+        src: NodeId(src),
+        dst: NodeId(dst),
+        volume: Bits::new(bits),
+    }
+}
+
+/// The engine proptests' deterministic conservation corpus.
+fn corpus(seed: u64, len: usize) -> Vec<TrafficEvent> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut time = 0u64;
+    (0..len)
+        .map(|_| {
+            time += next() % 4;
+            let src = (next() % 16) as usize;
+            let dst = (src + 1 + (next() % 15) as usize) % 16;
+            event(time, src, dst, 64.0 + (next() % 512) as f64)
+        })
+        .collect()
+}
+
+fn dynamic_sim(wavelengths: usize, injection: InjectionMode) -> OpenLoopSimulator {
+    OpenLoopSimulator::with_injection(
+        RingTopology::new(16),
+        wavelengths,
+        BitsPerCycle::new(1.0),
+        WavelengthMode::Dynamic(DynamicPolicy::Single),
+        injection,
+    )
+}
+
+proptest::proptest! {
+    /// A vacuous fault plan plus `TransportMode::None` is the plain
+    /// engine: reports are bit-identical in both modes under every
+    /// injection policy of the corpus.
+    #[test]
+    fn vacuous_faults_are_bit_identical_to_the_plain_engine(
+        seed in 0u64..100,
+        wavelengths in 1usize..5,
+        policy in 0usize..4,
+    ) {
+        use proptest::prelude::*;
+        let injection = match policy {
+            0 => InjectionMode::Open,
+            1 => InjectionMode::Credit { window: 2 },
+            2 => InjectionMode::CreditPerDst { window: 2 },
+            _ => InjectionMode::Ecn { threshold: 0.2 },
+        };
+        let events = corpus(seed, 80);
+        let plain = dynamic_sim(wavelengths, injection);
+        let faulty = dynamic_sim(wavelengths, injection)
+            .with_faults(FaultPlan::new(seed))
+            .with_transport(TransportMode::None);
+        prop_assert!(faulty.faults().is_some_and(FaultPlan::is_vacuous));
+        for mode in [ReportMode::Full, ReportMode::Streaming] {
+            let a = plain
+                .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), mode)
+                .unwrap();
+            let b = faulty
+                .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), mode)
+                .unwrap();
+            prop_assert_eq!(&a, &b, "{:?} report drifted under a vacuous fault plan", mode);
+        }
+    }
+
+    /// Go-back-N under BER corruption conserves traffic: every offered
+    /// message is either delivered or lost, every offered bit is
+    /// accounted exactly once, and retransmitted bits never count
+    /// toward the delivered total.
+    #[test]
+    fn gbn_runs_conserve_offered_bits(
+        seed in 0u64..100,
+        ber_exp in 3u32..6,
+        wavelengths in 1usize..5,
+    ) {
+        use proptest::prelude::*;
+        let ber = 10f64.powi(-(i32::try_from(ber_exp).unwrap()));
+        let events = corpus(seed, 60);
+        let offered: f64 = events.iter().map(|e| e.volume.value()).sum();
+        let sim = dynamic_sim(wavelengths, InjectionMode::Open)
+            .with_faults(FaultPlan::new(seed).with_ber(ber))
+            .with_transport(TransportMode::go_back_n());
+        let report = sim
+            .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), ReportMode::Full)
+            .unwrap();
+        prop_assert_eq!(report.message_count + report.lost_messages, events.len());
+        prop_assert!(
+            (report.delivered_bits + report.lost_bits - offered).abs() < 1e-6,
+            "offered {} != delivered {} + lost {}",
+            offered, report.delivered_bits, report.lost_bits
+        );
+        // Every failed attempt retransmitted its full message volume.
+        prop_assert!(report.retransmitted_bits >= 0.0);
+        prop_assert!((report.failed_attempts == 0) == (report.retransmitted_bits == 0.0));
+    }
+
+    /// Stochastic lane outages with go-back-N recovery still conserve
+    /// traffic, and a rerun from the same plan replays bit-identically.
+    #[test]
+    fn stochastic_outages_conserve_and_replay(
+        seed in 0u64..60,
+        wavelengths in 2usize..5,
+    ) {
+        use proptest::prelude::*;
+        let events = corpus(seed, 50);
+        let offered: f64 = events.iter().map(|e| e.volume.value()).sum();
+        let plan = FaultPlan::new(seed)
+            .with_stochastic(StochasticFaults {
+                mean_up: 300.0,
+                mean_down: 40.0,
+                horizon: 2_000,
+            })
+            .with_ber(1e-5);
+        let sim = dynamic_sim(wavelengths, InjectionMode::Open)
+            .with_faults(plan)
+            .with_transport(TransportMode::go_back_n());
+        let a = sim
+            .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), ReportMode::Full)
+            .unwrap();
+        let b = sim
+            .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), ReportMode::Full)
+            .unwrap();
+        prop_assert_eq!(&a, &b, "a seeded fault run must replay exactly");
+        prop_assert_eq!(a.message_count + a.lost_messages, events.len());
+        prop_assert!((a.delivered_bits + a.lost_bits - offered).abs() < 1e-6);
+    }
+
+    /// PFC backpressure is lossless without faults: everything is
+    /// delivered, nothing is retransmitted, and the reports replay.
+    #[test]
+    fn pfc_without_faults_is_lossless(seed in 0u64..60, wavelengths in 1usize..5) {
+        use proptest::prelude::*;
+        let events = corpus(seed, 60);
+        let offered: f64 = events.iter().map(|e| e.volume.value()).sum();
+        let sim = dynamic_sim(wavelengths, InjectionMode::Open)
+            .with_transport(TransportMode::pfc());
+        let report = sim
+            .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), ReportMode::Full)
+            .unwrap();
+        prop_assert_eq!(report.message_count, events.len());
+        prop_assert_eq!(report.lost_messages, 0);
+        prop_assert_eq!(report.failed_attempts, 0);
+        prop_assert!((report.delivered_bits - offered).abs() < 1e-6);
+    }
+}
+
+/// A scheduled finite outage on a static flow's only lane parks the
+/// message and delivers it after the repair; a permanent outage loses it.
+#[test]
+fn static_mode_parks_across_repair_and_loses_on_permanent_outage() {
+    let events = vec![event(10, 0, 1, 32.0)];
+    let base = || {
+        OpenLoopSimulator::new(
+            RingTopology::new(16),
+            8,
+            BitsPerCycle::new(1.0),
+            WavelengthMode::Static(StaticFlowMap::striped(16, 8, 1)),
+        )
+    };
+    let make = |fault: LaneFault| base().with_faults(FaultPlan::new(7).with_scheduled(fault));
+    // Flow 0→1 is striped onto a single lane; find it by running clean.
+    let clean = base().run(events.clone().into_iter()).unwrap();
+    assert_eq!(clean.message_count, 1);
+    let lane = clean.lane_busy.iter().position(|&b| b > 0).unwrap();
+
+    // Outage spans the offer: the message parks and restarts at repair.
+    let repaired = make(LaneFault {
+        lane,
+        at: 0,
+        duration: 100,
+    })
+    .run(events.clone().into_iter())
+    .unwrap();
+    assert_eq!(repaired.message_count, 1);
+    assert_eq!(repaired.lost_messages, 0);
+    let started = repaired.records[0].started;
+    assert!(
+        started >= 100,
+        "parked message started at {started}, before the lane repair"
+    );
+
+    // A permanent outage with no recovery pending loses the message.
+    let lost = make(LaneFault {
+        lane,
+        at: 0,
+        duration: u64::MAX,
+    })
+    .run(events.into_iter())
+    .unwrap();
+    assert_eq!(lost.message_count, 0);
+    assert_eq!(lost.lost_messages, 1);
+    assert!((lost.lost_bits - 32.0).abs() < 1e-12);
+}
+
+/// An in-flight dynamic transmission crossing a scheduled outage is
+/// dropped with the lane-down cause and recovered by go-back-N.
+#[test]
+fn gbn_recovers_a_transmission_cut_by_a_scheduled_outage() {
+    let sim = dynamic_sim(1, InjectionMode::Open)
+        .with_faults(FaultPlan::new(3).with_scheduled(LaneFault {
+            lane: 0,
+            at: 20,
+            duration: 30,
+        }))
+        .with_transport(TransportMode::go_back_n());
+    // A 64-cycle transmission starting at 0 is mid-flight at cycle 20.
+    let report = sim.run(vec![event(0, 0, 2, 64.0)].into_iter()).unwrap();
+    assert_eq!(report.message_count, 1);
+    assert_eq!(report.lost_messages, 0);
+    assert!(report.failed_attempts >= 1);
+    assert!((report.retransmitted_bits - 64.0 * report.failed_attempts as f64).abs() < 1e-9);
+    let record = &report.records[0];
+    assert!(record.attempts >= 2);
+    assert!(
+        record.completed >= 50 + 64,
+        "delivery at {} cannot predate repair + full span",
+        record.completed
+    );
+}
+
+/// The reliability probe's fold agrees with the engine report, and its
+/// derived figures are internally consistent.
+#[test]
+fn reliability_probe_matches_the_report() {
+    let events = corpus(11, 80);
+    let sim = dynamic_sim(2, InjectionMode::Open)
+        .with_faults(FaultPlan::new(11).with_ber(5e-4).with_scheduled(LaneFault {
+            lane: 1,
+            at: 50,
+            duration: 200,
+        }))
+        .with_transport(TransportMode::go_back_n());
+    let mut probe = ReliabilityProbe::new(2);
+    let report = sim
+        .run_with_scratch_probed(
+            events.into_iter(),
+            &mut SimScratch::new(),
+            ReportMode::Full,
+            &mut probe,
+        )
+        .unwrap();
+    let rel = probe.report();
+    assert_eq!(rel.delivered_messages as usize, report.message_count);
+    assert!((rel.delivered_bits - report.delivered_bits).abs() < 1e-9);
+    assert_eq!(rel.failed_attempts() as usize, report.failed_attempts);
+    assert!((rel.retransmitted_bits - report.retransmitted_bits).abs() < 1e-9);
+    assert_eq!(rel.lost_messages as usize, report.lost_messages);
+    assert_eq!(rel.horizon, report.horizon);
+    // The scheduled outage is visible as lane downtime on lane 1 only.
+    assert_eq!(rel.lane_downtime[1], 200);
+    assert_eq!(rel.lane_downtime[0], 0);
+    assert!(rel.goodput() > 0.0);
+    assert!(rel.delivery_ratio() > 0.0 && rel.delivery_ratio() <= 1.0);
+    assert!(rel.waste_fraction() >= 0.0 && rel.waste_fraction() < 1.0);
+    // Every message recovered after a failure contributes its latency.
+    assert_eq!(rel.recovered_messages, rel.recovery_latency.count as u64);
+}
+
+/// Goodput is monotonically non-increasing in the uniform BER: the
+/// corruption draws are coupled through the shared hash stream, so a
+/// message corrupted at a low rate stays corrupted at every higher one.
+#[test]
+fn delivered_bits_never_increase_with_ber() {
+    let events = corpus(5, 60);
+    let mut last = f64::INFINITY;
+    for ber in [0.0, 1e-5, 1e-4, 1e-3, 1e-2] {
+        let plan = if ber > 0.0 {
+            FaultPlan::new(5).with_ber(ber)
+        } else {
+            FaultPlan::new(5)
+        };
+        let report = dynamic_sim(2, InjectionMode::Open)
+            .with_faults(plan)
+            .with_transport(TransportMode::go_back_n())
+            .run(events.clone().into_iter())
+            .unwrap();
+        assert!(
+            report.delivered_bits <= last + 1e-9,
+            "delivered bits rose from {last} to {} at BER {ber}",
+            report.delivered_bits
+        );
+        last = report.delivered_bits;
+    }
+}
+
+/// A pinned seeded fault schedule: the exact report of a small run with
+/// scheduled outages, BER corruption and go-back-N recovery. Any engine
+/// change that shifts fault arithmetic shows up here first.
+#[test]
+fn golden_seeded_fault_schedule() {
+    let events = vec![
+        event(0, 0, 4, 96.0),
+        event(5, 1, 5, 64.0),
+        event(12, 2, 6, 128.0),
+        event(30, 3, 7, 64.0),
+        event(64, 4, 0, 96.0),
+    ];
+    let sim = dynamic_sim(2, InjectionMode::Open)
+        .with_faults(FaultPlan::new(42).with_ber(2e-3).with_scheduled(LaneFault {
+            lane: 0,
+            at: 24,
+            duration: 40,
+        }))
+        .with_transport(TransportMode::GoBackN {
+            window: 8,
+            nack_delay: 16,
+            timeout: 256,
+            max_retries: 8,
+        });
+    let report = sim.run(events.into_iter()).unwrap();
+    let summary = format!(
+        "messages={} lost={} failed={} retx={:.1} delivered={:.1} horizon={}",
+        report.message_count,
+        report.lost_messages,
+        report.failed_attempts,
+        report.retransmitted_bits,
+        report.delivered_bits,
+        report.horizon,
+    );
+    assert_eq!(
+        summary, "messages=5 lost=0 failed=2 retx=224.0 delivered=448.0 horizon=352",
+        "seeded fault schedule drifted"
+    );
+}

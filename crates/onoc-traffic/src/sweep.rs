@@ -18,8 +18,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use onoc_sim::{
-    DynamicPolicy, EnergyProbe, EnergyReport, InjectionMode, LatencyStats, OpenLoopSimulator,
-    ReportMode, SimScratch, WavelengthMode,
+    AimdParams, DynamicPolicy, EnergyProbe, EnergyReport, FaultPlan, InjectionMode, LatencyStats,
+    OpenLoopSimulator, ReportMode, SimScratch, TransportMode, WavelengthMode,
 };
 use onoc_topology::RingTopology;
 use onoc_units::{Bits, BitsPerCycle};
@@ -58,6 +58,14 @@ pub struct SweepGrid {
     /// [`EnergyProbe`] attached and its result carries the folded
     /// energy-per-bit figures (0 otherwise).
     pub energy: Option<onoc_sim::EnergyModel>,
+    /// Optional fault plan (lane outages, BER corruption) shared by
+    /// every scenario.
+    pub faults: Option<FaultPlan>,
+    /// Reliable-transport recovery mode layered over the injection
+    /// policy (defaults to no recovery).
+    pub transport: TransportMode,
+    /// ECN AIMD pacing constants (only read in ECN injection mode).
+    pub aimd: AimdParams,
 }
 
 impl SweepGrid {
@@ -78,6 +86,9 @@ impl SweepGrid {
             burstiness: None,
             injection: InjectionMode::Open,
             energy: None,
+            faults: None,
+            transport: TransportMode::None,
+            aimd: AimdParams::default(),
         }
     }
 
@@ -150,6 +161,13 @@ pub struct ScenarioResult {
     /// Static (laser-on + MR tuning) share of the total energy in
     /// `[0, 1]` (0 without an energy model).
     pub energy_static_frac: f64,
+    /// Attempts that failed and were retransmitted or lost (0 without
+    /// faults).
+    pub failed_attempts: usize,
+    /// Messages permanently lost (retries exhausted or unrecoverable).
+    pub lost: usize,
+    /// Bits spent on failed attempts (wasted fabric traffic).
+    pub retransmitted_bits: f64,
 }
 
 /// A finished sweep: per-scenario results in grid order plus parallelism
@@ -170,7 +188,8 @@ impl SweepOutcome {
     pub const CSV_HEADER: &'static str = "pattern,nodes,wavelengths,injection_rate,\
         offered_bits_per_cycle,accepted_bits_per_cycle,messages,blocked,\
         latency_mean,latency_p50,latency_p95,latency_p99,latency_max,occupancy,\
-        stall_mean,credit_occupancy,energy_pj_per_bit,energy_static_frac";
+        stall_mean,credit_occupancy,energy_pj_per_bit,energy_static_frac,\
+        failed_attempts,lost,retx_bits";
 
     /// Renders every result as one CSV row (no header).
     #[must_use]
@@ -179,7 +198,7 @@ impl SweepOutcome {
             .iter()
             .map(|r| {
                 format!(
-                    "{},{},{},{},{:.3},{:.3},{},{},{:.2},{:.2},{:.2},{:.2},{},{:.5},{:.2},{:.5},{:.4},{:.4}",
+                    "{},{},{},{},{:.3},{:.3},{},{},{:.2},{:.2},{:.2},{:.2},{},{:.5},{:.2},{:.5},{:.4},{:.4},{},{},{:.1}",
                     r.scenario.pattern.name(),
                     r.scenario.nodes,
                     r.scenario.wavelengths,
@@ -198,6 +217,9 @@ impl SweepOutcome {
                     r.credit_occupancy,
                     r.energy_pj_per_bit,
                     r.energy_static_frac,
+                    r.failed_attempts,
+                    r.lost,
+                    r.retransmitted_bits,
                 )
             })
             .collect()
@@ -217,7 +239,8 @@ impl SweepOutcome {
                      \"latency\": {{\"mean\": {:.2}, \"p50\": {:.2}, \"p95\": {:.2}, \
                      \"p99\": {:.2}, \"max\": {}}}, \"occupancy\": {:.5}, \
                      \"stall_mean\": {:.2}, \"credit_occupancy\": {:.5}, \
-                     \"energy_pj_per_bit\": {:.4}, \"energy_static_frac\": {:.4}}}",
+                     \"energy_pj_per_bit\": {:.4}, \"energy_static_frac\": {:.4}, \
+                     \"failed_attempts\": {}, \"lost\": {}, \"retx_bits\": {:.1}}}",
                     r.scenario.pattern.name(),
                     r.scenario.nodes,
                     r.scenario.wavelengths,
@@ -236,6 +259,9 @@ impl SweepOutcome {
                     r.credit_occupancy,
                     r.energy_pj_per_bit,
                     r.energy_static_frac,
+                    r.failed_attempts,
+                    r.lost,
+                    r.retransmitted_bits,
                 )
             })
             .collect();
@@ -323,13 +349,19 @@ pub fn run_scenario_phased(
     let trace = generate(&config);
     let setup_ms = elapsed_ms(setup_start);
     let simulate_start = Instant::now();
-    let sim = OpenLoopSimulator::with_injection(
+    let mut sim = OpenLoopSimulator::with_injection(
         RingTopology::new(scenario.nodes),
         scenario.wavelengths,
         grid.lane_rate,
         WavelengthMode::Dynamic(grid.policy),
         grid.injection,
-    );
+    )
+    .with_transport(grid.transport)
+    .with_aimd(grid.aimd);
+    if let Some(plan) = &grid.faults {
+        sim = sim.with_faults(plan.clone());
+    }
+    let sim = sim;
     let (report, energy): (_, Option<EnergyReport>) = match &grid.energy {
         Some(model) => {
             let mut probe = EnergyProbe::new(model.clone(), scenario.nodes, scenario.wavelengths);
@@ -358,6 +390,9 @@ pub fn run_scenario_phased(
         credit_occupancy: report.credit_occupancy,
         energy_pj_per_bit: energy.as_ref().map_or(0.0, EnergyReport::pj_per_bit),
         energy_static_frac: energy.as_ref().map_or(0.0, EnergyReport::static_fraction),
+        failed_attempts: report.failed_attempts,
+        lost: report.lost_messages,
+        retransmitted_bits: report.retransmitted_bits,
     };
     let phases = ScenarioPhases {
         setup_ms,
@@ -598,6 +633,9 @@ mod tests {
             burstiness: None,
             injection: InjectionMode::Open,
             energy: None,
+            faults: None,
+            transport: TransportMode::None,
+            aimd: AimdParams::default(),
         }
     }
 
@@ -725,6 +763,39 @@ mod tests {
     }
 
     #[test]
+    fn fault_sweep_populates_reliability_columns_and_is_deterministic() {
+        let grid = SweepGrid {
+            faults: Some(FaultPlan::new(7).with_ber(1e-3)),
+            transport: TransportMode::go_back_n(),
+            patterns: vec![TrafficPattern::UniformRandom],
+            injection_rates: vec![0.01, 0.04],
+            wavelengths: vec![2],
+            ring_sizes: vec![16],
+            horizon: 3_000,
+            ..tiny_grid()
+        };
+        let one = run_sweep(&grid, 1);
+        let four = run_sweep(&grid, 4);
+        assert_eq!(one.results, four.results, "fault runs replay exactly");
+        // At BER 1e-3 and 256-bit messages roughly a fifth of attempts
+        // corrupt, so the grid sees retransmissions somewhere.
+        assert!(one.results.iter().any(|r| r.failed_attempts > 0));
+        for r in &one.results {
+            assert_eq!(r.failed_attempts == 0, r.retransmitted_bits == 0.0, "{r:?}");
+        }
+        // A vacuous plan with no transport leaves the sweep bit-identical
+        // to the plain grid.
+        let vacuous = SweepGrid {
+            faults: Some(FaultPlan::new(3)),
+            ..tiny_grid()
+        };
+        assert_eq!(
+            run_sweep(&vacuous, 2).results,
+            run_sweep(&tiny_grid(), 2).results
+        );
+    }
+
+    #[test]
     fn energy_model_populates_the_energy_columns_deterministically() {
         use onoc_sim::EnergyModel;
         let grid = SweepGrid {
@@ -804,6 +875,9 @@ mod tests {
             burstiness: None,
             injection: InjectionMode::Credit { window },
             energy: None,
+            faults: None,
+            transport: TransportMode::None,
+            aimd: AimdParams::default(),
         }
     }
 
