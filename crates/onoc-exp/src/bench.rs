@@ -17,8 +17,10 @@
 
 use std::time::Instant;
 
+use onoc_photonics::WavelengthId;
 use onoc_sim::{
-    AimdParams, DynamicPolicy, EnergyModel, FaultPlan, InjectionMode, SimScratch, TransportMode,
+    AimdParams, DynamicPolicy, EnergyModel, FaultPlan, InjectionMode, SimScratch, StaticFlowMap,
+    TransportMode,
 };
 use onoc_topology::NodeId;
 use onoc_traffic::{ScenarioPhases, SweepGrid, TrafficPattern, run_scenario_phased};
@@ -68,6 +70,8 @@ pub struct BenchRecord {
     pub simulate_ms: f64,
     /// Report-folding wall time summed over the scenario's points.
     pub report_ms: f64,
+    /// Intra-run PDES workers the scenario's grid ran with (1 = serial).
+    pub workers: usize,
 }
 
 /// The pinned scenario set. `quick` divides horizons by 10 for CI smoke
@@ -93,6 +97,8 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
         faults: None,
         transport: TransportMode::None,
         aimd: AimdParams::default(),
+        workers: 1,
+        static_map: None,
     };
     let mut out = vec![
         // The headline saturation sweeps: paper scale and beyond.
@@ -148,10 +154,53 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
             horizon: scale(40_000),
             faults: Some(FaultPlan::new(2017).with_ber(1e-4)),
             transport: TransportMode::go_back_n(),
-            ..base
+            ..base.clone()
+        },
+    });
+    // The PDES scale pair: one 256-node tornado scenario in static
+    // wavelength mode, run serial and at 4 intra-run workers. Same grid
+    // apart from `workers`, so the wall-time ratio between the two
+    // records *is* the parallel speedup, and the determinism invariant
+    // makes their pJ/bit identical by construction.
+    let tornado_256 = SweepGrid {
+        patterns: vec![TrafficPattern::Tornado],
+        injection_rates: vec![0.02],
+        wavelengths: vec![128],
+        ring_sizes: vec![256],
+        horizon: scale(20_000),
+        energy: Some(EnergyModel::paper(256, 128)),
+        static_map: Some(source_striped_map(256, 128)),
+        ..base
+    };
+    out.push(BenchScenario {
+        name: "serial-256n".into(),
+        grid: tornado_256.clone(),
+    });
+    out.push(BenchScenario {
+        name: "pdes-256n-4w".into(),
+        grid: SweepGrid {
+            workers: 4,
+            ..tornado_256
         },
     });
     out
+}
+
+/// The explicit single-lane static map behind the 256-node scenarios:
+/// every flow out of `src` owns lane `src % wavelengths`. Under the
+/// tornado pattern (⌈n/2⌉ − 1 hops) the two sources sharing a lane sit
+/// half a ring apart, so their paths never meet on a directed segment —
+/// the map is conflict-free without any contended slots to track.
+fn source_striped_map(nodes: usize, wavelengths: usize) -> StaticFlowMap {
+    let mut lanes = vec![Vec::new(); nodes * nodes];
+    for src in 0..nodes {
+        for dst in 0..nodes {
+            if src != dst {
+                lanes[src * nodes + dst] = vec![WavelengthId(src % wavelengths)];
+            }
+        }
+    }
+    StaticFlowMap::from_table(nodes, wavelengths, lanes)
 }
 
 /// Peak resident-set size of this process in kB (`VmHWM` from
@@ -213,6 +262,7 @@ pub fn run_bench(quick: bool) -> Vec<BenchRecord> {
                 setup_ms: phases.setup_ms,
                 simulate_ms: phases.simulate_ms,
                 report_ms: phases.report_ms,
+                workers: scenario.grid.workers,
             }
         })
         .collect()
@@ -232,6 +282,7 @@ fn record_value(r: &BenchRecord) -> Value {
     row.insert("setup_ms", ms(r.setup_ms));
     row.insert("simulate_ms", ms(r.simulate_ms));
     row.insert("report_ms", ms(r.report_ms));
+    row.insert("workers", r.workers);
     row
 }
 
@@ -261,6 +312,12 @@ pub fn history_line(records: &[BenchRecord], quick: bool, unix_ms: u64) -> Strin
     doc.insert("schema", BENCH_HISTORY_SCHEMA);
     doc.insert("unix_ms", unix_ms);
     doc.insert("tier", if quick { "quick" } else { "full" });
+    // PDES wall times only compare across commits at equal physical
+    // parallelism, so every history record names the host it ran on.
+    doc.insert(
+        "host_cores",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+    );
     doc.insert(
         "scenarios",
         Value::Array(records.iter().map(record_value).collect()),
@@ -363,7 +420,11 @@ mod tests {
     fn pinned_set_shape_is_stable() {
         let full = pinned_scenarios(false);
         let quick = pinned_scenarios(true);
-        assert_eq!(full.len(), 15, "2 headline + 3×2×2 matrix + 1 fault");
+        assert_eq!(
+            full.len(),
+            17,
+            "2 headline + 3×2×2 matrix + 1 fault + 2 PDES"
+        );
         assert_eq!(full.len(), quick.len());
         for (f, q) in full.iter().zip(&quick) {
             assert_eq!(f.name, q.name, "tiers share scenario names");
@@ -376,6 +437,22 @@ mod tests {
         assert_eq!(names.len(), full.len());
         assert!(names.contains(&"saturation-sweep-32n"));
         assert!(names.contains(&"gbn-fault-8l"));
+        assert!(names.contains(&"serial-256n"));
+        assert!(names.contains(&"pdes-256n-4w"));
+        // The PDES pair differs only in worker count, so the wall-time
+        // ratio between the two records is the parallel speedup.
+        let serial = full.iter().find(|s| s.name == "serial-256n").unwrap();
+        let pdes = full.iter().find(|s| s.name == "pdes-256n-4w").unwrap();
+        assert_eq!(serial.grid.workers, 1);
+        assert_eq!(pdes.grid.workers, 4);
+        assert_eq!(
+            SweepGrid {
+                workers: 1,
+                ..pdes.grid.clone()
+            },
+            serial.grid
+        );
+        assert!(serial.grid.static_map.is_some(), "PDES needs static mode");
     }
 
     fn record(name: &str, wall_ms: f64, pj_per_bit: f64) -> BenchRecord {
@@ -389,6 +466,7 @@ mod tests {
             setup_ms: wall_ms * 0.3,
             simulate_ms: wall_ms * 0.6,
             report_ms: wall_ms * 0.05,
+            workers: 1,
         }
     }
 

@@ -57,6 +57,8 @@ OPTIONS (run --spec only):
     --fault-seed <n>      fault-process RNG seed         [default: spec seed]
     --transport <m>       none | gbn | pfc — recovery mode layered over the
                           injection policy (overrides the spec's [transport])
+    --workers <n>         intra-run PDES worker threads (overrides the spec's
+                          [engine] workers; results are bit-identical to serial)
 
 OPTIONS (run, sweep):
     --quick               reduced GA/horizon configuration (scale = quick)
@@ -198,6 +200,7 @@ fn cmd_run(args: &[String]) -> i32 {
         "--fault-ber",
         "--fault-seed",
         "--transport",
+        "--workers",
     ] {
         if value_of(args, only_spec).is_some()
             && (value_of(args, "--spec").is_none() || value_of(args, "--all").is_some())
@@ -223,6 +226,21 @@ fn cmd_run(args: &[String]) -> i32 {
         if let Err(message) = apply_reliability_flags(&mut spec, args) {
             eprintln!("{message}");
             return 2;
+        }
+        if let Some(raw) = value_of(args, "--workers") {
+            let Ok(workers) = raw.parse::<usize>() else {
+                eprintln!("--workers needs a positive integer, got {raw:?}");
+                return 2;
+            };
+            if workers == 0 {
+                eprintln!("--workers needs at least 1 worker");
+                return 2;
+            }
+            // The flag rides on the spec's own [engine] table when it
+            // has one, and implies the defaults when it does not.
+            let mut engine = spec.engine.clone().unwrap_or_default();
+            engine.workers = Some(workers);
+            spec.engine = Some(engine);
         }
         if let Some(trace_path) = value_of(args, "--export-chrome-trace") {
             if !matches!(
@@ -286,6 +304,7 @@ fn cmd_run(args: &[String]) -> i32 {
                             | "--fault-ber"
                             | "--fault-seed"
                             | "--transport"
+                            | "--workers"
                     ))
         })
         .map(|(_, a)| a)
@@ -721,6 +740,7 @@ fn build_sweep(args: &[String]) -> Result<(SweepGrid, RunContext, bool), String>
                 "bit-reversal" => Ok(TrafficPattern::BitReversal),
                 "bit-complement" => Ok(TrafficPattern::BitComplement),
                 "nearest-neighbor" => Ok(TrafficPattern::NearestNeighbor),
+                "tornado" => Ok(TrafficPattern::Tornado),
                 "hotspot" => Ok(TrafficPattern::Hotspot {
                     hotspots: hotspots.clone(),
                     fraction,

@@ -27,8 +27,8 @@ use rand::rngs::StdRng;
 
 use crate::artifact::{Report, Table, counts_cell};
 use crate::spec::{
-    AllocatorSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, TelemetrySpec, TransportSpec,
-    WorkloadSpec, objectives_name,
+    AllocatorSpec, EngineSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, TelemetrySpec,
+    TransportSpec, WorkloadSpec, objectives_name,
 };
 
 /// Why a scenario could not be executed.
@@ -516,6 +516,10 @@ fn run_stream(
     // With a `[telemetry]` table the windowed series and the trace
     // exporter ride beside the energy probe in the same run; without one
     // the engine monomorphises over the energy probe alone, as before.
+    // An `[engine]` table with `workers > 1` routes the same probes
+    // through the sharded PDES engine (bit-identical by construction;
+    // ineligible configurations fall back to serial inside it).
+    let workers = spec.engine.as_ref().map_or(1, EngineSpec::workers);
     let mut telemetry_out: Option<(TimeSeries, ChromeTraceProbe)> = None;
     let run = if let Some(telemetry) = &spec.telemetry {
         let last_injection = trace.events().iter().map(|e| e.time).max().unwrap_or(0);
@@ -523,16 +527,23 @@ fn run_stream(
             TimeSeriesProbe::new(telemetry.window(), spec.arch.nodes, spec.arch.wavelengths)
                 .with_horizon_hint(last_injection + telemetry.window());
         let mut chrome = ChromeTraceProbe::with_capacity(trace.len());
-        let run = sim
-            .run_with_scratch_probed(
+        let mut probes = (&mut probe, (&mut series, &mut chrome));
+        let run = if workers > 1 {
+            sim.run_parallel_probed(trace.source(), workers, spec.report.mode(), &mut probes)
+        } else {
+            sim.run_with_scratch_probed(
                 trace.source(),
                 &mut SimScratch::new(),
                 spec.report.mode(),
-                &mut (&mut probe, (&mut series, &mut chrome)),
+                &mut probes,
             )
-            .map_err(|e| sim_err(&e))?;
+        }
+        .map_err(|e| sim_err(&e))?;
         telemetry_out = Some((series.report(), chrome));
         run
+    } else if workers > 1 {
+        sim.run_parallel_probed(trace.source(), workers, spec.report.mode(), &mut probe)
+            .map_err(|e| sim_err(&e))?
     } else {
         sim.run_with_scratch_probed(
             trace.source(),
@@ -862,6 +873,11 @@ fn run_sweep_workload(
         faults,
         transport,
         aimd,
+        // Spec sweeps are dynamic-allocator only, so the intra-run PDES
+        // engine (static mode) never applies; parallelism across sweep
+        // points comes from the thread pool instead.
+        workers: 1,
+        static_map: None,
     };
     let scenario_count = grid.scenarios().len();
     let outcome = run_sweep(&grid, threads);
@@ -1391,6 +1407,29 @@ max_lanes_per_flow = 4
             horizon: 10_000,
             burstiness: None,
         }
+    }
+
+    #[test]
+    fn engine_workers_knob_is_bit_identical_to_serial() {
+        // The same spec at 1 and 3 intra-run workers must produce the
+        // exact same artifact — the PDES determinism guarantee surfaced
+        // at the spec layer (static striped allocation, so the run is
+        // actually sharded rather than falling back).
+        use crate::spec::EngineSpec;
+        let build = |workers: usize| {
+            ScenarioSpec::builder("sharded")
+                .scale(Scale::Smoke)
+                .workload(synthetic_uniform_small())
+                .allocator(AllocatorSpec::Striped { lanes_per_flow: 1 })
+                .engine(EngineSpec {
+                    workers: Some(workers),
+                })
+                .build()
+                .unwrap()
+        };
+        let serial = run_spec(&build(1), 2).unwrap();
+        let sharded = run_spec(&build(3), 2).unwrap();
+        assert_eq!(serial.to_json(), sharded.to_json());
     }
 
     #[test]

@@ -533,6 +533,36 @@ impl TelemetrySpec {
     }
 }
 
+/// The `[engine]` table: execution knobs for the open-loop engine.
+///
+/// Every field that is `None` falls back to its default, so the
+/// document form round-trips exactly (only explicit keys are written
+/// back) — the same convention as [`TelemetrySpec`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EngineSpec {
+    /// Override: intra-run PDES worker count (default 1 = the serial
+    /// engine). Values above 1 shard the event core by source; results
+    /// are bit-identical to serial, and configurations outside the
+    /// sharding eligibility (dynamic allocation, ECN/PFC) fall back to
+    /// the serial engine internally.
+    pub workers: Option<usize>,
+}
+
+impl EngineSpec {
+    /// The effective intra-run worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or(1)
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        if self.workers == Some(0) {
+            return Err(invalid("engine.workers", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
 /// The `[faults]` table: lane outages and BER-driven corruption for
 /// message-stream runs, resolved into a [`FaultPlan`] at run time.
 ///
@@ -966,6 +996,9 @@ pub struct ScenarioSpec {
     /// [`TimeSeries`](onoc_sim::TimeSeries) (plus per-source and
     /// per-flow attribution artifacts) and can export a Chrome trace.
     pub telemetry: Option<TelemetrySpec>,
+    /// Optional `[engine]` table: execution knobs (intra-run PDES
+    /// worker count) for message-stream runs.
+    pub engine: Option<EngineSpec>,
     /// ECN AIMD pacing overrides, carried as `aimd_*` keys of the
     /// `[injection]` table (defaults when untouched; only meaningful in
     /// ECN mode).
@@ -998,6 +1031,7 @@ impl ScenarioSpec {
             report: ReportKind::Full,
             energy: None,
             telemetry: None,
+            engine: None,
             aimd: AimdSpec::default(),
             faults: None,
             transport: None,
@@ -1202,6 +1236,13 @@ impl ScenarioSpec {
             }
             root.insert("telemetry", table);
         }
+        if let Some(engine) = &self.engine {
+            let mut table = Value::table();
+            if let Some(workers) = engine.workers {
+                table.insert("workers", workers);
+            }
+            root.insert("engine", table);
+        }
         if let Some(faults) = &self.faults {
             let mut table = Value::table();
             if let Some(seed) = faults.seed {
@@ -1339,6 +1380,10 @@ impl ScenarioSpec {
             None => None,
             Some(table) => Some(parse_telemetry(table)?),
         };
+        let engine = match value.get("engine") {
+            None => None,
+            Some(table) => Some(parse_engine(table)?),
+        };
         let faults = match value.get("faults") {
             None => None,
             Some(table) => Some(parse_faults(table)?),
@@ -1359,6 +1404,7 @@ impl ScenarioSpec {
             report,
             energy,
             telemetry,
+            engine,
             aimd,
             faults,
             transport,
@@ -1381,6 +1427,7 @@ pub struct ScenarioSpecBuilder {
     report: ReportKind,
     energy: Option<EnergySpec>,
     telemetry: Option<TelemetrySpec>,
+    engine: Option<EngineSpec>,
     aimd: AimdSpec,
     faults: Option<FaultSpec>,
     transport: Option<TransportSpec>,
@@ -1461,6 +1508,13 @@ impl ScenarioSpecBuilder {
     #[must_use]
     pub fn telemetry(mut self, telemetry: TelemetrySpec) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Sets the `[engine]` table.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = Some(engine);
         self
     }
 
@@ -1758,6 +1812,16 @@ impl ScenarioSpecBuilder {
                 ));
             }
         }
+        if let Some(engine) = &self.engine {
+            engine.validate()?;
+            if !message_stream {
+                return Err(invalid(
+                    "engine",
+                    "engine knobs apply to message-stream workloads \
+                     (the open-loop engine)",
+                ));
+            }
+        }
         let closed_loop = matches!(
             self.workload,
             WorkloadSpec::PaperApp | WorkloadSpec::Kernel { .. }
@@ -1792,6 +1856,7 @@ impl ScenarioSpecBuilder {
             report: self.report,
             energy: self.energy,
             telemetry: self.telemetry,
+            engine: self.engine,
             aimd: self.aimd,
             faults: self.faults,
             transport: self.transport,
@@ -1889,6 +1954,7 @@ fn pattern_name(pattern: &TrafficPattern) -> &'static str {
         TrafficPattern::BitReversal => "bit-reversal",
         TrafficPattern::BitComplement => "bit-complement",
         TrafficPattern::NearestNeighbor => "nearest-neighbor",
+        TrafficPattern::Tornado => "tornado",
     }
 }
 
@@ -1903,6 +1969,7 @@ fn pattern_from_parts(
         "bit-reversal" => Ok(TrafficPattern::BitReversal),
         "bit-complement" => Ok(TrafficPattern::BitComplement),
         "nearest-neighbor" => Ok(TrafficPattern::NearestNeighbor),
+        "tornado" => Ok(TrafficPattern::Tornado),
         "hotspot" => {
             let hotspots = usize_array(table, "workload.hotspots", "hotspots")?
                 .into_iter()
@@ -2201,6 +2268,19 @@ fn parse_energy(table: &Value) -> Result<EnergySpec, SpecError> {
         mr_tuning_mw: opt_float("mr_tuning_mw", "energy.mr_tuning_mw")?,
         clock_ghz: opt_float("clock_ghz", "energy.clock_ghz")?,
     })
+}
+
+fn parse_engine(table: &Value) -> Result<EngineSpec, SpecError> {
+    let workers = match table.get("workers") {
+        None => None,
+        Some(v) => {
+            let i = v
+                .as_int()
+                .ok_or_else(|| invalid("engine.workers", "not an integer"))?;
+            Some(usize::try_from(i).map_err(|_| invalid("engine.workers", "must be nonnegative"))?)
+        }
+    };
+    Ok(EngineSpec { workers })
 }
 
 fn parse_telemetry(table: &Value) -> Result<TelemetrySpec, SpecError> {
@@ -2850,6 +2930,55 @@ kind = "nsga2"
             .build()
             .unwrap_err();
         assert!(matches!(err, SpecError::Invalid { field, .. } if field == "telemetry"));
+    }
+
+    #[test]
+    fn engine_table_round_trips_in_both_formats() {
+        // Defaults-only, and fully explicit: both must survive the TOML
+        // and JSON round trips exactly.
+        for engine in [EngineSpec::default(), EngineSpec { workers: Some(4) }] {
+            let spec = ScenarioSpec::builder("sharded")
+                .workload(synthetic_uniform())
+                .allocator(AllocatorSpec::Striped { lanes_per_flow: 1 })
+                .engine(engine.clone())
+                .build()
+                .unwrap();
+            let toml = spec.to_toml();
+            assert!(toml.contains("[engine]"), "{toml}");
+            assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+            assert_eq!(ScenarioSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+            assert_eq!(spec.engine, Some(engine));
+        }
+        // Omitted [engine] stays omitted, and the default is serial.
+        let plain = ScenarioSpec::builder("plain")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(plain.engine, None);
+        assert!(!plain.to_toml().contains("[engine]"));
+        assert_eq!(EngineSpec::default().workers(), 1);
+    }
+
+    #[test]
+    fn engine_validation_rejects_bad_tables() {
+        let err = ScenarioSpec::builder("bad")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .engine(EngineSpec { workers: Some(0) })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "engine.workers"));
+        // Task-graph workloads never run the open-loop engine.
+        let err = ScenarioSpec::builder("graphed")
+            .engine(EngineSpec { workers: Some(2) })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "engine"));
     }
 
     #[test]

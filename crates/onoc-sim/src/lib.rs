@@ -58,6 +58,7 @@ mod fault;
 mod flows;
 mod injection;
 mod openloop;
+mod pdes;
 mod probe;
 mod report;
 mod telemetry;

@@ -39,6 +39,10 @@ pub enum TrafficPattern {
     /// One-hop neighbour, choosing clockwise or counter-clockwise with
     /// equal probability per message.
     NearestNeighbor,
+    /// Tornado: send `⌈n/2⌉ − 1` hops clockwise — the classic adversarial
+    /// ring pattern (every message takes a strictly-shortest near-half
+    /// path in the same direction, loading one rotation maximally).
+    Tornado,
 }
 
 impl TrafficPattern {
@@ -52,6 +56,7 @@ impl TrafficPattern {
             TrafficPattern::BitReversal => "bit_reversal",
             TrafficPattern::BitComplement => "bit_complement",
             TrafficPattern::NearestNeighbor => "nearest_neighbor",
+            TrafficPattern::Tornado => "tornado",
         }
     }
 
@@ -140,6 +145,7 @@ impl TrafficPattern {
                     NodeId((src.0 + nodes - 1) % nodes)
                 }
             }
+            TrafficPattern::Tornado => NodeId((src.0 + nodes.div_ceil(2) - 1) % nodes),
         };
         (dst != src).then_some(dst)
     }

@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use onoc_sim::{
     AimdParams, DynamicPolicy, EnergyProbe, EnergyReport, FaultPlan, InjectionMode, LatencyStats,
-    OpenLoopSimulator, ReportMode, SimScratch, TransportMode, WavelengthMode,
+    OpenLoopSimulator, ReportMode, SimScratch, StaticFlowMap, TransportMode, WavelengthMode,
 };
 use onoc_topology::RingTopology;
 use onoc_units::{Bits, BitsPerCycle};
@@ -66,6 +66,15 @@ pub struct SweepGrid {
     pub transport: TransportMode,
     /// ECN AIMD pacing constants (only read in ECN injection mode).
     pub aimd: AimdParams,
+    /// Intra-run PDES workers per scenario (1 = the serial engine).
+    /// Values above 1 dispatch each scenario through
+    /// [`OpenLoopSimulator::run_parallel`]; results are bit-identical
+    /// to serial for any count.
+    pub workers: usize,
+    /// Optional static wavelength map shared by every scenario: when
+    /// set, scenarios run in [`WavelengthMode::Static`] instead of the
+    /// dynamic `policy` (required for source-sharded parallel runs).
+    pub static_map: Option<StaticFlowMap>,
 }
 
 impl SweepGrid {
@@ -89,6 +98,8 @@ impl SweepGrid {
             faults: None,
             transport: TransportMode::None,
             aimd: AimdParams::default(),
+            workers: 1,
+            static_map: None,
         }
     }
 
@@ -349,11 +360,15 @@ pub fn run_scenario_phased(
     let trace = generate(&config);
     let setup_ms = elapsed_ms(setup_start);
     let simulate_start = Instant::now();
+    let mode = match &grid.static_map {
+        Some(map) => WavelengthMode::Static(map.clone()),
+        None => WavelengthMode::Dynamic(grid.policy),
+    };
     let mut sim = OpenLoopSimulator::with_injection(
         RingTopology::new(scenario.nodes),
         scenario.wavelengths,
         grid.lane_rate,
-        WavelengthMode::Dynamic(grid.policy),
+        mode,
         grid.injection,
     )
     .with_transport(grid.transport)
@@ -362,17 +377,35 @@ pub fn run_scenario_phased(
         sim = sim.with_faults(plan.clone());
     }
     let sim = sim;
+    let parallel = grid.workers > 1;
     let (report, energy): (_, Option<EnergyReport>) = match &grid.energy {
         Some(model) => {
             let mut probe = EnergyProbe::new(model.clone(), scenario.nodes, scenario.wavelengths);
-            let report = sim
-                .run_with_scratch_probed(trace.source(), scratch, ReportMode::Streaming, &mut probe)
-                .expect("generated traces are ordered and non-degenerate");
+            let report = if parallel {
+                sim.run_parallel_probed(
+                    trace.source(),
+                    grid.workers,
+                    ReportMode::Streaming,
+                    &mut probe,
+                )
+            } else {
+                sim.run_with_scratch_probed(
+                    trace.source(),
+                    scratch,
+                    ReportMode::Streaming,
+                    &mut probe,
+                )
+            }
+            .expect("generated traces are ordered and non-degenerate");
             (report, Some(probe.report()))
         }
         None => (
-            sim.run_with_scratch(trace.source(), scratch, ReportMode::Streaming)
-                .expect("generated traces are ordered and non-degenerate"),
+            if parallel {
+                sim.run_parallel(trace.source(), grid.workers, ReportMode::Streaming)
+            } else {
+                sim.run_with_scratch(trace.source(), scratch, ReportMode::Streaming)
+            }
+            .expect("generated traces are ordered and non-degenerate"),
             None,
         ),
     };
@@ -636,6 +669,8 @@ mod tests {
             faults: None,
             transport: TransportMode::None,
             aimd: AimdParams::default(),
+            workers: 1,
+            static_map: None,
         }
     }
 
@@ -878,6 +913,8 @@ mod tests {
             faults: None,
             transport: TransportMode::None,
             aimd: AimdParams::default(),
+            workers: 1,
+            static_map: None,
         }
     }
 

@@ -431,6 +431,72 @@ fn generate_node(
     master: &TrafficRng,
     out: &mut Vec<TrafficEvent>,
 ) {
+    if config.burstiness.is_none() {
+        generate_node_geometric(config, node, master, out);
+    } else {
+        generate_node_per_cycle(config, node, master, out);
+    }
+}
+
+/// Smooth-traffic fast path: geometric inter-arrival sampling.
+///
+/// Instead of one Bernoulli draw (uniform → `f64` → compare) per cycle,
+/// the clock stream is scanned as raw 53-bit integers against a
+/// precomputed threshold, yielding the next arrival gap directly — the
+/// gap is Geometric(`injection_rate`) by construction. The scan consumes
+/// exactly one draw per cycle, and `k < ⌈p·2⁵³⌉` decides identically to
+/// `k·2⁻⁵³ < p` (both products are exact: power-of-two scaling loses no
+/// bits), so the trace is bit-identical to the per-cycle reference —
+/// pinned by the `geometric_sampling_matches_per_cycle_reference`
+/// property test.
+fn generate_node_geometric(
+    config: &TrafficConfig,
+    node: usize,
+    master: &TrafficRng,
+    out: &mut Vec<TrafficEvent>,
+) {
+    let mut clock_rng = master.split(node as u64 * 2);
+    let mut addr_rng = master.split(node as u64 * 2 + 1);
+    let src = NodeId(node);
+    let threshold = bernoulli_threshold(config.injection_rate);
+    let mut cycle = 0u64;
+    while let Some(hit) = next_arrival(&mut clock_rng, threshold, cycle, config.horizon) {
+        if let Some(dst) = config.pattern.destination(src, config.nodes, &mut addr_rng) {
+            out.push(TrafficEvent {
+                time: hit,
+                src,
+                dst,
+                volume: config.message_volume,
+            });
+        }
+        cycle = hit + 1;
+    }
+}
+
+/// The integer threshold equivalent to [`TrafficRng::bernoulli`]\(`p`\):
+/// a draw hits iff its top 53 bits are below the returned value.
+fn bernoulli_threshold(p: f64) -> u64 {
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        (p * (1u64 << 53) as f64).ceil() as u64
+    }
+}
+
+/// Scans the clock stream from `from`, returning the first cycle before
+/// `horizon` whose draw hits `threshold` (one draw per cycle).
+fn next_arrival(rng: &mut TrafficRng, threshold: u64, from: u64, horizon: u64) -> Option<u64> {
+    (from..horizon).find(|_| (rng.next_u64() >> 11) < threshold)
+}
+
+/// The cycle-by-cycle reference process: one Bernoulli draw per cycle,
+/// plus the ON/OFF phase machine when burstiness is configured.
+fn generate_node_per_cycle(
+    config: &TrafficConfig,
+    node: usize,
+    master: &TrafficRng,
+    out: &mut Vec<TrafficEvent>,
+) {
     // Separate streams for timing and addressing, so adding a pattern draw
     // never perturbs the arrival process.
     let mut clock_rng = master.split(node as u64 * 2);
@@ -519,6 +585,51 @@ mod tests {
 
     fn base_config() -> TrafficConfig {
         TrafficConfig::paper_ring(TrafficPattern::UniformRandom, 0.02, 7)
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn geometric_sampling_matches_per_cycle_reference(
+            seed in 0u64..10_000,
+            nodes in 2usize..10,
+            rate_mil in 0u64..=1_000,
+            horizon in 1u64..3_000,
+            uniform in proptest::any::<bool>(),
+        ) {
+            #[allow(clippy::cast_precision_loss)]
+            let config = TrafficConfig {
+                nodes,
+                pattern: if uniform {
+                    TrafficPattern::UniformRandom
+                } else {
+                    TrafficPattern::BitComplement
+                },
+                injection_rate: rate_mil as f64 / 1_000.0,
+                horizon,
+                seed,
+                ..TrafficConfig::paper_ring(TrafficPattern::UniformRandom, 0.5, seed)
+            };
+            config.validate();
+            let master = TrafficRng::new(config.seed);
+            for node in 0..config.nodes {
+                let mut fast = Vec::new();
+                generate_node_geometric(&config, node, &master, &mut fast);
+                let mut reference = Vec::new();
+                generate_node_per_cycle(&config, node, &master, &mut reference);
+                proptest::prop_assert_eq!(&fast, &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_threshold_is_exact_at_the_edges() {
+        assert_eq!(bernoulli_threshold(0.0), 0);
+        assert_eq!(bernoulli_threshold(1.0), 1u64 << 53);
+        assert_eq!(bernoulli_threshold(f64::NAN), 0);
+        assert_eq!(bernoulli_threshold(-3.0), 0);
+        assert_eq!(bernoulli_threshold(7.0), 1u64 << 53);
+        // 0.5 · 2⁵³ is exact; a draw of exactly the threshold misses.
+        assert_eq!(bernoulli_threshold(0.5), 1u64 << 52);
     }
 
     #[test]
