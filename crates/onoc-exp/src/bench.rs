@@ -19,8 +19,8 @@ use std::time::Instant;
 
 use onoc_photonics::WavelengthId;
 use onoc_sim::{
-    AimdParams, DynamicPolicy, EnergyModel, FaultPlan, InjectionMode, SimScratch, StaticFlowMap,
-    TransportMode,
+    AimdParams, DynamicPolicy, EnergyModel, FaultPlan, HealPolicy, HealingConfig, InjectionMode,
+    LaneFault, SimScratch, StaticFlowMap, TransportMode,
 };
 use onoc_topology::NodeId;
 use onoc_traffic::{ScenarioPhases, SweepGrid, TrafficPattern, run_scenario_phased};
@@ -96,6 +96,7 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
         energy: Some(EnergyModel::paper(16, 8)),
         faults: None,
         transport: TransportMode::None,
+        healing: None,
         aimd: AimdParams::default(),
         workers: 1,
         static_map: None,
@@ -154,6 +155,29 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
             horizon: scale(40_000),
             faults: Some(FaultPlan::new(2017).with_ber(1e-4)),
             transport: TransportMode::go_back_n(),
+            ..base.clone()
+        },
+    });
+    // The self-healing scenario: a permanent mid-run lane outage on a
+    // striped static map, healed by the relaxed re-pack — tracks the
+    // quiesce/re-synthesise/swap path (and its recovery-latency probes)
+    // as its own wall-time record.
+    out.push(BenchScenario {
+        name: "heal-perm-fault".into(),
+        grid: SweepGrid {
+            injection_rates: vec![0.04],
+            horizon: scale(40_000),
+            faults: Some(FaultPlan::new(2017).with_scheduled(LaneFault {
+                lane: 0,
+                at: scale(40_000) / 4,
+                duration: u64::MAX,
+            })),
+            transport: TransportMode::go_back_n(),
+            healing: Some(HealingConfig {
+                policy: HealPolicy::RePackRelaxed,
+                ber_threshold: None,
+            }),
+            static_map: Some(StaticFlowMap::striped(16, 8, 1)),
             ..base.clone()
         },
     });
@@ -422,8 +446,8 @@ mod tests {
         let quick = pinned_scenarios(true);
         assert_eq!(
             full.len(),
-            17,
-            "2 headline + 3×2×2 matrix + 1 fault + 2 PDES"
+            18,
+            "2 headline + 3×2×2 matrix + 1 fault + 1 heal + 2 PDES"
         );
         assert_eq!(full.len(), quick.len());
         for (f, q) in full.iter().zip(&quick) {
@@ -437,6 +461,7 @@ mod tests {
         assert_eq!(names.len(), full.len());
         assert!(names.contains(&"saturation-sweep-32n"));
         assert!(names.contains(&"gbn-fault-8l"));
+        assert!(names.contains(&"heal-perm-fault"));
         assert!(names.contains(&"serial-256n"));
         assert!(names.contains(&"pdes-256n-4w"));
         // The PDES pair differs only in worker count, so the wall-time

@@ -57,6 +57,9 @@ OPTIONS (run --spec only):
     --fault-seed <n>      fault-process RNG seed         [default: spec seed]
     --transport <m>       none | gbn | pfc — recovery mode layered over the
                           injection policy (overrides the spec's [transport])
+    --heal-policy <p>     park | re-pack-strict | re-pack-relaxed — self-healing
+                          re-allocation on lane failure (overrides the spec's
+                          [healing]; re-pack needs a static allocator)
     --workers <n>         intra-run PDES worker threads (overrides the spec's
                           [engine] workers; results are bit-identical to serial)
 
@@ -200,6 +203,7 @@ fn cmd_run(args: &[String]) -> i32 {
         "--fault-ber",
         "--fault-seed",
         "--transport",
+        "--heal-policy",
         "--workers",
     ] {
         if value_of(args, only_spec).is_some()
@@ -304,6 +308,7 @@ fn cmd_run(args: &[String]) -> i32 {
                             | "--fault-ber"
                             | "--fault-seed"
                             | "--transport"
+                            | "--heal-policy"
                             | "--workers"
                     ))
         })
@@ -326,14 +331,19 @@ fn cmd_run(args: &[String]) -> i32 {
     0
 }
 
-/// Applies the `--fault-ber`/`--fault-seed`/`--transport` overrides onto
-/// a loaded spec (the CLI fast path for "rerun this scenario under
-/// faults" without editing the file). Ranges are checked here because
-/// the overrides land after the spec's own validation pass.
+/// Applies the `--fault-ber`/`--fault-seed`/`--transport`/`--heal-policy`
+/// overrides onto a loaded spec (the CLI fast path for "rerun this
+/// scenario under faults" without editing the file). Ranges are checked
+/// here because the overrides land after the spec's own validation pass.
 fn apply_reliability_flags(spec: &mut ScenarioSpec, args: &[String]) -> Result<(), String> {
-    let requested = ["--fault-ber", "--fault-seed", "--transport"]
-        .iter()
-        .any(|name| value_of(args, name).is_some());
+    let requested = [
+        "--fault-ber",
+        "--fault-seed",
+        "--transport",
+        "--heal-policy",
+    ]
+    .iter()
+    .any(|name| value_of(args, name).is_some());
     if requested
         && !matches!(
             spec.workload,
@@ -377,6 +387,27 @@ fn apply_reliability_flags(spec: &mut ScenarioSpec, args: &[String]) -> Result<(
             }),
             other => return Err(format!("unknown transport {other:?} (none | gbn | pfc)")),
         };
+    }
+    if let Some(policy) = value_of(args, "--heal-policy") {
+        if onoc_sim::HealPolicy::parse(&policy).is_none() {
+            return Err(format!(
+                "unknown heal policy {policy:?} (park | re-pack-strict | re-pack-relaxed)"
+            ));
+        }
+        let mut healing = spec.healing.clone().unwrap_or_default();
+        healing.policy = Some(policy);
+        if healing.policy() != onoc_sim::HealPolicy::Park
+            && !matches!(
+                spec.allocator,
+                onoc_exp::AllocatorSpec::Striped { .. }
+                    | onoc_exp::AllocatorSpec::FlowSynthesis { .. }
+            )
+        {
+            return Err("re-pack heal policies re-synthesise a static flow map \
+                 (use a striped or flow-synthesis allocator)"
+                .into());
+        }
+        spec.healing = Some(healing);
     }
     Ok(())
 }

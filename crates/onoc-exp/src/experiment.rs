@@ -133,9 +133,10 @@ mod tests {
         let names = registry.names();
         assert_eq!(
             names.len(),
-            20,
+            21,
             "the 15 former binaries plus sustained-saturation, sustained-knee, \
-             energy-vs-load, saturation-timeline and reliability-vs-fault-rate"
+             energy-vs-load, saturation-timeline, reliability-vs-fault-rate \
+             and self-healing-vs-outage"
         );
         let mut dedup = names.clone();
         dedup.sort_unstable();

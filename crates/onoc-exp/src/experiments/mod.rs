@@ -21,6 +21,7 @@
 //! | `energy-vs-load` | — (new) | energy per bit vs offered load per allocator |
 //! | `saturation-timeline` | — (new) | windowed time series across the sustained knee |
 //! | `reliability-vs-fault-rate` | — (new) | goodput vs BER with/without go-back-N |
+//! | `self-healing-vs-outage` | — (new) | heal policies vs lane loss: goodput + recovery SLOs |
 //! | `workload-sweep` | `workload_sweep` | the panel of synthetic kernels |
 
 mod figures;
@@ -54,6 +55,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(traffic::EnergyVsLoad),
         Box::new(traffic::SaturationTimeline),
         Box::new(traffic::ReliabilityVsFaultRate),
+        Box::new(traffic::SelfHealingVsOutage),
         Box::new(traffic::WorkloadSweep),
     ]
 }

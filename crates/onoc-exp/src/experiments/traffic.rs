@@ -696,6 +696,131 @@ impl Experiment for ReliabilityVsFaultRate {
     }
 }
 
+/// Extension — the self-healing study: goodput and recovery latency
+/// under a mid-run lane loss, across heal policies.
+///
+/// Two fault regimes on a striped static allocation: a permanent lane
+/// outage (the lane never recovers) and a seeded Gilbert–Elliott
+/// burst-error channel with the quarantine trigger armed. Under `park`
+/// the flows of a dead lane stall until the horizon; the re-pack
+/// policies re-synthesise the surviving comb at the quiesce point, so
+/// goodput comes back and the per-outage recovery percentiles (the SLO
+/// numbers) collapse from horizon-censored to the heal latency.
+pub struct SelfHealingVsOutage;
+
+/// The heal-policy panel the study sweeps (`None` = healing disabled).
+const HEAL_POLICIES: [(&str, Option<onoc_sim::HealPolicy>); 4] = [
+    ("off", None),
+    ("park", Some(onoc_sim::HealPolicy::Park)),
+    ("re-pack-strict", Some(onoc_sim::HealPolicy::RePackStrict)),
+    ("re-pack-relaxed", Some(onoc_sim::HealPolicy::RePackRelaxed)),
+];
+
+impl Experiment for SelfHealingVsOutage {
+    fn name(&self) -> &'static str {
+        "self-healing-vs-outage"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Goodput and recovery-latency SLOs across heal policies under lane loss"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        use onoc_sim::{FaultPlan, HealingConfig, LaneFault, StaticFlowMap, TransportMode};
+        let horizon = ctx.scale.pick(40_000, 10_000, 4_000);
+        let rate = 0.04; // below the fault-free 8-λ knee: headroom for re-packs
+        let outage = FaultPlan::new(ctx.seed).with_scheduled(LaneFault {
+            lane: 0,
+            at: horizon / 4,
+            duration: u64::MAX,
+        });
+        let bursts = FaultPlan::new(ctx.seed).with_gilbert_elliott(0.002, 0.01, 0.0, 0.2);
+        let regimes: [(&str, FaultPlan, Option<f64>); 2] = [
+            ("perm-outage", outage, None),
+            ("ge-burst", bursts, Some(0.1)),
+        ];
+        let mut report = Report::new(format!(
+            "Self-healing vs lane loss: uniform traffic at rate {rate} on the \
+             16-node ring (8 λ, striped static map), go-back-N transport, seed {}",
+            ctx.seed
+        ));
+        let mut table = Table::new(
+            "self_healing_vs_outage",
+            &[
+                "regime",
+                "policy",
+                "delivered",
+                "goodput_bits_per_cycle",
+                "failed_attempts",
+                "retx_bits",
+                "lost",
+                "outages",
+                "heals",
+                "recovery_p50",
+                "recovery_p95",
+                "recovery_p99",
+                "energy_pj_per_bit",
+            ],
+        );
+        for (regime, plan, ber_threshold) in regimes {
+            for (label, policy) in HEAL_POLICIES {
+                let grid = SweepGrid {
+                    patterns: vec![TrafficPattern::UniformRandom],
+                    injection_rates: vec![rate],
+                    wavelengths: vec![8],
+                    ring_sizes: vec![16],
+                    horizon,
+                    faults: Some(plan.clone()),
+                    transport: TransportMode::go_back_n(),
+                    healing: policy.map(|policy| HealingConfig {
+                        policy,
+                        ber_threshold,
+                    }),
+                    energy: Some(EnergyModel::paper(16, 8)),
+                    static_map: Some(StaticFlowMap::striped(16, 8, 1)),
+                    ..SweepGrid::saturation_default(ctx.seed)
+                };
+                let outcome = run_sweep(&grid, ctx.threads);
+                let r = &outcome.results[0];
+                table.push_row(vec![
+                    regime.to_string(),
+                    label.to_string(),
+                    (r.injected - r.lost).to_string(),
+                    format!("{:.4}", r.accepted_throughput),
+                    r.failed_attempts.to_string(),
+                    format!("{:.0}", r.retransmitted_bits),
+                    r.lost.to_string(),
+                    r.outages.to_string(),
+                    r.heals.to_string(),
+                    format!("{:.0}", r.recovery_p50),
+                    format!("{:.0}", r.recovery_p95),
+                    format!("{:.0}", r.recovery_p99),
+                    format!("{:.4}", r.energy_pj_per_bit),
+                ]);
+            }
+        }
+        report.push_table(table);
+        report.push_text(
+            "Reading: under the permanent outage, `off` and `park` strand every\n\
+             flow striped onto the dead lane — the lost column grows with the\n\
+             horizon and the recovery percentiles censor at it. The strict\n\
+             re-pack matches park here: a fully striped comb leaves no disjoint\n\
+             re-home for the dead lane's flows, so the healer aborts rather\n\
+             than share. The relaxed re-pack swaps a shared map at the quiesce\n\
+             point: everything is delivered, recovery_p99 collapses to the heal\n\
+             latency, and the cost shows up as conflicts and retransmissions\n\
+             (not loss) plus their pJ/bit. The goodput column is delivered\n\
+             bits over the makespan, so parking can *look* faster — it simply\n\
+             abandons the stranded tail early; the delivered column is the\n\
+             comparison that matters. Under the Gilbert–Elliott bursts the\n\
+             quarantine trigger turns bad sojourns into short outages: parked\n\
+             flows wait out each sojourn (large recovery_p95), while the\n\
+             relaxed healer re-homes them immediately (recovery ~0).",
+        );
+        report
+    }
+}
+
 /// E13 (extension) — the optimisation generalises beyond the paper's
 /// single virtual application.
 ///

@@ -78,8 +78,8 @@ pub use diff::{DiffReport, diff_reports};
 pub use experiment::{Experiment, Registry, RunContext, default_threads};
 pub use scenario::{ScenarioError, capture_trace, run_spec};
 pub use spec::{
-    AimdSpec, AllocatorSpec, ArchSpec, EnergySpec, EngineSpec, FaultSpec, HeuristicKind,
-    KernelKind, ReportKind, Scale, ScenarioSpec, ScenarioSpecBuilder, SpecError, TelemetrySpec,
-    TransportSpec, WorkloadSpec,
+    AimdSpec, AllocatorSpec, ArchSpec, EnergySpec, EngineSpec, FaultSpec, HealingSpec,
+    HeuristicKind, KernelKind, ReportKind, Scale, ScenarioSpec, ScenarioSpecBuilder, SpecError,
+    TelemetrySpec, TransportSpec, WorkloadSpec,
 };
 pub use value::{ParseError, Value};

@@ -13,8 +13,8 @@
 use onoc_app::{MappedApplication, Mapping, RouteStrategy, TaskGraph, workloads};
 use onoc_sim::{
     AimdParams, ChromeTraceProbe, DynamicSimulator, EnergyProbe, EnergyReport, FaultPlan,
-    FlowEnergy, FlowMatrix, OpenLoopReport, OpenLoopSimulator, SimScratch, StaticFlowMap,
-    SynthesisSummary, TimeSeries, TimeSeriesProbe, TransportMode, WavelengthMode,
+    FlowEnergy, FlowMatrix, OpenLoopReport, OpenLoopSimulator, ReliabilityProbe, SimScratch,
+    StaticFlowMap, SynthesisSummary, TimeSeries, TimeSeriesProbe, TransportMode, WavelengthMode,
 };
 use onoc_topology::{OnocArchitecture, RingTopology};
 use onoc_traffic::{
@@ -27,8 +27,8 @@ use rand::rngs::StdRng;
 
 use crate::artifact::{Report, Table, counts_cell};
 use crate::spec::{
-    AllocatorSpec, EngineSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, TelemetrySpec,
-    TransportSpec, WorkloadSpec, objectives_name,
+    AllocatorSpec, EngineSpec, HealingSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec,
+    TelemetrySpec, TransportSpec, WorkloadSpec, objectives_name,
 };
 
 /// Why a scenario could not be executed.
@@ -507,9 +507,27 @@ fn run_stream(
     if let Some(plan) = faults {
         sim = sim.with_faults(plan);
     }
+    if let Some(healing) = &spec.healing {
+        sim = sim.with_healing(healing.resolve());
+    }
     let sim = sim;
     let model = resolve_energy(spec);
     let mut probe = EnergyProbe::new(model, spec.arch.nodes, spec.arch.wavelengths);
+    let mut rel = ReliabilityProbe::new(spec.arch.wavelengths);
+    // Serial runs restrict the per-run route/mask rebuild to the flows
+    // the trace actually exercises (O(active flows) instead of O(n²));
+    // the sharded engine keeps its own per-shard scratch.
+    let mut scratch = SimScratch::new();
+    if spec.engine.as_ref().map_or(1, EngineSpec::workers) <= 1 {
+        let mut rows: Vec<u32> = trace
+            .events()
+            .iter()
+            .map(|e| (e.src.0 * spec.arch.nodes + e.dst.0) as u32)
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        scratch.set_flow_rows(Some(rows));
+    }
     let sim_err = |e: &dyn core::fmt::Display| ScenarioError::Simulation {
         message: e.to_string(),
     };
@@ -527,13 +545,13 @@ fn run_stream(
             TimeSeriesProbe::new(telemetry.window(), spec.arch.nodes, spec.arch.wavelengths)
                 .with_horizon_hint(last_injection + telemetry.window());
         let mut chrome = ChromeTraceProbe::with_capacity(trace.len());
-        let mut probes = (&mut probe, (&mut series, &mut chrome));
+        let mut probes = ((&mut probe, &mut rel), (&mut series, &mut chrome));
         let run = if workers > 1 {
             sim.run_parallel_probed(trace.source(), workers, spec.report.mode(), &mut probes)
         } else {
             sim.run_with_scratch_probed(
                 trace.source(),
-                &mut SimScratch::new(),
+                &mut scratch,
                 spec.report.mode(),
                 &mut probes,
             )
@@ -542,14 +560,16 @@ fn run_stream(
         telemetry_out = Some((series.report(), chrome));
         run
     } else if workers > 1 {
-        sim.run_parallel_probed(trace.source(), workers, spec.report.mode(), &mut probe)
+        let mut probes = (&mut probe, &mut rel);
+        sim.run_parallel_probed(trace.source(), workers, spec.report.mode(), &mut probes)
             .map_err(|e| sim_err(&e))?
     } else {
+        let mut probes = (&mut probe, &mut rel);
         sim.run_with_scratch_probed(
             trace.source(),
-            &mut SimScratch::new(),
+            &mut scratch,
             spec.report.mode(),
-            &mut probe,
+            &mut probes,
         )
         .map_err(|e| sim_err(&e))?
     };
@@ -575,6 +595,20 @@ fn run_stream(
             run.lost_bits,
             transport.name(),
         ));
+        let resilience = rel.report();
+        if resilience.outages > 0 || spec.healing.is_some() {
+            let policy = spec.healing.as_ref().map_or("off", |h| h.policy().name());
+            report.push_text(format!(
+                "healing ({policy}): {} outage(s), {} heal(s), {} flow(s) moved; \
+                 recovery p50/p95/p99 = {:.0}/{:.0}/{:.0} cycles",
+                resilience.outages,
+                resilience.heals,
+                resilience.flows_moved,
+                resilience.outage_recovery.p50,
+                resilience.outage_recovery.p95,
+                resilience.outage_recovery.p99,
+            ));
+        }
     }
     let mut table = open_loop_table("scenario");
     push_open_loop_row(
@@ -872,6 +906,11 @@ fn run_sweep_workload(
         energy: Some(resolve_energy(spec)),
         faults,
         transport,
+        // A `[healing]` table on a sweep can only carry the parked
+        // default (re-pack needs a static allocator, which spec
+        // validation rejects for sweeps), but the quarantine trigger
+        // still matters under a Gilbert–Elliott `[faults]` channel.
+        healing: spec.healing.as_ref().map(HealingSpec::resolve),
         aimd,
         // Spec sweeps are dynamic-allocator only, so the intra-run PDES
         // engine (static mode) never applies; parallelism across sweep

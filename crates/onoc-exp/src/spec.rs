@@ -8,8 +8,8 @@
 //! not a binary. Every spec round-trips exactly through both serializers.
 
 use onoc_sim::{
-    AimdParams, DynamicPolicy, EnergyModel, FaultPlan, FlowAllocPolicy, InjectionMode, LaneFault,
-    StochasticFaults, TransportMode,
+    AimdParams, DynamicPolicy, EnergyModel, FaultPlan, FlowAllocPolicy, HealPolicy, HealingConfig,
+    InjectionMode, LaneFault, StochasticFaults, TransportMode,
 };
 use onoc_topology::NodeId;
 use onoc_traffic::TrafficPattern;
@@ -596,6 +596,18 @@ pub struct FaultSpec {
     pub mean_down: Option<f64>,
     /// No new stochastic failures start at or past this cycle.
     pub fault_horizon: Option<u64>,
+    /// Per-lane Gilbert–Elliott burst-error channel: good→bad switch
+    /// probability per cycle, in `(0, 1]`. All four `ge_*` keys are
+    /// given together; mutually exclusive with `ber` and `ber_model`.
+    pub ge_p_gb: Option<f64>,
+    /// Bad→good switch probability per cycle, in `(0, 1]`.
+    pub ge_p_bg: Option<f64>,
+    /// Per-bit error rate while a lane sits in the good state, in
+    /// `[0, 1)`.
+    pub ge_ber_good: Option<f64>,
+    /// Per-bit error rate while a lane sits in the bad state, in
+    /// `[0, 1)` and at least `ge_ber_good`.
+    pub ge_ber_bad: Option<f64>,
 }
 
 /// The only named per-flow BER model so far (`ber_model = "paper"`):
@@ -615,6 +627,14 @@ impl FaultSpec {
         }
         if self.ber_model.is_some() {
             plan = plan.with_per_flow_ber(paper_path_bers(nodes, wavelengths));
+        }
+        if let (Some(p_gb), Some(p_bg), Some(ber_good), Some(ber_bad)) = (
+            self.ge_p_gb,
+            self.ge_p_bg,
+            self.ge_ber_good,
+            self.ge_ber_bad,
+        ) {
+            plan = plan.with_gilbert_elliott(p_gb, p_bg, ber_good, ber_bad);
         }
         if let (Some(lanes), Some(starts), Some(durations)) = (
             &self.outage_lanes,
@@ -719,6 +739,56 @@ impl FaultSpec {
                 }
             }
         }
+        let given = [
+            self.ge_p_gb.is_some(),
+            self.ge_p_bg.is_some(),
+            self.ge_ber_good.is_some(),
+            self.ge_ber_bad.is_some(),
+        ];
+        if given.iter().any(|g| *g) && !given.iter().all(|g| *g) {
+            return Err(invalid(
+                "faults.ge_p_gb",
+                "ge_p_gb, ge_p_bg, ge_ber_good and ge_ber_bad must be given together",
+            ));
+        }
+        if let (Some(p_gb), Some(p_bg), Some(ber_good), Some(ber_bad)) = (
+            self.ge_p_gb,
+            self.ge_p_bg,
+            self.ge_ber_good,
+            self.ge_ber_bad,
+        ) {
+            if self.ber.is_some() || self.ber_model.is_some() {
+                return Err(invalid(
+                    "faults.ge_p_gb",
+                    "the Gilbert–Elliott channel is mutually exclusive with ber/ber_model",
+                ));
+            }
+            for (field, p) in [("faults.ge_p_gb", p_gb), ("faults.ge_p_bg", p_bg)] {
+                if !(p.is_finite() && p > 0.0 && p <= 1.0) {
+                    return Err(SpecError::Invalid {
+                        field,
+                        message: format!("must be in (0, 1], got {p}"),
+                    });
+                }
+            }
+            for (field, ber) in [
+                ("faults.ge_ber_good", ber_good),
+                ("faults.ge_ber_bad", ber_bad),
+            ] {
+                if !(ber.is_finite() && (0.0..1.0).contains(&ber)) {
+                    return Err(SpecError::Invalid {
+                        field,
+                        message: format!("must be in [0, 1), got {ber}"),
+                    });
+                }
+            }
+            if ber_bad < ber_good {
+                return Err(invalid(
+                    "faults.ge_ber_bad",
+                    format!("bad-state BER {ber_bad} below good-state BER {ber_good}"),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -752,6 +822,71 @@ pub fn paper_path_bers(nodes: usize, wavelengths: usize) -> Vec<f64> {
         }
     }
     bers
+}
+
+/// The `[healing]` table: the self-healing re-allocation policy the
+/// open-loop engine invokes at each lane-down quiesce point, resolved
+/// into a [`HealingConfig`] at run time.
+///
+/// Every field that is `None` falls back to its default (traffic parks
+/// until the lane recovers; no degradation trigger), so the document
+/// form round-trips exactly — the same convention as [`FaultSpec`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealingSpec {
+    /// Heal policy name: `"park"` (the default), `"re-pack-strict"`,
+    /// or `"re-pack-relaxed"` (alias `"re-pack"`). Re-pack policies
+    /// re-synthesise a static flow map, so they need a `striped` or
+    /// `flow-synthesis` allocator.
+    pub policy: Option<String>,
+    /// Gilbert–Elliott degradation trigger in `(0, 1)`: quarantine a
+    /// lane for the rest of its bad sojourn when a corrupted attempt
+    /// sees a bad-state BER at or above this threshold. Inert without
+    /// the `ge_*` keys of the `[faults]` table.
+    pub ber_threshold: Option<f64>,
+}
+
+impl HealingSpec {
+    /// Resolves the table into the engine's healing configuration.
+    #[must_use]
+    pub fn resolve(&self) -> HealingConfig {
+        HealingConfig {
+            policy: self.policy(),
+            ber_threshold: self.ber_threshold,
+        }
+    }
+
+    /// The heal policy the table resolves to (the parked default when
+    /// the key is absent).
+    #[must_use]
+    pub fn policy(&self) -> HealPolicy {
+        self.policy
+            .as_deref()
+            .and_then(HealPolicy::parse)
+            .unwrap_or_default()
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        if let Some(policy) = &self.policy
+            && HealPolicy::parse(policy).is_none()
+        {
+            return Err(invalid(
+                "healing.policy",
+                format!(
+                    "unknown heal policy {policy:?} \
+                     (park, re-pack-strict, re-pack-relaxed)"
+                ),
+            ));
+        }
+        if let Some(th) = self.ber_threshold
+            && !(th.is_finite() && th > 0.0 && th < 1.0)
+        {
+            return Err(invalid(
+                "healing.ber_threshold",
+                format!("must be in (0, 1), got {th}"),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The `[transport]` table: a reliable-transport recovery mode plus
@@ -1009,6 +1144,9 @@ pub struct ScenarioSpec {
     /// Optional `[transport]` table: reliable-transport recovery for
     /// message-stream runs.
     pub transport: Option<TransportSpec>,
+    /// Optional `[healing]` table: mid-run wavelength re-synthesis on
+    /// lane failure for message-stream runs.
+    pub healing: Option<HealingSpec>,
 }
 
 impl ScenarioSpec {
@@ -1035,6 +1173,7 @@ impl ScenarioSpec {
             aimd: AimdSpec::default(),
             faults: None,
             transport: None,
+            healing: None,
         }
     }
 
@@ -1272,6 +1411,17 @@ impl ScenarioSpec {
             if let Some(v) = faults.fault_horizon {
                 table.insert("fault_horizon", v);
             }
+            let ge = [
+                ("ge_p_gb", faults.ge_p_gb),
+                ("ge_p_bg", faults.ge_p_bg),
+                ("ge_ber_good", faults.ge_ber_good),
+                ("ge_ber_bad", faults.ge_ber_bad),
+            ];
+            for (key, v) in ge {
+                if let Some(v) = v {
+                    table.insert(key, v);
+                }
+            }
             root.insert("faults", table);
         }
         if let Some(transport) = &self.transport {
@@ -1310,6 +1460,16 @@ impl ScenarioSpec {
                 }
             }
             root.insert("transport", table);
+        }
+        if let Some(healing) = &self.healing {
+            let mut table = Value::table();
+            if let Some(policy) = &healing.policy {
+                table.insert("policy", policy.clone());
+            }
+            if let Some(th) = healing.ber_threshold {
+                table.insert("ber_threshold", th);
+            }
+            root.insert("healing", table);
         }
         root
     }
@@ -1392,6 +1552,10 @@ impl ScenarioSpec {
             None => None,
             Some(table) => Some(parse_transport(table)?),
         };
+        let healing = match value.get("healing") {
+            None => None,
+            Some(table) => Some(parse_healing(table)?),
+        };
         ScenarioSpecBuilder {
             name,
             seed,
@@ -1408,6 +1572,7 @@ impl ScenarioSpec {
             aimd,
             faults,
             transport,
+            healing,
         }
         .build()
     }
@@ -1431,6 +1596,7 @@ pub struct ScenarioSpecBuilder {
     aimd: AimdSpec,
     faults: Option<FaultSpec>,
     transport: Option<TransportSpec>,
+    healing: Option<HealingSpec>,
 }
 
 impl ScenarioSpecBuilder {
@@ -1536,6 +1702,13 @@ impl ScenarioSpecBuilder {
     #[must_use]
     pub fn transport(mut self, transport: TransportSpec) -> Self {
         self.transport = Some(transport);
+        self
+    }
+
+    /// Sets the `[healing]` table.
+    #[must_use]
+    pub fn healing(mut self, healing: HealingSpec) -> Self {
+        self.healing = Some(healing);
         self
     }
 
@@ -1799,6 +1972,28 @@ impl ScenarioSpecBuilder {
                 ));
             }
         }
+        if let Some(healing) = &self.healing {
+            healing.validate()?;
+            if !message_stream {
+                return Err(invalid(
+                    "healing",
+                    "self-healing applies to message-stream workloads \
+                     (the open-loop engine)",
+                ));
+            }
+            if healing.policy() != HealPolicy::Park
+                && !matches!(
+                    self.allocator,
+                    AllocatorSpec::Striped { .. } | AllocatorSpec::FlowSynthesis { .. }
+                )
+            {
+                return Err(invalid(
+                    "healing.policy",
+                    "re-pack heal policies re-synthesise a static flow map \
+                     (use a striped or flow-synthesis allocator)",
+                ));
+            }
+        }
         if let Some(telemetry) = &self.telemetry {
             telemetry.validate()?;
             if !matches!(
@@ -1860,6 +2055,7 @@ impl ScenarioSpecBuilder {
             aimd: self.aimd,
             faults: self.faults,
             transport: self.transport,
+            healing: self.healing,
         })
     }
 }
@@ -2419,6 +2615,32 @@ fn parse_faults(table: &Value) -> Result<FaultSpec, SpecError> {
         mean_up: opt_float("mean_up", "faults.mean_up")?,
         mean_down: opt_float("mean_down", "faults.mean_down")?,
         fault_horizon: opt_u64(table, "fault_horizon")?,
+        ge_p_gb: opt_float("ge_p_gb", "faults.ge_p_gb")?,
+        ge_p_bg: opt_float("ge_p_bg", "faults.ge_p_bg")?,
+        ge_ber_good: opt_float("ge_ber_good", "faults.ge_ber_good")?,
+        ge_ber_bad: opt_float("ge_ber_bad", "faults.ge_ber_bad")?,
+    })
+}
+
+fn parse_healing(table: &Value) -> Result<HealingSpec, SpecError> {
+    let policy = match table.get("policy") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| invalid("healing.policy", "not a string"))?
+                .to_string(),
+        ),
+    };
+    let ber_threshold = match table.get("ber_threshold") {
+        None => None,
+        Some(v) => Some(
+            v.as_float()
+                .ok_or_else(|| invalid("healing.ber_threshold", "not a number"))?,
+        ),
+    };
+    Ok(HealingSpec {
+        policy,
+        ber_threshold,
     })
 }
 
@@ -3278,6 +3500,165 @@ kind = "nsga2"
         )
         .unwrap_err();
         assert!(matches!(err, SpecError::Invalid { field, .. } if field == "transport.mode"));
+    }
+
+    #[test]
+    fn gilbert_elliott_keys_round_trip_and_resolve() {
+        let spec = ScenarioSpec::builder("bursty-lanes")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .faults(FaultSpec {
+                ge_p_gb: Some(0.01),
+                ge_p_bg: Some(0.1),
+                ge_ber_good: Some(0.0),
+                ge_ber_bad: Some(0.2),
+                ..FaultSpec::default()
+            })
+            .build()
+            .unwrap();
+        let toml = spec.to_toml();
+        assert!(toml.contains("ge_p_gb = 0.01"), "{toml}");
+        assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+        let plan = spec.faults.as_ref().unwrap().resolve(2017, 16, 8);
+        plan.validate(16, 8);
+        match plan.corruption {
+            onoc_sim::CorruptionModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                ber_good,
+                ber_bad,
+            } => assert_eq!((p_gb, p_bg, ber_good, ber_bad), (0.01, 0.1, 0.0, 0.2)),
+            other => panic!("expected a Gilbert–Elliott model, got {other:?}"),
+        }
+        // The four keys are given together…
+        let err = ScenarioSpec::builder("partial")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .faults(FaultSpec {
+                ge_p_gb: Some(0.01),
+                ..FaultSpec::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "faults.ge_p_gb"));
+        // …are exclusive with the uniform BER…
+        let err = ScenarioSpec::builder("both")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .faults(FaultSpec {
+                ber: Some(1e-5),
+                ge_p_gb: Some(0.01),
+                ge_p_bg: Some(0.1),
+                ge_ber_good: Some(0.0),
+                ge_ber_bad: Some(0.2),
+                ..FaultSpec::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "faults.ge_p_gb"));
+        // …and the bad state must be at least as noisy as the good one.
+        let err = ScenarioSpec::builder("inverted")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .faults(FaultSpec {
+                ge_p_gb: Some(0.01),
+                ge_p_bg: Some(0.1),
+                ge_ber_good: Some(0.3),
+                ge_ber_bad: Some(0.1),
+                ..FaultSpec::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "faults.ge_ber_bad"));
+    }
+
+    #[test]
+    fn healing_table_round_trips_and_validates() {
+        let spec = ScenarioSpec::builder("healed")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Striped { lanes_per_flow: 1 })
+            .healing(HealingSpec {
+                policy: Some("re-pack-relaxed".into()),
+                ber_threshold: Some(0.1),
+            })
+            .build()
+            .unwrap();
+        let toml = spec.to_toml();
+        assert!(toml.contains("[healing]"), "{toml}");
+        assert!(toml.contains("policy = \"re-pack-relaxed\""), "{toml}");
+        assert_eq!(ScenarioSpec::from_toml_str(&toml).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json_str(&spec.to_json()).unwrap(), spec);
+        let config = spec.healing.as_ref().unwrap().resolve();
+        assert_eq!(config.policy, HealPolicy::RePackRelaxed);
+        assert_eq!(config.ber_threshold, Some(0.1));
+        // A bare table resolves to the parked default and stays bare.
+        let bare = ScenarioSpec::builder("bare-heal")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .healing(HealingSpec::default())
+            .build()
+            .unwrap();
+        assert_eq!(
+            bare.healing.as_ref().unwrap().resolve().policy,
+            HealPolicy::Park
+        );
+        assert_eq!(ScenarioSpec::from_toml_str(&bare.to_toml()).unwrap(), bare);
+        // Unknown policy names are rejected, not defaulted.
+        let err = ScenarioSpec::builder("typo")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Striped { lanes_per_flow: 1 })
+            .healing(HealingSpec {
+                policy: Some("repack".into()),
+                ber_threshold: None,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "healing.policy"));
+        // The degradation trigger is a probability strictly inside (0, 1).
+        let err = ScenarioSpec::builder("hot")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .healing(HealingSpec {
+                policy: None,
+                ber_threshold: Some(1.0),
+            })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecError::Invalid { field, .. } if field == "healing.ber_threshold")
+        );
+        // Re-pack needs a static flow map to re-synthesise.
+        let err = ScenarioSpec::builder("dynamic-repack")
+            .workload(synthetic_uniform())
+            .allocator(AllocatorSpec::Dynamic {
+                policy: DynamicPolicy::Single,
+            })
+            .healing(HealingSpec {
+                policy: Some("re-pack".into()),
+                ber_threshold: None,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "healing.policy"));
+        // Task-graph workloads have no message stream to heal.
+        let err = ScenarioSpec::builder("graphed")
+            .healing(HealingSpec::default())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { field, .. } if field == "healing"));
     }
 
     #[test]

@@ -91,6 +91,14 @@ fn golden_headers() -> Vec<(&'static str, &'static str, String)> {
                 .into(),
         ),
         (
+            "self-healing-vs-outage",
+            "self_healing_vs_outage",
+            "regime,policy,delivered,goodput_bits_per_cycle,failed_attempts,\
+             retx_bits,lost,outages,heals,recovery_p50,recovery_p95,\
+             recovery_p99,energy_pj_per_bit"
+                .into(),
+        ),
+        (
             "workload-sweep",
             "workload_sweep",
             "workload,tasks,comms,pairs,front,exec_lo,exec_hi,fj_lo,fj_hi,ber_lo,ber_hi".into(),
@@ -174,6 +182,7 @@ fn registry_order_matches_the_documented_index() {
             "energy-vs-load",
             "saturation-timeline",
             "reliability-vs-fault-rate",
+            "self-healing-vs-outage",
             "workload-sweep",
         ]
     );

@@ -28,7 +28,10 @@
 //! them into delivered-vs-retransmitted bits, goodput, recovery latency
 //! and per-lane downtime.
 
+use std::collections::HashMap;
+
 use onoc_topology::NodeId;
+use onoc_wa::HealPolicy;
 
 use crate::probe::SimProbe;
 use crate::report::{LatencyHistogram, LatencyStats, MsgRecord};
@@ -74,16 +77,40 @@ pub enum CorruptionModel {
     /// each path's worst-case loss through the photonics SNR → BER
     /// chain.
     PerFlow(Vec<f64>),
+    /// A per-lane two-state Gilbert–Elliott burst-error channel: each
+    /// lane alternates *good* and *bad* sojourns (mean lengths
+    /// `1 / p_gb` and `1 / p_bg` cycles, drawn from the plan seed like
+    /// every other stochastic decision, so runs replay exactly), and an
+    /// attempt sees the bad-state BER whenever any lane of its mask was
+    /// bad during the transmission span. This models the correlated
+    /// error bursts of a thermally drifting micro-ring — errors cluster
+    /// while the resonance is off-peak instead of arriving i.i.d.
+    GilbertElliott {
+        /// Per-cycle good → bad transition probability in `(0, 1]`
+        /// (mean good sojourn `1 / p_gb` cycles).
+        p_gb: f64,
+        /// Per-cycle bad → good transition probability in `(0, 1]`
+        /// (mean bad sojourn `1 / p_bg` cycles).
+        p_bg: f64,
+        /// Bit-error rate while every lane of the attempt is good.
+        ber_good: f64,
+        /// Bit-error rate while any lane of the attempt is bad.
+        ber_bad: f64,
+    },
 }
 
 impl CorruptionModel {
-    /// The bit-error rate applied to `flow`.
+    /// The bit-error rate applied to `flow`. For the time-varying
+    /// [`CorruptionModel::GilbertElliott`] channel this is the
+    /// good-state (baseline) rate; the engine swaps in `ber_bad` per
+    /// attempt from the lane timelines.
     #[must_use]
     pub fn ber(&self, flow: usize) -> f64 {
         match self {
             CorruptionModel::None => 0.0,
             CorruptionModel::Uniform { ber } => *ber,
             CorruptionModel::PerFlow(bers) => bers[flow],
+            CorruptionModel::GilbertElliott { ber_good, .. } => *ber_good,
         }
     }
 
@@ -104,6 +131,25 @@ impl CorruptionModel {
                     "per-flow BER table needs one entry per ordered (src, dst)"
                 );
                 bers.iter().copied().for_each(check);
+            }
+            CorruptionModel::GilbertElliott {
+                p_gb,
+                p_bg,
+                ber_good,
+                ber_bad,
+            } => {
+                for (name, p) in [("p_gb", *p_gb), ("p_bg", *p_bg)] {
+                    assert!(
+                        p.is_finite() && p > 0.0 && p <= 1.0,
+                        "Gilbert–Elliott {name} must be in (0, 1], got {p}"
+                    );
+                }
+                check(*ber_good);
+                check(*ber_bad);
+                assert!(
+                    ber_bad >= ber_good,
+                    "Gilbert–Elliott bad-state BER {ber_bad} below good-state BER {ber_good}"
+                );
             }
         }
     }
@@ -152,6 +198,24 @@ impl FaultPlan {
     #[must_use]
     pub fn with_per_flow_ber(mut self, bers: Vec<f64>) -> Self {
         self.corruption = CorruptionModel::PerFlow(bers);
+        self
+    }
+
+    /// Sets a per-lane Gilbert–Elliott burst-error channel.
+    #[must_use]
+    pub fn with_gilbert_elliott(
+        mut self,
+        p_gb: f64,
+        p_bg: f64,
+        ber_good: f64,
+        ber_bad: f64,
+    ) -> Self {
+        self.corruption = CorruptionModel::GilbertElliott {
+            p_gb,
+            p_bg,
+            ber_good,
+            ber_bad,
+        };
         self
     }
 
@@ -255,6 +319,85 @@ pub fn message_error_probability(ber: f64, bits: f64) -> f64 {
     -(bits * (-ber).ln_1p()).exp_m1()
 }
 
+/// Hash-stream namespace of the Gilbert–Elliott sojourn draws, disjoint
+/// from both the per-message corruption streams (message ids) and the
+/// stochastic-outage lane streams (`LANE_STREAM = 1 << 63` in the
+/// engine).
+pub(crate) const GE_STREAM: u64 = 3 << 62;
+
+/// The deterministic per-lane good/bad state timeline of a
+/// [`CorruptionModel::GilbertElliott`] channel.
+///
+/// Sojourn lengths are drawn lazily by inverse transform from
+/// `hash64(seed, GE_STREAM | lane, k)` (the `k`-th sojourn of the lane,
+/// mean `1 / p` cycles), so the timeline is a pure function of the plan
+/// seed — independent of event interleaving and identical across
+/// replays. Every lane starts in the *good* state at cycle 0; the
+/// boundary list per lane holds cumulative sojourn end cycles, even
+/// indices ending good sojourns.
+#[derive(Debug, Clone)]
+pub(crate) struct GeTimeline {
+    seed: u64,
+    p_gb: f64,
+    p_bg: f64,
+    bounds: Vec<Vec<u64>>,
+}
+
+impl GeTimeline {
+    pub(crate) fn new(seed: u64, p_gb: f64, p_bg: f64, wavelengths: usize) -> Self {
+        Self {
+            seed,
+            p_gb,
+            p_bg,
+            bounds: vec![Vec::new(); wavelengths],
+        }
+    }
+
+    /// Extends lane `lane`'s boundary list until it covers cycle `t`.
+    fn extend(&mut self, lane: usize, t: u64) {
+        let bounds = &mut self.bounds[lane];
+        while bounds.last().is_none_or(|&b| b <= t) {
+            let k = bounds.len() as u64;
+            // Even sojourn index = good state (mean 1 / p_gb).
+            let mean = if k.is_multiple_of(2) {
+                1.0 / self.p_gb
+            } else {
+                1.0 / self.p_bg
+            };
+            let len = exp_draw(self.seed, GE_STREAM | lane as u64, k, mean);
+            let end = bounds.last().copied().unwrap_or(0).saturating_add(len);
+            bounds.push(end);
+        }
+    }
+
+    /// Whether lane `lane` is in the bad state at cycle `t`.
+    pub(crate) fn is_bad(&mut self, lane: usize, t: u64) -> bool {
+        self.extend(lane, t);
+        self.bounds[lane].partition_point(|&b| b <= t) % 2 == 1
+    }
+
+    /// Whether lane `lane` spends any cycle of `[start, end)` in the bad
+    /// state. Sojourns alternate, so either `start` already sits in a
+    /// bad sojourn or the good sojourn containing `start` must end
+    /// before `end`.
+    pub(crate) fn bad_over(&mut self, lane: usize, start: u64, end: u64) -> bool {
+        self.extend(lane, end.max(start));
+        let idx = self.bounds[lane].partition_point(|&b| b <= start);
+        idx % 2 == 1 || self.bounds[lane][idx] < end
+    }
+
+    /// End cycle of the bad sojourn containing `t` (the first cycle the
+    /// lane is good again). Falls back to `t` if the lane is good at `t`.
+    pub(crate) fn bad_until(&mut self, lane: usize, t: u64) -> u64 {
+        if self.is_bad(lane, t) {
+            let idx = self.bounds[lane].partition_point(|&b| b <= t);
+            self.bounds[lane][idx]
+        } else {
+            t
+        }
+    }
+}
+
 /// Why a transmission attempt failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultCause {
@@ -326,9 +469,52 @@ impl DropFact {
     }
 }
 
+/// One self-healing re-allocation attempt, emitted through
+/// [`SimProbe::heal`] when a lane loss (or a Gilbert–Elliott channel
+/// degrading past the configured BER threshold) triggers the
+/// incremental re-allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealFact {
+    /// Trigger cycle (the quiesce point the new map was swapped in at).
+    pub at: u64,
+    /// The lane whose outage triggered the heal.
+    pub lane: usize,
+    /// Heal policy that ran.
+    pub policy: HealPolicy,
+    /// Flows whose masks intersected a dark lane (the re-pack set).
+    pub affected: usize,
+    /// Flows whose lane mask actually changed.
+    pub moved: usize,
+    /// Lane-sharing pairs the relaxed policy accepted.
+    pub shared: usize,
+    /// Parked messages restarted by the swap.
+    pub restarted: usize,
+    /// Admission stall incurred: cycles the restarted messages had
+    /// already spent parked (sum of `at − admitted`).
+    pub stall_cycles: u64,
+    /// Whether a new map was swapped in (`false` when the strict policy
+    /// found the surviving comb infeasible, or the policy is
+    /// [`HealPolicy::Park`] — the old map stays and flows park).
+    pub feasible: bool,
+}
+
+/// One lane outage as seen by the [`ReliabilityProbe`]: when it
+/// started, which flows it blocked, and when goodput was restored.
+#[derive(Debug, Clone)]
+struct OutageTrack {
+    start: u64,
+    /// Cycle goodput was restored: a feasible heal swapped a new map
+    /// in, a blocked flow delivered again, or (when nothing was ever
+    /// blocked) the outage itself. `None` until then — censored at the
+    /// horizon.
+    resolved: Option<u64>,
+    /// Flows that lost an attempt to this outage.
+    blocked: u32,
+}
+
 /// A [`SimProbe`] folding the fault/transport fact stream into a
 /// [`ReliabilityReport`]: delivered vs retransmitted bits, goodput,
-/// recovery latency, loss, and per-lane downtime.
+/// recovery latency, per-outage recovery, loss, and per-lane downtime.
 #[derive(Debug, Clone)]
 pub struct ReliabilityProbe {
     delivered_messages: u64,
@@ -343,6 +529,13 @@ pub struct ReliabilityProbe {
     recovery_hist: LatencyHistogram,
     lane_down_since: Vec<Option<u64>>,
     lane_downtime: Vec<u64>,
+    outages: Vec<OutageTrack>,
+    /// Index into `outages` of the open outage per lane.
+    open_outage: Vec<Option<usize>>,
+    /// Flow → outage it is currently blocked on (first drop wins).
+    blocked_flows: HashMap<(NodeId, NodeId), usize>,
+    heals: u64,
+    flows_moved: u64,
     horizon: u64,
 }
 
@@ -363,6 +556,11 @@ impl ReliabilityProbe {
             recovery_hist: LatencyHistogram::new(),
             lane_down_since: vec![None; wavelengths],
             lane_downtime: vec![0; wavelengths],
+            outages: Vec::new(),
+            open_outage: vec![None; wavelengths],
+            blocked_flows: HashMap::new(),
+            heals: 0,
+            flows_moved: 0,
             horizon: 0,
         }
     }
@@ -376,6 +574,11 @@ impl ReliabilityProbe {
     /// Assembles the reliability report of the observed run.
     #[must_use]
     pub fn report(&self) -> ReliabilityReport {
+        let recovery = self
+            .outages
+            .iter()
+            .map(|o| o.resolved.unwrap_or(self.horizon.max(o.start)) - o.start)
+            .collect();
         ReliabilityReport {
             delivered_messages: self.delivered_messages,
             delivered_bits: self.delivered_bits,
@@ -387,6 +590,10 @@ impl ReliabilityProbe {
             lost_bits: self.lost_bits,
             recovered_messages: self.recovered_messages,
             recovery_latency: self.recovery_hist.stats(),
+            outages: self.outages.len() as u64,
+            outage_recovery: LatencyStats::from_samples(recovery),
+            heals: self.heals,
+            flows_moved: self.flows_moved,
             lane_downtime: self.lane_downtime.clone(),
             horizon: self.horizon,
         }
@@ -395,16 +602,46 @@ impl ReliabilityProbe {
 
 impl SimProbe for ReliabilityProbe {
     #[inline]
-    fn retired(&mut self, _record: &MsgRecord, volume_bits: f64, _hops: usize) {
+    fn retired(&mut self, record: &MsgRecord, volume_bits: f64, _hops: usize) {
         self.delivered_messages += 1;
         self.delivered_bits += volume_bits;
+        // A delivery by a flow blocked on an outage restores goodput.
+        // Retirement facts can trail their completion cycle (the engine
+        // retires the message deque head-first, in id order), so a
+        // record that completed *before* the outage opened is stale
+        // evidence and resolves nothing.
+        if let std::collections::hash_map::Entry::Occupied(e) =
+            self.blocked_flows.entry((record.src, record.dst))
+        {
+            let outage = &mut self.outages[*e.get()];
+            if record.completed >= outage.start {
+                e.remove();
+                if outage.resolved.is_none() {
+                    outage.resolved = Some(record.completed);
+                }
+            }
+        }
     }
 
     #[inline]
     fn dropped(&mut self, fact: DropFact) {
         match fact.cause {
             FaultCause::Corrupt => self.corrupt_attempts += 1,
-            FaultCause::LaneDown => self.lane_down_attempts += 1,
+            FaultCause::LaneDown => {
+                self.lane_down_attempts += 1;
+                // Attribute the flow to the open outage on a lane of the
+                // attempt (lowest lane wins when several are down).
+                let hit = (0..self.open_outage.len())
+                    .filter(|&l| fact.lanes & (1 << l) != 0)
+                    .find_map(|l| self.open_outage[l]);
+                if let Some(idx) = hit
+                    && let std::collections::hash_map::Entry::Vacant(e) =
+                        self.blocked_flows.entry((fact.src, fact.dst))
+                {
+                    e.insert(idx);
+                    self.outages[idx].blocked += 1;
+                }
+            }
             FaultCause::OutOfOrder => self.out_of_order_attempts += 1,
         }
         self.retransmitted_bits += fact.bits;
@@ -426,15 +663,46 @@ impl SimProbe for ReliabilityProbe {
     fn lane_event(&mut self, now: u64, lane: usize, down: bool) {
         if down {
             self.lane_down_since[lane] = Some(now);
+            self.open_outage[lane] = Some(self.outages.len());
+            self.outages.push(OutageTrack {
+                start: now,
+                resolved: None,
+                blocked: 0,
+            });
         } else if let Some(since) = self.lane_down_since[lane].take() {
             self.lane_downtime[lane] += now - since;
+            if let Some(idx) = self.open_outage[lane].take() {
+                let outage = &mut self.outages[idx];
+                // Nothing ever lost an attempt to this outage: goodput
+                // never dipped, so recovery is instantaneous.
+                if outage.resolved.is_none() && outage.blocked == 0 {
+                    outage.resolved = Some(outage.start);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn heal(&mut self, fact: HealFact) {
+        self.heals += u64::from(fact.feasible);
+        self.flows_moved += fact.moved as u64;
+        // A feasible heal re-packs the flows of *every* dark lane, so it
+        // restores goodput for all open outages at once.
+        if fact.feasible {
+            for idx in self.open_outage.iter().flatten() {
+                let outage = &mut self.outages[*idx];
+                if outage.resolved.is_none() {
+                    outage.resolved = Some(fact.at);
+                }
+            }
         }
     }
 
     #[inline]
     fn finished(&mut self, horizon: u64, _last_injection: u64) {
         self.horizon = horizon;
-        // Close outages still open at the end of the run.
+        // Close outages still open at the end of the run; unresolved
+        // recoveries stay censored at the horizon (see `report`).
         for lane in 0..self.lane_down_since.len() {
             if let Some(since) = self.lane_down_since[lane].take() {
                 self.lane_downtime[lane] += horizon.saturating_sub(since);
@@ -468,6 +736,18 @@ pub struct ReliabilityReport {
     /// Cycles from a message's first failure to its final delivery,
     /// over the recovered messages.
     pub recovery_latency: LatencyStats,
+    /// Lane outages observed (one per lane-down event).
+    pub outages: u64,
+    /// Per-outage recovery latency — cycles from lane-down to goodput
+    /// restored (a feasible heal, or the first delivery of a flow the
+    /// outage had blocked; 0 when nothing was blocked, censored at the
+    /// horizon when goodput never came back). The p50/p95/p99 here are
+    /// the recovery-latency SLO numbers.
+    pub outage_recovery: LatencyStats,
+    /// Feasible self-healing map swaps performed.
+    pub heals: u64,
+    /// Flows moved to new lanes across all heals.
+    pub flows_moved: u64,
     /// Down cycles per lane over the run.
     pub lane_downtime: Vec<u64>,
     /// Cycle of the last completion.
@@ -640,6 +920,42 @@ mod tests {
         assert!((r.goodput() - 1.28).abs() < 1e-12);
         assert!((r.delivery_ratio() - 0.5).abs() < 1e-12);
         assert!((r.waste_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    /// A pinned seeded Gilbert–Elliott schedule: the first state
+    /// boundaries of two lanes, plus point and interval queries against
+    /// them. Any change to the sojourn-draw arithmetic (stream split,
+    /// hash, inverse transform) shows up here first.
+    #[test]
+    fn golden_seeded_gilbert_elliott_schedule() {
+        let mut ge = GeTimeline::new(42, 0.01, 0.1, 2);
+        // Force both lanes out to cycle 2000 and snapshot the bounds.
+        let summary = (0..2)
+            .map(|lane| {
+                ge.extend(lane, 2000);
+                let bounds = &ge.bounds[lane];
+                let shown = bounds.len().min(4);
+                format!("lane{lane}={:?}", &bounds[..shown])
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_eq!(
+            summary, "lane0=[74, 75, 125, 128] lane1=[3, 9, 21, 40]",
+            "seeded Gilbert–Elliott schedule drifted"
+        );
+        // Point queries: cycle 0 is always good, the first boundary
+        // flips to bad, the second back to good.
+        assert!(!ge.is_bad(0, 0));
+        assert!(ge.is_bad(0, 74) && !ge.is_bad(0, 75));
+        // Interval queries: an attempt wholly inside the first good
+        // sojourn is clean; one crossing its end sees the bad state.
+        assert!(!ge.bad_over(0, 0, 74));
+        assert!(ge.bad_over(0, 60, 80));
+        assert!(ge.bad_over(0, 74, 75));
+        // Quarantine horizon: the bad sojourn containing cycle 74 ends
+        // at the next boundary; a good cycle maps to itself.
+        assert_eq!(ge.bad_until(0, 74), 75);
+        assert_eq!(ge.bad_until(0, 10), 10);
     }
 
     #[test]

@@ -68,14 +68,17 @@ pub use dynamic::{DynamicPolicy, DynamicReport, DynamicSimulator};
 pub use energy::{EnergyModel, EnergyProbe, EnergyReport, FlowEnergy, MRS_PER_NODE_PER_WAVELENGTH};
 pub use engine::{SimError, Simulator};
 pub use fault::{
-    CorruptionModel, DropFact, FaultCause, FaultPlan, LaneFault, ReliabilityProbe,
+    CorruptionModel, DropFact, FaultCause, FaultPlan, HealFact, LaneFault, ReliabilityProbe,
     ReliabilityReport, StochasticFaults, hash64, message_error_probability, unit_interval,
 };
 pub use flows::{FlowAllocPolicy, FlowMatrix, FlowSynthesisError, SynthesisSummary};
 pub use injection::{AimdParams, InjectionMode};
+/// Re-exported so downstream crates can name heal policies without
+/// depending on `onoc-wa` directly.
+pub use onoc_wa::HealPolicy;
 pub use openloop::{
-    OpenLoopError, OpenLoopSimulator, ReportMode, SimScratch, StaticFlowMap, TrafficEvent,
-    TrafficSource, WavelengthMode,
+    HealingConfig, OpenLoopError, OpenLoopSimulator, ReportMode, SimScratch, StaticFlowMap,
+    TrafficEvent, TrafficSource, WavelengthMode,
 };
 pub use probe::{NullProbe, SimProbe, TxFact};
 pub use report::{

@@ -47,9 +47,11 @@ use onoc_photonics::WavelengthId;
 use onoc_topology::{DirectedSegment, NodeId, RingPath, RingTopology, segment_count};
 use onoc_units::{Bits, BitsPerCycle};
 
+use onoc_wa::{HealPolicy, reassign_flows_on_lane_loss};
+
 use crate::DynamicPolicy;
 use crate::calendar::EventQueue;
-use crate::fault::{self, DropFact, FaultCause, FaultPlan};
+use crate::fault::{self, CorruptionModel, DropFact, FaultCause, FaultPlan, GeTimeline, HealFact};
 use crate::injection::{AimdParams, InjectionMode, LaneArbiter, SourceGate};
 use crate::probe::{NullProbe, ReportProbe, SimProbe, TxFact};
 use crate::report::{MsgId, MsgRecord, OpenLoopConflict, OpenLoopReport};
@@ -500,6 +502,26 @@ impl<T: EngineTap> EngineTap for &mut T {
 /// from the per-message corruption streams (which use the message id).
 const LANE_STREAM: u64 = 1 << 63;
 
+/// Configuration of the self-healing allocator: what the engine does
+/// when a lane serving static flows goes dark mid-run.
+///
+/// Attach with [`OpenLoopSimulator::with_healing`]. With the default
+/// ([`HealPolicy::Park`], no threshold) the engine behaves exactly as
+/// if no healing were configured — affected flows park until repair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HealingConfig {
+    /// Re-allocation policy invoked at each lane-down quiesce point.
+    pub policy: HealPolicy,
+    /// Gilbert–Elliott degradation trigger: when an attempt is corrupted
+    /// while a lane of its mask sits in the bad state and the bad-state
+    /// BER is at least this threshold, the lane is administratively
+    /// taken out of service for the rest of its bad sojourn (the same
+    /// `LaneDown`/`LaneUp` pair a scheduled fault produces, so parked
+    /// traffic and the healer see an ordinary outage). `None` disables
+    /// the trigger.
+    pub ber_threshold: Option<f64>,
+}
+
 /// The open/closed-loop engine. See the module docs for semantics.
 #[derive(Debug)]
 pub struct OpenLoopSimulator {
@@ -511,6 +533,7 @@ pub struct OpenLoopSimulator {
     pub(crate) faults: Option<FaultPlan>,
     pub(crate) transport: TransportMode,
     pub(crate) aimd: AimdParams,
+    pub(crate) healing: Option<HealingConfig>,
 }
 
 impl OpenLoopSimulator {
@@ -582,6 +605,7 @@ impl OpenLoopSimulator {
             faults: None,
             transport: TransportMode::None,
             aimd: AimdParams::default(),
+            healing: None,
         }
     }
 
@@ -625,6 +649,39 @@ impl OpenLoopSimulator {
         aimd.validate();
         self.aimd = aimd;
         self
+    }
+
+    /// Attaches the self-healing allocator: at every lane-down quiesce
+    /// point the engine re-packs the affected static flows onto
+    /// surviving lanes per `healing.policy`, swaps the new map in, and
+    /// emits a [`HealFact`]. With [`HealPolicy::Park`] and no BER
+    /// threshold this is a no-op — runs stay bit-identical to an engine
+    /// without healing (proptested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a re-pack policy is requested without a static flow
+    /// map, or the BER threshold is outside `(0, 1)`.
+    #[must_use]
+    pub fn with_healing(mut self, healing: HealingConfig) -> Self {
+        assert!(
+            healing.policy == HealPolicy::Park || matches!(self.mode, WavelengthMode::Static(_)),
+            "re-pack heal policies require a static flow map"
+        );
+        if let Some(th) = healing.ber_threshold {
+            assert!(
+                th.is_finite() && th > 0.0 && th < 1.0,
+                "healing BER threshold must be in (0, 1), got {th}"
+            );
+        }
+        self.healing = Some(healing);
+        self
+    }
+
+    /// The attached healing configuration, if any.
+    #[must_use]
+    pub fn healing(&self) -> Option<HealingConfig> {
+        self.healing
     }
 
     /// The injection policy this engine runs under.
@@ -913,6 +970,28 @@ impl SimScratch {
         }
     }
 
+    /// Restricts route/mask table setup to the given active flows
+    /// (sorted, deduplicated `src * nodes + dst` row ids): the build
+    /// then costs O(active flows) instead of O(n²) pairs, which
+    /// dominates short runs on large rings. The restriction persists
+    /// across runs of this scratch until replaced (pass `None` to
+    /// restore full tables).
+    ///
+    /// Rows outside the list stay empty, so the caller must list every
+    /// flow its trace injects — the engine trusts the list and a
+    /// missing row makes the run meaningless (zero-hop routes, empty
+    /// lane masks). Reports are bit-identical to a full-table run for
+    /// traces that respect the contract; the intra-run PDES workers use
+    /// the same mechanism internally.
+    pub fn set_flow_rows(&mut self, rows: Option<Vec<u32>>) {
+        debug_assert!(
+            rows.as_deref()
+                .is_none_or(|r| r.windows(2).all(|w| w[0] < w[1])),
+            "flow rows must be sorted and deduplicated"
+        );
+        self.flow_rows = rows;
+    }
+
     /// Clears and (re)sizes every buffer for a run on the given geometry.
     pub(crate) fn prepare(
         &mut self,
@@ -1045,6 +1124,13 @@ struct FaultState {
     /// Static-mode messages parked on an all-lanes-down flow, waiting
     /// for a pending recovery (`(message id, flow)`).
     parked: Vec<(usize, u32)>,
+    /// Gilbert–Elliott per-lane state timeline (lazily extended; a pure
+    /// function of the plan seed).
+    ge: Option<GeTimeline>,
+    /// End cycle of the administrative (BER-threshold) outage in effect
+    /// per lane — guards against quarantining a lane twice for one bad
+    /// sojourn.
+    admin_until: Vec<u64>,
     failed_attempts: usize,
     retransmitted_bits: f64,
     lost_messages: usize,
@@ -1065,6 +1151,8 @@ impl FaultState {
             unacked: vec![0; if gbn { flows } else { 0 }],
             dst_in_flight: vec![0; if pfc { nodes } else { 0 }],
             parked: Vec::new(),
+            ge: None,
+            admin_until: vec![0; wavelengths],
             failed_attempts: 0,
             retransmitted_bits: 0.0,
             lost_messages: 0,
@@ -1171,6 +1259,9 @@ impl<'a, P: SimProbe, T: EngineTap> RunState<'a, P, T> {
             let fs = fault
                 .as_deref_mut()
                 .expect("fault state exists with a plan");
+            if let CorruptionModel::GilbertElliott { p_gb, p_bg, .. } = plan.corruption {
+                fs.ge = Some(GeTimeline::new(plan.seed, p_gb, p_bg, sim.wavelengths));
+            }
             for f in &plan.scheduled {
                 #[allow(clippy::cast_possible_truncation)]
                 let lane = f.lane as u16;
@@ -1841,6 +1932,9 @@ impl<'a, P: SimProbe, T: EngineTap> RunState<'a, P, T> {
                 fs.retransmitted_bits += volume;
             }
         }
+        if verdict == Some(FaultCause::Corrupt) {
+            self.quarantine_degraded(mask, now);
+        }
         for i in lo..hi {
             self.s.segment_busy[self.s.path_segs[i] as usize] += span * lanes;
         }
@@ -1900,19 +1994,39 @@ impl<'a, P: SimProbe, T: EngineTap> RunState<'a, P, T> {
     /// actually failed: a lane outage overlapping the span, a BER
     /// corruption draw, or a go-back-N sequence gap.
     fn classify_attempt(
-        &self,
+        &mut self,
         id: usize,
         flow: u32,
         mask: u128,
         start: u64,
         now: u64,
     ) -> Option<FaultCause> {
-        let fs = self.fault.as_deref()?;
+        let sim = self.sim;
+        let fs = self.fault.as_deref_mut()?;
         if fs.overlaps_down(mask, start, now) {
             return Some(FaultCause::LaneDown);
         }
-        if let Some(plan) = &self.sim.faults {
-            let ber = plan.corruption.ber(flow as usize);
+        if let Some(plan) = &sim.faults {
+            let ber = match &plan.corruption {
+                // The burst channel: the attempt sees the bad-state BER
+                // whenever any lane of its mask spent a cycle of the
+                // span in the bad state. The timelines are pure
+                // functions of the plan seed, so this stays replayable.
+                CorruptionModel::GilbertElliott {
+                    ber_good, ber_bad, ..
+                } => {
+                    let ge = fs.ge.as_mut().expect("GE model implies a timeline");
+                    let mut rest = mask;
+                    let mut bad = false;
+                    while rest != 0 && !bad {
+                        let lane = rest.trailing_zeros() as usize;
+                        rest &= rest - 1;
+                        bad = ge.bad_over(lane, start, now);
+                    }
+                    if bad { *ber_bad } else { *ber_good }
+                }
+                model => model.ber(flow as usize),
+            };
             if ber > 0.0 {
                 let m = &self.s.msgs[id - self.base];
                 let p = fault::message_error_probability(ber, m.ev.volume.value());
@@ -2116,6 +2230,202 @@ impl<'a, P: SimProbe, T: EngineTap> RunState<'a, P, T> {
         }
     }
 
+    /// Administratively takes Gilbert–Elliott-degraded lanes out of
+    /// service: when a corrupt attempt reveals a lane in the bad state
+    /// and the bad-state BER meets the healing threshold, the lane gets
+    /// the same `LaneDown`/`LaneUp` pair a scheduled fault would, for
+    /// the rest of its bad sojourn — parked traffic and the healer then
+    /// see an ordinary outage. Detection is traffic-driven: a silent
+    /// (uncorrupted) bad sojourn is never quarantined, exactly as a real
+    /// receiver could not have observed it.
+    fn quarantine_degraded(&mut self, mask: u128, now: u64) {
+        let sim = self.sim;
+        let Some(cfg) = sim.healing else { return };
+        let Some(threshold) = cfg.ber_threshold else {
+            return;
+        };
+        let Some(plan) = &sim.faults else { return };
+        let CorruptionModel::GilbertElliott { ber_bad, .. } = &plan.corruption else {
+            return;
+        };
+        if *ber_bad < threshold {
+            return;
+        }
+        let fs = self
+            .fault
+            .as_deref_mut()
+            .expect("a corrupt verdict implies fault state");
+        let mut rest = mask;
+        while rest != 0 {
+            let lane = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            if fs.down_mask & (1u128 << lane) != 0 || now < fs.admin_until[lane] {
+                continue;
+            }
+            let until = fs
+                .ge
+                .as_mut()
+                .expect("GE model implies a timeline")
+                .bad_until(lane, now);
+            if until <= now {
+                // The lane already recovered (or was never bad at the
+                // detection cycle — the burst hit another lane).
+                continue;
+            }
+            fs.admin_until[lane] = until;
+            fs.pending_ups[lane] += 1;
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                self.s.queue.push(now, Event::LaneDown(lane as u16));
+                self.s.queue.push(until, Event::LaneUp(lane as u16));
+            }
+        }
+    }
+
+    /// The self-healing quiesce point, run as part of every lane-down
+    /// event: re-pack every static flow whose nominal lanes intersect a
+    /// dark lane onto the surviving comb, swap the healed masks into
+    /// `flow_lane_masks`, restart parked traffic that regained lanes,
+    /// and record the heal as a first-class [`HealFact`].
+    ///
+    /// In-flight attempts keep the mask they started with (it rides in
+    /// their `Completed` event) and fail as lane-down drops; the swap
+    /// governs every later start, including transport redos — so the
+    /// lane-down event boundary is a true quiesce point and no event
+    /// mid-flight observes a half-swapped map.
+    fn try_heal(&mut self, lane: usize, now: u64) {
+        let Some(cfg) = self.sim.healing else { return };
+        if cfg.policy == HealPolicy::Park || !matches!(self.sim.mode, WavelengthMode::Static(_)) {
+            return;
+        }
+        let dead = self
+            .fault
+            .as_deref()
+            .expect("lane events imply fault state")
+            .down_mask;
+        // The affected set: flows intersecting *any* dark lane, not just
+        // the trigger — a second outage re-packs the survivors of the
+        // first again, against the current occupancy view.
+        let mut affected: Vec<u32> = Vec::new();
+        let mut old_masks: Vec<u128> = Vec::new();
+        let row_list: Vec<u32> = match &self.s.flow_rows {
+            Some(rows) => rows.clone(),
+            None =>
+            {
+                #[allow(clippy::cast_possible_truncation)]
+                (0..self.s.flow_lane_masks.len() as u32).collect()
+            }
+        };
+        for &f in &row_list {
+            let mask = self.s.flow_lane_masks[f as usize];
+            if mask & dead != 0 {
+                affected.push(f);
+                old_masks.push(mask);
+            }
+        }
+        if affected.is_empty() {
+            return;
+        }
+        // Occupancy view per directed segment: the union of the frozen
+        // (unaffected) flows' lanes crossing it, and which affected
+        // flows cross it (pairwise conflict discovery).
+        let segs = self.s.segment_busy.len();
+        let mut frozen_occ = vec![0u128; segs];
+        let mut touching: Vec<Vec<u32>> = vec![Vec::new(); segs];
+        for &f in &row_list {
+            let mask = self.s.flow_lane_masks[f as usize];
+            if mask == 0 {
+                continue;
+            }
+            let (lo, hi) = (
+                self.s.path_offsets[f as usize] as usize,
+                self.s.path_offsets[f as usize + 1] as usize,
+            );
+            match affected.binary_search(&f) {
+                Ok(i) =>
+                {
+                    #[allow(clippy::cast_possible_truncation)]
+                    for s in lo..hi {
+                        touching[self.s.path_segs[s] as usize].push(i as u32);
+                    }
+                }
+                Err(_) => {
+                    for s in lo..hi {
+                        frozen_occ[self.s.path_segs[s] as usize] |= mask;
+                    }
+                }
+            }
+        }
+        let mut frozen = vec![0u128; affected.len()];
+        for (i, &f) in affected.iter().enumerate() {
+            let (lo, hi) = (
+                self.s.path_offsets[f as usize] as usize,
+                self.s.path_offsets[f as usize + 1] as usize,
+            );
+            for s in lo..hi {
+                frozen[i] |= frozen_occ[self.s.path_segs[s] as usize];
+            }
+        }
+        let mut conflicts: Vec<(usize, usize)> = Vec::new();
+        for list in &touching {
+            for (x, &a) in list.iter().enumerate() {
+                for &b in &list[x + 1..] {
+                    conflicts.push((a as usize, b as usize));
+                }
+            }
+        }
+        conflicts.sort_unstable();
+        conflicts.dedup();
+        let outcome = reassign_flows_on_lane_loss(
+            &old_masks,
+            &conflicts,
+            &frozen,
+            dead,
+            self.sim.wavelengths,
+            cfg.policy,
+        );
+        let (moved, shared, feasible) = match &outcome {
+            Some(o) => (o.moved, o.shared, true),
+            None => (0, 0, false),
+        };
+        let mut restarted = 0usize;
+        let mut stall_cycles = 0u64;
+        let parked = if let Some(o) = outcome {
+            for (i, &f) in affected.iter().enumerate() {
+                self.s.flow_lane_masks[f as usize] = o.masks[i];
+            }
+            let parked = {
+                let fs = self.fault.as_deref_mut().expect("checked above");
+                std::mem::take(&mut fs.parked)
+            };
+            for &(id, flow) in &parked {
+                if self.s.flow_lane_masks[flow as usize] & !dead != 0 {
+                    restarted += 1;
+                    stall_cycles += now.saturating_sub(self.s.msgs[id - self.base].admitted);
+                }
+            }
+            parked
+        } else {
+            Vec::new()
+        };
+        self.probe.heal(HealFact {
+            at: now,
+            lane,
+            policy: cfg.policy,
+            affected: affected.len(),
+            moved,
+            shared,
+            restarted,
+            stall_cycles,
+            feasible,
+        });
+        // Parked messages whose flow regained live lanes start at the
+        // swap; `restart_static` re-parks any that did not.
+        for (id, flow) in parked {
+            self.restart_static(id, flow, now);
+        }
+    }
+
     /// A wavelength fails at `now`.
     fn on_lane_down(&mut self, lane: usize, now: u64) {
         let stochastic = self.sim.faults.as_ref().and_then(|p| p.stochastic);
@@ -2144,6 +2454,7 @@ impl<'a, P: SimProbe, T: EngineTap> RunState<'a, P, T> {
         self.s.arbiter.set_down(lane, true);
         self.tap.lane_event(now, lane, true);
         self.probe.lane_event(now, lane, true);
+        self.try_heal(lane, now);
     }
 
     /// A wavelength recovers at `now`.
@@ -2352,6 +2663,11 @@ impl<'a, P: SimProbe, T: EngineTap> RunState<'a, P, T> {
             if self.mode == ReportMode::Full && matches!(self.sim.mode, WavelengthMode::Static(_)) {
                 let w = self.sim.wavelengths as u64;
                 let id = self.base - 1;
+                // The flow's *current* nominal lanes. Spans were always
+                // recorded this way (a partial outage narrows the lanes
+                // an attempt drives without narrowing the span); under a
+                // mid-run heal the approximation extends to messages
+                // retired after the swap.
                 let mask = self.s.flow_lane_masks[flow];
                 let (lo, hi) = (
                     self.s.path_offsets[flow] as usize,
@@ -2539,6 +2855,43 @@ mod tests {
         assert_eq!(report.accepted_throughput(), 0.0);
         assert_eq!(report.latency().count, 0);
         assert_eq!(report.injection, InjectionMode::Open);
+    }
+
+    #[test]
+    fn restricted_flow_rows_are_bit_identical_to_the_full_table() {
+        // A trace over three flows, replayed with the route/mask build
+        // restricted to exactly those rows: the reports must match the
+        // full-table run bit for bit, in both modes and both report
+        // depths.
+        let events = vec![
+            event(0, 0, 3, 96.0),
+            event(4, 5, 2, 128.0),
+            event(9, 0, 3, 64.0),
+            event(15, 11, 12, 256.0),
+        ];
+        let mut rows: Vec<u32> = events
+            .iter()
+            .map(|e| (e.src.0 * 16 + e.dst.0) as u32)
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        for mode in [
+            dynamic_single(),
+            WavelengthMode::Static(StaticFlowMap::striped(16, 4, 1)),
+        ] {
+            let sim = OpenLoopSimulator::new(ring16(), 4, rate(), mode);
+            for depth in [ReportMode::Full, ReportMode::Streaming] {
+                let full = sim
+                    .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), depth)
+                    .unwrap();
+                let mut scratch = SimScratch::new();
+                scratch.set_flow_rows(Some(rows.clone()));
+                let restricted = sim
+                    .run_with_scratch(events.clone().into_iter(), &mut scratch, depth)
+                    .unwrap();
+                assert_eq!(full, restricted, "{depth:?} drifted under flow rows");
+            }
+        }
     }
 
     #[test]

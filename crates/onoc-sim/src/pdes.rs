@@ -60,7 +60,7 @@ use std::sync::mpsc::{Receiver, SyncSender, sync_channel};
 
 use onoc_topology::{DirectedSegment, NodeId, segment_count};
 
-use crate::fault::DropFact;
+use crate::fault::{CorruptionModel, DropFact};
 use crate::injection::{InjectionMode, SourceGate};
 use crate::openloop::{
     EngineTap, OpenLoopError, OpenLoopSimulator, ReportMode, SimScratch, TrafficEvent,
@@ -758,7 +758,11 @@ impl<'a, P: SimProbe> Merger<'a, P> {
 /// genuinely shardable. Dynamic arbitration (global lane claims), ECN
 /// (global occupancy feedback), and PFC (receiver-side pools drained
 /// across all sources) are not; `run_parallel` falls back to the serial
-/// engine for them.
+/// engine for them. Self-healing configurations that can actually act —
+/// a re-pack policy or a quarantine threshold — mutate the global flow
+/// map (and lane timeline) mid-run, and Gilbert–Elliott corruption
+/// consults a lazily-drawn per-lane state machine; both run serially
+/// until the merger learns to replicate them (see ROADMAP).
 fn shardable(sim: &OpenLoopSimulator) -> bool {
     matches!(sim.mode, WavelengthMode::Static(_))
         && matches!(
@@ -768,6 +772,16 @@ fn shardable(sim: &OpenLoopSimulator) -> bool {
         && matches!(
             sim.transport,
             TransportMode::None | TransportMode::GoBackN { .. }
+        )
+        && sim
+            .healing
+            .is_none_or(|h| h.policy == onoc_wa::HealPolicy::Park && h.ber_threshold.is_none())
+        && !matches!(
+            sim.faults,
+            Some(crate::fault::FaultPlan {
+                corruption: CorruptionModel::GilbertElliott { .. },
+                ..
+            })
         )
 }
 

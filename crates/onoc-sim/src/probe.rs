@@ -24,7 +24,7 @@
 
 use onoc_topology::NodeId;
 
-use crate::fault::DropFact;
+use crate::fault::{DropFact, HealFact};
 use crate::report::{LatencyHistogram, MsgRecord};
 
 /// A transmission fact: one message began (or finished) driving its
@@ -140,6 +140,14 @@ pub trait SimProbe {
         let _ = (now, lane, down);
     }
 
+    /// The self-healing allocator ran: a lane loss (or BER-threshold
+    /// degradation) triggered an incremental re-pack. Fires after the
+    /// triggering `lane_event`, whether or not the heal was feasible.
+    #[inline]
+    fn heal(&mut self, fact: HealFact) {
+        let _ = fact;
+    }
+
     /// The run drained; `horizon` is the cycle of the last completion and
     /// `last_injection` the last offered cycle.
     #[inline]
@@ -213,6 +221,12 @@ impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
     }
 
     #[inline]
+    fn heal(&mut self, fact: HealFact) {
+        self.0.heal(fact);
+        self.1.heal(fact);
+    }
+
+    #[inline]
     fn finished(&mut self, horizon: u64, last_injection: u64) {
         self.0.finished(horizon, last_injection);
         self.1.finished(horizon, last_injection);
@@ -265,6 +279,11 @@ impl<P: SimProbe + ?Sized> SimProbe for &mut P {
     #[inline]
     fn lane_event(&mut self, now: u64, lane: usize, down: bool) {
         (**self).lane_event(now, lane, down);
+    }
+
+    #[inline]
+    fn heal(&mut self, fact: HealFact) {
+        (**self).heal(fact);
     }
 
     #[inline]
@@ -344,6 +363,7 @@ mod tests {
         lost: usize,
         recovered: usize,
         lane_events: usize,
+        heals: usize,
         finished: usize,
         bits: f64,
     }
@@ -376,6 +396,9 @@ mod tests {
         }
         fn lane_event(&mut self, _: u64, _: usize, _: bool) {
             self.lane_events += 1;
+        }
+        fn heal(&mut self, _: HealFact) {
+            self.heals += 1;
         }
         fn finished(&mut self, _: u64, _: u64) {
             self.finished += 1;
@@ -428,6 +451,17 @@ mod tests {
         pair.lost(&record(5, 15), 64.0, 2);
         pair.recovered(&record(5, 15), 2, 10);
         pair.lane_event(7, 0, true);
+        pair.heal(HealFact {
+            at: 7,
+            lane: 0,
+            policy: onoc_wa::HealPolicy::RePackStrict,
+            affected: 1,
+            moved: 1,
+            shared: 0,
+            restarted: 0,
+            stall_cycles: 0,
+            feasible: true,
+        });
         pair.finished(15, 5);
         assert_eq!(pair.0, pair.1);
         assert_eq!(pair.0.offered, 1);
@@ -437,6 +471,7 @@ mod tests {
         assert_eq!(pair.0.lost, 1);
         assert_eq!(pair.0.recovered, 1);
         assert_eq!(pair.0.lane_events, 1);
+        assert_eq!(pair.0.heals, 1);
         assert_eq!(pair.0.bits, 64.0);
         assert_eq!(pair.0.finished, 1);
     }

@@ -60,7 +60,7 @@ use std::collections::VecDeque;
 
 use onoc_topology::NodeId;
 
-use crate::fault::DropFact;
+use crate::fault::{DropFact, HealFact};
 use crate::probe::{SimProbe, TxFact};
 use crate::report::{LatencyHistogram, LatencyStats, MsgRecord};
 
@@ -845,10 +845,11 @@ impl<F: FnMut(&WindowStats)> SimProbe for StreamingTimeSeriesProbe<F> {
 /// destination, bits, hops, lane count, gate stall and NI queueing as
 /// `args`. Under fault injection the trace is enriched: retirements
 /// that needed retransmission carry an `attempts` arg, every dropped
-/// attempt renders as an instant ("i") event on its source track, and
-/// lane outages render as duration spans on a separate `pid:1`
-/// process with one track per lane. Fault-free runs produce exactly
-/// the pre-fault document.
+/// attempt renders as an instant ("i") event on its source track, lane
+/// outages render as duration spans on a separate `pid:1` process with
+/// one track per lane, and every mid-run heal as a process-scoped
+/// instant on the healed lane's track of that process. Fault-free runs
+/// produce exactly the pre-fault document.
 #[derive(Debug, Clone, Default)]
 pub struct ChromeTraceProbe {
     events: Vec<(MsgRecord, f64, usize)>,
@@ -857,6 +858,8 @@ pub struct ChromeTraceProbe {
     lane_spans: Vec<(usize, u64, u64)>,
     /// Lanes currently down: `(lane, since)`.
     lane_open: Vec<(usize, u64)>,
+    /// Mid-run heals, rendered as instants on the fault process.
+    heals: Vec<HealFact>,
     horizon: u64,
 }
 
@@ -951,6 +954,26 @@ impl ChromeTraceProbe {
                 dur = up - down,
             ));
         }
+        for h in &self.heals {
+            if !core::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"heal {policy}\",\"cat\":\"heal\",\"ph\":\"i\",\"s\":\"p\",\
+                 \"ts\":{ts},\"pid\":1,\"tid\":{lane},\
+                 \"args\":{{\"affected\":{affected},\"moved\":{moved},\"shared\":{shared},\
+                 \"restarted\":{restarted},\"stall_cycles\":{stall},\"feasible\":{feasible}}}}}",
+                policy = h.policy,
+                ts = h.at,
+                lane = h.lane,
+                affected = h.affected,
+                moved = h.moved,
+                shared = h.shared,
+                restarted = h.restarted,
+                stall = h.stall_cycles,
+                feasible = h.feasible,
+            ));
+        }
         out.push_str("]}");
         out
     }
@@ -975,6 +998,11 @@ impl SimProbe for ChromeTraceProbe {
             let (_, since) = self.lane_open.swap_remove(pos);
             self.lane_spans.push((lane, since, now));
         }
+    }
+
+    #[inline]
+    fn heal(&mut self, fact: HealFact) {
+        self.heals.push(fact);
     }
 
     #[inline]

@@ -4,9 +4,9 @@
 //! their seed, and the reliability probe's fold agrees with the report.
 
 use onoc_sim::{
-    DynamicPolicy, FaultPlan, InjectionMode, LaneFault, OpenLoopSimulator, ReliabilityProbe,
-    ReportMode, SimScratch, StaticFlowMap, StochasticFaults, TrafficEvent, TransportMode,
-    WavelengthMode,
+    DynamicPolicy, FaultPlan, HealPolicy, HealingConfig, InjectionMode, LaneFault,
+    OpenLoopSimulator, ReliabilityProbe, ReportMode, SimScratch, StaticFlowMap, StochasticFaults,
+    TrafficEvent, TransportMode, WavelengthMode,
 };
 use onoc_topology::{NodeId, RingTopology};
 use onoc_units::{Bits, BitsPerCycle};
@@ -162,6 +162,119 @@ proptest::proptest! {
         prop_assert_eq!(report.lost_messages, 0);
         prop_assert_eq!(report.failed_attempts, 0);
         prop_assert!((report.delivered_bits - offered).abs() < 1e-6);
+    }
+}
+
+fn static_sim(wavelengths: usize, injection: InjectionMode) -> OpenLoopSimulator {
+    OpenLoopSimulator::with_injection(
+        RingTopology::new(16),
+        wavelengths,
+        BitsPerCycle::new(1.0),
+        WavelengthMode::Static(StaticFlowMap::striped(16, wavelengths, 1)),
+        injection,
+    )
+}
+
+proptest::proptest! {
+    /// Healing disabled — the default [`HealingConfig`] (park policy, no
+    /// quarantine threshold) — is bit-identical to the engine without a
+    /// healing config, across injection modes and fault-plan shapes.
+    #[test]
+    fn park_healing_is_bit_identical_to_the_plain_engine(
+        seed in 0u64..40,
+        wavelengths in 2usize..5,
+        policy in 0usize..4,
+        plan_kind in 0usize..4,
+    ) {
+        use proptest::prelude::*;
+        let injection = match policy {
+            0 => InjectionMode::Open,
+            1 => InjectionMode::Credit { window: 2 },
+            2 => InjectionMode::CreditPerDst { window: 2 },
+            _ => InjectionMode::Ecn { threshold: 0.2 },
+        };
+        let plan = match plan_kind {
+            0 => FaultPlan::new(seed).with_scheduled(LaneFault {
+                lane: 0,
+                at: 40,
+                duration: 120,
+            }),
+            1 => FaultPlan::new(seed).with_stochastic(StochasticFaults {
+                mean_up: 250.0,
+                mean_down: 40.0,
+                horizon: 2_000,
+            }),
+            2 => FaultPlan::new(seed).with_ber(1e-4),
+            _ => FaultPlan::new(seed).with_ber(1e-4).with_scheduled(LaneFault {
+                lane: 1,
+                at: 60,
+                duration: u64::MAX,
+            }),
+        };
+        let events = corpus(seed, 60);
+        let plain = static_sim(wavelengths, injection)
+            .with_faults(plan.clone())
+            .with_transport(TransportMode::go_back_n());
+        let healed = static_sim(wavelengths, injection)
+            .with_faults(plan)
+            .with_transport(TransportMode::go_back_n())
+            .with_healing(HealingConfig::default());
+        for mode in [ReportMode::Full, ReportMode::Streaming] {
+            let a = plain
+                .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), mode)
+                .unwrap();
+            let b = healed
+                .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), mode)
+                .unwrap();
+            prop_assert_eq!(&a, &b, "{:?} report drifted under park healing", mode);
+        }
+    }
+
+    /// Mid-run re-allocation conserves traffic: under a permanent outage
+    /// with a re-pack heal (strict or relaxed), every offered message is
+    /// delivered or lost and every offered bit is accounted exactly once.
+    #[test]
+    fn healed_runs_conserve_offered_bits(
+        seed in 0u64..40,
+        wavelengths in 2usize..5,
+        relaxed in 0usize..2,
+    ) {
+        use proptest::prelude::*;
+        let events = corpus(seed, 60);
+        let offered: f64 = events.iter().map(|e| e.volume.value()).sum();
+        let policy = if relaxed == 1 {
+            HealPolicy::RePackRelaxed
+        } else {
+            HealPolicy::RePackStrict
+        };
+        let sim = static_sim(wavelengths, InjectionMode::Open)
+            .with_faults(
+                FaultPlan::new(seed)
+                    .with_ber(1e-4)
+                    .with_scheduled(LaneFault {
+                        lane: 0,
+                        at: 80,
+                        duration: u64::MAX,
+                    }),
+            )
+            .with_transport(TransportMode::go_back_n())
+            .with_healing(HealingConfig {
+                policy,
+                ber_threshold: None,
+            });
+        let a = sim
+            .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), ReportMode::Full)
+            .unwrap();
+        let b = sim
+            .run_with_scratch(events.clone().into_iter(), &mut SimScratch::new(), ReportMode::Full)
+            .unwrap();
+        prop_assert_eq!(&a, &b, "a healed run must replay exactly");
+        prop_assert_eq!(a.message_count + a.lost_messages, events.len());
+        prop_assert!(
+            (a.delivered_bits + a.lost_bits - offered).abs() < 1e-6,
+            "offered {} != delivered {} + lost {}",
+            offered, a.delivered_bits, a.lost_bits
+        );
     }
 }
 
@@ -342,4 +455,138 @@ fn golden_seeded_fault_schedule() {
         summary, "messages=5 lost=0 failed=2 retx=224.0 delivered=448.0 horizon=352",
         "seeded fault schedule drifted"
     );
+}
+
+/// The tentpole guarantee, pinned: under a permanent mid-run outage a
+/// re-pack heal delivers strictly more goodput and strictly fewer lost
+/// bits than parking, because parked flows never transmit again while
+/// re-packed flows resume on surviving lanes.
+#[test]
+fn repack_outperforms_park_under_permanent_outage() {
+    let events: Vec<_> = (0..10).map(|i| event(i * 40, 0, 1, 32.0)).collect();
+    // Flow 0→1 is striped onto a single lane; find it by running clean.
+    let clean = static_sim(8, InjectionMode::Open)
+        .run(events.clone().into_iter())
+        .unwrap();
+    let lane = clean.lane_busy.iter().position(|&b| b > 0).unwrap();
+    let run = |policy: HealPolicy| {
+        static_sim(8, InjectionMode::Open)
+            .with_faults(FaultPlan::new(9).with_scheduled(LaneFault {
+                lane,
+                at: 50,
+                duration: u64::MAX,
+            }))
+            .with_healing(HealingConfig {
+                policy,
+                ber_threshold: None,
+            })
+            .run(events.clone().into_iter())
+            .unwrap()
+    };
+    let park = run(HealPolicy::Park);
+    let repack = run(HealPolicy::RePackRelaxed);
+    assert!(
+        repack.delivered_bits > park.delivered_bits,
+        "re-pack goodput {} must beat park {}",
+        repack.delivered_bits,
+        park.delivered_bits
+    );
+    assert!(
+        repack.lost_bits < park.lost_bits,
+        "re-pack lost {} must undercut park {}",
+        repack.lost_bits,
+        park.lost_bits
+    );
+    // Both runs still conserve the offered traffic.
+    for r in [&park, &repack] {
+        assert_eq!(r.message_count + r.lost_messages, events.len());
+        assert!((r.delivered_bits + r.lost_bits - 320.0).abs() < 1e-9);
+    }
+}
+
+/// The reliability probe folds heal facts into first-class recovery
+/// figures: outages opened, heals applied, flows moved, and per-outage
+/// recovery latency with percentile SLOs.
+#[test]
+fn reliability_probe_tracks_heals_and_recovery() {
+    let events: Vec<_> = (0..10).map(|i| event(i * 40, 0, 1, 32.0)).collect();
+    let clean = static_sim(8, InjectionMode::Open)
+        .run(events.clone().into_iter())
+        .unwrap();
+    let lane = clean.lane_busy.iter().position(|&b| b > 0).unwrap();
+    let mut probe = ReliabilityProbe::new(8);
+    static_sim(8, InjectionMode::Open)
+        .with_faults(FaultPlan::new(9).with_scheduled(LaneFault {
+            lane,
+            at: 50,
+            duration: u64::MAX,
+        }))
+        .with_healing(HealingConfig {
+            policy: HealPolicy::RePackRelaxed,
+            ber_threshold: None,
+        })
+        .run_with_scratch_probed(
+            events.into_iter(),
+            &mut SimScratch::new(),
+            ReportMode::Full,
+            &mut probe,
+        )
+        .unwrap();
+    let rel = probe.report();
+    assert_eq!(rel.outages, 1, "one permanent outage opened");
+    assert_eq!(rel.heals, 1, "the outage healed exactly once");
+    assert!(rel.flows_moved >= 1, "the dark lane's flows moved");
+    assert_eq!(rel.outage_recovery.count as u64, rel.outages);
+    // The heal lands at the outage cycle itself: recovery is immediate,
+    // and the percentile ladder is ordered.
+    assert!(rel.outage_recovery.p50 <= rel.outage_recovery.p95);
+    assert!(rel.outage_recovery.p95 <= rel.outage_recovery.p99);
+    assert!(rel.outage_recovery.max as f64 >= rel.outage_recovery.p99);
+}
+
+/// A Gilbert–Elliott channel above the quarantine threshold degrades a
+/// lane, the engine takes it administratively down, and a re-pack heal
+/// moves traffic off it — end to end from BER draw to heal fact.
+#[test]
+fn gilbert_elliott_quarantine_triggers_a_heal() {
+    let events: Vec<_> = (0..40).map(|i| event(i * 24, 0, 1, 48.0)).collect();
+    let mut probe = ReliabilityProbe::new(4);
+    let report = static_sim(4, InjectionMode::Open)
+        .with_faults(FaultPlan::new(21).with_gilbert_elliott(0.02, 0.01, 0.0, 0.2))
+        .with_transport(TransportMode::go_back_n())
+        .with_healing(HealingConfig {
+            policy: HealPolicy::RePackRelaxed,
+            ber_threshold: Some(0.1),
+        })
+        .run_with_scratch_probed(
+            events.into_iter(),
+            &mut SimScratch::new(),
+            ReportMode::Full,
+            &mut probe,
+        )
+        .unwrap();
+    let rel = probe.report();
+    assert!(
+        report.failed_attempts >= 1,
+        "the bad state must corrupt at least one attempt"
+    );
+    assert!(rel.outages >= 1, "corruption must quarantine the lane");
+    assert!(rel.heals >= 1, "quarantine must trigger a heal");
+    assert_eq!(rel.outage_recovery.count as u64, rel.outages);
+    // The run replays bit-identically from its seed.
+    let again = static_sim(4, InjectionMode::Open)
+        .with_faults(FaultPlan::new(21).with_gilbert_elliott(0.02, 0.01, 0.0, 0.2))
+        .with_transport(TransportMode::go_back_n())
+        .with_healing(HealingConfig {
+            policy: HealPolicy::RePackRelaxed,
+            ber_threshold: Some(0.1),
+        })
+        .run(
+            (0..40)
+                .map(|i| event(i * 24, 0, 1, 48.0))
+                .collect::<Vec<_>>()
+                .into_iter(),
+        )
+        .unwrap();
+    assert_eq!(report, again, "a seeded quarantine run must replay exactly");
 }

@@ -18,8 +18,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use onoc_sim::{
-    AimdParams, DynamicPolicy, EnergyProbe, EnergyReport, FaultPlan, InjectionMode, LatencyStats,
-    OpenLoopSimulator, ReportMode, SimScratch, StaticFlowMap, TransportMode, WavelengthMode,
+    AimdParams, DynamicPolicy, EnergyProbe, EnergyReport, FaultPlan, HealingConfig, InjectionMode,
+    LatencyStats, OpenLoopSimulator, ReliabilityProbe, ReportMode, SimScratch, StaticFlowMap,
+    TransportMode, WavelengthMode,
 };
 use onoc_topology::RingTopology;
 use onoc_units::{Bits, BitsPerCycle};
@@ -64,6 +65,10 @@ pub struct SweepGrid {
     /// Reliable-transport recovery mode layered over the injection
     /// policy (defaults to no recovery).
     pub transport: TransportMode,
+    /// Optional self-healing configuration shared by every scenario.
+    /// Re-pack policies require [`SweepGrid::static_map`] (the engine
+    /// asserts this); inert without [`SweepGrid::faults`].
+    pub healing: Option<HealingConfig>,
     /// ECN AIMD pacing constants (only read in ECN injection mode).
     pub aimd: AimdParams,
     /// Intra-run PDES workers per scenario (1 = the serial engine).
@@ -97,6 +102,7 @@ impl SweepGrid {
             energy: None,
             faults: None,
             transport: TransportMode::None,
+            healing: None,
             aimd: AimdParams::default(),
             workers: 1,
             static_map: None,
@@ -179,6 +185,18 @@ pub struct ScenarioResult {
     pub lost: usize,
     /// Bits spent on failed attempts (wasted fabric traffic).
     pub retransmitted_bits: f64,
+    /// Lane outages the run observed (scheduled, stochastic or
+    /// quarantine; 0 without faults).
+    pub outages: u64,
+    /// Mid-run heals applied (0 without a re-pack healing policy).
+    pub heals: u64,
+    /// Median per-outage recovery latency in cycles (lane-down to
+    /// goodput restored; 0 without outages).
+    pub recovery_p50: f64,
+    /// 95th-percentile recovery latency in cycles.
+    pub recovery_p95: f64,
+    /// 99th-percentile recovery latency in cycles (the SLO figure).
+    pub recovery_p99: f64,
 }
 
 /// A finished sweep: per-scenario results in grid order plus parallelism
@@ -200,7 +218,8 @@ impl SweepOutcome {
         offered_bits_per_cycle,accepted_bits_per_cycle,messages,blocked,\
         latency_mean,latency_p50,latency_p95,latency_p99,latency_max,occupancy,\
         stall_mean,credit_occupancy,energy_pj_per_bit,energy_static_frac,\
-        failed_attempts,lost,retx_bits";
+        failed_attempts,lost,retx_bits,outages,heals,recovery_p50,\
+        recovery_p95,recovery_p99";
 
     /// Renders every result as one CSV row (no header).
     #[must_use]
@@ -209,7 +228,7 @@ impl SweepOutcome {
             .iter()
             .map(|r| {
                 format!(
-                    "{},{},{},{},{:.3},{:.3},{},{},{:.2},{:.2},{:.2},{:.2},{},{:.5},{:.2},{:.5},{:.4},{:.4},{},{},{:.1}",
+                    "{},{},{},{},{:.3},{:.3},{},{},{:.2},{:.2},{:.2},{:.2},{},{:.5},{:.2},{:.5},{:.4},{:.4},{},{},{:.1},{},{},{:.1},{:.1},{:.1}",
                     r.scenario.pattern.name(),
                     r.scenario.nodes,
                     r.scenario.wavelengths,
@@ -231,6 +250,11 @@ impl SweepOutcome {
                     r.failed_attempts,
                     r.lost,
                     r.retransmitted_bits,
+                    r.outages,
+                    r.heals,
+                    r.recovery_p50,
+                    r.recovery_p95,
+                    r.recovery_p99,
                 )
             })
             .collect()
@@ -251,7 +275,9 @@ impl SweepOutcome {
                      \"p99\": {:.2}, \"max\": {}}}, \"occupancy\": {:.5}, \
                      \"stall_mean\": {:.2}, \"credit_occupancy\": {:.5}, \
                      \"energy_pj_per_bit\": {:.4}, \"energy_static_frac\": {:.4}, \
-                     \"failed_attempts\": {}, \"lost\": {}, \"retx_bits\": {:.1}}}",
+                     \"failed_attempts\": {}, \"lost\": {}, \"retx_bits\": {:.1}, \
+                     \"outages\": {}, \"heals\": {}, \"recovery\": {{\"p50\": {:.1}, \
+                     \"p95\": {:.1}, \"p99\": {:.1}}}}}",
                     r.scenario.pattern.name(),
                     r.scenario.nodes,
                     r.scenario.wavelengths,
@@ -273,6 +299,11 @@ impl SweepOutcome {
                     r.failed_attempts,
                     r.lost,
                     r.retransmitted_bits,
+                    r.outages,
+                    r.heals,
+                    r.recovery_p50,
+                    r.recovery_p95,
+                    r.recovery_p99,
                 )
             })
             .collect();
@@ -376,24 +407,46 @@ pub fn run_scenario_phased(
     if let Some(plan) = &grid.faults {
         sim = sim.with_faults(plan.clone());
     }
+    if let Some(healing) = grid.healing {
+        sim = sim.with_healing(healing);
+    }
     let sim = sim;
     let parallel = grid.workers > 1;
+    if !parallel {
+        // Serial runs adopt the PDES workers' restricted table build:
+        // route/mask rows only for the flows this trace actually
+        // injects, O(active flows) instead of O(nodes²) setup work.
+        let mut rows: Vec<u32> = trace
+            .events()
+            .iter()
+            .map(|e| {
+                #[allow(clippy::cast_possible_truncation)]
+                let row = (e.src.0 * scenario.nodes + e.dst.0) as u32;
+                row
+            })
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        scratch.set_flow_rows(Some(rows));
+    }
+    let mut rel = ReliabilityProbe::new(scenario.wavelengths);
     let (report, energy): (_, Option<EnergyReport>) = match &grid.energy {
         Some(model) => {
             let mut probe = EnergyProbe::new(model.clone(), scenario.nodes, scenario.wavelengths);
+            let mut pair = (&mut probe, &mut rel);
             let report = if parallel {
                 sim.run_parallel_probed(
                     trace.source(),
                     grid.workers,
                     ReportMode::Streaming,
-                    &mut probe,
+                    &mut pair,
                 )
             } else {
                 sim.run_with_scratch_probed(
                     trace.source(),
                     scratch,
                     ReportMode::Streaming,
-                    &mut probe,
+                    &mut pair,
                 )
             }
             .expect("generated traces are ordered and non-degenerate");
@@ -401,14 +454,25 @@ pub fn run_scenario_phased(
         }
         None => (
             if parallel {
-                sim.run_parallel(trace.source(), grid.workers, ReportMode::Streaming)
+                sim.run_parallel_probed(
+                    trace.source(),
+                    grid.workers,
+                    ReportMode::Streaming,
+                    &mut rel,
+                )
             } else {
-                sim.run_with_scratch(trace.source(), scratch, ReportMode::Streaming)
+                sim.run_with_scratch_probed(
+                    trace.source(),
+                    scratch,
+                    ReportMode::Streaming,
+                    &mut rel,
+                )
             }
             .expect("generated traces are ordered and non-degenerate"),
             None,
         ),
     };
+    let rel = rel.report();
     let simulate_ms = elapsed_ms(simulate_start);
     let report_start = Instant::now();
     let result = ScenarioResult {
@@ -426,6 +490,11 @@ pub fn run_scenario_phased(
         failed_attempts: report.failed_attempts,
         lost: report.lost_messages,
         retransmitted_bits: report.retransmitted_bits,
+        outages: rel.outages,
+        heals: rel.heals,
+        recovery_p50: rel.outage_recovery.p50,
+        recovery_p95: rel.outage_recovery.p95,
+        recovery_p99: rel.outage_recovery.p99,
     };
     let phases = ScenarioPhases {
         setup_ms,
@@ -668,6 +737,7 @@ mod tests {
             energy: None,
             faults: None,
             transport: TransportMode::None,
+            healing: None,
             aimd: AimdParams::default(),
             workers: 1,
             static_map: None,
@@ -831,6 +901,52 @@ mod tests {
     }
 
     #[test]
+    fn healing_sweep_populates_recovery_columns_and_beats_parking() {
+        use onoc_sim::{HealPolicy, LaneFault};
+        let grid = |policy: HealPolicy| SweepGrid {
+            static_map: Some(StaticFlowMap::striped(16, 4, 1)),
+            faults: Some(FaultPlan::new(5).with_scheduled(LaneFault {
+                lane: 0,
+                at: 500,
+                duration: u64::MAX,
+            })),
+            healing: Some(HealingConfig {
+                policy,
+                ber_threshold: None,
+            }),
+            patterns: vec![TrafficPattern::UniformRandom],
+            injection_rates: vec![0.02],
+            wavelengths: vec![4],
+            ring_sizes: vec![16],
+            horizon: 4_000,
+            ..tiny_grid()
+        };
+        let park = run_sweep(&grid(HealPolicy::Park), 2);
+        let repack = run_sweep(&grid(HealPolicy::RePackRelaxed), 2);
+        let (p, r) = (&park.results[0], &repack.results[0]);
+        // Both observe the outage; only the re-pack heals, and its
+        // recovery latency is the finite heal delay rather than the
+        // horizon-censored park figure.
+        assert_eq!(p.outages, 1);
+        assert_eq!(r.outages, 1);
+        assert_eq!(p.heals, 0);
+        assert_eq!(r.heals, 1);
+        assert!(r.recovery_p99 <= p.recovery_p99);
+        assert!(
+            r.accepted_throughput > p.accepted_throughput,
+            "re-pack throughput {} must beat park {}",
+            r.accepted_throughput,
+            p.accepted_throughput
+        );
+        assert!(r.lost < p.lost);
+        // The healing sweep replays across thread counts.
+        assert_eq!(
+            run_sweep(&grid(HealPolicy::RePackRelaxed), 1).results,
+            repack.results
+        );
+    }
+
+    #[test]
     fn energy_model_populates_the_energy_columns_deterministically() {
         use onoc_sim::EnergyModel;
         let grid = SweepGrid {
@@ -912,6 +1028,7 @@ mod tests {
             energy: None,
             faults: None,
             transport: TransportMode::None,
+            healing: None,
             aimd: AimdParams::default(),
             workers: 1,
             static_map: None,

@@ -124,7 +124,11 @@ pub fn assign_disjoint_lanes(
 }
 
 /// Wavelengths already held by item `k`'s conflict neighbours.
-fn conflict_neighbour_mask(k: usize, conflicts: &[(usize, usize)], masks: &[u128]) -> u128 {
+pub(crate) fn conflict_neighbour_mask(
+    k: usize,
+    conflicts: &[(usize, usize)],
+    masks: &[u128],
+) -> u128 {
     conflicts.iter().fold(0u128, |m, &(a, b)| {
         if a == k {
             m | masks[b]
@@ -140,7 +144,7 @@ fn conflict_neighbour_mask(k: usize, conflicts: &[(usize, usize)], masks: &[u128
 /// disjoint from `occupied`, lowest index first, into `lanes`/`mask`.
 /// Returns how many were assigned (less than `count` when the
 /// neighbourhood exhausted the comb).
-fn fill_free_lanes(
+pub(crate) fn fill_free_lanes(
     occupied: u128,
     count: usize,
     wavelengths: usize,

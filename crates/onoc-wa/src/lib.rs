@@ -62,6 +62,7 @@ mod evaluator;
 pub mod exhaustive;
 pub mod explore;
 pub mod heuristics;
+pub mod incremental;
 mod instance;
 pub mod local_search;
 pub mod mapping_search;
@@ -71,6 +72,7 @@ mod pareto;
 pub use allocation::{Allocation, AllocationError};
 pub use constraints::{ValidityChecker, Violation};
 pub use evaluator::{EvalError, Evaluator, ObjectiveSet, Objectives};
+pub use incremental::{HealOutcome, HealPolicy, reassign_flows_on_lane_loss};
 pub use instance::{EvalOptions, InstanceError, ProblemInstance};
 pub use nsga2::crowding as nsga2_crowding;
 pub use nsga2::operators as nsga2_operators;
