@@ -6,8 +6,9 @@
 //! the headline *saturation sweep* (the full rate ramp on uniform
 //! traffic, at paper scale and at the 32-node "beyond paper" scale), and
 //! a matrix of injection policy × pattern × comb size scenarios
-//! (open/credit/ECN × uniform/hotspot × 4/8 λ). All scenarios run the
-//! streaming sweep path single-threaded, so wall times measure the
+//! (open/credit/ECN × uniform/hotspot × 4/8 λ), plus one online-serve
+//! scenario timing the allocation service's incremental grant/release
+//! loop. All scenarios run single-threaded, so wall times measure the
 //! engine, not the thread pool.
 //!
 //! `check_regressions` compares a fresh run against a committed baseline
@@ -35,13 +36,43 @@ pub const BENCH_SCHEMA: &str = "onoc-bench/v1";
 /// Default artifact path, relative to the repository root.
 pub const BENCH_DEFAULT_PATH: &str = "BENCH_sim_core.json";
 
-/// One pinned benchmark scenario: a named sweep grid.
+/// The workload behind one pinned scenario: most time the streaming
+/// sweep engine over a grid; the online-serve scenario times the
+/// incremental grant/release loop instead.
+#[derive(Debug, Clone)]
+pub enum BenchWork {
+    /// A streaming sweep over the grid's points (boxed: a grid is an
+    /// order of magnitude larger than the serve pair).
+    Sweep(Box<SweepGrid>),
+    /// An online allocation-service replay: seeded Poisson churn driven
+    /// through the occupancy ledger.
+    Serve {
+        /// The service-loop configuration.
+        config: onoc_serve::ServiceConfig,
+        /// The seeded session churn the loop replays.
+        churn: onoc_serve::PoissonWorkload,
+    },
+}
+
+/// One pinned benchmark scenario: a named workload.
 #[derive(Debug, Clone)]
 pub struct BenchScenario {
     /// Stable scenario id (baseline comparisons key on it).
     pub name: String,
-    /// The sweep this scenario times.
-    pub grid: SweepGrid,
+    /// The workload this scenario times.
+    pub work: BenchWork,
+}
+
+impl BenchScenario {
+    /// The sweep grid behind a sweep scenario (`None` for the serve
+    /// scenario).
+    #[must_use]
+    pub fn grid(&self) -> Option<&SweepGrid> {
+        match &self.work {
+            BenchWork::Sweep(grid) => Some(grid),
+            BenchWork::Serve { .. } => None,
+        }
+    }
 }
 
 /// Measured outcome of one pinned scenario.
@@ -105,15 +136,15 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
         // The headline saturation sweeps: paper scale and beyond.
         BenchScenario {
             name: "saturation-sweep-16n".into(),
-            grid: base.clone(),
+            work: BenchWork::Sweep(Box::new(base.clone())),
         },
         BenchScenario {
             name: "saturation-sweep-32n".into(),
-            grid: SweepGrid {
+            work: BenchWork::Sweep(Box::new(SweepGrid {
                 ring_sizes: vec![32],
                 energy: Some(EnergyModel::paper(32, 8)),
                 ..base.clone()
-            },
+            })),
         },
     ];
     // The injection × pattern × comb matrix at paper scale.
@@ -133,14 +164,14 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
             for wavelengths in [4usize, 8] {
                 out.push(BenchScenario {
                     name: format!("{inj_name}-{pat_name}-{wavelengths}l"),
-                    grid: SweepGrid {
+                    work: BenchWork::Sweep(Box::new(SweepGrid {
                         patterns: vec![pattern.clone()],
                         injection_rates: vec![0.01, 0.04],
                         wavelengths: vec![wavelengths],
                         horizon: scale(40_000),
                         injection,
                         ..base.clone()
-                    },
+                    })),
                 });
             }
         }
@@ -150,13 +181,13 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
     // wall-time and energy trajectory (retransmitted bits burn pJ).
     out.push(BenchScenario {
         name: "gbn-fault-8l".into(),
-        grid: SweepGrid {
+        work: BenchWork::Sweep(Box::new(SweepGrid {
             injection_rates: vec![0.01, 0.04],
             horizon: scale(40_000),
             faults: Some(FaultPlan::new(2017).with_ber(1e-4)),
             transport: TransportMode::go_back_n(),
             ..base.clone()
-        },
+        })),
     });
     // The self-healing scenario: a permanent mid-run lane outage on a
     // striped static map, healed by the relaxed re-pack — tracks the
@@ -164,7 +195,7 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
     // as its own wall-time record.
     out.push(BenchScenario {
         name: "heal-perm-fault".into(),
-        grid: SweepGrid {
+        work: BenchWork::Sweep(Box::new(SweepGrid {
             injection_rates: vec![0.04],
             horizon: scale(40_000),
             faults: Some(FaultPlan::new(2017).with_scheduled(LaneFault {
@@ -179,7 +210,7 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
             }),
             static_map: Some(StaticFlowMap::striped(16, 8, 1)),
             ..base.clone()
-        },
+        })),
     });
     // The PDES scale pair: one 256-node tornado scenario in static
     // wavelength mode, run serial and at 4 intra-run workers. Same grid
@@ -198,13 +229,38 @@ pub fn pinned_scenarios(quick: bool) -> Vec<BenchScenario> {
     };
     out.push(BenchScenario {
         name: "serial-256n".into(),
-        grid: tornado_256.clone(),
+        work: BenchWork::Sweep(Box::new(tornado_256.clone())),
     });
     out.push(BenchScenario {
         name: "pdes-256n-4w".into(),
-        grid: SweepGrid {
+        work: BenchWork::Sweep(Box::new(SweepGrid {
             workers: 4,
             ..tornado_256
+        })),
+    });
+    // The online-serve scenario: the incremental grant/release loop of
+    // the allocation service under seeded Poisson churn on the paper
+    // point, threshold defrag armed. No energy model folds here, so its
+    // pj_per_bit records 0 and the energy gate skips it; the tracked
+    // number is the ledger's wall time per session stream.
+    out.push(BenchScenario {
+        name: "online-serve-8l".into(),
+        work: BenchWork::Serve {
+            config: onoc_serve::ServiceConfig {
+                nodes: 16,
+                wavelengths: 8,
+                policy: onoc_wa::GrantPolicy::Disjoint,
+                defrag: onoc_serve::DefragPolicy::OnThreshold { min_free_run: 0.25 },
+                max_wait: Some(5_000),
+            },
+            churn: onoc_serve::PoissonWorkload {
+                nodes: 16,
+                sessions: if quick { 2_000 } else { 20_000 },
+                arrival_rate: 0.02,
+                mean_hold: 400.0,
+                max_demand: 3,
+                seed: 2017,
+            },
         },
     });
     out
@@ -248,48 +304,88 @@ pub fn peak_rss_kb() -> u64 {
 /// Runs every pinned scenario single-threaded and returns the records in
 /// pinned order.
 ///
-/// Each scenario's points run through
+/// A sweep scenario's points run through
 /// [`run_scenario_phased`] on one reusable scratch, so the record carries
 /// the setup/simulate/report wall split beside the total — a slowdown in
 /// the tracked trajectory is attributable to trace generation, the
-/// engine, or the fold without a profiler.
+/// engine, or the fold without a profiler. The serve scenario splits the
+/// same way: workload generation is `setup_ms`, the grant/release loop
+/// is `simulate_ms`.
 #[must_use]
 pub fn run_bench(quick: bool) -> Vec<BenchRecord> {
     pinned_scenarios(quick)
         .into_iter()
-        .map(|scenario| {
-            let points = scenario.grid.scenarios();
-            let mut scratch = SimScratch::new();
-            let mut phases = ScenarioPhases::default();
-            let mut results = Vec::with_capacity(points.len());
-            let start = Instant::now();
-            for point in &points {
-                let (result, split) = run_scenario_phased(&scenario.grid, point, &mut scratch);
-                phases.accumulate(split);
-                results.push(result);
-            }
-            let wall = start.elapsed();
-            #[allow(clippy::cast_precision_loss)]
-            let pj_per_bit = if results.is_empty() {
-                0.0
-            } else {
-                results.iter().map(|r| r.energy_pj_per_bit).sum::<f64>() / results.len() as f64
-            };
-            BenchRecord {
-                name: scenario.name,
-                #[allow(clippy::cast_precision_loss)]
-                wall_ms: wall.as_nanos() as f64 / 1e6,
-                peak_rss_kb: peak_rss_kb(),
-                messages: results.iter().map(|r| r.injected).sum(),
-                points: results.len(),
-                pj_per_bit,
-                setup_ms: phases.setup_ms,
-                simulate_ms: phases.simulate_ms,
-                report_ms: phases.report_ms,
-                workers: scenario.grid.workers,
-            }
+        .map(|scenario| match scenario.work {
+            BenchWork::Sweep(grid) => run_sweep_record(scenario.name, &grid),
+            BenchWork::Serve { config, churn } => run_serve_record(scenario.name, &config, &churn),
         })
         .collect()
+}
+
+fn run_sweep_record(name: String, grid: &SweepGrid) -> BenchRecord {
+    let points = grid.scenarios();
+    let mut scratch = SimScratch::new();
+    let mut phases = ScenarioPhases::default();
+    let mut results = Vec::with_capacity(points.len());
+    let start = Instant::now();
+    for point in &points {
+        let (result, split) = run_scenario_phased(grid, point, &mut scratch);
+        phases.accumulate(split);
+        results.push(result);
+    }
+    let wall = start.elapsed();
+    #[allow(clippy::cast_precision_loss)]
+    let pj_per_bit = if results.is_empty() {
+        0.0
+    } else {
+        results.iter().map(|r| r.energy_pj_per_bit).sum::<f64>() / results.len() as f64
+    };
+    BenchRecord {
+        name,
+        #[allow(clippy::cast_precision_loss)]
+        wall_ms: wall.as_nanos() as f64 / 1e6,
+        peak_rss_kb: peak_rss_kb(),
+        messages: results.iter().map(|r| r.injected).sum(),
+        points: results.len(),
+        pj_per_bit,
+        setup_ms: phases.setup_ms,
+        simulate_ms: phases.simulate_ms,
+        report_ms: phases.report_ms,
+        workers: grid.workers,
+    }
+}
+
+fn run_serve_record(
+    name: String,
+    config: &onoc_serve::ServiceConfig,
+    churn: &onoc_serve::PoissonWorkload,
+) -> BenchRecord {
+    let ms = |d: std::time::Duration| {
+        #[allow(clippy::cast_precision_loss)]
+        let ms = d.as_nanos() as f64 / 1e6;
+        ms
+    };
+    let start = Instant::now();
+    let requests = churn.generate();
+    let setup = start.elapsed();
+    let sim_start = Instant::now();
+    let outcome = onoc_serve::serve(config, &requests, &mut onoc_sim::NullProbe)
+        .expect("pinned serve scenarios are valid by construction");
+    let simulate = sim_start.elapsed();
+    BenchRecord {
+        name,
+        wall_ms: ms(start.elapsed()),
+        peak_rss_kb: peak_rss_kb(),
+        messages: outcome.report.offered,
+        points: 1,
+        // No energy model folds over grants; 0 exempts the scenario from
+        // the pJ/bit gate by design.
+        pj_per_bit: 0.0,
+        setup_ms: ms(setup),
+        simulate_ms: ms(simulate),
+        report_ms: 0.0,
+        workers: 1,
+    }
 }
 
 /// The document form of one record — the single field list shared by
@@ -446,13 +542,21 @@ mod tests {
         let quick = pinned_scenarios(true);
         assert_eq!(
             full.len(),
-            18,
-            "2 headline + 3×2×2 matrix + 1 fault + 1 heal + 2 PDES"
+            19,
+            "2 headline + 3×2×2 matrix + 1 fault + 1 heal + 2 PDES + 1 serve"
         );
         assert_eq!(full.len(), quick.len());
         for (f, q) in full.iter().zip(&quick) {
             assert_eq!(f.name, q.name, "tiers share scenario names");
-            assert_eq!(f.grid.horizon, q.grid.horizon * 10);
+            match (&f.work, &q.work) {
+                (BenchWork::Sweep(fg), BenchWork::Sweep(qg)) => {
+                    assert_eq!(fg.horizon, qg.horizon * 10);
+                }
+                (BenchWork::Serve { churn: fc, .. }, BenchWork::Serve { churn: qc, .. }) => {
+                    assert_eq!(fc.sessions, qc.sessions * 10);
+                }
+                _ => panic!("{} changed workload kind across tiers", f.name),
+            }
         }
         // Names are unique (baseline lookups key on them).
         let mut names: Vec<&str> = full.iter().map(|s| s.name.as_str()).collect();
@@ -464,20 +568,37 @@ mod tests {
         assert!(names.contains(&"heal-perm-fault"));
         assert!(names.contains(&"serial-256n"));
         assert!(names.contains(&"pdes-256n-4w"));
+        assert!(names.contains(&"online-serve-8l"));
         // The PDES pair differs only in worker count, so the wall-time
         // ratio between the two records is the parallel speedup.
-        let serial = full.iter().find(|s| s.name == "serial-256n").unwrap();
-        let pdes = full.iter().find(|s| s.name == "pdes-256n-4w").unwrap();
-        assert_eq!(serial.grid.workers, 1);
-        assert_eq!(pdes.grid.workers, 4);
+        let serial = full
+            .iter()
+            .find(|s| s.name == "serial-256n")
+            .and_then(BenchScenario::grid)
+            .unwrap();
+        let pdes = full
+            .iter()
+            .find(|s| s.name == "pdes-256n-4w")
+            .and_then(BenchScenario::grid)
+            .unwrap();
+        assert_eq!(serial.workers, 1);
+        assert_eq!(pdes.workers, 4);
         assert_eq!(
-            SweepGrid {
+            &SweepGrid {
                 workers: 1,
-                ..pdes.grid.clone()
+                ..pdes.clone()
             },
-            serial.grid
+            serial
         );
-        assert!(serial.grid.static_map.is_some(), "PDES needs static mode");
+        assert!(serial.static_map.is_some(), "PDES needs static mode");
+        // The serve scenario keeps the paper point and a seeded workload.
+        let serve = full.iter().find(|s| s.name == "online-serve-8l").unwrap();
+        assert!(serve.grid().is_none());
+        let BenchWork::Serve { config, churn } = &serve.work else {
+            panic!("online-serve-8l must be a serve workload");
+        };
+        assert_eq!((config.nodes, config.wavelengths), (16, 8));
+        assert_eq!(churn.seed, 2017);
     }
 
     fn record(name: &str, wall_ms: f64, pj_per_bit: f64) -> BenchRecord {
@@ -596,6 +717,23 @@ mod tests {
     }
 
     #[test]
+    fn serve_bench_record_is_populated() {
+        let scenario = pinned_scenarios(true)
+            .into_iter()
+            .find(|s| s.name == "online-serve-8l")
+            .expect("pinned");
+        let BenchWork::Serve { config, churn } = scenario.work else {
+            panic!("online-serve-8l must be a serve workload");
+        };
+        let record = run_serve_record(scenario.name, &config, &churn);
+        assert_eq!(record.points, 1);
+        assert_eq!(record.messages, churn.sessions);
+        assert_eq!(record.pj_per_bit, 0.0, "no energy model over grants");
+        assert_eq!(record.workers, 1);
+        assert!(record.wall_ms >= record.simulate_ms);
+    }
+
+    #[test]
     fn quick_bench_runs_and_reports() {
         // One real quick scenario end-to-end (the smallest matrix entry)
         // to keep the test fast while exercising the measurement path.
@@ -603,15 +741,15 @@ mod tests {
             .into_iter()
             .find(|s| s.name == "open-uniform-4l")
             .expect("pinned");
+        let grid = scenario.grid().expect("matrix scenarios are sweeps");
         let start = Instant::now();
         let mut scratch = SimScratch::new();
         let mut phases = ScenarioPhases::default();
-        let results: Vec<_> = scenario
-            .grid
+        let results: Vec<_> = grid
             .scenarios()
             .iter()
             .map(|point| {
-                let (result, split) = run_scenario_phased(&scenario.grid, point, &mut scratch);
+                let (result, split) = run_scenario_phased(grid, point, &mut scratch);
                 phases.accumulate(split);
                 result
             })

@@ -27,6 +27,9 @@ USAGE:
     onoc run --all <dir> [options]     run every *.toml/*.json spec in a directory,
                                        writing one artifact per spec
     onoc sweep [options]               ad-hoc open-loop saturation sweep
+    onoc serve --spec <file> [options] run the online wavelength-allocation
+                                       service loop a spec's [service] table
+                                       describes (Poisson churn or trace replay)
     onoc bench [options]               tracked sim-core benchmark (BENCH_sim_core.json)
     onoc diff <a.json> <b.json>        field-by-field comparison of two report
                                        artifacts; exit 1 on drift
@@ -44,6 +47,14 @@ OPTIONS (bench):
 
 OPTIONS (diff):
     --tolerance <x>       allowed relative drift for numeric cells [default: 0]
+
+OPTIONS (serve only):
+    --out <file>          also write the report artifact as JSON (the
+                          diff-able form: tables only, no wall-clock text)
+    --compare             additionally time the incremental ledger against a
+                          from-scratch re-synthesis replay of the same session
+                          stream (wall-clock; printed to stderr, never part
+                          of the artifact)
 
 OPTIONS (run --spec only):
     --capture-trace <f>   also dump the run's message stream as a
@@ -91,6 +102,7 @@ fn main() {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
@@ -531,6 +543,69 @@ fn cmd_run_all(
         spec_paths.len()
     );
     i32::from(failures > 0)
+}
+
+/// The online allocation service: `onoc serve --spec <file>` runs the
+/// grant/release loop the spec's `[service]` table describes and emits
+/// the admission-log + summary report.
+fn cmd_serve(args: &[String]) -> i32 {
+    let ctx = match context(args) {
+        Ok(ctx) => ctx,
+        Err(message) => {
+            eprintln!("{message}");
+            return 2;
+        }
+    };
+    let json = flag(args, "--json");
+    let Some(path) = value_of(args, "--spec") else {
+        eprintln!("`onoc serve` needs --spec <file>\n");
+        eprint!("{USAGE}");
+        return 2;
+    };
+    let spec = match load_spec(&path, args, &ctx) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("{message}");
+            return 1;
+        }
+    };
+    let report = match onoc_exp::run_serve(&spec) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    if let Some(out) = value_of(args, "--out") {
+        if let Err(e) = std::fs::write(&out, report.to_json()) {
+            eprintln!("could not write {out}: {e}");
+            return 1;
+        }
+        eprintln!("wrote {out}");
+    }
+    if flag(args, "--compare") {
+        // Wall-clock numbers stay on stderr: the report artifact must be
+        // byte-identical across same-seed runs.
+        let requests = match onoc_exp::build_requests(&spec) {
+            Ok(requests) => requests,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        let cost = onoc_serve::compare_replay_cost(&onoc_exp::service_config(&spec), &requests);
+        eprintln!(
+            "replay cost: incremental ledger packed {} sessions in {:.3} ms; \
+             from-scratch re-synthesis packed {} in {:.3} ms ({:.1}x wall-clock)",
+            cost.incremental_packs,
+            cost.incremental_nanos as f64 / 1e6,
+            cost.full_packs,
+            cost.full_nanos as f64 / 1e6,
+            cost.full_nanos as f64 / cost.incremental_nanos.max(1) as f64,
+        );
+    }
+    emit(&report, json);
+    0
 }
 
 /// The tracked benchmark: run the pinned scenario set, write the JSON

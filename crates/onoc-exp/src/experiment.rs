@@ -133,10 +133,10 @@ mod tests {
         let names = registry.names();
         assert_eq!(
             names.len(),
-            21,
+            22,
             "the 15 former binaries plus sustained-saturation, sustained-knee, \
-             energy-vs-load, saturation-timeline, reliability-vs-fault-rate \
-             and self-healing-vs-outage"
+             energy-vs-load, saturation-timeline, reliability-vs-fault-rate, \
+             self-healing-vs-outage and online-allocation"
         );
         let mut dedup = names.clone();
         dedup.sort_unstable();

@@ -23,9 +23,11 @@
 //! | `reliability-vs-fault-rate` | — (new) | goodput vs BER with/without go-back-N |
 //! | `self-healing-vs-outage` | — (new) | heal policies vs lane loss: goodput + recovery SLOs |
 //! | `workload-sweep` | `workload_sweep` | the panel of synthetic kernels |
+//! | `online-allocation` | — (new) | service-loop churn: admission latency, blocking, fragmentation per defrag policy |
 
 mod figures;
 mod search;
+mod serve;
 mod tables;
 mod traffic;
 mod validation;
@@ -57,5 +59,6 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(traffic::ReliabilityVsFaultRate),
         Box::new(traffic::SelfHealingVsOutage),
         Box::new(traffic::WorkloadSweep),
+        Box::new(serve::OnlineAllocation),
     ]
 }

@@ -1,0 +1,129 @@
+//! The online-allocation service study: arrival rate vs admission
+//! latency, blocking, and fragmentation per defrag policy.
+
+use onoc_serve::{DefragPolicy, PoissonWorkload, ServiceConfig, serve};
+use onoc_sim::NullProbe;
+use onoc_wa::GrantPolicy;
+
+use crate::artifact::{Report, Table};
+use crate::experiment::{Experiment, RunContext};
+
+/// Extension — wavelength allocation as a long-running service.
+///
+/// The paper allocates once, offline; this study runs the incremental
+/// grant/release loop under seeded Poisson session churn on the paper's
+/// 16-node / 8-λ point and sweeps the arrival rate across the knee, once
+/// per defrag policy. At low churn the ledger's first-fit packing holds
+/// the comb together on its own; as the rate climbs, grants and releases
+/// interleave faster than holes re-merge, and the defrag column shows
+/// what a re-pack buys: lower admission percentiles and blocking at the
+/// cost of moved sessions. The pack-op counters carry the
+/// incremental-vs-full-re-synthesis saving in deterministic units.
+pub struct OnlineAllocation;
+
+/// The defrag-policy panel the study sweeps.
+const DEFRAG_POLICIES: [DefragPolicy; 3] = [
+    DefragPolicy::Never,
+    DefragPolicy::OnThreshold { min_free_run: 0.25 },
+    DefragPolicy::OnIdle { idle: 1_000 },
+];
+
+impl Experiment for OnlineAllocation {
+    fn name(&self) -> &'static str {
+        "online-allocation"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Arrival rate vs admission latency, blocking and fragmentation per defrag policy"
+    }
+
+    fn run(&self, ctx: &RunContext) -> Report {
+        let sessions = ctx.scale.pick(1_000, 250, 100);
+        let rates = [0.005, 0.01, 0.02, 0.04];
+        let mut report = Report::new(format!(
+            "Online allocation service: {sessions} Poisson sessions per point \
+             on the 16-node ring (8 λ, disjoint grants, mean hold 400 cycles), \
+             seed {}",
+            ctx.seed
+        ));
+        let mut table = Table::new(
+            "online_allocation",
+            &[
+                "defrag",
+                "arrival_rate",
+                "offered",
+                "admitted",
+                "blocked",
+                "blocking_rate",
+                "admission_p50",
+                "admission_p95",
+                "admission_p99",
+                "mean_wait",
+                "defrag_runs",
+                "defrag_moves",
+                "mean_largest_free_run",
+                "mean_occupancy_jain",
+                "incremental_packs",
+                "full_repack_packs",
+            ],
+        );
+        for defrag in DEFRAG_POLICIES {
+            for rate in rates {
+                let requests = PoissonWorkload {
+                    nodes: 16,
+                    sessions,
+                    arrival_rate: rate,
+                    mean_hold: 400.0,
+                    max_demand: 3,
+                    seed: ctx.seed,
+                }
+                .generate();
+                let config = ServiceConfig {
+                    nodes: 16,
+                    wavelengths: 8,
+                    policy: GrantPolicy::Disjoint,
+                    defrag,
+                    max_wait: Some(5_000),
+                };
+                let outcome = serve(&config, &requests, &mut NullProbe)
+                    .expect("generated workloads are valid by construction");
+                let r = &outcome.report;
+                table.push_row(vec![
+                    defrag.name().to_string(),
+                    format!("{rate}"),
+                    r.offered.to_string(),
+                    r.admitted.to_string(),
+                    r.blocked.to_string(),
+                    format!("{:.4}", r.blocking_rate),
+                    r.admission_p50.to_string(),
+                    r.admission_p95.to_string(),
+                    r.admission_p99.to_string(),
+                    format!("{:.2}", r.mean_wait),
+                    r.defrag_runs.to_string(),
+                    r.defrag_moves.to_string(),
+                    format!("{:.4}", r.mean_largest_free_run),
+                    format!("{:.4}", r.mean_occupancy_jain),
+                    r.incremental_packs.to_string(),
+                    r.full_repack_packs.to_string(),
+                ]);
+            }
+        }
+        report.push_table(table);
+        report.push_text(
+            "Reading: each row replays the same seeded session stream, so the\n\
+             defrag policies are compared on identical churn. Admission\n\
+             percentiles are queueing delay, not message latency — 0 means the\n\
+             grant landed the cycle it was asked for. The `never` rows show\n\
+             fragmentation building with the arrival rate (falling\n\
+             mean_largest_free_run, rising p95/p99); `threshold` re-packs\n\
+             in-band when the largest free run drops below a quarter of the\n\
+             comb and `idle` re-packs out-of-band during quiet gaps, trading\n\
+             defrag_moves for admission latency. incremental_packs counts one\n\
+             pack per grant attempt against the live ledger; full_repack_packs\n\
+             counts what re-synthesising the whole live set on every arrival\n\
+             would have packed — the gap is the allocation-as-a-service\n\
+             saving, in deterministic units.",
+        );
+        report
+    }
+}

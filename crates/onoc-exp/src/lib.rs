@@ -70,6 +70,7 @@ pub mod diff;
 pub mod experiment;
 pub mod experiments;
 pub mod scenario;
+pub mod serve;
 pub mod spec;
 pub mod value;
 
@@ -77,9 +78,10 @@ pub use artifact::{Block, Report, Table};
 pub use diff::{DiffReport, diff_reports};
 pub use experiment::{Experiment, Registry, RunContext, default_threads};
 pub use scenario::{ScenarioError, capture_trace, run_spec};
+pub use serve::{build_requests, run_serve, service_config};
 pub use spec::{
-    AimdSpec, AllocatorSpec, ArchSpec, EnergySpec, EngineSpec, FaultSpec, HealingSpec,
-    HeuristicKind, KernelKind, ReportKind, Scale, ScenarioSpec, ScenarioSpecBuilder, SpecError,
-    TelemetrySpec, TransportSpec, WorkloadSpec,
+    AimdSpec, AllocatorSpec, ArchSpec, DefragKind, EnergySpec, EngineSpec, FaultSpec, HealingSpec,
+    HeuristicKind, KernelKind, ReportKind, Scale, ScenarioSpec, ScenarioSpecBuilder, ServiceSpec,
+    SpecError, TelemetrySpec, TransportSpec, WorkloadSpec,
 };
 pub use value::{ParseError, Value};

@@ -386,13 +386,14 @@ fn open_loop_mode(
         AllocatorSpec::Striped { lanes_per_flow } => WavelengthMode::Static(
             StaticFlowMap::striped(spec.arch.nodes, spec.arch.wavelengths, *lanes_per_flow),
         ),
-        AllocatorSpec::FlowSynthesis { policy } => {
+        AllocatorSpec::FlowSynthesis { policy, spares } => {
             let matrix = FlowMatrix::from_events(spec.arch.nodes, events);
-            let (map, summary) = StaticFlowMap::from_allocator_with_summary(
+            let (map, summary) = StaticFlowMap::from_allocator_with_spares(
                 ring,
                 spec.arch.wavelengths,
                 &matrix,
                 *policy,
+                *spares,
             )
             .map_err(alloc_err)?;
             let mut lanes_table = Table::new("flow_lanes", &["src", "dst", "bits", "lanes"]);
@@ -631,7 +632,7 @@ fn run_stream(
 
 /// The canonical column order of the per-window `timeseries` artifact
 /// (pinned by a golden-header test; downstream plots key on it).
-const TIMESERIES_COLUMNS: [&str; 17] = [
+const TIMESERIES_COLUMNS: [&str; 18] = [
     "window_start",
     "offered",
     "admitted",
@@ -646,13 +647,14 @@ const TIMESERIES_COLUMNS: [&str; 17] = [
     "segment_utilization",
     "ecn_marks",
     "fairness",
+    "flow_fairness",
     "failed",
     "retx_bits",
     "lost",
 ];
 
 /// Tabulates the windowed time series under the canonical header.
-fn timeseries_table(series: &TimeSeries) -> Table {
+pub(crate) fn timeseries_table(series: &TimeSeries) -> Table {
     let mut table = Table::new("timeseries", &TIMESERIES_COLUMNS);
     for (i, w) in series.windows.iter().enumerate() {
         table.push_row(vec![
@@ -670,6 +672,7 @@ fn timeseries_table(series: &TimeSeries) -> Table {
             format!("{:.4}", series.segment_utilization(i)),
             w.ecn_marks.to_string(),
             format!("{:.4}", w.fairness),
+            format!("{:.4}", w.flow_fairness),
             w.failed.to_string(),
             format!("{:.0}", w.retransmitted_bits),
             w.lost.to_string(),
@@ -1158,6 +1161,7 @@ max_lanes_per_flow = 4
             })
             .allocator(AllocatorSpec::FlowSynthesis {
                 policy: FlowAllocPolicy::FirstFit,
+                spares: 0,
             })
             .build()
             .unwrap();
@@ -1285,6 +1289,7 @@ max_lanes_per_flow = 4
             })
             .allocator(AllocatorSpec::FlowSynthesis {
                 policy: FlowAllocPolicy::Relaxed,
+                spares: 0,
             })
             .build()
             .unwrap();
@@ -1503,7 +1508,7 @@ max_lanes_per_flow = 4
             series.csv_header(),
             "window_start,offered,admitted,retired,retired_bits,accepted_bits_per_cycle,\
              stall_fraction,gate_held,queue_depth,in_flight,lane_utilization,\
-             segment_utilization,ecn_marks,fairness,failed,retx_bits,lost"
+             segment_utilization,ecn_marks,fairness,flow_fairness,failed,retx_bits,lost"
         );
 
         // The window series conserves the scenario row's message count.

@@ -13,7 +13,7 @@ use onoc_sim::{
 };
 use onoc_topology::NodeId;
 use onoc_traffic::TrafficPattern;
-use onoc_wa::{Nsga2Config, ObjectiveSet};
+use onoc_wa::{GrantPolicy, Nsga2Config, ObjectiveSet};
 
 use crate::value::{ParseError, Value};
 
@@ -328,6 +328,11 @@ pub enum AllocatorSpec {
     FlowSynthesis {
         /// Lane-sizing policy.
         policy: FlowAllocPolicy,
+        /// Heal-aware spare lanes: how many of the comb's top lanes the
+        /// synthesis holds out of the initial packing, leaving them
+        /// free for mid-run re-homing after a lane loss (0 = pack the
+        /// whole comb).
+        spares: usize,
     },
     /// Naive striped static flow map (the pre-synthesis baseline).
     Striped {
@@ -558,6 +563,216 @@ impl EngineSpec {
     fn validate(&self) -> Result<(), SpecError> {
         if self.workers == Some(0) {
             return Err(invalid("engine.workers", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Defragmentation trigger of the `[service]` table (the spec form of
+/// [`onoc_serve::DefragPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DefragKind {
+    /// Never re-pack.
+    #[default]
+    Never,
+    /// Re-pack when a grant fails below the free-run threshold.
+    Threshold,
+    /// Re-pack during idle gaps.
+    Idle,
+}
+
+impl DefragKind {
+    /// The machine name used in spec documents.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DefragKind::Never => "never",
+            DefragKind::Threshold => "threshold",
+            DefragKind::Idle => "idle",
+        }
+    }
+
+    /// Parses the machine name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "never" => Some(DefragKind::Never),
+            "threshold" => Some(DefragKind::Threshold),
+            "idle" => Some(DefragKind::Idle),
+            _ => None,
+        }
+    }
+}
+
+/// The `[service]` table: the online allocation-as-a-service loop
+/// (`onoc serve`) — session churn against the live occupancy ledger.
+///
+/// With a synthetic workload the sessions are seeded Poisson churn
+/// driven by `arrival_rate`/`mean_hold`/`max_demand`; with a trace
+/// workload the recorded arrivals replay as sessions
+/// (`trace_demand` lanes each, arrival clock scaled by `stretch`).
+///
+/// Every field that is `None` falls back to its default, so the
+/// document form round-trips exactly (only explicit keys are written
+/// back) — the same convention as [`TelemetrySpec`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceSpec {
+    /// Override: Poisson sessions to offer
+    /// (default [`SERVICE_DEFAULT_SESSIONS`]; ignored by trace replay).
+    pub sessions: Option<usize>,
+    /// Override: mean session arrivals per cycle (default
+    /// [`SERVICE_DEFAULT_ARRIVAL_RATE`]; ignored by trace replay).
+    pub arrival_rate: Option<f64>,
+    /// Override: mean lane-holding time in cycles (default
+    /// [`SERVICE_DEFAULT_MEAN_HOLD`]; ignored by trace replay).
+    pub mean_hold: Option<f64>,
+    /// Override: Poisson demands are uniform in `1..=max_demand`
+    /// lanes (default 1; ignored by trace replay).
+    pub max_demand: Option<usize>,
+    /// Override: grant discipline (`"disjoint"` / `"shared"`,
+    /// default disjoint).
+    pub policy: Option<GrantPolicy>,
+    /// Override: defrag trigger (`"never"` / `"threshold"` / `"idle"`,
+    /// default never).
+    pub defrag: Option<DefragKind>,
+    /// Threshold trigger: re-pack when the largest contiguous free run
+    /// falls below this fraction of the comb (default
+    /// [`SERVICE_DEFAULT_DEFRAG_THRESHOLD`]; only with
+    /// `defrag = "threshold"`).
+    pub defrag_threshold: Option<f64>,
+    /// Idle trigger: re-pack after this many event-free cycles
+    /// (default [`SERVICE_DEFAULT_DEFRAG_IDLE`]; only with
+    /// `defrag = "idle"`).
+    pub defrag_idle: Option<u64>,
+    /// Cycles a queued request may wait before it is blocked
+    /// (default: wait forever).
+    pub max_wait: Option<u64>,
+    /// Trace replay: lanes each replayed session requests (default 1).
+    pub trace_demand: Option<usize>,
+    /// Trace replay: arrival-clock stretch factor (2.0 = half the
+    /// offered load; default 1.0).
+    pub stretch: Option<f64>,
+}
+
+/// Default [`ServiceSpec`] session count.
+pub const SERVICE_DEFAULT_SESSIONS: usize = 1_000;
+/// Default [`ServiceSpec`] arrival rate (sessions per cycle).
+pub const SERVICE_DEFAULT_ARRIVAL_RATE: f64 = 0.02;
+/// Default [`ServiceSpec`] mean hold time (cycles).
+pub const SERVICE_DEFAULT_MEAN_HOLD: f64 = 400.0;
+/// Default [`ServiceSpec`] threshold-defrag free-run floor.
+pub const SERVICE_DEFAULT_DEFRAG_THRESHOLD: f64 = 0.25;
+/// Default [`ServiceSpec`] idle-defrag gap (cycles).
+pub const SERVICE_DEFAULT_DEFRAG_IDLE: u64 = 1_000;
+
+impl ServiceSpec {
+    /// The effective Poisson session count.
+    #[must_use]
+    pub fn sessions(&self) -> usize {
+        self.sessions.unwrap_or(SERVICE_DEFAULT_SESSIONS)
+    }
+
+    /// The effective arrival rate (sessions per cycle).
+    #[must_use]
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate.unwrap_or(SERVICE_DEFAULT_ARRIVAL_RATE)
+    }
+
+    /// The effective mean hold time (cycles).
+    #[must_use]
+    pub fn mean_hold(&self) -> f64 {
+        self.mean_hold.unwrap_or(SERVICE_DEFAULT_MEAN_HOLD)
+    }
+
+    /// The effective Poisson demand ceiling (lanes).
+    #[must_use]
+    pub fn max_demand(&self) -> usize {
+        self.max_demand.unwrap_or(1)
+    }
+
+    /// The effective grant discipline.
+    #[must_use]
+    pub fn policy(&self) -> GrantPolicy {
+        self.policy.unwrap_or(GrantPolicy::Disjoint)
+    }
+
+    /// The effective trace-replay demand (lanes per session).
+    #[must_use]
+    pub fn trace_demand(&self) -> usize {
+        self.trace_demand.unwrap_or(1)
+    }
+
+    /// The effective trace-replay clock stretch.
+    #[must_use]
+    pub fn stretch(&self) -> f64 {
+        self.stretch.unwrap_or(1.0)
+    }
+
+    /// The effective defrag policy, resolved to the service-layer type.
+    #[must_use]
+    pub fn defrag_policy(&self) -> onoc_serve::DefragPolicy {
+        match self.defrag.unwrap_or_default() {
+            DefragKind::Never => onoc_serve::DefragPolicy::Never,
+            DefragKind::Threshold => onoc_serve::DefragPolicy::OnThreshold {
+                min_free_run: self
+                    .defrag_threshold
+                    .unwrap_or(SERVICE_DEFAULT_DEFRAG_THRESHOLD),
+            },
+            DefragKind::Idle => onoc_serve::DefragPolicy::OnIdle {
+                idle: self.defrag_idle.unwrap_or(SERVICE_DEFAULT_DEFRAG_IDLE),
+            },
+        }
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        if self.sessions == Some(0) {
+            return Err(invalid("service.sessions", "must offer at least 1 session"));
+        }
+        if let Some(rate) = self.arrival_rate
+            && !(rate.is_finite() && rate > 0.0)
+        {
+            return Err(invalid("service.arrival_rate", "must be a positive rate"));
+        }
+        if let Some(hold) = self.mean_hold
+            && !(hold.is_finite() && hold > 0.0)
+        {
+            return Err(invalid("service.mean_hold", "must be a positive duration"));
+        }
+        if self.max_demand == Some(0) {
+            return Err(invalid("service.max_demand", "must be at least 1 lane"));
+        }
+        if let Some(th) = self.defrag_threshold {
+            if !(th.is_finite() && th > 0.0 && th <= 1.0) {
+                return Err(invalid("service.defrag_threshold", "must be in (0, 1]"));
+            }
+            if self.defrag != Some(DefragKind::Threshold) {
+                return Err(invalid(
+                    "service.defrag_threshold",
+                    "applies to defrag = \"threshold\"",
+                ));
+            }
+        }
+        if let Some(idle) = self.defrag_idle {
+            if idle == 0 {
+                return Err(invalid("service.defrag_idle", "must be at least 1 cycle"));
+            }
+            if self.defrag != Some(DefragKind::Idle) {
+                return Err(invalid(
+                    "service.defrag_idle",
+                    "applies to defrag = \"idle\"",
+                ));
+            }
+        }
+        if self.max_wait == Some(0) {
+            return Err(invalid("service.max_wait", "must be at least 1 cycle"));
+        }
+        if self.trace_demand == Some(0) {
+            return Err(invalid("service.trace_demand", "must be at least 1 lane"));
+        }
+        if let Some(stretch) = self.stretch
+            && !(stretch.is_finite() && stretch > 0.0)
+        {
+            return Err(invalid("service.stretch", "must be a positive factor"));
         }
         Ok(())
     }
@@ -1147,6 +1362,10 @@ pub struct ScenarioSpec {
     /// Optional `[healing]` table: mid-run wavelength re-synthesis on
     /// lane failure for message-stream runs.
     pub healing: Option<HealingSpec>,
+    /// Optional `[service]` table: the online allocation-as-a-service
+    /// loop (`onoc serve`) — session churn against the live occupancy
+    /// ledger.
+    pub service: Option<ServiceSpec>,
 }
 
 impl ScenarioSpec {
@@ -1174,6 +1393,7 @@ impl ScenarioSpec {
             faults: None,
             transport: None,
             healing: None,
+            service: None,
         }
     }
 
@@ -1309,14 +1529,19 @@ impl ScenarioSpec {
                     allocator.insert("cap", *cap);
                 }
             },
-            AllocatorSpec::FlowSynthesis { policy } => match policy {
-                FlowAllocPolicy::FirstFit => allocator.insert("policy", "first-fit"),
-                FlowAllocPolicy::Relaxed => allocator.insert("policy", "relaxed"),
-                FlowAllocPolicy::Proportional { max_lanes_per_flow } => {
-                    allocator.insert("policy", "proportional");
-                    allocator.insert("max_lanes_per_flow", *max_lanes_per_flow);
+            AllocatorSpec::FlowSynthesis { policy, spares } => {
+                match policy {
+                    FlowAllocPolicy::FirstFit => allocator.insert("policy", "first-fit"),
+                    FlowAllocPolicy::Relaxed => allocator.insert("policy", "relaxed"),
+                    FlowAllocPolicy::Proportional { max_lanes_per_flow } => {
+                        allocator.insert("policy", "proportional");
+                        allocator.insert("max_lanes_per_flow", *max_lanes_per_flow);
+                    }
                 }
-            },
+                if *spares != 0 {
+                    allocator.insert("spares", *spares);
+                }
+            }
             AllocatorSpec::Striped { lanes_per_flow } => {
                 allocator.insert("lanes_per_flow", *lanes_per_flow);
             }
@@ -1471,6 +1696,43 @@ impl ScenarioSpec {
             }
             root.insert("healing", table);
         }
+        if let Some(service) = &self.service {
+            let mut table = Value::table();
+            if let Some(sessions) = service.sessions {
+                table.insert("sessions", sessions);
+            }
+            if let Some(rate) = service.arrival_rate {
+                table.insert("arrival_rate", rate);
+            }
+            if let Some(hold) = service.mean_hold {
+                table.insert("mean_hold", hold);
+            }
+            if let Some(demand) = service.max_demand {
+                table.insert("max_demand", demand);
+            }
+            if let Some(policy) = service.policy {
+                table.insert("policy", policy.name());
+            }
+            if let Some(defrag) = service.defrag {
+                table.insert("defrag", defrag.name());
+            }
+            if let Some(th) = service.defrag_threshold {
+                table.insert("defrag_threshold", th);
+            }
+            if let Some(idle) = service.defrag_idle {
+                table.insert("defrag_idle", idle);
+            }
+            if let Some(wait) = service.max_wait {
+                table.insert("max_wait", wait);
+            }
+            if let Some(demand) = service.trace_demand {
+                table.insert("trace_demand", demand);
+            }
+            if let Some(stretch) = service.stretch {
+                table.insert("stretch", stretch);
+            }
+            root.insert("service", table);
+        }
         root
     }
 
@@ -1556,6 +1818,10 @@ impl ScenarioSpec {
             None => None,
             Some(table) => Some(parse_healing(table)?),
         };
+        let service = match value.get("service") {
+            None => None,
+            Some(table) => Some(parse_service(table)?),
+        };
         ScenarioSpecBuilder {
             name,
             seed,
@@ -1573,6 +1839,7 @@ impl ScenarioSpec {
             faults,
             transport,
             healing,
+            service,
         }
         .build()
     }
@@ -1597,6 +1864,7 @@ pub struct ScenarioSpecBuilder {
     faults: Option<FaultSpec>,
     transport: Option<TransportSpec>,
     healing: Option<HealingSpec>,
+    service: Option<ServiceSpec>,
 }
 
 impl ScenarioSpecBuilder {
@@ -1709,6 +1977,13 @@ impl ScenarioSpecBuilder {
     #[must_use]
     pub fn healing(mut self, healing: HealingSpec) -> Self {
         self.healing = Some(healing);
+        self
+    }
+
+    /// Sets the `[service]` table.
+    #[must_use]
+    pub fn service(mut self, service: ServiceSpec) -> Self {
+        self.service = Some(service);
         self
     }
 
@@ -1873,10 +2148,18 @@ impl ScenarioSpecBuilder {
                     FlowAllocPolicy::Proportional {
                         max_lanes_per_flow: 0,
                     },
+                ..
             } => {
                 return Err(invalid(
                     "allocator.max_lanes_per_flow",
                     "lane cap must be ≥ 1",
+                ));
+            }
+            AllocatorSpec::FlowSynthesis { spares, .. } if *spares >= self.arch.wavelengths => {
+                return Err(invalid(
+                    "allocator.spares",
+                    "spare lanes must leave at least one packable lane \
+                     (spares < arch.wavelengths)",
                 ));
             }
             _ => {}
@@ -2017,6 +2300,31 @@ impl ScenarioSpecBuilder {
                 ));
             }
         }
+        if let Some(service) = &self.service {
+            service.validate()?;
+            if !matches!(
+                self.workload,
+                WorkloadSpec::Synthetic { .. } | WorkloadSpec::Trace { .. }
+            ) {
+                return Err(invalid(
+                    "service",
+                    "the online allocation service runs Poisson churn over a \
+                     synthetic workload or replays a trace workload",
+                ));
+            }
+            if service.max_demand() > self.arch.wavelengths {
+                return Err(invalid(
+                    "service.max_demand",
+                    "a session cannot demand more lanes than the comb holds",
+                ));
+            }
+            if service.trace_demand() > self.arch.wavelengths {
+                return Err(invalid(
+                    "service.trace_demand",
+                    "a session cannot demand more lanes than the comb holds",
+                ));
+            }
+        }
         let closed_loop = matches!(
             self.workload,
             WorkloadSpec::PaperApp | WorkloadSpec::Kernel { .. }
@@ -2056,6 +2364,7 @@ impl ScenarioSpecBuilder {
             faults: self.faults,
             transport: self.transport,
             healing: self.healing,
+            service: self.service,
         })
     }
 }
@@ -2420,7 +2729,10 @@ fn parse_allocator(table: &Value) -> Result<AllocatorSpec, SpecError> {
                     ));
                 }
             };
-            Ok(AllocatorSpec::FlowSynthesis { policy })
+            Ok(AllocatorSpec::FlowSynthesis {
+                policy,
+                spares: opt_usize_in(table, "allocator.spares", "spares")?.unwrap_or(0),
+            })
         }
         Ok("striped") => Ok(AllocatorSpec::Striped {
             lanes_per_flow: opt_usize_in(table, "allocator.lanes_per_flow", "lanes_per_flow")?
@@ -2508,6 +2820,63 @@ fn parse_telemetry(table: &Value) -> Result<TelemetrySpec, SpecError> {
         window,
         per_flow,
         chrome_trace,
+    })
+}
+
+fn parse_service(table: &Value) -> Result<ServiceSpec, SpecError> {
+    let opt_float = |key, field: &'static str| -> Result<Option<f64>, SpecError> {
+        match table.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_float()
+                .map(Some)
+                .ok_or_else(|| invalid(field, "not a number")),
+        }
+    };
+    let opt_u64 = |key, field: &'static str| -> Result<Option<u64>, SpecError> {
+        match table.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let i = v.as_int().ok_or_else(|| invalid(field, "not an integer"))?;
+                Some(u64::try_from(i).map_err(|_| invalid(field, "must be nonnegative")))
+                    .transpose()
+            }
+        }
+    };
+    let policy = match table.get("policy") {
+        None => None,
+        Some(v) => {
+            let raw = v
+                .as_str()
+                .ok_or_else(|| invalid("service.policy", "not a string"))?;
+            Some(GrantPolicy::parse(raw).ok_or_else(|| {
+                invalid("service.policy", format!("unknown grant policy {raw:?}"))
+            })?)
+        }
+    };
+    let defrag = match table.get("defrag") {
+        None => None,
+        Some(v) => {
+            let raw = v
+                .as_str()
+                .ok_or_else(|| invalid("service.defrag", "not a string"))?;
+            Some(DefragKind::from_name(raw).ok_or_else(|| {
+                invalid("service.defrag", format!("unknown defrag policy {raw:?}"))
+            })?)
+        }
+    };
+    Ok(ServiceSpec {
+        sessions: opt_usize_in(table, "service.sessions", "sessions")?,
+        arrival_rate: opt_float("arrival_rate", "service.arrival_rate")?,
+        mean_hold: opt_float("mean_hold", "service.mean_hold")?,
+        max_demand: opt_usize_in(table, "service.max_demand", "max_demand")?,
+        policy,
+        defrag,
+        defrag_threshold: opt_float("defrag_threshold", "service.defrag_threshold")?,
+        defrag_idle: opt_u64("defrag_idle", "service.defrag_idle")?,
+        max_wait: opt_u64("max_wait", "service.max_wait")?,
+        trace_demand: opt_usize_in(table, "service.trace_demand", "trace_demand")?,
+        stretch: opt_float("stretch", "service.stretch")?,
     })
 }
 
@@ -2794,6 +3163,7 @@ mod tests {
                 policy: FlowAllocPolicy::Proportional {
                     max_lanes_per_flow: 4,
                 },
+                spares: 2,
             })
             .build()
             .unwrap();
@@ -3286,6 +3656,7 @@ kind = "nsga2"
             .workload(synthetic_uniform())
             .allocator(AllocatorSpec::FlowSynthesis {
                 policy: FlowAllocPolicy::Relaxed,
+                spares: 0,
             })
             .build()
             .unwrap();

@@ -103,6 +103,15 @@ fn golden_headers() -> Vec<(&'static str, &'static str, String)> {
             "workload_sweep",
             "workload,tasks,comms,pairs,front,exec_lo,exec_hi,fj_lo,fj_hi,ber_lo,ber_hi".into(),
         ),
+        (
+            "online-allocation",
+            "online_allocation",
+            "defrag,arrival_rate,offered,admitted,blocked,blocking_rate,\
+             admission_p50,admission_p95,admission_p99,mean_wait,defrag_runs,\
+             defrag_moves,mean_largest_free_run,mean_occupancy_jain,\
+             incremental_packs,full_repack_packs"
+                .into(),
+        ),
     ]
 }
 
@@ -184,6 +193,7 @@ fn registry_order_matches_the_documented_index() {
             "reliability-vs-fault-rate",
             "self-healing-vs-outage",
             "workload-sweep",
+            "online-allocation",
         ]
     );
 }

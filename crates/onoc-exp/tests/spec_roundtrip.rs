@@ -3,11 +3,14 @@
 //! `parse(serialize(spec)) == spec` through both the TOML-subset and the
 //! JSON serializer, and the two document forms must agree.
 
-use onoc_exp::{AllocatorSpec, HeuristicKind, KernelKind, Scale, ScenarioSpec, WorkloadSpec};
+use onoc_exp::{
+    AllocatorSpec, DefragKind, HeuristicKind, KernelKind, Scale, ScenarioSpec, ServiceSpec,
+    WorkloadSpec,
+};
 use onoc_sim::{DynamicPolicy, FlowAllocPolicy, InjectionMode};
 use onoc_topology::NodeId;
 use onoc_traffic::TrafficPattern;
-use onoc_wa::ObjectiveSet;
+use onoc_wa::{GrantPolicy, ObjectiveSet};
 use proptest::prelude::*;
 
 /// Draws one arbitrary-but-valid spec from the sampled raw material.
@@ -137,6 +140,7 @@ fn decode_spec(
                         max_lanes_per_flow: 1 + lanes % 8,
                     },
                 },
+                spares: (lanes % 2) * (nw.saturating_sub(1) / 2),
             },
             _ => AllocatorSpec::Striped {
                 lanes_per_flow: 1 + lanes % nw,
@@ -157,7 +161,32 @@ fn decode_spec(
             },
         }
     };
-    ScenarioSpec::builder(format!("prop-{name_salt}"))
+    // The `[service]` table only composes with session-bearing workloads
+    // (synthetic churn / trace replay); exercise it on the synthetic arm.
+    let service = matches!(workload, WorkloadSpec::Synthetic { .. }).then(|| {
+        let defrag = match stages % 4 {
+            0 => None,
+            1 => Some(DefragKind::Never),
+            2 => Some(DefragKind::Threshold),
+            _ => Some(DefragKind::Idle),
+        };
+        ServiceSpec {
+            sessions: lanes.is_multiple_of(2).then_some(10 + stages),
+            arrival_rate: seed.is_multiple_of(2).then_some(0.001 + rate * 0.05),
+            mean_hold: seed.is_multiple_of(3).then_some(250.0),
+            max_demand: lanes.is_multiple_of(3).then_some(1 + lanes % nw),
+            policy: allocator_pick
+                .is_multiple_of(2)
+                .then_some(GrantPolicy::Shared),
+            defrag,
+            defrag_threshold: (defrag == Some(DefragKind::Threshold)).then_some(0.5),
+            defrag_idle: (defrag == Some(DefragKind::Idle)).then_some(1 + stages as u64 * 100),
+            max_wait: seed.is_multiple_of(5).then_some(1_000),
+            trace_demand: None,
+            stretch: None,
+        }
+    });
+    let mut builder = ScenarioSpec::builder(format!("prop-{name_salt}"))
         .seed(seed)
         .scale(scale)
         .objectives(objectives)
@@ -165,7 +194,11 @@ fn decode_spec(
         .wavelengths(nw)
         .workload(workload)
         .allocator(allocator)
-        .injection(injection)
+        .injection(injection);
+    if let Some(service) = service {
+        builder = builder.service(service);
+    }
+    builder
         .build()
         .expect("decoded specs are valid by construction")
 }

@@ -1,0 +1,221 @@
+//! Session workloads: who asks for lanes, when, and for how long.
+
+use onoc_sim::TrafficEvent;
+use onoc_topology::NodeId;
+use onoc_traffic::TrafficRng;
+
+/// One flow session offered to the service: a source/destination pair
+/// asking for `demand` wavelengths from `arrival` until
+/// `arrival + wait + hold` (the hold clock starts when the grant lands,
+/// not when the request arrives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionRequest {
+    /// Stable session identifier (unique per workload).
+    pub id: u64,
+    /// Cycle the request is offered.
+    pub arrival: u64,
+    /// Producing ONI.
+    pub src: NodeId,
+    /// Consuming ONI.
+    pub dst: NodeId,
+    /// Wavelengths requested.
+    pub demand: usize,
+    /// Cycles the session holds its lanes once granted (≥ 1).
+    pub hold: u64,
+}
+
+/// Seeded Poisson session churn: exponential inter-arrival times at
+/// `arrival_rate` sessions per cycle, uniform endpoints, uniform demand
+/// in `1..=max_demand`, and exponentially distributed hold times with
+/// mean `mean_hold` cycles.
+///
+/// The generator is deterministic in `seed`: arrivals, endpoints,
+/// demands, and holds each draw from an independent
+/// [`TrafficRng`] split, so changing one knob (say `max_demand`) never
+/// perturbs the arrival clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonWorkload {
+    /// ONIs on the ring (endpoints are drawn uniformly, `src != dst`).
+    pub nodes: usize,
+    /// Number of sessions to offer.
+    pub sessions: usize,
+    /// Mean arrivals per cycle (λ of the Poisson process).
+    pub arrival_rate: f64,
+    /// Mean lane-holding time in cycles once granted.
+    pub mean_hold: f64,
+    /// Demands are uniform in `1..=max_demand` wavelengths.
+    pub max_demand: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl PoissonWorkload {
+    /// Materialises the request sequence, ordered by arrival cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` (a session needs distinct endpoints),
+    /// `max_demand == 0`, or `arrival_rate`/`mean_hold` are not
+    /// strictly positive finite numbers.
+    #[must_use]
+    pub fn generate(&self) -> Vec<SessionRequest> {
+        assert!(self.nodes >= 2, "sessions need at least 2 ONIs");
+        assert!(self.max_demand >= 1, "max_demand must be at least 1 lane");
+        assert!(
+            self.arrival_rate.is_finite() && self.arrival_rate > 0.0,
+            "arrival_rate must be positive, got {}",
+            self.arrival_rate
+        );
+        assert!(
+            self.mean_hold.is_finite() && self.mean_hold > 0.0,
+            "mean_hold must be positive, got {}",
+            self.mean_hold
+        );
+        let root = TrafficRng::new(self.seed);
+        let mut arrivals = root.split(0x5e55_10a5);
+        let mut endpoints = root.split(0xe17d_0f10);
+        let mut demands = root.split(0xd317_a11d);
+        let mut holds = root.split(0x401d_71ae);
+        let mean_gap = 1.0 / self.arrival_rate;
+        let mut clock = 0.0f64;
+        (0..self.sessions)
+            .map(|id| {
+                clock += exponential(&mut arrivals, mean_gap);
+                let src = endpoints.below(self.nodes);
+                let mut dst = endpoints.below(self.nodes - 1);
+                if dst >= src {
+                    dst += 1;
+                }
+                SessionRequest {
+                    id: id as u64,
+                    arrival: clock.floor() as u64,
+                    src: NodeId(src),
+                    dst: NodeId(dst),
+                    demand: 1 + demands.below(self.max_demand),
+                    hold: (exponential(&mut holds, self.mean_hold).ceil() as u64).max(1),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One exponential draw with the given mean (inverse-CDF method; the
+/// `1 - u` guard keeps `ln` off zero).
+fn exponential(rng: &mut TrafficRng, mean: f64) -> f64 {
+    -mean * (1.0 - rng.next_f64()).ln()
+}
+
+/// Converts a recorded arrival trace (the PR 3/5 replay format) into a
+/// session workload: each trace message becomes a session arriving at
+/// its offered cycle, asking for `demand` lanes and holding them long
+/// enough to drain its volume at 1 bit/cycle/lane
+/// (`ceil(volume / demand)`, at least one cycle).
+///
+/// `stretch` scales the replayed arrival clock (2.0 = half the offered
+/// load), matching the serve CLI's rate knob.
+///
+/// # Panics
+///
+/// Panics if `demand == 0` or `stretch` is not a strictly positive
+/// finite number.
+#[must_use]
+pub fn sessions_from_trace(
+    events: &[TrafficEvent],
+    demand: usize,
+    stretch: f64,
+) -> Vec<SessionRequest> {
+    assert!(demand >= 1, "trace sessions need at least 1 lane");
+    assert!(
+        stretch.is_finite() && stretch > 0.0,
+        "stretch must be positive, got {stretch}"
+    );
+    events
+        .iter()
+        .enumerate()
+        .map(|(id, event)| SessionRequest {
+            id: id as u64,
+            arrival: ((event.time as f64) * stretch).floor() as u64,
+            src: event.src,
+            dst: event.dst,
+            demand,
+            hold: ((event.volume.value() / demand as f64).ceil() as u64).max(1),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_units::Bits;
+
+    #[test]
+    fn poisson_workload_is_deterministic_and_ordered() {
+        let spec = PoissonWorkload {
+            nodes: 8,
+            sessions: 200,
+            arrival_rate: 0.05,
+            mean_hold: 120.0,
+            max_demand: 3,
+            seed: 2017,
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b, "same seed must reproduce the same workload");
+        assert_eq!(a.len(), 200);
+        for pair in a.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival, "arrivals out of order");
+        }
+        for req in &a {
+            assert_ne!(req.src, req.dst);
+            assert!(req.src.0 < 8 && req.dst.0 < 8);
+            assert!((1..=3).contains(&req.demand));
+            assert!(req.hold >= 1);
+        }
+    }
+
+    #[test]
+    fn demand_knob_leaves_the_arrival_clock_alone() {
+        let base = PoissonWorkload {
+            nodes: 6,
+            sessions: 50,
+            arrival_rate: 0.02,
+            mean_hold: 200.0,
+            max_demand: 1,
+            seed: 9,
+        };
+        let wide = PoissonWorkload {
+            max_demand: 4,
+            ..base
+        };
+        let a = base.generate();
+        let b = wide.generate();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival, "split streams must be independent");
+            assert_eq!((x.src, x.dst), (y.src, y.dst));
+        }
+    }
+
+    #[test]
+    fn trace_sessions_hold_long_enough_to_drain_their_volume() {
+        let events = vec![
+            TrafficEvent {
+                time: 10,
+                src: NodeId(0),
+                dst: NodeId(3),
+                volume: Bits::new(640.0),
+            },
+            TrafficEvent {
+                time: 25,
+                src: NodeId(2),
+                dst: NodeId(1),
+                volume: Bits::new(1.0),
+            },
+        ];
+        let sessions = sessions_from_trace(&events, 2, 1.0);
+        assert_eq!(sessions[0].arrival, 10);
+        assert_eq!(sessions[0].hold, 320);
+        assert_eq!(sessions[1].hold, 1, "tiny volumes still hold one cycle");
+        let slowed = sessions_from_trace(&events, 2, 2.0);
+        assert_eq!(slowed[0].arrival, 20, "stretch rescales the clock");
+    }
+}

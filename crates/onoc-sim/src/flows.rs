@@ -275,20 +275,57 @@ impl StaticFlowMap {
         flows: &FlowMatrix,
         policy: FlowAllocPolicy,
     ) -> Result<(Self, SynthesisSummary), FlowSynthesisError> {
+        Self::from_allocator_with_spares(ring, wavelengths, flows, policy, 0)
+    }
+
+    /// Like [`StaticFlowMap::from_allocator_with_summary`], but holds the
+    /// top `spares` lanes of the comb out of the synthesis: flows pack
+    /// into the low `wavelengths - spares` channels, and λ`(NW-spares)`..
+    /// λ`(NW-1)` stay unclaimed. A strict mid-run re-pack
+    /// ([`onoc_wa::reassign_flows_on_lane_loss`]) or an online defrag then
+    /// always has a disjoint re-home for up to `spares` lost lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowSynthesisError`] on the conditions of
+    /// [`StaticFlowMap::from_allocator_with_summary`], judged against the
+    /// reduced packing comb (the `wavelengths` field of an `Infeasible`
+    /// error reports the lanes that were actually packable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`StaticFlowMap::from_allocator`], or
+    /// when `spares` does not leave at least one packable lane
+    /// (`spares >= wavelengths`).
+    pub fn from_allocator_with_spares(
+        ring: &RingTopology,
+        wavelengths: usize,
+        flows: &FlowMatrix,
+        policy: FlowAllocPolicy,
+        spares: usize,
+    ) -> Result<(Self, SynthesisSummary), FlowSynthesisError> {
         assert!(
             (1..=128).contains(&wavelengths),
             "flow maps support 1..=128 wavelengths, got {wavelengths}"
+        );
+        assert!(
+            spares < wavelengths,
+            "{spares} spare lanes leave nothing of a {wavelengths}-λ comb to pack into"
         );
         assert_eq!(
             ring.node_count(),
             flows.nodes(),
             "flow matrix was measured on a different ring"
         );
+        // Flows pack into the low lanes only; the held-out top lanes are
+        // still part of the map's comb, so the engine may re-home onto
+        // them mid-run.
+        let pack_comb = wavelengths - spares;
         let max_lanes = match policy {
             FlowAllocPolicy::FirstFit | FlowAllocPolicy::Relaxed => 1,
             FlowAllocPolicy::Proportional { max_lanes_per_flow } => {
                 assert!(max_lanes_per_flow >= 1, "lane cap must be at least 1");
-                max_lanes_per_flow.min(wavelengths)
+                max_lanes_per_flow.min(pack_comb)
             }
         };
 
@@ -319,12 +356,12 @@ impl StaticFlowMap {
             }
         }
 
-        let pack = |demands: &[usize]| assign_disjoint_lanes(demands, &conflicts, wavelengths);
+        let pack = |demands: &[usize]| assign_disjoint_lanes(demands, &conflicts, pack_comb);
 
         // The relaxed policy never fails: it shares lanes on the light
         // tail and reports the sharing pairs as the conflict budget.
         if matches!(policy, FlowAllocPolicy::Relaxed) {
-            let relaxed = assign_shared_lanes(&vec![1; measured.len()], &conflicts, wavelengths);
+            let relaxed = assign_shared_lanes(&vec![1; measured.len()], &conflicts, pack_comb);
             let shared_pairs: Vec<_> = relaxed
                 .shared
                 .iter()
@@ -361,7 +398,7 @@ impl StaticFlowMap {
         let mut lanes = pack(&demands).map_err(|e| FlowSynthesisError::Infeasible {
             src: measured[e.index].0,
             dst: measured[e.index].1,
-            wavelengths,
+            wavelengths: pack_comb,
         })?;
 
         // Proportional water-filling: grant the hungriest flow one more
@@ -611,6 +648,70 @@ mod tests {
                 .unwrap_err(),
             FlowSynthesisError::NoFlows
         );
+    }
+
+    #[test]
+    fn spares_hold_the_top_lanes_out_of_the_packing() {
+        let mut m = FlowMatrix::new(8);
+        m.record(NodeId(0), NodeId(2), Bits::new(10_000.0));
+        m.record(NodeId(4), NodeId(6), Bits::new(100.0));
+        let ring = RingTopology::new(8);
+        let (map, summary) = StaticFlowMap::from_allocator_with_spares(
+            &ring,
+            4,
+            &m,
+            FlowAllocPolicy::Proportional {
+                max_lanes_per_flow: 4,
+            },
+            2,
+        )
+        .unwrap();
+        assert!(summary.is_disjoint());
+        // Water-filling would flood all 4 lanes (disjoint paths); the two
+        // spare lanes cap every flow at the reduced comb.
+        for (src, dst) in [(NodeId(0), NodeId(2)), (NodeId(4), NodeId(6))] {
+            let lanes = map.lanes(src, dst);
+            assert_eq!(lanes.len(), 2);
+            assert!(
+                lanes.iter().all(|w| w.index() < 2),
+                "{src}→{dst} claimed a spare lane: {lanes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spares_tighten_the_feasibility_floor() {
+        // Two overlapping flows fit a 2-λ comb, but not once one lane is
+        // held out as a spare.
+        let mut m = FlowMatrix::new(4);
+        m.record(NodeId(0), NodeId(2), Bits::new(100.0));
+        m.record(NodeId(1), NodeId(3), Bits::new(50.0));
+        let ring = RingTopology::new(4);
+        assert!(
+            StaticFlowMap::from_allocator_with_spares(&ring, 2, &m, FlowAllocPolicy::FirstFit, 0)
+                .is_ok()
+        );
+        let err =
+            StaticFlowMap::from_allocator_with_spares(&ring, 2, &m, FlowAllocPolicy::FirstFit, 1)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            FlowSynthesisError::Infeasible {
+                src: NodeId(1),
+                dst: NodeId(3),
+                wavelengths: 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "spare lanes leave nothing")]
+    fn spares_must_leave_a_packable_lane() {
+        let mut m = FlowMatrix::new(4);
+        m.record(NodeId(0), NodeId(2), Bits::new(100.0));
+        let ring = RingTopology::new(4);
+        let _ =
+            StaticFlowMap::from_allocator_with_spares(&ring, 2, &m, FlowAllocPolicy::FirstFit, 2);
     }
 
     #[test]

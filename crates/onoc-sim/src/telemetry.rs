@@ -131,6 +131,27 @@ pub struct WindowStats {
     /// Jain's fairness index over per-source bits retired in the
     /// window: `(Σx)² / (n·Σx²)`, 1.0 for an idle window.
     pub fairness: f64,
+    /// Jain's fairness index over per-flow (`src → dst`) bits retired
+    /// in the window. Unlike [`fairness`](Self::fairness), whose
+    /// population is the fixed set of sources, the flow population is
+    /// sparse (at most `nodes² − nodes` directed pairs, most idle), so
+    /// the index runs over the flows *active in the window* only:
+    /// `(Σx)² / (k·Σx²)` with `k` the number of flows retiring bits.
+    /// 1.0 for an idle window.
+    pub flow_fairness: f64,
+}
+
+/// Jain's index over the active (nonzero) entries of `xs`: 1.0 when no
+/// entry is active.
+fn jain_over_active(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    if sum <= 0.0 {
+        return 1.0;
+    }
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    #[allow(clippy::cast_precision_loss)]
+    let active = xs.iter().filter(|&&x| x > 0.0).count() as f64;
+    sum * sum / (active * sq)
 }
 
 /// The folded time-series outcome of one engine run, from
@@ -280,6 +301,9 @@ pub struct TimeSeriesProbe {
     bins: Vec<WindowBin>,
     /// Flat `bins.len() × nodes` matrix of per-source retired bits.
     src_window_bits: Vec<f64>,
+    /// Flat `bins.len() × nodes²` matrix of per-flow retired bits
+    /// (`src × nodes + dst` within each bin's row).
+    flow_window_bits: Vec<f64>,
     src_hists: Vec<LatencyHistogram>,
     src_retired: Vec<u64>,
     src_retired_bits: Vec<f64>,
@@ -305,6 +329,7 @@ impl TimeSeriesProbe {
             wavelengths,
             bins: Vec::new(),
             src_window_bits: Vec::new(),
+            flow_window_bits: Vec::new(),
             src_hists: vec![LatencyHistogram::new(); nodes],
             src_retired: vec![0; nodes],
             src_retired_bits: vec![0.0; nodes],
@@ -323,6 +348,8 @@ impl TimeSeriesProbe {
         let bins = (horizon / self.window + 2) as usize;
         self.bins.reserve(bins);
         self.src_window_bits.reserve(bins * self.nodes);
+        self.flow_window_bits
+            .reserve(bins * self.nodes * self.nodes);
         self
     }
 
@@ -337,6 +364,7 @@ impl TimeSeriesProbe {
     pub fn reset(&mut self) {
         self.bins.clear();
         self.src_window_bits.clear();
+        self.flow_window_bits.clear();
         for h in &mut self.src_hists {
             *h = LatencyHistogram::new();
         }
@@ -360,6 +388,8 @@ impl TimeSeriesProbe {
             self.bins.push(WindowBin::default());
             self.src_window_bits
                 .resize(self.bins.len() * self.nodes, 0.0);
+            self.flow_window_bits
+                .resize(self.bins.len() * self.nodes * self.nodes, 0.0);
         }
         &mut self.bins[idx]
     }
@@ -388,6 +418,9 @@ impl TimeSeriesProbe {
                 } else {
                     1.0
                 };
+                let flows = self.nodes * self.nodes;
+                let flow_fairness =
+                    jain_over_active(&self.flow_window_bits[i * flows..(i + 1) * flows]);
                 WindowStats {
                     start: i as u64 * self.window,
                     offered: bin.offered,
@@ -411,6 +444,7 @@ impl TimeSeriesProbe {
                     queue_depth: admitted.saturating_sub(started),
                     in_flight: started.saturating_sub(completed + failed),
                     fairness,
+                    flow_fairness,
                 }
             })
             .collect();
@@ -517,6 +551,7 @@ impl SimProbe for TimeSeriesProbe {
         self.src_retired[record.src.0] += 1;
         self.src_retired_bits[record.src.0] += volume_bits;
         let flow = record.src.0 * nodes + record.dst.0;
+        self.flow_window_bits[idx * nodes * nodes + flow] += volume_bits;
         self.flow_bits[flow] += volume_bits;
         self.flow_messages[flow] += 1;
     }
@@ -542,6 +577,8 @@ impl SimProbe for TimeSeriesProbe {
 struct BinSlot {
     bin: WindowBin,
     src_bits: Vec<f64>,
+    /// Per-flow (`src × nodes + dst`) retired bits (flow fairness).
+    flow_bits: Vec<f64>,
     open_starts: u32,
 }
 
@@ -650,11 +687,14 @@ impl<F: FnMut(&WindowStats)> StreamingTimeSeriesProbe<F> {
             let mut slot = self.free.pop().unwrap_or_else(|| BinSlot {
                 bin: WindowBin::default(),
                 src_bits: vec![0.0; self.nodes],
+                flow_bits: vec![0.0; self.nodes * self.nodes],
                 open_starts: 0,
             });
             slot.bin = WindowBin::default();
             slot.src_bits.fill(0.0);
             slot.src_bits.resize(self.nodes, 0.0);
+            slot.flow_bits.fill(0.0);
+            slot.flow_bits.resize(self.nodes * self.nodes, 0.0);
             slot.open_starts = 0;
             self.slots.push_back(slot);
         }
@@ -690,6 +730,7 @@ impl<F: FnMut(&WindowStats)> StreamingTimeSeriesProbe<F> {
         } else {
             1.0
         };
+        let flow_fairness = jain_over_active(&slot.flow_bits);
         let stats = WindowStats {
             start: self.emitted * self.window,
             offered: bin.offered,
@@ -711,6 +752,7 @@ impl<F: FnMut(&WindowStats)> StreamingTimeSeriesProbe<F> {
                 .cum_started
                 .saturating_sub(self.cum_completed + self.cum_failed),
             fairness,
+            flow_fairness,
         };
         (self.emit)(&stats);
         self.emitted += 1;
@@ -808,10 +850,12 @@ impl<F: FnMut(&WindowStats)> SimProbe for StreamingTimeSeriesProbe<F> {
     #[inline]
     fn retired(&mut self, record: &MsgRecord, volume_bits: f64, _hops: usize) {
         let src = record.src.0;
+        let flow = src * self.nodes + record.dst.0;
         let slot = self.slot_mut(self.bin_index(record.completed));
         slot.bin.retired += 1;
         slot.bin.retired_bits += volume_bits;
         slot.src_bits[src] += volume_bits;
+        slot.flow_bits[flow] += volume_bits;
         self.drain_closed(record.completed);
     }
 
@@ -1079,6 +1123,35 @@ mod tests {
     }
 
     #[test]
+    fn flow_fairness_runs_over_active_flows_only() {
+        let mut probe = TimeSeriesProbe::new(100, 4, 1);
+        // One source feeding two destinations unevenly: the per-source
+        // index sees a single busy source (J = 1/4 over 4 nodes) while
+        // the per-flow index sees two active flows at 300 vs 100 bits.
+        probe.retired(&record(0, 1, 0, 50), 300.0, 1);
+        probe.retired(&record(0, 2, 0, 60), 100.0, 1);
+        probe.finished(70, 0);
+        let series = probe.report();
+        let w = &series.windows[0];
+        assert!((w.fairness - 0.25).abs() < 1e-12);
+        // J = (400)² / (2 · (300² + 100²)) = 160000 / 200000 = 0.8.
+        assert!((w.flow_fairness - 0.8).abs() < 1e-12);
+        // Two equal flows from different sources are perfectly fair on
+        // both indices.
+        let mut even = TimeSeriesProbe::new(100, 2, 1);
+        even.retired(&record(0, 1, 0, 10), 64.0, 1);
+        even.retired(&record(1, 0, 0, 20), 64.0, 1);
+        even.finished(30, 0);
+        let w = even.report().windows[0];
+        assert!((w.fairness - 1.0).abs() < 1e-12);
+        assert!((w.flow_fairness - 1.0).abs() < 1e-12);
+        // Idle windows report the trivially fair 1.0.
+        let mut idle = TimeSeriesProbe::new(10, 2, 1);
+        idle.finished(9, 0);
+        assert!((idle.report().windows[0].flow_fairness - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn fairness_is_one_when_sources_are_equal() {
         let mut probe = TimeSeriesProbe::new(100, 4, 1);
         for src in 0..4 {
@@ -1108,6 +1181,7 @@ mod tests {
         let mut probe = TimeSeriesProbe::new(8, 4, 2).with_horizon_hint(800);
         let bins_cap = probe.bins.capacity();
         let src_cap = probe.src_window_bits.capacity();
+        let flow_cap = probe.flow_window_bits.capacity();
         for k in 0..100u64 {
             probe.offered(k * 8, NodeId(0));
             probe.admitted(k * 8, 0, NodeId(0));
@@ -1119,6 +1193,11 @@ mod tests {
             probe.src_window_bits.capacity(),
             src_cap,
             "per-source matrix reallocated"
+        );
+        assert_eq!(
+            probe.flow_window_bits.capacity(),
+            flow_cap,
+            "per-flow matrix reallocated"
         );
     }
 

@@ -25,6 +25,8 @@
 //! * [`Nsga2`] — the NSGA-II optimiser of Deb et al. used by the paper,
 //! * [`heuristics`] — classical single-wavelength baselines (First-Fit,
 //!   Random, Most-Used, Least-Used) and a greedy makespan baseline,
+//! * [`ledger`] — the live occupancy ledger behind online
+//!   allocation-as-a-service (incremental grant/release/defrag),
 //! * [`exhaustive`] — small-instance oracles used to check GA optimality,
 //! * [`explore`] — the NW-sweep driver behind Figs. 6–7 and Table II,
 //! * [`mapping_search`] — the paper's future-work extension: joint
@@ -64,6 +66,7 @@ pub mod explore;
 pub mod heuristics;
 pub mod incremental;
 mod instance;
+pub mod ledger;
 pub mod local_search;
 pub mod mapping_search;
 mod nsga2;
@@ -74,6 +77,7 @@ pub use constraints::{ValidityChecker, Violation};
 pub use evaluator::{EvalError, Evaluator, ObjectiveSet, Objectives};
 pub use incremental::{HealOutcome, HealPolicy, reassign_flows_on_lane_loss};
 pub use instance::{EvalOptions, InstanceError, ProblemInstance};
+pub use ledger::{DefragOutcome, Fragmentation, Grant, GrantError, GrantPolicy, OccupancyLedger};
 pub use nsga2::crowding as nsga2_crowding;
 pub use nsga2::operators as nsga2_operators;
 pub use nsga2::sort as nsga2_sort;
